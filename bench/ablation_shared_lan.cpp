@@ -1,0 +1,160 @@
+// Ablation — does ignoring Ethernet contention matter?
+//
+// The Periodic Messages model "ignores properties of physical networks
+// such as the possibility of collisions and retransmissions on an
+// Ethernet" (Section 3). Here the same periodic-router workload runs over
+// a real CSMA/CD medium: routers broadcast their updates as frames,
+// colliding and backing off, and every receiver pays Tc of processing per
+// update with the paper's reset-after-processing timer rule.
+//
+// Result: collisions and contention jitter (sub-millisecond) are three
+// orders of magnitude below the processing time Tc (~0.1 s), so the
+// synchronization phenomenon survives intact — the model's abstraction is
+// sound.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/core.hpp"
+#include "net/shared_lan.hpp"
+#include "stats/stats.hpp"
+
+using namespace routesync;
+using namespace routesync::bench;
+
+namespace {
+
+// A periodic router on the LAN, with the Periodic Messages timer rule.
+class LanRouter {
+public:
+    LanRouter(sim::Engine& engine, net::SharedLan& lan, int id,
+              sim::SimTime tp, sim::SimTime tr, sim::SimTime tc,
+              std::uint64_t seed)
+        : engine_{engine}, lan_{lan}, id_{id}, tp_{tp}, tr_{tr}, tc_{tc},
+          gen_{seed} {
+        station_ = lan_.attach([this](net::Packet p) { receive(std::move(p)); });
+    }
+
+    void start(sim::SimTime at) {
+        engine_.schedule_at(at, [this] { timer_expired(); });
+    }
+
+    std::function<void(int, sim::SimTime)> on_timer_set;
+
+private:
+    void timer_expired() {
+        net::Packet update;
+        update.type = net::PacketType::RoutingUpdate;
+        update.src = id_;
+        update.size_bytes = 1000;
+        lan_.send(station_, update);
+        pending_own_ = true;
+        extend_busy();
+        if (!check_scheduled_) {
+            check_scheduled_ = true;
+            engine_.schedule_at(busy_end_, [this] { busy_check(); });
+        }
+    }
+
+    void receive(net::Packet) { extend_busy(); }
+
+    void extend_busy() {
+        const sim::SimTime now = engine_.now();
+        busy_end_ = busy_end_ > now ? busy_end_ + tc_ : now + tc_;
+        if (pending_own_ && !check_scheduled_) {
+            check_scheduled_ = true;
+            engine_.schedule_at(busy_end_, [this] { busy_check(); });
+        }
+    }
+
+    void busy_check() {
+        if (busy_end_ > engine_.now()) {
+            engine_.schedule_at(busy_end_, [this] { busy_check(); });
+            return;
+        }
+        check_scheduled_ = false;
+        if (pending_own_) {
+            pending_own_ = false;
+            if (on_timer_set) {
+                on_timer_set(id_, engine_.now());
+            }
+            const double interval =
+                rng::uniform_real(gen_, (tp_ - tr_).sec(), (tp_ + tr_).sec());
+            engine_.schedule_after(sim::SimTime::seconds(interval),
+                                   [this] { timer_expired(); });
+        }
+    }
+
+    sim::Engine& engine_;
+    net::SharedLan& lan_;
+    int id_;
+    int station_ = -1;
+    sim::SimTime tp_;
+    sim::SimTime tr_;
+    sim::SimTime tc_;
+    rng::DefaultEngine gen_;
+    sim::SimTime busy_end_ = -sim::SimTime::seconds(1);
+    bool pending_own_ = false;
+    bool check_scheduled_ = false;
+};
+
+} // namespace
+
+int main() {
+    header("Ablation",
+           "the Periodic Messages workload over a real CSMA/CD Ethernet "
+           "(N=20, Tp=121 s, Tr=0.1 s, Tc=0.11 s)");
+
+    sim::Engine engine;
+    net::SharedLanConfig lan_cfg; // classic 10 Mb/s Ethernet
+    net::SharedLan lan{engine, lan_cfg};
+
+    const int n = 20;
+    const auto tp = sim::SimTime::seconds(121);
+    const auto tr = sim::SimTime::seconds(0.1);
+    const auto tc = sim::SimTime::seconds(0.11);
+
+    std::vector<std::unique_ptr<LanRouter>> routers;
+    // Loose tolerance: LAN delivery skews cluster members' busy-ends by up
+    // to ~N * frame_time (~10 ms), far below Tc.
+    core::ClusterTracker tracker{n, tp + tc, sim::SimTime::millis(50)};
+    rng::DefaultEngine phases{1234};
+    for (int i = 0; i < n; ++i) {
+        routers.push_back(std::make_unique<LanRouter>(
+            engine, lan, i, tp, tr, tc, 400 + static_cast<std::uint64_t>(i)));
+        routers.back()->on_timer_set = [&tracker](int node, sim::SimTime t) {
+            tracker.on_timer_set(node, t);
+        };
+        routers.back()->start(
+            sim::SimTime::seconds(rng::uniform_real(phases, 0.0, tp.sec())));
+    }
+    tracker.on_full_sync = [&engine](sim::SimTime) { engine.stop(); };
+
+    engine.run_until(sim::SimTime::seconds(2e6));
+    tracker.finish();
+
+    section("results");
+    const auto sync = tracker.full_sync_time();
+    std::printf("full synchronization : %s s\n",
+                sync ? fmt_time(sync->sec()).c_str() : "not reached (2e6 s cap)");
+    const auto& ls = lan.stats();
+    std::printf("frames delivered     : %llu\n",
+                static_cast<unsigned long long>(ls.frames_delivered));
+    std::printf("collisions           : %llu (%.2f%% of offered frames)\n",
+                static_cast<unsigned long long>(ls.collisions),
+                100.0 * static_cast<double>(ls.collisions) /
+                    static_cast<double>(ls.frames_offered));
+    std::printf("frames lost          : %llu\n",
+                static_cast<unsigned long long>(ls.drops_excessive_collisions +
+                                                ls.drops_queue_full));
+
+    check(sync.has_value(),
+          "synchronization emerges despite collisions and backoff "
+          "(the Section 3 abstraction is sound)");
+    check(ls.collisions > 0,
+          "contention genuinely occurred (the ablation exercised CSMA/CD)");
+    check(ls.drops_excessive_collisions == 0,
+          "binary exponential backoff resolved every collision");
+
+    return footer();
+}

@@ -1,0 +1,50 @@
+// Shared output helpers for the figure-reproduction benches.
+//
+// Every bench prints:
+//   * a header naming the paper figure it regenerates,
+//   * the same series/rows the paper plots (machine-greppable columns),
+//   * SHAPE-CHECK lines asserting the qualitative result the paper reports
+//     (who wins, the period, the transition) — PASS/FAIL.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace routesync::bench {
+
+inline int g_failed_checks = 0;
+
+inline void header(const std::string& figure, const std::string& description) {
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", figure.c_str(), description.c_str());
+    std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& name) { std::printf("\n-- %s --\n", name.c_str()); }
+
+inline void check(bool ok, const std::string& what) {
+    std::printf("SHAPE-CHECK %-4s %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) {
+        ++g_failed_checks;
+    }
+}
+
+/// Render a number that may be +infinity (diverging hitting time).
+inline std::string fmt_time(double seconds) {
+    if (std::isinf(seconds)) {
+        return ">1e15 (divergent)";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", seconds);
+    return buf;
+}
+
+inline int footer() {
+    std::printf("\n%s (%d failed shape checks)\n",
+                g_failed_checks == 0 ? "ALL SHAPE CHECKS PASSED" : "SHAPE CHECKS FAILED",
+                g_failed_checks);
+    return 0; // benches report, they do not abort the bench sweep
+}
+
+} // namespace routesync::bench

@@ -1,0 +1,72 @@
+// Extension bench — the paper's Section 1 client-server example, the
+// Sprite file server [Ba92]:
+//
+//   "when the file server recovered after a failure ... a number of
+//    clients would become synchronized in their recovery procedures.
+//    Because the recovery procedures involved synchronized timeouts, this
+//    synchronization resulted in a substantial delay in the recovery
+//    procedure."
+//
+// 60 clients re-register after a recovery broadcast. Synchronized
+// re-registration overloads the serial server, clients time out while
+// their requests sit queued, the server then serves those *stale*
+// requests for nothing, and the timed-out clients retry in lockstep.
+// Randomizing the re-registration delay recovers at the serial-service
+// floor with zero waste.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "clientsync/poll_sync.hpp"
+
+using namespace routesync;
+using namespace routesync::bench;
+
+int main() {
+    header("Extension (paper Section 1)",
+           "client-server recovery storms (Sprite): synchronized vs "
+           "randomized re-registration");
+
+    clientsync::ClientServerConfig base;
+    base.clients = 60;
+    base.service_time_sec = 0.2; // serial floor: 12 s for 60 clients
+
+    section("60 clients, 0.2 s service, 5 s timeout, server down 100-160 s");
+    std::printf("%-28s %12s %10s %10s %10s\n", "re-registration", "recovery_s",
+                "stale", "timeouts", "peak_queue");
+
+    const auto sync_result = clientsync::run_client_server_experiment(base);
+    std::printf("%-28s %12.1f %10llu %10llu %10.0f\n", "synchronized (Sprite)",
+                sync_result.recovery_duration_sec,
+                static_cast<unsigned long long>(sync_result.stale_served),
+                static_cast<unsigned long long>(sync_result.timeouts),
+                sync_result.peak_queue);
+
+    clientsync::ClientServerConfig spread = base;
+    spread.recovery_spread_sec = 12.0;
+    const auto spread_result = clientsync::run_client_server_experiment(spread);
+    std::printf("%-28s %12.1f %10llu %10llu %10.0f\n", "uniform [0, 12 s]",
+                spread_result.recovery_duration_sec,
+                static_cast<unsigned long long>(spread_result.stale_served),
+                static_cast<unsigned long long>(spread_result.timeouts),
+                spread_result.peak_queue);
+
+    section("summary");
+    std::printf("serial-service floor: %.1f s; synchronized recovery takes "
+                "%.1fx that, randomized %.2fx\n",
+                60 * 0.2, sync_result.recovery_duration_sec / 12.0,
+                spread_result.recovery_duration_sec / 12.0);
+
+    check(sync_result.all_recovered && spread_result.all_recovered,
+          "every client eventually recovers under both schemes");
+    check(sync_result.recovery_duration_sec >
+              1.5 * spread_result.recovery_duration_sec,
+          "synchronized re-registration substantially delays recovery "
+          "(the paper's 'substantial delay')");
+    check(sync_result.stale_served > 20 && spread_result.stale_served == 0,
+          "the synchronized storm wastes server time on timed-out requests; "
+          "randomization wastes none");
+    check(spread_result.recovery_duration_sec < 16.0,
+          "randomized re-registration recovers near the serial floor");
+
+    return footer();
+}

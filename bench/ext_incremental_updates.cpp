@@ -1,0 +1,77 @@
+// Extension — the paper's footnote 3, quantified:
+//
+//   "BGP (Border Gateway Protocol), which is also used, only requires
+//    routers to send incremental update messages."
+//
+// The same NEARnet core, same synchronized timers, same blocking route
+// processors — but the protocol sends keepalives plus change-only updates
+// instead of periodic 300-route full tables. The CPU storm (and with it
+// the ~90 s periodic ping loss) disappears, without any timer
+// randomization at all. Randomization remains necessary for protocols
+// that *do* send periodic full tables — and for everything else the paper
+// lists — but incremental protocols dodge this particular failure mode by
+// construction.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "scenarios/scenarios.hpp"
+
+using namespace routesync;
+using namespace routesync::bench;
+
+namespace {
+
+struct Outcome {
+    double loss_pct;
+    double r1_cpu_seconds;
+    std::uint64_t updates;
+};
+
+Outcome run(bool incremental) {
+    scenarios::NearnetConfig cfg;
+    cfg.incremental_updates = incremental;
+    scenarios::NearnetScenario s{cfg};
+    apps::PingConfig pc;
+    pc.dst = s.dst().id();
+    pc.count = 800;
+    apps::PingApp ping{s.src(), pc};
+    ping.start(s.routing_start() + sim::SimTime::seconds(300));
+    s.engine().run_until(sim::SimTime::seconds(1400));
+    return Outcome{100.0 * ping.loss_fraction(), s.r1().stats().cpu_seconds,
+                   s.r1().stats().updates_received};
+}
+
+} // namespace
+
+int main() {
+    header("Extension (paper footnote 3)",
+           "periodic full tables vs BGP-style incremental updates on the "
+           "NEARnet core (synchronized timers, blocking CPUs)");
+
+    section("800 pings through the core, 1100 s");
+    std::printf("%-32s %8s %16s %10s\n", "protocol", "loss%", "R1_cpu_seconds",
+                "updates");
+    const auto full = run(false);
+    std::printf("%-32s %8.2f %16.1f %10llu\n", "periodic full tables (IGRP)",
+                full.loss_pct, full.r1_cpu_seconds,
+                static_cast<unsigned long long>(full.updates));
+    const auto incr = run(true);
+    std::printf("%-32s %8.2f %16.1f %10llu\n", "incremental (BGP-like)",
+                incr.loss_pct, incr.r1_cpu_seconds,
+                static_cast<unsigned long long>(incr.updates));
+
+    section("summary");
+    std::printf("route-processor load drops %.0fx; the periodic loss bursts "
+                "disappear\n",
+                full.r1_cpu_seconds / std::max(incr.r1_cpu_seconds, 1e-9));
+
+    check(full.loss_pct >= 2.0,
+          "periodic full tables + synchronized timers lose pings in ~90 s "
+          "bursts (the Figure 1 condition)");
+    check(incr.loss_pct == 0.0,
+          "incremental updates eliminate the loss without any randomization");
+    check(incr.r1_cpu_seconds < full.r1_cpu_seconds / 10.0,
+          "route-processor load falls by more than an order of magnitude");
+
+    return footer();
+}

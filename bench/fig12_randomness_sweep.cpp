@@ -1,0 +1,125 @@
+// Figure 12 — "Expected time to go from cluster size 1 to cluster size N,
+// and vice versa, as a function of Tr": the solid line is g(1) (time to
+// unsynchronize), the dashed line f(N) with the calibrated f(2), and the
+// dotted line f(N) with f(2) = 0. 'x' marks are simulations from an
+// unsynchronized start, '+' marks from a synchronized start. Log-scale y;
+// the low / moderate / high randomization regions.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/core.hpp"
+#include "markov/markov.hpp"
+
+using namespace routesync;
+using namespace routesync::bench;
+
+namespace {
+
+double simulate_sync_time(double tr, std::uint64_t seed) {
+    core::ExperimentConfig cfg;
+    cfg.params.n = 20;
+    cfg.params.tp = sim::SimTime::seconds(121);
+    cfg.params.tc = sim::SimTime::seconds(0.11);
+    cfg.params.tr = sim::SimTime::seconds(tr);
+    cfg.params.seed = seed;
+    cfg.max_time = sim::SimTime::seconds(1e7);
+    cfg.stop_on_full_sync = true;
+    const auto r = core::run_experiment(cfg);
+    return r.full_sync_time_sec.value_or(1e7);
+}
+
+double simulate_breakup_time(double tr, std::uint64_t seed) {
+    core::ExperimentConfig cfg;
+    cfg.params.n = 20;
+    cfg.params.tp = sim::SimTime::seconds(121);
+    cfg.params.tc = sim::SimTime::seconds(0.11);
+    cfg.params.tr = sim::SimTime::seconds(tr);
+    cfg.params.start = core::StartCondition::Synchronized;
+    cfg.params.seed = seed;
+    cfg.max_time = sim::SimTime::seconds(1e7);
+    cfg.stop_on_breakup_threshold = 1;
+    const auto r = core::run_experiment(cfg);
+    return r.breakup_time_sec.value_or(1e7);
+}
+
+} // namespace
+
+int main() {
+    header("Figure 12",
+           "f(N) and g(1) in seconds vs Tr (N=20, Tp=121 s, Tc=0.11 s); "
+           "f(2) from the diffusion estimate, plus the f(2)=0 variant");
+
+    const double tc = 0.11;
+    section("series: Tr/Tc vs g(1)_s (solid), f(N)_s (dashed), f(N)|f2=0 (dotted)");
+    std::printf("%7s %16s %16s %16s\n", "Tr/Tc", "g1_s", "fN_s", "fN_f2zero_s");
+    double crossover = -1.0;
+    double prev_diff = 0.0;
+    for (double factor = 0.1; factor <= 4.51; factor += 0.1) {
+        const double tr = factor * tc;
+        markov::ChainParams p;
+        p.n = 20;
+        p.tp_sec = 121.0;
+        p.tc_sec = tc;
+        p.tr_sec = tr;
+        p.f2_rounds = markov::f2_diffusion_estimate(p.n, p.tp_sec, tr);
+        const markov::FJChain chain{p};
+        markov::ChainParams p0 = p;
+        p0.f2_rounds = 0.0;
+        const markov::FJChain chain0{p0};
+
+        const double g1 = chain.time_to_break_up_seconds();
+        const double fn = chain.time_to_synchronize_seconds();
+        const double fn0 = chain0.time_to_synchronize_seconds();
+        std::printf("%7.2f %16s %16s %16s\n", factor, fmt_time(g1).c_str(),
+                    fmt_time(fn).c_str(), fmt_time(fn0).c_str());
+
+        const double diff = (std::isinf(fn) ? 1e18 : fn) - (std::isinf(g1) ? 1e18 : g1);
+        if (crossover < 0 && prev_diff < 0 && diff >= 0) {
+            crossover = factor;
+        }
+        prev_diff = diff;
+    }
+    std::printf("f(N)/g(1) crossover near Tr = %.2f * Tc (the 'moderate' region)\n",
+                crossover);
+
+    section("simulation marks ('x' = unsync start, '+' = sync start)");
+    for (const double factor : {0.6, 1.0}) {
+        const double t = simulate_sync_time(factor * tc, 11);
+        std::printf("x  Tr=%.2f*Tc  time_to_sync  = %.4g s\n", factor, t);
+    }
+    for (const double factor : {2.5, 2.8}) {
+        const double t = simulate_breakup_time(factor * tc, 13);
+        std::printf("+  Tr=%.2f*Tc  time_to_break = %.4g s\n", factor, t);
+    }
+
+    // Shape checks: f grows with Tr, g falls with Tr, and the curves cross.
+    auto fn_at = [&](double factor) {
+        markov::ChainParams p;
+        p.n = 20;
+        p.tp_sec = 121.0;
+        p.tc_sec = tc;
+        p.tr_sec = factor * tc;
+        p.f2_rounds = markov::f2_diffusion_estimate(p.n, p.tp_sec, p.tr_sec);
+        return markov::FJChain{p}.time_to_synchronize_seconds();
+    };
+    auto g1_at = [&](double factor) {
+        markov::ChainParams p;
+        p.n = 20;
+        p.tp_sec = 121.0;
+        p.tc_sec = tc;
+        p.tr_sec = factor * tc;
+        p.f2_rounds = 19.0;
+        return markov::FJChain{p}.time_to_break_up_seconds();
+    };
+    check(fn_at(0.6) < fn_at(1.0) && fn_at(1.0) < fn_at(1.8),
+          "f(N) grows (exponentially) with Tr in the low/moderate region");
+    check(g1_at(1.0) > g1_at(2.0) && g1_at(2.0) > g1_at(4.0),
+          "g(1) falls with Tr");
+    check(crossover > 0.5 && crossover < 4.0,
+          "the moderate region (curve crossover) lies inside the plot");
+    check(fn_at(0.6) < 1e5 && g1_at(0.6) > 1e9,
+          "low randomization: quick to synchronize, ~never unsynchronizes");
+    check(g1_at(4.0) < 1e5, "high randomization: clusters dissolve quickly");
+
+    return footer();
+}

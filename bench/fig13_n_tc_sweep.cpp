@@ -1,0 +1,68 @@
+// Figure 13 — the Figure 12 curves swept over N in {10, 20, 30} and
+// Tc in {0.01, 0.11} seconds, with Tr expressed in units of Tc. The
+// paper's takeaway: "choosing Tr at least ten times greater than Tc
+// ensures that clusters of routing messages will be quickly broken up",
+// across the whole parameter range.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "markov/markov.hpp"
+
+using namespace routesync;
+using namespace routesync::bench;
+
+namespace {
+
+markov::FJChain make_chain(int n, double tc, double tr) {
+    markov::ChainParams p;
+    p.n = n;
+    p.tp_sec = 121.0;
+    p.tc_sec = tc;
+    p.tr_sec = tr;
+    p.f2_rounds = markov::f2_diffusion_estimate(n, p.tp_sec, tr);
+    return markov::FJChain{p};
+}
+
+} // namespace
+
+int main() {
+    header("Figure 13",
+           "f(N) and g(1) vs Tr (in units of Tc) for N in {10,20,30}, "
+           "Tc in {0.01, 0.11} s, Tp = 121 s");
+
+    bool ten_tc_breaks_everything = true;
+    bool breakup_harder_with_n = true;
+
+    for (const double tc : {0.01, 0.11}) {
+        for (const int n : {10, 20, 30}) {
+            section("Tc = " + std::to_string(tc) + " s, N = " + std::to_string(n));
+            std::printf("%7s %16s %16s\n", "Tr/Tc", "g1_s", "fN_s");
+            for (double factor = 0.6; factor <= 8.01; factor += 0.4) {
+                const auto chain = make_chain(n, tc, factor * tc);
+                std::printf("%7.1f %16s %16s\n", factor,
+                            fmt_time(chain.time_to_break_up_seconds()).c_str(),
+                            fmt_time(chain.time_to_synchronize_seconds()).c_str());
+            }
+            const double g_at_10tc =
+                make_chain(n, tc, 10.0 * tc).time_to_break_up_seconds();
+            std::printf("g(1) at Tr = 10*Tc: %s\n", fmt_time(g_at_10tc).c_str());
+            if (!(g_at_10tc < 2e5)) {
+                ten_tc_breaks_everything = false;
+            }
+        }
+        // Larger N holds clusters together longer at the same Tr/Tc.
+        const double g10 = make_chain(10, tc, 3.0 * tc).time_to_break_up_seconds();
+        const double g30 = make_chain(30, tc, 3.0 * tc).time_to_break_up_seconds();
+        if (!(g30 > g10)) {
+            breakup_harder_with_n = false;
+        }
+    }
+
+    check(ten_tc_breaks_everything,
+          "Tr >= 10*Tc breaks clusters up quickly for every (N, Tc) in the sweep "
+          "(the paper's rule of thumb)");
+    check(breakup_harder_with_n,
+          "at fixed Tr/Tc, larger networks hold synchronization longer");
+
+    return footer();
+}

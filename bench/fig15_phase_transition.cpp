@@ -1,0 +1,68 @@
+// Figure 15 — "The fraction of time unsynchronized, as a function of the
+// number of nodes" (Tp=121 s, Tc=0.11 s, Tr=0.3 s): the headline result
+// that "the addition of a single router will convert a completely
+// unsynchronized traffic stream into a completely synchronized one".
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "markov/markov.hpp"
+
+using namespace routesync;
+using namespace routesync::bench;
+
+namespace {
+
+double fraction_at(int n) {
+    markov::ChainParams p;
+    p.n = n;
+    p.tp_sec = 121.0;
+    p.tc_sec = 0.11;
+    p.tr_sec = 0.3;
+    p.f2_rounds = markov::f2_diffusion_estimate(n, p.tp_sec, p.tr_sec);
+    return markov::FJChain{p}.fraction_unsynchronized();
+}
+
+} // namespace
+
+int main() {
+    header("Figure 15",
+           "fraction of time unsynchronized vs N (Tp=121 s, Tc=0.11 s, Tr=0.3 s)");
+
+    section("series: N vs fraction unsynchronized");
+    std::printf("%5s %12s\n", "N", "fraction");
+    int last_unsync = -1;
+    int first_sync = -1;
+    for (int n = 5; n <= 32; ++n) {
+        const double frac = fraction_at(n);
+        std::printf("%5d %12.6f\n", n, frac);
+        if (frac > 0.9) {
+            last_unsync = n;
+        }
+        if (first_sync < 0 && frac < 0.1) {
+            first_sync = n;
+        }
+    }
+
+    markov::ChainParams p;
+    p.n = 20;
+    p.tp_sec = 121.0;
+    p.tc_sec = 0.11;
+    p.tr_sec = 0.3;
+    p.f2_rounds = markov::f2_diffusion_estimate(25, p.tp_sec, p.tr_sec);
+    const int n_star = markov::critical_n(p, 100);
+
+    section("summary");
+    std::printf("last predominately-unsynchronized N : %d\n", last_unsync);
+    std::printf("first predominately-synchronized N  : %d\n", first_sync);
+    std::printf("critical N (bisected at 50%%)        : %d\n", n_star);
+
+    check(last_unsync > 0 && first_sync > 0,
+          "both regimes appear within the plotted range");
+    check(first_sync - last_unsync <= 3,
+          "the flip happens within a couple of routers ('the addition of a "
+          "single router')");
+    check(last_unsync >= 15 && first_sync <= 32,
+          "the transition falls near the paper's N = 5..25 axis");
+
+    return footer();
+}

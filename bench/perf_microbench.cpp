@@ -1,0 +1,185 @@
+// Engine micro-benchmarks (google-benchmark): throughput of the pieces
+// every experiment leans on. Not a paper figure — a performance floor so
+// regressions in the simulator core are visible.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/core.hpp"
+#include "markov/markov.hpp"
+#include "net/net.hpp"
+#include "rng/rng.hpp"
+#include "routing/routing.hpp"
+#include "stats/stats.hpp"
+
+using namespace routesync;
+
+namespace {
+
+void BM_MinStd(benchmark::State& state) {
+    rng::MinStd gen{12345};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinStd);
+
+void BM_Xoshiro256ss(benchmark::State& state) {
+    rng::Xoshiro256ss gen{12345};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xoshiro256ss);
+
+void BM_EventQueue_PushPop(benchmark::State& state) {
+    const auto batch = static_cast<int>(state.range(0));
+    sim::EventQueue q;
+    rng::Xoshiro256ss gen{1};
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i) {
+            q.push(sim::SimTime::seconds(rng::uniform01(gen)), [] {});
+        }
+        while (!q.empty()) {
+            benchmark::DoNotOptimize(q.pop().time);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueue_PushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Engine_SelfSchedulingChain(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::Engine engine;
+        int remaining = 10000;
+        std::function<void()> tick = [&] {
+            if (--remaining > 0) {
+                engine.schedule_after(sim::SimTime::seconds(1), tick);
+            }
+        };
+        engine.schedule_at(sim::SimTime::zero(), tick);
+        engine.run();
+        benchmark::DoNotOptimize(engine.events_processed());
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_Engine_SelfSchedulingChain);
+
+void BM_PeriodicMessages_SimSecond(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    sim::Engine engine;
+    core::ModelParams p;
+    p.n = n;
+    p.seed = 3;
+    core::PeriodicMessagesModel model{engine, p};
+    double horizon = 0.0;
+    for (auto _ : state) {
+        horizon += 1000.0; // one thousand simulated seconds per iteration
+        engine.run_until(sim::SimTime::seconds(horizon));
+        benchmark::DoNotOptimize(model.total_transmissions());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000); // simulated seconds
+}
+BENCHMARK(BM_PeriodicMessages_SimSecond)->Arg(20)->Arg(100);
+
+void BM_Autocorrelation(benchmark::State& state) {
+    std::vector<double> xs;
+    rng::Xoshiro256ss gen{9};
+    for (int i = 0; i < 1000; ++i) {
+        xs.push_back(rng::uniform01(gen));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::autocorrelation(xs, 200));
+    }
+}
+BENCHMARK(BM_Autocorrelation);
+
+void BM_ClusterPhases(benchmark::State& state) {
+    std::vector<double> offsets;
+    rng::Xoshiro256ss gen{5};
+    for (int i = 0; i < 1000; ++i) {
+        offsets.push_back(rng::uniform_real(gen, 0.0, 121.11));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::cluster_phases(offsets, 121.11, 0.11));
+    }
+}
+BENCHMARK(BM_ClusterPhases);
+
+void BM_FJChain_HittingTimes(benchmark::State& state) {
+    markov::ChainParams p;
+    p.n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const markov::FJChain chain{p};
+        benchmark::DoNotOptimize(chain.f_rounds());
+        benchmark::DoNotOptimize(chain.g_rounds());
+    }
+}
+BENCHMARK(BM_FJChain_HittingTimes)->Arg(20)->Arg(200);
+
+void BM_SharedLanSaturated(benchmark::State& state) {
+    sim::Engine engine;
+    net::SharedLanConfig cfg;
+    cfg.station_queue_packets = 1 << 20;
+    net::SharedLan lan{engine, cfg};
+    for (int i = 0; i < 4; ++i) {
+        lan.attach([](net::Packet) {});
+    }
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i) {
+            net::Packet p;
+            p.size_bytes = 1000;
+            p.seq = seq++;
+            lan.send(static_cast<int>(seq % 4), p);
+        }
+        engine.run();
+        benchmark::DoNotOptimize(lan.stats().frames_delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SharedLanSaturated);
+
+void BM_DvFullMeshSimSecond(benchmark::State& state) {
+    sim::Engine engine;
+    net::Network nw{engine};
+    const int n = 6;
+    std::vector<net::Router*> routers;
+    for (int i = 0; i < n; ++i) {
+        routers.push_back(&nw.add_router("r" + std::to_string(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            nw.connect(*routers[static_cast<std::size_t>(i)],
+                       *routers[static_cast<std::size_t>(j)]);
+        }
+    }
+    nw.install_static_routes();
+    routing::DvConfig dv;
+    dv.period = sim::SimTime::seconds(20);
+    dv.jitter = sim::SimTime::seconds(1);
+    dv.filler_routes = 300;
+    std::vector<std::unique_ptr<routing::DistanceVectorAgent>> agents;
+    for (int i = 0; i < n; ++i) {
+        routing::DvConfig c = dv;
+        c.seed = static_cast<std::uint64_t>(i) + 1;
+        agents.push_back(
+            std::make_unique<routing::DistanceVectorAgent>(*routers[static_cast<std::size_t>(i)], c));
+        agents.back()->start(sim::SimTime::seconds(0.1 * i));
+    }
+    double horizon = 0.0;
+    for (auto _ : state) {
+        horizon += 1000.0;
+        engine.run_until(sim::SimTime::seconds(horizon));
+        benchmark::DoNotOptimize(engine.events_processed());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DvFullMeshSimSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

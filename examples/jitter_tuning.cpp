@@ -1,0 +1,74 @@
+// jitter_tuning: size the randomness for YOUR routing protocol.
+//
+//   $ ./examples/jitter_tuning [N] [period_s] [per_update_cost_s]
+//
+// Given the number of routers sharing a network, their update period, and
+// the CPU cost of one update, this walks the paper's Section 5 analysis:
+//   * the synchronization threshold (where the phase transition sits),
+//   * the minimum jitter for a predominately-unsynchronized network,
+//   * how fast an already-synchronized network recovers at that jitter,
+//   * the paper's two rules of thumb (10*Tc, and Tp/2).
+#include <cstdio>
+#include <cstdlib>
+
+#include "markov/markov.hpp"
+
+using namespace routesync;
+
+int main(int argc, char** argv) {
+    const int n = argc > 1 ? std::atoi(argv[1]) : 20;
+    const double tp = argc > 2 ? std::atof(argv[2]) : 30.0; // RIP default
+    const double tc = argc > 3 ? std::atof(argv[3]) : 0.3;  // 300 routes @ 1 ms
+    if (n < 2 || tp <= 0 || tc <= 0) {
+        std::fprintf(stderr,
+                     "usage: %s [N>=2] [period_s>0] [per_update_cost_s>0]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    std::printf("network: N=%d routers, period Tp=%.3g s, update cost Tc=%.3g s\n\n",
+                n, tp, tc);
+
+    markov::ChainParams p;
+    p.n = n;
+    p.tp_sec = tp;
+    p.tc_sec = tc;
+    p.tr_sec = tc; // placeholder; swept below
+
+    std::printf("%10s %10s %16s %18s\n", "Tr (s)", "Tr/Tc", "frac_unsync",
+                "recovery g(1)");
+    for (const double factor : {0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 10.0}) {
+        markov::ChainParams q = p;
+        q.tr_sec = factor * tc;
+        q.f2_rounds = markov::f2_diffusion_estimate(n, tp, q.tr_sec);
+        const markov::FJChain chain{q};
+        const double g1 = chain.time_to_break_up_seconds();
+        char recovery[64];
+        if (g1 > 1e15) {
+            std::snprintf(recovery, sizeof recovery, "never");
+        } else if (g1 > 86400) {
+            std::snprintf(recovery, sizeof recovery, "%.1f days", g1 / 86400);
+        } else {
+            std::snprintf(recovery, sizeof recovery, "%.2g hours", g1 / 3600);
+        }
+        std::printf("%10.3g %10.2f %16.4f %18s\n", q.tr_sec, factor,
+                    chain.fraction_unsynchronized(), recovery);
+    }
+
+    markov::ChainParams base = p;
+    base.f2_rounds = markov::f2_diffusion_estimate(n, tp, tc);
+    const double tr_star = markov::critical_tr_seconds(base);
+
+    std::printf("\nrecommendations\n");
+    std::printf("  50%% synchronization threshold : Tr* = %.3g s (%.1f * Tc)\n",
+                tr_star, tr_star / tc);
+    std::printf("  engineering margin (2x)       : Tr >= %.3g s\n", 2 * tr_star);
+    std::printf("  paper's quick-breakup rule    : Tr >= 10 * Tc = %.3g s\n",
+                10 * tc);
+    std::printf("  paper's universal fix         : timer ~ uniform[%.3g, %.3g] s "
+                "(Tr = Tp/2)\n",
+                0.5 * tp, 1.5 * tp);
+    std::printf("\n(reset the timer only AFTER processing, and add the jitter "
+                "fresh on every arm — see DESIGN.md)\n");
+    return 0;
+}

@@ -1,0 +1,6 @@
+// Umbrella header for the measurement applications.
+#pragma once
+
+#include "apps/background.hpp" // IWYU pragma: export
+#include "apps/cbr.hpp"        // IWYU pragma: export
+#include "apps/ping.hpp"       // IWYU pragma: export

@@ -1,0 +1,40 @@
+#include "apps/background.hpp"
+
+#include <stdexcept>
+
+namespace routesync::apps {
+
+BackgroundTraffic::BackgroundTraffic(net::Host& host, const BackgroundConfig& config)
+    : host_{host}, config_{config}, gen_{config.seed} {
+    if (config_.mean_packets_per_second <= 0.0) {
+        throw std::invalid_argument{"BackgroundConfig: rate must be positive"};
+    }
+    if (config_.dst < 0) {
+        throw std::invalid_argument{"BackgroundConfig: destination required"};
+    }
+}
+
+void BackgroundTraffic::start(sim::SimTime at) {
+    host_.engine().schedule_at(at, [this] { send_next(); });
+}
+
+void BackgroundTraffic::send_next() {
+    auto& engine = host_.engine();
+    if (engine.now() >= config_.stop_at) {
+        return;
+    }
+    net::Packet p;
+    p.type = net::PacketType::Data;
+    p.src = host_.id();
+    p.dst = config_.dst;
+    p.size_bytes = config_.size_bytes;
+    p.seq = sent_++;
+    p.sent_at = engine.now();
+    host_.send(std::move(p));
+    engine.schedule_after(
+        sim::SimTime::seconds(
+            rng::exponential(gen_, 1.0 / config_.mean_packets_per_second)),
+        [this] { send_next(); });
+}
+
+} // namespace routesync::apps

@@ -1,0 +1,40 @@
+// Poisson background traffic — cross traffic that produces the random
+// single-packet losses ("the little blips more-or-less randomly spread
+// along the time axis", Figure 3) by occasionally overflowing bottleneck
+// queues.
+#pragma once
+
+#include <cstdint>
+
+#include "net/node.hpp"
+#include "rng/rng.hpp"
+
+namespace routesync::apps {
+
+struct BackgroundConfig {
+    net::NodeId dst = -1;
+    double mean_packets_per_second = 100.0;
+    std::uint32_t size_bytes = 512;
+    sim::SimTime stop_at = sim::SimTime::seconds(600);
+    std::uint64_t seed = 1;
+};
+
+/// Memoryless packet generator (exponential interarrivals).
+class BackgroundTraffic {
+public:
+    BackgroundTraffic(net::Host& host, const BackgroundConfig& config);
+
+    void start(sim::SimTime at);
+
+    [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+
+private:
+    void send_next();
+
+    net::Host& host_;
+    BackgroundConfig config_;
+    rng::DefaultEngine gen_;
+    std::uint64_t sent_ = 0;
+};
+
+} // namespace routesync::apps

@@ -1,0 +1,75 @@
+#include "apps/cbr.hpp"
+
+#include <stdexcept>
+
+namespace routesync::apps {
+
+CbrSource::CbrSource(net::Host& host, const CbrConfig& config)
+    : host_{host}, config_{config} {
+    if (config_.packets_per_second <= 0.0) {
+        throw std::invalid_argument{"CbrConfig: rate must be positive"};
+    }
+    if (config_.dst < 0) {
+        throw std::invalid_argument{"CbrConfig: destination required"};
+    }
+}
+
+void CbrSource::start(sim::SimTime at) {
+    host_.engine().schedule_at(at, [this] { send_next(); });
+}
+
+void CbrSource::send_next() {
+    auto& engine = host_.engine();
+    if (engine.now() >= config_.stop_at) {
+        return;
+    }
+    net::Packet p;
+    p.type = net::PacketType::Audio;
+    p.src = host_.id();
+    p.dst = config_.dst;
+    p.size_bytes = config_.size_bytes;
+    p.seq = sent_++;
+    p.sent_at = engine.now();
+    host_.send(std::move(p));
+    engine.schedule_after(sim::SimTime::seconds(1.0 / config_.packets_per_second),
+                          [this] { send_next(); });
+}
+
+AudioSink::AudioSink(net::Host& host, sim::SimTime spacing)
+    : host_{host}, spacing_{spacing} {
+    if (host_.on_packet) {
+        throw std::logic_error{"AudioSink: host packet upcall already claimed"};
+    }
+    host_.on_packet = [this](const net::Packet& p) {
+        if (p.type != net::PacketType::Audio) {
+            return;
+        }
+        const double now = host_.engine().now().sec();
+        if (p.seq > next_seq_) {
+            const std::uint64_t missing = p.seq - next_seq_;
+            lost_ += missing;
+            outages_.push_back(AudioOutage{
+                .start_sec = received_ == 0 ? 0.0 : last_arrival_sec_,
+                .duration_sec = static_cast<double>(missing) * spacing_.sec(),
+                .packets_lost = missing,
+            });
+        }
+        if (p.seq >= next_seq_) {
+            next_seq_ = p.seq + 1;
+            ++received_;
+            last_arrival_sec_ = now;
+        }
+    };
+}
+
+std::vector<AudioOutage> AudioSink::outages_longer_than(double min_duration_sec) const {
+    std::vector<AudioOutage> out;
+    for (const auto& o : outages_) {
+        if (o.duration_sec >= min_duration_sec) {
+            out.push_back(o);
+        }
+    }
+    return out;
+}
+
+} // namespace routesync::apps

@@ -1,0 +1,75 @@
+// Constant-bit-rate audio source and outage-detecting sink — the workload
+// behind the paper's Figure 3 (the December 1992 packet-video audiocast,
+// where tunneled multicast audio competed with synchronized RIP updates
+// and lost: 30-second-periodic loss spikes lasting seconds, 50-95 % loss
+// inside a spike, against a background of random single-packet blips).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node.hpp"
+
+namespace routesync::apps {
+
+struct CbrConfig {
+    net::NodeId dst = -1;
+    double packets_per_second = 50.0; ///< typical packet-audio rate
+    std::uint32_t size_bytes = 180;   ///< ~20 ms of PCM + headers
+    sim::SimTime stop_at = sim::SimTime::seconds(600);
+};
+
+/// Sends fixed-size packets at fixed spacing from a host.
+class CbrSource {
+public:
+    CbrSource(net::Host& host, const CbrConfig& config);
+
+    void start(sim::SimTime at);
+
+    [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+    [[nodiscard]] const CbrConfig& config() const noexcept { return config_; }
+
+private:
+    void send_next();
+
+    net::Host& host_;
+    CbrConfig config_;
+    std::uint64_t sent_ = 0;
+};
+
+/// One contiguous run of lost audio.
+struct AudioOutage {
+    double start_sec;    ///< when the last packet before the gap arrived
+    double duration_sec; ///< silence length (Figure 3's y-axis)
+    std::uint64_t packets_lost;
+};
+
+/// Receives the CBR stream and reconstructs the outage series from
+/// sequence-number gaps.
+class AudioSink {
+public:
+    /// `spacing` must match the source (1 / packets_per_second).
+    AudioSink(net::Host& host, sim::SimTime spacing);
+
+    [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+    [[nodiscard]] std::uint64_t lost() const noexcept { return lost_; }
+    /// All outages (>= 1 packet), in time order. Call after the run.
+    [[nodiscard]] const std::vector<AudioOutage>& outages() const noexcept {
+        return outages_;
+    }
+    /// Outages of at least `min_duration` — Figure 3's "larger loss
+    /// spikes" as opposed to the single-packet blips.
+    [[nodiscard]] std::vector<AudioOutage>
+    outages_longer_than(double min_duration_sec) const;
+
+private:
+    net::Host& host_;
+    sim::SimTime spacing_;
+    std::uint64_t received_ = 0;
+    std::uint64_t lost_ = 0;
+    std::uint64_t next_seq_ = 0;
+    double last_arrival_sec_ = 0.0;
+    std::vector<AudioOutage> outages_;
+};
+
+} // namespace routesync::apps

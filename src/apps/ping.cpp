@@ -1,0 +1,84 @@
+#include "apps/ping.hpp"
+
+#include <stdexcept>
+
+namespace routesync::apps {
+
+PingApp::PingApp(net::Host& host, const PingConfig& config)
+    : host_{host}, config_{config} {
+    if (config_.count < 1) {
+        throw std::invalid_argument{"PingConfig: count must be >= 1"};
+    }
+    if (config_.dst < 0) {
+        throw std::invalid_argument{"PingConfig: destination required"};
+    }
+    if (host_.on_packet) {
+        throw std::logic_error{"PingApp: host packet upcall already claimed"};
+    }
+    rtts_.assign(static_cast<std::size_t>(config_.count), -1.0);
+    send_times_.assign(static_cast<std::size_t>(config_.count), 0.0);
+
+    host_.on_packet = [this](const net::Packet& p) {
+        if (p.type != net::PacketType::PingReply) {
+            return;
+        }
+        const auto seq = static_cast<std::size_t>(p.seq);
+        if (seq >= rtts_.size() || rtts_[seq] >= 0.0) {
+            return; // unknown or duplicate
+        }
+        const double rtt =
+            host_.engine().now().sec() - send_times_[seq];
+        if (rtt <= config_.timeout.sec()) {
+            rtts_[seq] = rtt;
+            ++received_;
+        }
+    };
+}
+
+void PingApp::start(sim::SimTime at) {
+    host_.engine().schedule_at(at, [this] { send_next(); });
+}
+
+void PingApp::send_next() {
+    auto& engine = host_.engine();
+    net::Packet p;
+    p.type = net::PacketType::PingRequest;
+    p.src = host_.id();
+    p.dst = config_.dst;
+    p.size_bytes = config_.size_bytes;
+    p.seq = static_cast<std::uint64_t>(sent_);
+    p.sent_at = engine.now();
+    send_times_[static_cast<std::size_t>(sent_)] = engine.now().sec();
+    host_.send(std::move(p));
+    ++sent_;
+
+    if (sent_ < config_.count) {
+        engine.schedule_after(config_.interval, [this] { send_next(); });
+    } else {
+        engine.schedule_after(config_.timeout, [this] { finalize(); });
+    }
+}
+
+void PingApp::finalize() {
+    if (on_complete) {
+        on_complete();
+    }
+}
+
+std::vector<double> PingApp::rtts_with_losses_as(double lost_value) const {
+    std::vector<double> out = rtts_;
+    for (double& r : out) {
+        if (r < 0.0) {
+            r = lost_value;
+        }
+    }
+    return out;
+}
+
+double PingApp::loss_fraction() const noexcept {
+    return sent_ == 0 ? 0.0
+                      : static_cast<double>(sent_ - received_) /
+                            static_cast<double>(sent_);
+}
+
+} // namespace routesync::apps

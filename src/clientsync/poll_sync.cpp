@@ -1,0 +1,187 @@
+#include "clientsync/poll_sync.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace routesync::clientsync {
+namespace {
+
+struct Request {
+    int client;
+    std::uint64_t id;
+};
+
+class Simulation {
+public:
+    explicit Simulation(const ClientServerConfig& config)
+        : config_{config}, gen_{config.seed} {
+        if (config_.clients < 1 || config_.service_time_sec <= 0.0 ||
+            config_.poll_period_sec <= 0.0 || config_.timeout_sec <= 0.0 ||
+            config_.retry_delay_sec <= 0.0) {
+            throw std::invalid_argument{"ClientServerConfig: bad parameters"};
+        }
+        clients_.resize(static_cast<std::size_t>(config_.clients));
+    }
+
+    ClientServerResult run() {
+        engine_.schedule_at(sim::SimTime::seconds(config_.failure_at_sec),
+                            [this] { server_up_ = false; });
+        engine_.schedule_at(sim::SimTime::seconds(config_.recovery_at_sec),
+                            [this] { recover(); });
+        for (int c = 0; c < config_.clients; ++c) {
+            // Stagger the initial polls across one period (steady state).
+            engine_.schedule_at(
+                sim::SimTime::seconds(rng::uniform_real(
+                    gen_, 0.0, config_.poll_period_sec)),
+                [this, c] { poll(c); });
+        }
+        engine_.run_until(sim::SimTime::seconds(config_.horizon_sec));
+
+        result_.all_recovered = true;
+        double last = config_.recovery_at_sec;
+        for (const auto& client : clients_) {
+            if (client.first_success_after_recovery < 0) {
+                result_.all_recovered = false;
+            } else {
+                last = std::max(last, client.first_success_after_recovery);
+            }
+        }
+        result_.recovery_duration_sec =
+            result_.all_recovered ? last - config_.recovery_at_sec
+                                  : config_.horizon_sec - config_.recovery_at_sec;
+        return result_;
+    }
+
+private:
+    struct Client {
+        std::uint64_t current_request = 0; ///< id of the outstanding request
+        bool waiting = false;
+        bool dormant = false; ///< timed out against a dead server
+        double first_success_after_recovery = -1.0;
+    };
+
+    /// The server comes back and broadcasts its recovery: every dormant
+    /// client re-registers within [0, recovery_spread].
+    void recover() {
+        server_up_ = true;
+        for (int c = 0; c < config_.clients; ++c) {
+            auto& client = clients_[static_cast<std::size_t>(c)];
+            if (!client.dormant) {
+                continue;
+            }
+            client.dormant = false;
+            const double delay =
+                config_.recovery_spread_sec > 0.0
+                    ? rng::uniform_real(gen_, 0.0, config_.recovery_spread_sec)
+                    : 0.0;
+            engine_.schedule_after(sim::SimTime::seconds(delay),
+                                   [this, c] { poll(c); });
+        }
+    }
+
+    void poll(int c) {
+        auto& client = clients_[static_cast<std::size_t>(c)];
+        client.waiting = true;
+        client.current_request = next_request_id_++;
+        const std::uint64_t id = client.current_request;
+        send_to_server(Request{c, id});
+        engine_.schedule_after(sim::SimTime::seconds(config_.timeout_sec),
+                               [this, c, id] { timeout(c, id); });
+    }
+
+    void send_to_server(Request request) {
+        if (!server_up_) {
+            return; // lost; the client's timeout will fire
+        }
+        queue_.push_back(request);
+        result_.peak_queue =
+            std::max(result_.peak_queue, static_cast<double>(queue_.size()));
+        if (!serving_) {
+            serving_ = true;
+            engine_.schedule_after(
+                sim::SimTime::seconds(config_.service_time_sec),
+                [this] { service_done(); });
+        }
+    }
+
+    void service_done() {
+        if (!server_up_) {
+            // Failure wipes the server's queue and in-flight work.
+            queue_.clear();
+            serving_ = false;
+            return;
+        }
+        if (!queue_.empty()) {
+            const Request done = queue_.front();
+            queue_.pop_front();
+            ++result_.served;
+            respond(done);
+        }
+        if (!queue_.empty()) {
+            engine_.schedule_after(
+                sim::SimTime::seconds(config_.service_time_sec),
+                [this] { service_done(); });
+        } else {
+            serving_ = false;
+        }
+    }
+
+    void respond(const Request& request) {
+        auto& client = clients_[static_cast<std::size_t>(request.client)];
+        if (!client.waiting || client.current_request != request.id) {
+            ++result_.stale_served; // the client gave up on this request
+            return;
+        }
+        client.waiting = false;
+        const double now = engine_.now().sec();
+        if (now >= config_.recovery_at_sec &&
+            client.first_success_after_recovery < 0) {
+            client.first_success_after_recovery = now;
+        }
+        schedule_next_poll(request.client, config_.poll_period_sec,
+                           config_.poll_jitter_sec);
+    }
+
+    void timeout(int c, std::uint64_t id) {
+        auto& client = clients_[static_cast<std::size_t>(c)];
+        if (!client.waiting || client.current_request != id) {
+            return; // answered in time
+        }
+        client.waiting = false;
+        ++result_.timeouts;
+        if (!server_up_) {
+            client.dormant = true; // wait for the recovery broadcast
+            return;
+        }
+        const double jitter =
+            config_.randomized_retry ? 0.5 * config_.retry_delay_sec : 0.0;
+        schedule_next_poll(c, config_.retry_delay_sec, jitter);
+    }
+
+    void schedule_next_poll(int c, double base, double jitter) {
+        const double delay =
+            jitter > 0.0 ? rng::uniform_real(gen_, base - jitter, base + jitter)
+                         : base;
+        engine_.schedule_after(sim::SimTime::seconds(delay),
+                               [this, c] { poll(c); });
+    }
+
+    ClientServerConfig config_;
+    rng::DefaultEngine gen_;
+    sim::Engine engine_;
+    std::vector<Client> clients_;
+    std::deque<Request> queue_;
+    bool server_up_ = true;
+    bool serving_ = false;
+    std::uint64_t next_request_id_ = 1;
+    ClientServerResult result_;
+};
+
+} // namespace
+
+ClientServerResult run_client_server_experiment(const ClientServerConfig& config) {
+    Simulation sim{config};
+    return sim.run();
+}
+
+} // namespace routesync::clientsync

@@ -1,0 +1,66 @@
+// Client-server polling synchronization (paper Section 1, the Sprite
+// example [Ba92]): "in the Sprite operating system clients check with the
+// file server every 30 seconds; ... when the file server recovered after
+// a failure, or after a busy period, a number of clients would become
+// synchronized in their recovery procedures. Because the recovery
+// procedures involved synchronized timeouts, this synchronization
+// resulted in a substantial delay in the recovery procedure."
+//
+// Model: N clients poll a serial server. While the server is down,
+// requests silently vanish and clients retry on a timeout. At recovery,
+// every timed-out client fires again at essentially the same instant; the
+// server then burns its capacity on requests whose clients have already
+// timed out ("stale work"), and the synchronized retry waves stretch the
+// recovery far beyond the ideal N * service_time. Randomizing the retry
+// delay spreads the load and collapses the recovery time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace routesync::clientsync {
+
+struct ClientServerConfig {
+    int clients = 60;
+    double poll_period_sec = 30.0;
+    /// Poll-timer jitter (uniform +-). 0 = the pathological deterministic
+    /// schedule.
+    double poll_jitter_sec = 0.0;
+    double service_time_sec = 0.2;  ///< server time per request
+    double timeout_sec = 5.0;       ///< client gives up and retries
+    double retry_delay_sec = 5.0;   ///< base retry delay after a timeout
+    /// Retry after uniform [0.5, 1.5] * retry_delay instead of exactly
+    /// retry_delay — the paper's prescription applied to the backoff.
+    bool randomized_retry = false;
+    /// A client whose poll times out while the server is down goes dormant
+    /// and re-registers when the server's recovery broadcast arrives —
+    /// after a uniform delay in [0, recovery_spread_sec]. 0 reproduces the
+    /// Sprite pathology: every client re-registers at the same instant.
+    double recovery_spread_sec = 0.0;
+    double failure_at_sec = 100.0;
+    double recovery_at_sec = 160.0;
+    double horizon_sec = 600.0;
+    std::uint64_t seed = 1;
+};
+
+struct ClientServerResult {
+    /// Time from server recovery until every client has completed one
+    /// successful poll — the "recovery procedure" duration.
+    double recovery_duration_sec = 0.0;
+    /// Requests the server completed whose client had already timed out.
+    std::uint64_t stale_served = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t served = 0;
+    double peak_queue = 0.0;
+    bool all_recovered = false;
+};
+
+[[nodiscard]] ClientServerResult
+run_client_server_experiment(const ClientServerConfig& config);
+
+} // namespace routesync::clientsync

@@ -1,0 +1,142 @@
+#include "core/cluster_tracker.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace routesync::core {
+
+ClusterTracker::ClusterTracker(int n, sim::SimTime round_length, sim::SimTime tolerance)
+    : n_{n}, round_length_{round_length}, tolerance_{tolerance} {
+    if (n < 1) {
+        throw std::invalid_argument{"ClusterTracker: n must be >= 1"};
+    }
+    if (round_length <= sim::SimTime::zero()) {
+        throw std::invalid_argument{"ClusterTracker: round_length must be positive"};
+    }
+    if (tolerance < sim::SimTime::zero()) {
+        throw std::invalid_argument{"ClusterTracker: tolerance must be >= 0"};
+    }
+    first_up_.resize(static_cast<std::size_t>(n) + 1);
+    first_down_.resize(static_cast<std::size_t>(n) + 1);
+    rounds_at_most_.assign(static_cast<std::size_t>(n) + 1, 0);
+}
+
+void ClusterTracker::on_timer_set(int /*node*/, sim::SimTime t) {
+    assert(!finished_ && "tracker already finished");
+    if (group_open_ && t < group_last_) {
+        throw std::logic_error{"ClusterTracker: events out of order"};
+    }
+    if (group_open_ && t - group_last_ <= tolerance_) {
+        ++group_size_;
+        group_last_ = t;
+    } else {
+        if (group_open_) {
+            finalize_group();
+        }
+        group_open_ = true;
+        group_start_ = t;
+        group_last_ = t;
+        group_size_ = 1;
+        group_start_index_ = events_seen_;
+    }
+    ++events_seen_;
+
+    // Record the earliest time each cluster size was *reached*, live, so a
+    // run can be stopped the instant full synchronization occurs.
+    auto& first = first_up_[static_cast<std::size_t>(group_size_)];
+    if (!first.has_value()) {
+        first = group_start_;
+        if (on_size_first_reached) {
+            on_size_first_reached(group_size_, group_start_);
+        }
+        if (group_size_ == n_ && on_full_sync) {
+            on_full_sync(group_start_);
+        }
+    }
+}
+
+void ClusterTracker::finalize_group() {
+    const std::uint64_t round = group_start_index_ / static_cast<std::uint64_t>(n_);
+    if (round > current_round_) {
+        close_current_round();
+        current_round_ = round;
+        // A group that straddled the boundary counts towards this round too.
+        current_round_largest_ = spill_largest_;
+        spill_largest_ = 0;
+    }
+
+    if (record_events_) {
+        events_.push_back(ClusterEvent{group_start_, group_size_});
+    }
+    if (group_size_ > current_round_largest_) {
+        current_round_largest_ = group_size_;
+    }
+    const std::uint64_t last_index =
+        group_start_index_ + static_cast<std::uint64_t>(group_size_) - 1;
+    if (last_index / static_cast<std::uint64_t>(n_) > round &&
+        group_size_ > spill_largest_) {
+        spill_largest_ = group_size_;
+    }
+    round_end_time_ = group_last_;
+    group_open_ = false;
+    group_size_ = 0;
+}
+
+void ClusterTracker::close_current_round() {
+    if (current_round_largest_ == 0) {
+        return; // nothing observed (only possible before the first event)
+    }
+    const RoundLargest rec{current_round_, current_round_largest_, round_end_time_};
+    ++rounds_closed_;
+    for (int s = current_round_largest_; s <= n_; ++s) {
+        ++rounds_at_most_[static_cast<std::size_t>(s)];
+        auto& first = first_down_[static_cast<std::size_t>(s)];
+        if (!first.has_value()) {
+            first = round_end_time_;
+        }
+    }
+    if (record_rounds_) {
+        rounds_.push_back(rec);
+    }
+    if (on_round_closed) {
+        on_round_closed(rec);
+    }
+}
+
+void ClusterTracker::finish() {
+    if (finished_) {
+        return;
+    }
+    if (group_open_) {
+        finalize_group();
+    }
+    close_current_round();
+    finished_ = true;
+}
+
+std::optional<sim::SimTime> ClusterTracker::first_time_size_at_least(int s) const {
+    if (s < 1 || s > n_) {
+        throw std::out_of_range{"first_time_size_at_least: size outside [1, n]"};
+    }
+    // first_up_[k] is the first time size exactly k was reached while a
+    // group grew; a group of size m passes through every size <= m, so
+    // first_up_[s] already covers "at least s".
+    return first_up_[static_cast<std::size_t>(s)];
+}
+
+std::optional<sim::SimTime> ClusterTracker::first_round_largest_at_most(int s) const {
+    if (s < 1 || s > n_) {
+        throw std::out_of_range{"first_round_largest_at_most: size outside [1, n]"};
+    }
+    return first_down_[static_cast<std::size_t>(s)];
+}
+
+std::uint64_t ClusterTracker::rounds_with_largest_at_most(int s) const {
+    if (s < 1 || s > n_) {
+        throw std::out_of_range{"rounds_with_largest_at_most: size outside [1, n]"};
+    }
+    return rounds_at_most_[static_cast<std::size_t>(s)];
+}
+
+} // namespace routesync::core

@@ -1,0 +1,8 @@
+// Umbrella header for the Periodic Messages model — the paper's primary
+// contribution (Sections 3-4).
+#pragma once
+
+#include "core/cluster_tracker.hpp"    // IWYU pragma: export
+#include "core/experiment.hpp"         // IWYU pragma: export
+#include "core/periodic_messages.hpp"  // IWYU pragma: export
+#include "core/timer_policy.hpp"       // IWYU pragma: export

@@ -1,0 +1,95 @@
+#include "core/experiment.hpp"
+
+#include <utility>
+
+namespace routesync::core {
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+    sim::Engine engine;
+    auto policy = config.make_policy ? config.make_policy() : nullptr;
+    PeriodicMessagesModel model{engine, config.params, std::move(policy)};
+
+    ClusterTracker tracker{config.params.n, model.round_length()};
+    tracker.record_events(config.record_cluster_events);
+    tracker.record_rounds(config.record_rounds);
+
+    ExperimentResult result;
+    result.round_length_sec = model.round_length().sec();
+
+    if (config.transmit_stride > 0) {
+        model.on_transmit = [&, stride = config.transmit_stride,
+                             count = std::uint64_t{0}](int node,
+                                                       sim::SimTime t) mutable {
+            if (count++ % static_cast<std::uint64_t>(stride) == 0) {
+                result.transmits.push_back(
+                    TransmitRecord{node, t.sec(), model.offset_of(t).sec()});
+            }
+        };
+    }
+
+    model.on_timer_set = [&tracker](int node, sim::SimTime t) {
+        tracker.on_timer_set(node, t);
+    };
+
+    if (config.stop_on_full_sync) {
+        tracker.on_full_sync = [&engine](sim::SimTime) { engine.stop(); };
+    }
+    if (config.stop_on_cluster_size > 0) {
+        tracker.on_size_first_reached = [&engine, limit = config.stop_on_cluster_size](
+                                            int size, sim::SimTime) {
+            if (size >= limit) {
+                engine.stop();
+            }
+        };
+    }
+    if (config.stop_on_breakup_threshold > 0) {
+        tracker.on_round_closed = [&engine,
+                                   limit = config.stop_on_breakup_threshold](
+                                      const RoundLargest& r) {
+            if (r.largest <= limit) {
+                engine.stop();
+            }
+        };
+    }
+
+    if (config.trigger_all_at.has_value()) {
+        engine.schedule_at(*config.trigger_all_at,
+                           [&model] { model.trigger_update_all(); });
+    }
+
+    engine.run_until(config.max_time);
+    tracker.finish();
+
+    if (const auto t = tracker.full_sync_time()) {
+        result.full_sync_time_sec = t->sec();
+    }
+    if (config.stop_on_breakup_threshold > 0) {
+        if (const auto t =
+                tracker.first_round_largest_at_most(config.stop_on_breakup_threshold)) {
+            result.breakup_time_sec = t->sec();
+        }
+    }
+
+    const int n = config.params.n;
+    result.first_hit_up.resize(static_cast<std::size_t>(n) + 1);
+    result.first_hit_down.resize(static_cast<std::size_t>(n) + 1);
+    for (int s = 1; s <= n; ++s) {
+        if (const auto t = tracker.first_time_size_at_least(s)) {
+            result.first_hit_up[static_cast<std::size_t>(s)] = t->sec();
+        }
+        if (const auto t = tracker.first_round_largest_at_most(s)) {
+            result.first_hit_down[static_cast<std::size_t>(s)] = t->sec();
+        }
+    }
+
+    result.cluster_events = tracker.events();
+    result.rounds = tracker.rounds();
+    result.rounds_closed = tracker.rounds_closed();
+    result.rounds_unsynchronized = tracker.rounds_with_largest_at_most(1);
+    result.total_transmissions = model.total_transmissions();
+    result.events_processed = engine.events_processed();
+    result.end_time_sec = engine.now().sec();
+    return result;
+}
+
+} // namespace routesync::core

@@ -1,0 +1,74 @@
+// One-call experiment driver for the Periodic Messages model: builds the
+// engine, model, and cluster tracker, wires them together, applies stop
+// conditions, and returns a plain-data result. Every figure bench and most
+// tests go through this entry point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cluster_tracker.hpp"
+#include "core/periodic_messages.hpp"
+#include "core/timer_policy.hpp"
+#include "sim/sim.hpp"
+
+namespace routesync::core {
+
+/// One routing-message transmission (Figure 4's scatter points).
+struct TransmitRecord {
+    int node;
+    double time_sec;
+    double offset_sec; ///< time mod (Tp + Tc)
+};
+
+struct ExperimentConfig {
+    ModelParams params;
+    /// Hard stop; the run may end earlier via the stop_on_* conditions.
+    sim::SimTime max_time = sim::SimTime::seconds(1e5);
+    /// Stop the instant a cluster of size N forms.
+    bool stop_on_full_sync = false;
+    /// If > 0: stop the instant a cluster of at least this size forms
+    /// (e.g. 2 to measure the time to the first pairing — the Markov
+    /// model's f(2) calibration).
+    int stop_on_cluster_size = 0;
+    /// If > 0: stop once a closed round's largest cluster is <= this value
+    /// (e.g. 1 to stop at full breakup). 0 disables.
+    int stop_on_breakup_threshold = 0;
+    /// Record every `transmit_stride`-th transmission (0 disables).
+    int transmit_stride = 0;
+    /// Record individual cluster events (time, size).
+    bool record_cluster_events = false;
+    /// Record the per-round largest-cluster series.
+    bool record_rounds = false;
+    /// Optional replacement timer policy (overrides params.tp/tr jitter).
+    std::function<std::unique_ptr<TimerPolicy>()> make_policy;
+    /// If set, fire a triggered update on every node at this time.
+    std::optional<sim::SimTime> trigger_all_at;
+};
+
+struct ExperimentResult {
+    std::optional<double> full_sync_time_sec;
+    std::optional<double> breakup_time_sec; ///< vs stop_on_breakup_threshold
+    std::vector<TransmitRecord> transmits;
+    std::vector<ClusterEvent> cluster_events;
+    std::vector<RoundLargest> rounds;
+    /// [s] = first time (sec) a cluster of size >= s appeared, s in [1, N].
+    std::vector<std::optional<double>> first_hit_up;
+    /// [s] = end of first round whose largest cluster was <= s.
+    std::vector<std::optional<double>> first_hit_down;
+    std::uint64_t rounds_closed = 0;
+    /// Closed rounds whose largest cluster was 1 (fully unsynchronized).
+    std::uint64_t rounds_unsynchronized = 0;
+    std::uint64_t total_transmissions = 0;
+    std::uint64_t events_processed = 0;
+    double end_time_sec = 0.0;
+    double round_length_sec = 0.0;
+};
+
+/// Runs one Periodic Messages experiment to completion.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+} // namespace routesync::core

@@ -1,0 +1,204 @@
+#include "core/periodic_messages.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace routesync::core {
+
+PeriodicMessagesModel::PeriodicMessagesModel(sim::Engine& engine,
+                                             const ModelParams& params,
+                                             std::unique_ptr<TimerPolicy> policy)
+    : engine_{engine}, params_{params}, policy_{std::move(policy)}, gen_{params.seed} {
+    if (params_.n < 1) {
+        throw std::invalid_argument{"PeriodicMessagesModel: need at least one node"};
+    }
+    if (params_.tc < sim::SimTime::zero()) {
+        throw std::invalid_argument{"PeriodicMessagesModel: Tc must be >= 0"};
+    }
+    if (!policy_) {
+        policy_ = std::make_unique<UniformJitter>(params_.tp, params_.tr);
+    }
+    if (!params_.initial_phases.empty() &&
+        params_.initial_phases.size() != static_cast<std::size_t>(params_.n)) {
+        throw std::invalid_argument{
+            "PeriodicMessagesModel: initial_phases size must equal n"};
+    }
+    if (!params_.per_node_tp.empty() &&
+        params_.per_node_tp.size() != static_cast<std::size_t>(params_.n)) {
+        throw std::invalid_argument{
+            "PeriodicMessagesModel: per_node_tp size must equal n"};
+    }
+    if (!params_.per_node_tc.empty() &&
+        params_.per_node_tc.size() != static_cast<std::size_t>(params_.n)) {
+        throw std::invalid_argument{
+            "PeriodicMessagesModel: per_node_tc size must equal n"};
+    }
+    nodes_.resize(static_cast<std::size_t>(params_.n));
+
+    for (int i = 0; i < params_.n; ++i) {
+        sim::SimTime first;
+        if (!params_.initial_phases.empty()) {
+            first = sim::SimTime::seconds(
+                params_.initial_phases[static_cast<std::size_t>(i)]);
+        } else if (params_.start == StartCondition::Synchronized) {
+            first = sim::SimTime::zero();
+        } else {
+            first = sim::SimTime::seconds(
+                rng::uniform_real(gen_, 0.0, params_.tp.sec()));
+        }
+        schedule_timer(i, engine_.now() + first);
+    }
+}
+
+sim::SimTime PeriodicMessagesModel::round_length() const noexcept {
+    return policy_->mean_interval() + params_.tc;
+}
+
+sim::SimTime PeriodicMessagesModel::offset_of(sim::SimTime t) const noexcept {
+    return t.mod(round_length());
+}
+
+NodeView PeriodicMessagesModel::node(int i) const {
+    const auto& nd = nodes_.at(static_cast<std::size_t>(i));
+    const bool busy = nd.busy_end > engine_.now();
+    return NodeView{
+        .next_expiry = nd.timer_pending ? nd.next_expiry : sim::SimTime::infinity(),
+        .busy_until = nd.busy_end,
+        .busy = busy,
+        .transmissions = nd.transmissions,
+    };
+}
+
+sim::SimTime PeriodicMessagesModel::draw_interval(int i) {
+    if (!params_.per_node_tp.empty()) {
+        const double tp_i = params_.per_node_tp[static_cast<std::size_t>(i)];
+        return sim::SimTime::seconds(rng::uniform_real(
+            gen_, tp_i - params_.tr.sec(), tp_i + params_.tr.sec()));
+    }
+    return policy_->next_interval(gen_);
+}
+
+void PeriodicMessagesModel::schedule_timer(int i, sim::SimTime at) {
+    auto& nd = nodes_[static_cast<std::size_t>(i)];
+    assert(!nd.timer_pending && "node already has a pending timer");
+    nd.timer_event = engine_.schedule_at(at, [this, i] { timer_expired(i); });
+    nd.timer_pending = true;
+    nd.next_expiry = at;
+}
+
+void PeriodicMessagesModel::timer_expired(int i) {
+    nodes_[static_cast<std::size_t>(i)].timer_pending = false;
+    if (params_.reset_at_expiry) {
+        // RFC 1058 alternative: the clock is unaffected by processing time;
+        // re-arm right now rather than after the busy period. The "timer
+        // set" instant is therefore the expiry itself.
+        schedule_timer(i, engine_.now() + draw_interval(i));
+        if (on_timer_set) {
+            on_timer_set(i, engine_.now());
+        }
+    }
+    begin_transmission(i);
+}
+
+void PeriodicMessagesModel::begin_transmission(int i) {
+    const sim::SimTime now = engine_.now();
+    auto& nd = nodes_[static_cast<std::size_t>(i)];
+
+    ++nd.transmissions;
+    ++tx_count_;
+    if (on_transmit) {
+        on_transmit(i, now);
+    }
+
+    if (!params_.reset_at_expiry) {
+        ++nd.pending_own;
+    }
+    extend_busy(i, now);
+    if (!params_.reset_at_expiry && !nd.busy_check_scheduled) {
+        nd.busy_check_scheduled = true;
+        engine_.schedule_at(nd.busy_end, [this, i] { busy_check(i); });
+    }
+
+    if (params_.notification == Notification::Immediate) {
+        // Zero transmission time (Section 4): every other node starts
+        // processing this message immediately.
+        for (int j = 0; j < n(); ++j) {
+            if (j != i) {
+                extend_busy(j, now);
+            }
+        }
+    } else {
+        // Ablation: the message lands once the sender's Tc preparation is
+        // done.
+        engine_.schedule_after(params_.tc, [this, i] {
+            const sim::SimTime at = engine_.now();
+            for (int j = 0; j < n(); ++j) {
+                if (j != i) {
+                    extend_busy(j, at);
+                }
+            }
+        });
+    }
+}
+
+void PeriodicMessagesModel::extend_busy(int i, sim::SimTime t) {
+    auto& nd = nodes_[static_cast<std::size_t>(i)];
+    const sim::SimTime tc =
+        params_.per_node_tc.empty()
+            ? params_.tc
+            : sim::SimTime::seconds(params_.per_node_tc[static_cast<std::size_t>(i)]);
+    if (nd.busy_end > t) {
+        nd.busy_end += tc; // busy: processing queues behind current work
+    } else {
+        nd.busy_end = t + tc; // idle: fresh busy period
+    }
+}
+
+void PeriodicMessagesModel::busy_check(int i) {
+    auto& nd = nodes_[static_cast<std::size_t>(i)];
+    const sim::SimTime now = engine_.now();
+    if (nd.busy_end > now) {
+        // The busy period was extended after this check was scheduled;
+        // re-arm at the new end (lazy revalidation).
+        engine_.schedule_at(nd.busy_end, [this, i] { busy_check(i); });
+        return;
+    }
+    nd.busy_check_scheduled = false;
+    if (nd.pending_own > 0) {
+        // Step 3: the busy period that contained our own transmission is
+        // over; set the timer now. Several own transmissions inside one
+        // busy period (possible only with triggered updates) still re-arm
+        // a single timer.
+        nd.pending_own = 0;
+        schedule_timer(i, now + draw_interval(i));
+        if (on_timer_set) {
+            on_timer_set(i, now);
+        }
+    }
+}
+
+void PeriodicMessagesModel::trigger_update(std::span<const int> to_fire) {
+    for (const int i : to_fire) {
+        auto& nd = nodes_.at(static_cast<std::size_t>(i));
+        if (!params_.reset_at_expiry && nd.timer_pending) {
+            // Step 4: go to step 1 without waiting for the timer; the timer
+            // is re-armed when the busy period completes. Under
+            // reset-at-expiry semantics triggered updates leave the clock
+            // alone (routers "don't reset their timers after triggered
+            // updates").
+            engine_.cancel(nd.timer_event);
+            nd.timer_pending = false;
+        }
+        begin_transmission(i); // re-arms the busy check as needed
+    }
+}
+
+void PeriodicMessagesModel::trigger_update_all() {
+    std::vector<int> all(static_cast<std::size_t>(n()));
+    for (int i = 0; i < n(); ++i) {
+        all[static_cast<std::size_t>(i)] = i;
+    }
+    trigger_update(all);
+}
+
+} // namespace routesync::core

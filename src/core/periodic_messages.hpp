@@ -1,0 +1,180 @@
+// The Periodic Messages model (paper Section 3), as an exact event-driven
+// simulation.
+//
+// N routers each run the four-step loop of the paper:
+//   1. prepare and send a routing message (takes Tc seconds);
+//   2. process any routing message that arrives during that busy period
+//      (each one extends the busy period by Tc);
+//   3. only after finishing 1 and 2, reset the timer to a value drawn from
+//      [Tp - Tr, Tp + Tr];
+//   4. a message arriving while idle is processed immediately (Tc busy
+//      time) without touching the timer — unless it is a *triggered*
+//      update, which sends the router back to step 1.
+//
+// Step 3 is the weak coupling: a router whose timer expires inside another
+// router's update window finishes its busy period at the *same instant* as
+// that router, so the two set their timers together — a cluster. Clusters
+// have longer effective periods (Tp + i*Tc - Tr*(i-1)/(i+1) on average)
+// than lone routers, sweep forward through phase space, absorb the lone
+// routers they collide with, and — if Tr is small — grow until the whole
+// network transmits in lockstep.
+//
+// Modeling assumptions carried over verbatim from Section 4:
+//   * transmission time is zero: all other nodes start processing a
+//     message at the instant the sender's timer expires;
+//   * every node hears every message (single broadcast network);
+//   * processing any message costs exactly Tc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/timer_policy.hpp"
+#include "rng/rng.hpp"
+#include "sim/sim.hpp"
+
+namespace routesync::core {
+
+/// When the other routers learn that a router is sending an update.
+enum class Notification {
+    /// The paper's Section 4 assumption: all other nodes start processing
+    /// the instant the sender's timer expires ("a network in which a
+    /// router's routing message consists of several packets transmitted
+    /// over a Tc-second period").
+    Immediate,
+    /// Ablation: the message reaches the others only after the sender's
+    /// own Tc preparation completes (a single packet sent at the end).
+    /// This weakens the coupling — receivers' busy periods no longer end
+    /// at the same instant as the sender's — and the synchronization
+    /// behaviour changes qualitatively (see bench/ablation_notification).
+    AfterPreparation,
+};
+
+/// How the first round of timer expirations is laid out.
+enum class StartCondition {
+    /// First expiry of each node uniform on [0, Tp) — "initially
+    /// unsynchronized" (paper Figures 4-7).
+    Unsynchronized,
+    /// All first expirations at t = 0 — "initially synchronized", the state
+    /// triggered updates or a simultaneous restart produce (Figure 8).
+    Synchronized,
+};
+
+struct ModelParams {
+    /// Number of routing nodes on the network (paper: N = 20).
+    int n = 20;
+    /// Constant component of the periodic timer (paper: 121 s).
+    sim::SimTime tp = sim::SimTime::seconds(121.0);
+    /// Magnitude of the random component: timer ~ U[Tp-Tr, Tp+Tr]
+    /// (paper baseline: 0.11 s... varied throughout).
+    sim::SimTime tr = sim::SimTime::seconds(0.11);
+    /// Seconds of computation to process one incoming or outgoing routing
+    /// message (paper: 0.11 s = 0.1 s compute + 0.01 s transmit).
+    sim::SimTime tc = sim::SimTime::seconds(0.11);
+    StartCondition start = StartCondition::Unsynchronized;
+    /// If non-empty (size must equal n), overrides `start`: node i's first
+    /// timer expires at initial_phases[i] seconds. Lets tests and the
+    /// Figure 5 close-up place routers deterministically.
+    std::vector<double> initial_phases;
+    /// If non-empty (size must equal n), node i draws its timer from
+    /// [per_node_tp[i] - Tr, per_node_tp[i] + Tr] instead of the shared
+    /// Tp (a custom policy, if any, is ignored). This implements the
+    /// Section 6 proposal the paper leaves open — "set the routing update
+    /// interval at each router to a different random value. The
+    /// consequences of having a slightly-different fixed period for each
+    /// router would require further investigation" — investigated in
+    /// bench/ext_distinct_periods.
+    std::vector<double> per_node_tp;
+    /// If non-empty (size must equal n), node i spends per_node_tc[i]
+    /// seconds per message instead of the shared Tc (its own preparation
+    /// and every message it receives). Models mixed hardware: slow and
+    /// fast route processors on one network. See
+    /// bench/ext_heterogeneous_cpu for the emergent per-class clustering.
+    std::vector<double> per_node_tc;
+    std::uint64_t seed = 1;
+    /// RFC 1058 alternative: reset the timer at the moment it expires
+    /// (clock unaffected by processing time) instead of after the busy
+    /// period. Disables the synchronization mechanism of the model.
+    bool reset_at_expiry = false;
+    /// See Notification; the paper's model uses Immediate.
+    Notification notification = Notification::Immediate;
+};
+
+/// One router's externally visible state.
+struct NodeView {
+    sim::SimTime next_expiry;  ///< pending timer expiration (infinity if none)
+    sim::SimTime busy_until;   ///< end of current busy period (past => idle)
+    bool busy;
+    std::uint64_t transmissions;
+};
+
+class PeriodicMessagesModel {
+public:
+    /// Constructs the model on an externally owned engine. A custom timer
+    /// policy may replace the U[Tp-Tr, Tp+Tr] default (`params.tr` is then
+    /// ignored). Initial expirations are scheduled immediately.
+    PeriodicMessagesModel(sim::Engine& engine, const ModelParams& params,
+                          std::unique_ptr<TimerPolicy> policy = nullptr);
+
+    PeriodicMessagesModel(const PeriodicMessagesModel&) = delete;
+    PeriodicMessagesModel& operator=(const PeriodicMessagesModel&) = delete;
+
+    /// Fires when a node's timer expires and it begins transmitting.
+    std::function<void(int node, sim::SimTime t)> on_transmit;
+    /// Fires when a node completes its busy period and re-arms its timer —
+    /// the "timer set" instant that defines cluster membership.
+    std::function<void(int node, sim::SimTime t)> on_timer_set;
+
+    /// Injects a triggered update at the current simulation time: each
+    /// listed node immediately goes to step 1 (its pending timer is
+    /// cancelled and re-armed after the busy period completes). Models the
+    /// wave of triggered updates a topology change produces.
+    void trigger_update(std::span<const int> nodes);
+    /// Triggered update on every node.
+    void trigger_update_all();
+
+    [[nodiscard]] int n() const noexcept { return static_cast<int>(nodes_.size()); }
+    [[nodiscard]] const ModelParams& params() const noexcept { return params_; }
+    /// Mean spacing between a lone router's messages, Tp + Tc — the round
+    /// length used for phase offsets (paper Figure 4's y-axis modulus).
+    [[nodiscard]] sim::SimTime round_length() const noexcept;
+    [[nodiscard]] NodeView node(int i) const;
+    [[nodiscard]] std::uint64_t total_transmissions() const noexcept { return tx_count_; }
+
+    /// Phase offset of time `t` within the round, t mod (Tp + Tc).
+    [[nodiscard]] sim::SimTime offset_of(sim::SimTime t) const noexcept;
+
+private:
+    struct Node {
+        sim::SimTime busy_end = -sim::SimTime::seconds(1.0); // in the past => idle
+        sim::SimTime next_expiry = sim::SimTime::infinity();
+        int pending_own = 0;        // own transmissions awaiting timer re-arm
+        bool busy_check_scheduled = false;
+        sim::EventHandle timer_event{};
+        bool timer_pending = false;
+        std::uint64_t transmissions = 0;
+    };
+
+    /// Node i's next timer interval (per-node period if configured,
+    /// otherwise the policy).
+    [[nodiscard]] sim::SimTime draw_interval(int i);
+    void schedule_timer(int i, sim::SimTime at);
+    void timer_expired(int i);
+    void begin_transmission(int i); // steps 1-2 entry, shared with triggers
+    /// Starts or extends node i's busy period by Tc at time `t`.
+    void extend_busy(int i, sim::SimTime t);
+    void busy_check(int i);
+
+    sim::Engine& engine_;
+    ModelParams params_;
+    std::unique_ptr<TimerPolicy> policy_;
+    rng::DefaultEngine gen_;
+    std::vector<Node> nodes_;
+    std::uint64_t tx_count_ = 0;
+};
+
+} // namespace routesync::core

@@ -1,0 +1,44 @@
+#include "markov/f2_estimator.hpp"
+
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+
+namespace routesync::markov {
+
+F2Estimate estimate_f2(const ChainParams& params, int reps, std::uint64_t seed,
+                       double max_rounds_per_rep) {
+    if (reps < 1) {
+        throw std::invalid_argument{"estimate_f2: need at least one repetition"};
+    }
+    const double round_sec = params.tp_sec + params.tc_sec;
+
+    F2Estimate out;
+    double total_rounds = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        core::ExperimentConfig config;
+        config.params.n = params.n;
+        config.params.tp = sim::SimTime::seconds(params.tp_sec);
+        config.params.tr = sim::SimTime::seconds(params.tr_sec);
+        config.params.tc = sim::SimTime::seconds(params.tc_sec);
+        config.params.start = core::StartCondition::Unsynchronized;
+        config.params.seed = seed + static_cast<std::uint64_t>(rep);
+        config.max_time = sim::SimTime::seconds(max_rounds_per_rep * round_sec);
+        config.stop_on_cluster_size = 2;
+
+        const auto result = core::run_experiment(config);
+        const auto& hit = result.first_hit_up[2];
+        if (hit.has_value()) {
+            total_rounds += *hit / round_sec;
+            ++out.completed;
+        } else {
+            total_rounds += max_rounds_per_rep;
+            ++out.censored;
+        }
+    }
+    out.mean_rounds = total_rounds / static_cast<double>(reps);
+    out.mean_seconds = out.mean_rounds * round_sec;
+    return out;
+}
+
+} // namespace routesync::markov

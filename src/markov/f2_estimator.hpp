@@ -1,0 +1,36 @@
+// Monte-Carlo calibration of f(2) — the expected number of rounds for the
+// first pair of routers to synchronize, starting unsynchronized.
+//
+// The paper: "This value for f(2) is based both on simulations and on an
+// approximate analysis that is not given here." Pair formation is driven
+// by diffusion of lone-node phases, which the chain's drift argument
+// cannot produce, so f(2) enters the Markov model as a measured input.
+// This estimator measures it the way the paper did: repeated Periodic
+// Messages runs stopped at the first size-2 cluster.
+#pragma once
+
+#include <cstdint>
+
+#include "markov/fj_chain.hpp"
+#include "sim/time.hpp"
+
+namespace routesync::markov {
+
+struct F2Estimate {
+    double mean_rounds = 0.0;
+    double mean_seconds = 0.0;
+    /// Repetitions that formed a pair before the per-rep time cap.
+    int completed = 0;
+    /// Repetitions that hit the cap (their cap time is included in the
+    /// mean, so the estimate is a lower bound when this is nonzero).
+    int censored = 0;
+};
+
+/// Estimates f(2) for the chain's parameters by simulation. `reps`
+/// independent runs (seeds seed, seed+1, ...), each capped at
+/// `max_rounds_per_rep` rounds.
+[[nodiscard]] F2Estimate estimate_f2(const ChainParams& params, int reps,
+                                     std::uint64_t seed = 1,
+                                     double max_rounds_per_rep = 1e6);
+
+} // namespace routesync::markov

@@ -1,0 +1,318 @@
+#include "markov/fj_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace routesync::markov {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+FJChain::FJChain(const ChainParams& params) : params_{params} {
+    if (params_.n < 2) {
+        throw std::invalid_argument{"FJChain: need at least two states"};
+    }
+    if (params_.tp_sec <= 0 || params_.tc_sec < 0 || params_.tr_sec < 0) {
+        throw std::invalid_argument{"FJChain: invalid timing parameters"};
+    }
+    if (params_.f2_rounds < 0.0) {
+        throw std::invalid_argument{"FJChain: f2 must be non-negative"};
+    }
+}
+
+double f2_diffusion_estimate(int n, double tp_sec, double tr_sec) {
+    if (n < 2 || tp_sec <= 0.0 || tr_sec <= 0.0) {
+        return 1.0;
+    }
+    const double gap = tp_sec / (static_cast<double>(n) * static_cast<double>(n));
+    // Calibration: 19 rounds at gap = 121/400, Tr = 0.1.
+    const double kCalibration = 19.0 * 0.1 * 0.1 / ((121.0 / 400.0) * (121.0 / 400.0));
+    const double f2 = kCalibration * gap * gap / (tr_sec * tr_sec);
+    return f2 < 1.0 ? 1.0 : f2;
+}
+
+double FJChain::p_down(int i) const {
+    if (i < 2 || i > params_.n) {
+        return 0.0;
+    }
+    // A cluster can only shed its head if the spread of timer draws (2*Tr)
+    // exceeds the processing window Tc.
+    if (2.0 * params_.tr_sec <= params_.tc_sec) {
+        return 0.0;
+    }
+    // P(first spacing of i i.i.d. uniforms on a width-2Tr window exceeds
+    // Tc) = (1 - Tc/(2Tr))^i  [Feller vol. II; the head node must finish
+    // its Tc busy period before any of the other timers fire]. With this
+    // exponent the analysis reproduces the paper's Figure 10 scale
+    // (f(20)*(Tp+Tc) ~ 5e5 s at Tr = 0.1, f(2) = 19).
+    const double base = 1.0 - params_.tc_sec / (2.0 * params_.tr_sec);
+    return std::pow(base, i);
+}
+
+double FJChain::drift_seconds(int i) const {
+    return static_cast<double>(i - 1) * params_.tc_sec -
+           params_.tr_sec * static_cast<double>(i - 1) / static_cast<double>(i + 1);
+}
+
+double FJChain::p_up(int i) const {
+    if (i == 1) {
+        // Pair formation is diffusion-driven; the model folds it into the
+        // f(2) calibration: a geometric step with mean f2 rounds (at most
+        // one step per round).
+        return params_.f2_rounds <= 1.0 ? 1.0 : 1.0 / params_.f2_rounds;
+    }
+    if (i < 1 || i >= params_.n) {
+        return 0.0;
+    }
+    const double drift = drift_seconds(i);
+    if (drift <= 0.0) {
+        return 0.0; // cluster drifts backward relative to lone nodes
+    }
+    const double rate = static_cast<double>(params_.n - i + 1) / params_.tp_sec;
+    return 1.0 - std::exp(-rate * drift);
+}
+
+double FJChain::t_up(int j) const {
+    const double up = p_up(j);
+    if (up == 0.0) {
+        return 0.0;
+    }
+    const double move = p_down(j) + up;
+    return up / (move * move);
+}
+
+double FJChain::t_down(int j) const {
+    const double down = p_down(j);
+    if (down == 0.0) {
+        return 0.0;
+    }
+    const double move = down + p_up(j);
+    return down / (move * move);
+}
+
+std::vector<double> FJChain::f_rounds() const {
+    const int n = params_.n;
+    std::vector<double> f(static_cast<std::size_t>(n) + 1, 0.0);
+    // Delta(i) = f(i) - f(i-1) satisfies
+    //   Delta(i) = (p_down(i-1)/p_up(i-1)) * Delta(i-1) + c(i),
+    //   c(i) = t_up(i-1) + (p_down(i-1)/p_up(i-1)) * t_down(i-1),
+    // with Delta(2) = f(2). (This is Eq. 3 rearranged into first-order
+    // form; the paper's Eq. 4 is its unrolled sum.)
+    double delta = params_.f2_rounds;
+    f[2] = delta;
+    for (int i = 3; i <= n; ++i) {
+        const double q = p_up(i - 1);
+        if (q == 0.0) {
+            // The ladder is cut: states >= i are unreachable by drift.
+            for (int j = i; j <= n; ++j) {
+                f[static_cast<std::size_t>(j)] = kInf;
+            }
+            return f;
+        }
+        const double ratio = p_down(i - 1) / q;
+        const double c = t_up(i - 1) + ratio * t_down(i - 1);
+        if (std::isinf(delta)) {
+            // ratio == 0 (Tr <= Tc/2) severs the dependence on lower rungs.
+            delta = ratio > 0.0 ? kInf : c;
+        } else {
+            delta = ratio * delta + c;
+        }
+        f[static_cast<std::size_t>(i)] =
+            f[static_cast<std::size_t>(i - 1)] + delta;
+    }
+    return f;
+}
+
+std::vector<double> FJChain::g_rounds() const {
+    const int n = params_.n;
+    std::vector<double> g(static_cast<std::size_t>(n) + 1, 0.0);
+    // e(i) = g(i) - g(i+1) satisfies
+    //   e(i) = (p_up(i+1)/p_down(i+1)) * e(i+1) + d(i),
+    //   d(i) = t_down(i+1) + (p_up(i+1)/p_down(i+1)) * t_up(i+1),
+    // with e(N-1) = d(N-1) = 1/p_down(N) (from N the only move is down).
+    double e = 0.0;
+    for (int i = n - 1; i >= 1; --i) {
+        const double q = p_down(i + 1);
+        if (q == 0.0) {
+            // Clusters of size i+1 never shed members: states <= i are
+            // unreachable from above.
+            for (int j = i; j >= 1; --j) {
+                g[static_cast<std::size_t>(j)] = kInf;
+            }
+            return g;
+        }
+        const double ratio = p_up(i + 1) / q;
+        const double d = t_down(i + 1) + ratio * t_up(i + 1);
+        if (std::isinf(e)) {
+            // ratio == 0 (no up-move from i+1) severs the dependence on
+            // higher rungs.
+            e = ratio > 0.0 ? kInf : d;
+        } else {
+            e = ratio * e + d;
+        }
+        g[static_cast<std::size_t>(i)] = g[static_cast<std::size_t>(i + 1)] + e;
+    }
+    return g;
+}
+
+std::vector<double> FJChain::f_rounds_closed_form() const {
+    const int n = params_.n;
+    std::vector<double> f(static_cast<std::size_t>(n) + 1, 0.0);
+    f[2] = params_.f2_rounds;
+    for (int i = 3; i <= n; ++i) {
+        // Delta(i) = sum_{k=2}^{i} (prod_{m=k+1}^{i} r(m)) * c(k),
+        // r(m) = p_down(m-1)/p_up(m-1), c(2) = f(2).
+        double delta = 0.0;
+        for (int k = 2; k <= i; ++k) {
+            double term = k == 2 ? params_.f2_rounds
+                                 : t_up(k - 1) + (p_up(k - 1) > 0.0
+                                                      ? p_down(k - 1) / p_up(k - 1) *
+                                                            t_down(k - 1)
+                                                      : kInf);
+            for (int m = k + 1; m <= i && !std::isinf(term); ++m) {
+                const double q = p_up(m - 1);
+                term = q > 0.0 ? term * (p_down(m - 1) / q) : kInf;
+            }
+            delta += term;
+        }
+        f[static_cast<std::size_t>(i)] = f[static_cast<std::size_t>(i - 1)] + delta;
+        if (std::isinf(delta)) {
+            for (int j = i; j <= n; ++j) {
+                f[static_cast<std::size_t>(j)] = kInf;
+            }
+            return f;
+        }
+    }
+    return f;
+}
+
+std::vector<double> FJChain::g_rounds_closed_form() const {
+    const int n = params_.n;
+    std::vector<double> g(static_cast<std::size_t>(n) + 1, 0.0);
+    for (int i = n - 1; i >= 1; --i) {
+        // e(i) = sum_{k=i}^{N-1} (prod_{m=i}^{k-1} s(m)) * d(k),
+        // s(m) = p_up(m+1)/p_down(m+1).
+        double e = 0.0;
+        for (int k = i; k <= n - 1; ++k) {
+            const double qk = p_down(k + 1);
+            double term = qk > 0.0
+                              ? t_down(k + 1) + p_up(k + 1) / qk * t_up(k + 1)
+                              : kInf;
+            for (int m = i; m <= k - 1 && !std::isinf(term); ++m) {
+                const double qm = p_down(m + 1);
+                term = qm > 0.0 ? term * (p_up(m + 1) / qm) : kInf;
+            }
+            e += term;
+        }
+        g[static_cast<std::size_t>(i)] = g[static_cast<std::size_t>(i + 1)] + e;
+        if (std::isinf(e)) {
+            for (int j = i; j >= 1; --j) {
+                g[static_cast<std::size_t>(j)] = kInf;
+            }
+            return g;
+        }
+    }
+    return g;
+}
+
+double FJChain::time_to_synchronize_seconds() const {
+    return f_rounds()[static_cast<std::size_t>(params_.n)] * round_seconds();
+}
+
+double FJChain::time_to_break_up_seconds() const {
+    return g_rounds()[1] * round_seconds();
+}
+
+double FJChain::fraction_unsynchronized() const {
+    const double fn = f_rounds()[static_cast<std::size_t>(params_.n)];
+    const double g1 = g_rounds()[1];
+    if (std::isinf(fn) && std::isinf(g1)) {
+        return 0.5; // both hitting times diverge; the estimate is undefined
+    }
+    if (std::isinf(fn)) {
+        return 1.0;
+    }
+    if (std::isinf(g1)) {
+        return 0.0;
+    }
+    return fn / (fn + g1);
+}
+
+std::vector<double> FJChain::occupancy_after(std::uint64_t rounds,
+                                             int start_state) const {
+    const int n = params_.n;
+    if (start_state < 1 || start_state > n) {
+        throw std::out_of_range{"occupancy_after: start_state outside [1, N]"};
+    }
+    std::vector<double> cur(static_cast<std::size_t>(n) + 1, 0.0);
+    std::vector<double> next(static_cast<std::size_t>(n) + 1, 0.0);
+    cur[static_cast<std::size_t>(start_state)] = 1.0;
+    for (std::uint64_t step = 0; step < rounds; ++step) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (int i = 1; i <= n; ++i) {
+            const double mass = cur[static_cast<std::size_t>(i)];
+            if (mass == 0.0) {
+                continue;
+            }
+            const double up = p_up(i);
+            const double down = p_down(i);
+            next[static_cast<std::size_t>(i)] += mass * (1.0 - up - down);
+            if (i < n) {
+                next[static_cast<std::size_t>(i + 1)] += mass * up;
+            }
+            if (i > 1) {
+                next[static_cast<std::size_t>(i - 1)] += mass * down;
+            }
+        }
+        std::swap(cur, next);
+    }
+    return cur;
+}
+
+std::vector<double> FJChain::stationary_distribution() const {
+    const int n = params_.n;
+    std::vector<double> w(static_cast<std::size_t>(n) + 1, 0.0);
+    w[1] = 1.0;
+    for (int i = 1; i < n; ++i) {
+        const double up = p_up(i);
+        if (up == 0.0) {
+            break; // higher states unreachable; they carry no mass
+        }
+        const double down = p_down(i + 1);
+        if (down == 0.0) {
+            // Once entered, state i+1 (and above) is never left downward:
+            // everything below is transient.
+            for (int j = 1; j <= i; ++j) {
+                w[static_cast<std::size_t>(j)] = 0.0;
+            }
+            w[static_cast<std::size_t>(i + 1)] = 1.0;
+            continue;
+        }
+        w[static_cast<std::size_t>(i + 1)] =
+            w[static_cast<std::size_t>(i)] * up / down;
+    }
+    double total = 0.0;
+    for (const double x : w) {
+        total += x;
+    }
+    for (double& x : w) {
+        x /= total;
+    }
+    return w;
+}
+
+double FJChain::mean_stationary_cluster_size() const {
+    const auto pi = stationary_distribution();
+    double mean = 0.0;
+    for (int i = 1; i <= params_.n; ++i) {
+        mean += static_cast<double>(i) * pi[static_cast<std::size_t>(i)];
+    }
+    return mean;
+}
+
+} // namespace routesync::markov

@@ -1,0 +1,135 @@
+// The paper's Markov chain model (Section 5).
+//
+// State i = size of the largest cluster in the current round, i in [1, N].
+// Transitions move at most one state per round:
+//
+//   p(i, i-1) = (1 - Tc / (2 Tr))^i                           (Eq. 1)
+//       — the head of the cluster breaks away: the first of i timers
+//         (i.i.d. uniform over a 2*Tr window) fires more than Tc before
+//         the second; the first-spacing law of i uniforms gives the
+//         exponent i. Requires Tr > Tc/2; otherwise clusters never break.
+//
+//   p(i, i+1) = 1 - exp(-((N-i+1)/Tp) * ((i-1)Tc - Tr (i-1)/(i+1)))
+//                                          for 2 <= i <= N-1  (Eq. 2)
+//       — the cluster's phase advances (i-1)Tc - Tr(i-1)/(i+1) per round
+//         relative to a lone node, and the gap to the next lone node is
+//         exponential with mean Tp/(N-i+1). Clamped to 0 when the drift
+//         is negative (large Tr): the deterministic-drift model then gives
+//         the cluster no way to catch its neighbour.
+//
+//   p(1, 2) is *not* given by the drift argument (a lone cluster has zero
+//   drift); the paper leaves it — equivalently f(2), the expected number
+//   of rounds to form the first pair — as an input, calibrated from
+//   simulation (f(2) = 19 rounds at the canonical parameters) or via
+//   estimate_f2() in f2_estimator.hpp.
+//
+// From the transition probabilities the chain yields:
+//   f(i) — expected rounds from state 1 to first reach state i (Eq. 3/4),
+//   g(i) — expected rounds from state N to first reach state i (Eq. 5/6),
+//   t(j, j±1) — expected rounds spent at j before the *given* move,
+//       t(j,j+1) = p(j,j+1) / (p(j,j-1) + p(j,j+1))^2,
+//   and the equilibrium estimate f(N) / (f(N) + g(1)) — the fraction of
+//   time the system is unsynchronized (Figures 12-15).
+//
+// Infinities are meaningful results here, not errors: p_up = 0 at some
+// rung makes every higher f(i) +infinity ("the system will almost
+// certainly stay unsynchronized"), and Tr <= Tc/2 makes every g(i), i < N,
+// +infinity ("synchronization never breaks up").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace routesync::markov {
+
+struct ChainParams {
+    int n = 20;
+    double tp_sec = 121.0;
+    double tr_sec = 0.11;
+    double tc_sec = 0.11;
+    /// Expected rounds from state 1 to state 2 (the f(2) calibration).
+    /// The paper uses 19 rounds for {N=20, Tp=121, Tc=0.11, Tr=0.1}; it
+    /// also evaluates the closed form with f(2) set to 0 (Figure 12's
+    /// dotted line), which this field permits.
+    double f2_rounds = 19.0;
+};
+
+/// Approximate analysis of f(2) (the paper leaves its version unpublished):
+/// pair formation is the diffusion first passage of the minimum initial
+/// gap between N uniform phases (~Tp/N^2) under a per-round relative
+/// jitter variance of 2*Tr^2/3, giving f2 ~ (Tp/N^2)^2 / Tr^2 with the
+/// constant calibrated to the paper's f(2) = 19 at {N=20, Tp=121, Tr=0.1}.
+/// Clamped to at least 1 round.
+[[nodiscard]] double f2_diffusion_estimate(int n, double tp_sec, double tr_sec);
+
+class FJChain {
+public:
+    explicit FJChain(const ChainParams& params);
+
+    [[nodiscard]] const ChainParams& params() const noexcept { return params_; }
+
+    /// Seconds per round, Tp + Tc (the paper converts rounds to time as
+    /// (Tp + Tc) * rounds).
+    [[nodiscard]] double round_seconds() const noexcept {
+        return params_.tp_sec + params_.tc_sec;
+    }
+
+    /// Eq. 1. Valid for i in [2, N]; p(1, 0) is 0 by convention.
+    [[nodiscard]] double p_down(int i) const;
+    /// Eq. 2 for i in [2, N-1]; p(N, N+1) = 0. p_up(1) is the pair-formation
+    /// probability implied by f2_rounds (1 / f2).
+    [[nodiscard]] double p_up(int i) const;
+    /// Per-round drift of a size-i cluster relative to a lone node (sec):
+    /// (i-1)*Tc - Tr*(i-1)/(i+1). Negative => p_up clamps to 0.
+    [[nodiscard]] double drift_seconds(int i) const;
+
+    /// Expected rounds at state j before moving to j+1, given that the
+    /// next move is up. 0 when the up-move is impossible.
+    [[nodiscard]] double t_up(int j) const;
+    /// Expected rounds at state j before moving to j-1, given down.
+    [[nodiscard]] double t_down(int j) const;
+
+    /// f(i), i in [1, N] (index 0 unused): expected rounds, from state 1,
+    /// to first reach state i. May contain +infinity.
+    [[nodiscard]] std::vector<double> f_rounds() const;
+    /// g(i): expected rounds, from state N, to first reach state i.
+    [[nodiscard]] std::vector<double> g_rounds() const;
+
+    /// Closed-form evaluations (the paper's Eq. 4 / Eq. 6, reorganized as
+    /// explicit ratio-product sums). Mathematically identical to the
+    /// recursions; kept as an independent numerical cross-check.
+    [[nodiscard]] std::vector<double> f_rounds_closed_form() const;
+    [[nodiscard]] std::vector<double> g_rounds_closed_form() const;
+
+    /// f(N) and g(1) in seconds.
+    [[nodiscard]] double time_to_synchronize_seconds() const;
+    [[nodiscard]] double time_to_break_up_seconds() const;
+
+    /// Equilibrium estimate f(N) / (f(N) + g(1)): the fraction of time the
+    /// system spends unsynchronized (Figures 14-15). Returns 1 when only
+    /// f(N) is infinite, 0 when only g(1) is, and 0.5 when both are.
+    [[nodiscard]] double fraction_unsynchronized() const;
+
+    /// Extension (not in the paper): the distribution over states after
+    /// `rounds` steps, starting from `start_state` with probability 1.
+    /// Direct probability-vector iteration; out[i] for i in [1, N].
+    [[nodiscard]] std::vector<double> occupancy_after(std::uint64_t rounds,
+                                                      int start_state) const;
+
+    /// Extension (not in the paper): the exact stationary distribution of
+    /// the birth-death chain by detailed balance, pi[i] for i in [1, N].
+    /// Requires every consecutive pair of states to communicate; states cut
+    /// off by a zero transition get probability 0 (mass is placed on the
+    /// component containing state 1).
+    [[nodiscard]] std::vector<double> stationary_distribution() const;
+
+    /// Extension: the long-run mean largest-cluster size, sum i * pi(i) —
+    /// a single-number summary of where the system lives (N when
+    /// synchronized dominates, ~1 when unsynchronized dominates).
+    [[nodiscard]] double mean_stationary_cluster_size() const;
+
+private:
+    ChainParams params_;
+};
+
+} // namespace routesync::markov

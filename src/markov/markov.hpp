@@ -1,0 +1,6 @@
+// Umbrella header for the Markov chain model (paper Section 5).
+#pragma once
+
+#include "markov/f2_estimator.hpp" // IWYU pragma: export
+#include "markov/fj_chain.hpp"     // IWYU pragma: export
+#include "markov/threshold.hpp"    // IWYU pragma: export

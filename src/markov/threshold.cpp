@@ -1,0 +1,54 @@
+#include "markov/threshold.hpp"
+
+#include <stdexcept>
+
+namespace routesync::markov {
+namespace {
+
+double fraction_at_tr(const ChainParams& base, double tr) {
+    ChainParams p = base;
+    p.tr_sec = tr;
+    return FJChain{p}.fraction_unsynchronized();
+}
+
+} // namespace
+
+double critical_tr_seconds(const ChainParams& base, double target_fraction) {
+    if (target_fraction <= 0.0 || target_fraction >= 1.0) {
+        throw std::invalid_argument{"critical_tr_seconds: target must be in (0,1)"};
+    }
+    double lo = base.tc_sec / 2.0; // below this, clusters never break up
+    double hi = base.tp_sec / 2.0; // the Section 6 recommendation
+    if (fraction_at_tr(base, hi) < target_fraction) {
+        return hi;
+    }
+    for (int iter = 0; iter < 200 && (hi - lo) > 1e-9 * base.tp_sec; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (fraction_at_tr(base, mid) >= target_fraction) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return hi;
+}
+
+int critical_n(const ChainParams& base, int n_max, double target_fraction) {
+    if (n_max < 2) {
+        throw std::invalid_argument{"critical_n: n_max must be >= 2"};
+    }
+    // The fraction is non-monotone for degenerate tiny chains, so take the
+    // *largest* N that is still predominately unsynchronized — the upper
+    // edge of the transition (Figure 15's "one more router tips it").
+    int last_unsync = 2;
+    for (int n = 2; n <= n_max; ++n) {
+        ChainParams p = base;
+        p.n = n;
+        if (FJChain{p}.fraction_unsynchronized() >= target_fraction) {
+            last_unsync = n;
+        }
+    }
+    return last_unsync;
+}
+
+} // namespace routesync::markov

@@ -1,0 +1,28 @@
+// Phase-transition locators.
+//
+// The paper's practical payoff (Sections 5.3 and 6): given N, Tp, and Tc,
+// how much randomness must a router inject to stay on the unsynchronized
+// side of the transition — and conversely, for a given amount of jitter,
+// how many routers does it take to tip a network into synchrony (Figures
+// 14 and 15, and the Xerox-PARC sizing claim in Section 1).
+#pragma once
+
+#include "markov/fj_chain.hpp"
+
+namespace routesync::markov {
+
+/// Smallest Tr (seconds) at which the chain's equilibrium estimate
+/// f(N)/(f(N)+g(1)) reaches `target_fraction` unsynchronized, located by
+/// bisection over [Tc/2, Tp/2] (fraction is nondecreasing in Tr).
+/// Returns Tp/2 if even that is not enough (it always is in practice).
+[[nodiscard]] double critical_tr_seconds(const ChainParams& base,
+                                         double target_fraction = 0.5);
+
+/// Largest N for which the network stays predominately unsynchronized
+/// (fraction >= target). One more router tips the system over — the
+/// paper's "addition of a single router" phase transition. Searches
+/// [2, n_max]; returns n_max if no transition occurs below it.
+[[nodiscard]] int critical_n(const ChainParams& base, int n_max = 200,
+                             double target_fraction = 0.5);
+
+} // namespace routesync::markov

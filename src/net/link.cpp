@@ -1,0 +1,59 @@
+#include "net/link.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace routesync::net {
+
+Link::Link(sim::Engine& engine, double rate_bps, sim::SimTime prop_delay,
+           std::size_t queue_packets, std::function<void(Packet)> deliver)
+    : engine_{engine},
+      rate_bps_{rate_bps},
+      prop_delay_{prop_delay},
+      queue_{queue_packets},
+      deliver_{std::move(deliver)} {
+    if (!deliver_) {
+        throw std::invalid_argument{"Link: delivery callback required"};
+    }
+    if (prop_delay_ < sim::SimTime::zero()) {
+        throw std::invalid_argument{"Link: negative propagation delay"};
+    }
+}
+
+sim::SimTime Link::serialization_time(std::uint32_t bytes) const noexcept {
+    if (rate_bps_ <= 0.0) {
+        return sim::SimTime::zero();
+    }
+    return sim::SimTime::seconds(static_cast<double>(bytes) * 8.0 / rate_bps_);
+}
+
+void Link::send(Packet p) {
+    if (!up_) {
+        ++down_drops_;
+        return;
+    }
+    if (transmitting_) {
+        queue_.push(std::move(p)); // drop-tail on overflow
+        return;
+    }
+    start_transmission(std::move(p));
+}
+
+void Link::start_transmission(Packet p) {
+    transmitting_ = true;
+    const sim::SimTime tx = serialization_time(p.size_bytes);
+    // Delivery after serialization + propagation; the transmitter frees up
+    // after serialization alone.
+    engine_.schedule_after(tx + prop_delay_,
+                           [this, pkt = std::move(p)]() mutable { deliver_(std::move(pkt)); });
+    engine_.schedule_after(tx, [this] { transmission_done(); });
+}
+
+void Link::transmission_done() {
+    transmitting_ = false;
+    if (auto next = queue_.pop()) {
+        start_transmission(std::move(*next));
+    }
+}
+
+} // namespace routesync::net

@@ -1,0 +1,51 @@
+// A simplex point-to-point link: serialization at a fixed bit rate, fixed
+// propagation delay, and a drop-tail queue ahead of the transmitter.
+#pragma once
+
+#include <functional>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/engine.hpp"
+
+namespace routesync::net {
+
+class Link {
+public:
+    /// `deliver` — invoked at the far end when a packet finishes
+    /// propagation. `rate_bps` <= 0 means infinite rate (zero
+    /// serialization time).
+    Link(sim::Engine& engine, double rate_bps, sim::SimTime prop_delay,
+         std::size_t queue_packets, std::function<void(Packet)> deliver);
+
+    /// Queues the packet for transmission; drops (with accounting) when the
+    /// queue is full or the link is administratively/physically down.
+    void send(Packet p);
+
+    /// Carrier state: a downed link silently discards everything offered
+    /// to it (in-flight packets still arrive — they are already on the
+    /// wire).
+    void set_up(bool up) noexcept { up_ = up; }
+    [[nodiscard]] bool is_up() const noexcept { return up_; }
+    [[nodiscard]] std::uint64_t down_drops() const noexcept { return down_drops_; }
+
+    [[nodiscard]] const QueueStats& queue_stats() const noexcept {
+        return queue_.stats();
+    }
+    [[nodiscard]] sim::SimTime serialization_time(std::uint32_t bytes) const noexcept;
+
+private:
+    void start_transmission(Packet p);
+    void transmission_done();
+
+    sim::Engine& engine_;
+    double rate_bps_;
+    sim::SimTime prop_delay_;
+    DropTailQueue queue_;
+    std::function<void(Packet)> deliver_;
+    bool transmitting_ = false;
+    bool up_ = true;
+    std::uint64_t down_drops_ = 0;
+};
+
+} // namespace routesync::net

@@ -1,0 +1,104 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <queue>
+
+namespace routesync::net {
+
+Host& Network::add_host(const std::string& name) {
+    const auto id = static_cast<NodeId>(nodes_.size());
+    auto host = std::make_unique<Host>(engine_, id, name);
+    Host& ref = *host;
+    nodes_.push_back(std::move(host));
+    adjacency_.emplace_back();
+    return ref;
+}
+
+Router& Network::add_router(const std::string& name, bool blocking_cpu,
+                            std::size_t pending_capacity) {
+    const auto id = static_cast<NodeId>(nodes_.size());
+    auto router =
+        std::make_unique<Router>(engine_, id, name, blocking_cpu, pending_capacity);
+    Router& ref = *router;
+    routers_.push_back(&ref);
+    nodes_.push_back(std::move(router));
+    adjacency_.emplace_back();
+    return ref;
+}
+
+void Network::connect(Node& a, Node& b, const LinkConfig& config) {
+    // Each simplex link delivers into the far node; the receiving interface
+    // index is the far node's interface *towards the sender*, assigned
+    // below in the same order.
+    auto to_b = std::make_unique<Link>(
+        engine_, config.rate_bps, config.delay, config.queue_packets,
+        [&b, iface = b.iface_count()](Packet p) { b.receive(std::move(p), iface); });
+    auto to_a = std::make_unique<Link>(
+        engine_, config.rate_bps, config.delay, config.queue_packets,
+        [&a, iface = a.iface_count()](Packet p) { a.receive(std::move(p), iface); });
+
+    const int iface_a = a.add_interface(to_b.get(), b.id());
+    const int iface_b = b.add_interface(to_a.get(), a.id());
+    adjacency_[static_cast<std::size_t>(a.id())].emplace_back(b.id(), iface_a);
+    adjacency_[static_cast<std::size_t>(b.id())].emplace_back(a.id(), iface_b);
+
+    duplexes_.push_back(Duplex{a.id(), b.id(), to_b.get(), to_a.get()});
+    links_.push_back(std::move(to_b));
+    links_.push_back(std::move(to_a));
+}
+
+void Network::set_link_state(NodeId a, NodeId b, bool up) {
+    for (auto& duplex : duplexes_) {
+        if ((duplex.a == a && duplex.b == b) || (duplex.a == b && duplex.b == a)) {
+            duplex.a_to_b->set_up(up);
+            duplex.b_to_a->set_up(up);
+            return;
+        }
+    }
+    throw std::invalid_argument{"Network::set_link_state: nodes not connected"};
+}
+
+void Network::install_static_routes() {
+    const int n = node_count();
+    for (Router* router : routers_) {
+        // BFS from the router; first hop towards each destination becomes
+        // the forwarding entry.
+        std::vector<int> first_iface(static_cast<std::size_t>(n), -1);
+        std::vector<bool> visited(static_cast<std::size_t>(n), false);
+        std::queue<NodeId> frontier;
+        visited[static_cast<std::size_t>(router->id())] = true;
+        // Deterministic exploration: neighbours in ascending id order.
+        auto neighbours = adjacency_[static_cast<std::size_t>(router->id())];
+        std::sort(neighbours.begin(), neighbours.end());
+        for (const auto& [nbr, iface] : neighbours) {
+            if (!visited[static_cast<std::size_t>(nbr)]) {
+                visited[static_cast<std::size_t>(nbr)] = true;
+                first_iface[static_cast<std::size_t>(nbr)] = iface;
+                frontier.push(nbr);
+            }
+        }
+        while (!frontier.empty()) {
+            const NodeId u = frontier.front();
+            frontier.pop();
+            auto next = adjacency_[static_cast<std::size_t>(u)];
+            std::sort(next.begin(), next.end());
+            for (const auto& [v, viface] : next) {
+                (void)viface;
+                if (!visited[static_cast<std::size_t>(v)]) {
+                    visited[static_cast<std::size_t>(v)] = true;
+                    first_iface[static_cast<std::size_t>(v)] =
+                        first_iface[static_cast<std::size_t>(u)];
+                    frontier.push(v);
+                }
+            }
+        }
+        for (NodeId dest = 0; dest < n; ++dest) {
+            if (dest != router->id() && first_iface[static_cast<std::size_t>(dest)] >= 0) {
+                router->set_route(dest, first_iface[static_cast<std::size_t>(dest)]);
+            }
+        }
+    }
+}
+
+} // namespace routesync::net

@@ -1,0 +1,77 @@
+// Topology builder and owner: creates hosts/routers, wires duplex links,
+// and can install static shortest-path routes (the baseline when no
+// distance-vector protocol is running).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/router.hpp"
+
+namespace routesync::net {
+
+struct LinkConfig {
+    double rate_bps = 10e6;                       ///< 10 Mb/s Ethernet-era default
+    sim::SimTime delay = sim::SimTime::millis(1); ///< propagation
+    std::size_t queue_packets = 64;
+};
+
+class Network {
+public:
+    explicit Network(sim::Engine& engine) : engine_{engine} {}
+
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    Host& add_host(const std::string& name);
+    Router& add_router(const std::string& name, bool blocking_cpu = true,
+                       std::size_t pending_capacity = 4);
+
+    /// Creates a duplex connection (two simplex links) between two existing
+    /// nodes. Returns nothing; interface indices follow call order.
+    void connect(Node& a, Node& b, const LinkConfig& config = {});
+
+    /// Sets the carrier state of the duplex connection between `a` and `b`
+    /// (both directions). Throws if the nodes are not connected.
+    void set_link_state(NodeId a, NodeId b, bool up);
+
+    /// Installs static shortest-path (min-hop) forwarding entries in every
+    /// router, for every node as destination. BFS over the link graph;
+    /// ties broken by lower neighbour id (deterministic).
+    void install_static_routes();
+
+    [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+    [[nodiscard]] const Node& node(NodeId id) const {
+        return *nodes_.at(static_cast<std::size_t>(id));
+    }
+    [[nodiscard]] int node_count() const noexcept {
+        return static_cast<int>(nodes_.size());
+    }
+    [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+    /// All routers, in creation order (for protocol attachment loops).
+    [[nodiscard]] const std::vector<Router*>& routers() const noexcept {
+        return routers_;
+    }
+
+private:
+    struct Duplex {
+        NodeId a;
+        NodeId b;
+        Link* a_to_b;
+        Link* b_to_a;
+    };
+
+    sim::Engine& engine_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<Link>> links_;
+    std::vector<Duplex> duplexes_;
+    std::vector<Router*> routers_;
+    /// adjacency[id] = list of (neighbor id, iface index on `id`)
+    std::vector<std::vector<std::pair<NodeId, int>>> adjacency_;
+};
+
+} // namespace routesync::net

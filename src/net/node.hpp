@@ -1,0 +1,102 @@
+// Network nodes: the common interface machinery plus the Host endpoint.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+
+namespace routesync::net {
+
+/// Base class for anything attached to links. Interfaces are added by the
+/// Network builder; index order is the order of connect() calls.
+class Node {
+public:
+    Node(sim::Engine& engine, NodeId id, std::string name)
+        : engine_{engine}, id_{id}, name_{std::move(name)} {}
+    virtual ~Node() = default;
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    [[nodiscard]] NodeId id() const noexcept { return id_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Registers an outgoing link towards `neighbor`; returns the interface
+    /// index. Called by the Network builder.
+    int add_interface(Link* out, NodeId neighbor);
+
+    [[nodiscard]] int iface_count() const noexcept {
+        return static_cast<int>(ifaces_.size());
+    }
+    [[nodiscard]] NodeId neighbor(int iface) const { return ifaces_.at(static_cast<std::size_t>(iface)).neighbor; }
+
+    /// Transmits on a specific interface.
+    void send_on(int iface, Packet p) {
+        ifaces_.at(static_cast<std::size_t>(iface)).out->send(std::move(p));
+    }
+
+    /// Delivery upcall from the incoming link.
+    virtual void receive(Packet p, int iface) = 0;
+
+    /// The simulation engine this node lives on (apps and protocol agents
+    /// schedule their timers through it).
+    [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+private:
+    struct Iface {
+        Link* out;
+        NodeId neighbor;
+    };
+
+    sim::Engine& engine_;
+    NodeId id_;
+    std::string name_;
+    std::vector<Iface> ifaces_;
+};
+
+inline int Node::add_interface(Link* out, NodeId neighbor) {
+    ifaces_.push_back(Iface{out, neighbor});
+    return static_cast<int>(ifaces_.size()) - 1;
+}
+
+/// An end host: replies to pings, hands other local traffic to the
+/// attached application, and sends everything through its first interface
+/// (hosts are single-homed stubs).
+class Host final : public Node {
+public:
+    using Node::Node;
+
+    /// Application hook for packets addressed to this host (audio sinks,
+    /// ping apps observing replies, ...). Ping requests are answered
+    /// automatically before this fires.
+    std::function<void(const Packet&)> on_packet;
+
+    /// Sends via the default (first) interface. No-op if unattached.
+    void send(Packet p) {
+        if (iface_count() > 0) {
+            send_on(0, std::move(p));
+        }
+    }
+
+    void receive(Packet p, int /*iface*/) override {
+        if (p.dst != id()) {
+            return; // hosts do not forward
+        }
+        if (p.type == PacketType::PingRequest) {
+            Packet reply = p;
+            reply.type = PacketType::PingReply;
+            reply.src = id();
+            reply.dst = p.src;
+            send(std::move(reply));
+        }
+        if (on_packet) {
+            on_packet(p);
+        }
+    }
+};
+
+} // namespace routesync::net

@@ -1,0 +1,61 @@
+// Packets for the packet-level network simulator.
+//
+// The network substrate exists to reproduce the paper's *measurements*
+// (Section 2): ping RTT/loss series through routers whose CPUs stall on
+// synchronized routing updates (Figures 1-2) and audio streams competing
+// with update storms (Figure 3). Packets carry only what those experiments
+// need: addressing, size (for serialization delay), sequencing, and an
+// optional routing-update payload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace routesync::net {
+
+using NodeId = int;
+
+enum class PacketType : std::uint8_t {
+    Data,          ///< generic payload (background traffic)
+    PingRequest,   ///< echo request (apps::PingApp)
+    PingReply,     ///< echo reply
+    Audio,         ///< CBR audio (apps::CbrSource)
+    RoutingUpdate, ///< distance-vector full-table update
+};
+
+/// A distance-vector route advertisement entry.
+struct RouteEntry {
+    NodeId dest;
+    int metric;
+};
+
+/// Full-table routing update payload; immutable and shared between the
+/// copies a broadcast produces.
+struct UpdatePayload {
+    NodeId sender;
+    bool triggered = false;
+    std::vector<RouteEntry> entries;
+    /// Routes beyond this topology's (simulating a full backbone table);
+    /// they add processing cost and update bytes but carry no reachability.
+    int filler_routes = 0;
+
+    [[nodiscard]] int total_routes() const noexcept {
+        return static_cast<int>(entries.size()) + filler_routes;
+    }
+};
+
+struct Packet {
+    PacketType type = PacketType::Data;
+    NodeId src = -1;
+    NodeId dst = -1; ///< -1 broadcasts to all neighbours (routing updates)
+    std::uint32_t size_bytes = 0;
+    std::uint64_t seq = 0;            ///< per-flow sequence number
+    sim::SimTime sent_at;             ///< origination time (RTT accounting)
+    std::shared_ptr<const UpdatePayload> update; ///< set for RoutingUpdate
+    int ttl = 64;
+};
+
+} // namespace routesync::net

@@ -1,0 +1,92 @@
+#include "net/router.hpp"
+
+#include <utility>
+
+namespace routesync::net {
+
+void Router::receive(Packet p, int iface) {
+    if (p.type == PacketType::RoutingUpdate) {
+        ++stats_.updates_received;
+        if (on_routing_update) {
+            on_routing_update(p, iface);
+        }
+        return;
+    }
+    if (p.dst == id()) {
+        return; // traffic addressed to the router itself: consumed
+    }
+    forward(std::move(p));
+}
+
+void Router::forward(Packet p) {
+    if (--p.ttl <= 0) {
+        ++stats_.ttl_drops;
+        return;
+    }
+    if (blocking_cpu_ && cpu_busy()) {
+        // The route processor owns the box: hold a handful of packets,
+        // drop the rest (the pre-fix NEARnet behaviour).
+        if (pending_.size() >= pending_capacity_) {
+            ++stats_.cpu_blocked_drops;
+            return;
+        }
+        pending_.push_back(std::move(p));
+        ++stats_.cpu_blocked_delayed;
+        return;
+    }
+    transmit(std::move(p));
+}
+
+void Router::transmit(Packet p) {
+    const auto it = fib_.find(p.dst);
+    if (it == fib_.end()) {
+        ++stats_.no_route_drops;
+        return;
+    }
+    ++stats_.forwarded;
+    send_on(it->second, std::move(p));
+}
+
+void Router::schedule_cpu_work(sim::SimTime cost, std::function<void()> done) {
+    const sim::SimTime now = engine().now();
+    if (cpu_free_at_ < now) {
+        cpu_free_at_ = now;
+    }
+    cpu_free_at_ += cost;
+    stats_.cpu_seconds += cost.sec();
+    ++cpu_jobs_pending_;
+    engine().schedule_at(cpu_free_at_, [this, done = std::move(done)]() mutable {
+        cpu_job_finished(std::move(done));
+    });
+}
+
+void Router::cpu_job_finished(std::function<void()> done) {
+    --cpu_jobs_pending_;
+    if (done) {
+        done();
+    }
+    if (cpu_jobs_pending_ == 0) {
+        // Drain the pending buffer first (they waited out the stall), then
+        // wake anyone waiting for idle (e.g. the DV agent's timer re-arm).
+        while (!pending_.empty()) {
+            Packet p = std::move(pending_.front());
+            pending_.pop_front();
+            transmit(std::move(p));
+        }
+        auto waiters = std::move(idle_waiters_);
+        idle_waiters_.clear();
+        for (auto& cb : waiters) {
+            cb();
+        }
+    }
+}
+
+void Router::when_cpu_idle(std::function<void()> cb) {
+    if (!cpu_busy()) {
+        cb();
+        return;
+    }
+    idle_waiters_.push_back(std::move(cb));
+}
+
+} // namespace routesync::net

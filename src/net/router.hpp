@@ -1,0 +1,95 @@
+// A router with an explicit CPU model.
+//
+// The paper's Section 2 measurements hinge on one implementation detail of
+// early-1990s routers: while the route processor was digesting routing
+// updates, the box forwarded nothing ("routers were prevented from routing
+// other packets while the synchronized routing updates were being
+// processed"). When updates from many routers synchronize, each router's
+// CPU stalls for (number of routers) x (per-update cost) seconds every
+// period, and every packet that arrives meanwhile is delayed or dropped —
+// the 90-second loss spikes of Figure 1.
+//
+// The Router therefore separates the *forwarding plane* (table lookup +
+// transmit) from the *route processor* (a serial work queue). In blocking
+// mode, transit packets that arrive while the processor is busy wait in a
+// small pending buffer (dropping when it overflows); in non-blocking mode
+// (the post-fix NEARnet behaviour) forwarding proceeds regardless.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "net/node.hpp"
+
+namespace routesync::net {
+
+struct RouterStats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t no_route_drops = 0;
+    std::uint64_t ttl_drops = 0;
+    std::uint64_t cpu_blocked_drops = 0; ///< pending buffer overflow
+    std::uint64_t cpu_blocked_delayed = 0;
+    std::uint64_t updates_received = 0;
+    /// Total route-processor time consumed (seconds) — the update-load
+    /// metric the paper's Section 1 cisco measurement is about.
+    double cpu_seconds = 0.0;
+};
+
+class Router final : public Node {
+public:
+    Router(sim::Engine& engine, NodeId id, std::string name,
+           bool blocking_cpu = true, std::size_t pending_capacity = 4)
+        : Node{engine, id, std::move(name)},
+          blocking_cpu_{blocking_cpu},
+          pending_capacity_{pending_capacity} {}
+
+    /// Routing-protocol hook: invoked for every routing update addressed
+    /// here (or broadcast). The agent decides the processing cost and calls
+    /// schedule_cpu_work itself.
+    std::function<void(const Packet&, int iface)> on_routing_update;
+
+    /// --- forwarding plane -------------------------------------------
+
+    /// Installs/replaces the forwarding entry for `dest`.
+    void set_route(NodeId dest, int iface) { fib_[dest] = iface; }
+    void clear_route(NodeId dest) { fib_.erase(dest); }
+    [[nodiscard]] bool has_route(NodeId dest) const { return fib_.contains(dest); }
+    [[nodiscard]] int route_iface(NodeId dest) const { return fib_.at(dest); }
+
+    void receive(Packet p, int iface) override;
+
+    /// --- route processor ---------------------------------------------
+
+    /// Appends a job to the serial CPU work queue; `done` runs when the job
+    /// completes (cost seconds after all earlier jobs finish).
+    void schedule_cpu_work(sim::SimTime cost, std::function<void()> done);
+
+    /// Runs `cb` the next time the CPU queue drains. If the CPU is idle
+    /// now, runs it immediately.
+    void when_cpu_idle(std::function<void()> cb);
+
+    [[nodiscard]] bool cpu_busy() const noexcept { return cpu_jobs_pending_ > 0; }
+    [[nodiscard]] sim::SimTime cpu_busy_until() const noexcept { return cpu_free_at_; }
+
+    [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
+
+private:
+    void forward(Packet p);
+    void transmit(Packet p);
+    void cpu_job_finished(std::function<void()> done);
+
+    bool blocking_cpu_;
+    std::size_t pending_capacity_;
+    std::unordered_map<NodeId, int> fib_;
+
+    sim::SimTime cpu_free_at_ = sim::SimTime::zero();
+    int cpu_jobs_pending_ = 0;
+    std::deque<Packet> pending_; // packets waiting out a CPU stall
+    std::vector<std::function<void()>> idle_waiters_;
+
+    RouterStats stats_;
+};
+
+} // namespace routesync::net

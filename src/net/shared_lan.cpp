@@ -1,0 +1,147 @@
+#include "net/shared_lan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace routesync::net {
+
+SharedLan::SharedLan(sim::Engine& engine, const SharedLanConfig& config)
+    : engine_{engine}, config_{config}, gen_{config.seed} {
+    if (config_.rate_bps <= 0.0) {
+        throw std::invalid_argument{"SharedLan: rate must be positive"};
+    }
+    if (config_.max_attempts < 1 || config_.max_backoff_exponent < 1) {
+        throw std::invalid_argument{"SharedLan: bad backoff parameters"};
+    }
+}
+
+int SharedLan::attach(std::function<void(Packet)> deliver) {
+    if (!deliver) {
+        throw std::invalid_argument{"SharedLan: delivery callback required"};
+    }
+    stations_.push_back(Station{std::move(deliver), {}, 0, false});
+    return static_cast<int>(stations_.size()) - 1;
+}
+
+void SharedLan::send(int station, Packet p) {
+    auto& st = stations_.at(static_cast<std::size_t>(station));
+    ++stats_.frames_offered;
+    if (st.queue.size() >= config_.station_queue_packets) {
+        ++stats_.drops_queue_full;
+        return;
+    }
+    st.queue.push_back(std::move(p));
+    if (!st.pending) {
+        st.pending = true;
+        st.attempts = 0;
+        contend(station);
+    }
+}
+
+void SharedLan::contend(int station) {
+    auto& st = stations_[static_cast<std::size_t>(station)];
+    if (st.queue.empty()) {
+        st.pending = false;
+        return;
+    }
+    const sim::SimTime now = engine_.now();
+
+    if (transmitting_) {
+        if (now - tx_start_ <= config_.prop_delay) {
+            // Inside the collision window: the carrier is not yet visible
+            // here, so this station transmits too — collision.
+            collide(station);
+        } else {
+            // Carrier sensed: defer, 1-persistent.
+            engine_.schedule_at(channel_free_at_, [this, station] { contend(station); });
+        }
+        return;
+    }
+    if (now < channel_free_at_) {
+        // Inter-frame gap / jam still on the wire.
+        engine_.schedule_at(channel_free_at_, [this, station] { contend(station); });
+        return;
+    }
+
+    // Channel idle: seize it.
+    transmitting_ = true;
+    current_owner_ = station;
+    tx_start_ = now;
+    const sim::SimTime duration = sim::SimTime::seconds(
+        static_cast<double>(st.queue.front().size_bytes) * 8.0 / config_.rate_bps);
+    channel_free_at_ = now + duration + config_.inter_frame_gap;
+    tx_end_event_ =
+        engine_.schedule_after(duration, [this] { transmission_done(); });
+}
+
+void SharedLan::collide(int second_station) {
+    ++stats_.collisions;
+    const int first = current_owner_;
+
+    // Abort the in-flight frame; jam the wire.
+    engine_.cancel(tx_end_event_);
+    transmitting_ = false;
+    current_owner_ = -1;
+    channel_free_at_ = engine_.now() + config_.jam_time + config_.inter_frame_gap;
+
+    for (const int station : {first, second_station}) {
+        auto& st = stations_[static_cast<std::size_t>(station)];
+        ++st.attempts;
+        if (st.attempts >= config_.max_attempts) {
+            ++stats_.drops_excessive_collisions;
+            st.queue.pop_front();
+            st.attempts = 0;
+            if (st.queue.empty()) {
+                st.pending = false;
+                continue;
+            }
+        }
+        schedule_backoff(station);
+    }
+}
+
+void SharedLan::schedule_backoff(int station) {
+    auto& st = stations_[static_cast<std::size_t>(station)];
+    const int exponent = std::min(st.attempts, config_.max_backoff_exponent);
+    const std::uint64_t slots =
+        rng::uniform_u64(gen_, 0, (std::uint64_t{1} << exponent) - 1);
+    const sim::SimTime wait =
+        config_.jam_time + config_.slot_time * static_cast<double>(slots);
+    engine_.schedule_after(wait, [this, station] { contend(station); });
+}
+
+void SharedLan::transmission_done() {
+    const int owner = current_owner_;
+    transmitting_ = false;
+    current_owner_ = -1;
+
+    auto& st = stations_[static_cast<std::size_t>(owner)];
+    Packet frame = std::move(st.queue.front());
+    st.queue.pop_front();
+    st.attempts = 0;
+    ++stats_.frames_delivered;
+
+    // Broadcast: everyone else hears the frame after the propagation delay.
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+        if (static_cast<int>(i) == owner) {
+            continue;
+        }
+        engine_.schedule_after(config_.prop_delay, [this, i, frame] {
+            stations_[i].deliver(frame);
+        });
+    }
+
+    station_next(owner);
+}
+
+void SharedLan::station_next(int station) {
+    auto& st = stations_[static_cast<std::size_t>(station)];
+    if (st.queue.empty()) {
+        st.pending = false;
+        return;
+    }
+    engine_.schedule_at(channel_free_at_, [this, station] { contend(station); });
+}
+
+} // namespace routesync::net

@@ -1,0 +1,83 @@
+// Deterministic, portable distributions.
+//
+// The standard library's <random> distributions are implementation-defined:
+// the same engine stream yields different variates under libstdc++ and
+// libc++. Every experiment in this repository must be bit-reproducible
+// from its seed alone, so we implement the handful of distributions the
+// simulations need with fully specified algorithms.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <random> // std::uniform_random_bit_generator
+
+namespace routesync::rng {
+
+/// Draws a double uniformly from [0, 1) using the top 53 bits of a 64-bit
+/// variate (the canonical construction; exactly representable, unbiased).
+template <std::uniform_random_bit_generator Gen>
+    requires(Gen::max() == std::numeric_limits<std::uint64_t>::max() && Gen::min() == 0)
+double uniform01(Gen& gen) {
+    return static_cast<double>(gen() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform real on [lo, hi). Requires lo <= hi; returns lo when lo == hi.
+template <std::uniform_random_bit_generator Gen>
+double uniform_real(Gen& gen, double lo, double hi) {
+    assert(lo <= hi);
+    return lo + (hi - lo) * uniform01(gen);
+}
+
+/// Uniform integer on the closed range [lo, hi], unbiased, via bitmask
+/// rejection: draw ceil(log2(range)) bits and reject values beyond the
+/// range (expected < 2 draws).
+template <std::uniform_random_bit_generator Gen>
+std::uint64_t uniform_u64(Gen& gen, std::uint64_t lo, std::uint64_t hi) {
+    assert(lo <= hi);
+    const std::uint64_t range = hi - lo;
+    if (range == std::numeric_limits<std::uint64_t>::max()) {
+        return gen();
+    }
+    std::uint64_t mask = range;
+    mask |= mask >> 1;
+    mask |= mask >> 2;
+    mask |= mask >> 4;
+    mask |= mask >> 8;
+    mask |= mask >> 16;
+    mask |= mask >> 32;
+    for (;;) {
+        const std::uint64_t x = gen() & mask;
+        if (x <= range) {
+            return lo + x;
+        }
+    }
+}
+
+/// Uniform integer on [lo, hi] for signed arguments.
+template <std::uniform_random_bit_generator Gen>
+std::int64_t uniform_i64(Gen& gen, std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(lo) + uniform_u64(gen, 0, span));
+}
+
+/// Exponential variate with the given mean (inverse-CDF method).
+/// `mean` must be positive.
+template <std::uniform_random_bit_generator Gen>
+double exponential(Gen& gen, double mean) {
+    assert(mean > 0.0);
+    // 1 - U is in (0, 1], so the log argument never hits zero.
+    return -mean * std::log1p(-uniform01(gen));
+}
+
+/// Bernoulli trial with success probability p in [0, 1].
+template <std::uniform_random_bit_generator Gen>
+bool bernoulli(Gen& gen, double p) {
+    return uniform01(gen) < p;
+}
+
+} // namespace routesync::rng

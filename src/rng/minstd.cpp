@@ -1,0 +1,52 @@
+#include "rng/minstd.hpp"
+
+namespace routesync::rng {
+namespace {
+
+// Carta's division-free reduction of (mult * x) mod (2^31 - 1): split the
+// 46-bit product p into the low 31 bits and the high bits; because
+// 2^31 ≡ 1 (mod 2^31 - 1), the sum lo + hi is congruent to p. One more
+// fold handles the possible carry out of bit 31.
+constexpr std::uint32_t carta_step(std::uint64_t mult, std::uint32_t x) noexcept {
+    const std::uint64_t p = mult * x;
+    std::uint64_t s = (p & 0x7fffffffULL) + (p >> 31);
+    if (s >= 0x7fffffffULL) {
+        s -= 0x7fffffffULL;
+    }
+    return static_cast<std::uint32_t>(s);
+}
+
+constexpr std::uint32_t sanitize_seed(std::uint64_t seed) noexcept {
+    const auto s = static_cast<std::uint32_t>(seed % 0x7fffffffULL);
+    return s == 0 ? 1U : s;
+}
+
+} // namespace
+
+MinStd::MinStd(std::uint64_t seed) noexcept : state_{sanitize_seed(seed)} {}
+
+MinStd::result_type MinStd::operator()() noexcept {
+    state_ = carta_step(multiplier, state_);
+    return state_;
+}
+
+void MinStd::discard(std::uint64_t n) noexcept {
+    for (std::uint64_t i = 0; i < n; ++i) {
+        (*this)();
+    }
+}
+
+MinStd48271::MinStd48271(std::uint64_t seed) noexcept : state_{sanitize_seed(seed)} {}
+
+MinStd48271::result_type MinStd48271::operator()() noexcept {
+    state_ = carta_step(multiplier, state_);
+    return state_;
+}
+
+void MinStd48271::discard(std::uint64_t n) noexcept {
+    for (std::uint64_t i = 0; i < n; ++i) {
+        (*this)();
+    }
+}
+
+} // namespace routesync::rng

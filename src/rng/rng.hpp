@@ -1,0 +1,17 @@
+// Umbrella header for the routesync random-number subsystem.
+//
+// DefaultEngine is the engine every simulation uses unless a component
+// explicitly needs the paper's MINSTD generator ([Ca90]) for fidelity
+// experiments.
+#pragma once
+
+#include "rng/distributions.hpp" // IWYU pragma: export
+#include "rng/minstd.hpp"        // IWYU pragma: export
+#include "rng/splitmix64.hpp"    // IWYU pragma: export
+#include "rng/xoshiro256ss.hpp"  // IWYU pragma: export
+
+namespace routesync::rng {
+
+using DefaultEngine = Xoshiro256ss;
+
+} // namespace routesync::rng

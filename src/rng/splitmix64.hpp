@@ -1,0 +1,35 @@
+// SplitMix64 — a tiny, fast 64-bit generator used here exclusively for
+// seeding the main engines (xoshiro256** requires a well-mixed 256-bit
+// state; seeding it from a single user-supplied integer via SplitMix64 is
+// the construction recommended by its authors).
+//
+// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+// Generators", OOPSLA 2014.
+#pragma once
+
+#include <cstdint>
+
+namespace routesync::rng {
+
+/// Splittable 64-bit mixer; satisfies std::uniform_random_bit_generator.
+class SplitMix64 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_{seed} {}
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    constexpr result_type operator()() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace routesync::rng

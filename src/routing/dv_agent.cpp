@@ -1,0 +1,380 @@
+#include "routing/dv_agent.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace routesync::routing {
+
+DistanceVectorAgent::DistanceVectorAgent(
+    net::Router& router, const DvConfig& config,
+    std::vector<std::pair<net::NodeId, int>> attached)
+    : router_{router}, config_{config}, gen_{config.seed} {
+    if (config_.period <= sim::SimTime::zero()) {
+        throw std::invalid_argument{"DvConfig: period must be positive"};
+    }
+    if (config_.jitter < sim::SimTime::zero() || config_.jitter > config_.period) {
+        throw std::invalid_argument{"DvConfig: need 0 <= jitter <= period"};
+    }
+    if (config_.infinity < 2) {
+        throw std::invalid_argument{"DvConfig: infinity must be >= 2"};
+    }
+
+    // Self route: advertised with metric 0 so neighbours learn metric 1.
+    table_.upsert(Route{.dest = router_.id(),
+                        .metric = 0,
+                        .iface = -1,
+                        .next_hop = -1,
+                        .refreshed = sim::SimTime::zero(),
+                        .local = true});
+    for (const auto& [dest, iface] : attached) {
+        table_.upsert(Route{.dest = dest,
+                            .metric = 1,
+                            .iface = iface,
+                            .next_hop = -1,
+                            .refreshed = sim::SimTime::zero(),
+                            .local = true});
+        router_.set_route(dest, iface);
+    }
+
+    router_.on_routing_update = [this](const net::Packet& p, int iface) {
+        handle_update_packet(p, iface);
+    };
+}
+
+void DistanceVectorAgent::start(sim::SimTime first_expiry) {
+    if (started_) {
+        throw std::logic_error{"DistanceVectorAgent: already started"};
+    }
+    started_ = true;
+    router_.engine().schedule_at(first_expiry, [this] { timer_expired(); });
+}
+
+sim::SimTime DistanceVectorAgent::draw_interval() {
+    if (config_.jitter == sim::SimTime::zero()) {
+        return config_.period;
+    }
+    return sim::SimTime::seconds(rng::uniform_real(
+        gen_, (config_.period - config_.jitter).sec(),
+        (config_.period + config_.jitter).sec()));
+}
+
+void DistanceVectorAgent::arm_timer(sim::SimTime interval_from_now) {
+    assert(!timer_armed_ && "periodic timer already armed");
+    ++stats_.timer_arms;
+    if (on_timer_set) {
+        on_timer_set(router_.engine().now());
+    }
+    timer_event_ =
+        router_.engine().schedule_after(interval_from_now, [this] { timer_expired(); });
+    timer_armed_ = true;
+}
+
+void DistanceVectorAgent::arm_timer_after_processing() {
+    if (rearm_waiting_) {
+        return; // a re-arm is already chasing the current busy period
+    }
+    rearm_waiting_ = true;
+    router_.when_cpu_idle([this] {
+        rearm_waiting_ = false;
+        arm_timer(draw_interval());
+    });
+}
+
+void DistanceVectorAgent::timer_expired() {
+    timer_armed_ = false;
+    if (config_.reset == TimerReset::AtExpiry) {
+        // Free-running clock: re-arm immediately, before any processing.
+        arm_timer(draw_interval());
+    }
+    expire_routes();
+    send_update(/*triggered=*/false);
+    if (config_.reset == TimerReset::AfterProcessing) {
+        arm_timer_after_processing();
+    }
+}
+
+int DistanceVectorAgent::advertised_route_count() const {
+    return static_cast<int>(table_.size()) + config_.filler_routes;
+}
+
+void DistanceVectorAgent::send_update(bool triggered) {
+    UpdateKind kind = UpdateKind::Full;
+    if (config_.incremental) {
+        if (triggered) {
+            kind = UpdateKind::Incremental;
+        } else if (session_established_) {
+            kind = UpdateKind::Keepalive;
+        }
+        // else: the first periodic update establishes the session with a
+        // full table.
+    }
+
+    // The update goes on the wire at once; the route processor is then
+    // busy for the preparation/transmission cost. (Matches the Periodic
+    // Messages model's zero-transmission-time assumption: a multi-packet
+    // update streams out while the CPU works, so receivers start
+    // processing at the sender's timer expiry, not after it.)
+    int route_count = 0;
+    switch (kind) {
+    case UpdateKind::Full:
+        route_count = advertised_route_count();
+        break;
+    case UpdateKind::Keepalive:
+        route_count = 0;
+        break;
+    case UpdateKind::Incremental:
+        route_count = static_cast<int>(changed_.size());
+        break;
+    }
+    do_send(kind, triggered);
+    const sim::SimTime cost =
+        config_.fixed_update_cost +
+        config_.per_route_cost * static_cast<double>(route_count);
+    router_.schedule_cpu_work(cost, [] {});
+}
+
+void DistanceVectorAgent::do_send(UpdateKind kind, bool triggered) {
+    for (int iface = 0; iface < router_.iface_count(); ++iface) {
+        for (auto& fragment : build_update(iface, kind, triggered)) {
+            router_.send_on(iface, std::move(fragment));
+        }
+    }
+    if (kind == UpdateKind::Full) {
+        session_established_ = true;
+    }
+    if (kind != UpdateKind::Keepalive) {
+        changed_.clear();
+    }
+    if (triggered) {
+        triggered_pending_ = false;
+        ++stats_.triggered_updates_sent;
+    } else {
+        ++stats_.periodic_updates_sent;
+    }
+}
+
+std::vector<net::Packet> DistanceVectorAgent::build_update(int out_iface,
+                                                           UpdateKind kind,
+                                                           bool triggered) const {
+    std::vector<net::RouteEntry> entries;
+    if (kind == UpdateKind::Incremental) {
+        for (const net::NodeId dest : changed_) {
+            const Route* route = table_.find(dest);
+            if (route == nullptr) {
+                entries.push_back(net::RouteEntry{dest, config_.infinity});
+                continue;
+            }
+            if (config_.split_horizon && !route->local &&
+                route->iface == out_iface) {
+                if (config_.poisoned_reverse) {
+                    entries.push_back(net::RouteEntry{dest, config_.infinity});
+                }
+                continue;
+            }
+            entries.push_back(net::RouteEntry{dest, route->metric});
+        }
+    } else if (kind == UpdateKind::Full) {
+        for (const auto& [dest, route] : table_) {
+            if (config_.split_horizon && !route.local && route.iface == out_iface) {
+                if (config_.poisoned_reverse) {
+                    entries.push_back(net::RouteEntry{dest, config_.infinity});
+                }
+                continue;
+            }
+            entries.push_back(net::RouteEntry{dest, route.metric});
+        }
+    }
+    // Keepalive: no entries at all.
+
+    const int filler = kind == UpdateKind::Full ? config_.filler_routes : 0;
+    const int total = static_cast<int>(entries.size()) + filler;
+    const int per_packet = config_.routes_per_packet > 0
+                               ? config_.routes_per_packet
+                               : std::max(total, 1);
+
+    std::vector<net::Packet> fragments;
+    int entry_cursor = 0;
+    int filler_left = filler;
+    while (entry_cursor < static_cast<int>(entries.size()) || filler_left > 0 ||
+           fragments.empty()) {
+        auto payload = std::make_shared<net::UpdatePayload>();
+        payload->sender = router_.id();
+        payload->triggered = triggered;
+        int room = per_packet;
+        while (room > 0 && entry_cursor < static_cast<int>(entries.size())) {
+            payload->entries.push_back(
+                entries[static_cast<std::size_t>(entry_cursor)]);
+            ++entry_cursor;
+            --room;
+        }
+        const int filler_here = std::min(room, filler_left);
+        payload->filler_routes = filler_here;
+        filler_left -= filler_here;
+
+        net::Packet p;
+        p.type = net::PacketType::RoutingUpdate;
+        p.src = router_.id();
+        p.dst = router_.neighbor(out_iface);
+        p.size_bytes =
+            config_.header_bytes +
+            config_.bytes_per_route *
+                static_cast<std::uint32_t>(payload->total_routes());
+        p.sent_at = router_.engine().now();
+        p.update = std::move(payload);
+        fragments.push_back(std::move(p));
+    }
+    return fragments;
+}
+
+void DistanceVectorAgent::handle_update_packet(const net::Packet& p, int iface) {
+    if (!p.update) {
+        return; // malformed; ignore
+    }
+    const sim::SimTime cost =
+        config_.fixed_update_cost +
+        config_.per_route_cost * static_cast<double>(p.update->total_routes());
+    router_.schedule_cpu_work(cost, [this, payload = p.update, iface] {
+        process_update(*payload, iface);
+    });
+}
+
+void DistanceVectorAgent::process_update(const net::UpdatePayload& update, int iface) {
+    ++stats_.updates_processed;
+    const sim::SimTime now = router_.engine().now();
+    bool changed = false;
+
+    if (config_.incremental) {
+        // Hold-timer semantics: any message from the neighbour (keepalive
+        // or update) confirms every route through it.
+        for (auto& [dest, route] : table_) {
+            if (!route.local && route.next_hop == update.sender) {
+                route.refreshed = now;
+            }
+        }
+    }
+
+    for (const auto& entry : update.entries) {
+        if (entry.dest == router_.id()) {
+            continue;
+        }
+        const int metric = std::min(entry.metric + 1, config_.infinity);
+        Route* route = table_.find(entry.dest);
+        if (route == nullptr) {
+            if (metric < config_.infinity) {
+                table_.upsert(Route{.dest = entry.dest,
+                                    .metric = metric,
+                                    .iface = iface,
+                                    .next_hop = update.sender,
+                                    .refreshed = now,
+                                    .local = false});
+                router_.set_route(entry.dest, iface);
+                changed = true;
+                changed_.insert(entry.dest);
+            }
+            continue;
+        }
+        if (route->local) {
+            continue; // local routes outrank anything learned
+        }
+        if (route->next_hop == update.sender) {
+            // Current next hop re-advertises: accept even a worse metric.
+            route->refreshed = now;
+            if (route->metric != metric) {
+                route->metric = metric;
+                changed = true;
+                changed_.insert(entry.dest);
+                if (metric >= config_.infinity) {
+                    router_.clear_route(entry.dest);
+                    route->holddown_until = now + config_.holddown;
+                }
+            }
+        } else if (now < route->holddown_until) {
+            // Holddown: ignore alternative paths until the bad news has
+            // had time to propagate (IGRP-style).
+            continue;
+        } else if (metric < route->metric) {
+            route->metric = metric;
+            route->iface = iface;
+            route->next_hop = update.sender;
+            route->refreshed = now;
+            router_.set_route(entry.dest, iface);
+            changed = true;
+            changed_.insert(entry.dest);
+        }
+    }
+
+    if (changed && config_.triggered_updates) {
+        schedule_triggered_update();
+    }
+}
+
+void DistanceVectorAgent::expire_routes() {
+    const sim::SimTime now = router_.engine().now();
+    bool changed = false;
+    std::vector<net::NodeId> to_erase;
+    for (auto& [dest, route] : table_) {
+        if (route.local) {
+            continue;
+        }
+        if (route.metric < config_.infinity &&
+            now - route.refreshed > config_.route_timeout) {
+            route.metric = config_.infinity;
+            route.refreshed = now; // reused as the GC clock
+            route.holddown_until = now + config_.holddown;
+            router_.clear_route(dest);
+            ++stats_.routes_timed_out;
+            changed = true;
+            changed_.insert(dest);
+        } else if (route.metric >= config_.infinity &&
+                   now - route.refreshed > config_.gc_timeout) {
+            to_erase.push_back(dest);
+        }
+    }
+    for (const net::NodeId dest : to_erase) {
+        table_.erase(dest);
+    }
+    if (changed && config_.triggered_updates) {
+        schedule_triggered_update();
+    }
+}
+
+void DistanceVectorAgent::schedule_triggered_update() {
+    if (triggered_pending_) {
+        return;
+    }
+    triggered_pending_ = true;
+    send_update(/*triggered=*/true);
+    if (config_.reset == TimerReset::AfterProcessing) {
+        // Periodic Messages model, step 4: a triggered update sends the
+        // router back to step 1; the pending periodic timer is dropped and
+        // re-armed after the busy period. (Under AtExpiry the clock is
+        // left alone.)
+        if (timer_armed_) {
+            router_.engine().cancel(timer_event_);
+            timer_armed_ = false;
+        }
+        arm_timer_after_processing();
+    }
+}
+
+void DistanceVectorAgent::link_down(int iface) {
+    bool changed = false;
+    for (auto& [dest, route] : table_) {
+        if (route.iface == iface && route.metric < config_.infinity) {
+            route.metric = config_.infinity;
+            route.refreshed = router_.engine().now();
+            route.holddown_until = router_.engine().now() + config_.holddown;
+            route.local = false; // attached stubs become expirable
+            router_.clear_route(dest);
+            changed = true;
+            changed_.insert(dest);
+        }
+    }
+    if (changed && config_.triggered_updates) {
+        schedule_triggered_update();
+    }
+}
+
+} // namespace routesync::routing

@@ -1,0 +1,159 @@
+// A distance-vector routing agent (RIP-like), attached to a net::Router.
+//
+// Implements the protocol family the paper studies (RIP, IGRP, DECnet DNA
+// Phase IV, EGP, Hello): full-table advertisements at periodic intervals,
+// Bellman-Ford relaxation with a small "infinity", split horizon
+// (optionally with poisoned reverse), route timeout and garbage
+// collection, and triggered updates on topology change.
+//
+// The synchronization-relevant behaviour is the *timer reset rule*
+// (paper Section 3):
+//
+//   TimerReset::AfterProcessing — the Periodic Messages model: the timer
+//     is re-armed only when the router's CPU finishes preparing the
+//     outgoing update AND digesting every update that arrived meanwhile.
+//     This couples the routers and lets update storms synchronize.
+//
+//   TimerReset::AtExpiry — the RFC 1058 alternative ("triggered by a
+//     clock that is not affected by the time required to service the
+//     previous message"): the timer is re-armed the instant it fires, and
+//     triggered updates do not reset it. No coupling — but also no
+//     mechanism to break up clusters that exist at start.
+//
+// Every update costs CPU time on the receiving router
+// (fixed_update_cost + per_route_cost * routes), which is what stalls
+// forwarding on blocking routers and produces the paper's Figure 1/3 loss
+// spikes.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "net/router.hpp"
+#include "routing/routing_table.hpp"
+#include "rng/rng.hpp"
+
+namespace routesync::routing {
+
+enum class TimerReset {
+    AfterProcessing, ///< Periodic Messages model (synchronizing)
+    AtExpiry,        ///< free-running clock (RFC 1058 suggestion)
+};
+
+struct DvConfig {
+    sim::SimTime period = sim::SimTime::seconds(30);  ///< Tp
+    sim::SimTime jitter = sim::SimTime::zero();       ///< Tr: U[Tp-Tr, Tp+Tr]
+    TimerReset reset = TimerReset::AfterProcessing;
+    int infinity = 16;
+    bool split_horizon = true;
+    bool poisoned_reverse = false;
+    bool triggered_updates = true;
+    sim::SimTime route_timeout = sim::SimTime::seconds(180);
+    sim::SimTime gc_timeout = sim::SimTime::seconds(120);
+    /// CPU cost model: cost = fixed + per_route * advertised routes.
+    sim::SimTime per_route_cost = sim::SimTime::millis(1);
+    sim::SimTime fixed_update_cost = sim::SimTime::millis(10);
+    /// Simulated backbone routes carried in every update beyond this
+    /// topology's own (NEARnet-style full tables: they inflate processing
+    /// cost and update size).
+    int filler_routes = 0;
+    /// Maximum routes per update packet; 0 sends the whole table in one
+    /// packet. RIP's datagram format carries at most 25 routes, so a
+    /// 300-route table streams as 13 packets — the multi-packet update the
+    /// paper's model assumes.
+    int routes_per_packet = 0;
+    /// BGP-style operation (the paper's footnote 3: "BGP ... only requires
+    /// routers to send incremental update messages"): the first periodic
+    /// update exchanges the full table (session establishment), subsequent
+    /// periodic updates are route-less keepalives, and changes go out as
+    /// incremental updates carrying only the changed routes. Receiving any
+    /// message from a neighbour refreshes every route through it (hold
+    /// timer). This removes the periodic full-table CPU storm entirely.
+    bool incremental = false;
+    /// IGRP-style holddown: after a route is lost, alternative
+    /// advertisements for it are ignored for this long (guards against
+    /// believing a neighbour that has not yet heard the bad news).
+    /// Zero disables.
+    sim::SimTime holddown = sim::SimTime::zero();
+    std::uint32_t header_bytes = 24;
+    std::uint32_t bytes_per_route = 20;
+    std::uint64_t seed = 1;
+};
+
+struct DvStats {
+    std::uint64_t periodic_updates_sent = 0;
+    std::uint64_t triggered_updates_sent = 0;
+    std::uint64_t updates_processed = 0;
+    std::uint64_t routes_timed_out = 0;
+    std::uint64_t timer_arms = 0;
+};
+
+class DistanceVectorAgent {
+public:
+    /// `attached` — directly connected stub destinations (hosts) as
+    /// (node id, interface) pairs; advertised with metric 1 and installed
+    /// in the FIB immediately.
+    DistanceVectorAgent(net::Router& router, const DvConfig& config,
+                        std::vector<std::pair<net::NodeId, int>> attached = {});
+
+    DistanceVectorAgent(const DistanceVectorAgent&) = delete;
+    DistanceVectorAgent& operator=(const DistanceVectorAgent&) = delete;
+
+    /// Arms the first timer at `first_expiry` (absolute). Synchronized
+    /// networks pass the same instant to every agent; unsynchronized ones
+    /// pass uniform random phases.
+    void start(sim::SimTime first_expiry);
+
+    /// Signals the loss of the link on `iface` (carrier drop): every route
+    /// through it goes to infinity and, if enabled, a triggered update
+    /// follows — the paper's "wave of triggered updates".
+    void link_down(int iface);
+
+    [[nodiscard]] const RoutingTable& table() const noexcept { return table_; }
+    [[nodiscard]] const DvStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const DvConfig& config() const noexcept { return config_; }
+    /// Timer-set instants (for cluster analysis of the packet world).
+    std::function<void(sim::SimTime)> on_timer_set;
+
+private:
+    void timer_expired();
+    void arm_timer_after_processing();
+    void arm_timer(sim::SimTime interval_from_now);
+    [[nodiscard]] sim::SimTime draw_interval();
+
+    /// What a given transmission carries (incremental mode distinguishes
+    /// session establishment, keepalives, and change-only updates).
+    enum class UpdateKind { Full, Keepalive, Incremental };
+
+    /// Sends an update immediately and charges the route processor for it.
+    void send_update(bool triggered);
+    void do_send(UpdateKind kind, bool triggered);
+    /// The update for one interface, split into routes_per_packet-sized
+    /// fragments (one element when fragmentation is off).
+    [[nodiscard]] std::vector<net::Packet> build_update(int out_iface,
+                                                        UpdateKind kind,
+                                                        bool triggered) const;
+
+    void handle_update_packet(const net::Packet& p, int iface);
+    void process_update(const net::UpdatePayload& update, int iface);
+    void expire_routes();
+    void schedule_triggered_update();
+
+    [[nodiscard]] int advertised_route_count() const;
+
+    net::Router& router_;
+    DvConfig config_;
+    RoutingTable table_;
+    rng::DefaultEngine gen_;
+    DvStats stats_;
+    bool started_ = false;
+    bool rearm_waiting_ = false;     ///< when_cpu_idle re-arm in flight
+    bool triggered_pending_ = false; ///< triggered update queued on CPU
+    sim::EventHandle timer_event_{}; ///< pending periodic expiry
+    bool timer_armed_ = false;
+    bool session_established_ = false; ///< incremental mode: full table sent
+    std::set<net::NodeId> changed_;    ///< destinations awaiting incremental send
+};
+
+} // namespace routesync::routing

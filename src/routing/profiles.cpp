@@ -1,0 +1,52 @@
+#include "routing/profiles.hpp"
+
+namespace routesync::routing {
+namespace {
+
+DvConfig base_config(double period_sec, int infinity) {
+    DvConfig c;
+    c.period = sim::SimTime::seconds(period_sec);
+    c.route_timeout = sim::SimTime::seconds(period_sec * 6.0);
+    c.gc_timeout = sim::SimTime::seconds(period_sec * 4.0);
+    c.infinity = infinity;
+    return c;
+}
+
+} // namespace
+
+ProtocolProfile rip_profile() {
+    DvConfig c = base_config(30.0, 16);
+    c.route_timeout = sim::SimTime::seconds(180);
+    c.gc_timeout = sim::SimTime::seconds(120);
+    c.routes_per_packet = 25; // RIP datagram format limit
+    return ProtocolProfile{"RIP", c};
+}
+
+ProtocolProfile igrp_profile() {
+    DvConfig c = base_config(90.0, 100);
+    c.route_timeout = sim::SimTime::seconds(270);
+    c.holddown = sim::SimTime::seconds(280); // IGRP's holddown timer
+    return ProtocolProfile{"IGRP", c};
+}
+
+ProtocolProfile decnet_profile() {
+    return ProtocolProfile{"DECnet-DNA-IV", base_config(120.0, 31)};
+}
+
+ProtocolProfile egp_profile() {
+    return ProtocolProfile{"EGP", base_config(180.0, 16)};
+}
+
+ProtocolProfile hello_profile() {
+    return ProtocolProfile{"Hello", base_config(15.0, 16)};
+}
+
+ProtocolProfile bgp_like_profile() {
+    DvConfig c = base_config(30.0, 64);
+    c.incremental = true;
+    c.route_timeout = sim::SimTime::seconds(90); // hold time
+    c.gc_timeout = sim::SimTime::seconds(60);
+    return ProtocolProfile{"BGP-like", c};
+}
+
+} // namespace routesync::routing

@@ -1,0 +1,42 @@
+// Protocol profiles: representative parameterizations of the periodic
+// routing protocols the paper names (Section 3), expressed as DvConfig
+// presets. Periods are the protocols' documented defaults; CPU costs
+// follow the paper's measurements (1 ms per route on the PARC ciscos,
+// Section 1).
+#pragma once
+
+#include <string>
+
+#include "routing/dv_agent.hpp"
+
+namespace routesync::routing {
+
+struct ProtocolProfile {
+    std::string name;
+    DvConfig config;
+};
+
+/// RIP (RFC 1058): 30 s updates, infinity 16, 180 s timeout, 120 s GC.
+[[nodiscard]] ProtocolProfile rip_profile();
+
+/// IGRP: 90 s updates (the NEARnet protocol behind Figures 1-2),
+/// 270 s timeout.
+[[nodiscard]] ProtocolProfile igrp_profile();
+
+/// DECnet DNA Phase IV: 120 s updates (the protocol whose synchronization
+/// on the authors' LAN started this work; the model's Tp = 121 s mimics
+/// its 120 s timer).
+[[nodiscard]] ProtocolProfile decnet_profile();
+
+/// EGP: 180 s update messages (NSFNET backbone <-> regionals).
+[[nodiscard]] ProtocolProfile egp_profile();
+
+/// Hello (RFC 891 DCN): short-period updates; representative 15 s.
+[[nodiscard]] ProtocolProfile hello_profile();
+
+/// BGP-like incremental operation (the paper's footnote 3: "BGP ... only
+/// requires routers to send incremental update messages"): 30 s
+/// keepalives, 90 s hold time, change-only updates.
+[[nodiscard]] ProtocolProfile bgp_like_profile();
+
+} // namespace routesync::routing

@@ -1,0 +1,6 @@
+// Umbrella header for the distance-vector routing subsystem.
+#pragma once
+
+#include "routing/dv_agent.hpp"      // IWYU pragma: export
+#include "routing/profiles.hpp"      // IWYU pragma: export
+#include "routing/routing_table.hpp" // IWYU pragma: export

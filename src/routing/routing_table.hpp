@@ -1,0 +1,52 @@
+// Distance-vector routing table (RIP-style semantics).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace routesync::routing {
+
+struct Route {
+    net::NodeId dest;
+    int metric;          ///< hop count; >= infinity means unreachable
+    int iface;           ///< outgoing interface (-1 for the self route)
+    net::NodeId next_hop; ///< advertising neighbour (-1 for local routes)
+    sim::SimTime refreshed; ///< last advertisement that confirmed the route
+    bool local = false;     ///< self / directly-attached: never times out
+    /// Advertisements for this destination are ignored until this time
+    /// (IGRP-style holddown after loss; zero = not held down).
+    sim::SimTime holddown_until = sim::SimTime::zero();
+};
+
+/// Ordered map of routes keyed by destination. std::map keeps update
+/// contents and iteration deterministic.
+class RoutingTable {
+public:
+    /// Inserts or replaces.
+    void upsert(const Route& r) { routes_[r.dest] = r; }
+    void erase(net::NodeId dest) { routes_.erase(dest); }
+
+    [[nodiscard]] Route* find(net::NodeId dest) {
+        const auto it = routes_.find(dest);
+        return it == routes_.end() ? nullptr : &it->second;
+    }
+    [[nodiscard]] const Route* find(net::NodeId dest) const {
+        const auto it = routes_.find(dest);
+        return it == routes_.end() ? nullptr : &it->second;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return routes_.size(); }
+
+    [[nodiscard]] auto begin() const noexcept { return routes_.begin(); }
+    [[nodiscard]] auto end() const noexcept { return routes_.end(); }
+    [[nodiscard]] auto begin() noexcept { return routes_.begin(); }
+    [[nodiscard]] auto end() noexcept { return routes_.end(); }
+
+private:
+    std::map<net::NodeId, Route> routes_;
+};
+
+} // namespace routesync::routing

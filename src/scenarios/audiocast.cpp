@@ -1,0 +1,76 @@
+#include "scenarios/audiocast.hpp"
+
+namespace routesync::scenarios {
+
+AudiocastScenario::AudiocastScenario(const AudiocastConfig& config)
+    : routing_start_{sim::SimTime::seconds(5.0)} {
+    network_ = std::make_unique<net::Network>(engine_);
+    auto& nw = *network_;
+
+    audio_src_ = &nw.add_host("audio-src");
+    audio_dst_ = &nw.add_host("audio-dst");
+    bg_src_ = &nw.add_host("bg-src");
+    bg_dst_ = &nw.add_host("bg-dst");
+    auto& r1 = nw.add_router("R1", config.blocking_cpu);
+    auto& r2 = nw.add_router("R2", config.blocking_cpu);
+
+    net::LinkConfig lan{.rate_bps = 10e6,
+                        .delay = sim::SimTime::millis(1),
+                        .queue_packets = 64};
+    net::LinkConfig bottleneck{.rate_bps = config.bottleneck_bps,
+                               .delay = sim::SimTime::millis(10),
+                               .queue_packets = config.bottleneck_queue};
+    nw.connect(*audio_src_, r1, lan); // r1 iface 0
+    nw.connect(*bg_src_, r1, lan);    // r1 iface 1
+    nw.connect(r1, r2, bottleneck);   // r1 iface 2, r2 iface 0
+    nw.connect(r2, *audio_dst_, lan); // r2 iface 1
+    nw.connect(r2, *bg_dst_, lan);    // r2 iface 2
+
+    // A full mesh among the routers stands in for the broadcast LAN of the
+    // Periodic Messages model: every router hears (and pays CPU for) every
+    // other router's update. Equal degree keeps busy periods equal, so the
+    // synchronized cluster holds together exactly as in the model.
+    std::vector<net::Router*> cores;
+    for (int i = 0; i < config.core_routers; ++i) {
+        auto& c = nw.add_router("C" + std::to_string(i), config.blocking_cpu);
+        nw.connect(r1, c, lan);
+        nw.connect(r2, c, lan);
+        for (net::Router* other : cores) {
+            nw.connect(*other, c, lan);
+        }
+        cores.push_back(&c);
+    }
+
+    nw.install_static_routes();
+
+    routing::DvConfig dv = routing::rip_profile().config;
+    dv.jitter = sim::SimTime::seconds(config.jitter_sec);
+    dv.filler_routes = config.filler_routes;
+    dv.per_route_cost = sim::SimTime::millis(config.per_route_cost_ms);
+    // The figure's system is already fully synchronized; initial triggered
+    // convergence waves would re-seed the timers into several sub-clusters
+    // (which, with jitter below the breakup threshold, then persist), so
+    // convergence here relies on the periodic updates alone.
+    dv.triggered_updates = false;
+
+    int index = 0;
+    for (net::Router* router : nw.routers()) {
+        routing::DvConfig c = dv;
+        c.seed = config.seed + 2000 + static_cast<std::uint64_t>(index);
+        std::vector<std::pair<net::NodeId, int>> attached;
+        if (router == &r1) {
+            attached.emplace_back(audio_src_->id(), 0);
+            attached.emplace_back(bg_src_->id(), 1);
+        } else if (router == &r2) {
+            attached.emplace_back(audio_dst_->id(), 1);
+            attached.emplace_back(bg_dst_->id(), 2);
+        }
+        auto agent =
+            std::make_unique<routing::DistanceVectorAgent>(*router, c, attached);
+        agent->start(routing_start_); // synchronized start (triggered-update wave)
+        agents_.push_back(std::move(agent));
+        ++index;
+    }
+}
+
+} // namespace routesync::scenarios

@@ -1,0 +1,63 @@
+// The "audiocast" scenario — the synthetic counterpart of the paper's
+// Figure 3 (December 1992 packet-video workshop: 30-second-periodic audio
+// outages of several seconds, 50-95 % loss inside the spikes, plus random
+// single-packet blips).
+//
+// Topology:
+//
+//   audio src -- R1 ===bottleneck=== R2 -- audio sink
+//   bg src ----/                       \---- bg sink
+//                |  X |
+//              C1..Ck core routers running synchronized RIP (30 s)
+//
+// The periodic outages come from the synchronized RIP storm stalling the
+// blocking route processors; the random blips come from Poisson background
+// traffic occasionally overflowing the bottleneck queue.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "net/net.hpp"
+#include "routing/routing.hpp"
+#include "sim/sim.hpp"
+
+namespace routesync::scenarios {
+
+struct AudiocastConfig {
+    int core_routers = 4;
+    int filler_routes = 300;
+    double per_route_cost_ms = 1.0;
+    double jitter_sec = 0.05; ///< below breakup threshold: stays synchronized
+    bool blocking_cpu = true;
+    double bottleneck_bps = 1.5e6; ///< T1 tunnel
+    std::size_t bottleneck_queue = 12;
+    double background_pps = 220.0; ///< Poisson cross traffic (512 B)
+    std::uint64_t seed = 1;
+};
+
+class AudiocastScenario {
+public:
+    explicit AudiocastScenario(const AudiocastConfig& config);
+
+    [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+    [[nodiscard]] net::Network& network() noexcept { return *network_; }
+    [[nodiscard]] net::Host& audio_src() noexcept { return *audio_src_; }
+    [[nodiscard]] net::Host& audio_dst() noexcept { return *audio_dst_; }
+    [[nodiscard]] net::Host& bg_src() noexcept { return *bg_src_; }
+    [[nodiscard]] net::Host& bg_dst() noexcept { return *bg_dst_; }
+    [[nodiscard]] sim::SimTime routing_start() const noexcept { return routing_start_; }
+
+private:
+    sim::Engine engine_;
+    std::unique_ptr<net::Network> network_;
+    net::Host* audio_src_ = nullptr;
+    net::Host* audio_dst_ = nullptr;
+    net::Host* bg_src_ = nullptr;
+    net::Host* bg_dst_ = nullptr;
+    std::vector<std::unique_ptr<routing::DistanceVectorAgent>> agents_;
+    sim::SimTime routing_start_;
+};
+
+} // namespace routesync::scenarios

@@ -1,0 +1,5 @@
+// Umbrella header for the reusable measurement testbeds.
+#pragma once
+
+#include "scenarios/audiocast.hpp" // IWYU pragma: export
+#include "scenarios/nearnet.hpp"   // IWYU pragma: export

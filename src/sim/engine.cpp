@@ -1,0 +1,46 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace routesync::sim {
+
+EventHandle Engine::schedule_at(SimTime t, Callback cb) {
+    if (t < now_) {
+        throw std::logic_error{"Engine::schedule_at: time is in the past"};
+    }
+    return queue_.push(t, std::move(cb));
+}
+
+EventHandle Engine::schedule_after(SimTime dt, Callback cb) {
+    if (dt < SimTime::zero()) {
+        throw std::logic_error{"Engine::schedule_after: negative delay"};
+    }
+    return queue_.push(now_ + dt, std::move(cb));
+}
+
+bool Engine::step() {
+    if (queue_.empty()) {
+        return false;
+    }
+    auto [time, callback] = queue_.pop();
+    now_ = time;
+    ++processed_;
+    callback();
+    return true;
+}
+
+void Engine::run() {
+    while (!stopped_ && step()) {
+    }
+}
+
+void Engine::run_until(SimTime t) {
+    while (!stopped_ && !queue_.empty() && queue_.next_time() <= t) {
+        step();
+    }
+    if (!stopped_ && now_ < t) {
+        now_ = t;
+    }
+}
+
+} // namespace routesync::sim

@@ -1,0 +1,68 @@
+// The discrete-event simulation engine.
+//
+// A single-threaded event loop: callbacks scheduled at simulation times run
+// in timestamp order (FIFO among equals), each seeing `now()` equal to its
+// own timestamp. All simulators in this repository (the Periodic Messages
+// model and the packet-level network) are built on this engine.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace routesync::sim {
+
+class Engine {
+public:
+    using Callback = EventQueue::Callback;
+
+    /// Schedules `cb` at absolute time `t`. Scheduling into the past (before
+    /// `now()`) is a logic error and throws.
+    EventHandle schedule_at(SimTime t, Callback cb);
+
+    /// Schedules `cb` at now() + dt, dt >= 0.
+    EventHandle schedule_after(SimTime dt, Callback cb);
+
+    /// Cancels a pending event; returns false if it already fired.
+    bool cancel(EventHandle h) { return queue_.cancel(h); }
+
+    /// Current simulation time.
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+    /// Runs a single event. Returns false (and leaves `now()` unchanged)
+    /// when the queue is empty.
+    bool step();
+
+    /// Runs until the queue drains or stop() is called.
+    void run();
+
+    /// Runs every event with timestamp <= `t`, then advances `now()` to `t`
+    /// (even if the queue still holds later events). Returns early if
+    /// stop() is called.
+    void run_until(SimTime t);
+
+    /// Requests the current run()/run_until() to return after the active
+    /// callback completes. Callable from inside callbacks.
+    void stop() noexcept { stopped_ = true; }
+
+    [[nodiscard]] bool stop_requested() const noexcept { return stopped_; }
+
+    /// Clears a previous stop request so the engine can be driven further.
+    void clear_stop() noexcept { stopped_ = false; }
+
+    /// Total callbacks executed so far.
+    [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+
+    /// Live (pending, non-cancelled) events.
+    [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+private:
+    EventQueue queue_;
+    SimTime now_ = SimTime::zero();
+    std::uint64_t processed_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace routesync::sim

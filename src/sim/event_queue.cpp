@@ -1,0 +1,62 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace routesync::sim {
+
+EventHandle EventQueue::push(SimTime t, Callback cb) {
+    if (!cb) {
+        throw std::invalid_argument{"EventQueue::push: empty callback"};
+    }
+    const std::uint64_t id = next_id_++;
+    heap_.push(Entry{t, id, id, std::move(cb)});
+    pending_.insert(id);
+    ++live_;
+    return EventHandle{id};
+}
+
+bool EventQueue::cancel(EventHandle h) {
+    const auto it = pending_.find(h.id);
+    if (it == pending_.end()) {
+        return false; // already fired, already cancelled, or bogus handle
+    }
+    pending_.erase(it);
+    cancelled_.insert(h.id);
+    --live_;
+    return true;
+}
+
+void EventQueue::skip_cancelled() {
+    while (!heap_.empty()) {
+        const auto it = cancelled_.find(heap_.top().id);
+        if (it == cancelled_.end()) {
+            return;
+        }
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+SimTime EventQueue::next_time() {
+    skip_cancelled();
+    assert(!heap_.empty() && "next_time() on empty queue");
+    return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+    skip_cancelled();
+    assert(!heap_.empty() && "pop() on empty queue");
+    // priority_queue::top() returns const&; the callback must be moved out,
+    // so const_cast on the about-to-be-popped element is the standard
+    // workaround (the element is removed immediately after).
+    auto& top = const_cast<Entry&>(heap_.top());
+    Popped out{top.time, std::move(top.callback)};
+    pending_.erase(top.id);
+    heap_.pop();
+    --live_;
+    return out;
+}
+
+} // namespace routesync::sim

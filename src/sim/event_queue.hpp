@@ -1,0 +1,85 @@
+// A cancellable priority queue of timestamped events.
+//
+// Ordering: strictly by time, then by insertion order (FIFO among equal
+// timestamps). The FIFO tie-break matters: the Periodic Messages model
+// produces many events at *identical* times (cluster members share
+// busy-period arithmetic), and deterministic ordering keeps whole
+// simulations bit-reproducible.
+//
+// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
+// at pop time. This keeps push/cancel O(log n)/O(1) with no handle
+// invalidation headaches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace routesync::sim {
+
+/// Opaque handle identifying a scheduled event; valid until the event
+/// fires or is cancelled.
+struct EventHandle {
+    std::uint64_t id = 0;
+
+    friend bool operator==(EventHandle, EventHandle) = default;
+};
+
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    /// Schedules `cb` at time `t`. Events at equal times fire in push order.
+    EventHandle push(SimTime t, Callback cb);
+
+    /// Cancels a pending event. Returns false if the event already fired,
+    /// was already cancelled, or the handle is unknown.
+    bool cancel(EventHandle h);
+
+    /// True when no live (non-cancelled) events remain.
+    [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+    /// Number of live events.
+    [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+    /// Timestamp of the earliest live event. Precondition: !empty().
+    [[nodiscard]] SimTime next_time();
+
+    /// Removes and returns the earliest live event. Precondition: !empty().
+    struct Popped {
+        SimTime time;
+        Callback callback;
+    };
+    Popped pop();
+
+private:
+    struct Entry {
+        SimTime time;
+        std::uint64_t seq; // push order; breaks ties FIFO
+        std::uint64_t id;
+        Callback callback;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            if (a.time != b.time) {
+                return a.time > b.time;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    /// Drops cancelled entries from the top of the heap.
+    void skip_cancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<std::uint64_t> pending_;   // ids of live entries
+    std::unordered_set<std::uint64_t> cancelled_; // ids to skip at pop time
+    std::uint64_t next_id_ = 1;
+    std::size_t live_ = 0;
+};
+
+} // namespace routesync::sim

@@ -1,0 +1,6 @@
+// Umbrella header for the discrete-event simulation engine.
+#pragma once
+
+#include "sim/engine.hpp"      // IWYU pragma: export
+#include "sim/event_queue.hpp" // IWYU pragma: export
+#include "sim/time.hpp"        // IWYU pragma: export

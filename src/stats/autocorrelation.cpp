@@ -1,0 +1,58 @@
+#include "stats/autocorrelation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace routesync::stats {
+
+std::vector<double> autocorrelation(std::span<const double> x, std::size_t max_lag) {
+    const std::size_t n = x.size();
+    if (n == 0) {
+        throw std::invalid_argument{"autocorrelation: empty series"};
+    }
+    if (max_lag >= n) {
+        throw std::invalid_argument{"autocorrelation: max_lag must be < series length"};
+    }
+
+    double mean = 0.0;
+    for (const double v : x) {
+        mean += v;
+    }
+    mean /= static_cast<double>(n);
+
+    double denom = 0.0;
+    for (const double v : x) {
+        denom += (v - mean) * (v - mean);
+    }
+
+    std::vector<double> r(max_lag + 1, 0.0);
+    r[0] = 1.0;
+    if (denom == 0.0) {
+        return r; // constant series: correlation undefined; report 0
+    }
+    for (std::size_t k = 1; k <= max_lag; ++k) {
+        double num = 0.0;
+        for (std::size_t t = 0; t + k < n; ++t) {
+            num += (x[t] - mean) * (x[t + k] - mean);
+        }
+        r[k] = num / denom;
+    }
+    return r;
+}
+
+DominantLag dominant_lag(std::span<const double> x, std::size_t min_lag,
+                         std::size_t max_lag) {
+    if (min_lag == 0 || min_lag > max_lag) {
+        throw std::invalid_argument{"dominant_lag: need 0 < min_lag <= max_lag"};
+    }
+    const auto r = autocorrelation(x, max_lag);
+    DominantLag best{min_lag, r[min_lag]};
+    for (std::size_t k = min_lag + 1; k <= max_lag; ++k) {
+        if (r[k] > best.correlation) {
+            best = DominantLag{k, r[k]};
+        }
+    }
+    return best;
+}
+
+} // namespace routesync::stats

@@ -1,0 +1,31 @@
+// Sample autocorrelation function — the analysis behind the paper's
+// Figure 2, where the RTT series of 1000 pings shows a correlation spike
+// at lag ~89 (the ~90-second routing-update period divided by the
+// 1.01-second ping interval).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace routesync::stats {
+
+/// Sample autocorrelation r(k) for lags 0..max_lag (inclusive):
+///   r(k) = sum_{t}((x_t - mean)(x_{t+k} - mean)) / sum_t((x_t - mean)^2)
+/// r(0) == 1 by construction. For a constant series (zero variance) every
+/// lag is reported as 0 except r(0) = 1.
+/// Requires max_lag < x.size().
+[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> x,
+                                                  std::size_t max_lag);
+
+/// The lag in [min_lag, max_lag] with the largest autocorrelation.
+/// Useful for detecting a dominant periodicity. Requires a non-empty lag
+/// range within the series length.
+struct DominantLag {
+    std::size_t lag;
+    double correlation;
+};
+[[nodiscard]] DominantLag dominant_lag(std::span<const double> x, std::size_t min_lag,
+                                       std::size_t max_lag);
+
+} // namespace routesync::stats

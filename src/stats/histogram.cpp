@@ -1,0 +1,67 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace routesync::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_{lo}, hi_{hi} {
+    if (!(lo < hi)) {
+        throw std::invalid_argument{"Histogram: lo must be < hi"};
+    }
+    if (bins == 0) {
+        throw std::invalid_argument{"Histogram: need at least one bin"};
+    }
+    bin_width_ = (hi - lo) / static_cast<double>(bins);
+    counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+    bin = std::min(bin, counts_.size() - 1); // guard FP edge at hi
+    ++counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+    if (bin >= counts_.size()) {
+        throw std::out_of_range{"Histogram::bin_lo"};
+    }
+    return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + bin_width_; }
+
+std::string Histogram::ascii(std::size_t width) const {
+    std::uint64_t peak = 1;
+    for (const auto c : counts_) {
+        peak = std::max(peak, c);
+    }
+    std::ostringstream out;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        const auto bar = static_cast<std::size_t>(
+            std::llround(static_cast<double>(counts_[b]) /
+                         static_cast<double>(peak) * static_cast<double>(width)));
+        out << "[" << bin_lo(b) << ", " << bin_hi(b) << ") " << std::string(bar, '#')
+            << " " << counts_[b] << "\n";
+    }
+    if (underflow_ > 0) {
+        out << "underflow " << underflow_ << "\n";
+    }
+    if (overflow_ > 0) {
+        out << "overflow " << overflow_ << "\n";
+    }
+    return out.str();
+}
+
+} // namespace routesync::stats

@@ -1,0 +1,43 @@
+// Fixed-width binned histogram over a closed range, with overflow and
+// underflow accounting. Used by benches to print loss/RTT distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace routesync::stats {
+
+class Histogram {
+public:
+    /// Bins [lo, hi) into `bins` equal cells. Requires lo < hi, bins >= 1.
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+    [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+    [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+    /// Left edge of a bin.
+    [[nodiscard]] double bin_lo(std::size_t bin) const;
+    [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+    /// Multi-line ASCII rendering (one row per bin, `width`-char bars),
+    /// for human-readable bench output.
+    [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    double bin_width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace routesync::stats

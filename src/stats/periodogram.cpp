@@ -1,0 +1,77 @@
+#include "stats/periodogram.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace routesync::stats {
+
+double spectral_power(std::span<const double> x, double frequency) {
+    const std::size_t n = x.size();
+    if (n == 0) {
+        throw std::invalid_argument{"spectral_power: empty series"};
+    }
+    if (frequency <= 0.0 || frequency > 0.5) {
+        throw std::invalid_argument{"spectral_power: frequency outside (0, 0.5]"};
+    }
+    double mean = 0.0;
+    for (const double v : x) {
+        mean += v;
+    }
+    mean /= static_cast<double>(n);
+
+    double re = 0.0;
+    double im = 0.0;
+    const double w = 2.0 * std::numbers::pi * frequency;
+    for (std::size_t t = 0; t < n; ++t) {
+        const double v = x[t] - mean;
+        re += v * std::cos(w * static_cast<double>(t));
+        im -= v * std::sin(w * static_cast<double>(t));
+    }
+    return (re * re + im * im) / static_cast<double>(n);
+}
+
+std::vector<double> periodogram(std::span<const double> x) {
+    const std::size_t n = x.size();
+    if (n < 2) {
+        throw std::invalid_argument{"periodogram: need at least two samples"};
+    }
+    std::vector<double> power;
+    power.reserve(n / 2);
+    for (std::size_t k = 1; k <= n / 2; ++k) {
+        power.push_back(
+            spectral_power(x, static_cast<double>(k) / static_cast<double>(n)));
+    }
+    return power;
+}
+
+DominantFrequency dominant_frequency(std::span<const double> x, double min_frequency,
+                                     double max_frequency) {
+    const std::size_t n = x.size();
+    if (n < 2) {
+        throw std::invalid_argument{"dominant_frequency: need at least two samples"};
+    }
+    if (min_frequency <= 0.0 || min_frequency > max_frequency ||
+        max_frequency > 0.5) {
+        throw std::invalid_argument{
+            "dominant_frequency: need 0 < min <= max <= 0.5"};
+    }
+    DominantFrequency best{0.0, 0.0, -1.0};
+    for (std::size_t k = 1; k <= n / 2; ++k) {
+        const double f = static_cast<double>(k) / static_cast<double>(n);
+        if (f < min_frequency || f > max_frequency) {
+            continue;
+        }
+        const double p = spectral_power(x, f);
+        if (p > best.power) {
+            best = DominantFrequency{f, 1.0 / f, p};
+        }
+    }
+    if (best.power < 0.0) {
+        throw std::invalid_argument{
+            "dominant_frequency: no Fourier frequency inside the range"};
+    }
+    return best;
+}
+
+} // namespace routesync::stats

@@ -1,0 +1,61 @@
+#include "stats/phase_cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace routesync::stats {
+
+double circular_distance(double a, double b, double period) {
+    double d = std::fmod(std::fabs(a - b), period);
+    return std::min(d, period - d);
+}
+
+PhaseClusters cluster_phases(std::span<const double> offsets, double period,
+                             double gap) {
+    if (period <= 0.0) {
+        throw std::invalid_argument{"cluster_phases: period must be positive"};
+    }
+    if (gap < 0.0) {
+        throw std::invalid_argument{"cluster_phases: gap must be non-negative"};
+    }
+    PhaseClusters out;
+    if (offsets.empty()) {
+        return out;
+    }
+
+    std::vector<double> sorted;
+    sorted.reserve(offsets.size());
+    for (const double x : offsets) {
+        sorted.push_back(std::fmod(std::fmod(x, period) + period, period));
+    }
+    std::sort(sorted.begin(), sorted.end());
+
+    // Walk the sorted circle; a new cluster starts at each gap > `gap`.
+    std::vector<std::size_t> sizes;
+    std::size_t current = 1;
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        if (sorted[i] - sorted[i - 1] <= gap) {
+            ++current;
+        } else {
+            sizes.push_back(current);
+            current = 1;
+        }
+    }
+    sizes.push_back(current);
+
+    // Wraparound: if the first and last points are circularly close and they
+    // are in different clusters, merge those clusters.
+    if (sizes.size() > 1 &&
+        (period - sorted.back()) + sorted.front() <= gap) {
+        sizes.front() += sizes.back();
+        sizes.pop_back();
+    }
+
+    std::sort(sizes.begin(), sizes.end(), std::greater<>{});
+    out.sizes = std::move(sizes);
+    return out;
+}
+
+} // namespace routesync::stats

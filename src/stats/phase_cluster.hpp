@@ -1,0 +1,35 @@
+// Clustering of phase offsets on a circle.
+//
+// The Periodic Messages analysis characterizes a round by the sizes of the
+// clusters of routing-message transmit times modulo the round length
+// (paper Figures 4 and 6). Given N offsets in [0, period) this groups
+// points whose circular gaps are at most `gap`, correctly handling the
+// wraparound at 0/period.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace routesync::stats {
+
+struct PhaseClusters {
+    /// Cluster sizes, descending.
+    std::vector<std::size_t> sizes;
+
+    [[nodiscard]] std::size_t largest() const noexcept {
+        return sizes.empty() ? 0 : sizes.front();
+    }
+    [[nodiscard]] std::size_t count() const noexcept { return sizes.size(); }
+};
+
+/// Single-linkage clustering on the circle of circumference `period`:
+/// two offsets are linked when their circular distance is <= `gap`.
+/// Requires period > 0, 0 <= gap.
+[[nodiscard]] PhaseClusters cluster_phases(std::span<const double> offsets,
+                                           double period, double gap);
+
+/// Circular distance between two offsets on [0, period).
+[[nodiscard]] double circular_distance(double a, double b, double period);
+
+} // namespace routesync::stats

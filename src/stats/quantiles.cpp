@@ -1,0 +1,32 @@
+#include "stats/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace routesync::stats {
+
+double quantile(std::span<const double> xs, double q) {
+    if (xs.empty()) {
+        throw std::invalid_argument{"quantile: empty input"};
+    }
+    if (q < 0.0 || q > 1.0) {
+        throw std::invalid_argument{"quantile: q outside [0, 1]"};
+    }
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double h = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = static_cast<std::size_t>(std::ceil(h));
+    const double frac = h - std::floor(h);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+QuantileSummary summarize(std::span<const double> xs) {
+    return QuantileSummary{
+        quantile(xs, 0.0),  quantile(xs, 0.25), quantile(xs, 0.5), quantile(xs, 0.75),
+        quantile(xs, 0.90), quantile(xs, 0.99), quantile(xs, 1.0),
+    };
+}
+
+} // namespace routesync::stats

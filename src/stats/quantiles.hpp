@@ -1,0 +1,25 @@
+// Order statistics over stored samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace routesync::stats {
+
+/// The q-quantile (q in [0, 1]) of `xs` by linear interpolation between
+/// closest ranks (type-7 / default R definition). Requires non-empty input.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Convenience bundle of common percentiles.
+struct QuantileSummary {
+    double min;
+    double p25;
+    double median;
+    double p75;
+    double p90;
+    double p99;
+    double max;
+};
+[[nodiscard]] QuantileSummary summarize(std::span<const double> xs);
+
+} // namespace routesync::stats

@@ -1,0 +1,57 @@
+#include "stats/running_stats.hpp"
+
+#include <cmath>
+
+namespace routesync::stats {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        if (x < min_) {
+            min_ = x;
+        }
+        if (x > max_) {
+            max_ = x;
+        }
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) {
+        return;
+    }
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    if (other.min_ < min_) {
+        min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+        max_ = other.max_;
+    }
+}
+
+double RunningStats::variance() const noexcept {
+    if (n_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+} // namespace routesync::stats

@@ -1,0 +1,36 @@
+// Streaming summary statistics (Welford's algorithm): numerically stable
+// mean and variance in one pass, plus min/max, without storing samples.
+#pragma once
+
+#include <cstdint>
+
+namespace routesync::stats {
+
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    /// Merges another accumulator into this one (parallel-combine form of
+    /// Welford; exact up to rounding).
+    void merge(const RunningStats& other) noexcept;
+
+    void reset() noexcept { *this = RunningStats{}; }
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+    /// Unbiased sample variance; 0 for fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+    [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace routesync::stats

@@ -1,0 +1,66 @@
+#include "tcpsync/aimd_flow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace routesync::tcpsync {
+
+AimdFlow::AimdFlow(sim::Engine& engine, Bottleneck& bottleneck,
+                   const FlowConfig& config)
+    : engine_{engine},
+      bottleneck_{bottleneck},
+      config_{config},
+      window_{config.initial_window} {
+    if (config_.rtt_sec <= 0.0) {
+        throw std::invalid_argument{"AimdFlow: RTT must be positive"};
+    }
+    if (config_.initial_window < 1.0 || config_.max_window < config_.initial_window) {
+        throw std::invalid_argument{"AimdFlow: bad window bounds"};
+    }
+}
+
+void AimdFlow::start(sim::SimTime at) {
+    engine_.schedule_at(at, [this] { send_next(); });
+}
+
+void AimdFlow::send_next() {
+    if (engine_.now() >= config_.stop_at) {
+        return;
+    }
+    FlowPacket p;
+    p.flow = config_.id;
+    p.seq = sent_++;
+    p.sent_at = engine_.now();
+    bottleneck_.enqueue(p);
+    if (on_window_sample) {
+        on_window_sample(engine_.now().sec(), window_);
+    }
+    // Self-pacing: w packets per RTT.
+    engine_.schedule_after(sim::SimTime::seconds(config_.rtt_sec / window_),
+                           [this] { send_next(); });
+}
+
+void AimdFlow::packet_delivered(const FlowPacket&) {
+    ++acked_;
+    if (engine_.now() >= recovery_until_) {
+        // Congestion avoidance: +1/w per ACK, ~+1 per RTT.
+        window_ = std::min(config_.max_window, window_ + 1.0 / window_);
+    }
+}
+
+void AimdFlow::packet_dropped(const FlowPacket&) {
+    // The sender learns about the loss roughly one RTT after sending.
+    engine_.schedule_after(sim::SimTime::seconds(config_.rtt_sec),
+                           [this] { loss_detected(); });
+}
+
+void AimdFlow::loss_detected() {
+    if (engine_.now() < recovery_until_) {
+        return; // one halving per RTT: losses in the same window collapse
+    }
+    halvings_.push_back(Halving{config_.id, engine_.now().sec(), window_});
+    window_ = std::max(1.0, window_ / 2.0);
+    recovery_until_ = engine_.now() + sim::SimTime::seconds(config_.rtt_sec);
+}
+
+} // namespace routesync::tcpsync

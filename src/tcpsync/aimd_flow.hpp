@@ -1,0 +1,75 @@
+// A TCP-like AIMD source (congestion-avoidance approximation).
+//
+// The flow paces packets at w/RTT, grows its window by 1/w per delivered
+// packet (so ~1 packet per RTT), and halves it when a loss is detected —
+// at most once per RTT (fast-recovery-style suppression). This is the
+// standard simplified TCP used in phase-effect studies [ZhCl90, FJ92]:
+// detailed enough to show window synchronization at a shared bottleneck,
+// simple enough to reason about.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "tcpsync/bottleneck.hpp"
+
+namespace routesync::tcpsync {
+
+struct FlowConfig {
+    int id = 0;
+    double rtt_sec = 0.1;     ///< fixed propagation RTT (excl. queueing)
+    double initial_window = 2.0;
+    double max_window = 64.0;
+    sim::SimTime stop_at = sim::SimTime::seconds(300);
+};
+
+/// One congestion-window halving (a "decrease event").
+struct Halving {
+    int flow;
+    double time_sec;
+    double window_before;
+};
+
+class AimdFlow {
+public:
+    AimdFlow(sim::Engine& engine, Bottleneck& bottleneck, const FlowConfig& config);
+
+    AimdFlow(const AimdFlow&) = delete;
+    AimdFlow& operator=(const AimdFlow&) = delete;
+
+    void start(sim::SimTime at);
+
+    /// Feed a delivery notification for this flow's packet (the experiment
+    /// demultiplexes the bottleneck callbacks).
+    void packet_delivered(const FlowPacket& p);
+    /// Feed a drop notification; the loss is *detected* one RTT later.
+    void packet_dropped(const FlowPacket& p);
+
+    [[nodiscard]] double window() const noexcept { return window_; }
+    [[nodiscard]] const FlowConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const std::vector<Halving>& halvings() const noexcept {
+        return halvings_;
+    }
+    [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+    [[nodiscard]] std::uint64_t packets_acked() const noexcept { return acked_; }
+
+    /// Sampled (time, window) trace for plots; one point per send.
+    std::function<void(double time_sec, double window)> on_window_sample;
+
+private:
+    void send_next();
+    void loss_detected();
+
+    sim::Engine& engine_;
+    Bottleneck& bottleneck_;
+    FlowConfig config_;
+    double window_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t acked_ = 0;
+    sim::SimTime recovery_until_ = sim::SimTime::zero();
+    std::vector<Halving> halvings_;
+};
+
+} // namespace routesync::tcpsync

@@ -1,0 +1,102 @@
+#include "tcpsync/bottleneck.hpp"
+
+#include <stdexcept>
+
+namespace routesync::tcpsync {
+
+Bottleneck::Bottleneck(sim::Engine& engine, const BottleneckConfig& config)
+    : engine_{engine}, config_{config}, gen_{config.seed} {
+    if (config_.rate_pps <= 0.0) {
+        throw std::invalid_argument{"Bottleneck: rate must be positive"};
+    }
+    if (config_.buffer_packets < 1) {
+        throw std::invalid_argument{"Bottleneck: buffer must hold >= 1 packet"};
+    }
+}
+
+bool Bottleneck::red_admits() {
+    avg_queue_ = (1.0 - config_.red_weight) * avg_queue_ +
+                 config_.red_weight * static_cast<double>(queue_.size());
+    const double min_th = config_.red_min_frac * config_.buffer_packets;
+    const double max_th = config_.red_max_frac * config_.buffer_packets;
+    if (avg_queue_ <= min_th) {
+        return true;
+    }
+    if (avg_queue_ >= max_th) {
+        return false;
+    }
+    const double p =
+        config_.red_p_max * (avg_queue_ - min_th) / (max_th - min_th);
+    return !rng::bernoulli(gen_, p);
+}
+
+void Bottleneck::enqueue(FlowPacket p) {
+    ++stats_.arrived;
+    if (static_cast<double>(queue_.size()) > stats_.max_queue) {
+        stats_.max_queue = static_cast<double>(queue_.size());
+    }
+
+    if (config_.policy == DropPolicy::RedLike && !red_admits()) {
+        ++stats_.dropped;
+        if (on_dropped) {
+            on_dropped(p);
+        }
+        return;
+    }
+
+    const bool full =
+        queue_.size() >= static_cast<std::size_t>(config_.buffer_packets);
+    if (full) {
+        // Random-drop evicts a queued packet and admits the arrival — but
+        // never the head while it is in service (it is already on the
+        // wire).
+        const std::size_t first_evictable = serving_ ? 1 : 0;
+        if (config_.policy == DropPolicy::RandomDrop &&
+            queue_.size() > first_evictable) {
+            const auto victim = static_cast<std::size_t>(rng::uniform_u64(
+                gen_, first_evictable, queue_.size() - 1));
+            const FlowPacket evicted = queue_[victim];
+            queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+            ++stats_.dropped;
+            if (on_dropped) {
+                on_dropped(evicted);
+            }
+        } else {
+            ++stats_.dropped;
+            if (on_dropped) {
+                on_dropped(p);
+            }
+            return;
+        }
+    }
+
+    queue_.push_back(p);
+    if (!serving_) {
+        start_service();
+    }
+}
+
+void Bottleneck::start_service() {
+    serving_ = true;
+    engine_.schedule_after(sim::SimTime::seconds(1.0 / config_.rate_pps),
+                           [this] { service_done(); });
+}
+
+void Bottleneck::service_done() {
+    // The head packet completes service.
+    if (!queue_.empty()) {
+        const FlowPacket done = queue_.front();
+        queue_.pop_front();
+        ++stats_.delivered;
+        if (on_delivered) {
+            on_delivered(done);
+        }
+    }
+    if (!queue_.empty()) {
+        start_service();
+    } else {
+        serving_ = false;
+    }
+}
+
+} // namespace routesync::tcpsync

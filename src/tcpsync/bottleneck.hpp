@@ -1,0 +1,96 @@
+// A shared bottleneck gateway for the TCP window-synchronization study.
+//
+// Paper Section 1: "A well-known example of unintended synchronization is
+// the synchronization of the window increase/decrease cycles of separate
+// TCP connections sharing a common bottleneck gateway [ZhCl90] ...
+// synchronization ... can be avoided by adding randomization to the
+// gateway's algorithm for choosing packets to drop during periods of
+// congestion [FJ92]."
+//
+// The gateway serves packets at a fixed rate from a bounded buffer and
+// implements three drop disciplines:
+//   * DropTail   — deterministic tail drop: overflow periods hit every
+//                  flow that is sending, synchronizing their backoffs;
+//   * RandomDrop — on overflow, evict a uniformly random *queued* packet
+//                  instead of the arrival (the [FJ92]-era randomization);
+//   * RedLike    — probabilistic early drop driven by an EWMA of the
+//                  queue length (a simplified RED), which spreads the
+//                  congestion signals out in time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "rng/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace routesync::tcpsync {
+
+enum class DropPolicy {
+    DropTail,
+    RandomDrop,
+    RedLike,
+};
+
+/// A packet in flight on the bottleneck, tagged with its flow.
+struct FlowPacket {
+    int flow = -1;
+    std::uint64_t seq = 0;
+    sim::SimTime sent_at;
+};
+
+struct BottleneckConfig {
+    double rate_pps = 1000.0; ///< service rate, packets per second
+    int buffer_packets = 50;
+    DropPolicy policy = DropPolicy::DropTail;
+    /// RedLike thresholds as fractions of the buffer, and max drop prob.
+    double red_min_frac = 0.2;
+    double red_max_frac = 0.8;
+    double red_p_max = 0.1;
+    /// EWMA weight for the averaged queue length.
+    double red_weight = 0.05;
+    std::uint64_t seed = 1;
+};
+
+struct BottleneckStats {
+    std::uint64_t arrived = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    double max_queue = 0;
+};
+
+class Bottleneck {
+public:
+    Bottleneck(sim::Engine& engine, const BottleneckConfig& config);
+
+    Bottleneck(const Bottleneck&) = delete;
+    Bottleneck& operator=(const Bottleneck&) = delete;
+
+    /// Called when a packet finishes service.
+    std::function<void(const FlowPacket&)> on_delivered;
+    /// Called the instant a packet is dropped (either the arrival or a
+    /// random victim already queued).
+    std::function<void(const FlowPacket&)> on_dropped;
+
+    void enqueue(FlowPacket p);
+
+    [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+    [[nodiscard]] double averaged_queue() const noexcept { return avg_queue_; }
+    [[nodiscard]] const BottleneckStats& stats() const noexcept { return stats_; }
+
+private:
+    void start_service();
+    void service_done();
+    [[nodiscard]] bool red_admits(); // updates the EWMA, rolls the dice
+
+    sim::Engine& engine_;
+    BottleneckConfig config_;
+    rng::DefaultEngine gen_;
+    std::deque<FlowPacket> queue_;
+    bool serving_ = false;
+    double avg_queue_ = 0.0;
+    BottleneckStats stats_;
+};
+
+} // namespace routesync::tcpsync

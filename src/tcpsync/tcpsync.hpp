@@ -1,0 +1,7 @@
+// Umbrella header for the TCP window-synchronization study (the paper's
+// Section 1 example [ZhCl90] and its randomized-gateway fix [FJ92]).
+#pragma once
+
+#include "tcpsync/aimd_flow.hpp"  // IWYU pragma: export
+#include "tcpsync/bottleneck.hpp" // IWYU pragma: export
+#include "tcpsync/experiment.hpp" // IWYU pragma: export

@@ -1,0 +1,224 @@
+// Tests for the measurement applications.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "net/net.hpp"
+
+namespace {
+
+using namespace routesync;
+using net::LinkConfig;
+using net::Network;
+using net::Packet;
+using net::PacketType;
+using sim::SimTime;
+using namespace sim::literals;
+
+struct TwoHosts {
+    sim::Engine engine;
+    Network nw{engine};
+    net::Host& a = nw.add_host("a");
+    net::Host& b = nw.add_host("b");
+    net::Router& r = nw.add_router("r");
+
+    TwoHosts() {
+        const LinkConfig fast{.rate_bps = 0.0, .delay = 5_msec};
+        nw.connect(a, r, fast);
+        nw.connect(r, b, fast);
+        nw.install_static_routes();
+    }
+};
+
+// ----------------------------------------------------------------- ping
+
+TEST(PingApp, AllRepliesOnHealthyPath) {
+    TwoHosts t;
+    apps::PingConfig cfg;
+    cfg.dst = t.b.id();
+    cfg.count = 50;
+    cfg.interval = 100_msec;
+    apps::PingApp ping{t.a, cfg};
+    bool completed = false;
+    ping.on_complete = [&] { completed = true; };
+    ping.start(1_sec);
+    t.engine.run();
+
+    EXPECT_TRUE(completed);
+    EXPECT_EQ(ping.sent(), 50);
+    EXPECT_EQ(ping.received(), 50);
+    EXPECT_EQ(ping.lost(), 0);
+    EXPECT_DOUBLE_EQ(ping.loss_fraction(), 0.0);
+    for (const double rtt : ping.rtts()) {
+        EXPECT_NEAR(rtt, 0.02, 1e-9); // 4 x 5 ms
+    }
+}
+
+TEST(PingApp, LossesAreNegativeAndSubstitutable) {
+    TwoHosts t;
+    apps::PingConfig cfg;
+    cfg.dst = t.b.id();
+    cfg.count = 10;
+    cfg.interval = 100_msec;
+    apps::PingApp ping{t.a, cfg};
+    ping.start(1_sec);
+    // Stall the router CPU over pings 3-5 so they die (pending buffer 4,
+    // but the delay exceeds the 2 s timeout).
+    t.engine.schedule_at(SimTime::seconds(1.25), [&] {
+        t.r.schedule_cpu_work(30_sec, [] {});
+    });
+    t.engine.run();
+
+    EXPECT_GT(ping.lost(), 0);
+    const auto& rtts = ping.rtts();
+    EXPECT_LT(rtts[5], 0.0);
+    const auto subst = ping.rtts_with_losses_as(2.0);
+    for (std::size_t i = 0; i < subst.size(); ++i) {
+        if (rtts[i] < 0) {
+            EXPECT_DOUBLE_EQ(subst[i], 2.0);
+        } else {
+            EXPECT_DOUBLE_EQ(subst[i], rtts[i]);
+        }
+    }
+}
+
+TEST(PingApp, RepliesAfterTimeoutCountAsLost) {
+    TwoHosts t;
+    apps::PingConfig cfg;
+    cfg.dst = t.b.id();
+    cfg.count = 3;
+    cfg.interval = 10_sec;
+    cfg.timeout = 1_sec;
+    apps::PingApp ping{t.a, cfg};
+    ping.start(0.5_sec);
+    // Delay ping 0 by 1.5 s (beyond the 1 s timeout) via a CPU stall.
+    t.engine.schedule_at(SimTime::seconds(0.504), [&] {
+        t.r.schedule_cpu_work(1.5_sec, [] {});
+    });
+    t.engine.run();
+    EXPECT_EQ(ping.lost(), 1);
+    EXPECT_LT(ping.rtts()[0], 0.0);
+    EXPECT_GT(ping.rtts()[1], 0.0);
+}
+
+TEST(PingApp, RejectsInvalidConfig) {
+    TwoHosts t;
+    apps::PingConfig bad;
+    bad.dst = -1;
+    EXPECT_THROW(apps::PingApp(t.a, bad), std::invalid_argument);
+    bad.dst = t.b.id();
+    bad.count = 0;
+    EXPECT_THROW(apps::PingApp(t.a, bad), std::invalid_argument);
+}
+
+TEST(PingApp, RefusesSharedHost) {
+    TwoHosts t;
+    apps::PingConfig cfg;
+    cfg.dst = t.b.id();
+    apps::PingApp first{t.a, cfg};
+    EXPECT_THROW(apps::PingApp(t.a, cfg), std::logic_error);
+}
+
+// ----------------------------------------------------------------- CBR
+
+TEST(CbrAudio, LosslessPathHasNoOutages) {
+    TwoHosts t;
+    apps::CbrConfig cfg;
+    cfg.dst = t.b.id();
+    cfg.packets_per_second = 50.0;
+    cfg.stop_at = 10_sec;
+    apps::CbrSource src{t.a, cfg};
+    apps::AudioSink sink{t.b, SimTime::seconds(0.02)};
+    src.start(1_sec);
+    t.engine.run();
+
+    EXPECT_GT(src.sent(), 400U);
+    EXPECT_EQ(sink.received(), src.sent());
+    EXPECT_EQ(sink.lost(), 0U);
+    EXPECT_TRUE(sink.outages().empty());
+}
+
+TEST(CbrAudio, CpuStallProducesOneOutageOfMatchingLength) {
+    TwoHosts t;
+    apps::CbrConfig cfg;
+    cfg.dst = t.b.id();
+    cfg.packets_per_second = 50.0;
+    cfg.stop_at = 20_sec;
+    apps::CbrSource src{t.a, cfg};
+    apps::AudioSink sink{t.b, SimTime::seconds(0.02)};
+    src.start(1_sec);
+    t.engine.schedule_at(5_sec, [&] { t.r.schedule_cpu_work(2_sec, [] {}); });
+    t.engine.run();
+
+    ASSERT_EQ(sink.outages().size(), 1U);
+    const auto& o = sink.outages()[0];
+    // ~2 s of packets minus the 4 the pending buffer saved. The gap is
+    // detected after the held packets drain, i.e. when the stall ends.
+    EXPECT_NEAR(o.duration_sec, 2.0 - 4 * 0.02, 0.15);
+    EXPECT_NEAR(o.start_sec, 7.0, 0.1);
+    EXPECT_EQ(sink.lost(), o.packets_lost);
+    EXPECT_GT(o.packets_lost, 80U);
+}
+
+TEST(CbrAudio, OutagesLongerThanFilters) {
+    TwoHosts t;
+    apps::CbrConfig cfg;
+    cfg.dst = t.b.id();
+    cfg.packets_per_second = 50.0;
+    cfg.stop_at = 30_sec;
+    apps::CbrSource src{t.a, cfg};
+    apps::AudioSink sink{t.b, SimTime::seconds(0.02)};
+    src.start(1_sec);
+    t.engine.schedule_at(5_sec, [&] { t.r.schedule_cpu_work(1_sec, [] {}); });
+    t.engine.schedule_at(15_sec, [&] { t.r.schedule_cpu_work(3_sec, [] {}); });
+    t.engine.run();
+
+    ASSERT_EQ(sink.outages().size(), 2U);
+    const auto big = sink.outages_longer_than(1.5);
+    ASSERT_EQ(big.size(), 1U);
+    EXPECT_NEAR(big[0].start_sec, 18.0, 0.1); // stall end, after drain
+
+}
+
+TEST(CbrAudio, RejectsInvalidConfig) {
+    TwoHosts t;
+    apps::CbrConfig bad;
+    bad.dst = -1;
+    EXPECT_THROW(apps::CbrSource(t.a, bad), std::invalid_argument);
+    bad.dst = t.b.id();
+    bad.packets_per_second = 0.0;
+    EXPECT_THROW(apps::CbrSource(t.a, bad), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- background
+
+TEST(BackgroundTraffic, RateMatchesConfiguredMean) {
+    TwoHosts t;
+    apps::BackgroundConfig cfg;
+    cfg.dst = t.b.id();
+    cfg.mean_packets_per_second = 200.0;
+    cfg.stop_at = 60_sec;
+    cfg.seed = 4;
+    apps::BackgroundTraffic bg{t.a, cfg};
+    std::uint64_t got = 0;
+    t.b.on_packet = [&](const Packet& p) {
+        if (p.type == PacketType::Data) {
+            ++got;
+        }
+    };
+    bg.start(SimTime::zero());
+    t.engine.run();
+    EXPECT_NEAR(static_cast<double>(bg.sent()), 200.0 * 60.0, 600.0); // ~3 sigma
+    EXPECT_EQ(got, bg.sent());
+}
+
+TEST(BackgroundTraffic, RejectsInvalidConfig) {
+    TwoHosts t;
+    apps::BackgroundConfig bad;
+    bad.dst = -1;
+    EXPECT_THROW(apps::BackgroundTraffic(t.a, bad), std::invalid_argument);
+    bad.dst = t.b.id();
+    bad.mean_packets_per_second = -1.0;
+    EXPECT_THROW(apps::BackgroundTraffic(t.a, bad), std::invalid_argument);
+}
+
+} // namespace

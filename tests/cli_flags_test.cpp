@@ -1,0 +1,62 @@
+// Tests for the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tools/flags.hpp"
+
+namespace {
+
+using namespace routesync::cli;
+
+Flags parse(std::vector<const char*> args) {
+    args.insert(args.begin(), "prog");
+    return parse_flags(static_cast<int>(args.size()),
+                       const_cast<char**>(args.data()), 1);
+}
+
+TEST(CliFlags, ParsesNameValuePairs) {
+    const auto f = parse({"--n", "20", "--tp", "121.5"});
+    EXPECT_EQ(flag_i(f, "n", 0), 20);
+    EXPECT_DOUBLE_EQ(flag_d(f, "tp", 0.0), 121.5);
+}
+
+TEST(CliFlags, BooleanFlagsGetOne) {
+    const auto f = parse({"--sync-start", "--n", "5", "--rounds"});
+    EXPECT_TRUE(flag_b(f, "sync-start"));
+    EXPECT_TRUE(flag_b(f, "rounds"));
+    EXPECT_FALSE(flag_b(f, "absent"));
+    EXPECT_EQ(flag_i(f, "n", 0), 5);
+}
+
+TEST(CliFlags, FallbacksApplyWhenAbsent) {
+    const auto f = parse({});
+    EXPECT_EQ(flag_i(f, "n", 42), 42);
+    EXPECT_DOUBLE_EQ(flag_d(f, "tp", 3.5), 3.5);
+}
+
+TEST(CliFlags, ScientificNotationValues) {
+    const auto f = parse({"--max-time", "1e7"});
+    EXPECT_DOUBLE_EQ(flag_d(f, "max-time", 0.0), 1e7);
+}
+
+TEST(CliFlags, NegativeNumbersAreValues) {
+    const auto f = parse({"--offset", "-3"});
+    EXPECT_EQ(flag_i(f, "offset", 0), -3);
+}
+
+TEST(CliFlags, NonFlagTokenThrows) {
+    EXPECT_THROW(parse({"bogus"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--n", "20", "stray", "--x"}), std::invalid_argument);
+}
+
+TEST(CliFlags, EmptyFlagNameThrows) {
+    EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+TEST(CliFlags, LastOccurrenceWins) {
+    const auto f = parse({"--n", "5", "--n", "9"});
+    EXPECT_EQ(flag_i(f, "n", 0), 9);
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+// Tests for the client-server recovery-synchronization study (paper
+// Section 1, the Sprite example).
+#include <gtest/gtest.h>
+
+#include "clientsync/poll_sync.hpp"
+
+namespace {
+
+using namespace routesync::clientsync;
+
+ClientServerConfig base() {
+    ClientServerConfig c;
+    c.clients = 60;
+    c.service_time_sec = 0.2;
+    c.timeout_sec = 5.0;
+    c.retry_delay_sec = 5.0;
+    c.failure_at_sec = 100.0;
+    c.recovery_at_sec = 160.0;
+    c.horizon_sec = 600.0;
+    return c;
+}
+
+TEST(ClientSync, SteadyStateHasNoTimeoutsBeforeFailure) {
+    ClientServerConfig c = base();
+    c.failure_at_sec = 1e9; // never fails
+    c.recovery_at_sec = 1e9;
+    c.horizon_sec = 300.0;
+    const auto r = run_client_server_experiment(c);
+    EXPECT_EQ(r.timeouts, 0U);
+    EXPECT_EQ(r.stale_served, 0U);
+    // 60 clients polling every 30 s for ~300 s.
+    EXPECT_GT(r.served, 500U);
+}
+
+TEST(ClientSync, SynchronizedRecoveryIsSlowAndWasteful) {
+    const auto r = run_client_server_experiment(base());
+    ASSERT_TRUE(r.all_recovered);
+    // Ideal serial recovery is 60 * 0.2 = 12 s; the synchronized storm
+    // takes far longer and burns server time on stale requests.
+    EXPECT_GT(r.recovery_duration_sec, 18.0);
+    EXPECT_GT(r.stale_served, 20U);
+    EXPECT_GE(r.peak_queue, 60.0);
+}
+
+TEST(ClientSync, RandomizedReRegistrationRecoversNearIdeal) {
+    ClientServerConfig c = base();
+    c.recovery_spread_sec = 12.0; // spread over the serial service time
+    const auto r = run_client_server_experiment(c);
+    ASSERT_TRUE(r.all_recovered);
+    EXPECT_LT(r.recovery_duration_sec, 16.0);
+    EXPECT_EQ(r.stale_served, 0U);
+    EXPECT_LT(r.peak_queue, 20.0);
+}
+
+TEST(ClientSync, RandomizationBeatsSynchronizationAcrossSeeds) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        ClientServerConfig sync_cfg = base();
+        sync_cfg.seed = seed;
+        ClientServerConfig spread_cfg = sync_cfg;
+        spread_cfg.recovery_spread_sec = 12.0;
+        const auto slow = run_client_server_experiment(sync_cfg);
+        const auto fast = run_client_server_experiment(spread_cfg);
+        EXPECT_LT(fast.recovery_duration_sec, slow.recovery_duration_sec)
+            << "seed " << seed;
+        EXPECT_LE(fast.stale_served, slow.stale_served) << "seed " << seed;
+    }
+}
+
+TEST(ClientSync, AllClientsEventuallyRecover) {
+    const auto r = run_client_server_experiment(base());
+    EXPECT_TRUE(r.all_recovered);
+}
+
+TEST(ClientSync, Deterministic) {
+    const auto a = run_client_server_experiment(base());
+    const auto b = run_client_server_experiment(base());
+    EXPECT_DOUBLE_EQ(a.recovery_duration_sec, b.recovery_duration_sec);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.stale_served, b.stale_served);
+}
+
+TEST(ClientSync, RejectsBadConfig) {
+    ClientServerConfig bad = base();
+    bad.clients = 0;
+    EXPECT_THROW((void)run_client_server_experiment(bad), std::invalid_argument);
+    bad = base();
+    bad.service_time_sec = 0.0;
+    EXPECT_THROW((void)run_client_server_experiment(bad), std::invalid_argument);
+    bad = base();
+    bad.timeout_sec = -1.0;
+    EXPECT_THROW((void)run_client_server_experiment(bad), std::invalid_argument);
+}
+
+} // namespace

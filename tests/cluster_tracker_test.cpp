@@ -1,0 +1,214 @@
+// Tests for cluster bookkeeping, driven with synthetic timer-set events.
+#include <gtest/gtest.h>
+
+#include "core/cluster_tracker.hpp"
+
+namespace {
+
+using routesync::core::ClusterTracker;
+using routesync::sim::SimTime;
+using namespace routesync::sim::literals;
+
+constexpr double kRound = 121.11;
+
+ClusterTracker make_tracker(int n = 5) {
+    return ClusterTracker{n, SimTime::seconds(kRound)};
+}
+
+TEST(ClusterTracker, SimultaneousEventsFormOneCluster) {
+    auto t = make_tracker();
+    t.record_events(true);
+    t.on_timer_set(0, 10_sec);
+    t.on_timer_set(1, 10_sec);
+    t.on_timer_set(2, 10_sec);
+    t.on_timer_set(3, 50_sec); // closes the first group
+    t.finish();
+    ASSERT_GE(t.events().size(), 2U);
+    EXPECT_EQ(t.events()[0].size, 3);
+    EXPECT_EQ(t.events()[1].size, 1);
+}
+
+TEST(ClusterTracker, ToleranceSeparatesDistantEvents) {
+    auto t = make_tracker();
+    t.record_events(true);
+    t.on_timer_set(0, 10_sec);
+    t.on_timer_set(1, SimTime::seconds(10.001)); // 1 ms > 1 us tolerance
+    t.finish();
+    EXPECT_EQ(t.events()[0].size, 1);
+}
+
+TEST(ClusterTracker, ToleranceJoinsNearbyEvents) {
+    ClusterTracker t{3, SimTime::seconds(kRound), SimTime::millis(10)};
+    t.record_events(true);
+    t.on_timer_set(0, 10_sec);
+    t.on_timer_set(1, SimTime::seconds(10.005));
+    t.on_timer_set(2, SimTime::seconds(10.009));
+    t.finish();
+    EXPECT_EQ(t.events()[0].size, 3);
+}
+
+TEST(ClusterTracker, FirstTimeSizeAtLeastRecordsGrowth) {
+    auto t = make_tracker();
+    t.on_timer_set(0, 5_sec);
+    t.on_timer_set(1, 5_sec);
+    t.on_timer_set(0, 200_sec);
+    t.on_timer_set(1, 200_sec);
+    t.on_timer_set(2, 200_sec);
+    t.finish();
+    ASSERT_TRUE(t.first_time_size_at_least(1).has_value());
+    EXPECT_EQ(*t.first_time_size_at_least(1), 5_sec);
+    ASSERT_TRUE(t.first_time_size_at_least(2).has_value());
+    EXPECT_EQ(*t.first_time_size_at_least(2), 5_sec);
+    ASSERT_TRUE(t.first_time_size_at_least(3).has_value());
+    EXPECT_EQ(*t.first_time_size_at_least(3), 200_sec);
+    EXPECT_FALSE(t.first_time_size_at_least(4).has_value());
+}
+
+TEST(ClusterTracker, OnFullSyncFiresAtNthMember) {
+    ClusterTracker t{3, SimTime::seconds(kRound)};
+    SimTime when = SimTime::zero();
+    int fires = 0;
+    t.on_full_sync = [&](SimTime s) {
+        when = s;
+        ++fires;
+    };
+    t.on_timer_set(0, 7_sec);
+    t.on_timer_set(1, 7_sec);
+    EXPECT_EQ(fires, 0);
+    t.on_timer_set(2, 7_sec);
+    EXPECT_EQ(fires, 1);
+    EXPECT_EQ(when, 7_sec);
+}
+
+TEST(ClusterTracker, OnSizeFirstReachedFiresOncePerSize) {
+    auto t = make_tracker();
+    std::vector<int> sizes;
+    t.on_size_first_reached = [&](int s, SimTime) { sizes.push_back(s); };
+    t.on_timer_set(0, 1_sec);
+    t.on_timer_set(1, 1_sec);
+    t.on_timer_set(0, 150_sec);
+    t.on_timer_set(1, 150_sec); // size 2 again: no new callback
+    t.finish();
+    EXPECT_EQ(sizes, (std::vector<int>{1, 2}));
+}
+
+TEST(ClusterTracker, RoundsRecordLargestCluster) {
+    auto t = make_tracker();
+    t.record_rounds(true);
+    // Round 0: a pair and a single; round 1: all singles.
+    t.on_timer_set(0, 10_sec);
+    t.on_timer_set(1, 10_sec);
+    t.on_timer_set(2, 20_sec);
+    t.on_timer_set(0, SimTime::seconds(kRound + 10));
+    t.on_timer_set(1, SimTime::seconds(kRound + 30));
+    t.on_timer_set(2, SimTime::seconds(kRound + 50));
+    t.finish();
+    ASSERT_EQ(t.rounds().size(), 2U);
+    EXPECT_EQ(t.rounds()[0].round, 0U);
+    EXPECT_EQ(t.rounds()[0].largest, 2);
+    EXPECT_EQ(t.rounds()[1].round, 1U);
+    EXPECT_EQ(t.rounds()[1].largest, 1);
+}
+
+// Rounds are N *events*, not wall-clock buckets: a node whose cycle
+// stretches far beyond Tp + Tc still contributes to the same round.
+TEST(ClusterTracker, RoundsCountEventsNotWallClock) {
+    auto t = make_tracker(); // n = 5: five events per round
+    t.record_rounds(true);
+    for (int i = 0; i < 5; ++i) {
+        t.on_timer_set(i % 2, SimTime::seconds(10 + 400.0 * i)); // spans rounds of time
+    }
+    t.on_timer_set(0, SimTime::seconds(5000)); // sixth event opens round 1
+    t.finish();
+    ASSERT_EQ(t.rounds().size(), 2U);
+    EXPECT_EQ(t.rounds()[0].round, 0U);
+    EXPECT_EQ(t.rounds()[0].largest, 1);
+    EXPECT_NEAR(t.rounds()[0].end_time.sec(), 10 + 400.0 * 4, 1e-9);
+    EXPECT_EQ(t.rounds()[1].round, 1U);
+    EXPECT_EQ(t.rounds_closed(), 2U);
+}
+
+// A group that straddles the N-event boundary counts towards both rounds.
+TEST(ClusterTracker, StraddlingGroupCountsForBothRounds) {
+    ClusterTracker t{3, SimTime::seconds(kRound)};
+    t.record_rounds(true);
+    t.on_timer_set(0, 1_sec);
+    t.on_timer_set(1, 2_sec);
+    // Group of 3 covering event indices 2-4: rounds 0 and 1.
+    t.on_timer_set(0, 5_sec);
+    t.on_timer_set(1, 5_sec);
+    t.on_timer_set(2, 5_sec);
+    t.on_timer_set(0, 9_sec); // index 5, round 1
+    t.finish();
+    ASSERT_EQ(t.rounds().size(), 2U);
+    EXPECT_EQ(t.rounds()[0].largest, 3);
+    EXPECT_EQ(t.rounds()[1].largest, 3);
+}
+
+TEST(ClusterTracker, FirstRoundLargestAtMostFindsBreakup) {
+    ClusterTracker t{3, SimTime::seconds(kRound)};
+    // Round 0 fully synchronized, round 1 a pair, round 2 singles.
+    t.on_timer_set(0, 1_sec);
+    t.on_timer_set(1, 1_sec);
+    t.on_timer_set(2, 1_sec);
+    t.on_timer_set(0, SimTime::seconds(kRound + 1));
+    t.on_timer_set(1, SimTime::seconds(kRound + 1));
+    t.on_timer_set(2, SimTime::seconds(kRound + 60));
+    t.on_timer_set(0, SimTime::seconds(2 * kRound + 1));
+    t.on_timer_set(1, SimTime::seconds(2 * kRound + 40));
+    t.on_timer_set(2, SimTime::seconds(2 * kRound + 80));
+    t.finish();
+    // Times are the last event of the first qualifying round.
+    ASSERT_TRUE(t.first_round_largest_at_most(3).has_value());
+    EXPECT_NEAR(t.first_round_largest_at_most(3)->sec(), 1.0, 1e-9);
+    ASSERT_TRUE(t.first_round_largest_at_most(2).has_value());
+    EXPECT_NEAR(t.first_round_largest_at_most(2)->sec(), kRound + 60, 1e-9);
+    ASSERT_TRUE(t.first_round_largest_at_most(1).has_value());
+    EXPECT_NEAR(t.first_round_largest_at_most(1)->sec(), 2 * kRound + 80, 1e-9);
+}
+
+TEST(ClusterTracker, RoundsWithLargestAtMostCounts) {
+    ClusterTracker t{3, SimTime::seconds(kRound)};
+    t.on_timer_set(0, 1_sec);
+    t.on_timer_set(1, 1_sec);
+    t.on_timer_set(0, SimTime::seconds(kRound + 1));
+    t.on_timer_set(1, SimTime::seconds(kRound + 50));
+    t.finish();
+    EXPECT_EQ(t.rounds_closed(), 2U);
+    EXPECT_EQ(t.rounds_with_largest_at_most(1), 1U);
+    EXPECT_EQ(t.rounds_with_largest_at_most(2), 2U);
+    EXPECT_EQ(t.rounds_with_largest_at_most(3), 2U);
+}
+
+TEST(ClusterTracker, OutOfOrderEventsThrow) {
+    auto t = make_tracker();
+    t.on_timer_set(0, 10_sec);
+    EXPECT_THROW(t.on_timer_set(1, 5_sec), std::logic_error);
+}
+
+TEST(ClusterTracker, QueryBoundsChecked) {
+    auto t = make_tracker();
+    t.finish();
+    EXPECT_THROW((void)t.first_time_size_at_least(0), std::out_of_range);
+    EXPECT_THROW((void)t.first_time_size_at_least(6), std::out_of_range);
+    EXPECT_THROW((void)t.first_round_largest_at_most(0), std::out_of_range);
+    EXPECT_THROW((void)t.rounds_with_largest_at_most(99), std::out_of_range);
+}
+
+TEST(ClusterTracker, InvalidConstruction) {
+    EXPECT_THROW(ClusterTracker(0, 1_sec), std::invalid_argument);
+    EXPECT_THROW(ClusterTracker(3, SimTime::zero()), std::invalid_argument);
+    EXPECT_THROW(ClusterTracker(3, 1_sec, SimTime::seconds(-1)),
+                 std::invalid_argument);
+}
+
+TEST(ClusterTracker, FinishIsIdempotent) {
+    auto t = make_tracker();
+    t.on_timer_set(0, 1_sec);
+    t.finish();
+    const auto rounds = t.rounds_closed();
+    t.finish();
+    EXPECT_EQ(t.rounds_closed(), rounds);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+// Tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+using routesync::sim::Engine;
+using routesync::sim::SimTime;
+using namespace routesync::sim::literals;
+
+TEST(Engine, NowStartsAtZero) {
+    Engine e;
+    EXPECT_EQ(e.now(), SimTime::zero());
+}
+
+TEST(Engine, CallbackSeesItsOwnTimestamp) {
+    Engine e;
+    SimTime seen;
+    e.schedule_at(3_sec, [&] { seen = e.now(); });
+    e.run();
+    EXPECT_EQ(seen, 3_sec);
+    EXPECT_EQ(e.now(), 3_sec);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+    Engine e;
+    std::vector<double> times;
+    e.schedule_at(2_sec, [&] {
+        e.schedule_after(1.5_sec, [&] { times.push_back(e.now().sec()); });
+    });
+    e.run();
+    ASSERT_EQ(times.size(), 1U);
+    EXPECT_DOUBLE_EQ(times[0], 3.5);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+    Engine e;
+    e.schedule_at(5_sec, [] {});
+    e.run();
+    EXPECT_THROW(e.schedule_at(1_sec, [] {}), std::logic_error);
+    EXPECT_THROW(e.schedule_after(SimTime::seconds(-1), [] {}), std::logic_error);
+}
+
+TEST(Engine, RunUntilExecutesOnlyEventsUpToLimitInclusive) {
+    Engine e;
+    std::vector<int> fired;
+    e.schedule_at(1_sec, [&] { fired.push_back(1); });
+    e.schedule_at(2_sec, [&] { fired.push_back(2); });
+    e.schedule_at(3_sec, [&] { fired.push_back(3); });
+    e.run_until(2_sec);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+    EXPECT_EQ(e.now(), 2_sec);
+    EXPECT_EQ(e.pending_events(), 1U);
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWithoutEvents) {
+    Engine e;
+    e.run_until(10_sec);
+    EXPECT_EQ(e.now(), 10_sec);
+}
+
+TEST(Engine, StopHaltsRunFromInsideCallback) {
+    Engine e;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i) {
+        e.schedule_at(SimTime::seconds(i), [&] {
+            ++count;
+            if (count == 4) {
+                e.stop();
+            }
+        });
+    }
+    e.run();
+    EXPECT_EQ(count, 4);
+    EXPECT_TRUE(e.stop_requested());
+    e.clear_stop();
+    e.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+    Engine e;
+    EXPECT_FALSE(e.step());
+    e.schedule_at(1_sec, [] {});
+    EXPECT_TRUE(e.step());
+    EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, EventsProcessedCounts) {
+    Engine e;
+    for (int i = 0; i < 7; ++i) {
+        e.schedule_at(SimTime::seconds(i), [] {});
+    }
+    e.run();
+    EXPECT_EQ(e.events_processed(), 7U);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+    Engine e;
+    bool fired = false;
+    const auto h = e.schedule_at(1_sec, [&] { fired = true; });
+    EXPECT_TRUE(e.cancel(h));
+    e.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Engine, SelfPerpetuatingChainRunsToHorizon) {
+    Engine e;
+    int ticks = 0;
+    std::function<void()> tick = [&] {
+        ++ticks;
+        e.schedule_after(1_sec, tick);
+    };
+    e.schedule_at(SimTime::zero(), tick);
+    e.run_until(100.5_sec);
+    EXPECT_EQ(ticks, 101); // t = 0..100
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+// Tests for the cancellable event queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using routesync::sim::EventQueue;
+using routesync::sim::SimTime;
+using namespace routesync::sim::literals;
+
+TEST(EventQueue, StartsEmpty) {
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0U);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.push(3_sec, [&] { order.push_back(3); });
+    q.push(1_sec, [&] { order.push_back(1); });
+    q.push(2_sec, [&] { order.push_back(2); });
+    while (!q.empty()) {
+        q.pop().callback();
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInPushOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i) {
+        q.push(5_sec, [&order, i] { order.push_back(i); });
+    }
+    while (!q.empty()) {
+        q.pop().callback();
+    }
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLiveEvent) {
+    EventQueue q;
+    q.push(4_sec, [] {});
+    const auto early = q.push(2_sec, [] {});
+    EXPECT_EQ(q.next_time(), 2_sec);
+    EXPECT_TRUE(q.cancel(early));
+    EXPECT_EQ(q.next_time(), 4_sec);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+    EventQueue q;
+    bool fired = false;
+    const auto h = q.push(1_sec, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+    EventQueue q;
+    const auto h = q.push(1_sec, [] {});
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+    EventQueue q;
+    const auto h = q.push(1_sec, [] {});
+    q.pop().callback();
+    EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelBogusHandleFails) {
+    EventQueue q;
+    EXPECT_FALSE(q.cancel({}));
+    EXPECT_FALSE(q.cancel({.id = 9999}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+    EventQueue q;
+    const auto a = q.push(1_sec, [] {});
+    q.push(2_sec, [] {});
+    EXPECT_EQ(q.size(), 2U);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1U);
+    q.pop();
+    EXPECT_EQ(q.size(), 0U);
+}
+
+TEST(EventQueue, PopSkipsCancelledHead) {
+    EventQueue q;
+    const auto a = q.push(1_sec, [] {});
+    q.push(2_sec, [] {});
+    q.cancel(a);
+    EXPECT_EQ(q.pop().time, 2_sec);
+}
+
+TEST(EventQueue, EmptyCallbackThrows) {
+    EventQueue q;
+    EXPECT_THROW(q.push(1_sec, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, ManyInterleavedOperationsStayConsistent) {
+    EventQueue q;
+    std::vector<routesync::sim::EventHandle> handles;
+    for (int i = 0; i < 1000; ++i) {
+        handles.push_back(
+            q.push(SimTime::seconds(static_cast<double>(i % 37)), [] {}));
+    }
+    // Cancel every third.
+    std::size_t cancelled = 0;
+    for (std::size_t i = 0; i < handles.size(); i += 3) {
+        ASSERT_TRUE(q.cancel(handles[i]));
+        ++cancelled;
+    }
+    EXPECT_EQ(q.size(), 1000U - cancelled);
+    SimTime last = SimTime::seconds(-1);
+    std::size_t popped = 0;
+    while (!q.empty()) {
+        const auto p = q.pop();
+        EXPECT_GE(p.time, last);
+        last = p.time;
+        ++popped;
+    }
+    EXPECT_EQ(popped, 1000U - cancelled);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+// Tests for the experiment runner.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/core.hpp"
+
+namespace {
+
+using namespace routesync;
+using core::ExperimentConfig;
+using core::StartCondition;
+using sim::SimTime;
+using namespace sim::literals;
+
+ExperimentConfig canonical() {
+    ExperimentConfig cfg;
+    cfg.params.n = 20;
+    cfg.params.tp = 121_sec;
+    cfg.params.tr = 0.11_sec;
+    cfg.params.tc = 0.11_sec;
+    cfg.params.seed = 42;
+    return cfg;
+}
+
+TEST(Experiment, StopOnFullSyncEndsEarly) {
+    auto cfg = canonical();
+    cfg.params.tr = 0.1_sec;
+    cfg.max_time = 500000_sec;
+    cfg.stop_on_full_sync = true;
+    const auto r = core::run_experiment(cfg);
+    ASSERT_TRUE(r.full_sync_time_sec.has_value());
+    EXPECT_LE(r.end_time_sec, *r.full_sync_time_sec + 1.0);
+}
+
+TEST(Experiment, WithoutStopRunsToMaxTime) {
+    auto cfg = canonical();
+    cfg.max_time = 5000_sec;
+    const auto r = core::run_experiment(cfg);
+    EXPECT_DOUBLE_EQ(r.end_time_sec, 5000.0);
+}
+
+TEST(Experiment, FirstHitUpIsMonotoneInSize) {
+    auto cfg = canonical();
+    cfg.params.tr = 0.1_sec;
+    cfg.max_time = 400000_sec;
+    cfg.stop_on_full_sync = true;
+    const auto r = core::run_experiment(cfg);
+    double last = 0.0;
+    for (int s = 1; s <= 20; ++s) {
+        const auto& hit = r.first_hit_up[static_cast<std::size_t>(s)];
+        ASSERT_TRUE(hit.has_value()) << "size " << s;
+        EXPECT_GE(*hit, last);
+        last = *hit;
+    }
+}
+
+TEST(Experiment, FirstHitDownIsMonotoneDecreasingInSize) {
+    auto cfg = canonical();
+    cfg.params.start = StartCondition::Synchronized;
+    cfg.params.tr = 0.4_sec;
+    cfg.max_time = 2000000_sec;
+    cfg.stop_on_breakup_threshold = 1;
+    const auto r = core::run_experiment(cfg);
+    ASSERT_TRUE(r.breakup_time_sec.has_value());
+    // Reaching "largest <= s" is easier for larger s.
+    double last = *r.first_hit_down[1];
+    for (int s = 2; s < 20; ++s) {
+        const auto& hit = r.first_hit_down[static_cast<std::size_t>(s)];
+        ASSERT_TRUE(hit.has_value()) << "size " << s;
+        EXPECT_LE(*hit, last);
+        last = *hit;
+    }
+}
+
+TEST(Experiment, StopOnClusterSizeStopsAtThatSize) {
+    auto cfg = canonical();
+    cfg.params.tr = 0.1_sec;
+    cfg.max_time = 500000_sec;
+    cfg.stop_on_cluster_size = 2;
+    const auto r = core::run_experiment(cfg);
+    ASSERT_TRUE(r.first_hit_up[2].has_value());
+    EXPECT_FALSE(r.full_sync_time_sec.has_value());
+    EXPECT_LE(r.end_time_sec, *r.first_hit_up[2] + 1.0);
+}
+
+TEST(Experiment, TransmitRecordsAreDecimated) {
+    auto cfg = canonical();
+    cfg.max_time = 10000_sec;
+    cfg.transmit_stride = 1;
+    const auto all = core::run_experiment(cfg);
+    cfg.transmit_stride = 10;
+    const auto dec = core::run_experiment(cfg);
+    EXPECT_EQ(all.transmits.size(), all.total_transmissions);
+    EXPECT_NEAR(static_cast<double>(dec.transmits.size()),
+                static_cast<double>(all.transmits.size()) / 10.0, 2.0);
+    // Offsets are within [0, round length).
+    for (const auto& t : all.transmits) {
+        EXPECT_GE(t.offset_sec, 0.0);
+        EXPECT_LT(t.offset_sec, all.round_length_sec);
+    }
+}
+
+TEST(Experiment, ClusterEventsRecordedWhenRequested) {
+    auto cfg = canonical();
+    cfg.max_time = 20000_sec;
+    cfg.record_cluster_events = true;
+    const auto r = core::run_experiment(cfg);
+    EXPECT_FALSE(r.cluster_events.empty());
+    // Cluster events are in time order with sizes in [1, N].
+    double last = 0.0;
+    for (const auto& e : r.cluster_events) {
+        EXPECT_GE(e.time.sec(), last);
+        last = e.time.sec();
+        EXPECT_GE(e.size, 1);
+        EXPECT_LE(e.size, 20);
+    }
+}
+
+TEST(Experiment, TriggerAllAtForcesFullSync) {
+    auto cfg = canonical();
+    cfg.max_time = 3000_sec;
+    cfg.trigger_all_at = 2000_sec;
+    cfg.stop_on_full_sync = true;
+    const auto r = core::run_experiment(cfg);
+    ASSERT_TRUE(r.full_sync_time_sec.has_value());
+    EXPECT_NEAR(*r.full_sync_time_sec, 2000.0 + 20 * 0.11, 5.0);
+}
+
+TEST(Experiment, RoundsUnsynchronizedCountsSingletonRounds) {
+    auto cfg = canonical();
+    cfg.params.reset_at_expiry = true; // stays unsynchronized
+    cfg.params.tr = SimTime::zero();
+    cfg.max_time = 50000_sec;
+    const auto r = core::run_experiment(cfg);
+    ASSERT_GT(r.rounds_closed, 0U);
+    EXPECT_EQ(r.rounds_unsynchronized, r.rounds_closed);
+}
+
+TEST(Experiment, CustomPolicyIsUsed) {
+    auto cfg = canonical();
+    cfg.params.start = StartCondition::Synchronized;
+    cfg.max_time = 2000_sec;
+    cfg.record_rounds = true;
+    cfg.make_policy = [] {
+        return std::make_unique<core::FixedInterval>(50_sec);
+    };
+    const auto r = core::run_experiment(cfg);
+    // Round length follows the policy's mean (50 + Tc), so ~2000/50 rounds.
+    EXPECT_NEAR(r.round_length_sec, 50.11, 1e-9);
+    EXPECT_GT(r.rounds_closed, 30U);
+}
+
+TEST(Experiment, ResultCountersArePlausible) {
+    auto cfg = canonical();
+    cfg.max_time = 12111_sec; // ~100 rounds
+    const auto r = core::run_experiment(cfg);
+    // ~20 transmissions per round.
+    EXPECT_NEAR(static_cast<double>(r.total_transmissions), 100.0 * 20, 60.0);
+    EXPECT_GT(r.events_processed, r.total_transmissions);
+}
+
+} // namespace

@@ -1,0 +1,356 @@
+// Cross-module integration tests: the full paper pipeline, end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/core.hpp"
+#include "markov/markov.hpp"
+#include "scenarios/scenarios.hpp"
+#include "stats/stats.hpp"
+
+namespace {
+
+using namespace routesync;
+using sim::SimTime;
+using namespace sim::literals;
+
+// ------------------------------------------------- Figure 1/2 end to end
+
+TEST(Nearnet, SynchronizedUpdatesCausePeriodicPingLoss) {
+    scenarios::NearnetScenario s{scenarios::NearnetConfig{}};
+    apps::PingConfig pc;
+    pc.dst = s.dst().id();
+    pc.count = 1000;
+    apps::PingApp ping{s.src(), pc};
+    ping.start(s.routing_start() + 200_sec);
+    s.engine().run_until(1500_sec);
+
+    // The paper: "at least three percent of the ping packets were dropped".
+    EXPECT_GE(ping.loss_fraction(), 0.02);
+    EXPECT_LE(ping.loss_fraction(), 0.15);
+
+    // Figure 2: dominant autocorrelation lag ~89 pings (90 s / 1.01 s).
+    const auto series = ping.rtts_with_losses_as(2.0);
+    const auto dom = stats::dominant_lag(series, 30, 150);
+    EXPECT_NEAR(static_cast<double>(dom.lag), 89.0, 2.0);
+    EXPECT_GT(dom.correlation, 0.4);
+}
+
+TEST(Nearnet, LossesComeInConsecutiveRuns) {
+    scenarios::NearnetScenario s{scenarios::NearnetConfig{}};
+    apps::PingConfig pc;
+    pc.dst = s.dst().id();
+    pc.count = 600;
+    apps::PingApp ping{s.src(), pc};
+    ping.start(s.routing_start() + 200_sec);
+    s.engine().run_until(1100_sec);
+
+    // "at 90-second intervals several successive pings would be dropped"
+    int max_run = 0;
+    int run = 0;
+    for (const double rtt : ping.rtts()) {
+        run = rtt < 0 ? run + 1 : 0;
+        max_run = std::max(max_run, run);
+    }
+    EXPECT_GE(max_run, 2);
+}
+
+TEST(Nearnet, NonBlockingRoutersFixTheLosses) {
+    scenarios::NearnetConfig cfg;
+    cfg.blocking_cpu = false; // the post-fix NEARnet software
+    scenarios::NearnetScenario s{cfg};
+    apps::PingConfig pc;
+    pc.dst = s.dst().id();
+    pc.count = 500;
+    apps::PingApp ping{s.src(), pc};
+    ping.start(s.routing_start() + 200_sec);
+    s.engine().run_until(1000_sec);
+    EXPECT_EQ(ping.lost(), 0);
+}
+
+TEST(Nearnet, RoutersStaySynchronizedThroughTheRun) {
+    scenarios::NearnetScenario s{scenarios::NearnetConfig{}};
+    // Collect timer-set times of all agents over a late window; they
+    // should cluster tightly (the synchronized state persists because the
+    // jitter is below the breakup threshold).
+    std::vector<double> sets;
+    for (const auto& agent : s.agents()) {
+        agent->on_timer_set = [&](SimTime t) {
+            if (t > 800_sec) {
+                sets.push_back(t.sec());
+            }
+        };
+    }
+    s.engine().run_until(1000_sec);
+    ASSERT_GE(sets.size(), s.agents().size());
+    // All timer sets within a window fall into few clusters: check that
+    // the spread within each 90 s period is far below the period.
+    std::vector<double> offsets;
+    for (const double t : sets) {
+        offsets.push_back(std::fmod(t, 90.0));
+    }
+    const auto clusters = stats::cluster_phases(offsets, 90.0, 5.0);
+    EXPECT_LE(clusters.count(), 3U);
+}
+
+// --------------------------------------------------- Figure 3 end to end
+
+TEST(Audiocast, PeriodicOutagesWithHighInStormLoss) {
+    scenarios::AudiocastScenario s{scenarios::AudiocastConfig{}};
+    apps::CbrConfig cc;
+    cc.dst = s.audio_dst().id();
+    cc.packets_per_second = 50.0;
+    cc.stop_at = 700_sec;
+    apps::CbrSource src{s.audio_src(), cc};
+    apps::AudioSink sink{s.audio_dst(), SimTime::seconds(0.02)};
+    src.start(s.routing_start() + 95_sec);
+    s.engine().run_until(720_sec);
+
+    // Long outages (the periodic spikes) recur roughly every 30 s.
+    const auto spikes = sink.outages_longer_than(0.5);
+    ASSERT_GE(spikes.size(), 10U);
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < spikes.size(); ++i) {
+        gaps.push_back(spikes[i].start_sec - spikes[i - 1].start_sec);
+    }
+    stats::RunningStats gap_stats;
+    for (const double g : gaps) {
+        gap_stats.add(g);
+    }
+    EXPECT_NEAR(gap_stats.mean(), 30.0, 6.0);
+
+    // Spikes last on the order of seconds (Figure 3: "last for several
+    // seconds at a time").
+    for (const auto& o : spikes) {
+        EXPECT_GE(o.duration_sec, 0.5);
+        EXPECT_LE(o.duration_sec, 10.0);
+    }
+}
+
+// The Section 6 fix applied to the Figure 3 system: half-period update
+// jitter removes the periodic audio outages entirely.
+TEST(Audiocast, HalfPeriodJitterEliminatesTheSpikes) {
+    scenarios::AudiocastConfig cfg;
+    cfg.jitter_sec = 15.0; // RIP period 30 s: uniform [15 s, 45 s]
+    scenarios::AudiocastScenario s{cfg};
+    apps::CbrConfig cc;
+    cc.dst = s.audio_dst().id();
+    cc.packets_per_second = 50.0;
+    cc.stop_at = sim::SimTime::seconds(500);
+    apps::CbrSource src{s.audio_src(), cc};
+    apps::AudioSink sink{s.audio_dst(), SimTime::seconds(0.02)};
+    src.start(s.routing_start() + 95_sec);
+    s.engine().run_until(520_sec);
+
+    // Updates now arrive (mostly) one router at a time: chance double or
+    // triple coincidences still stall the CPU briefly, but the
+    // whole-cluster multi-second storm is gone...
+    EXPECT_TRUE(sink.outages_longer_than(2.0).empty());
+    // ...and stalls are occasional instead of every 30 s (the synchronized
+    // run produces one >=0.5 s outage per period, ~14 in this window).
+    EXPECT_LT(sink.outages_longer_than(0.5).size(), 8U);
+    EXPECT_LT(static_cast<double>(sink.lost()) /
+                  static_cast<double>(std::max<std::uint64_t>(src.sent(), 1)),
+              0.10);
+}
+
+// ------------------------------------------- the 1988 LBL DECnet anecdote
+
+// Paper Section 2: "On this network each DECnet router transmitted a
+// routing message at 120-second intervals; within hours after bringing up
+// the routers on the network after a failure, the routing messages from
+// the various routers were completely synchronized." A simultaneous
+// restart is a synchronized start; with only OS-level timing noise
+// (below Tc/2) the synchronization is permanent.
+TEST(DecnetAnecdote, RestartedRoutersStayCompletelySynchronized) {
+    core::ExperimentConfig cfg;
+    cfg.params.n = 12; // a building Ethernet's worth of DECnet routers
+    cfg.params.tp = 120_sec;
+    cfg.params.tc = 0.1_sec;
+    cfg.params.tr = 0.02_sec; // scheduler jitter only
+    cfg.params.start = core::StartCondition::Synchronized;
+    cfg.params.seed = 1988;
+    cfg.max_time = SimTime::seconds(8 * 3600); // "within hours"
+    cfg.record_rounds = true;
+    const auto r = core::run_experiment(cfg);
+    ASSERT_GT(r.rounds_closed, 200U);
+    for (const auto& round : r.rounds) {
+        EXPECT_EQ(round.largest, 12);
+    }
+}
+
+// And the arrival of one more batch of routers (a triggered-update wave
+// from a topology change) re-locks the whole network instantly even if an
+// operator had staggered the timers by hand.
+TEST(DecnetAnecdote, TopologyChangeResynchronizesStaggeredTimers) {
+    core::ExperimentConfig cfg;
+    cfg.params.n = 12;
+    cfg.params.tp = 120_sec;
+    cfg.params.tc = 0.1_sec;
+    cfg.params.tr = 0.02_sec;
+    cfg.params.start = core::StartCondition::Unsynchronized; // hand-staggered
+    cfg.params.seed = 1989;
+    cfg.max_time = SimTime::seconds(7200);
+    cfg.trigger_all_at = 3600_sec;
+    cfg.stop_on_full_sync = true;
+    const auto r = core::run_experiment(cfg);
+    ASSERT_TRUE(r.full_sync_time_sec.has_value());
+    EXPECT_NEAR(*r.full_sync_time_sec, 3600.0 + 12 * 0.1, 5.0);
+}
+
+// ------------------------------------- model vs chain vs packet network
+
+// The Markov chain's f(N) is the right order of magnitude versus the
+// Periodic Messages simulation (the paper: analysis is "two or three
+// times" the simulation average; we allow a broad band).
+TEST(CrossCheck, ChainPredictsSimulationTimeToSyncWithinBand) {
+    markov::ChainParams cp;
+    cp.n = 20;
+    cp.tp_sec = 121.0;
+    cp.tr_sec = 0.1;
+    cp.tc_sec = 0.11;
+    cp.f2_rounds = 19.0;
+    const double predicted = markov::FJChain{cp}.time_to_synchronize_seconds();
+
+    stats::RunningStats sim_times;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        core::ExperimentConfig cfg;
+        cfg.params.n = 20;
+        cfg.params.tp = 121_sec;
+        cfg.params.tr = 0.1_sec;
+        cfg.params.tc = 0.11_sec;
+        cfg.params.seed = seed;
+        cfg.max_time = 2000000_sec;
+        cfg.stop_on_full_sync = true;
+        const auto r = core::run_experiment(cfg);
+        ASSERT_TRUE(r.full_sync_time_sec.has_value()) << "seed " << seed;
+        sim_times.add(*r.full_sync_time_sec);
+    }
+    const double ratio = predicted / sim_times.mean();
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 12.0);
+}
+
+// The packet-level DV network exhibits the same emergent synchronization
+// as the abstract model: routers on a LAN with AfterProcessing timers and
+// small jitter end up setting timers together.
+TEST(CrossCheck, DvRoutersOnLanSynchronizeLikeTheModel) {
+    sim::Engine engine;
+    net::Network nw{engine};
+    // A full mesh of 6 routers ~ a broadcast LAN for updates.
+    std::vector<net::Router*> routers;
+    const int n = 6;
+    for (int i = 0; i < n; ++i) {
+        routers.push_back(&nw.add_router("r" + std::to_string(i)));
+    }
+    const net::LinkConfig fast{.rate_bps = 0.0,
+                               .delay = sim::SimTime::micros(10)};
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            nw.connect(*routers[static_cast<std::size_t>(i)],
+                       *routers[static_cast<std::size_t>(j)], fast);
+        }
+    }
+    nw.install_static_routes();
+
+    routing::DvConfig dv;
+    dv.period = 20_sec;
+    dv.jitter = 20_msec; // tiny accidental jitter
+    dv.filler_routes = 300;
+    dv.per_route_cost = 1_msec; // Tc ~ 0.3 s >> 2*jitter: clusters hold
+    dv.fixed_update_cost = SimTime::zero();
+    dv.triggered_updates = false;
+
+    std::vector<std::unique_ptr<routing::DistanceVectorAgent>> agents;
+    std::vector<std::vector<double>> sets(static_cast<std::size_t>(n));
+    rng::DefaultEngine phases{7};
+    for (int i = 0; i < n; ++i) {
+        routing::DvConfig c = dv;
+        c.seed = 50 + static_cast<std::uint64_t>(i);
+        agents.push_back(std::make_unique<routing::DistanceVectorAgent>(
+            *routers[static_cast<std::size_t>(i)], c));
+        agents.back()->on_timer_set = [&sets, i](SimTime t) {
+            sets[static_cast<std::size_t>(i)].push_back(t.sec());
+        };
+        agents.back()->start(
+            SimTime::seconds(rng::uniform_real(phases, 0.0, 20.0)));
+    }
+
+    engine.run_until(40000_sec); // ~2000 rounds
+    // In the last rounds, look at the spread of final timer-set times.
+    std::vector<double> last_sets;
+    for (const auto& series : sets) {
+        ASSERT_FALSE(series.empty());
+        last_sets.push_back(series.back());
+    }
+    std::vector<double> offsets;
+    for (const double t : last_sets) {
+        offsets.push_back(std::fmod(t, 20.0));
+    }
+    const auto clusters = stats::cluster_phases(offsets, 20.0, 1.0);
+    // The paper's mechanism: most routers have coalesced.
+    EXPECT_GE(clusters.largest(), 4U);
+}
+
+// Adding RIP-recommended jitter to the same LAN prevents synchronization.
+TEST(CrossCheck, JitteredDvRoutersStayUnsynchronized) {
+    sim::Engine engine;
+    net::Network nw{engine};
+    std::vector<net::Router*> routers;
+    const int n = 6;
+    for (int i = 0; i < n; ++i) {
+        routers.push_back(&nw.add_router("r" + std::to_string(i)));
+    }
+    const net::LinkConfig fast{.rate_bps = 0.0,
+                               .delay = sim::SimTime::micros(10)};
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            nw.connect(*routers[static_cast<std::size_t>(i)],
+                       *routers[static_cast<std::size_t>(j)], fast);
+        }
+    }
+    nw.install_static_routes();
+
+    routing::DvConfig dv;
+    dv.period = 20_sec;
+    dv.jitter = 10_sec; // half-period jitter, the Section 6 fix
+    dv.filler_routes = 300;
+    dv.per_route_cost = 1_msec;
+    dv.fixed_update_cost = SimTime::zero();
+    dv.triggered_updates = false;
+
+    std::vector<std::unique_ptr<routing::DistanceVectorAgent>> agents;
+    std::vector<std::vector<double>> sets(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        routing::DvConfig c = dv;
+        c.seed = 70 + static_cast<std::uint64_t>(i);
+        agents.push_back(std::make_unique<routing::DistanceVectorAgent>(
+            *routers[static_cast<std::size_t>(i)], c));
+        agents.back()->on_timer_set = [&sets, i](SimTime t) {
+            sets[static_cast<std::size_t>(i)].push_back(t.sec());
+        };
+        agents.back()->start(SimTime::zero()); // worst case: synchronized
+    }
+
+    engine.run_until(40000_sec);
+    // Count how often in the last 100 arms any two routers re-armed within
+    // the processing window of each other.
+    std::vector<double> all;
+    for (const auto& series : sets) {
+        for (auto it = series.end() - std::min<std::size_t>(series.size(), 20);
+             it != series.end(); ++it) {
+            all.push_back(*it);
+        }
+    }
+    std::sort(all.begin(), all.end());
+    int coincidences = 0;
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        if (all[i] - all[i - 1] < 0.3) {
+            ++coincidences;
+        }
+    }
+    // With half-period jitter arms are spread out; allow a few chance hits.
+    EXPECT_LE(coincidences, static_cast<int>(all.size() / 4));
+}
+
+} // namespace

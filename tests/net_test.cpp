@@ -1,0 +1,392 @@
+// Tests for the packet-level network substrate.
+#include <gtest/gtest.h>
+
+#include "net/net.hpp"
+
+namespace {
+
+using namespace routesync;
+using net::LinkConfig;
+using net::Network;
+using net::Packet;
+using net::PacketType;
+using sim::SimTime;
+using namespace sim::literals;
+
+// ------------------------------------------------------------ DropTail
+
+TEST(DropTailQueue, FifoOrder) {
+    net::DropTailQueue q{4};
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        Packet p;
+        p.seq = i;
+        EXPECT_TRUE(q.push(p));
+    }
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        auto p = q.pop();
+        ASSERT_TRUE(p.has_value());
+        EXPECT_EQ(p->seq, i);
+    }
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(DropTailQueue, DropsWhenFull) {
+    net::DropTailQueue q{2};
+    Packet p;
+    EXPECT_TRUE(q.push(p));
+    EXPECT_TRUE(q.push(p));
+    EXPECT_FALSE(q.push(p));
+    EXPECT_EQ(q.stats().dropped, 1U);
+    EXPECT_EQ(q.stats().enqueued, 2U);
+}
+
+TEST(DropTailQueue, ByteLimitEnforced) {
+    net::DropTailQueue q{100, 1000};
+    Packet p;
+    p.size_bytes = 600;
+    EXPECT_TRUE(q.push(p));
+    EXPECT_FALSE(q.push(p)); // 1200 > 1000
+    EXPECT_EQ(q.bytes(), 600U);
+    q.pop();
+    EXPECT_EQ(q.bytes(), 0U);
+}
+
+// --------------------------------------------------------------- Link
+
+TEST(Link, DeliveryDelayIsSerializationPlusPropagation) {
+    sim::Engine engine;
+    double delivered_at = -1.0;
+    net::Link link{engine, /*rate=*/8000.0, /*delay=*/100_msec, 8,
+                   [&](Packet) { delivered_at = engine.now().sec(); }};
+    Packet p;
+    p.size_bytes = 1000; // 8000 bits / 8000 bps = 1 s serialization
+    link.send(p);
+    engine.run();
+    EXPECT_NEAR(delivered_at, 1.1, 1e-9);
+}
+
+TEST(Link, InfiniteRateHasZeroSerialization) {
+    sim::Engine engine;
+    double delivered_at = -1.0;
+    net::Link link{engine, 0.0, 50_msec, 8,
+                   [&](Packet) { delivered_at = engine.now().sec(); }};
+    Packet p;
+    p.size_bytes = 1500;
+    link.send(p);
+    engine.run();
+    EXPECT_NEAR(delivered_at, 0.05, 1e-12);
+}
+
+TEST(Link, BackToBackPacketsSerialize) {
+    sim::Engine engine;
+    std::vector<double> arrivals;
+    net::Link link{engine, 8000.0, SimTime::zero(), 8,
+                   [&](Packet) { arrivals.push_back(engine.now().sec()); }};
+    Packet p;
+    p.size_bytes = 1000; // 1 s each
+    link.send(p);
+    link.send(p);
+    link.send(p);
+    engine.run();
+    ASSERT_EQ(arrivals.size(), 3U);
+    EXPECT_NEAR(arrivals[0], 1.0, 1e-9);
+    EXPECT_NEAR(arrivals[1], 2.0, 1e-9);
+    EXPECT_NEAR(arrivals[2], 3.0, 1e-9);
+}
+
+TEST(Link, QueueOverflowDrops) {
+    sim::Engine engine;
+    int delivered = 0;
+    net::Link link{engine, 8000.0, SimTime::zero(), 2,
+                   [&](Packet) { ++delivered; }};
+    Packet p;
+    p.size_bytes = 1000;
+    for (int i = 0; i < 5; ++i) {
+        link.send(p); // 1 transmitting + 2 queued + 2 dropped
+    }
+    engine.run();
+    EXPECT_EQ(delivered, 3);
+    EXPECT_EQ(link.queue_stats().dropped, 2U);
+}
+
+// ------------------------------------------------------------- Network
+
+TEST(Network, StaticRoutesForwardAcrossLine) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& a = nw.add_host("a");
+    auto& b = nw.add_host("b");
+    auto& r1 = nw.add_router("r1");
+    auto& r2 = nw.add_router("r2");
+    nw.connect(a, r1);
+    nw.connect(r1, r2);
+    nw.connect(r2, b);
+    nw.install_static_routes();
+
+    int got = 0;
+    b.on_packet = [&](const Packet& p) {
+        EXPECT_EQ(p.type, PacketType::Data);
+        ++got;
+    };
+    Packet p;
+    p.type = PacketType::Data;
+    p.src = a.id();
+    p.dst = b.id();
+    p.size_bytes = 100;
+    a.send(p);
+    engine.run();
+    EXPECT_EQ(got, 1);
+}
+
+TEST(Network, PingGetsEchoedEndToEnd) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& a = nw.add_host("a");
+    auto& b = nw.add_host("b");
+    auto& r = nw.add_router("r");
+    nw.connect(a, r, LinkConfig{.rate_bps = 0.0, .delay = 10_msec});
+    nw.connect(r, b, LinkConfig{.rate_bps = 0.0, .delay = 10_msec});
+    nw.install_static_routes();
+
+    double rtt = -1.0;
+    a.on_packet = [&](const Packet& p) {
+        if (p.type == PacketType::PingReply) {
+            rtt = engine.now().sec() - p.sent_at.sec();
+        }
+    };
+    Packet ping;
+    ping.type = PacketType::PingRequest;
+    ping.src = a.id();
+    ping.dst = b.id();
+    ping.size_bytes = 64;
+    ping.sent_at = engine.now();
+    a.send(ping);
+    engine.run();
+    // Four 10 ms hops: there and back again. (Reply keeps sent_at of the
+    // request copy.)
+    EXPECT_NEAR(rtt, 0.04, 1e-9);
+}
+
+TEST(Router, NoRouteDropsAndCounts) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& a = nw.add_host("a");
+    auto& r = nw.add_router("r");
+    nw.connect(a, r);
+    // No routes installed.
+    Packet p;
+    p.type = PacketType::Data;
+    p.src = a.id();
+    p.dst = 99; // nonexistent... but any dst works; r has no routes
+    a.send(p);
+    engine.run();
+    EXPECT_EQ(r.stats().no_route_drops, 1U);
+    EXPECT_EQ(r.stats().forwarded, 0U);
+}
+
+TEST(Router, TtlExpiryDrops) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& a = nw.add_host("a");
+    auto& b = nw.add_host("b");
+    auto& r = nw.add_router("r");
+    nw.connect(a, r);
+    nw.connect(r, b);
+    nw.install_static_routes();
+    int got = 0;
+    b.on_packet = [&](const Packet&) { ++got; };
+    Packet p;
+    p.type = PacketType::Data;
+    p.src = a.id();
+    p.dst = b.id();
+    p.ttl = 1; // dies at the router
+    a.send(p);
+    engine.run();
+    EXPECT_EQ(got, 0);
+    EXPECT_EQ(r.stats().ttl_drops, 1U);
+}
+
+TEST(Network, LinkStateDropsTrafficBothWays) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& a = nw.add_host("a");
+    auto& b = nw.add_host("b");
+    auto& r = nw.add_router("r");
+    nw.connect(a, r);
+    nw.connect(r, b);
+    nw.install_static_routes();
+
+    int got = 0;
+    b.on_packet = [&](const Packet&) { ++got; };
+    auto send = [&] {
+        Packet p;
+        p.type = PacketType::Data;
+        p.src = a.id();
+        p.dst = b.id();
+        a.send(p);
+    };
+    send();
+    engine.run();
+    EXPECT_EQ(got, 1);
+
+    nw.set_link_state(r.id(), b.id(), false);
+    send();
+    engine.run();
+    EXPECT_EQ(got, 1); // dropped at the downed link
+
+    nw.set_link_state(r.id(), b.id(), true);
+    send();
+    engine.run();
+    EXPECT_EQ(got, 2);
+}
+
+TEST(Network, LinkStateOnUnconnectedNodesThrows) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& a = nw.add_host("a");
+    auto& b = nw.add_host("b");
+    EXPECT_THROW(nw.set_link_state(a.id(), b.id(), false), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ router CPU
+
+TEST(RouterCpu, WorkRunsSeriallyAndCompletes) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& r = nw.add_router("r");
+    std::vector<double> done;
+    engine.schedule_at(1_sec, [&] {
+        r.schedule_cpu_work(0.3_sec, [&] { done.push_back(engine.now().sec()); });
+        r.schedule_cpu_work(0.2_sec, [&] { done.push_back(engine.now().sec()); });
+    });
+    engine.run();
+    ASSERT_EQ(done.size(), 2U);
+    EXPECT_NEAR(done[0], 1.3, 1e-9);
+    EXPECT_NEAR(done[1], 1.5, 1e-9);
+}
+
+TEST(RouterCpu, WhenIdleFiresImmediatelyIfIdle) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& r = nw.add_router("r");
+    bool fired = false;
+    r.when_cpu_idle([&] { fired = true; });
+    EXPECT_TRUE(fired);
+}
+
+TEST(RouterCpu, WhenIdleWaitsForQueueDrain) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& r = nw.add_router("r");
+    double idle_at = -1.0;
+    engine.schedule_at(2_sec, [&] {
+        r.schedule_cpu_work(1_sec, [] {});
+        r.when_cpu_idle([&] { idle_at = engine.now().sec(); });
+        r.schedule_cpu_work(0.5_sec, [] {}); // extends busy period
+    });
+    engine.run();
+    EXPECT_NEAR(idle_at, 3.5, 1e-9);
+}
+
+TEST(RouterCpu, BlockingRouterDelaysTransitPackets) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& a = nw.add_host("a");
+    auto& b = nw.add_host("b");
+    auto& r = nw.add_router("r", /*blocking=*/true, /*pending=*/4);
+    nw.connect(a, r, LinkConfig{.rate_bps = 0.0, .delay = SimTime::zero()});
+    nw.connect(r, b, LinkConfig{.rate_bps = 0.0, .delay = SimTime::zero()});
+    nw.install_static_routes();
+
+    double arrival = -1.0;
+    b.on_packet = [&](const Packet&) { arrival = engine.now().sec(); };
+    engine.schedule_at(1_sec, [&] { r.schedule_cpu_work(2_sec, [] {}); });
+    engine.schedule_at(1.5_sec, [&] {
+        Packet p;
+        p.type = PacketType::Data;
+        p.src = a.id();
+        p.dst = b.id();
+        a.send(p);
+    });
+    engine.run();
+    // Held until the CPU frees at t = 3.
+    EXPECT_NEAR(arrival, 3.0, 1e-9);
+    EXPECT_EQ(r.stats().cpu_blocked_delayed, 1U);
+}
+
+TEST(RouterCpu, BlockingRouterDropsBeyondPendingCapacity) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& a = nw.add_host("a");
+    auto& b = nw.add_host("b");
+    auto& r = nw.add_router("r", /*blocking=*/true, /*pending=*/2);
+    nw.connect(a, r, LinkConfig{.rate_bps = 0.0, .delay = SimTime::zero()});
+    nw.connect(r, b, LinkConfig{.rate_bps = 0.0, .delay = SimTime::zero()});
+    nw.install_static_routes();
+
+    int got = 0;
+    b.on_packet = [&](const Packet&) { ++got; };
+    engine.schedule_at(1_sec, [&] { r.schedule_cpu_work(5_sec, [] {}); });
+    for (int i = 0; i < 5; ++i) {
+        engine.schedule_at(SimTime::seconds(2.0 + 0.1 * i), [&] {
+            Packet p;
+            p.type = PacketType::Data;
+            p.src = a.id();
+            p.dst = b.id();
+            a.send(p);
+        });
+    }
+    engine.run();
+    EXPECT_EQ(got, 2);
+    EXPECT_EQ(r.stats().cpu_blocked_drops, 3U);
+}
+
+TEST(RouterCpu, NonBlockingRouterForwardsDuringWork) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& a = nw.add_host("a");
+    auto& b = nw.add_host("b");
+    auto& r = nw.add_router("r", /*blocking=*/false);
+    nw.connect(a, r, LinkConfig{.rate_bps = 0.0, .delay = SimTime::zero()});
+    nw.connect(r, b, LinkConfig{.rate_bps = 0.0, .delay = SimTime::zero()});
+    nw.install_static_routes();
+
+    double arrival = -1.0;
+    b.on_packet = [&](const Packet&) { arrival = engine.now().sec(); };
+    engine.schedule_at(1_sec, [&] { r.schedule_cpu_work(2_sec, [] {}); });
+    engine.schedule_at(1.5_sec, [&] {
+        Packet p;
+        p.type = PacketType::Data;
+        p.src = a.id();
+        p.dst = b.id();
+        a.send(p);
+    });
+    engine.run();
+    EXPECT_NEAR(arrival, 1.5, 1e-9);
+    EXPECT_EQ(r.stats().cpu_blocked_delayed, 0U);
+}
+
+TEST(Router, RoutingUpdatesGoToAgentHookNotForwarding) {
+    sim::Engine engine;
+    Network nw{engine};
+    auto& r1 = nw.add_router("r1");
+    auto& r2 = nw.add_router("r2");
+    nw.connect(r1, r2, LinkConfig{.rate_bps = 0.0, .delay = SimTime::zero()});
+    int hooked = 0;
+    r2.on_routing_update = [&](const Packet& p, int iface) {
+        EXPECT_EQ(iface, 0);
+        EXPECT_EQ(p.src, r1.id());
+        ++hooked;
+    };
+    Packet u;
+    u.type = PacketType::RoutingUpdate;
+    u.src = r1.id();
+    u.dst = r2.id();
+    r1.send_on(0, u);
+    engine.run();
+    EXPECT_EQ(hooked, 1);
+    EXPECT_EQ(r2.stats().updates_received, 1U);
+    EXPECT_EQ(r2.stats().forwarded, 0U);
+}
+
+} // namespace

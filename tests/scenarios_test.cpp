@@ -1,0 +1,99 @@
+// Unit tests for the ready-made testbeds (integration behaviour is
+// covered in integration_test.cpp; these check construction invariants).
+#include <gtest/gtest.h>
+
+#include "scenarios/scenarios.hpp"
+
+namespace {
+
+using namespace routesync;
+using namespace sim::literals;
+
+TEST(NearnetScenario, TopologyMatchesConfig) {
+    scenarios::NearnetConfig cfg;
+    cfg.core_routers = 5;
+    scenarios::NearnetScenario s{cfg};
+    // 2 hosts + R1 + R2 + 5 cores.
+    EXPECT_EQ(s.network().node_count(), 9);
+    EXPECT_EQ(s.network().routers().size(), 7U);
+    EXPECT_EQ(s.agents().size(), 7U);
+    EXPECT_GT(s.routing_start().sec(), 0.0);
+}
+
+TEST(NearnetScenario, StaticRoutesConnectTheMeasuredPath) {
+    scenarios::NearnetScenario s{scenarios::NearnetConfig{}};
+    EXPECT_TRUE(s.r1().has_route(s.dst().id()));
+    EXPECT_TRUE(s.r2().has_route(s.src().id()));
+}
+
+TEST(NearnetScenario, AgentsUseIgrpStyleTimers) {
+    scenarios::NearnetConfig cfg;
+    cfg.update_period_sec = 90.0;
+    scenarios::NearnetScenario s{cfg};
+    for (const auto& agent : s.agents()) {
+        EXPECT_DOUBLE_EQ(agent->config().period.sec(), 90.0);
+        EXPECT_EQ(agent->config().reset, routing::TimerReset::AtExpiry);
+        EXPECT_EQ(agent->config().filler_routes, 300);
+    }
+}
+
+TEST(NearnetScenario, UnsynchronizedStartSpreadsPhases) {
+    scenarios::NearnetConfig cfg;
+    cfg.synchronized_start = false;
+    cfg.blocking_cpu = true;
+    scenarios::NearnetScenario s{cfg};
+    // Collect first transmissions; they should span a good part of the
+    // period rather than coincide.
+    std::vector<double> first_arm;
+    for (const auto& agent : s.agents()) {
+        agent->on_timer_set = [&first_arm](sim::SimTime t) {
+            first_arm.push_back(t.sec());
+        };
+    }
+    s.engine().run_until(s.routing_start() + 95_sec);
+    ASSERT_GE(first_arm.size(), s.agents().size());
+    double lo = first_arm[0];
+    double hi = first_arm[0];
+    for (const double t : first_arm) {
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+    }
+    EXPECT_GT(hi - lo, 20.0);
+}
+
+TEST(AudiocastScenario, TopologyMatchesConfig) {
+    scenarios::AudiocastConfig cfg;
+    cfg.core_routers = 3;
+    scenarios::AudiocastScenario s{cfg};
+    // 4 hosts + R1 + R2 + 3 cores.
+    EXPECT_EQ(s.network().node_count(), 9);
+    EXPECT_EQ(s.network().routers().size(), 5U);
+}
+
+TEST(AudiocastScenario, PathsExistForAudioAndBackground) {
+    scenarios::AudiocastScenario s{scenarios::AudiocastConfig{}};
+    sim::Engine& engine = s.engine();
+    int audio = 0;
+    int bg = 0;
+    s.audio_dst().on_packet = [&](const net::Packet& p) {
+        audio += p.type == net::PacketType::Audio;
+    };
+    s.bg_dst().on_packet = [&](const net::Packet& p) {
+        bg += p.type == net::PacketType::Data;
+    };
+    net::Packet a;
+    a.type = net::PacketType::Audio;
+    a.src = s.audio_src().id();
+    a.dst = s.audio_dst().id();
+    s.audio_src().send(a);
+    net::Packet d;
+    d.type = net::PacketType::Data;
+    d.src = s.bg_src().id();
+    d.dst = s.bg_dst().id();
+    s.bg_src().send(d);
+    engine.run_until(1_sec);
+    EXPECT_EQ(audio, 1);
+    EXPECT_EQ(bg, 1);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+// Tests for the CSMA/CD shared medium.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/shared_lan.hpp"
+
+namespace {
+
+using namespace routesync;
+using net::Packet;
+using net::SharedLan;
+using net::SharedLanConfig;
+using sim::SimTime;
+using namespace sim::literals;
+
+struct Delivery {
+    int station;
+    std::uint64_t seq;
+    double at;
+};
+
+struct Lan {
+    sim::Engine engine;
+    SharedLanConfig config;
+    SharedLan lan;
+    std::vector<Delivery> deliveries;
+
+    explicit Lan(int stations, SharedLanConfig cfg = {})
+        : config{cfg}, lan{engine, cfg} {
+        for (int i = 0; i < stations; ++i) {
+            lan.attach([this, i](Packet p) {
+                deliveries.push_back(Delivery{i, p.seq, engine.now().sec()});
+            });
+        }
+    }
+
+    void send_at(double t, int station, std::uint64_t seq,
+                 std::uint32_t bytes = 1000) {
+        engine.schedule_at(SimTime::seconds(t), [this, station, seq, bytes] {
+            Packet p;
+            p.seq = seq;
+            p.size_bytes = bytes;
+            lan.send(station, p);
+        });
+    }
+};
+
+TEST(SharedLan, BroadcastReachesEveryOtherStation) {
+    Lan lan{4};
+    lan.send_at(1.0, 0, 7);
+    lan.engine.run();
+    ASSERT_EQ(lan.deliveries.size(), 3U);
+    for (const auto& d : lan.deliveries) {
+        EXPECT_NE(d.station, 0);
+        EXPECT_EQ(d.seq, 7U);
+        // 1000 B at 10 Mb/s = 0.8 ms, + 10 us propagation.
+        EXPECT_NEAR(d.at, 1.0 + 0.0008 + 10e-6, 1e-9);
+    }
+    EXPECT_EQ(lan.lan.stats().collisions, 0U);
+}
+
+TEST(SharedLan, SimultaneousSendersCollideThenResolve) {
+    Lan lan{3};
+    lan.send_at(1.0, 0, 100);
+    lan.send_at(1.0, 1, 200);
+    lan.engine.run();
+    EXPECT_GE(lan.lan.stats().collisions, 1U);
+    // Both frames are ultimately delivered to the other two stations.
+    int got_100 = 0;
+    int got_200 = 0;
+    for (const auto& d : lan.deliveries) {
+        got_100 += d.seq == 100;
+        got_200 += d.seq == 200;
+    }
+    EXPECT_EQ(got_100, 2);
+    EXPECT_EQ(got_200, 2);
+    EXPECT_EQ(lan.lan.stats().frames_delivered, 2U);
+}
+
+TEST(SharedLan, CarrierSenseDefersLateSender) {
+    Lan lan{2};
+    lan.send_at(1.0, 0, 1);
+    // 0.5 ms into station 0's 0.8 ms transmission: carrier is visible
+    // (beyond the 10 us window), so station 1 defers — no collision.
+    lan.send_at(1.0005, 1, 2);
+    lan.engine.run();
+    EXPECT_EQ(lan.lan.stats().collisions, 0U);
+    EXPECT_EQ(lan.lan.stats().frames_delivered, 2U);
+    // Frame 2 starts after frame 1 + inter-frame gap.
+    ASSERT_EQ(lan.deliveries.size(), 2U);
+    EXPECT_GT(lan.deliveries[1].at, lan.deliveries[0].at + 0.0008);
+}
+
+TEST(SharedLan, PerStationFifoOrder) {
+    Lan lan{2};
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        lan.send_at(1.0, 0, i);
+    }
+    lan.engine.run();
+    ASSERT_EQ(lan.deliveries.size(), 5U);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(lan.deliveries[i].seq, i);
+    }
+}
+
+TEST(SharedLan, StationQueueOverflowDrops) {
+    SharedLanConfig cfg;
+    cfg.station_queue_packets = 3;
+    Lan lan{2, cfg};
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        lan.send_at(1.0, 0, i);
+    }
+    lan.engine.run();
+    EXPECT_EQ(lan.lan.stats().drops_queue_full, 3U);
+    EXPECT_EQ(lan.lan.stats().frames_delivered, 3U);
+}
+
+TEST(SharedLan, ExcessiveCollisionsDropFrames) {
+    SharedLanConfig cfg;
+    cfg.max_attempts = 1; // first collision is fatal
+    Lan lan{2, cfg};
+    lan.send_at(1.0, 0, 1);
+    lan.send_at(1.0, 1, 2);
+    lan.engine.run();
+    EXPECT_EQ(lan.lan.stats().drops_excessive_collisions, 2U);
+    EXPECT_EQ(lan.lan.stats().frames_delivered, 0U);
+}
+
+TEST(SharedLan, SaturatedStationApproachesLineRate) {
+    SharedLanConfig cfg;
+    cfg.station_queue_packets = 128;
+    Lan lan{2, cfg};
+    // 100 frames of 1250 B = 1 ms each at 10 Mb/s.
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        lan.send_at(0.0, 0, i, 1250);
+    }
+    lan.engine.run();
+    ASSERT_EQ(lan.deliveries.size(), 100U);
+    const double elapsed = lan.deliveries.back().at;
+    // 100 ms of payload plus 99 inter-frame gaps (~0.95 ms) and slack.
+    EXPECT_GT(elapsed, 0.100);
+    EXPECT_LT(elapsed, 0.110);
+}
+
+TEST(SharedLan, ManyContendersAllGetThrough) {
+    Lan lan{8};
+    for (int s = 0; s < 8; ++s) {
+        lan.send_at(1.0, s, static_cast<std::uint64_t>(s));
+    }
+    lan.engine.run();
+    EXPECT_EQ(lan.lan.stats().frames_delivered, 8U);
+    // Each frame heard by the 7 other stations.
+    EXPECT_EQ(lan.deliveries.size(), 8U * 7U);
+    EXPECT_GE(lan.lan.stats().collisions, 1U);
+}
+
+TEST(SharedLan, Deterministic) {
+    auto run = [] {
+        Lan lan{5};
+        for (int s = 0; s < 5; ++s) {
+            lan.send_at(1.0, s, static_cast<std::uint64_t>(s));
+        }
+        lan.engine.run();
+        std::vector<double> times;
+        for (const auto& d : lan.deliveries) {
+            times.push_back(d.at);
+        }
+        return times;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(SharedLan, RejectsBadConfig) {
+    sim::Engine engine;
+    SharedLanConfig bad;
+    bad.rate_bps = 0.0;
+    EXPECT_THROW(SharedLan(engine, bad), std::invalid_argument);
+    bad = SharedLanConfig{};
+    bad.max_attempts = 0;
+    EXPECT_THROW(SharedLan(engine, bad), std::invalid_argument);
+    SharedLan lan{engine, SharedLanConfig{}};
+    EXPECT_THROW(lan.attach(nullptr), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+// Tests for the SimTime strong type.
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace {
+
+using routesync::sim::SimTime;
+using namespace routesync::sim::literals;
+
+TEST(SimTime, DefaultIsZero) {
+    SimTime t;
+    EXPECT_EQ(t, SimTime::zero());
+    EXPECT_EQ(t.sec(), 0.0);
+}
+
+TEST(SimTime, NamedConstructorsAgree) {
+    EXPECT_EQ(SimTime::seconds(1.5), SimTime::millis(1500.0));
+    EXPECT_EQ(SimTime::millis(2.0), SimTime::micros(2000.0));
+    EXPECT_DOUBLE_EQ(SimTime::micros(1.0).sec(), 1e-6);
+}
+
+TEST(SimTime, Literals) {
+    EXPECT_EQ(2_sec, SimTime::seconds(2.0));
+    EXPECT_EQ(2.5_sec, SimTime::seconds(2.5));
+    EXPECT_EQ(250_msec, SimTime::millis(250.0));
+    EXPECT_EQ(0.5_msec, SimTime::micros(500.0));
+}
+
+TEST(SimTime, Arithmetic) {
+    const SimTime a = 3_sec;
+    const SimTime b = 1.5_sec;
+    EXPECT_EQ(a + b, 4.5_sec);
+    EXPECT_EQ(a - b, 1.5_sec);
+    EXPECT_EQ(a * 2.0, 6_sec);
+    EXPECT_EQ(2.0 * a, 6_sec);
+    EXPECT_EQ(a / 2.0, 1.5_sec);
+    EXPECT_DOUBLE_EQ(a / b, 2.0);
+    EXPECT_EQ(-a, SimTime::seconds(-3.0));
+}
+
+TEST(SimTime, CompoundAssignment) {
+    SimTime t = 1_sec;
+    t += 2_sec;
+    EXPECT_EQ(t, 3_sec);
+    t -= 500_msec;
+    EXPECT_EQ(t, 2.5_sec);
+    t *= 4.0;
+    EXPECT_EQ(t, 10_sec);
+}
+
+TEST(SimTime, Ordering) {
+    EXPECT_LT(1_sec, 2_sec);
+    EXPECT_LE(2_sec, 2_sec);
+    EXPECT_GT(3_sec, 2_sec);
+    EXPECT_NE(1_sec, 2_sec);
+}
+
+TEST(SimTime, ModulusBasic) {
+    EXPECT_NEAR((10_sec).mod(3_sec).sec(), 1.0, 1e-12);
+    EXPECT_NEAR((3_sec).mod(3_sec).sec(), 0.0, 1e-12);
+    EXPECT_NEAR((2_sec).mod(3_sec).sec(), 2.0, 1e-12);
+}
+
+TEST(SimTime, ModulusOfNegativeIsNonNegative) {
+    const SimTime t = SimTime::seconds(-1.0);
+    const double r = t.mod(3_sec).sec();
+    EXPECT_GE(r, 0.0);
+    EXPECT_NEAR(r, 2.0, 1e-12);
+}
+
+TEST(SimTime, Infinity) {
+    EXPECT_FALSE(SimTime::infinity().is_finite());
+    EXPECT_TRUE((1_sec).is_finite());
+    EXPECT_LT(1e300_sec, SimTime::infinity());
+}
+
+TEST(SimTime, MillisecondAccessor) {
+    EXPECT_DOUBLE_EQ((1.5_sec).ms(), 1500.0);
+}
+
+} // namespace

@@ -1,0 +1,299 @@
+// Tests for the TCP window-synchronization study (paper Section 1 example).
+#include <gtest/gtest.h>
+
+#include "tcpsync/tcpsync.hpp"
+
+namespace {
+
+using namespace routesync;
+using namespace routesync::tcpsync;
+using sim::SimTime;
+using namespace sim::literals;
+
+// ------------------------------------------------------------ bottleneck
+
+TEST(Bottleneck, ServesAtConfiguredRate) {
+    sim::Engine engine;
+    BottleneckConfig cfg;
+    cfg.rate_pps = 10.0; // 100 ms per packet
+    Bottleneck b{engine, cfg};
+    std::vector<double> deliveries;
+    b.on_delivered = [&](const FlowPacket&) {
+        deliveries.push_back(engine.now().sec());
+    };
+    for (int i = 0; i < 3; ++i) {
+        FlowPacket p;
+        p.flow = 0;
+        p.seq = static_cast<std::uint64_t>(i);
+        b.enqueue(p);
+    }
+    engine.run();
+    ASSERT_EQ(deliveries.size(), 3U);
+    EXPECT_NEAR(deliveries[0], 0.1, 1e-9);
+    EXPECT_NEAR(deliveries[1], 0.2, 1e-9);
+    EXPECT_NEAR(deliveries[2], 0.3, 1e-9);
+}
+
+TEST(Bottleneck, FifoOrderPreserved) {
+    sim::Engine engine;
+    BottleneckConfig cfg;
+    cfg.rate_pps = 100.0;
+    Bottleneck b{engine, cfg};
+    std::vector<std::uint64_t> seqs;
+    b.on_delivered = [&](const FlowPacket& p) { seqs.push_back(p.seq); };
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        FlowPacket p;
+        p.flow = 0;
+        p.seq = i;
+        b.enqueue(p);
+    }
+    engine.run();
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(seqs[i], i);
+    }
+}
+
+TEST(Bottleneck, DropTailDropsTheArrival) {
+    sim::Engine engine;
+    BottleneckConfig cfg;
+    cfg.rate_pps = 1.0;
+    cfg.buffer_packets = 2;
+    Bottleneck b{engine, cfg};
+    std::vector<std::uint64_t> dropped;
+    b.on_dropped = [&](const FlowPacket& p) { dropped.push_back(p.seq); };
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        FlowPacket p;
+        p.flow = 0;
+        p.seq = i;
+        b.enqueue(p);
+    }
+    // seq 0,1 admitted; 2 and 3 overflow (tail drop = the newest packets).
+    ASSERT_EQ(dropped.size(), 2U);
+    EXPECT_EQ(dropped[0], 2U);
+    EXPECT_EQ(dropped[1], 3U);
+    EXPECT_EQ(b.stats().dropped, 2U);
+}
+
+TEST(Bottleneck, RandomDropEvictsQueuedPacketAndAdmitsArrival) {
+    sim::Engine engine;
+    BottleneckConfig cfg;
+    cfg.rate_pps = 1.0;
+    cfg.buffer_packets = 4;
+    cfg.policy = DropPolicy::RandomDrop;
+    cfg.seed = 5;
+    Bottleneck b{engine, cfg};
+    std::vector<std::uint64_t> dropped;
+    b.on_dropped = [&](const FlowPacket& p) { dropped.push_back(p.seq); };
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        FlowPacket p;
+        p.flow = 0;
+        p.seq = i;
+        b.enqueue(p);
+    }
+    // One eviction; the victim is already queued — but never seq 0, which
+    // is in service (on the wire) when the overflow happens.
+    ASSERT_EQ(dropped.size(), 1U);
+    EXPECT_GT(dropped[0], 0U);
+    EXPECT_LT(dropped[0], 4U);
+    EXPECT_EQ(b.queue_length(), 4U);
+}
+
+TEST(Bottleneck, RandomDropNeverEvictsTheInServicePacket) {
+    // With a 1-packet buffer the only queued packet is always in service:
+    // random-drop must fall back to dropping arrivals, and the in-flight
+    // packet must still be delivered.
+    sim::Engine engine;
+    BottleneckConfig cfg;
+    cfg.rate_pps = 1.0;
+    cfg.buffer_packets = 1;
+    cfg.policy = DropPolicy::RandomDrop;
+    Bottleneck b{engine, cfg};
+    std::vector<std::uint64_t> delivered;
+    b.on_delivered = [&](const FlowPacket& p) { delivered.push_back(p.seq); };
+    int drops = 0;
+    b.on_dropped = [&](const FlowPacket&) { ++drops; };
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        FlowPacket p;
+        p.flow = 0;
+        p.seq = i;
+        b.enqueue(p);
+    }
+    engine.run();
+    ASSERT_EQ(delivered.size(), 1U);
+    EXPECT_EQ(delivered[0], 0U);
+    EXPECT_EQ(drops, 2);
+}
+
+TEST(Bottleneck, RedDropsEarlyUnderSustainedLoad) {
+    sim::Engine engine;
+    BottleneckConfig cfg;
+    cfg.rate_pps = 100.0;
+    cfg.buffer_packets = 100;
+    cfg.policy = DropPolicy::RedLike;
+    cfg.red_min_frac = 0.1;
+    cfg.red_max_frac = 0.5;
+    cfg.red_p_max = 0.5;
+    cfg.red_weight = 0.05;
+    cfg.seed = 11;
+    Bottleneck b{engine, cfg};
+    int drops = 0;
+    b.on_dropped = [&](const FlowPacket&) { ++drops; };
+    // Offer 2x the service rate for 10 seconds; the queue never reaches
+    // the hard limit but RED still sheds load.
+    for (int i = 0; i < 2000; ++i) {
+        engine.schedule_at(SimTime::seconds(i * 0.005), [&b] {
+            FlowPacket p;
+            p.flow = 0;
+            b.enqueue(p);
+        });
+    }
+    engine.run();
+    EXPECT_GT(drops, 100);
+    EXPECT_LT(b.stats().max_queue, 100.0);
+}
+
+TEST(Bottleneck, RejectsBadConfig) {
+    sim::Engine engine;
+    BottleneckConfig bad;
+    bad.rate_pps = 0.0;
+    EXPECT_THROW(Bottleneck(engine, bad), std::invalid_argument);
+    bad = BottleneckConfig{};
+    bad.buffer_packets = 0;
+    EXPECT_THROW(Bottleneck(engine, bad), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- AimdFlow
+
+TEST(AimdFlow, GrowsToMaxWithoutLosses) {
+    sim::Engine engine;
+    BottleneckConfig cfg;
+    cfg.rate_pps = 10000.0; // effectively uncongested
+    cfg.buffer_packets = 10000;
+    Bottleneck b{engine, cfg};
+    FlowConfig fc;
+    fc.rtt_sec = 0.1;
+    fc.max_window = 32.0;
+    fc.stop_at = 60_sec;
+    AimdFlow flow{engine, b, fc};
+    b.on_delivered = [&flow](const FlowPacket& p) { flow.packet_delivered(p); };
+    b.on_dropped = [&flow](const FlowPacket& p) { flow.packet_dropped(p); };
+    flow.start(SimTime::zero());
+    engine.run_until(61_sec);
+    EXPECT_DOUBLE_EQ(flow.window(), 32.0);
+    EXPECT_TRUE(flow.halvings().empty());
+    EXPECT_EQ(flow.packets_acked(), flow.packets_sent());
+}
+
+TEST(AimdFlow, HalvesOnLossAtMostOncePerRtt) {
+    sim::Engine engine;
+    BottleneckConfig cfg;
+    cfg.rate_pps = 10000.0;
+    cfg.buffer_packets = 10000;
+    Bottleneck b{engine, cfg};
+    FlowConfig fc;
+    fc.rtt_sec = 0.1;
+    fc.initial_window = 16.0;
+    AimdFlow flow{engine, b, fc};
+    // Simulate three drops within one RTT: only one halving.
+    FlowPacket p;
+    p.flow = 0;
+    engine.schedule_at(1_sec, [&] {
+        flow.packet_dropped(p);
+        flow.packet_dropped(p);
+        flow.packet_dropped(p);
+    });
+    engine.run();
+    ASSERT_EQ(flow.halvings().size(), 1U);
+    EXPECT_DOUBLE_EQ(flow.window(), 8.0);
+    EXPECT_NEAR(flow.halvings()[0].time_sec, 1.1, 1e-9); // detected +1 RTT
+}
+
+TEST(AimdFlow, WindowNeverFallsBelowOne) {
+    sim::Engine engine;
+    BottleneckConfig cfg;
+    Bottleneck b{engine, cfg};
+    FlowConfig fc;
+    fc.rtt_sec = 0.1;
+    fc.initial_window = 1.5;
+    AimdFlow flow{engine, b, fc};
+    FlowPacket p;
+    for (int i = 0; i < 5; ++i) {
+        engine.schedule_at(SimTime::seconds(1.0 + i), [&] { flow.packet_dropped(p); });
+    }
+    engine.run();
+    EXPECT_GE(flow.window(), 1.0);
+}
+
+TEST(AimdFlow, RejectsBadConfig) {
+    sim::Engine engine;
+    Bottleneck b{engine, BottleneckConfig{}};
+    FlowConfig bad;
+    bad.rtt_sec = 0.0;
+    EXPECT_THROW(AimdFlow(engine, b, bad), std::invalid_argument);
+    bad = FlowConfig{};
+    bad.initial_window = 0.5;
+    EXPECT_THROW(AimdFlow(engine, b, bad), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ experiment
+
+TEST(TcpExperiment, DropTailSynchronizesBackoffs) {
+    TcpExperimentConfig c;
+    c.flows = 6;
+    c.duration_sec = 200.0;
+    c.bottleneck.policy = DropPolicy::DropTail;
+    c.bottleneck.rate_pps = 1000.0;
+    c.bottleneck.buffer_packets = 150;
+    const auto r = run_tcp_experiment(c);
+    EXPECT_GT(r.total_halvings, 100U);
+    EXPECT_EQ(r.largest_halving_cluster, 6);
+    EXPECT_GT(r.mean_flows_per_episode, 4.0);
+    EXPECT_GT(r.link_utilization, 0.9);
+}
+
+TEST(TcpExperiment, RandomizedGatewayReducesSynchronization) {
+    TcpExperimentConfig base;
+    base.flows = 6;
+    base.duration_sec = 200.0;
+    base.bottleneck.rate_pps = 1000.0;
+    base.bottleneck.buffer_packets = 150;
+    base.bottleneck.red_min_frac = 0.1;
+    base.bottleneck.red_max_frac = 0.6;
+    base.bottleneck.red_p_max = 0.03;
+    base.bottleneck.red_weight = 0.002;
+
+    TcpExperimentConfig droptail = base;
+    droptail.bottleneck.policy = DropPolicy::DropTail;
+    TcpExperimentConfig red = base;
+    red.bottleneck.policy = DropPolicy::RedLike;
+
+    const auto a = run_tcp_experiment(droptail);
+    const auto b = run_tcp_experiment(red);
+    EXPECT_LT(b.mean_flows_per_episode, a.mean_flows_per_episode);
+    EXPECT_LT(b.sync_index, a.sync_index);
+}
+
+TEST(TcpExperiment, Deterministic) {
+    TcpExperimentConfig c;
+    c.flows = 4;
+    c.duration_sec = 50.0;
+    const auto a = run_tcp_experiment(c);
+    const auto b = run_tcp_experiment(c);
+    EXPECT_EQ(a.total_halvings, b.total_halvings);
+    EXPECT_DOUBLE_EQ(a.sync_index, b.sync_index);
+    EXPECT_EQ(a.aggregate_window_series, b.aggregate_window_series);
+}
+
+TEST(TcpExperiment, UtilizationAndDropsAreSane) {
+    TcpExperimentConfig c;
+    c.flows = 6;
+    c.duration_sec = 100.0;
+    const auto r = run_tcp_experiment(c);
+    EXPECT_GT(r.link_utilization, 0.5);
+    EXPECT_LE(r.link_utilization, 1.0 + 1e-9);
+    EXPECT_GT(r.drop_fraction, 0.0);
+    EXPECT_LT(r.drop_fraction, 0.2);
+    EXPECT_GE(r.mean_window, 1.0);
+}
+
+} // namespace

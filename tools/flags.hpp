@@ -1,0 +1,51 @@
+// Minimal --flag/value command-line parsing for the routesync CLI.
+// Separated from the binary so the parsing rules are unit-testable.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace routesync::cli {
+
+using Flags = std::map<std::string, std::string>;
+
+/// Parses `--name value` pairs starting at argv[first]. A flag followed by
+/// another flag (or by nothing) is boolean and gets the value "1".
+/// Non-flag tokens throw.
+inline Flags parse_flags(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            throw std::invalid_argument{"unexpected argument: " + arg};
+        }
+        arg = arg.substr(2);
+        if (arg.empty()) {
+            throw std::invalid_argument{"empty flag name"};
+        }
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            flags[arg] = argv[++i];
+        } else {
+            flags[arg] = "1";
+        }
+    }
+    return flags;
+}
+
+inline double flag_d(const Flags& flags, const std::string& key, double fallback) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+inline int flag_i(const Flags& flags, const std::string& key, int fallback) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+inline bool flag_b(const Flags& flags, const std::string& key) {
+    return flags.contains(key);
+}
+
+} // namespace routesync::cli

@@ -1,0 +1,221 @@
+// routesync — command-line driver for the simulation and analysis APIs.
+//
+// Subcommands:
+//   pm         run the Periodic Messages model, emit CSV
+//   chain      evaluate the Markov chain (f, g, fraction unsynchronized)
+//   sweep      fraction-unsynchronized sweep over Tr (CSV)
+//   threshold  critical jitter / critical router count
+//   f2         Monte-Carlo estimate of f(2)
+//
+// Examples:
+//   routesync pm --n 20 --tp 121 --tr 0.1 --tc 0.11 --max-time 1e5 --rounds
+//   routesync chain --n 20 --tp 121 --tr 0.11 --tc 0.11 --f2 19
+//   routesync sweep --n 20 --tp 121 --tc 0.11 --from 0.5 --to 3 --step 0.05
+//   routesync threshold --n 20 --tp 30 --tc 0.3
+//   routesync f2 --n 20 --tp 121 --tr 0.1 --tc 0.11 --reps 20
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/core.hpp"
+#include "markov/markov.hpp"
+#include "tools/flags.hpp"
+
+using namespace routesync;
+
+namespace {
+
+using cli::flag_b;
+using cli::flag_d;
+using cli::flag_i;
+using cli::Flags;
+
+markov::ChainParams chain_params(const Flags& flags) {
+    markov::ChainParams p;
+    p.n = flag_i(flags, "n", 20);
+    p.tp_sec = flag_d(flags, "tp", 121.0);
+    p.tr_sec = flag_d(flags, "tr", 0.11);
+    p.tc_sec = flag_d(flags, "tc", 0.11);
+    p.f2_rounds = flag_d(flags, "f2",
+                         markov::f2_diffusion_estimate(p.n, p.tp_sec, p.tr_sec));
+    return p;
+}
+
+int cmd_pm(const Flags& flags) {
+    core::ExperimentConfig cfg;
+    cfg.params.n = flag_i(flags, "n", 20);
+    cfg.params.tp = sim::SimTime::seconds(flag_d(flags, "tp", 121.0));
+    cfg.params.tr = sim::SimTime::seconds(flag_d(flags, "tr", 0.11));
+    cfg.params.tc = sim::SimTime::seconds(flag_d(flags, "tc", 0.11));
+    cfg.params.seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 1));
+    if (flag_b(flags, "sync-start")) {
+        cfg.params.start = core::StartCondition::Synchronized;
+    }
+    cfg.params.reset_at_expiry = flag_b(flags, "reset-at-expiry");
+    // --delta X: fixed distinct periods Tp + k*X (the Section 6 open
+    // question; combine with --tr 0 for zero jitter).
+    const double delta = flag_d(flags, "delta", 0.0);
+    if (delta != 0.0) {
+        for (int k = 0; k < cfg.params.n; ++k) {
+            cfg.params.per_node_tp.push_back(cfg.params.tp.sec() + delta * k);
+        }
+    }
+    if (flag_b(flags, "half-period")) {
+        const auto tp = cfg.params.tp;
+        cfg.make_policy = [tp] {
+            return std::make_unique<core::HalfPeriodJitter>(tp);
+        };
+    }
+    cfg.max_time = sim::SimTime::seconds(flag_d(flags, "max-time", 1e5));
+    cfg.stop_on_full_sync = flag_b(flags, "stop-on-sync");
+    cfg.stop_on_breakup_threshold = flag_i(flags, "stop-on-breakup", 0);
+    const bool want_rounds = flag_b(flags, "rounds");
+    const bool want_transmits = flag_b(flags, "transmits");
+    cfg.record_rounds = want_rounds;
+    cfg.transmit_stride = want_transmits ? flag_i(flags, "stride", 1) : 0;
+
+    const auto r = core::run_experiment(cfg);
+
+    if (want_transmits) {
+        std::printf("time_s,node,offset_s\n");
+        for (const auto& t : r.transmits) {
+            std::printf("%.6f,%d,%.6f\n", t.time_sec, t.node, t.offset_sec);
+        }
+    } else if (want_rounds) {
+        std::printf("round,end_time_s,largest_cluster\n");
+        for (const auto& round : r.rounds) {
+            std::printf("%llu,%.3f,%d\n",
+                        static_cast<unsigned long long>(round.round),
+                        round.end_time.sec(), round.largest);
+        }
+    } else {
+        std::printf("rounds,%llu\n",
+                    static_cast<unsigned long long>(r.rounds_closed));
+        std::printf("transmissions,%llu\n",
+                    static_cast<unsigned long long>(r.total_transmissions));
+        std::printf("full_sync_time_s,%s\n",
+                    r.full_sync_time_sec
+                        ? std::to_string(*r.full_sync_time_sec).c_str()
+                        : "none");
+        std::printf("breakup_time_s,%s\n",
+                    r.breakup_time_sec
+                        ? std::to_string(*r.breakup_time_sec).c_str()
+                        : "none");
+        std::printf("rounds_unsynchronized,%llu\n",
+                    static_cast<unsigned long long>(r.rounds_unsynchronized));
+    }
+    return 0;
+}
+
+int cmd_chain(const Flags& flags) {
+    const markov::FJChain chain{chain_params(flags)};
+    const auto f = chain.f_rounds();
+    const auto g = chain.g_rounds();
+    std::printf("state,p_down,p_up,f_rounds,f_seconds,g_rounds,g_seconds\n");
+    for (int i = 1; i <= chain.params().n; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        std::printf("%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n", i, chain.p_down(i),
+                    chain.p_up(i), f[s], f[s] * chain.round_seconds(), g[s],
+                    g[s] * chain.round_seconds());
+    }
+    std::fprintf(stderr, "fraction_unsynchronized %.6g\n",
+                 chain.fraction_unsynchronized());
+    return 0;
+}
+
+int cmd_sweep(const Flags& flags) {
+    markov::ChainParams base = chain_params(flags);
+    const double from = flag_d(flags, "from", 0.5); // in units of Tc
+    const double to = flag_d(flags, "to", 3.0);
+    const double step = flag_d(flags, "step", 0.05);
+    std::printf("tr_over_tc,tr_s,fraction_unsync,f_n_s,g_1_s\n");
+    for (double x = from; x <= to + 1e-12; x += step) {
+        markov::ChainParams p = base;
+        p.tr_sec = x * base.tc_sec;
+        p.f2_rounds = markov::f2_diffusion_estimate(p.n, p.tp_sec, p.tr_sec);
+        const markov::FJChain chain{p};
+        std::printf("%.4f,%.6g,%.6g,%.6g,%.6g\n", x, p.tr_sec,
+                    chain.fraction_unsynchronized(),
+                    chain.time_to_synchronize_seconds(),
+                    chain.time_to_break_up_seconds());
+    }
+    return 0;
+}
+
+int cmd_threshold(const Flags& flags) {
+    const markov::ChainParams p = chain_params(flags);
+    const double tr_star = markov::critical_tr_seconds(p);
+    std::printf("critical_tr_s,%.6g\n", tr_star);
+    std::printf("critical_tr_over_tc,%.4f\n", tr_star / p.tc_sec);
+    std::printf("rule_10tc_s,%.6g\n", 10.0 * p.tc_sec);
+    std::printf("rule_half_period_s,%.6g\n", 0.5 * p.tp_sec);
+    std::printf("critical_n,%d\n", markov::critical_n(p, flag_i(flags, "n-max", 200)));
+    return 0;
+}
+
+int cmd_f2(const Flags& flags) {
+    const markov::ChainParams p = chain_params(flags);
+    const auto est = markov::estimate_f2(
+        p, flag_i(flags, "reps", 20),
+        static_cast<std::uint64_t>(flag_i(flags, "seed", 1)));
+    std::printf("f2_rounds,%.4f\n", est.mean_rounds);
+    std::printf("f2_seconds,%.2f\n", est.mean_seconds);
+    std::printf("completed,%d\n", est.completed);
+    std::printf("censored,%d\n", est.censored);
+    std::printf("diffusion_estimate_rounds,%.4f\n",
+                markov::f2_diffusion_estimate(p.n, p.tp_sec, p.tr_sec));
+    return 0;
+}
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: routesync <pm|chain|sweep|threshold|f2> [--flag value]...\n"
+                 "  pm        --n --tp --tr --tc --seed --max-time [--sync-start]\n"
+                 "            [--reset-at-expiry] [--half-period] [--delta X]\n"
+                 "            [--stop-on-sync] [--stop-on-breakup K]\n"
+                 "            [--rounds|--transmits [--stride k]]\n"
+                 "  chain     --n --tp --tr --tc [--f2 rounds]\n"
+                 "  sweep     --n --tp --tc --from --to --step   (Tr in units of Tc)\n"
+                 "  threshold --n --tp --tc [--n-max]\n"
+                 "  f2        --n --tp --tr --tc [--reps] [--seed]\n");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    Flags flags;
+    try {
+        flags = cli::parse_flags(argc, argv, 2);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        usage();
+        return 2;
+    }
+    try {
+        if (cmd == "pm") {
+            return cmd_pm(flags);
+        }
+        if (cmd == "chain") {
+            return cmd_chain(flags);
+        }
+        if (cmd == "sweep") {
+            return cmd_sweep(flags);
+        }
+        if (cmd == "threshold") {
+            return cmd_threshold(flags);
+        }
+        if (cmd == "f2") {
+            return cmd_f2(flags);
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    usage();
+    return 2;
+}
