@@ -9,7 +9,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+
+#include "parallel/parallel_for.hpp"
 
 namespace routesync::bench {
 
@@ -38,6 +41,34 @@ inline std::string fmt_time(double seconds) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6g", seconds);
     return buf;
+}
+
+/// Parses the standard sweep-bench command line: `[--jobs N]`. Returns
+/// the worker count for the bench's TrialRunner — default the hardware
+/// concurrency, N >= 1 required. Anything else is a usage error (exit 2).
+/// The jobs count is deliberately NOT echoed to stdout: figure output
+/// must stay byte-identical across --jobs values.
+inline std::size_t parse_jobs(int argc, char** argv) {
+    std::size_t jobs = parallel::hardware_jobs();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            const std::string value = argv[++i];
+            char* end = nullptr;
+            const long n = std::strtol(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0' || n < 1) {
+                std::fprintf(stderr,
+                             "error: --jobs must be a positive integer, got '%s'\n",
+                             value.c_str());
+                std::exit(2);
+            }
+            jobs = static_cast<std::size_t>(n);
+        } else {
+            std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+            std::exit(2);
+        }
+    }
+    return jobs;
 }
 
 inline int footer() {

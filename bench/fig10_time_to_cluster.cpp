@@ -10,12 +10,14 @@
 #include "bench/common.hpp"
 #include "core/core.hpp"
 #include "markov/markov.hpp"
+#include "parallel/parallel.hpp"
 #include "stats/stats.hpp"
 
 using namespace routesync;
 using namespace routesync::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    const std::size_t jobs = parse_jobs(argc, argv);
     header("Figure 10",
            "time to first reach each cluster size from unsynchronized start "
            "(N=20, Tp=121 s, Tc=0.11 s, Tr=0.1 s, f(2)=19 rounds)");
@@ -29,19 +31,23 @@ int main() {
     const markov::FJChain chain{cp};
     const auto f = chain.f_rounds();
 
-    // Twenty simulations, seeds 1..20.
+    // Twenty simulations, seeds 1..20, fanned over the trial runner; the
+    // stats accumulate in seed order whatever the jobs value.
     const int kSims = 20;
     std::vector<stats::RunningStats> hit(21);
-    for (int seed = 1; seed <= kSims; ++seed) {
-        core::ExperimentConfig cfg;
-        cfg.params.n = 20;
-        cfg.params.tp = sim::SimTime::seconds(121);
-        cfg.params.tc = sim::SimTime::seconds(0.11);
-        cfg.params.tr = sim::SimTime::seconds(0.1);
-        cfg.params.seed = static_cast<std::uint64_t>(seed);
-        cfg.max_time = sim::SimTime::seconds(2e6);
-        cfg.stop_on_full_sync = true;
-        const auto r = core::run_experiment(cfg);
+    const auto results = parallel::TrialRunner{{.jobs = jobs}}.run_generated(
+        static_cast<std::size_t>(kSims), [](std::size_t i) {
+            core::ExperimentConfig cfg;
+            cfg.params.n = 20;
+            cfg.params.tp = sim::SimTime::seconds(121);
+            cfg.params.tc = sim::SimTime::seconds(0.11);
+            cfg.params.tr = sim::SimTime::seconds(0.1);
+            cfg.params.seed = static_cast<std::uint64_t>(i + 1); // seeds 1..20
+            cfg.max_time = sim::SimTime::seconds(2e6);
+            cfg.stop_on_full_sync = true;
+            return cfg;
+        });
+    for (const auto& r : results) {
         for (int s = 2; s <= 20; ++s) {
             if (r.first_hit_up[static_cast<std::size_t>(s)]) {
                 hit[static_cast<std::size_t>(s)].add(

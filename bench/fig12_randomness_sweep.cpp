@@ -5,17 +5,19 @@
 // unsynchronized start, '+' marks from a synchronized start. Log-scale y;
 // the low / moderate / high randomization regions.
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "core/core.hpp"
 #include "markov/markov.hpp"
+#include "parallel/parallel.hpp"
 
 using namespace routesync;
 using namespace routesync::bench;
 
 namespace {
 
-double simulate_sync_time(double tr, std::uint64_t seed) {
+core::ExperimentConfig sync_time_config(double tr, std::uint64_t seed) {
     core::ExperimentConfig cfg;
     cfg.params.n = 20;
     cfg.params.tp = sim::SimTime::seconds(121);
@@ -24,11 +26,10 @@ double simulate_sync_time(double tr, std::uint64_t seed) {
     cfg.params.seed = seed;
     cfg.max_time = sim::SimTime::seconds(1e7);
     cfg.stop_on_full_sync = true;
-    const auto r = core::run_experiment(cfg);
-    return r.full_sync_time_sec.value_or(1e7);
+    return cfg;
 }
 
-double simulate_breakup_time(double tr, std::uint64_t seed) {
+core::ExperimentConfig breakup_time_config(double tr, std::uint64_t seed) {
     core::ExperimentConfig cfg;
     cfg.params.n = 20;
     cfg.params.tp = sim::SimTime::seconds(121);
@@ -38,13 +39,13 @@ double simulate_breakup_time(double tr, std::uint64_t seed) {
     cfg.params.seed = seed;
     cfg.max_time = sim::SimTime::seconds(1e7);
     cfg.stop_on_breakup_threshold = 1;
-    const auto r = core::run_experiment(cfg);
-    return r.breakup_time_sec.value_or(1e7);
+    return cfg;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const std::size_t jobs = parse_jobs(argc, argv);
     header("Figure 12",
            "f(N) and g(1) in seconds vs Tr (N=20, Tp=121 s, Tc=0.11 s); "
            "f(2) from the diffusion estimate, plus the f(2)=0 variant");
@@ -52,10 +53,18 @@ int main() {
     const double tc = 0.11;
     section("series: Tr/Tc vs g(1)_s (solid), f(N)_s (dashed), f(N)|f2=0 (dotted)");
     std::printf("%7s %16s %16s %16s\n", "Tr/Tc", "g1_s", "fN_s", "fN_f2zero_s");
-    double crossover = -1.0;
-    double prev_diff = 0.0;
+    // Materialize the grid with the same accumulation the serial loop
+    // used (so the factor doubles are bit-identical), evaluate the chain
+    // at every point in parallel, then print/scan serially.
+    std::vector<double> grid;
     for (double factor = 0.1; factor <= 4.51; factor += 0.1) {
-        const double tr = factor * tc;
+        grid.push_back(factor);
+    }
+    struct Row {
+        double g1, fn, fn0;
+    };
+    const auto rows = parallel::map_index<Row>(grid.size(), jobs, [&](std::size_t i) {
+        const double tr = grid[i] * tc;
         markov::ChainParams p;
         p.n = 20;
         p.tp_sec = 121.0;
@@ -66,16 +75,20 @@ int main() {
         markov::ChainParams p0 = p;
         p0.f2_rounds = 0.0;
         const markov::FJChain chain0{p0};
-
-        const double g1 = chain.time_to_break_up_seconds();
-        const double fn = chain.time_to_synchronize_seconds();
-        const double fn0 = chain0.time_to_synchronize_seconds();
-        std::printf("%7.2f %16s %16s %16s\n", factor, fmt_time(g1).c_str(),
+        return Row{chain.time_to_break_up_seconds(),
+                   chain.time_to_synchronize_seconds(),
+                   chain0.time_to_synchronize_seconds()};
+    });
+    double crossover = -1.0;
+    double prev_diff = 0.0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto& [g1, fn, fn0] = rows[i];
+        std::printf("%7.2f %16s %16s %16s\n", grid[i], fmt_time(g1).c_str(),
                     fmt_time(fn).c_str(), fmt_time(fn0).c_str());
 
         const double diff = (std::isinf(fn) ? 1e18 : fn) - (std::isinf(g1) ? 1e18 : g1);
         if (crossover < 0 && prev_diff < 0 && diff >= 0) {
-            crossover = factor;
+            crossover = grid[i];
         }
         prev_diff = diff;
     }
@@ -83,14 +96,18 @@ int main() {
                 crossover);
 
     section("simulation marks ('x' = unsync start, '+' = sync start)");
-    for (const double factor : {0.6, 1.0}) {
-        const double t = simulate_sync_time(factor * tc, 11);
-        std::printf("x  Tr=%.2f*Tc  time_to_sync  = %.4g s\n", factor, t);
-    }
-    for (const double factor : {2.5, 2.8}) {
-        const double t = simulate_breakup_time(factor * tc, 13);
-        std::printf("+  Tr=%.2f*Tc  time_to_break = %.4g s\n", factor, t);
-    }
+    const std::vector<core::ExperimentConfig> mark_configs{
+        sync_time_config(0.6 * tc, 11), sync_time_config(1.0 * tc, 11),
+        breakup_time_config(2.5 * tc, 13), breakup_time_config(2.8 * tc, 13)};
+    const auto marks = parallel::TrialRunner{{.jobs = jobs}}.run_all(mark_configs);
+    std::printf("x  Tr=%.2f*Tc  time_to_sync  = %.4g s\n", 0.6,
+                marks[0].full_sync_time_sec.value_or(1e7));
+    std::printf("x  Tr=%.2f*Tc  time_to_sync  = %.4g s\n", 1.0,
+                marks[1].full_sync_time_sec.value_or(1e7));
+    std::printf("+  Tr=%.2f*Tc  time_to_break = %.4g s\n", 2.5,
+                marks[2].breakup_time_sec.value_or(1e7));
+    std::printf("+  Tr=%.2f*Tc  time_to_break = %.4g s\n", 2.8,
+                marks[3].breakup_time_sec.value_or(1e7));
 
     // Shape checks: f grows with Tr, g falls with Tr, and the curves cross.
     auto fn_at = [&](double factor) {

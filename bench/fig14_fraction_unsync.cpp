@@ -3,9 +3,11 @@
 // the flip from predominately-synchronized to predominately-unsynchronized
 // is sharp, not gradual.
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "markov/markov.hpp"
+#include "parallel/parallel.hpp"
 
 using namespace routesync;
 using namespace routesync::bench;
@@ -24,7 +26,8 @@ double fraction_at(double tr_over_tc) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const std::size_t jobs = parse_jobs(argc, argv);
     header("Figure 14",
            "fraction of time unsynchronized vs Tr (N=20, Tp=121 s, Tc=0.11 s)");
 
@@ -32,14 +35,20 @@ int main() {
     std::printf("%7s %12s\n", "Tr/Tc", "fraction");
     double lo_edge = -1.0;
     double hi_edge = -1.0;
+    std::vector<double> grid;
     for (double factor = 0.5; factor <= 3.001; factor += 0.05) {
-        const double frac = fraction_at(factor);
-        std::printf("%7.2f %12.6f\n", factor, frac);
+        grid.push_back(factor);
+    }
+    const auto fracs = parallel::map_index<double>(
+        grid.size(), jobs, [&](std::size_t i) { return fraction_at(grid[i]); });
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const double frac = fracs[i];
+        std::printf("%7.2f %12.6f\n", grid[i], frac);
         if (lo_edge < 0 && frac > 0.1) {
-            lo_edge = factor;
+            lo_edge = grid[i];
         }
         if (hi_edge < 0 && frac > 0.9) {
-            hi_edge = factor;
+            hi_edge = grid[i];
         }
     }
 

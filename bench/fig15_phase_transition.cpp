@@ -6,6 +6,7 @@
 
 #include "bench/common.hpp"
 #include "markov/markov.hpp"
+#include "parallel/parallel.hpp"
 
 using namespace routesync;
 using namespace routesync::bench;
@@ -24,7 +25,8 @@ double fraction_at(int n) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const std::size_t jobs = parse_jobs(argc, argv);
     header("Figure 15",
            "fraction of time unsynchronized vs N (Tp=121 s, Tc=0.11 s, Tr=0.3 s)");
 
@@ -32,8 +34,13 @@ int main() {
     std::printf("%5s %12s\n", "N", "fraction");
     int last_unsync = -1;
     int first_sync = -1;
-    for (int n = 5; n <= 32; ++n) {
-        const double frac = fraction_at(n);
+    const int kFromN = 5;
+    const int kToN = 32;
+    const auto fracs = parallel::map_index<double>(
+        static_cast<std::size_t>(kToN - kFromN + 1), jobs,
+        [](std::size_t i) { return fraction_at(kFromN + static_cast<int>(i)); });
+    for (int n = kFromN; n <= kToN; ++n) {
+        const double frac = fracs[static_cast<std::size_t>(n - kFromN)];
         std::printf("%5d %12.6f\n", n, frac);
         if (frac > 0.9) {
             last_unsync = n;

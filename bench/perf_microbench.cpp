@@ -3,12 +3,17 @@
 // regressions in the simulator core are visible.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "core/core.hpp"
 #include "markov/markov.hpp"
 #include "net/net.hpp"
+#include "parallel/parallel.hpp"
 #include "rng/rng.hpp"
 #include "routing/routing.hpp"
 #include "stats/stats.hpp"
@@ -16,6 +21,87 @@
 using namespace routesync;
 
 namespace {
+
+// The seed EventQueue implementation (std::priority_queue over fat
+// entries, pending_/cancelled_ unordered_sets, std::function callbacks),
+// kept verbatim as an in-binary baseline so BM_EventQueueLegacy_* vs
+// BM_EventQueue_* is an honest before/after under identical conditions.
+class LegacyEventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    struct Handle {
+        std::uint64_t id = 0;
+    };
+
+    Handle push(sim::SimTime t, Callback cb) {
+        const std::uint64_t id = next_id_++;
+        heap_.push(Entry{t, id, id, std::move(cb)});
+        pending_.insert(id);
+        ++live_;
+        return Handle{id};
+    }
+
+    bool cancel(Handle h) {
+        const auto it = pending_.find(h.id);
+        if (it == pending_.end()) {
+            return false;
+        }
+        pending_.erase(it);
+        cancelled_.insert(h.id);
+        --live_;
+        return true;
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+    struct Popped {
+        sim::SimTime time;
+        Callback callback;
+    };
+    Popped pop() {
+        skip_cancelled();
+        auto& top = const_cast<Entry&>(heap_.top());
+        Popped out{top.time, std::move(top.callback)};
+        pending_.erase(top.id);
+        heap_.pop();
+        --live_;
+        return out;
+    }
+
+private:
+    struct Entry {
+        sim::SimTime time;
+        std::uint64_t seq;
+        std::uint64_t id;
+        Callback callback;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            if (a.time != b.time) {
+                return a.time > b.time;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    void skip_cancelled() {
+        while (!heap_.empty()) {
+            const auto it = cancelled_.find(heap_.top().id);
+            if (it == cancelled_.end()) {
+                return;
+            }
+            cancelled_.erase(it);
+            heap_.pop();
+        }
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<std::uint64_t> pending_;
+    std::unordered_set<std::uint64_t> cancelled_;
+    std::uint64_t next_id_ = 1;
+    std::size_t live_ = 0;
+};
 
 void BM_MinStd(benchmark::State& state) {
     rng::MinStd gen{12345};
@@ -50,6 +136,90 @@ void BM_EventQueue_PushPop(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueue_PushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueLegacy_PushPop(benchmark::State& state) {
+    const auto batch = static_cast<int>(state.range(0));
+    LegacyEventQueue q;
+    rng::Xoshiro256ss gen{1};
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i) {
+            q.push(sim::SimTime::seconds(rng::uniform01(gen)), [] {});
+        }
+        while (!q.empty()) {
+            benchmark::DoNotOptimize(q.pop().time);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueLegacy_PushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EventQueue_PushCancel(benchmark::State& state) {
+    // The reschedule-before-firing pattern: every event is cancelled and
+    // replaced. Exercises O(1) cancel plus the tombstone compaction.
+    const auto batch = static_cast<int>(state.range(0));
+    sim::EventQueue q;
+    rng::Xoshiro256ss gen{1};
+    std::vector<sim::EventHandle> handles(static_cast<std::size_t>(batch));
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i) {
+            handles[static_cast<std::size_t>(i)] =
+                q.push(sim::SimTime::seconds(rng::uniform01(gen)), [] {});
+        }
+        for (int i = 0; i < batch; ++i) {
+            benchmark::DoNotOptimize(q.cancel(handles[static_cast<std::size_t>(i)]));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueue_PushCancel)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueLegacy_PushCancel(benchmark::State& state) {
+    const auto batch = static_cast<int>(state.range(0));
+    LegacyEventQueue q;
+    rng::Xoshiro256ss gen{1};
+    std::vector<LegacyEventQueue::Handle> handles(static_cast<std::size_t>(batch));
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i) {
+            handles[static_cast<std::size_t>(i)] =
+                q.push(sim::SimTime::seconds(rng::uniform01(gen)), [] {});
+        }
+        for (int i = 0; i < batch; ++i) {
+            benchmark::DoNotOptimize(q.cancel(handles[static_cast<std::size_t>(i)]));
+        }
+        // Drain the tombstones so the legacy heap doesn't grow without
+        // bound across iterations (its lazy scheme never compacts).
+        while (!q.empty()) {
+            benchmark::DoNotOptimize(q.pop().time);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueLegacy_PushCancel)->Arg(1024)->Arg(16384);
+
+void BM_TrialRunner(benchmark::State& state) {
+    // A fixed batch of independent trials fanned over state.range(0)
+    // worker threads. On multi-core hardware items/sec should scale
+    // near-linearly up to the physical core count (UseRealTime: wall
+    // clock is what parallelism buys).
+    const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+    const parallel::TrialRunner runner{{.jobs = jobs}};
+    const int kTrials = 8;
+    for (auto _ : state) {
+        const auto results = runner.run_generated(kTrials, [](std::size_t i) {
+            core::ExperimentConfig cfg;
+            cfg.params.n = 20;
+            cfg.params.tp = sim::SimTime::seconds(121);
+            cfg.params.tc = sim::SimTime::seconds(0.11);
+            cfg.params.tr = sim::SimTime::seconds(0.11);
+            cfg.params.seed = parallel::derive_seed(42, i);
+            cfg.max_time = sim::SimTime::seconds(2e4);
+            return cfg;
+        });
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(state.iterations() * kTrials);
+}
+BENCHMARK(BM_TrialRunner)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_Engine_SelfSchedulingChain(benchmark::State& state) {
     for (auto _ : state) {

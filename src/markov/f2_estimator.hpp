@@ -28,9 +28,12 @@ struct F2Estimate {
 
 /// Estimates f(2) for the chain's parameters by simulation. `reps`
 /// independent runs (seeds seed, seed+1, ...), each capped at
-/// `max_rounds_per_rep` rounds.
+/// `max_rounds_per_rep` rounds. The repetitions fan out over `jobs`
+/// worker threads (0 = hardware concurrency); every rep is seeded by its
+/// index alone, so the estimate is identical for any jobs value.
 [[nodiscard]] F2Estimate estimate_f2(const ChainParams& params, int reps,
                                      std::uint64_t seed = 1,
-                                     double max_rounds_per_rep = 1e6);
+                                     double max_rounds_per_rep = 1e6,
+                                     std::size_t jobs = 1);
 
 } // namespace routesync::markov

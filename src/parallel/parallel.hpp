@@ -1,0 +1,7 @@
+// Umbrella header for the routesync::parallel subsystem: deterministic
+// fork-join primitives (parallel_for.hpp) and the Monte Carlo trial
+// runner (trial_runner.hpp).
+#pragma once
+
+#include "parallel/parallel_for.hpp"  // IWYU pragma: export
+#include "parallel/trial_runner.hpp"  // IWYU pragma: export

@@ -1,0 +1,107 @@
+// Minimal deterministic fork-join primitives: run `count` independent
+// index-addressed tasks on a fixed-size pool of worker threads.
+//
+// Work distribution is a single shared atomic index (workers claim the
+// next unclaimed index until the range is exhausted), so load-balancing
+// is automatic and there is no per-task queue or allocation. Crucially,
+// the *scheduling* order never affects the *result* order: map_index()
+// writes each result into its own pre-sized vector element, so output is
+// in index order no matter which thread ran which index. That property
+// is what lets higher layers promise "--jobs N output is byte-identical
+// to --jobs 1".
+//
+// jobs <= 1 runs everything inline on the calling thread — no threads
+// are created, which keeps single-job runs exactly as debuggable (and
+// exactly as ordered) as the pre-parallel code.
+//
+// Exceptions: the first exception thrown by any task is captured and
+// rethrown on the calling thread after all workers have joined; the
+// remaining tasks may or may not have run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace routesync::parallel {
+
+/// Default worker count: the hardware concurrency, or 1 when the runtime
+/// cannot tell (hardware_concurrency() may legitimately return 0).
+[[nodiscard]] inline std::size_t hardware_jobs() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Invokes `fn(i)` for every i in [0, count), distributing indices over
+/// `jobs` threads (the calling thread counts as one of them). Blocks
+/// until every claimed index has finished.
+template <typename F>
+void for_index(std::size_t count, std::size_t jobs, F&& fn) {
+    static_assert(std::is_invocable_v<F&, std::size_t>,
+                  "for_index callable must accept a std::size_t index");
+    if (count == 0) {
+        return;
+    }
+    if (jobs <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    if (jobs > count) {
+        jobs = count; // never spawn a thread with nothing to claim
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const auto worker = [&]() noexcept {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) {
+                return;
+            }
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock{error_mutex};
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs - 1);
+    for (std::size_t t = 0; t + 1 < jobs; ++t) {
+        pool.emplace_back(worker);
+    }
+    worker(); // the calling thread pulls its weight too
+    for (std::thread& t : pool) {
+        t.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+/// Maps `fn` over [0, count) and returns the results **in index order**,
+/// regardless of which thread computed which index. R must be default-
+/// constructible (elements are pre-sized, then assigned in place).
+template <typename R, typename F>
+[[nodiscard]] std::vector<R> map_index(std::size_t count, std::size_t jobs, F&& fn) {
+    static_assert(std::is_convertible_v<std::invoke_result_t<F&, std::size_t>, R>,
+                  "map_index callable must return a value convertible to R");
+    std::vector<R> out(count);
+    for_index(count, jobs, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace routesync::parallel

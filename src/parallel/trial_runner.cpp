@@ -1,0 +1,34 @@
+#include "parallel/trial_runner.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace routesync::parallel {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+    // Offset the base along the SplitMix64 Weyl constant, then run one
+    // splitmix output step. Distinct indices land in distinct, well-mixed
+    // positions of the splitmix sequence even for base = 0.
+    rng::SplitMix64 mix{base + index * 0x9e3779b97f4a7c15ULL};
+    return mix();
+}
+
+TrialRunner::TrialRunner(TrialRunnerOptions options)
+    : jobs_{options.jobs == 0 ? hardware_jobs() : options.jobs} {}
+
+std::vector<core::ExperimentResult>
+TrialRunner::run_all(const std::vector<core::ExperimentConfig>& configs) const {
+    return map_index<core::ExperimentResult>(
+        configs.size(), jobs_,
+        [&](std::size_t i) { return core::run_experiment(configs[i]); });
+}
+
+std::vector<core::ExperimentResult> TrialRunner::run_generated(
+    std::size_t count,
+    const std::function<core::ExperimentConfig(std::size_t)>& make_config) const {
+    return map_index<core::ExperimentResult>(count, jobs_, [&](std::size_t i) {
+        const core::ExperimentConfig config = make_config(i);
+        return core::run_experiment(config);
+    });
+}
+
+} // namespace routesync::parallel

@@ -1,0 +1,72 @@
+// TrialRunner: fan independent Monte Carlo trials across a thread pool,
+// deterministically.
+//
+// Every paper figure is a sweep of independent run_experiment() trials
+// over seeds and parameter grids. Each trial builds its own Engine,
+// model, and RNG from its ExperimentConfig, so trials share no mutable
+// state and parallelize embarrassingly. The runner's contract:
+//
+//   * Trials are identified by their submission index. Results come back
+//     in submission order, and each trial's config is fixed before any
+//     thread runs — so the output of `jobs = N` is byte-identical to
+//     `jobs = 1` for every N.
+//   * Seeding discipline: a trial's RNG stream must be a pure function
+//     of its submission index (and a base seed), never of thread
+//     identity or execution order. derive_seed() provides well-spread
+//     per-index seeds from one base seed; config generators should use
+//     it (or any other index-only rule, e.g. the legacy `seed * 31`
+//     formulas) rather than sharing one RNG across trials.
+//   * jobs = 0 means "use the hardware concurrency"; jobs = 1 runs
+//     inline with no threads.
+//
+// Caution: ExperimentConfig::make_policy is invoked from worker threads;
+// factories must be safe to call concurrently (stateless factories are).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace routesync::parallel {
+
+/// Derives the seed for trial `index` from a single base seed, using a
+/// SplitMix64 step over Weyl-sequence increments. Adjacent indices get
+/// statistically independent streams (this is the standard splitmix
+/// stream-derivation trick), and the mapping is a pure function of
+/// (base, index) — the cornerstone of run-order independence.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept;
+
+struct TrialRunnerOptions {
+    /// Worker threads to use. 0 = hardware concurrency; 1 = run inline.
+    std::size_t jobs = 0;
+};
+
+class TrialRunner {
+public:
+    explicit TrialRunner(TrialRunnerOptions options = {});
+
+    /// Effective worker count (never 0).
+    [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+    /// Runs every config through run_experiment(); results are returned
+    /// in the same order as `configs`.
+    [[nodiscard]] std::vector<core::ExperimentResult>
+    run_all(const std::vector<core::ExperimentConfig>& configs) const;
+
+    /// Generator form for sweeps too large (or too awkward) to
+    /// materialize: `make_config(i)` builds the config for trial i, on
+    /// the worker thread that claims it. The generator must be a pure
+    /// function of the index (it may be called concurrently).
+    [[nodiscard]] std::vector<core::ExperimentResult>
+    run_generated(std::size_t count,
+                  const std::function<core::ExperimentConfig(std::size_t)>& make_config) const;
+
+private:
+    std::size_t jobs_;
+};
+
+} // namespace routesync::parallel

@@ -1,0 +1,154 @@
+// A small-buffer-optimized, move-only callable — the event queue's
+// callback type.
+//
+// Why not std::function: the hot path of every simulation is
+// push/pop on the event queue, and std::function heap-allocates for any
+// capture larger than (typically) two pointers. Simulation callbacks
+// routinely capture a model pointer plus a couple of values, which fits
+// comfortably inline but blows the libstdc++ SBO budget. SmallCallback
+// stores any callable up to kInlineSize bytes in place and only falls
+// back to the heap beyond that, so the common schedule/fire cycle does
+// zero allocations.
+//
+// Move-only on purpose: an event callback has exactly one owner (the
+// queue, then the engine frame that fires it), and dropping the
+// copyability requirement lets callables with move-only captures
+// (unique_ptr, etc.) be scheduled directly.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace routesync::sim {
+
+class SmallCallback {
+public:
+    /// Inline storage budget. Sized so a captured object pointer plus a
+    /// handful of scalars (or a whole std::function, when legacy code
+    /// passes one) stays allocation-free.
+    static constexpr std::size_t kInlineSize = 48;
+
+    SmallCallback() noexcept = default;
+    SmallCallback(std::nullptr_t) noexcept {} // NOLINT(google-explicit-constructor)
+
+    template <typename F,
+              typename D = std::remove_cvref_t<F>,
+              typename = std::enable_if_t<!std::is_same_v<D, SmallCallback> &&
+                                          !std::is_same_v<D, std::nullptr_t> &&
+                                          std::is_invocable_r_v<void, D&>>>
+    SmallCallback(F&& f) { // NOLINT(google-explicit-constructor)
+        if constexpr (fits_inline<D> && std::is_trivially_copyable_v<D>) {
+            // The fast path for the simulator's lambdas (captured
+            // pointers and scalars): relocation is a buffer copy and
+            // destruction a no-op, signalled by null vtable entries.
+            ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+            vt_ = &trivial_vtable<D>;
+        } else if constexpr (fits_inline<D>) {
+            ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+            vt_ = &inline_vtable<D>;
+        } else {
+            ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+            vt_ = &heap_vtable<D>;
+        }
+    }
+
+    SmallCallback(SmallCallback&& other) noexcept { steal(other); }
+
+    SmallCallback& operator=(SmallCallback&& other) noexcept {
+        if (this != &other) {
+            reset();
+            steal(other);
+        }
+        return *this;
+    }
+
+    SmallCallback(const SmallCallback&) = delete;
+    SmallCallback& operator=(const SmallCallback&) = delete;
+
+    ~SmallCallback() { reset(); }
+
+    /// Invokes the stored callable. Precondition: non-empty.
+    void operator()() {
+        assert(vt_ != nullptr && "SmallCallback: invoking empty callback");
+        vt_->invoke(buf_);
+    }
+
+    [[nodiscard]] explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+    friend bool operator==(const SmallCallback& cb, std::nullptr_t) noexcept {
+        return cb.vt_ == nullptr;
+    }
+
+private:
+    struct VTable {
+        void (*invoke)(void*);
+        // Null relocate/destroy mean "trivially relocatable": moving is a
+        // raw buffer copy and destruction is a no-op.
+        void (*relocate)(void* src, void* dst) noexcept; // move into dst, destroy src
+        void (*destroy)(void*) noexcept;
+    };
+
+    // Inline storage requires a nothrow move so heap-reordering moves in
+    // the event queue keep their exception guarantees.
+    template <typename D>
+    static constexpr bool fits_inline =
+        sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+
+    template <typename D>
+    static constexpr VTable trivial_vtable{
+        [](void* p) { (*std::launder(static_cast<D*>(p)))(); },
+        nullptr,
+        nullptr,
+    };
+
+    template <typename D>
+    static constexpr VTable inline_vtable{
+        [](void* p) { (*std::launder(static_cast<D*>(p)))(); },
+        [](void* src, void* dst) noexcept {
+            auto* s = std::launder(static_cast<D*>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        },
+        [](void* p) noexcept { std::launder(static_cast<D*>(p))->~D(); },
+    };
+
+    template <typename D>
+    static constexpr VTable heap_vtable{
+        [](void* p) { (**std::launder(static_cast<D**>(p)))(); },
+        [](void* src, void* dst) noexcept {
+            ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+        },
+        [](void* p) noexcept { delete *std::launder(static_cast<D**>(p)); },
+    };
+
+    void steal(SmallCallback& other) noexcept {
+        if (other.vt_ != nullptr) {
+            vt_ = other.vt_;
+            if (vt_->relocate != nullptr) {
+                vt_->relocate(other.buf_, buf_);
+            } else {
+                std::memcpy(buf_, other.buf_, kInlineSize);
+            }
+            other.vt_ = nullptr;
+        }
+    }
+
+    void reset() noexcept {
+        if (vt_ != nullptr) {
+            if (vt_->destroy != nullptr) {
+                vt_->destroy(buf_);
+            }
+            vt_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) std::byte buf_[kInlineSize];
+    const VTable* vt_ = nullptr;
+};
+
+} // namespace routesync::sim

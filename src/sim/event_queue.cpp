@@ -1,60 +1,230 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace routesync::sim {
 
+std::uint32_t EventQueue::acquire_slot() {
+    if (!free_slots_.empty()) {
+        const std::uint32_t slot = free_slots_.back();
+        free_slots_.pop_back();
+        slots_[slot].state = SlotState::Live;
+        return slot;
+    }
+    if (slots_.size() > kSlotMask) {
+        throw std::length_error{"EventQueue: too many pending events"};
+    }
+    slots_.push_back(Slot{});
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+    // Bumping the generation invalidates every outstanding handle to the
+    // slot before it is recycled. (On cancel the generation was already
+    // bumped; the extra bump here is still correct and keeps release
+    // unconditional.)
+    Slot& s = slots_[slot];
+    ++s.gen;
+    s.callback = nullptr;
+    free_slots_.push_back(slot);
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+    Entry* const heap = heap_.data();
+    const Entry e = heap[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / kArity;
+        if (e >= heap[parent]) {
+            break;
+        }
+        heap[i] = heap[parent];
+        i = parent;
+    }
+    heap[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) noexcept {
+    Entry* const heap = heap_.data();
+    const Entry e = heap[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        const std::size_t first = i * kArity + 1;
+        if (first >= n) {
+            break;
+        }
+        std::size_t best = first;
+        const std::size_t last = std::min(first + kArity, n);
+        if (last - first == kArity) {
+            // Full group (the common case): a pairwise min-tree. The
+            // 128-bit integer compares are branchless, so these selects
+            // compile to cmovs instead of unpredictable branches.
+            const std::size_t b01 =
+                heap[first + 1] < heap[first] ? first + 1 : first;
+            const std::size_t b23 =
+                heap[first + 3] < heap[first + 2] ? first + 3 : first + 2;
+            best = heap[b23] < heap[b01] ? b23 : b01;
+        } else {
+            for (std::size_t c = first + 1; c < last; ++c) {
+                if (heap[c] < heap[best]) {
+                    best = c;
+                }
+            }
+        }
+        if (heap[best] >= e) {
+            break;
+        }
+        heap[i] = heap[best];
+        i = best;
+    }
+    heap[i] = e;
+}
+
+void EventQueue::drop_root() noexcept {
+    // Bottom-up deletion (Wegener): the replacement element comes from
+    // the heap's last position — a leaf, so it almost always belongs back
+    // near the leaves. Walk the hole down the min-child path without
+    // comparing against the replacement (saving a compare per level),
+    // then sift the replacement up from the bottom (O(1) expected).
+    const Entry back = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) {
+        return;
+    }
+    Entry* const heap = heap_.data();
+    std::size_t hole = 0;
+    for (;;) {
+        const std::size_t first = hole * kArity + 1;
+        if (first >= n) {
+            break;
+        }
+        std::size_t best = first;
+        const std::size_t last = std::min(first + kArity, n);
+        if (last - first == kArity) {
+            // The walk is cache-miss bound on deep heaps: each level lands
+            // on a fresh line. Start the grandchild loads now, while this
+            // level's compares run — whichever child wins, its children
+            // are already in flight.
+            const std::size_t grand = first * kArity + 1;
+            if (grand + 3 * kArity < n) {
+                __builtin_prefetch(&heap[grand]);
+                __builtin_prefetch(&heap[grand + kArity]);
+                __builtin_prefetch(&heap[grand + 2 * kArity]);
+                __builtin_prefetch(&heap[grand + 3 * kArity]);
+            }
+            const std::size_t b01 =
+                heap[first + 1] < heap[first] ? first + 1 : first;
+            const std::size_t b23 =
+                heap[first + 3] < heap[first + 2] ? first + 3 : first + 2;
+            best = heap[b23] < heap[b01] ? b23 : b01;
+        } else {
+            for (std::size_t c = first + 1; c < last; ++c) {
+                if (heap[c] < heap[best]) {
+                    best = c;
+                }
+            }
+        }
+        heap[hole] = heap[best];
+        hole = best;
+    }
+    heap[hole] = back;
+    sift_up(hole);
+}
+
+void EventQueue::renumber() {
+    // A key-sorted array is a valid d-ary min-heap, so rebuild by
+    // sorting: relative order (and thus FIFO among equal times) is
+    // preserved, and fresh dense seqs leave room for another 2^42 pushes.
+    std::sort(heap_.begin(), heap_.end());
+    std::uint64_t seq = 1;
+    for (Entry& e : heap_) {
+        const Entry time_and_slot =
+            (e >> 64 << 64) | (static_cast<std::uint64_t>(e) & kSlotMask);
+        e = time_and_slot | (Entry{seq++} << kSlotBits);
+    }
+    next_seq_ = seq;
+}
+
 EventHandle EventQueue::push(SimTime t, Callback cb) {
     if (!cb) {
         throw std::invalid_argument{"EventQueue::push: empty callback"};
     }
-    const std::uint64_t id = next_id_++;
-    heap_.push(Entry{t, id, id, std::move(cb)});
-    pending_.insert(id);
+    if (next_seq_ > kMaxSeq) {
+        renumber();
+    }
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot].callback = std::move(cb);
+    heap_.push_back((Entry{time_bits(t)} << 64) | (next_seq_++ << kSlotBits) | slot);
+    sift_up(heap_.size() - 1);
     ++live_;
-    return EventHandle{id};
+    return make_handle(slot, slots_[slot].gen);
 }
 
 bool EventQueue::cancel(EventHandle h) {
-    const auto it = pending_.find(h.id);
-    if (it == pending_.end()) {
-        return false; // already fired, already cancelled, or bogus handle
+    const auto slot = static_cast<std::uint32_t>(h.id >> 32);
+    const auto gen = static_cast<std::uint32_t>(h.id & 0xffffffffU);
+    if (slot >= slots_.size()) {
+        return false; // bogus handle
     }
-    pending_.erase(it);
-    cancelled_.insert(h.id);
+    Slot& s = slots_[slot];
+    if (s.state != SlotState::Live || s.gen != gen) {
+        return false; // already fired, already cancelled, or stale handle
+    }
+    s.state = SlotState::Cancelled;
+    ++s.gen;              // invalidate the handle immediately
+    s.callback = nullptr; // release captured resources now, not at reclaim
     --live_;
+    ++tombstones_;
+    if (tombstones_ > heap_.size() / 2 && heap_.size() >= kCompactMinHeap) {
+        compact();
+    }
     return true;
 }
 
-void EventQueue::skip_cancelled() {
-    while (!heap_.empty()) {
-        const auto it = cancelled_.find(heap_.top().id);
-        if (it == cancelled_.end()) {
-            return;
+void EventQueue::compact() {
+    const auto cancelled = [this](Entry e) {
+        return slots_[slot_of(e)].state == SlotState::Cancelled;
+    };
+    for (const Entry e : heap_) {
+        if (cancelled(e)) {
+            release_slot(slot_of(e));
         }
-        cancelled_.erase(it);
-        heap_.pop();
+    }
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(), cancelled), heap_.end());
+    // Floyd heapify: sift every internal node down, deepest first.
+    if (heap_.size() > 1) {
+        for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) {
+            sift_down(i);
+        }
+    }
+    tombstones_ = 0;
+}
+
+void EventQueue::skip_cancelled() {
+    while (!heap_.empty() &&
+           slots_[slot_of(heap_.front())].state == SlotState::Cancelled) {
+        release_slot(slot_of(heap_.front()));
+        drop_root();
+        --tombstones_;
     }
 }
 
 SimTime EventQueue::next_time() {
     skip_cancelled();
     assert(!heap_.empty() && "next_time() on empty queue");
-    return heap_.top().time;
+    return entry_time(heap_.front());
 }
 
 EventQueue::Popped EventQueue::pop() {
     skip_cancelled();
     assert(!heap_.empty() && "pop() on empty queue");
-    // priority_queue::top() returns const&; the callback must be moved out,
-    // so const_cast on the about-to-be-popped element is the standard
-    // workaround (the element is removed immediately after).
-    auto& top = const_cast<Entry&>(heap_.top());
-    Popped out{top.time, std::move(top.callback)};
-    pending_.erase(top.id);
-    heap_.pop();
+    const Entry top = heap_.front();
+    Popped out{entry_time(top), std::move(slots_[slot_of(top)].callback)};
+    release_slot(slot_of(top));
+    drop_root();
     --live_;
     return out;
 }

@@ -6,23 +6,64 @@
 // busy-period arithmetic), and deterministic ordering keeps whole
 // simulations bit-reproducible.
 //
-// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
-// at pop time. This keeps push/cancel O(log n)/O(1) with no handle
-// invalidation headaches.
+// Hot-path design (this is the innermost loop of every simulation):
+//
+//   * Callbacks are `SmallCallback` — small-buffer-optimized and
+//     move-only — so the common schedule/fire cycle performs no heap
+//     allocation (std::function would allocate for almost every
+//     simulation capture).
+//   * Callbacks live in a slot table, not in the heap. A heap entry is a
+//     single 128-bit key packing {time, seq, slot}: the timestamp is
+//     mapped through the order-preserving IEEE-754 bits transform, so
+//     the entire (time, FIFO) ordering is ONE unsigned integer compare.
+//     Heap comparisons on effectively-random keys mispredict ~50% as
+//     float/branch pairs; as integer compares they compile to
+//     cmp/sbb/cmov with no branch at all, and the O(log n) sift moves
+//     copy 16 trivial bytes instead of relocating a callback object.
+//   * The heap is 4-ary: half the levels of a binary heap, and each
+//     level's children are adjacent in memory, which is where a
+//     16k-entry queue actually spends its time.
+//   * Handles are generation-counted slots, not hash-set membership.
+//     A handle packs {slot index, generation}; cancel() is a bounds
+//     check plus a generation compare — O(1), no hashing — and push/pop
+//     touch no associative container at all. Cancel destroys the
+//     callback immediately, so captured resources are not held hostage
+//     by the tombstone.
+//   * Cancellation is lazy: a cancelled entry stays in the heap as a
+//     tombstone and is dropped when it surfaces at the top. Its slot is
+//     only reclaimed at that point (the heap entry still references it).
+//
+// Tombstone compaction policy: lazily-cancelled entries are dead weight
+// that a cancel-heavy workload (e.g. timers that are almost always
+// rescheduled before firing) can grow without bound, because a tombstone
+// buried deep in the heap is only reclaimed when it reaches the top. To
+// bound that growth, whenever the number of tombstones exceeds half the
+// heap (and the heap is large enough for it to matter — kCompactMinHeap),
+// the queue compacts: it filters out every cancelled entry, frees their
+// slots, and rebuilds the heap in O(n). Since each compaction removes at
+// least half the heap, the amortized cost per cancel stays O(1), and live
+// memory is always O(live events).
+//
+// Capacity limits: at most 2^22 - 1 (≈4.2M) events may be pending at
+// once (push throws std::length_error beyond). The packed sequence
+// counter holds 2^42 pushes; when it saturates, push renumbers all
+// pending entries in order (an O(n log n) slow path hit once every
+// ~4.4e12 pushes), so FIFO semantics never degrade.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace routesync::sim {
 
 /// Opaque handle identifying a scheduled event; valid until the event
-/// fires or is cancelled.
+/// fires or is cancelled. The id packs {slot, generation} so a stale
+/// handle (fired, cancelled, or from a recycled slot) never aliases a
+/// newer event.
 struct EventHandle {
     std::uint64_t id = 0;
 
@@ -31,13 +72,13 @@ struct EventHandle {
 
 class EventQueue {
 public:
-    using Callback = std::function<void()>;
+    using Callback = SmallCallback;
 
     /// Schedules `cb` at time `t`. Events at equal times fire in push order.
     EventHandle push(SimTime t, Callback cb);
 
     /// Cancels a pending event. Returns false if the event already fired,
-    /// was already cancelled, or the handle is unknown.
+    /// was already cancelled, or the handle is unknown. O(1).
     bool cancel(EventHandle h);
 
     /// True when no live (non-cancelled) events remain.
@@ -45,6 +86,10 @@ public:
 
     /// Number of live events.
     [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+    /// Heap entries currently held, including not-yet-reclaimed
+    /// tombstones. Exposed so tests can observe the compaction policy.
+    [[nodiscard]] std::size_t heap_entries() const noexcept { return heap_.size(); }
 
     /// Timestamp of the earliest live event. Precondition: !empty().
     [[nodiscard]] SimTime next_time();
@@ -57,29 +102,81 @@ public:
     Popped pop();
 
 private:
-    struct Entry {
-        SimTime time;
-        std::uint64_t seq; // push order; breaks ties FIFO
-        std::uint64_t id;
-        Callback callback;
-    };
-    struct Later {
-        bool operator()(const Entry& a, const Entry& b) const noexcept {
-            if (a.time != b.time) {
-                return a.time > b.time;
-            }
-            return a.seq > b.seq;
+    static constexpr std::size_t kArity = 4;
+    /// Compaction threshold: heaps smaller than this are never compacted
+    /// (the tombstone overhead is bounded by the constant anyway).
+    static constexpr std::size_t kCompactMinHeap = 64;
+    /// The low 64 bits of an entry pack {seq : 42, slot : 22}. Seq lives
+    /// above slot so low-word order among equal times is FIFO push order.
+    static constexpr std::uint64_t kSlotBits = 22;
+    static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+    static constexpr std::uint64_t kMaxSeq =
+        (std::uint64_t{1} << (64 - kSlotBits)) - 1;
+
+    // 128-bit heap key: {time_bits : 64 | seq : 42 | slot : 22}.
+    // (__int128 is a GNU extension, but this repo already requires
+    // GCC/Clang; __extension__ silences -Wpedantic.)
+    __extension__ using Entry = unsigned __int128;
+
+    /// Maps a double to a uint64 whose unsigned order equals the double's
+    /// numeric order (the standard IEEE-754 total-order transform:
+    /// non-negatives get the sign bit set, negatives are bit-inverted).
+    /// -0.0 is normalized to +0.0 first so equal times stay FIFO.
+    static std::uint64_t time_bits(SimTime t) noexcept {
+        double s = t.sec();
+        if (s == 0.0) {
+            s = 0.0; // collapse -0.0
         }
+        const auto u = std::bit_cast<std::uint64_t>(s);
+        constexpr std::uint64_t kSign = std::uint64_t{1} << 63;
+        return (u & kSign) ? ~u : (u | kSign);
+    }
+    static SimTime entry_time(Entry e) noexcept {
+        constexpr std::uint64_t kSign = std::uint64_t{1} << 63;
+        const auto k = static_cast<std::uint64_t>(e >> 64);
+        const std::uint64_t u = (k & kSign) ? (k ^ kSign) : ~k;
+        return SimTime::seconds(std::bit_cast<double>(u));
+    }
+    static std::uint32_t slot_of(Entry e) noexcept {
+        return static_cast<std::uint32_t>(static_cast<std::uint64_t>(e) & kSlotMask);
+    }
+
+    enum class SlotState : std::uint8_t { Live, Cancelled };
+    struct Slot {
+        Callback callback;
+        std::uint32_t gen = 1; // bumped when the event fires or is cancelled
+        SlotState state = SlotState::Live;
     };
+
+    static EventHandle make_handle(std::uint32_t slot, std::uint32_t gen) noexcept {
+        return EventHandle{(static_cast<std::uint64_t>(slot) << 32) | gen};
+    }
+
+    [[nodiscard]] std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t slot) noexcept;
+
+    void sift_up(std::size_t i) noexcept;
+    void sift_down(std::size_t i) noexcept;
+    /// Removes the heap root (entry only; the slot is the caller's
+    /// problem).
+    void drop_root() noexcept;
 
     /// Drops cancelled entries from the top of the heap.
     void skip_cancelled();
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<std::uint64_t> pending_;   // ids of live entries
-    std::unordered_set<std::uint64_t> cancelled_; // ids to skip at pop time
-    std::uint64_t next_id_ = 1;
+    /// Rebuilds the heap without its tombstones (see policy above).
+    void compact();
+
+    /// Reassigns dense sequence numbers to all pending entries, keeping
+    /// their relative order. Slow path, hit once per 2^42 pushes.
+    void renumber();
+
+    std::vector<Entry> heap_; // 4-ary min-heap over the 128-bit key
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
+    std::uint64_t next_seq_ = 1;
     std::size_t live_ = 0;
+    std::size_t tombstones_ = 0; // cancelled entries still in heap_
 };
 
 } // namespace routesync::sim

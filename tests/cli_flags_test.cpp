@@ -59,4 +59,37 @@ TEST(CliFlags, LastOccurrenceWins) {
     EXPECT_EQ(flag_i(f, "n", 0), 9);
 }
 
+TEST(CliFlags, JobsDefaultsToFallbackWhenAbsent) {
+    EXPECT_EQ(flag_jobs(parse({}), 7), 7U);
+}
+
+TEST(CliFlags, JobsParsesPositiveIntegers) {
+    EXPECT_EQ(flag_jobs(parse({"--jobs", "4"}), 1), 4U);
+    EXPECT_EQ(flag_jobs(parse({"--jobs", "1"}), 8), 1U);
+    EXPECT_EQ(flag_jobs(parse({"--jobs", "64"}), 1), 64U);
+}
+
+TEST(CliFlags, JobsRejectsZero) {
+    EXPECT_THROW(flag_jobs(parse({"--jobs", "0"}), 1), std::invalid_argument);
+}
+
+TEST(CliFlags, JobsRejectsNegatives) {
+    EXPECT_THROW(flag_jobs(parse({"--jobs", "-2"}), 1), std::invalid_argument);
+}
+
+TEST(CliFlags, JobsRejectsJunk) {
+    EXPECT_THROW(flag_jobs(parse({"--jobs", "four"}), 1), std::invalid_argument);
+    EXPECT_THROW(flag_jobs(parse({"--jobs", "4x"}), 1), std::invalid_argument);
+}
+
+TEST(CliFlags, JobsErrorMessageNamesTheFlag) {
+    try {
+        flag_jobs(parse({"--jobs", "0"}), 1);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string{e.what()}.find("--jobs"), std::string::npos);
+        EXPECT_NE(std::string{e.what()}.find("positive"), std::string::npos);
+    }
+}
+
 } // namespace

@@ -1,6 +1,8 @@
 // Tests for the cancellable event queue.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -128,6 +130,176 @@ TEST(EventQueue, ManyInterleavedOperationsStayConsistent) {
         ++popped;
     }
     EXPECT_EQ(popped, 1000U - cancelled);
+}
+
+// --- Slot/tombstone scheme properties -------------------------------------
+
+TEST(EventQueue, EqualTimesStayFifoAcrossInterleavedCancels) {
+    // All events share one timestamp; cancelling odd pushes must not
+    // disturb the FIFO order of the survivors, even with pops interleaved
+    // between pushes (which recycles slots mid-stream).
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<routesync::sim::EventHandle> handles;
+    for (int i = 0; i < 50; ++i) {
+        handles.push_back(q.push(7_sec, [&order, i] { order.push_back(i); }));
+    }
+    for (int i = 1; i < 50; i += 2) {
+        ASSERT_TRUE(q.cancel(handles[static_cast<std::size_t>(i)]));
+    }
+    // Pop a few, push a few more at the same time; the new ones recycle
+    // cancelled slots but must order AFTER every surviving older event.
+    for (int i = 0; i < 5; ++i) {
+        q.pop().callback();
+    }
+    for (int i = 100; i < 105; ++i) {
+        q.push(7_sec, [&order, i] { order.push_back(i); });
+    }
+    while (!q.empty()) {
+        EXPECT_EQ(q.next_time(), 7_sec);
+        q.pop().callback();
+    }
+    std::vector<int> expected;
+    for (int i = 0; i < 50; i += 2) {
+        expected.push_back(i);
+    }
+    for (int i = 100; i < 105; ++i) {
+        expected.push_back(i);
+    }
+    EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsRejected) {
+    EventQueue q;
+    const auto old = q.push(1_sec, [] {});
+    q.pop(); // fires; the slot returns to the free list
+    // The next push recycles the slot with a bumped generation.
+    const auto fresh = q.push(2_sec, [] {});
+    EXPECT_FALSE(q.cancel(old)) << "stale handle must not cancel the new event";
+    EXPECT_EQ(q.size(), 1U);
+    EXPECT_TRUE(q.cancel(fresh));
+    EXPECT_FALSE(q.cancel(fresh)) << "double cancel";
+}
+
+TEST(EventQueue, CancelHeavyWorkloadCompactsTombstones) {
+    // Push many, cancel nearly all without popping: the compaction policy
+    // (tombstones > heap/2) must bound heap growth to O(live).
+    EventQueue q;
+    std::vector<routesync::sim::EventHandle> handles;
+    const int kEvents = 4096;
+    for (int i = 0; i < kEvents; ++i) {
+        handles.push_back(
+            q.push(SimTime::seconds(static_cast<double>(i)), [] {}));
+    }
+    for (int i = 0; i < kEvents; ++i) {
+        if (i % 8 != 0) {
+            ASSERT_TRUE(q.cancel(handles[static_cast<std::size_t>(i)]));
+        }
+    }
+    const std::size_t live = static_cast<std::size_t>(kEvents) / 8;
+    EXPECT_EQ(q.size(), live);
+    // 7/8 cancelled; without compaction heap_entries() would still be
+    // 4096. The policy guarantees tombstones <= half the heap.
+    EXPECT_LE(q.heap_entries(), 2 * live + 1);
+    // Everything still pops in order afterwards.
+    SimTime last = SimTime::seconds(-1);
+    std::size_t popped = 0;
+    while (!q.empty()) {
+        const auto p = q.pop();
+        EXPECT_GT(p.time, last);
+        last = p.time;
+        ++popped;
+    }
+    EXPECT_EQ(popped, live);
+}
+
+TEST(EventQueue, RepeatedRescheduleDoesNotGrowMemory) {
+    // The routing-timer pattern the compaction policy exists for: a
+    // timer that is almost always cancelled and rescheduled before it
+    // fires. Heap entries must stay bounded by a constant, not grow by
+    // one per reschedule.
+    EventQueue q;
+    auto h = q.push(1_sec, [] {});
+    for (int i = 2; i < 20000; ++i) {
+        ASSERT_TRUE(q.cancel(h));
+        h = q.push(SimTime::seconds(static_cast<double>(i)), [] {});
+    }
+    EXPECT_EQ(q.size(), 1U);
+    EXPECT_LE(q.heap_entries(), 64U + 1U); // kCompactMinHeap bounds the slack
+}
+
+TEST(EventQueue, StressMatchesReferenceModel) {
+    // Randomized interleaving of push/cancel/pop with heavy timestamp
+    // collisions, checked against a straightforward reference (stable
+    // sort by time == FIFO tie-break). Also exercises size()/empty()
+    // invariants throughout.
+    struct Ref {
+        double time;
+        int tag;
+        bool cancelled = false;
+    };
+    EventQueue q;
+    std::vector<Ref> ref;
+    std::vector<std::pair<routesync::sim::EventHandle, std::size_t>> live_handles;
+    std::vector<int> popped_tags;
+    std::vector<int> expected_tags;
+    std::uint64_t rng_state = 12345;
+    const auto rnd = [&rng_state](std::uint64_t mod) {
+        // xorshift64 — deterministic, no <random> dependency.
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        return rng_state % mod;
+    };
+    int next_tag = 0;
+    std::size_t live = 0;
+    for (int step = 0; step < 20000; ++step) {
+        const auto op = rnd(10);
+        if (op < 5) { // push (times drawn from 16 values: many ties)
+            const double t = static_cast<double>(rnd(16));
+            const int tag = next_tag++;
+            live_handles.emplace_back(
+                q.push(SimTime::seconds(t),
+                       [&popped_tags, tag] { popped_tags.push_back(tag); }),
+                ref.size());
+            ref.push_back(Ref{t, tag});
+            ++live;
+        } else if (op < 7) { // cancel a random live handle
+            if (!live_handles.empty()) {
+                const auto pick = rnd(live_handles.size());
+                const auto [h, ri] = live_handles[pick];
+                ASSERT_TRUE(q.cancel(h));
+                ref[ri].cancelled = true;
+                live_handles.erase(live_handles.begin() +
+                                   static_cast<std::ptrdiff_t>(pick));
+                --live;
+            }
+        } else { // pop the earliest
+            if (!q.empty()) {
+                auto p = q.pop();
+                p.callback(); // appends the popped event's real tag
+                // Reference: earliest non-cancelled; ref is in push order,
+                // so the first minimum is the FIFO winner among ties.
+                std::size_t best = ref.size();
+                for (std::size_t i = 0; i < ref.size(); ++i) {
+                    if (!ref[i].cancelled &&
+                        (best == ref.size() || ref[i].time < ref[best].time)) {
+                        best = i;
+                    }
+                }
+                ASSERT_NE(best, ref.size());
+                EXPECT_EQ(p.time.sec(), ref[best].time);
+                expected_tags.push_back(ref[best].tag);
+                std::erase_if(live_handles,
+                              [best](const auto& e) { return e.second == best; });
+                ref[best].cancelled = true; // consumed
+                --live;
+            }
+        }
+        ASSERT_EQ(q.size(), live);
+        ASSERT_EQ(q.empty(), live == 0);
+    }
+    EXPECT_EQ(popped_tags, expected_tags);
 }
 
 } // namespace

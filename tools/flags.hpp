@@ -2,6 +2,7 @@
 // Separated from the binary so the parsing rules are unit-testable.
 #pragma once
 
+#include <cstddef>
 #include <cstdlib>
 #include <map>
 #include <stdexcept>
@@ -46,6 +47,26 @@ inline int flag_i(const Flags& flags, const std::string& key, int fallback) {
 
 inline bool flag_b(const Flags& flags, const std::string& key) {
     return flags.contains(key);
+}
+
+/// Parses `--jobs`: worker-thread count for parallel sweeps. Absent ->
+/// `fallback` (callers typically pass parallel::hardware_jobs()). The
+/// value must be a positive integer; `--jobs 0`, negatives, and non-
+/// numeric junk all throw with a clear message — a silently-serial or
+/// zero-thread run would be worse than an error.
+inline std::size_t flag_jobs(const Flags& flags, std::size_t fallback) {
+    const auto it = flags.find("jobs");
+    if (it == flags.end()) {
+        return fallback;
+    }
+    const std::string& value = it->second;
+    char* end = nullptr;
+    const long n = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || n < 1) {
+        throw std::invalid_argument{"--jobs must be a positive integer, got '" +
+                                    value + "'"};
+    }
+    return static_cast<std::size_t>(n);
 }
 
 } // namespace routesync::cli

@@ -12,13 +12,19 @@
 //   routesync chain --n 20 --tp 121 --tr 0.11 --tc 0.11 --f2 19
 //   routesync sweep --n 20 --tp 121 --tc 0.11 --from 0.5 --to 3 --step 0.05
 //   routesync threshold --n 20 --tp 30 --tc 0.3
-//   routesync f2 --n 20 --tp 121 --tr 0.1 --tc 0.11 --reps 20
+//   routesync f2 --n 20 --tp 121 --tr 0.1 --tc 0.11 --reps 20 --jobs 4
+//
+// `sweep` and `f2` accept --jobs N to fan independent work over N worker
+// threads (default: hardware concurrency). Output is byte-identical for
+// every jobs value.
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/core.hpp"
 #include "markov/markov.hpp"
+#include "parallel/parallel.hpp"
 #include "tools/flags.hpp"
 
 using namespace routesync;
@@ -28,6 +34,7 @@ namespace {
 using cli::flag_b;
 using cli::flag_d;
 using cli::flag_i;
+using cli::flag_jobs;
 using cli::Flags;
 
 markov::ChainParams chain_params(const Flags& flags) {
@@ -128,16 +135,28 @@ int cmd_sweep(const Flags& flags) {
     const double from = flag_d(flags, "from", 0.5); // in units of Tc
     const double to = flag_d(flags, "to", 3.0);
     const double step = flag_d(flags, "step", 0.05);
+    const std::size_t jobs = flag_jobs(flags, parallel::hardware_jobs());
     std::printf("tr_over_tc,tr_s,fraction_unsync,f_n_s,g_1_s\n");
+    std::vector<double> grid;
     for (double x = from; x <= to + 1e-12; x += step) {
-        markov::ChainParams p = base;
-        p.tr_sec = x * base.tc_sec;
-        p.f2_rounds = markov::f2_diffusion_estimate(p.n, p.tp_sec, p.tr_sec);
-        const markov::FJChain chain{p};
-        std::printf("%.4f,%.6g,%.6g,%.6g,%.6g\n", x, p.tr_sec,
-                    chain.fraction_unsynchronized(),
-                    chain.time_to_synchronize_seconds(),
-                    chain.time_to_break_up_seconds());
+        grid.push_back(x);
+    }
+    struct Row {
+        double tr_s, frac, fn_s, g1_s;
+    };
+    const auto rows = parallel::map_index<Row>(
+        grid.size(), jobs, [&](std::size_t i) {
+            markov::ChainParams p = base;
+            p.tr_sec = grid[i] * base.tc_sec;
+            p.f2_rounds = markov::f2_diffusion_estimate(p.n, p.tp_sec, p.tr_sec);
+            const markov::FJChain chain{p};
+            return Row{p.tr_sec, chain.fraction_unsynchronized(),
+                       chain.time_to_synchronize_seconds(),
+                       chain.time_to_break_up_seconds()};
+        });
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        std::printf("%.4f,%.6g,%.6g,%.6g,%.6g\n", grid[i], rows[i].tr_s,
+                    rows[i].frac, rows[i].fn_s, rows[i].g1_s);
     }
     return 0;
 }
@@ -157,7 +176,9 @@ int cmd_f2(const Flags& flags) {
     const markov::ChainParams p = chain_params(flags);
     const auto est = markov::estimate_f2(
         p, flag_i(flags, "reps", 20),
-        static_cast<std::uint64_t>(flag_i(flags, "seed", 1)));
+        static_cast<std::uint64_t>(flag_i(flags, "seed", 1)),
+        /*max_rounds_per_rep=*/1e6,
+        flag_jobs(flags, parallel::hardware_jobs()));
     std::printf("f2_rounds,%.4f\n", est.mean_rounds);
     std::printf("f2_seconds,%.2f\n", est.mean_seconds);
     std::printf("completed,%d\n", est.completed);
@@ -175,9 +196,14 @@ void usage() {
                  "            [--stop-on-sync] [--stop-on-breakup K]\n"
                  "            [--rounds|--transmits [--stride k]]\n"
                  "  chain     --n --tp --tr --tc [--f2 rounds]\n"
-                 "  sweep     --n --tp --tc --from --to --step   (Tr in units of Tc)\n"
+                 "  sweep     --n --tp --tc --from --to --step [--jobs N]\n"
+                 "            (Tr in units of Tc)\n"
                  "  threshold --n --tp --tc [--n-max]\n"
-                 "  f2        --n --tp --tr --tc [--reps] [--seed]\n");
+                 "  f2        --n --tp --tr --tc [--reps] [--seed] [--jobs N]\n"
+                 "\n"
+                 "  --jobs N  worker threads for parallel sweeps (default:\n"
+                 "            hardware concurrency; must be >= 1). Results are\n"
+                 "            byte-identical for every N.\n");
 }
 
 } // namespace
