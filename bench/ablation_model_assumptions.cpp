@@ -13,9 +13,12 @@
 //     grouping timer-set events within a tolerance; the results must not
 //     depend on its exact value across many orders of magnitude.
 #include <cstdio>
+#include <optional>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "core/core.hpp"
+#include "parallel/parallel.hpp"
 #include "stats/stats.hpp"
 
 using namespace routesync;
@@ -35,25 +38,62 @@ core::ExperimentConfig canonical() {
     return cfg;
 }
 
+struct NotificationOutcome {
+    std::optional<double> full_sync_time_sec;
+    int max_cluster = 0;
+};
+
+NotificationOutcome run_notification(bool immediate) {
+    auto cfg = canonical();
+    if (!immediate) {
+        cfg.params.notification = core::Notification::AfterPreparation;
+        cfg.stop_on_full_sync = false;
+        cfg.record_rounds = true;
+    }
+    const auto r = core::run_experiment(cfg);
+    NotificationOutcome out;
+    out.full_sync_time_sec = r.full_sync_time_sec;
+    for (const auto& round : r.rounds) {
+        out.max_cluster = std::max(out.max_cluster, round.largest);
+    }
+    return out;
+}
+
+/// One detection-tolerance run of section B; returns the detected full-sync
+/// instant (or -1 if never).
+double run_tolerance(double tol) {
+    sim::Engine engine;
+    auto cfg = canonical();
+    core::PeriodicMessagesModel model{engine, cfg.params};
+    core::ClusterTracker tracker{cfg.params.n, model.round_length(),
+                                 sim::SimTime::seconds(tol)};
+    model.on_timer_set = [&](int node, sim::SimTime t) {
+        tracker.on_timer_set(node, t);
+    };
+    tracker.on_full_sync = [&](sim::SimTime) { engine.stop(); };
+    engine.run_until(cfg.max_time);
+    tracker.finish();
+    const auto sync = tracker.full_sync_time();
+    return sync ? sync->sec() : -1.0;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const std::size_t jobs = parse_jobs(argc, argv);
     header("Ablation", "model assumptions: notification timing and detection "
                        "tolerance");
 
     section("A. notification timing (canonical parameters, 1e6 s horizon)");
     {
-        auto cfg = canonical();
-        const auto immediate = core::run_experiment(cfg);
-        cfg.params.notification = core::Notification::AfterPreparation;
-        cfg.stop_on_full_sync = false;
-        cfg.record_rounds = true;
-        const auto delayed = core::run_experiment(cfg);
-
-        int max_cluster = 0;
-        for (const auto& round : delayed.rounds) {
-            max_cluster = std::max(max_cluster, round.largest);
-        }
+        // The immediate- and delayed-notification experiments are
+        // independent; fan them over the workers and print in fixed order.
+        const std::vector<NotificationOutcome> outcomes =
+            parallel::map_index<NotificationOutcome>(
+                2, jobs, [](std::size_t i) { return run_notification(i == 0); });
+        const NotificationOutcome& immediate = outcomes[0];
+        const NotificationOutcome& delayed = outcomes[1];
+        const int max_cluster = delayed.max_cluster;
         std::printf("immediate notification : full sync at %s s\n",
                     immediate.full_sync_time_sec
                         ? fmt_time(*immediate.full_sync_time_sec).c_str()
@@ -74,23 +114,16 @@ int main() {
     section("B. cluster-detection tolerance sweep (same run, Figure 4 config)");
     {
         std::printf("%14s %16s\n", "tolerance_s", "full_sync_at_s");
+        const std::vector<double> tols{1e-9, 1e-7, 1e-6, 1e-4, 1e-3};
+        // Each tolerance gets its own engine and model, so the sweep fans
+        // over the workers; rows print in tolerance order.
+        const std::vector<double> sync_times = parallel::map_index<double>(
+            tols.size(), jobs, [&](std::size_t i) { return run_tolerance(tols[i]); });
         double reference = -1.0;
         bool all_agree = true;
-        for (const double tol : {1e-9, 1e-7, 1e-6, 1e-4, 1e-3}) {
-            sim::Engine engine;
-            auto cfg = canonical();
-            core::PeriodicMessagesModel model{engine, cfg.params};
-            core::ClusterTracker tracker{cfg.params.n, model.round_length(),
-                                         sim::SimTime::seconds(tol)};
-            model.on_timer_set = [&](int node, sim::SimTime t) {
-                tracker.on_timer_set(node, t);
-            };
-            tracker.on_full_sync = [&](sim::SimTime) { engine.stop(); };
-            engine.run_until(cfg.max_time);
-            tracker.finish();
-            const auto sync = tracker.full_sync_time();
-            const double at = sync ? sync->sec() : -1.0;
-            std::printf("%14.0e %16.1f\n", tol, at);
+        for (std::size_t i = 0; i < tols.size(); ++i) {
+            const double at = sync_times[i];
+            std::printf("%14.0e %16.1f\n", tols[i], at);
             if (reference < 0) {
                 reference = at;
             } else if (std::fabs(at - reference) > 1.0) {

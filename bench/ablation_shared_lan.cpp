@@ -32,7 +32,7 @@ public:
               std::uint64_t seed)
         : engine_{engine}, lan_{lan}, id_{id}, tp_{tp}, tr_{tr}, tc_{tc},
           gen_{seed} {
-        station_ = lan_.attach([this](net::Packet p) { receive(std::move(p)); });
+        station_ = lan_.attach([this](const net::Packet& p) { receive(p); });
     }
 
     void start(sim::SimTime at) {
@@ -56,7 +56,7 @@ private:
         }
     }
 
-    void receive(net::Packet) { extend_busy(); }
+    void receive(const net::Packet&) { extend_busy(); }
 
     void extend_busy() {
         const sim::SimTime now = engine_.now();

@@ -1,12 +1,22 @@
 // Engine micro-benchmarks (google-benchmark): throughput of the pieces
 // every experiment leans on. Not a paper figure — a performance floor so
 // regressions in the simulator core are visible.
+//
+// `--json[=path]` additionally writes machine-readable results (op,
+// ns/op, items/sec) to BENCH_perf.json (or `path`) next to the normal
+// console output, so CI and docs/PERFORMANCE.md can consume the numbers
+// without scraping the table.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <deque>
+#include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <queue>
+#include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -101,6 +111,80 @@ private:
     std::unordered_set<std::uint64_t> cancelled_;
     std::uint64_t next_id_ = 1;
     std::size_t live_ = 0;
+};
+
+// The seed packet path, kept as an in-binary baseline so the
+// BM_PacketPath* pairs are an honest before/after: packets are fat value
+// types dragging a shared_ptr payload (atomic refcounts, one heap
+// allocation per update built), the delivery capture overflows the event
+// queue's 48-byte inline budget (one heap allocation per hop), and
+// drop-tail queues shuffle whole packets.
+struct LegacyPayload {
+    int sender = -1;
+    bool triggered = false;
+    std::vector<net::RouteEntry> entries;
+    int filler_routes = 0;
+};
+
+struct LegacyPacket {
+    net::PacketType type = net::PacketType::Data;
+    net::NodeId src = -1;
+    net::NodeId dst = -1;
+    std::uint32_t size_bytes = 0;
+    std::uint64_t seq = 0;
+    sim::SimTime sent_at;
+    std::shared_ptr<const LegacyPayload> update;
+    int ttl = 64;
+};
+
+class LegacyLink {
+public:
+    LegacyLink(sim::Engine& engine, double rate_bps, sim::SimTime prop_delay,
+               std::size_t queue_packets, std::function<void(LegacyPacket)> deliver)
+        : engine_{engine},
+          rate_bps_{rate_bps},
+          prop_delay_{prop_delay},
+          queue_limit_{queue_packets},
+          deliver_{std::move(deliver)} {}
+
+    void send(LegacyPacket p) {
+        if (transmitting_) {
+            if (queue_.size() < queue_limit_) {
+                queue_.push_back(std::move(p));
+            }
+            return;
+        }
+        start_transmission(std::move(p));
+    }
+
+private:
+    void start_transmission(LegacyPacket p) {
+        transmitting_ = true;
+        const sim::SimTime tx =
+            rate_bps_ <= 0.0
+                ? sim::SimTime::zero()
+                : sim::SimTime::seconds(static_cast<double>(p.size_bytes) * 8.0 /
+                                        rate_bps_);
+        engine_.schedule_after(
+            tx + prop_delay_,
+            [this, pkt = std::move(p)]() mutable { deliver_(std::move(pkt)); });
+        engine_.schedule_after(tx, [this] {
+            transmitting_ = false;
+            if (!queue_.empty()) {
+                LegacyPacket next = std::move(queue_.front());
+                queue_.pop_front();
+                start_transmission(std::move(next));
+            }
+        });
+    }
+
+    sim::Engine& engine_;
+    double rate_bps_;
+    sim::SimTime prop_delay_;
+    std::size_t queue_limit_;
+    std::function<void(LegacyPacket)> deliver_;
+    std::deque<LegacyPacket> queue_;
+    bool transmitting_ = false;
 };
 
 void BM_MinStd(benchmark::State& state) {
@@ -313,6 +397,406 @@ void BM_SharedLanSaturated(benchmark::State& state) {
 }
 BENCHMARK(BM_SharedLanSaturated);
 
+// ----------------------------------------------------- packet hot path
+
+constexpr int kBurst = 64;
+constexpr int kFanOut = 4;
+constexpr int kChainHops = 8;
+constexpr int kEntriesPerUpdate = 25;
+
+/// Enqueue→deliver of one routing update: build a 25-entry payload,
+/// enqueue the packet on a link, deliver at the far end. This is the
+/// per-interface lifecycle of a periodic update under the default
+/// split-horizon config (each interface gets its own payload build).
+void BM_PacketPath_EnqueueDeliver(benchmark::State& state) {
+    sim::Engine engine;
+    std::uint64_t delivered = 0;
+    net::Link link{engine, 0.0, sim::SimTime::micros(1), 512,
+                   [&delivered](net::PooledPacket) { ++delivered; }};
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kBurst; ++i) {
+            net::Packet p;
+            p.type = net::PacketType::RoutingUpdate;
+            p.src = 0;
+            p.dst = 1;
+            p.size_bytes = 524;
+            p.seq = seq++;
+            net::PayloadRef ref = net::PayloadPool::local().acquire();
+            auto& payload = ref.mutate();
+            payload.sender = 0;
+            for (int e = 0; e < kEntriesPerUpdate; ++e) {
+                payload.entries.push_back({e, e % 15});
+            }
+            p.update = std::move(ref);
+            link.send(std::move(p));
+        }
+        engine.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * kBurst);
+}
+BENCHMARK(BM_PacketPath_EnqueueDeliver);
+
+void BM_PacketPathLegacy_EnqueueDeliver(benchmark::State& state) {
+    sim::Engine engine;
+    std::uint64_t delivered = 0;
+    LegacyLink link{engine, 0.0, sim::SimTime::micros(1), 512,
+                    [&delivered](LegacyPacket) { ++delivered; }};
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kBurst; ++i) {
+            LegacyPacket p;
+            p.type = net::PacketType::RoutingUpdate;
+            p.src = 0;
+            p.dst = 1;
+            p.size_bytes = 524;
+            p.seq = seq++;
+            auto payload = std::make_shared<LegacyPayload>();
+            payload->sender = 0;
+            for (int e = 0; e < kEntriesPerUpdate; ++e) {
+                payload->entries.push_back({e, e % 15});
+            }
+            p.update = std::move(payload);
+            link.send(std::move(p));
+        }
+        engine.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * kBurst);
+}
+BENCHMARK(BM_PacketPathLegacy_EnqueueDeliver);
+
+/// The broadcast variant (split horizon off): one payload fanned out as
+/// 4 packet copies — the new path shares one pooled slot, the legacy
+/// path bumps an atomic shared_ptr per copy.
+void BM_PacketPath_Broadcast(benchmark::State& state) {
+    sim::Engine engine;
+    std::uint64_t delivered = 0;
+    std::vector<std::unique_ptr<net::Link>> links;
+    for (int i = 0; i < kFanOut; ++i) {
+        links.push_back(std::make_unique<net::Link>(
+            engine, 0.0, sim::SimTime::micros(1), 512,
+            [&delivered](net::PooledPacket) { ++delivered; }));
+    }
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kBurst; ++i) {
+            net::Packet p;
+            p.type = net::PacketType::RoutingUpdate;
+            p.src = 0;
+            p.size_bytes = 524;
+            p.seq = seq++;
+            net::PayloadRef ref = net::PayloadPool::local().acquire();
+            auto& payload = ref.mutate();
+            payload.sender = 0;
+            for (int e = 0; e < kEntriesPerUpdate; ++e) {
+                payload.entries.push_back({e, e % 15});
+            }
+            p.update = std::move(ref);
+            for (int iface = 0; iface < kFanOut; ++iface) {
+                net::Packet copy = p; // payload slot shared, not reallocated
+                copy.dst = iface;
+                links[static_cast<std::size_t>(iface)]->send(std::move(copy));
+            }
+        }
+        engine.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * kBurst * kFanOut);
+}
+BENCHMARK(BM_PacketPath_Broadcast);
+
+void BM_PacketPathLegacy_Broadcast(benchmark::State& state) {
+    sim::Engine engine;
+    std::uint64_t delivered = 0;
+    std::vector<std::unique_ptr<LegacyLink>> links;
+    for (int i = 0; i < kFanOut; ++i) {
+        links.push_back(std::make_unique<LegacyLink>(
+            engine, 0.0, sim::SimTime::micros(1), 512,
+            [&delivered](LegacyPacket) { ++delivered; }));
+    }
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kBurst; ++i) {
+            LegacyPacket p;
+            p.type = net::PacketType::RoutingUpdate;
+            p.src = 0;
+            p.size_bytes = 524;
+            p.seq = seq++;
+            auto payload = std::make_shared<LegacyPayload>();
+            payload->sender = 0;
+            for (int e = 0; e < kEntriesPerUpdate; ++e) {
+                payload->entries.push_back({e, e % 15});
+            }
+            p.update = std::move(payload);
+            for (int iface = 0; iface < kFanOut; ++iface) {
+                LegacyPacket copy = p; // shared_ptr atomic bump per copy
+                copy.dst = iface;
+                links[static_cast<std::size_t>(iface)]->send(std::move(copy));
+            }
+        }
+        engine.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * kBurst * kFanOut);
+}
+BENCHMARK(BM_PacketPathLegacy_Broadcast);
+
+/// Multi-hop forwarding context: the same update packets relayed down an
+/// 8-hop link chain, where shared event-engine cost dominates and the
+/// per-hop delta is what remains visible.
+void BM_PacketPath_ForwardChain(benchmark::State& state) {
+    sim::Engine engine;
+    std::uint64_t delivered = 0;
+    std::vector<std::unique_ptr<net::Link>> chain(kChainHops);
+    for (int hop = kChainHops - 1; hop >= 0; --hop) {
+        std::function<void(net::PooledPacket)> deliver;
+        if (hop == kChainHops - 1) {
+            deliver = [&delivered](net::PooledPacket) { ++delivered; };
+        } else {
+            deliver = [&chain, hop](net::PooledPacket p) {
+                chain[static_cast<std::size_t>(hop + 1)]->send(std::move(p));
+            };
+        }
+        chain[static_cast<std::size_t>(hop)] = std::make_unique<net::Link>(
+            engine, 0.0, sim::SimTime::micros(1), 512, std::move(deliver));
+    }
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kBurst; ++i) {
+            net::Packet p;
+            p.type = net::PacketType::RoutingUpdate;
+            p.src = 0;
+            p.dst = 1;
+            p.size_bytes = 524;
+            p.seq = seq++;
+            net::PayloadRef ref = net::PayloadPool::local().acquire();
+            auto& payload = ref.mutate();
+            payload.sender = 0;
+            for (int e = 0; e < kEntriesPerUpdate; ++e) {
+                payload.entries.push_back({e, e % 15});
+            }
+            p.update = std::move(ref);
+            chain[0]->send(std::move(p));
+        }
+        engine.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * kBurst * kChainHops);
+}
+BENCHMARK(BM_PacketPath_ForwardChain);
+
+void BM_PacketPathLegacy_ForwardChain(benchmark::State& state) {
+    sim::Engine engine;
+    std::uint64_t delivered = 0;
+    std::vector<std::unique_ptr<LegacyLink>> chain(kChainHops);
+    for (int hop = kChainHops - 1; hop >= 0; --hop) {
+        std::function<void(LegacyPacket)> deliver;
+        if (hop == kChainHops - 1) {
+            deliver = [&delivered](LegacyPacket) { ++delivered; };
+        } else {
+            deliver = [&chain, hop](LegacyPacket p) {
+                chain[static_cast<std::size_t>(hop + 1)]->send(std::move(p));
+            };
+        }
+        chain[static_cast<std::size_t>(hop)] = std::make_unique<LegacyLink>(
+            engine, 0.0, sim::SimTime::micros(1), 512, std::move(deliver));
+    }
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kBurst; ++i) {
+            LegacyPacket p;
+            p.type = net::PacketType::RoutingUpdate;
+            p.src = 0;
+            p.dst = 1;
+            p.size_bytes = 524;
+            p.seq = seq++;
+            auto payload = std::make_shared<LegacyPayload>();
+            payload->sender = 0;
+            for (int e = 0; e < kEntriesPerUpdate; ++e) {
+                payload->entries.push_back({e, e % 15});
+            }
+            p.update = std::move(payload);
+            chain[0]->send(std::move(p));
+        }
+        engine.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * kBurst * kChainHops);
+}
+BENCHMARK(BM_PacketPathLegacy_ForwardChain);
+
+/// Building one update payload and handing it to a packet — the pooled
+/// slot recycles its entry-vector capacity; the legacy path pays a
+/// make_shared plus vector growth every time.
+void BM_UpdatePayload_Pooled(benchmark::State& state) {
+    net::PayloadPool pool;
+    for (auto _ : state) {
+        net::PayloadRef ref = pool.acquire();
+        auto& payload = ref.mutate();
+        payload.sender = 3;
+        for (int e = 0; e < kEntriesPerUpdate; ++e) {
+            payload.entries.push_back({e, 1});
+        }
+        net::Packet p;
+        p.update = std::move(ref);
+        benchmark::DoNotOptimize(p.update->entries.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdatePayload_Pooled);
+
+void BM_UpdatePayloadLegacy_Heap(benchmark::State& state) {
+    for (auto _ : state) {
+        auto payload = std::make_shared<LegacyPayload>();
+        payload->sender = 3;
+        for (int e = 0; e < kEntriesPerUpdate; ++e) {
+            payload->entries.push_back({e, 1});
+        }
+        LegacyPacket p;
+        p.update = std::move(payload);
+        benchmark::DoNotOptimize(p.update->entries.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdatePayloadLegacy_Heap);
+
+// -------------------------------------------------------- routing table
+
+constexpr int kTableRoutes = 256;
+
+routing::RoutingTable make_flat_table() {
+    routing::RoutingTable table;
+    for (int d = 0; d < kTableRoutes; ++d) {
+        routing::Route r{};
+        r.dest = d * 2; // leave odd ids as misses
+        r.metric = d % 15;
+        table.upsert(r);
+    }
+    return table;
+}
+
+std::map<net::NodeId, routing::Route> make_map_table() {
+    std::map<net::NodeId, routing::Route> table;
+    for (int d = 0; d < kTableRoutes; ++d) {
+        routing::Route r{};
+        r.dest = d * 2;
+        r.metric = d % 15;
+        table[r.dest] = r;
+    }
+    return table;
+}
+
+/// Full-table walk — what the DV agent does every period to build its
+/// updates, and what the expiry pass scans. The dominant table access in
+/// steady state: a contiguous scan for the flat table, node-chasing for
+/// the map.
+void BM_RoutingTable_Flat_Walk(benchmark::State& state) {
+    const auto table = make_flat_table();
+    for (auto _ : state) {
+        std::int64_t sum = 0;
+        for (const auto& route : table) {
+            sum += route.metric + route.dest;
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * kTableRoutes);
+}
+BENCHMARK(BM_RoutingTable_Flat_Walk);
+
+void BM_RoutingTableLegacy_Map_Walk(benchmark::State& state) {
+    const auto table = make_map_table();
+    for (auto _ : state) {
+        std::int64_t sum = 0;
+        for (const auto& [dest, route] : table) {
+            sum += route.metric + route.dest;
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * kTableRoutes);
+}
+BENCHMARK(BM_RoutingTableLegacy_Map_Walk);
+
+/// Point lookups, half the probes missing — the receive-path access.
+void BM_RoutingTable_Flat_Find(benchmark::State& state) {
+    auto table = make_flat_table();
+    for (auto _ : state) {
+        std::int64_t sum = 0;
+        for (int d = 0; d < 2 * kTableRoutes; ++d) {
+            const auto* r = table.find(d);
+            sum += r != nullptr ? r->metric : 0;
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * kTableRoutes);
+}
+BENCHMARK(BM_RoutingTable_Flat_Find);
+
+void BM_RoutingTableLegacy_Map_Find(benchmark::State& state) {
+    auto table = make_map_table();
+    for (auto _ : state) {
+        std::int64_t sum = 0;
+        for (int d = 0; d < 2 * kTableRoutes; ++d) {
+            const auto it = table.find(d);
+            sum += it != table.end() ? it->second.metric : 0;
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * kTableRoutes);
+}
+BENCHMARK(BM_RoutingTableLegacy_Map_Find);
+
+// ------------------------------------------------------- spectral paths
+
+std::vector<double> bench_series(std::size_t n) {
+    std::vector<double> xs;
+    xs.reserve(n);
+    rng::Xoshiro256ss gen{9};
+    for (std::size_t i = 0; i < n; ++i) {
+        xs.push_back(rng::uniform01(gen));
+    }
+    return xs;
+}
+
+void BM_Periodogram_FFT(benchmark::State& state) {
+    const auto xs = bench_series(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::periodogram(xs));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Periodogram_FFT)->Arg(1024)->Arg(16384);
+
+void BM_PeriodogramLegacy_Naive(benchmark::State& state) {
+    const auto xs = bench_series(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::periodogram_naive(xs));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PeriodogramLegacy_Naive)->Arg(1024)->Arg(16384);
+
+void BM_Autocorrelation_FFT(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const auto xs = bench_series(n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::autocorrelation(xs, n / 4));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Autocorrelation_FFT)->Arg(1024)->Arg(16384);
+
+void BM_AutocorrelationLegacy_Naive(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const auto xs = bench_series(n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::autocorrelation_naive(xs, n / 4));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AutocorrelationLegacy_Naive)->Arg(1024)->Arg(16384);
+
 void BM_DvFullMeshSimSecond(benchmark::State& state) {
     sim::Engine engine;
     net::Network nw{engine};
@@ -350,6 +834,103 @@ void BM_DvFullMeshSimSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_DvFullMeshSimSecond);
 
+// ------------------------------------------------------ --json support
+
+/// Wraps the normal console reporter and additionally collects every
+/// per-iteration run as (op, ns/op, items/sec), written as JSON when the
+/// run finishes.
+class JsonPerfReporter : public benchmark::BenchmarkReporter {
+public:
+    JsonPerfReporter(std::string path, benchmark::BenchmarkReporter* inner)
+        : path_{std::move(path)}, inner_{inner} {}
+
+    bool ReportContext(const Context& context) override {
+        return inner_->ReportContext(context);
+    }
+
+    void ReportRuns(const std::vector<Run>& report) override {
+        inner_->ReportRuns(report);
+        for (const Run& run : report) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+                continue;
+            }
+            Entry e;
+            e.op = run.benchmark_name();
+            const double seconds =
+                run.iterations > 0
+                    ? run.real_accumulated_time / static_cast<double>(run.iterations)
+                    : run.real_accumulated_time;
+            e.ns_per_op = seconds * 1e9;
+            const auto it = run.counters.find("items_per_second");
+            e.items_per_second = it != run.counters.end() ? it->second.value : 0.0;
+            entries_.push_back(std::move(e));
+        }
+    }
+
+    void Finalize() override {
+        inner_->Finalize();
+        std::ofstream out{path_};
+        out << "[\n";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const Entry& e = entries_[i];
+            out << "  {\"op\": \"" << escape(e.op) << "\", \"ns_per_op\": "
+                << e.ns_per_op << ", \"items_per_second\": " << e.items_per_second
+                << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+        }
+        out << "]\n";
+    }
+
+private:
+    struct Entry {
+        std::string op;
+        double ns_per_op = 0.0;
+        double items_per_second = 0.0;
+    };
+
+    static std::string escape(const std::string& s) {
+        std::string out;
+        for (const char c : s) {
+            if (c == '"' || c == '\\') {
+                out.push_back('\\');
+            }
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::string path_;
+    benchmark::BenchmarkReporter* inner_;
+    std::vector<Entry> entries_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    std::string json_path;
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--json") {
+            json_path = "BENCH_perf.json";
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+        return 1;
+    }
+    std::unique_ptr<benchmark::BenchmarkReporter> display{
+        benchmark::CreateDefaultDisplayReporter()};
+    if (json_path.empty()) {
+        benchmark::RunSpecifiedBenchmarks(display.get());
+    } else {
+        JsonPerfReporter reporter{json_path, display.get()};
+        benchmark::RunSpecifiedBenchmarks(&reporter);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,7 +6,7 @@
 namespace routesync::net {
 
 Link::Link(sim::Engine& engine, double rate_bps, sim::SimTime prop_delay,
-           std::size_t queue_packets, std::function<void(Packet)> deliver)
+           std::size_t queue_packets, std::function<void(PooledPacket)> deliver)
     : engine_{engine},
       rate_bps_{rate_bps},
       prop_delay_{prop_delay},
@@ -27,7 +27,7 @@ sim::SimTime Link::serialization_time(std::uint32_t bytes) const noexcept {
     return sim::SimTime::seconds(static_cast<double>(bytes) * 8.0 / rate_bps_);
 }
 
-void Link::send(Packet p) {
+void Link::send(PooledPacket p) {
     if (!up_) {
         ++down_drops_;
         return;
@@ -39,9 +39,9 @@ void Link::send(Packet p) {
     start_transmission(std::move(p));
 }
 
-void Link::start_transmission(Packet p) {
+void Link::start_transmission(PooledPacket p) {
     transmitting_ = true;
-    const sim::SimTime tx = serialization_time(p.size_bytes);
+    const sim::SimTime tx = serialization_time(p->size_bytes);
     // Delivery after serialization + propagation; the transmitter frees up
     // after serialization alone.
     engine_.schedule_after(tx + prop_delay_,
@@ -52,7 +52,7 @@ void Link::start_transmission(Packet p) {
 void Link::transmission_done() {
     transmitting_ = false;
     if (auto next = queue_.pop()) {
-        start_transmission(std::move(*next));
+        start_transmission(std::move(next));
     }
 }
 

@@ -1,10 +1,14 @@
 // A simplex point-to-point link: serialization at a fixed bit rate, fixed
 // propagation delay, and a drop-tail queue ahead of the transmitter.
+//
+// Packets travel as PooledPacket handles; the in-flight delivery capture
+// is {Link*, handle} = 24 bytes, inside the event queue's inline-callback
+// budget, so a link hop schedules without touching the heap.
 #pragma once
 
 #include <functional>
 
-#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/queue.hpp"
 #include "sim/engine.hpp"
 
@@ -16,11 +20,13 @@ public:
     /// propagation. `rate_bps` <= 0 means infinite rate (zero
     /// serialization time).
     Link(sim::Engine& engine, double rate_bps, sim::SimTime prop_delay,
-         std::size_t queue_packets, std::function<void(Packet)> deliver);
+         std::size_t queue_packets, std::function<void(PooledPacket)> deliver);
 
     /// Queues the packet for transmission; drops (with accounting) when the
     /// queue is full or the link is administratively/physically down.
-    void send(Packet p);
+    void send(PooledPacket p);
+    /// Convenience: pools a loose packet on the calling thread's pool.
+    void send(Packet p) { send(PacketPool::local().acquire(std::move(p))); }
 
     /// Carrier state: a downed link silently discards everything offered
     /// to it (in-flight packets still arrive — they are already on the
@@ -35,14 +41,14 @@ public:
     [[nodiscard]] sim::SimTime serialization_time(std::uint32_t bytes) const noexcept;
 
 private:
-    void start_transmission(Packet p);
+    void start_transmission(PooledPacket p);
     void transmission_done();
 
     sim::Engine& engine_;
     double rate_bps_;
     sim::SimTime prop_delay_;
     DropTailQueue queue_;
-    std::function<void(Packet)> deliver_;
+    std::function<void(PooledPacket)> deliver_;
     bool transmitting_ = false;
     bool up_ = true;
     std::uint64_t down_drops_ = 0;

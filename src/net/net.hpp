@@ -1,10 +1,11 @@
 // Umbrella header for the packet-level network substrate.
 #pragma once
 
-#include "net/link.hpp"    // IWYU pragma: export
-#include "net/network.hpp" // IWYU pragma: export
-#include "net/node.hpp"    // IWYU pragma: export
-#include "net/packet.hpp"  // IWYU pragma: export
-#include "net/queue.hpp"   // IWYU pragma: export
+#include "net/link.hpp"        // IWYU pragma: export
+#include "net/network.hpp"     // IWYU pragma: export
+#include "net/node.hpp"        // IWYU pragma: export
+#include "net/packet.hpp"      // IWYU pragma: export
+#include "net/packet_pool.hpp" // IWYU pragma: export
+#include "net/queue.hpp"       // IWYU pragma: export
 #include "net/router.hpp"     // IWYU pragma: export
 #include "net/shared_lan.hpp" // IWYU pragma: export

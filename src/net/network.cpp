@@ -33,10 +33,10 @@ void Network::connect(Node& a, Node& b, const LinkConfig& config) {
     // below in the same order.
     auto to_b = std::make_unique<Link>(
         engine_, config.rate_bps, config.delay, config.queue_packets,
-        [&b, iface = b.iface_count()](Packet p) { b.receive(std::move(p), iface); });
+        [&b, iface = b.iface_count()](PooledPacket p) { b.receive(std::move(p), iface); });
     auto to_a = std::make_unique<Link>(
         engine_, config.rate_bps, config.delay, config.queue_packets,
-        [&a, iface = a.iface_count()](Packet p) { a.receive(std::move(p), iface); });
+        [&a, iface = a.iface_count()](PooledPacket p) { a.receive(std::move(p), iface); });
 
     const int iface_a = a.add_interface(to_b.get(), b.id());
     const int iface_b = b.add_interface(to_a.get(), a.id());

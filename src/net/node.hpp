@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "net/link.hpp"
-#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "sim/engine.hpp"
 
 namespace routesync::net {
@@ -35,12 +35,17 @@ public:
     [[nodiscard]] NodeId neighbor(int iface) const { return ifaces_.at(static_cast<std::size_t>(iface)).neighbor; }
 
     /// Transmits on a specific interface.
-    void send_on(int iface, Packet p) {
+    void send_on(int iface, PooledPacket p) {
         ifaces_.at(static_cast<std::size_t>(iface)).out->send(std::move(p));
     }
+    void send_on(int iface, Packet p) {
+        send_on(iface, PacketPool::local().acquire(std::move(p)));
+    }
 
-    /// Delivery upcall from the incoming link.
-    virtual void receive(Packet p, int iface) = 0;
+    /// Delivery upcall from the incoming link. The handle is usually the
+    /// sole owner; broadcast media hand out shared handles, so mutators
+    /// must check unique() before writing in place.
+    virtual void receive(PooledPacket p, int iface) = 0;
 
     /// The simulation engine this node lives on (apps and protocol agents
     /// schedule their timers through it).
@@ -76,26 +81,48 @@ public:
     std::function<void(const Packet&)> on_packet;
 
     /// Sends via the default (first) interface. No-op if unattached.
-    void send(Packet p) {
+    void send(PooledPacket p) {
         if (iface_count() > 0) {
             send_on(0, std::move(p));
         }
     }
+    void send(Packet p) { send(PacketPool::local().acquire(std::move(p))); }
 
-    void receive(Packet p, int /*iface*/) override {
-        if (p.dst != id()) {
+    void receive(PooledPacket p, int /*iface*/) override {
+        if (p->dst != id()) {
             return; // hosts do not forward
         }
-        if (p.type == PacketType::PingRequest) {
-            Packet reply = p;
-            reply.type = PacketType::PingReply;
-            reply.src = id();
-            reply.dst = p.src;
-            send(std::move(reply));
+        if (p->type == PacketType::PingRequest) {
+            if (on_packet) {
+                // The reply reuses the request's slot, so snapshot the
+                // request for the observer hook (which fires after the
+                // send, matching the original ordering).
+                const Packet request = *p;
+                send_reply(std::move(p));
+                on_packet(request);
+            } else {
+                send_reply(std::move(p));
+            }
+            return;
         }
         if (on_packet) {
-            on_packet(p);
+            on_packet(*p);
         }
+    }
+
+private:
+    /// Turns the request into a reply in place (or in a fresh slot when
+    /// the handle is shared) and sends it back.
+    void send_reply(PooledPacket p) {
+        if (!p.unique()) {
+            p = p.pool()->acquire(Packet{*p});
+        }
+        Packet& pkt = *p;
+        const NodeId requester = pkt.src;
+        pkt.type = PacketType::PingReply;
+        pkt.src = id();
+        pkt.dst = requester;
+        send(std::move(p));
     }
 };
 

@@ -6,12 +6,21 @@
 // with update storms (Figure 3). Packets carry only what those experiments
 // need: addressing, size (for serialization delay), sequencing, and an
 // optional routing-update payload.
+//
+// Routing-update payloads are pooled: a broadcast of N packet copies
+// shares one PayloadPool slot through PayloadRef — a 16-byte handle with
+// a plain (non-atomic) reference count, so fan-out costs neither an
+// allocation nor refcount cache-line contention. Recycled slots keep
+// their entry-vector capacity, so steady-state update generation does not
+// allocate at all.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <memory>
+#include <utility>
 #include <vector>
 
+#include "net/slab_arena.hpp"
 #include "sim/time.hpp"
 
 namespace routesync::net {
@@ -32,10 +41,10 @@ struct RouteEntry {
     int metric;
 };
 
-/// Full-table routing update payload; immutable and shared between the
-/// copies a broadcast produces.
+/// Full-table routing update payload; built once by the sender, then
+/// immutable and shared between the copies a broadcast produces.
 struct UpdatePayload {
-    NodeId sender;
+    NodeId sender = -1;
     bool triggered = false;
     std::vector<RouteEntry> entries;
     /// Routes beyond this topology's (simulating a full backbone table);
@@ -47,14 +56,148 @@ struct UpdatePayload {
     }
 };
 
+class PayloadPool;
+
+/// Shared, copyable handle to a pooled UpdatePayload. Copying bumps a
+/// plain refcount in the owning pool; the slot is recycled (capacity
+/// intact) when the last handle drops. Read access only — the payload is
+/// immutable once attached to a packet; the builder mutates it through
+/// PayloadRef::mutate() while it still holds the only reference.
+class PayloadRef {
+public:
+    PayloadRef() noexcept = default;
+    PayloadRef(const PayloadRef& other) noexcept;
+    PayloadRef(PayloadRef&& other) noexcept
+        : pool_{other.pool_}, slot_{other.slot_} {
+        other.pool_ = nullptr;
+    }
+    PayloadRef& operator=(const PayloadRef& other) noexcept;
+    PayloadRef& operator=(PayloadRef&& other) noexcept {
+        if (this != &other) {
+            reset();
+            pool_ = other.pool_;
+            slot_ = other.slot_;
+            other.pool_ = nullptr;
+        }
+        return *this;
+    }
+    ~PayloadRef() { reset(); }
+
+    [[nodiscard]] explicit operator bool() const noexcept { return pool_ != nullptr; }
+    [[nodiscard]] const UpdatePayload& operator*() const noexcept;
+    [[nodiscard]] const UpdatePayload* operator->() const noexcept;
+    [[nodiscard]] const UpdatePayload* get() const noexcept;
+
+    /// True when this is the only handle on the slot.
+    [[nodiscard]] bool unique() const noexcept;
+
+    /// Builder-side write access; only legal while unique().
+    [[nodiscard]] UpdatePayload& mutate() noexcept;
+
+    void reset() noexcept;
+
+private:
+    friend class PayloadPool;
+    PayloadRef(PayloadPool* pool, std::uint32_t slot) noexcept
+        : pool_{pool}, slot_{slot} {}
+
+    PayloadPool* pool_ = nullptr;
+    std::uint32_t slot_ = 0;
+};
+
+/// Slab pool of UpdatePayload slots. One pool per thread via local();
+/// explicit instances for tests and benchmarks.
+class PayloadPool {
+public:
+    PayloadPool() = default;
+    PayloadPool(const PayloadPool&) = delete;
+    PayloadPool& operator=(const PayloadPool&) = delete;
+
+    /// A fresh payload (fields reset, entry capacity recycled) with one
+    /// reference.
+    [[nodiscard]] PayloadRef acquire() {
+        const std::uint32_t idx = arena_.acquire();
+        UpdatePayload& p = arena_.value(idx);
+        p.sender = -1;
+        p.triggered = false;
+        p.entries.clear();
+        p.filler_routes = 0;
+        return PayloadRef{this, idx};
+    }
+
+    /// The calling thread's pool. Simulations are single-threaded, so
+    /// every handle created by a simulation stays on its thread; slot
+    /// indices are never observable in simulation output, which keeps
+    /// pooled runs byte-identical to the unpooled seed.
+    [[nodiscard]] static PayloadPool& local() {
+        thread_local PayloadPool pool;
+        return pool;
+    }
+
+    [[nodiscard]] std::size_t live() const noexcept { return arena_.live(); }
+    [[nodiscard]] std::size_t peak_live() const noexcept { return arena_.peak_live(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return arena_.capacity(); }
+
+private:
+    friend class PayloadRef;
+    detail::SlabArena<UpdatePayload> arena_;
+};
+
+inline PayloadRef::PayloadRef(const PayloadRef& other) noexcept
+    : pool_{other.pool_}, slot_{other.slot_} {
+    if (pool_ != nullptr) {
+        pool_->arena_.add_ref(slot_);
+    }
+}
+
+inline PayloadRef& PayloadRef::operator=(const PayloadRef& other) noexcept {
+    if (this != &other) {
+        if (other.pool_ != nullptr) {
+            other.pool_->arena_.add_ref(other.slot_);
+        }
+        reset();
+        pool_ = other.pool_;
+        slot_ = other.slot_;
+    }
+    return *this;
+}
+
+inline const UpdatePayload& PayloadRef::operator*() const noexcept {
+    return pool_->arena_.value(slot_);
+}
+
+inline const UpdatePayload* PayloadRef::operator->() const noexcept {
+    return &pool_->arena_.value(slot_);
+}
+
+inline const UpdatePayload* PayloadRef::get() const noexcept {
+    return pool_ == nullptr ? nullptr : &pool_->arena_.value(slot_);
+}
+
+inline bool PayloadRef::unique() const noexcept {
+    return pool_ != nullptr && pool_->arena_.refs(slot_) == 1;
+}
+
+inline UpdatePayload& PayloadRef::mutate() noexcept {
+    assert(unique() && "PayloadRef::mutate: payload already shared");
+    return pool_->arena_.value(slot_);
+}
+
+inline void PayloadRef::reset() noexcept {
+    if (pool_ != nullptr) {
+        pool_->arena_.release(slot_);
+        pool_ = nullptr;
+    }
+}
+
 struct Packet {
     PacketType type = PacketType::Data;
     NodeId src = -1;
     NodeId dst = -1; ///< -1 broadcasts to all neighbours (routing updates)
     std::uint32_t size_bytes = 0;
-    std::uint64_t seq = 0;            ///< per-flow sequence number
-    sim::SimTime sent_at;             ///< origination time (RTT accounting)
-    std::shared_ptr<const UpdatePayload> update; ///< set for RoutingUpdate
+    std::uint64_t seq = 0; ///< per-flow sequence number
+    sim::SimTime sent_at;  ///< origination time (RTT accounting)
+    PayloadRef update;     ///< set for RoutingUpdate
     int ttl = 64;
 };
 

@@ -1,0 +1,139 @@
+// PacketPool: slab/free-list packet storage and the PooledPacket handle
+// the whole forwarding path moves instead of Packet values.
+//
+// Why: a Packet is ~56 bytes. Capturing one by value in a scheduled
+// delivery lambda overflows SmallCallback's 48-byte inline buffer, so
+// the seed implementation paid a heap allocation per link hop plus
+// shared_ptr refcount traffic per routing-update copy. A PooledPacket is
+// 16 bytes (pool pointer + slot index); a delivery capture of
+// {Link*, PooledPacket} is 24 bytes and stays inline. Slots are recycled
+// through a free list, so steady-state packet churn performs no heap
+// allocation at all.
+//
+// Sharing: PooledPacket is move-only (one owner mutates in flight);
+// share() takes an explicit extra reference for broadcast fan-out, where
+// N receivers read the same slot. Reference counts are plain ints — a
+// slot never crosses threads (one simulation = one thread; pools are
+// per-thread via local()).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "net/slab_arena.hpp"
+
+namespace routesync::net {
+
+class PacketPool;
+
+/// Move-only RAII handle to a pooled Packet.
+class PooledPacket {
+public:
+    PooledPacket() noexcept = default;
+    PooledPacket(const PooledPacket&) = delete;
+    PooledPacket& operator=(const PooledPacket&) = delete;
+    PooledPacket(PooledPacket&& other) noexcept
+        : pool_{other.pool_}, slot_{other.slot_} {
+        other.pool_ = nullptr;
+    }
+    PooledPacket& operator=(PooledPacket&& other) noexcept {
+        if (this != &other) {
+            reset();
+            pool_ = other.pool_;
+            slot_ = other.slot_;
+            other.pool_ = nullptr;
+        }
+        return *this;
+    }
+    ~PooledPacket() { reset(); }
+
+    [[nodiscard]] explicit operator bool() const noexcept { return pool_ != nullptr; }
+    [[nodiscard]] Packet& operator*() const noexcept;
+    [[nodiscard]] Packet* operator->() const noexcept;
+    [[nodiscard]] Packet* get() const noexcept;
+
+    /// An additional owning handle on the same slot (broadcast fan-out).
+    /// Receivers of shared handles must treat the packet as read-only.
+    [[nodiscard]] PooledPacket share() const noexcept;
+    /// True when this is the only handle on the slot (safe to mutate).
+    [[nodiscard]] bool unique() const noexcept;
+
+    [[nodiscard]] PacketPool* pool() const noexcept { return pool_; }
+
+    void reset() noexcept;
+
+private:
+    friend class PacketPool;
+    PooledPacket(PacketPool* pool, std::uint32_t slot) noexcept
+        : pool_{pool}, slot_{slot} {}
+
+    PacketPool* pool_ = nullptr;
+    std::uint32_t slot_ = 0;
+};
+
+class PacketPool {
+public:
+    PacketPool() = default;
+    PacketPool(const PacketPool&) = delete;
+    PacketPool& operator=(const PacketPool&) = delete;
+
+    /// Moves `p` into a recycled slot and returns the owning handle.
+    [[nodiscard]] PooledPacket acquire(Packet p = {}) {
+        const std::uint32_t idx = arena_.acquire();
+        arena_.value(idx) = std::move(p);
+        return PooledPacket{this, idx};
+    }
+
+    /// The calling thread's pool — see PayloadPool::local() for why a
+    /// per-thread pool preserves byte-identical simulation output.
+    [[nodiscard]] static PacketPool& local() {
+        thread_local PacketPool pool;
+        return pool;
+    }
+
+    [[nodiscard]] std::size_t live() const noexcept { return arena_.live(); }
+    [[nodiscard]] std::size_t peak_live() const noexcept { return arena_.peak_live(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return arena_.capacity(); }
+
+private:
+    friend class PooledPacket;
+    detail::SlabArena<Packet> arena_;
+};
+
+inline Packet& PooledPacket::operator*() const noexcept {
+    return pool_->arena_.value(slot_);
+}
+
+inline Packet* PooledPacket::operator->() const noexcept {
+    return &pool_->arena_.value(slot_);
+}
+
+inline Packet* PooledPacket::get() const noexcept {
+    return pool_ == nullptr ? nullptr : &pool_->arena_.value(slot_);
+}
+
+inline PooledPacket PooledPacket::share() const noexcept {
+    if (pool_ == nullptr) {
+        return {};
+    }
+    pool_->arena_.add_ref(slot_);
+    return PooledPacket{pool_, slot_};
+}
+
+inline bool PooledPacket::unique() const noexcept {
+    return pool_ != nullptr && pool_->arena_.refs(slot_) == 1;
+}
+
+inline void PooledPacket::reset() noexcept {
+    if (pool_ != nullptr) {
+        if (pool_->arena_.release(slot_)) {
+            // Freed slots must not pin a payload while parked.
+            pool_->arena_.value(slot_).update.reset();
+        }
+        pool_ = nullptr;
+    }
+}
+
+} // namespace routesync::net

@@ -1,12 +1,12 @@
 // Drop-tail FIFO packet queue with byte and packet capacity limits and
-// drop/enqueue accounting.
+// drop/enqueue accounting. Holds pooled packet handles, so queueing a
+// packet moves 16 bytes and never copies or allocates.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <optional>
 
-#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 
 namespace routesync::net {
 
@@ -23,11 +23,13 @@ public:
     explicit DropTailQueue(std::size_t max_packets = 64, std::uint64_t max_bytes = 0)
         : max_packets_{max_packets}, max_bytes_{max_bytes} {}
 
-    /// Returns false (and counts a drop) when the packet does not fit.
-    bool push(Packet p);
+    /// Returns false (and counts a drop, releasing the handle) when the
+    /// packet does not fit.
+    bool push(PooledPacket p);
 
-    /// Removes and returns the head packet, if any.
-    std::optional<Packet> pop();
+    /// Removes and returns the head packet; an empty handle when the
+    /// queue is empty.
+    PooledPacket pop();
 
     [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
     [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
@@ -37,31 +39,31 @@ public:
 private:
     std::size_t max_packets_;
     std::uint64_t max_bytes_;
-    std::deque<Packet> items_;
+    std::deque<PooledPacket> items_;
     std::uint64_t bytes_ = 0;
     QueueStats stats_;
 };
 
-inline bool DropTailQueue::push(Packet p) {
+inline bool DropTailQueue::push(PooledPacket p) {
     const bool over_packets = items_.size() >= max_packets_;
-    const bool over_bytes = max_bytes_ > 0 && bytes_ + p.size_bytes > max_bytes_;
+    const bool over_bytes = max_bytes_ > 0 && bytes_ + p->size_bytes > max_bytes_;
     if (over_packets || over_bytes) {
         ++stats_.dropped;
         return false;
     }
-    bytes_ += p.size_bytes;
+    bytes_ += p->size_bytes;
     items_.push_back(std::move(p));
     ++stats_.enqueued;
     return true;
 }
 
-inline std::optional<Packet> DropTailQueue::pop() {
+inline PooledPacket DropTailQueue::pop() {
     if (items_.empty()) {
-        return std::nullopt;
+        return {};
     }
-    Packet p = std::move(items_.front());
+    PooledPacket p = std::move(items_.front());
     items_.pop_front();
-    bytes_ -= p.size_bytes;
+    bytes_ -= p->size_bytes;
     ++stats_.dequeued;
     return p;
 }

@@ -4,22 +4,27 @@
 
 namespace routesync::net {
 
-void Router::receive(Packet p, int iface) {
-    if (p.type == PacketType::RoutingUpdate) {
+void Router::receive(PooledPacket p, int iface) {
+    if (p->type == PacketType::RoutingUpdate) {
         ++stats_.updates_received;
         if (on_routing_update) {
-            on_routing_update(p, iface);
+            // The hook reads the packet and shares its payload ref; the
+            // slot itself is recycled the moment this handle drops.
+            on_routing_update(*p, iface);
         }
         return;
     }
-    if (p.dst == id()) {
+    if (p->dst == id()) {
         return; // traffic addressed to the router itself: consumed
     }
     forward(std::move(p));
 }
 
-void Router::forward(Packet p) {
-    if (--p.ttl <= 0) {
+void Router::forward(PooledPacket p) {
+    if (!p.unique()) {
+        p = p.pool()->acquire(Packet{*p}); // shared frame: copy before mutating
+    }
+    if (--p->ttl <= 0) {
         ++stats_.ttl_drops;
         return;
     }
@@ -37,14 +42,15 @@ void Router::forward(Packet p) {
     transmit(std::move(p));
 }
 
-void Router::transmit(Packet p) {
-    const auto it = fib_.find(p.dst);
-    if (it == fib_.end()) {
+void Router::transmit(PooledPacket p) {
+    const NodeId dst = p->dst;
+    const int iface = has_route(dst) ? fib_[static_cast<std::size_t>(dst)] : -1;
+    if (iface < 0) {
         ++stats_.no_route_drops;
         return;
     }
     ++stats_.forwarded;
-    send_on(it->second, std::move(p));
+    send_on(iface, std::move(p));
 }
 
 void Router::schedule_cpu_work(sim::SimTime cost, std::function<void()> done) {
@@ -69,7 +75,7 @@ void Router::cpu_job_finished(std::function<void()> done) {
         // Drain the pending buffer first (they waited out the stall), then
         // wake anyone waiting for idle (e.g. the DV agent's timer re-arm).
         while (!pending_.empty()) {
-            Packet p = std::move(pending_.front());
+            PooledPacket p = std::move(pending_.front());
             pending_.pop_front();
             transmit(std::move(p));
         }

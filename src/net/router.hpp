@@ -14,12 +14,17 @@
 // mode, transit packets that arrive while the processor is busy wait in a
 // small pending buffer (dropping when it overflows); in non-blocking mode
 // (the post-fix NEARnet behaviour) forwarding proceeds regardless.
+//
+// The FIB is a dense vector indexed by destination id (node ids are
+// 0..n-1 by construction of Network), so the forwarding hot path is one
+// bounds check and one load — no hashing.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
+#include <stdexcept>
+#include <vector>
 
 #include "net/node.hpp"
 
@@ -53,12 +58,31 @@ public:
     /// --- forwarding plane -------------------------------------------
 
     /// Installs/replaces the forwarding entry for `dest`.
-    void set_route(NodeId dest, int iface) { fib_[dest] = iface; }
-    void clear_route(NodeId dest) { fib_.erase(dest); }
-    [[nodiscard]] bool has_route(NodeId dest) const { return fib_.contains(dest); }
-    [[nodiscard]] int route_iface(NodeId dest) const { return fib_.at(dest); }
+    void set_route(NodeId dest, int iface) {
+        const auto d = static_cast<std::size_t>(dest);
+        if (d >= fib_.size()) {
+            fib_.resize(d + 1, -1);
+        }
+        fib_[d] = iface;
+    }
+    void clear_route(NodeId dest) {
+        const auto d = static_cast<std::size_t>(dest);
+        if (d < fib_.size()) {
+            fib_[d] = -1;
+        }
+    }
+    [[nodiscard]] bool has_route(NodeId dest) const {
+        return dest >= 0 && static_cast<std::size_t>(dest) < fib_.size() &&
+               fib_[static_cast<std::size_t>(dest)] >= 0;
+    }
+    [[nodiscard]] int route_iface(NodeId dest) const {
+        if (!has_route(dest)) {
+            throw std::out_of_range{"Router::route_iface: no route"};
+        }
+        return fib_[static_cast<std::size_t>(dest)];
+    }
 
-    void receive(Packet p, int iface) override;
+    void receive(PooledPacket p, int iface) override;
 
     /// --- route processor ---------------------------------------------
 
@@ -76,17 +100,17 @@ public:
     [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
 
 private:
-    void forward(Packet p);
-    void transmit(Packet p);
+    void forward(PooledPacket p);
+    void transmit(PooledPacket p);
     void cpu_job_finished(std::function<void()> done);
 
     bool blocking_cpu_;
     std::size_t pending_capacity_;
-    std::unordered_map<NodeId, int> fib_;
+    std::vector<int> fib_; ///< dest id -> iface, -1 = no route
 
     sim::SimTime cpu_free_at_ = sim::SimTime::zero();
     int cpu_jobs_pending_ = 0;
-    std::deque<Packet> pending_; // packets waiting out a CPU stall
+    std::deque<PooledPacket> pending_; // packets waiting out a CPU stall
     std::vector<std::function<void()>> idle_waiters_;
 
     RouterStats stats_;

@@ -16,7 +16,7 @@ SharedLan::SharedLan(sim::Engine& engine, const SharedLanConfig& config)
     }
 }
 
-int SharedLan::attach(std::function<void(Packet)> deliver) {
+int SharedLan::attach(std::function<void(const Packet&)> deliver) {
     if (!deliver) {
         throw std::invalid_argument{"SharedLan: delivery callback required"};
     }
@@ -24,7 +24,7 @@ int SharedLan::attach(std::function<void(Packet)> deliver) {
     return static_cast<int>(stations_.size()) - 1;
 }
 
-void SharedLan::send(int station, Packet p) {
+void SharedLan::send(int station, PooledPacket p) {
     auto& st = stations_.at(static_cast<std::size_t>(station));
     ++stats_.frames_offered;
     if (st.queue.size() >= config_.station_queue_packets) {
@@ -69,7 +69,7 @@ void SharedLan::contend(int station) {
     current_owner_ = station;
     tx_start_ = now;
     const sim::SimTime duration = sim::SimTime::seconds(
-        static_cast<double>(st.queue.front().size_bytes) * 8.0 / config_.rate_bps);
+        static_cast<double>(st.queue.front()->size_bytes) * 8.0 / config_.rate_bps);
     channel_free_at_ = now + duration + config_.inter_frame_gap;
     tx_end_event_ =
         engine_.schedule_after(duration, [this] { transmission_done(); });
@@ -117,18 +117,21 @@ void SharedLan::transmission_done() {
     current_owner_ = -1;
 
     auto& st = stations_[static_cast<std::size_t>(owner)];
-    Packet frame = std::move(st.queue.front());
+    PooledPacket frame = std::move(st.queue.front());
     st.queue.pop_front();
     st.attempts = 0;
     ++stats_.frames_delivered;
 
-    // Broadcast: everyone else hears the frame after the propagation delay.
+    // Broadcast: everyone else hears the frame after the propagation
+    // delay. All receivers share the transmitted slot — the capture is
+    // {this, i, 16-byte handle}, so the fan-out neither copies the frame
+    // nor allocates.
     for (std::size_t i = 0; i < stations_.size(); ++i) {
         if (static_cast<int>(i) == owner) {
             continue;
         }
-        engine_.schedule_after(config_.prop_delay, [this, i, frame] {
-            stations_[i].deliver(frame);
+        engine_.schedule_after(config_.prop_delay, [this, i, f = frame.share()] {
+            stations_[i].deliver(*f);
         });
     }
 

@@ -17,7 +17,7 @@
 #include <functional>
 #include <vector>
 
-#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "rng/rng.hpp"
 #include "sim/engine.hpp"
 
@@ -51,12 +51,17 @@ public:
     SharedLan& operator=(const SharedLan&) = delete;
 
     /// Attaches a station; `deliver` receives every frame other stations
-    /// transmit successfully. Returns the station index.
-    int attach(std::function<void(Packet)> deliver);
+    /// transmit successfully. All receivers observe the *same* pooled
+    /// frame (one slot, N reads — no per-receiver copies). Returns the
+    /// station index.
+    int attach(std::function<void(const Packet&)> deliver);
 
     /// Queues a frame for transmission from `station` (broadcast to all
     /// other stations).
-    void send(int station, Packet p);
+    void send(int station, PooledPacket p);
+    void send(int station, Packet p) {
+        send(station, PacketPool::local().acquire(std::move(p)));
+    }
 
     [[nodiscard]] const SharedLanStats& stats() const noexcept { return stats_; }
     [[nodiscard]] int stations() const noexcept {
@@ -65,8 +70,8 @@ public:
 
 private:
     struct Station {
-        std::function<void(Packet)> deliver;
-        std::deque<Packet> queue;
+        std::function<void(const Packet&)> deliver;
+        std::deque<PooledPacket> queue;
         int attempts = 0;   ///< collisions suffered by the head frame
         bool pending = false; ///< head frame is scheduled/contending
     };
@@ -83,7 +88,7 @@ private:
     sim::Engine& engine_;
     SharedLanConfig config_;
     rng::DefaultEngine gen_;
-    std::vector<Station> stations_;
+    std::deque<Station> stations_; ///< deque: grows without relocating stations
 
     // Channel state.
     bool transmitting_ = false;

@@ -1,0 +1,111 @@
+// Slab arena: the allocation engine under PacketPool and PayloadPool.
+//
+// Objects live in fixed-size slabs (stable addresses, no reallocation);
+// free slots are threaded through an intrusive free list. Each slot
+// carries a plain (non-atomic) reference count — a slot is shared only
+// within one simulation, and a simulation never crosses threads, so the
+// count needs no synchronization. Recycled slots are *not* destroyed:
+// a slot's object keeps its heap capacity (e.g. an UpdatePayload's entry
+// vector) across reuse, which is where the per-packet allocations go.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace routesync::net::detail {
+
+template <typename T>
+class SlabArena {
+public:
+    static constexpr std::uint32_t kNone = 0xffffffffu;
+
+    SlabArena() = default;
+    SlabArena(const SlabArena&) = delete;
+    SlabArena& operator=(const SlabArena&) = delete;
+
+    /// Pops a free slot (growing by one slab when empty) and sets its
+    /// reference count to 1. The slot's object is in whatever state its
+    /// previous user left it — callers reset the fields they care about.
+    [[nodiscard]] std::uint32_t acquire() {
+        if (free_head_ == kNone) {
+            grow();
+        }
+        const std::uint32_t idx = free_head_;
+        Slot& s = slot(idx);
+        free_head_ = s.next_free;
+        s.refs = 1;
+        ++live_;
+        if (live_ > peak_live_) {
+            peak_live_ = live_;
+        }
+        return idx;
+    }
+
+    void add_ref(std::uint32_t idx) noexcept { ++slot(idx).refs; }
+
+    /// Drops one reference; returns true when this was the last one and
+    /// the slot went back on the free list.
+    bool release(std::uint32_t idx) noexcept {
+        Slot& s = slot(idx);
+        assert(s.refs > 0 && "SlabArena: release of a free slot");
+        if (--s.refs > 0) {
+            return false;
+        }
+        s.next_free = free_head_;
+        free_head_ = idx;
+        --live_;
+        return true;
+    }
+
+    [[nodiscard]] T& value(std::uint32_t idx) noexcept { return slot(idx).value; }
+    [[nodiscard]] const T& value(std::uint32_t idx) const noexcept {
+        return slot(idx).value;
+    }
+    [[nodiscard]] std::uint32_t refs(std::uint32_t idx) const noexcept {
+        return slot(idx).refs;
+    }
+
+    [[nodiscard]] std::size_t live() const noexcept { return live_; }
+    [[nodiscard]] std::size_t peak_live() const noexcept { return peak_live_; }
+    [[nodiscard]] std::size_t slabs() const noexcept { return slabs_.size(); }
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        return slabs_.size() * kSlabSlots;
+    }
+
+private:
+    static constexpr std::size_t kSlabSlots = 256; // 2^8: idx splits by shift/mask
+
+    struct Slot {
+        T value{};
+        std::uint32_t refs = 0;
+        std::uint32_t next_free = kNone;
+    };
+
+    [[nodiscard]] Slot& slot(std::uint32_t idx) noexcept {
+        return slabs_[idx >> 8][idx & 0xff];
+    }
+    [[nodiscard]] const Slot& slot(std::uint32_t idx) const noexcept {
+        return slabs_[idx >> 8][idx & 0xff];
+    }
+
+    void grow() {
+        const auto base = static_cast<std::uint32_t>(capacity());
+        slabs_.push_back(std::make_unique<Slot[]>(kSlabSlots));
+        // Thread the new slab onto the free list front-to-back so fresh
+        // acquires walk it in address order.
+        Slot* slab = slabs_.back().get();
+        for (std::size_t i = kSlabSlots; i-- > 0;) {
+            slab[i].next_free = free_head_;
+            free_head_ = base + static_cast<std::uint32_t>(i);
+        }
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> slabs_;
+    std::uint32_t free_head_ = kNone;
+    std::size_t live_ = 0;
+    std::size_t peak_live_ = 0;
+};
+
+} // namespace routesync::net::detail

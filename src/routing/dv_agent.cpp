@@ -136,9 +136,24 @@ void DistanceVectorAgent::send_update(bool triggered) {
 }
 
 void DistanceVectorAgent::do_send(UpdateKind kind, bool triggered) {
-    for (int iface = 0; iface < router_.iface_count(); ++iface) {
-        for (auto& fragment : build_update(iface, kind, triggered)) {
-            router_.send_on(iface, std::move(fragment));
+    if (!config_.split_horizon && router_.iface_count() > 0) {
+        // Without split horizon every interface advertises the same
+        // routes, so build the fragments once and share their pooled
+        // payloads across all interfaces — a broadcast of N copies is N
+        // refcount bumps on one allocation.
+        auto fragments = build_update(0, kind, triggered);
+        for (int iface = 0; iface < router_.iface_count(); ++iface) {
+            for (const auto& fragment : fragments) {
+                net::Packet copy = fragment; // shares the payload slot
+                copy.dst = router_.neighbor(iface);
+                router_.send_on(iface, std::move(copy));
+            }
+        }
+    } else {
+        for (int iface = 0; iface < router_.iface_count(); ++iface) {
+            for (auto& fragment : build_update(iface, kind, triggered)) {
+                router_.send_on(iface, std::move(fragment));
+            }
         }
     }
     if (kind == UpdateKind::Full) {
@@ -176,14 +191,14 @@ std::vector<net::Packet> DistanceVectorAgent::build_update(int out_iface,
             entries.push_back(net::RouteEntry{dest, route->metric});
         }
     } else if (kind == UpdateKind::Full) {
-        for (const auto& [dest, route] : table_) {
+        for (const Route& route : table_) {
             if (config_.split_horizon && !route.local && route.iface == out_iface) {
                 if (config_.poisoned_reverse) {
-                    entries.push_back(net::RouteEntry{dest, config_.infinity});
+                    entries.push_back(net::RouteEntry{route.dest, config_.infinity});
                 }
                 continue;
             }
-            entries.push_back(net::RouteEntry{dest, route.metric});
+            entries.push_back(net::RouteEntry{route.dest, route.metric});
         }
     }
     // Keepalive: no entries at all.
@@ -199,18 +214,19 @@ std::vector<net::Packet> DistanceVectorAgent::build_update(int out_iface,
     int filler_left = filler;
     while (entry_cursor < static_cast<int>(entries.size()) || filler_left > 0 ||
            fragments.empty()) {
-        auto payload = std::make_shared<net::UpdatePayload>();
-        payload->sender = router_.id();
-        payload->triggered = triggered;
+        net::PayloadRef ref = net::PayloadPool::local().acquire();
+        net::UpdatePayload& payload = ref.mutate();
+        payload.sender = router_.id();
+        payload.triggered = triggered;
         int room = per_packet;
         while (room > 0 && entry_cursor < static_cast<int>(entries.size())) {
-            payload->entries.push_back(
+            payload.entries.push_back(
                 entries[static_cast<std::size_t>(entry_cursor)]);
             ++entry_cursor;
             --room;
         }
         const int filler_here = std::min(room, filler_left);
-        payload->filler_routes = filler_here;
+        payload.filler_routes = filler_here;
         filler_left -= filler_here;
 
         net::Packet p;
@@ -220,9 +236,9 @@ std::vector<net::Packet> DistanceVectorAgent::build_update(int out_iface,
         p.size_bytes =
             config_.header_bytes +
             config_.bytes_per_route *
-                static_cast<std::uint32_t>(payload->total_routes());
+                static_cast<std::uint32_t>(payload.total_routes());
         p.sent_at = router_.engine().now();
-        p.update = std::move(payload);
+        p.update = std::move(ref);
         fragments.push_back(std::move(p));
     }
     return fragments;
@@ -248,12 +264,24 @@ void DistanceVectorAgent::process_update(const net::UpdatePayload& update, int i
     if (config_.incremental) {
         // Hold-timer semantics: any message from the neighbour (keepalive
         // or update) confirms every route through it.
-        for (auto& [dest, route] : table_) {
+        for (Route& route : table_) {
             if (!route.local && route.next_hop == update.sender) {
                 route.refreshed = now;
             }
         }
     }
+
+    // New destinations are batched and merged once at the end: a full
+    // table arriving at an empty/partial table (session establishment,
+    // cold convergence) is the bulk-insert case, and one O(n + k) merge
+    // replaces k shifting inserts into the sorted vector.
+    std::vector<Route> fresh;
+    const auto find_fresh = [&fresh](net::NodeId dest) -> Route* {
+        const auto it = std::lower_bound(
+            fresh.begin(), fresh.end(), dest,
+            [](const Route& r, net::NodeId d) { return r.dest < d; });
+        return it != fresh.end() && it->dest == dest ? &*it : nullptr;
+    };
 
     for (const auto& entry : update.entries) {
         if (entry.dest == router_.id()) {
@@ -262,13 +290,27 @@ void DistanceVectorAgent::process_update(const net::UpdatePayload& update, int i
         const int metric = std::min(entry.metric + 1, config_.infinity);
         Route* route = table_.find(entry.dest);
         if (route == nullptr) {
+            route = find_fresh(entry.dest); // duplicate dest in one update
+        }
+        if (route == nullptr) {
             if (metric < config_.infinity) {
-                table_.upsert(Route{.dest = entry.dest,
+                const Route learned{.dest = entry.dest,
                                     .metric = metric,
                                     .iface = iface,
                                     .next_hop = update.sender,
                                     .refreshed = now,
-                                    .local = false});
+                                    .local = false};
+                if (fresh.empty() || fresh.back().dest < entry.dest) {
+                    fresh.push_back(learned);
+                } else {
+                    // Out-of-order sender: keep the batch sorted.
+                    fresh.insert(std::lower_bound(fresh.begin(), fresh.end(),
+                                                  entry.dest,
+                                                  [](const Route& r, net::NodeId d) {
+                                                      return r.dest < d;
+                                                  }),
+                                 learned);
+                }
                 router_.set_route(entry.dest, iface);
                 changed = true;
                 changed_.insert(entry.dest);
@@ -305,6 +347,8 @@ void DistanceVectorAgent::process_update(const net::UpdatePayload& update, int i
         }
     }
 
+    table_.insert_sorted_batch(std::move(fresh));
+
     if (changed && config_.triggered_updates) {
         schedule_triggered_update();
     }
@@ -313,28 +357,27 @@ void DistanceVectorAgent::process_update(const net::UpdatePayload& update, int i
 void DistanceVectorAgent::expire_routes() {
     const sim::SimTime now = router_.engine().now();
     bool changed = false;
-    std::vector<net::NodeId> to_erase;
-    for (auto& [dest, route] : table_) {
+    // Single pass: time out stale routes in place and compact away the
+    // ones whose GC timer ran down (bulk erase instead of per-dest
+    // erases).
+    table_.erase_if([&](Route& route) {
         if (route.local) {
-            continue;
+            return false;
         }
         if (route.metric < config_.infinity &&
             now - route.refreshed > config_.route_timeout) {
             route.metric = config_.infinity;
             route.refreshed = now; // reused as the GC clock
             route.holddown_until = now + config_.holddown;
-            router_.clear_route(dest);
+            router_.clear_route(route.dest);
             ++stats_.routes_timed_out;
             changed = true;
-            changed_.insert(dest);
-        } else if (route.metric >= config_.infinity &&
-                   now - route.refreshed > config_.gc_timeout) {
-            to_erase.push_back(dest);
+            changed_.insert(route.dest);
+            return false;
         }
-    }
-    for (const net::NodeId dest : to_erase) {
-        table_.erase(dest);
-    }
+        return route.metric >= config_.infinity &&
+               now - route.refreshed > config_.gc_timeout;
+    });
     if (changed && config_.triggered_updates) {
         schedule_triggered_update();
     }
@@ -361,15 +404,15 @@ void DistanceVectorAgent::schedule_triggered_update() {
 
 void DistanceVectorAgent::link_down(int iface) {
     bool changed = false;
-    for (auto& [dest, route] : table_) {
+    for (Route& route : table_) {
         if (route.iface == iface && route.metric < config_.infinity) {
             route.metric = config_.infinity;
             route.refreshed = router_.engine().now();
             route.holddown_until = router_.engine().now() + config_.holddown;
             route.local = false; // attached stubs become expirable
-            router_.clear_route(dest);
+            router_.clear_route(route.dest);
             changed = true;
-            changed_.insert(dest);
+            changed_.insert(route.dest);
         }
     }
     if (changed && config_.triggered_updates) {

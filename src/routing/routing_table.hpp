@@ -1,8 +1,10 @@
 // Distance-vector routing table (RIP-style semantics).
 #pragma once
 
-#include <map>
-#include <optional>
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
@@ -21,32 +23,111 @@ struct Route {
     sim::SimTime holddown_until = sim::SimTime::zero();
 };
 
-/// Ordered map of routes keyed by destination. std::map keeps update
-/// contents and iteration deterministic.
+/// Flat map of routes: a vector kept sorted by destination. Iteration is
+/// ascending by dest — the same deterministic order the previous
+/// std::map gave — but lookups are a cache-friendly binary search over
+/// contiguous memory and a full-table walk is a linear scan, which is
+/// what the DV agent does on every periodic update.
+///
+/// Pointer/iterator validity: find() results are invalidated by upsert,
+/// erase, erase_if, and insert_sorted_batch (vector reallocation /
+/// element shifting) — unlike the old node-based map. Callers batch
+/// insertions (insert_sorted_batch) instead of holding pointers across
+/// mutations.
 class RoutingTable {
 public:
-    /// Inserts or replaces.
-    void upsert(const Route& r) { routes_[r.dest] = r; }
-    void erase(net::NodeId dest) { routes_.erase(dest); }
+    /// Inserts or replaces. O(log n) to locate + O(n) shift on insert.
+    void upsert(const Route& r) {
+        const auto it = lower_bound(r.dest);
+        if (it != routes_.end() && it->dest == r.dest) {
+            *it = r;
+        } else {
+            routes_.insert(it, r);
+        }
+    }
+
+    void erase(net::NodeId dest) {
+        const auto it = lower_bound(dest);
+        if (it != routes_.end() && it->dest == dest) {
+            routes_.erase(it);
+        }
+    }
+
+    /// Single-pass in-order compaction: `pred` is invoked exactly once
+    /// per route in ascending-dest order (and may mutate the route);
+    /// routes it returns true for are removed. Returns the number
+    /// removed. This is the bulk form of erase() — O(n) total instead of
+    /// O(n) per removal.
+    template <typename Pred>
+    std::size_t erase_if(Pred pred) {
+        auto out = routes_.begin();
+        for (auto it = routes_.begin(); it != routes_.end(); ++it) {
+            if (!pred(*it)) {
+                if (out != it) {
+                    *out = std::move(*it);
+                }
+                ++out;
+            }
+        }
+        const auto removed = static_cast<std::size_t>(routes_.end() - out);
+        routes_.erase(out, routes_.end());
+        return removed;
+    }
+
+    /// Bulk-merges routes whose destinations are not present yet (the
+    /// fast path of a full-table update: a burst of new routes arrives
+    /// sorted). `batch` must be sorted ascending by dest with no
+    /// duplicates against itself or the table. One O(n + k) merge instead
+    /// of k O(n) shifting inserts.
+    void insert_sorted_batch(std::vector<Route>&& batch) {
+        if (batch.empty()) {
+            return;
+        }
+        if (routes_.empty()) {
+            routes_ = std::move(batch);
+            return;
+        }
+        const auto middle = routes_.size();
+        routes_.insert(routes_.end(), std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
+        std::inplace_merge(
+            routes_.begin(), routes_.begin() + static_cast<std::ptrdiff_t>(middle),
+            routes_.end(),
+            [](const Route& a, const Route& b) { return a.dest < b.dest; });
+    }
 
     [[nodiscard]] Route* find(net::NodeId dest) {
-        const auto it = routes_.find(dest);
-        return it == routes_.end() ? nullptr : &it->second;
+        const auto it = lower_bound(dest);
+        return it != routes_.end() && it->dest == dest ? &*it : nullptr;
     }
     [[nodiscard]] const Route* find(net::NodeId dest) const {
-        const auto it = routes_.find(dest);
-        return it == routes_.end() ? nullptr : &it->second;
+        const auto it = lower_bound(dest);
+        return it != routes_.end() && it->dest == dest ? &*it : nullptr;
     }
 
     [[nodiscard]] std::size_t size() const noexcept { return routes_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return routes_.empty(); }
+    void reserve(std::size_t n) { routes_.reserve(n); }
 
+    /// Iteration yields Route& in ascending-dest order.
     [[nodiscard]] auto begin() const noexcept { return routes_.begin(); }
     [[nodiscard]] auto end() const noexcept { return routes_.end(); }
     [[nodiscard]] auto begin() noexcept { return routes_.begin(); }
     [[nodiscard]] auto end() noexcept { return routes_.end(); }
 
 private:
-    std::map<net::NodeId, Route> routes_;
+    [[nodiscard]] std::vector<Route>::iterator lower_bound(net::NodeId dest) {
+        return std::lower_bound(
+            routes_.begin(), routes_.end(), dest,
+            [](const Route& r, net::NodeId d) { return r.dest < d; });
+    }
+    [[nodiscard]] std::vector<Route>::const_iterator lower_bound(net::NodeId dest) const {
+        return std::lower_bound(
+            routes_.begin(), routes_.end(), dest,
+            [](const Route& r, net::NodeId d) { return r.dest < d; });
+    }
+
+    std::vector<Route> routes_; ///< sorted ascending by dest
 };
 
 } // namespace routesync::routing

@@ -1,41 +1,105 @@
 #include "stats/autocorrelation.hpp"
 
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "stats/fft.hpp"
 
 namespace routesync::stats {
 
-std::vector<double> autocorrelation(std::span<const double> x, std::size_t max_lag) {
-    const std::size_t n = x.size();
-    if (n == 0) {
-        throw std::invalid_argument{"autocorrelation: empty series"};
-    }
-    if (max_lag >= n) {
-        throw std::invalid_argument{"autocorrelation: max_lag must be < series length"};
-    }
+namespace {
 
+struct SeriesMoments {
+    double mean;
+    double denom; ///< sum of squared deviations
+    /// True when denom is at or below its own rounding noise: n terms,
+    /// each a squared cancellation error of order eps * max(1, |mean|).
+    bool negligible_variance;
+};
+
+SeriesMoments moments(std::span<const double> x) {
+    const auto n = static_cast<double>(x.size());
     double mean = 0.0;
     for (const double v : x) {
         mean += v;
     }
-    mean /= static_cast<double>(n);
+    mean /= n;
 
     double denom = 0.0;
     for (const double v : x) {
         denom += (v - mean) * (v - mean);
     }
 
+    const double eps = std::numeric_limits<double>::epsilon();
+    const double noise = eps * std::max(1.0, std::abs(mean));
+    // !(denom > floor) rather than (denom <= floor) so NaN input lands in
+    // the degenerate branch instead of poisoning every lag.
+    const bool negligible = !(denom > n * noise * noise);
+    return {mean, denom, negligible};
+}
+
+void validate(std::span<const double> x, std::size_t max_lag) {
+    if (x.empty()) {
+        throw std::invalid_argument{"autocorrelation: empty series"};
+    }
+    if (max_lag >= x.size()) {
+        throw std::invalid_argument{"autocorrelation: max_lag must be < series length"};
+    }
+}
+
+} // namespace
+
+std::vector<double> autocorrelation(std::span<const double> x, std::size_t max_lag) {
+    validate(x, max_lag);
+    const std::size_t n = x.size();
+    const SeriesMoments m = moments(x);
+
     std::vector<double> r(max_lag + 1, 0.0);
     r[0] = 1.0;
-    if (denom == 0.0) {
-        return r; // constant series: correlation undefined; report 0
+    if (m.negligible_variance || max_lag == 0) {
+        return r;
+    }
+
+    // Wiener-Khinchin: autocovariance = IFFT(|FFT(z zero-padded)|^2).
+    // Padding to >= n + max_lag keeps the circular convolution linear for
+    // every lag we report.
+    const std::size_t padded = next_pow2(n + max_lag);
+    std::vector<Complex> a(padded, Complex{0.0, 0.0});
+    for (std::size_t t = 0; t < n; ++t) {
+        a[t] = Complex{x[t] - m.mean, 0.0};
+    }
+    fft_pow2(a, false);
+    for (auto& c : a) {
+        c = Complex{std::norm(c), 0.0};
+    }
+    fft_pow2(a, true); // unscaled: results carry a factor of `padded`
+
+    const double scale = 1.0 / (static_cast<double>(padded) * m.denom);
+    for (std::size_t k = 1; k <= max_lag; ++k) {
+        r[k] = a[k].real() * scale;
+    }
+    return r;
+}
+
+std::vector<double> autocorrelation_naive(std::span<const double> x,
+                                          std::size_t max_lag) {
+    validate(x, max_lag);
+    const std::size_t n = x.size();
+    const SeriesMoments m = moments(x);
+
+    std::vector<double> r(max_lag + 1, 0.0);
+    r[0] = 1.0;
+    if (m.negligible_variance || max_lag == 0) {
+        return r;
     }
     for (std::size_t k = 1; k <= max_lag; ++k) {
         double num = 0.0;
         for (std::size_t t = 0; t + k < n; ++t) {
-            num += (x[t] - mean) * (x[t + k] - mean);
+            num += (x[t] - m.mean) * (x[t + k] - m.mean);
         }
-        r[k] = num / denom;
+        r[k] = num / m.denom;
     }
     return r;
 }

@@ -12,11 +12,27 @@ namespace routesync::stats {
 
 /// Sample autocorrelation r(k) for lags 0..max_lag (inclusive):
 ///   r(k) = sum_{t}((x_t - mean)(x_{t+k} - mean)) / sum_t((x_t - mean)^2)
-/// r(0) == 1 by construction. For a constant series (zero variance) every
-/// lag is reported as 0 except r(0) = 1.
-/// Requires max_lag < x.size().
+/// r(0) == 1 by construction.
+///
+/// Edge cases (identical in the FFT and naive implementations):
+///  * max_lag == 0 is valid and returns just {1.0}.
+///  * A zero- or negligible-variance series reports 0 at every lag except
+///    r(0) = 1. "Negligible" means the variance sum is at or below its
+///    own rounding noise — denom <= n * (eps * max(1, |mean|))^2 — so a
+///    constant series offset by a large mean (where cancellation leaves
+///    only noise in the denominator) does not amplify garbage, instead of
+///    only catching the exact denom == 0.0 case.
+///
+/// Computed via Wiener-Khinchin (FFT of the zero-padded series, squared
+/// magnitudes, inverse FFT): O(n log n). Requires max_lag < x.size().
 [[nodiscard]] std::vector<double> autocorrelation(std::span<const double> x,
                                                   std::size_t max_lag);
+
+/// The O(n * max_lag) textbook sum — reference implementation for
+/// equivalence tests; same contract and edge-case handling as
+/// autocorrelation().
+[[nodiscard]] std::vector<double> autocorrelation_naive(std::span<const double> x,
+                                                        std::size_t max_lag);
 
 /// The lag in [min_lag, max_lag] with the largest autocorrelation.
 /// Useful for detecting a dominant periodicity. Requires a non-empty lag

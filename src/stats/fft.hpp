@@ -1,0 +1,36 @@
+// Fast Fourier transform: iterative radix-2 Cooley-Tukey for power-of-two
+// lengths, Bluestein's chirp-z algorithm for everything else. This is the
+// engine under the O(n log n) autocorrelation (Wiener-Khinchin) and
+// periodogram paths; the naive O(n^2) versions remain available as
+// reference implementations for equivalence testing.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace routesync::stats {
+
+using Complex = std::complex<double>;
+
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+/// In-place iterative radix-2 FFT. a.size() must be a power of two.
+/// `inverse` conjugates the twiddles but does NOT divide by n — callers
+/// that need the inverse transform scale themselves.
+void fft_pow2(std::span<Complex> a, bool inverse);
+
+/// DFT of arbitrary length: X[k] = sum_t x[t] e^{-+2 pi i t k / n}
+/// (minus sign forward, plus inverse; inverse is unscaled, like
+/// fft_pow2). Radix-2 when n is a power of two, Bluestein otherwise —
+/// O(n log n) for every n.
+[[nodiscard]] std::vector<Complex> dft(std::span<const Complex> x,
+                                       bool inverse = false);
+
+} // namespace routesync::stats

@@ -4,7 +4,36 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "stats/fft.hpp"
+
 namespace routesync::stats {
+
+namespace {
+
+/// |X[k]|^2 / n over the de-meaned series for k = 1 .. n/2, via one DFT.
+std::vector<double> fourier_grid_power(std::span<const double> x) {
+    const std::size_t n = x.size();
+    double mean = 0.0;
+    for (const double v : x) {
+        mean += v;
+    }
+    mean /= static_cast<double>(n);
+
+    std::vector<Complex> z(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        z[t] = Complex{x[t] - mean, 0.0};
+    }
+    const std::vector<Complex> spectrum = dft(z);
+
+    std::vector<double> power;
+    power.reserve(n / 2);
+    for (std::size_t k = 1; k <= n / 2; ++k) {
+        power.push_back(std::norm(spectrum[k]) / static_cast<double>(n));
+    }
+    return power;
+}
+
+} // namespace
 
 double spectral_power(std::span<const double> x, double frequency) {
     const std::size_t n = x.size();
@@ -32,6 +61,13 @@ double spectral_power(std::span<const double> x, double frequency) {
 }
 
 std::vector<double> periodogram(std::span<const double> x) {
+    if (x.size() < 2) {
+        throw std::invalid_argument{"periodogram: need at least two samples"};
+    }
+    return fourier_grid_power(x);
+}
+
+std::vector<double> periodogram_naive(std::span<const double> x) {
     const std::size_t n = x.size();
     if (n < 2) {
         throw std::invalid_argument{"periodogram: need at least two samples"};
@@ -56,13 +92,14 @@ DominantFrequency dominant_frequency(std::span<const double> x, double min_frequ
         throw std::invalid_argument{
             "dominant_frequency: need 0 < min <= max <= 0.5"};
     }
+    const std::vector<double> power = fourier_grid_power(x);
     DominantFrequency best{0.0, 0.0, -1.0};
     for (std::size_t k = 1; k <= n / 2; ++k) {
         const double f = static_cast<double>(k) / static_cast<double>(n);
         if (f < min_frequency || f > max_frequency) {
             continue;
         }
-        const double p = spectral_power(x, f);
+        const double p = power[k - 1];
         if (p > best.power) {
             best = DominantFrequency{f, 1.0 / f, p};
         }

@@ -17,9 +17,15 @@ namespace routesync::stats {
 [[nodiscard]] double spectral_power(std::span<const double> x, double frequency);
 
 /// The periodogram at the Fourier frequencies k/n, k = 1 .. n/2
-/// (index 0 of the result corresponds to k = 1). O(n^2); fine for the
-/// thousand-sample measurement series this library analyses.
+/// (index 0 of the result corresponds to k = 1). Computed with a single
+/// FFT (radix-2, or Bluestein for non-power-of-two n): O(n log n), so
+/// full-spectrum analysis scales past the thousand-sample figure series
+/// to the long packet traces the pooled forwarding path produces.
 [[nodiscard]] std::vector<double> periodogram(std::span<const double> x);
+
+/// The O(n^2) evaluation (one spectral_power sum per Fourier frequency) —
+/// reference implementation for equivalence tests.
+[[nodiscard]] std::vector<double> periodogram_naive(std::span<const double> x);
 
 /// The frequency in [min_frequency, max_frequency] (cycles per sample)
 /// with the greatest power, scanned over the Fourier grid.

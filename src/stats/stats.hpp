@@ -2,6 +2,7 @@
 #pragma once
 
 #include "stats/autocorrelation.hpp" // IWYU pragma: export
+#include "stats/fft.hpp"             // IWYU pragma: export
 #include "stats/histogram.hpp"       // IWYU pragma: export
 #include "stats/periodogram.hpp"     // IWYU pragma: export
 #include "stats/phase_cluster.hpp"   // IWYU pragma: export

@@ -1,0 +1,136 @@
+// Byte-identity regression tests for the packet-pool / flat-table swap.
+//
+// The golden hashes below were computed from the seed tree (heap-allocated
+// packets, std::map routing table) over the exact scenarios run here. The
+// pooled packet path and the flat routing table are required to reproduce
+// the seed's output bit for bit — slot recycling, payload sharing, and the
+// sorted-vector table must never change event order, timing, or the RNG
+// consumption sequence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "net/net.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace {
+
+using namespace routesync;
+
+std::uint64_t fnv1a(std::uint64_t h, const char* s) {
+    for (; *s != '\0'; ++s) {
+        h ^= static_cast<unsigned char>(*s);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/// FNV-1a over the shortest-round-trip text of each sample — the same
+/// encoding the figure tools write, so a hash match means byte-identical
+/// plotted output.
+std::uint64_t hash_series(const std::vector<double>& xs) {
+    std::uint64_t h = 1469598103934665603ULL;
+    char buf[64];
+    for (const double x : xs) {
+        std::snprintf(buf, sizeof buf, "%.17g;", x);
+        h = fnv1a(h, buf);
+    }
+    return h;
+}
+
+struct NearnetResult {
+    std::uint64_t hash;
+    int lost;
+    std::uint64_t forwarded;
+    std::uint64_t cpu_drops;
+    std::uint64_t events;
+};
+
+NearnetResult run_nearnet() {
+    scenarios::NearnetConfig nc;
+    nc.core_routers = 4;
+    nc.filler_routes = 120;
+    scenarios::NearnetScenario s{nc};
+    apps::PingConfig pc;
+    pc.dst = s.dst().id();
+    pc.count = 300;
+    apps::PingApp ping{s.src(), pc};
+    ping.start(s.routing_start() + sim::SimTime::seconds(120));
+    s.engine().run_until(sim::SimTime::seconds(600));
+    return NearnetResult{hash_series(ping.rtts_with_losses_as(2.0)), ping.lost(),
+                         s.r1().stats().forwarded, s.r1().stats().cpu_blocked_drops,
+                         s.engine().events_processed()};
+}
+
+struct LanResult {
+    std::uint64_t hash;
+    std::uint64_t delivered;
+    std::uint64_t collisions;
+    std::uint64_t drops;
+};
+
+LanResult run_shared_lan() {
+    sim::Engine engine;
+    net::SharedLanConfig cfg;
+    cfg.seed = 99;
+    net::SharedLan lan{engine, cfg};
+    std::vector<double> arrivals;
+    for (int i = 0; i < 5; ++i) {
+        lan.attach([&arrivals, &engine](const net::Packet&) {
+            arrivals.push_back(engine.now().sec());
+        });
+    }
+    // Five stations offer staggered bursts that force contention.
+    for (int burst = 0; burst < 40; ++burst) {
+        for (int st = 0; st < 5; ++st) {
+            engine.schedule_at(sim::SimTime::millis(burst * 3 + st / 10.0),
+                               [&lan, st, burst] {
+                                   net::Packet p;
+                                   p.src = st;
+                                   p.size_bytes = 600;
+                                   p.seq = static_cast<std::uint64_t>(burst);
+                                   lan.send(st, p);
+                               });
+        }
+    }
+    engine.run();
+    return LanResult{hash_series(arrivals), lan.stats().frames_delivered,
+                     lan.stats().collisions,
+                     lan.stats().drops_queue_full +
+                         lan.stats().drops_excessive_collisions};
+}
+
+TEST(Determinism, NearnetPingSeriesMatchesSeedGolden) {
+    const NearnetResult r = run_nearnet();
+    EXPECT_EQ(r.hash, 248729200849081250ULL);
+    EXPECT_EQ(r.lost, 0);
+    EXPECT_EQ(r.forwarded, 600U);
+    EXPECT_EQ(r.cpu_drops, 0U);
+    EXPECT_EQ(r.events, 4391U);
+}
+
+TEST(Determinism, SharedLanContentionMatchesSeedGolden) {
+    const LanResult r = run_shared_lan();
+    EXPECT_EQ(r.hash, 2287523317434424679ULL);
+    EXPECT_EQ(r.delivered, 200U);
+    EXPECT_EQ(r.collisions, 155U);
+    EXPECT_EQ(r.drops, 0U);
+}
+
+TEST(Determinism, RepeatedRunsInOneProcessAreIdentical) {
+    // Pool slot recycling across runs (the thread-local pools persist)
+    // must not leak into observable behaviour.
+    const NearnetResult a = run_nearnet();
+    const NearnetResult b = run_nearnet();
+    EXPECT_EQ(a.hash, b.hash);
+    EXPECT_EQ(a.events, b.events);
+    const LanResult c = run_shared_lan();
+    const LanResult d = run_shared_lan();
+    EXPECT_EQ(c.hash, d.hash);
+    EXPECT_EQ(c.collisions, d.collisions);
+}
+
+} // namespace

@@ -1,0 +1,264 @@
+// Tests for the FFT engine and the FFT-backed spectral pipeline: the
+// fast autocorrelation / periodogram must match the naive O(n^2)
+// reference implementations to tight tolerance on random and
+// pathological inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/fft.hpp"
+#include "stats/periodogram.hpp"
+
+namespace {
+
+using namespace routesync;
+using stats::Complex;
+
+std::vector<double> random_series(std::size_t n, std::uint64_t seed) {
+    rng::Xoshiro256ss gen{seed};
+    std::vector<double> x(n);
+    for (double& v : x) {
+        v = rng::uniform_real(gen, -1.0, 1.0);
+    }
+    return x;
+}
+
+/// Textbook O(n^2) DFT to check the fast paths against.
+std::vector<Complex> dft_reference(const std::vector<Complex>& x, bool inverse) {
+    const std::size_t n = x.size();
+    const double sign = inverse ? 1.0 : -1.0;
+    std::vector<Complex> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        Complex sum{0.0, 0.0};
+        for (std::size_t t = 0; t < n; ++t) {
+            const double angle = sign * 2.0 * std::numbers::pi *
+                                 static_cast<double>(t) * static_cast<double>(k) /
+                                 static_cast<double>(n);
+            sum += x[t] * Complex{std::cos(angle), std::sin(angle)};
+        }
+        out[k] = sum;
+    }
+    return out;
+}
+
+void expect_near(const std::vector<Complex>& got, const std::vector<Complex>& want,
+                 double tol) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].real(), want[i].real(), tol) << "index " << i;
+        EXPECT_NEAR(got[i].imag(), want[i].imag(), tol) << "index " << i;
+    }
+}
+
+void expect_near(const std::vector<double>& got, const std::vector<double>& want,
+                 double tol) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], want[i], tol) << "index " << i;
+    }
+}
+
+// ------------------------------------------------------------- FFT core
+
+TEST(Fft, NextPow2) {
+    EXPECT_EQ(stats::next_pow2(1), 1U);
+    EXPECT_EQ(stats::next_pow2(2), 2U);
+    EXPECT_EQ(stats::next_pow2(3), 4U);
+    EXPECT_EQ(stats::next_pow2(1000), 1024U);
+    EXPECT_EQ(stats::next_pow2(1024), 1024U);
+    EXPECT_TRUE(stats::is_pow2(64));
+    EXPECT_FALSE(stats::is_pow2(96));
+    EXPECT_FALSE(stats::is_pow2(0));
+}
+
+TEST(Fft, ImpulseTransformsToFlatSpectrum) {
+    std::vector<Complex> x(16, Complex{0.0, 0.0});
+    x[0] = Complex{1.0, 0.0};
+    stats::fft_pow2(x, /*inverse=*/false);
+    for (const Complex& c : x) {
+        EXPECT_NEAR(c.real(), 1.0, 1e-12);
+        EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, ForwardMatchesReferenceDftPow2) {
+    rng::Xoshiro256ss gen{7};
+    std::vector<Complex> x(64);
+    for (Complex& c : x) {
+        c = Complex{rng::uniform_real(gen, -1.0, 1.0),
+                    rng::uniform_real(gen, -1.0, 1.0)};
+    }
+    std::vector<Complex> fast = x;
+    stats::fft_pow2(fast, /*inverse=*/false);
+    expect_near(fast, dft_reference(x, false), 1e-10);
+}
+
+TEST(Fft, RoundTripRecoversInputScaledByN) {
+    const auto series = random_series(128, 11);
+    std::vector<Complex> x(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        x[i] = Complex{series[i], 0.0};
+    }
+    std::vector<Complex> z = x;
+    stats::fft_pow2(z, /*inverse=*/false);
+    stats::fft_pow2(z, /*inverse=*/true); // unscaled inverse
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(z[i].real() / 128.0, x[i].real(), 1e-12);
+        EXPECT_NEAR(z[i].imag() / 128.0, x[i].imag(), 1e-12);
+    }
+}
+
+TEST(Fft, ParsevalHolds) {
+    const auto series = random_series(256, 23);
+    std::vector<Complex> x(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        x[i] = Complex{series[i], 0.0};
+    }
+    double time_energy = 0.0;
+    for (const Complex& c : x) {
+        time_energy += std::norm(c);
+    }
+    stats::fft_pow2(x, /*inverse=*/false);
+    double freq_energy = 0.0;
+    for (const Complex& c : x) {
+        freq_energy += std::norm(c);
+    }
+    EXPECT_NEAR(freq_energy / 256.0, time_energy, 1e-9);
+}
+
+TEST(Fft, BluesteinMatchesReferenceDftOddLengths) {
+    for (const std::size_t n : {3U, 5U, 7U, 12U, 100U, 101U}) {
+        rng::Xoshiro256ss gen{n};
+        std::vector<Complex> x(n);
+        for (Complex& c : x) {
+            c = Complex{rng::uniform_real(gen, -1.0, 1.0),
+                        rng::uniform_real(gen, -1.0, 1.0)};
+        }
+        expect_near(stats::dft(x), dft_reference(x, false), 1e-9);
+        expect_near(stats::dft(x, /*inverse=*/true), dft_reference(x, true), 1e-9);
+    }
+}
+
+TEST(Fft, PrimeLengthRoundTrip) {
+    rng::Xoshiro256ss gen{1009};
+    std::vector<Complex> x(1009);
+    for (Complex& c : x) {
+        c = Complex{rng::uniform_real(gen, -1.0, 1.0), 0.0};
+    }
+    const auto spectrum = stats::dft(x);
+    const auto back = stats::dft(spectrum, /*inverse=*/true);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(back[i].real() / 1009.0, x[i].real(), 1e-9);
+        EXPECT_NEAR(back[i].imag() / 1009.0, x[i].imag(), 1e-9);
+    }
+}
+
+// --------------------------------------- autocorrelation FFT-vs-naive
+
+TEST(SpectralEquivalence, AutocorrelationMatchesNaiveOnRandomSeries) {
+    for (const std::size_t n : {16U, 100U, 1000U, 1024U}) {
+        const auto x = random_series(n, 1000 + n);
+        const std::size_t max_lag = n / 2;
+        expect_near(stats::autocorrelation(x, max_lag),
+                    stats::autocorrelation_naive(x, max_lag), 1e-9);
+    }
+}
+
+TEST(SpectralEquivalence, AutocorrelationMatchesNaiveOnPathologicalSeries) {
+    // Constant series: both take the negligible-variance path.
+    const std::vector<double> constant(64, 3.5);
+    expect_near(stats::autocorrelation(constant, 10),
+                stats::autocorrelation_naive(constant, 10), 0.0);
+
+    // Impulse.
+    std::vector<double> impulse(64, 0.0);
+    impulse[5] = 1.0;
+    expect_near(stats::autocorrelation(impulse, 32),
+                stats::autocorrelation_naive(impulse, 32), 1e-9);
+
+    // Prime length (exercises the padded radix-2 path from an odd n).
+    const auto prime = random_series(1009, 99);
+    expect_near(stats::autocorrelation(prime, 500),
+                stats::autocorrelation_naive(prime, 500), 1e-9);
+
+    // Periodic signal: the Figure 2 shape.
+    std::vector<double> periodic(1000);
+    for (std::size_t t = 0; t < periodic.size(); ++t) {
+        periodic[t] =
+            std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 89.0);
+    }
+    expect_near(stats::autocorrelation(periodic, 200),
+                stats::autocorrelation_naive(periodic, 200), 1e-9);
+}
+
+TEST(SpectralEquivalence, AutocorrelationMaxLagZeroReturnsUnity) {
+    const auto x = random_series(32, 5);
+    const auto fast = stats::autocorrelation(x, 0);
+    const auto naive = stats::autocorrelation_naive(x, 0);
+    ASSERT_EQ(fast.size(), 1U);
+    EXPECT_EQ(fast[0], 1.0);
+    ASSERT_EQ(naive.size(), 1U);
+    EXPECT_EQ(naive[0], 1.0);
+}
+
+TEST(SpectralEquivalence, NearConstantSeriesHitsVarianceGuardInBoth) {
+    // Huge mean, sub-epsilon ripple: the variance sum is pure rounding
+    // noise. Both implementations must report the degenerate answer
+    // instead of amplifying garbage.
+    std::vector<double> x(128, 1e9);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] += (i % 2 == 0) ? 1e-8 : -1e-8;
+    }
+    const auto fast = stats::autocorrelation(x, 16);
+    const auto naive = stats::autocorrelation_naive(x, 16);
+    ASSERT_EQ(fast.size(), 17U);
+    EXPECT_EQ(fast[0], 1.0);
+    for (std::size_t k = 1; k < fast.size(); ++k) {
+        EXPECT_EQ(fast[k], 0.0) << "lag " << k;
+    }
+    expect_near(fast, naive, 0.0);
+}
+
+// ------------------------------------------ periodogram FFT-vs-naive
+
+TEST(SpectralEquivalence, PeriodogramMatchesNaiveOnRandomSeries) {
+    for (const std::size_t n : {16U, 100U, 999U, 1024U}) {
+        const auto x = random_series(n, 2000 + n);
+        expect_near(stats::periodogram(x), stats::periodogram_naive(x), 1e-9);
+    }
+}
+
+TEST(SpectralEquivalence, PeriodogramMatchesNaiveOnPathologicalSeries) {
+    const std::vector<double> constant(50, -2.0);
+    expect_near(stats::periodogram(constant), stats::periodogram_naive(constant),
+                1e-12);
+
+    std::vector<double> impulse(64, 0.0);
+    impulse[0] = 10.0;
+    expect_near(stats::periodogram(impulse), stats::periodogram_naive(impulse),
+                1e-9);
+
+    const auto prime = random_series(1009, 314);
+    expect_near(stats::periodogram(prime), stats::periodogram_naive(prime), 1e-9);
+}
+
+TEST(SpectralEquivalence, DominantFrequencyFindsThePlantedPeriod) {
+    // The paper's setting: ~90-sample period in a 1000-sample series.
+    std::vector<double> x(1000);
+    rng::Xoshiro256ss gen{42};
+    for (std::size_t t = 0; t < x.size(); ++t) {
+        x[t] = std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 89.0) +
+               0.1 * rng::uniform_real(gen, -1.0, 1.0);
+    }
+    const auto best = stats::dominant_frequency(x, 0.005, 0.5);
+    EXPECT_NEAR(best.period, 89.0, 3.0);
+    const auto lag = stats::dominant_lag(x, 50, 150);
+    EXPECT_NEAR(static_cast<double>(lag.lag), 89.0, 2.0);
+}
+
+} // namespace

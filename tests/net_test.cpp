@@ -9,43 +9,140 @@ using namespace routesync;
 using net::LinkConfig;
 using net::Network;
 using net::Packet;
+using net::PacketPool;
 using net::PacketType;
+using net::PayloadPool;
+using net::PooledPacket;
 using sim::SimTime;
 using namespace sim::literals;
+
+// ---------------------------------------------------------- PacketPool
+
+TEST(PacketPool, AcquireCarriesPacketAndReleasesOnScopeExit) {
+    PacketPool pool;
+    {
+        Packet p;
+        p.seq = 42;
+        PooledPacket h = pool.acquire(std::move(p));
+        ASSERT_TRUE(h);
+        EXPECT_EQ(h->seq, 42U);
+        EXPECT_TRUE(h.unique());
+        EXPECT_EQ(pool.live(), 1U);
+    }
+    EXPECT_EQ(pool.live(), 0U);
+}
+
+TEST(PacketPool, SlotsAreRecycled) {
+    PacketPool pool;
+    { auto h = pool.acquire(); }
+    { auto h = pool.acquire(); }
+    { auto h = pool.acquire(); }
+    EXPECT_EQ(pool.peak_live(), 1U);
+    EXPECT_EQ(pool.capacity(), 256U); // a single slab serves the churn
+}
+
+TEST(PacketPool, ShareBumpsAndReleasesRefcount) {
+    PacketPool pool;
+    PooledPacket a = pool.acquire();
+    a->seq = 7;
+    PooledPacket b = a.share();
+    EXPECT_FALSE(a.unique());
+    EXPECT_FALSE(b.unique());
+    EXPECT_EQ(b->seq, 7U);
+    EXPECT_EQ(pool.live(), 1U); // one slot, two handles
+    a.reset();
+    EXPECT_TRUE(b.unique());
+    EXPECT_EQ(pool.live(), 1U);
+    b.reset();
+    EXPECT_EQ(pool.live(), 0U);
+}
+
+TEST(PacketPool, GrowsBeyondOneSlab) {
+    PacketPool pool;
+    std::vector<PooledPacket> held;
+    for (std::uint64_t i = 0; i < 300; ++i) {
+        held.push_back(pool.acquire());
+        held.back()->seq = i;
+    }
+    EXPECT_GE(pool.capacity(), 300U);
+    for (std::uint64_t i = 0; i < 300; ++i) {
+        EXPECT_EQ(held[i]->seq, i); // slab growth never moved a slot
+    }
+    held.clear();
+    EXPECT_EQ(pool.live(), 0U);
+}
+
+TEST(PayloadPool, SharedPayloadFreedByLastHandle) {
+    PayloadPool pool;
+    net::PayloadRef ref = pool.acquire();
+    ref.mutate().entries.push_back({1, 2});
+    Packet a;
+    a.update = ref;
+    Packet b;
+    b.update = ref; // broadcast copy: same slot
+    ref.reset();
+    EXPECT_EQ(pool.live(), 1U);
+    EXPECT_EQ(a.update->entries.size(), 1U);
+    EXPECT_EQ(b.update.get(), a.update.get());
+    a.update.reset();
+    b.update.reset();
+    EXPECT_EQ(pool.live(), 0U);
+}
+
+TEST(PayloadPool, RecycledSlotIsCleared) {
+    PayloadPool pool;
+    {
+        net::PayloadRef ref = pool.acquire();
+        auto& payload = ref.mutate();
+        payload.sender = 9;
+        payload.triggered = true;
+        payload.filler_routes = 50;
+        payload.entries.push_back({1, 2});
+    }
+    net::PayloadRef ref = pool.acquire();
+    EXPECT_EQ(ref->sender, -1);
+    EXPECT_FALSE(ref->triggered);
+    EXPECT_EQ(ref->filler_routes, 0);
+    EXPECT_TRUE(ref->entries.empty());
+    EXPECT_EQ(pool.peak_live(), 1U);
+}
 
 // ------------------------------------------------------------ DropTail
 
 TEST(DropTailQueue, FifoOrder) {
+    PacketPool pool;
     net::DropTailQueue q{4};
     for (std::uint64_t i = 0; i < 3; ++i) {
         Packet p;
         p.seq = i;
-        EXPECT_TRUE(q.push(p));
+        EXPECT_TRUE(q.push(pool.acquire(std::move(p))));
     }
     for (std::uint64_t i = 0; i < 3; ++i) {
         auto p = q.pop();
-        ASSERT_TRUE(p.has_value());
+        ASSERT_TRUE(p);
         EXPECT_EQ(p->seq, i);
     }
-    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_FALSE(q.pop());
 }
 
 TEST(DropTailQueue, DropsWhenFull) {
+    PacketPool pool;
     net::DropTailQueue q{2};
-    Packet p;
-    EXPECT_TRUE(q.push(p));
-    EXPECT_TRUE(q.push(p));
-    EXPECT_FALSE(q.push(p));
+    EXPECT_TRUE(q.push(pool.acquire()));
+    EXPECT_TRUE(q.push(pool.acquire()));
+    EXPECT_FALSE(q.push(pool.acquire()));
     EXPECT_EQ(q.stats().dropped, 1U);
     EXPECT_EQ(q.stats().enqueued, 2U);
+    EXPECT_EQ(pool.live(), 2U); // the dropped handle went straight back
 }
 
 TEST(DropTailQueue, ByteLimitEnforced) {
+    PacketPool pool;
     net::DropTailQueue q{100, 1000};
     Packet p;
     p.size_bytes = 600;
-    EXPECT_TRUE(q.push(p));
-    EXPECT_FALSE(q.push(p)); // 1200 > 1000
+    EXPECT_TRUE(q.push(pool.acquire(Packet{p})));
+    EXPECT_FALSE(q.push(pool.acquire(Packet{p}))); // 1200 > 1000
     EXPECT_EQ(q.bytes(), 600U);
     q.pop();
     EXPECT_EQ(q.bytes(), 0U);
@@ -57,7 +154,7 @@ TEST(Link, DeliveryDelayIsSerializationPlusPropagation) {
     sim::Engine engine;
     double delivered_at = -1.0;
     net::Link link{engine, /*rate=*/8000.0, /*delay=*/100_msec, 8,
-                   [&](Packet) { delivered_at = engine.now().sec(); }};
+                   [&](net::PooledPacket) { delivered_at = engine.now().sec(); }};
     Packet p;
     p.size_bytes = 1000; // 8000 bits / 8000 bps = 1 s serialization
     link.send(p);
@@ -69,7 +166,7 @@ TEST(Link, InfiniteRateHasZeroSerialization) {
     sim::Engine engine;
     double delivered_at = -1.0;
     net::Link link{engine, 0.0, 50_msec, 8,
-                   [&](Packet) { delivered_at = engine.now().sec(); }};
+                   [&](net::PooledPacket) { delivered_at = engine.now().sec(); }};
     Packet p;
     p.size_bytes = 1500;
     link.send(p);
@@ -81,7 +178,7 @@ TEST(Link, BackToBackPacketsSerialize) {
     sim::Engine engine;
     std::vector<double> arrivals;
     net::Link link{engine, 8000.0, SimTime::zero(), 8,
-                   [&](Packet) { arrivals.push_back(engine.now().sec()); }};
+                   [&](net::PooledPacket) { arrivals.push_back(engine.now().sec()); }};
     Packet p;
     p.size_bytes = 1000; // 1 s each
     link.send(p);
@@ -98,7 +195,7 @@ TEST(Link, QueueOverflowDrops) {
     sim::Engine engine;
     int delivered = 0;
     net::Link link{engine, 8000.0, SimTime::zero(), 2,
-                   [&](Packet) { ++delivered; }};
+                   [&](net::PooledPacket) { ++delivered; }};
     Packet p;
     p.size_bytes = 1000;
     for (int i = 0; i < 5; ++i) {

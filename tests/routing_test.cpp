@@ -1,10 +1,12 @@
 // Tests for the distance-vector routing protocol.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "net/net.hpp"
+#include "rng/rng.hpp"
 #include "routing/routing.hpp"
 
 namespace {
@@ -242,8 +244,8 @@ TEST(DistanceVector, MetricsNeverExceedInfinity) {
     line.agents[2]->link_down(1); // cut the middle
     line.engine.run_until(200_sec);
     for (const auto& agent : line.agents) {
-        for (const auto& [dest, route] : agent->table()) {
-            EXPECT_LE(route.metric, 16) << "dest " << dest;
+        for (const auto& route : agent->table()) {
+            EXPECT_LE(route.metric, 16) << "dest " << route.dest;
             EXPECT_GE(route.metric, 0);
         }
     }
@@ -654,6 +656,124 @@ TEST(DvConfigValidation, RejectsBadParameters) {
     bad = DvConfig{};
     bad.infinity = 1;
     EXPECT_THROW(DistanceVectorAgent(r, bad), std::invalid_argument);
+}
+
+// ------------------------------------------- flat table vs map reference
+
+/// Drives the flat RoutingTable and a std::map reference with an
+/// identical random operation stream and asserts they agree on content,
+/// iteration order, and lookup results after every step.
+TEST(RoutingTableEquivalence, RandomisedAgainstMapReference) {
+    rng::Xoshiro256ss gen{20260805};
+    routing::RoutingTable flat;
+    std::map<net::NodeId, routing::Route> ref;
+
+    auto make_route = [&](net::NodeId dest) {
+        routing::Route r{};
+        r.dest = dest;
+        r.metric = static_cast<int>(rng::uniform_i64(gen, 1, 16));
+        r.iface = static_cast<int>(rng::uniform_i64(gen, 0, 7));
+        r.next_hop = static_cast<net::NodeId>(rng::uniform_i64(gen, 0, 63));
+        r.refreshed = SimTime::seconds(rng::uniform_real(gen, 0.0, 1000.0));
+        r.local = rng::bernoulli(gen, 0.1);
+        return r;
+    };
+    auto check_equal = [&] {
+        ASSERT_EQ(flat.size(), ref.size());
+        auto it = ref.begin();
+        for (const auto& route : flat) {
+            ASSERT_NE(it, ref.end());
+            EXPECT_EQ(route.dest, it->first);
+            EXPECT_EQ(route.metric, it->second.metric);
+            EXPECT_EQ(route.iface, it->second.iface);
+            EXPECT_EQ(route.next_hop, it->second.next_hop);
+            EXPECT_EQ(route.local, it->second.local);
+            ++it;
+        }
+        EXPECT_EQ(it, ref.end());
+    };
+
+    for (int step = 0; step < 2000; ++step) {
+        const auto op = rng::uniform_i64(gen, 0, 9);
+        const auto dest = static_cast<net::NodeId>(rng::uniform_i64(gen, 0, 99));
+        if (op < 5) { // upsert
+            const auto r = make_route(dest);
+            flat.upsert(r);
+            ref[dest] = r;
+        } else if (op < 7) { // erase
+            flat.erase(dest);
+            ref.erase(dest);
+        } else if (op < 8) { // find
+            const auto* found = flat.find(dest);
+            const auto it = ref.find(dest);
+            ASSERT_EQ(found != nullptr, it != ref.end());
+            if (found != nullptr) {
+                EXPECT_EQ(found->metric, it->second.metric);
+            }
+        } else if (op < 9) { // erase_if: drop routes with an odd metric
+            const auto removed =
+                flat.erase_if([](routing::Route& r) { return r.metric % 2 == 1; });
+            std::size_t ref_removed = 0;
+            for (auto it = ref.begin(); it != ref.end();) {
+                if (it->second.metric % 2 == 1) {
+                    it = ref.erase(it);
+                    ++ref_removed;
+                } else {
+                    ++it;
+                }
+            }
+            EXPECT_EQ(removed, ref_removed);
+        } else { // insert_sorted_batch of fresh (absent) destinations
+            std::vector<routing::Route> batch;
+            for (net::NodeId d = 100; d < 140; ++d) {
+                if (ref.contains(d) || rng::bernoulli(gen, 0.5)) {
+                    continue;
+                }
+                batch.push_back(make_route(d));
+            }
+            for (const auto& r : batch) {
+                ref[r.dest] = r;
+            }
+            flat.insert_sorted_batch(std::move(batch));
+            // Thin the high range back out so later batches have room.
+            for (net::NodeId d = 100; d < 140; ++d) {
+                if (rng::bernoulli(gen, 0.5)) {
+                    flat.erase(d);
+                    ref.erase(d);
+                }
+            }
+        }
+        check_equal();
+    }
+}
+
+TEST(RoutingTableEquivalence, EraseIfVisitsEveryRouteOnceInOrder) {
+    routing::RoutingTable table;
+    for (net::NodeId d = 0; d < 20; ++d) {
+        routing::Route r{};
+        r.dest = d;
+        r.metric = static_cast<int>(d);
+        table.upsert(r);
+    }
+    std::vector<net::NodeId> visited;
+    // The predicate mutates survivors — the DV expiry pass relies on this.
+    const auto removed = table.erase_if([&](routing::Route& r) {
+        visited.push_back(r.dest);
+        if (r.dest % 3 == 0) {
+            return true;
+        }
+        r.metric += 100;
+        return false;
+    });
+    EXPECT_EQ(removed, 7U); // 0, 3, 6, 9, 12, 15, 18
+    ASSERT_EQ(visited.size(), 20U);
+    for (net::NodeId d = 0; d < 20; ++d) {
+        EXPECT_EQ(visited[static_cast<std::size_t>(d)], d);
+    }
+    for (const auto& route : table) {
+        EXPECT_NE(route.dest % 3, 0);
+        EXPECT_EQ(route.metric, static_cast<int>(route.dest) + 100);
+    }
 }
 
 TEST(DvConfigValidation, DoubleStartThrows) {

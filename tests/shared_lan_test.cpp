@@ -29,7 +29,7 @@ struct Lan {
     explicit Lan(int stations, SharedLanConfig cfg = {})
         : config{cfg}, lan{engine, cfg} {
         for (int i = 0; i < stations; ++i) {
-            lan.attach([this, i](Packet p) {
+            lan.attach([this, i](const Packet& p) {
                 deliveries.push_back(Delivery{i, p.seq, engine.now().sec()});
             });
         }

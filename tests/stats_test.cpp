@@ -213,6 +213,28 @@ TEST(Autocorrelation, ConstantSeriesReportsZero) {
     }
 }
 
+TEST(Autocorrelation, MaxLagZeroIsValidAndReturnsUnity) {
+    const std::vector<double> xs{1.0, 2.0, 0.5, 3.0};
+    const auto r = autocorrelation(xs, 0);
+    ASSERT_EQ(r.size(), 1U);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+}
+
+TEST(Autocorrelation, NearConstantSeriesReportsZeroNotGarbage) {
+    // A large mean with sub-epsilon ripple: the centred sum of squares is
+    // pure cancellation noise, not signal. The guard must treat it like
+    // the exactly-constant case rather than divide by rounding dust.
+    std::vector<double> xs(100, 1e9);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        xs[i] += (i % 3 == 0) ? 1e-8 : 0.0;
+    }
+    const auto r = autocorrelation(xs, 10);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    for (std::size_t k = 1; k <= 10; ++k) {
+        EXPECT_DOUBLE_EQ(r[k], 0.0);
+    }
+}
+
 TEST(Autocorrelation, InvalidArgumentsThrow) {
     const std::vector<double> xs{1.0, 2.0, 3.0};
     EXPECT_THROW((void)autocorrelation({}, 1), std::invalid_argument);
