@@ -80,7 +80,7 @@ double run_tolerance(double tol) {
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_jobs(argc, argv);
+    const std::size_t jobs = parse_options(argc, argv).jobs;
     header("Ablation", "model assumptions: notification timing and detection "
                        "tolerance");
 

@@ -100,7 +100,8 @@ private:
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    parse_options(argc, argv);
     header("Ablation",
            "the Periodic Messages workload over a real CSMA/CD Ethernet "
            "(N=20, Tp=121 s, Tr=0.1 s, Tc=0.11 s)");

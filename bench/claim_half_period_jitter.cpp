@@ -33,7 +33,8 @@ core::ExperimentConfig base_config() {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    parse_options(argc, argv);
     header("Section 6 claim",
            "uniform [0.5*Tp, 1.5*Tp] timers eliminate synchronization "
            "(synchronized start, N=20, Tc=0.11 s, 1e6 s horizon)");

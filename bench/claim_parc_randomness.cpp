@@ -15,7 +15,8 @@
 using namespace routesync;
 using namespace routesync::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    parse_options(argc, argv);
     header("Section 1 claim",
            "sizing the randomness for the Xerox PARC ciscos (Tc = 0.3 s)");
 

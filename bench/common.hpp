@@ -1,33 +1,244 @@
-// Shared output helpers for the figure-reproduction benches.
+// Shared options + output helpers for the figure-reproduction benches.
 //
 // Every bench prints:
 //   * a header naming the paper figure it regenerates,
 //   * the same series/rows the paper plots (machine-greppable columns),
 //   * SHAPE-CHECK lines asserting the qualitative result the paper reports
 //     (who wins, the period, the transition) — PASS/FAIL.
+//
+// Every bench binary accepts the same command line, parsed once by
+// parse_options():
+//
+//   --jobs N      worker threads for parallel sweeps (default: hardware)
+//   --seed S      override the bench's base seed
+//   --json        machine-readable rows on stdout; human chatter -> stderr
+//   --quiet       suppress human chatter entirely (checks still counted)
+//   --trace FILE  write a JSONL trace of the run's events (obs layer)
+//   --out FILE    write a run manifest (manifest.json) on exit
+//
+// Bench-specific flags are whitelisted through OptionsSpec::extra;
+// anything else is a usage error (exit 2). The returned Options owns the
+// bench's obs::RunContext — pass &opts().ctx to scenario builders or
+// ExperimentConfig::obs to trace, and footer() seals the manifest.
+//
+// Output discipline: with no flags, stdout is byte-identical to the
+// pre-options benches (figures are diffed across runs and --jobs values).
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "obs/run_context.hpp"
 #include "parallel/parallel_for.hpp"
+#include "tools/flags.hpp"
 
 namespace routesync::bench {
 
 inline int g_failed_checks = 0;
 
-inline void header(const std::string& figure, const std::string& description) {
-    std::printf("==============================================================\n");
-    std::printf("%s — %s\n", figure.c_str(), description.c_str());
-    std::printf("==============================================================\n");
+struct Options {
+    std::size_t jobs = parallel::hardware_jobs();
+    std::uint64_t seed = 0;
+    bool seed_set = false;
+    bool json = false;
+    bool quiet = false;
+    std::string trace; ///< JSONL trace path ("" = tracing off)
+    std::string out;   ///< manifest path ("" = no manifest)
+    /// Values of the OptionsSpec::extra flags that were present.
+    cli::Flags extra;
+    /// Unrecognised argv tokens, in order — only populated under
+    /// OptionsSpec::allow_unknown (perf_microbench forwards these to
+    /// google-benchmark).
+    std::vector<std::string> passthrough;
+    /// Simulated seconds covered by the run; benches set this before
+    /// footer() so the manifest can record it.
+    double sim_seconds = 0.0;
+    /// The bench's observability context: tracing is wired here by
+    /// parse_options (--trace), metrics and manifest accumulate here.
+    obs::RunContext ctx;
+
+    [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const noexcept {
+        return seed_set ? seed : fallback;
+    }
+};
+
+/// The process-wide options instance parse_options() fills.
+inline Options& opts() {
+    static Options options;
+    return options;
 }
 
-inline void section(const std::string& name) { std::printf("\n-- %s --\n", name.c_str()); }
+struct OptionsSpec {
+    /// Additional flag names this bench accepts (values land in
+    /// Options::extra; a flag without a value stores "1").
+    std::vector<std::string> extra;
+    /// Forward unrecognised tokens via Options::passthrough instead of
+    /// failing (for binaries wrapping another flag-parsing library).
+    bool allow_unknown = false;
+    /// Manifest identity; defaults to argv[0]'s basename.
+    std::string tool;
+    std::string description;
+};
+
+namespace detail {
+
+[[noreturn]] inline void usage(const char* argv0, const OptionsSpec& spec) {
+    std::fprintf(stderr,
+                 "usage: %s [--jobs N] [--seed S] [--json] [--quiet]"
+                 " [--trace FILE] [--out FILE]",
+                 argv0);
+    for (const std::string& name : spec.extra) {
+        std::fprintf(stderr, " [--%s V]", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+}
+
+inline std::string basename_of(const char* argv0) {
+    const std::string path = argv0 != nullptr ? argv0 : "bench";
+    const auto slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+} // namespace detail
+
+/// Parses the unified bench command line into opts(). Call once, first
+/// thing in main(). Exits with a usage message on malformed input.
+inline Options& parse_options(int argc, char** argv, const OptionsSpec& spec = {}) {
+    Options& o = opts();
+    const auto is_extra = [&spec](const std::string& name) {
+        for (const std::string& e : spec.extra) {
+            if (e == name) {
+                return true;
+            }
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            if (spec.allow_unknown) {
+                o.passthrough.push_back(std::move(arg));
+                continue;
+            }
+            detail::usage(argv[0], spec);
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        if (const auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        const bool is_bool = name == "json" || name == "quiet";
+        const bool is_known = is_bool || name == "jobs" || name == "seed" ||
+                              name == "trace" || name == "out" || is_extra(name);
+        if (!is_known) {
+            if (spec.allow_unknown) {
+                o.passthrough.push_back(std::move(arg));
+                continue;
+            }
+            detail::usage(argv[0], spec);
+        }
+        if (!has_value && !is_bool && i + 1 < argc &&
+            std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+            has_value = true;
+        }
+        if (name == "json") {
+            o.json = true;
+        } else if (name == "quiet") {
+            o.quiet = true;
+        } else if (name == "jobs") {
+            char* end = nullptr;
+            const long n = std::strtol(value.c_str(), &end, 10);
+            if (!has_value || end == value.c_str() || *end != '\0' || n < 1) {
+                std::fprintf(stderr,
+                             "error: --jobs must be a positive integer, got '%s'\n",
+                             value.c_str());
+                std::exit(2);
+            }
+            o.jobs = static_cast<std::size_t>(n);
+        } else if (name == "seed") {
+            char* end = nullptr;
+            const unsigned long long s = std::strtoull(value.c_str(), &end, 10);
+            if (!has_value || end == value.c_str() || *end != '\0') {
+                std::fprintf(stderr, "error: --seed must be an integer, got '%s'\n",
+                             value.c_str());
+                std::exit(2);
+            }
+            o.seed = s;
+            o.seed_set = true;
+        } else if (name == "trace") {
+            if (!has_value || value.empty()) {
+                std::fprintf(stderr, "error: --trace requires a file path\n");
+                std::exit(2);
+            }
+            o.trace = value;
+        } else if (name == "out") {
+            if (!has_value || value.empty()) {
+                std::fprintf(stderr, "error: --out requires a file path\n");
+                std::exit(2);
+            }
+            o.out = value;
+        } else {
+            o.extra[name] = has_value ? value : "1";
+        }
+    }
+    if (!o.trace.empty()) {
+        o.ctx.trace_to_file(o.trace);
+    }
+    obs::Manifest& m = o.ctx.manifest();
+    m.tool = !spec.tool.empty() ? spec.tool : detail::basename_of(argv[0]);
+    m.description = spec.description;
+    m.jobs = o.jobs;
+    if (o.seed_set) {
+        m.seeds.push_back(o.seed);
+    }
+    return o;
+}
+
+/// Convenience overload for benches with no extra flags: just a manifest
+/// description.
+inline Options& parse_options(int argc, char** argv, const std::string& description) {
+    OptionsSpec spec;
+    spec.description = description;
+    return parse_options(argc, argv, spec);
+}
+
+/// Stream for human-facing output: stdout normally, stderr under --json
+/// (stdout then carries machine rows only), null under --quiet.
+inline FILE* chatter() {
+    const Options& o = opts();
+    if (o.quiet) {
+        return nullptr;
+    }
+    return o.json ? stderr : stdout;
+}
+
+inline void header(const std::string& figure, const std::string& description) {
+    if (FILE* f = chatter()) {
+        std::fprintf(f, "==============================================================\n");
+        std::fprintf(f, "%s — %s\n", figure.c_str(), description.c_str());
+        std::fprintf(f, "==============================================================\n");
+    }
+}
+
+inline void section(const std::string& name) {
+    if (FILE* f = chatter()) {
+        std::fprintf(f, "\n-- %s --\n", name.c_str());
+    }
+}
 
 inline void check(bool ok, const std::string& what) {
-    std::printf("SHAPE-CHECK %-4s %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (FILE* f = chatter()) {
+        std::fprintf(f, "SHAPE-CHECK %-4s %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    }
     if (!ok) {
         ++g_failed_checks;
     }
@@ -43,39 +254,29 @@ inline std::string fmt_time(double seconds) {
     return buf;
 }
 
-/// Parses the standard sweep-bench command line: `[--jobs N]`. Returns
-/// the worker count for the bench's TrialRunner — default the hardware
-/// concurrency, N >= 1 required. Anything else is a usage error (exit 2).
-/// The jobs count is deliberately NOT echoed to stdout: figure output
-/// must stay byte-identical across --jobs values.
-inline std::size_t parse_jobs(int argc, char** argv) {
-    std::size_t jobs = parallel::hardware_jobs();
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--jobs" && i + 1 < argc) {
-            const std::string value = argv[++i];
-            char* end = nullptr;
-            const long n = std::strtol(value.c_str(), &end, 10);
-            if (end == value.c_str() || *end != '\0' || n < 1) {
-                std::fprintf(stderr,
-                             "error: --jobs must be a positive integer, got '%s'\n",
-                             value.c_str());
-                std::exit(2);
-            }
-            jobs = static_cast<std::size_t>(n);
-        } else {
-            std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
-            std::exit(2);
-        }
+/// footer() without the shape-check summary line — for the examples,
+/// which have no checks but still honour --trace/--out.
+inline int footer_quiet() {
+    Options& o = opts();
+    o.ctx.manifest().failed_checks = g_failed_checks;
+    if (!o.out.empty()) {
+        o.ctx.write_manifest(o.out, o.sim_seconds);
+    } else if (!o.trace.empty()) {
+        // Still flush + hash the trace so --trace alone leaves a complete
+        // file behind.
+        o.ctx.finish(o.sim_seconds);
     }
-    return jobs;
+    return 0; // benches report, they do not abort the bench sweep
 }
 
 inline int footer() {
-    std::printf("\n%s (%d failed shape checks)\n",
-                g_failed_checks == 0 ? "ALL SHAPE CHECKS PASSED" : "SHAPE CHECKS FAILED",
-                g_failed_checks);
-    return 0; // benches report, they do not abort the bench sweep
+    if (FILE* f = chatter()) {
+        std::fprintf(f, "\n%s (%d failed shape checks)\n",
+                     g_failed_checks == 0 ? "ALL SHAPE CHECKS PASSED"
+                                          : "SHAPE CHECKS FAILED",
+                     g_failed_checks);
+    }
+    return footer_quiet();
 }
 
 } // namespace routesync::bench

@@ -21,7 +21,8 @@
 using namespace routesync;
 using namespace routesync::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    parse_options(argc, argv);
     header("Extension (paper Section 1)",
            "client-server recovery storms (Sprite): synchronized vs "
            "randomized re-registration");

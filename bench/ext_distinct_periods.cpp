@@ -65,14 +65,20 @@ Outcome run(double delta) {
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_jobs(argc, argv);
+    Options& options = parse_options(
+        argc, argv,
+        "distinct fixed periods per router: entrainment vs dispersion");
+    const std::size_t jobs = options.jobs;
+    options.sim_seconds = 3e5;
     header("Extension (paper Section 6 open question)",
            "distinct fixed periods per router: entrainment vs dispersion "
            "(N=20, Tc=0.11 s, synchronized start, 3e5 s)");
 
     section("series: per-router period spacing delta vs outcome");
-    std::printf("%12s %12s %18s %14s\n", "delta_s", "delta/Tc",
-                "frac_rounds_unsync", "final_largest");
+    if (FILE* f = chatter()) {
+        std::fprintf(f, "%12s %12s %18s %14s\n", "delta_s", "delta/Tc",
+                     "frac_rounds_unsync", "final_largest");
+    }
     const std::vector<double> deltas{0.001, 0.01, 0.05, 0.09, 0.15, 0.25, 0.5};
     // One independent simulation per delta, fanned over the workers; the
     // printed rows (and the summary checks below, which reuse the sweep
@@ -84,8 +90,16 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < deltas.size(); ++i) {
         const double delta = deltas[i];
         const Outcome& out = outcomes[i];
-        std::printf("%12.3f %12.2f %18.3f %14d\n", delta, delta / 0.11,
-                    out.unsync_fraction, out.final_largest);
+        if (FILE* f = chatter()) {
+            std::fprintf(f, "%12.3f %12.2f %18.3f %14d\n", delta, delta / 0.11,
+                         out.unsync_fraction, out.final_largest);
+        }
+        if (options.json) {
+            std::printf("{\"delta_s\": %.3f, \"delta_over_tc\": %.2f, "
+                        "\"frac_rounds_unsync\": %.3f, \"final_largest\": %d}\n",
+                        delta, delta / 0.11, out.unsync_fraction,
+                        out.final_largest);
+        }
         if (delta <= 0.05) {
             small_delta_largest =
                 std::max(small_delta_largest, static_cast<double>(out.final_largest));
@@ -96,12 +110,14 @@ int main(int argc, char** argv) {
     }
 
     section("summary");
-    std::printf("entrainment threshold is the processing time Tc = 0.11 s: the\n"
+    if (FILE* f = chatter()) {
+        std::fprintf(f, "entrainment threshold is the processing time Tc = 0.11 s: the\n"
                 "cluster's expiry chain holds while consecutive period gaps stay\n"
                 "below Tc, so 'slightly-different' fixed periods do not prevent\n"
-                "synchronization; dispersing N routers needs > N*Tc (%.1f s) of\n"
-                "total deliberate skew.\n",
-                20 * 0.11);
+                     "synchronization; dispersing N routers needs > N*Tc (%.1f s) of\n"
+                     "total deliberate skew.\n",
+                     20 * 0.11);
+    }
 
     const Outcome& entrained = outcomes[2];  // delta = 0.05
     const Outcome& dispersed = outcomes[6];  // delta = 0.5

@@ -87,7 +87,10 @@ ClassOutcome run_hetero(std::uint64_t seed) {
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_jobs(argc, argv);
+    Options& options = parse_options(
+        argc, argv, "heterogeneous route processors: per-class synchronization");
+    const std::size_t jobs = options.jobs;
+    options.sim_seconds = 60000.0;
     header("Extension",
            "heterogeneous route processors: per-class synchronization "
            "(10 fast nodes Tc=0.11 s, 10 slow nodes Tc=0.33 s, sync start)");
@@ -105,25 +108,39 @@ int main(int argc, char** argv) {
     for (const double t : detail.last_sets) {
         groups[static_cast<long long>(t * 1000.0)]++;
     }
-    for (const auto& [t_ms, count] : groups) {
-        std::printf("reset at %.3f s : %d nodes\n",
-                    static_cast<double>(t_ms) / 1000.0, count);
+    if (FILE* f = chatter()) {
+        for (const auto& [t_ms, count] : groups) {
+            std::fprintf(f, "reset at %.3f s : %d nodes\n",
+                         static_cast<double>(t_ms) / 1000.0, count);
+        }
     }
 
     section("summary (seed 77)");
-    std::printf("fast-class spread  : %.4f s\n", detail.fast_spread);
-    std::printf("slow-class spread  : %.4f s\n", detail.slow_spread);
-    std::printf("class separation   : %.3f s\n", detail.separation);
+    if (FILE* f = chatter()) {
+        std::fprintf(f, "fast-class spread  : %.4f s\n", detail.fast_spread);
+        std::fprintf(f, "slow-class spread  : %.4f s\n", detail.slow_spread);
+        std::fprintf(f, "class separation   : %.3f s\n", detail.separation);
+    }
 
     section("multi-seed robustness");
-    std::printf("%8s %18s %18s %16s\n", "seed", "fast_spread_s", "slow_spread_s",
-                "separation_s");
+    if (FILE* f = chatter()) {
+        std::fprintf(f, "%8s %18s %18s %16s\n", "seed", "fast_spread_s",
+                     "slow_spread_s", "separation_s");
+    }
     int seeds_with_split = 0;
     for (std::size_t i = 0; i < seeds.size(); ++i) {
         const ClassOutcome& out = outcomes[i];
-        std::printf("%8llu %18.4f %18.4f %16.3f\n",
-                    static_cast<unsigned long long>(seeds[i]), out.fast_spread,
-                    out.slow_spread, out.separation);
+        if (FILE* f = chatter()) {
+            std::fprintf(f, "%8llu %18.4f %18.4f %16.3f\n",
+                         static_cast<unsigned long long>(seeds[i]), out.fast_spread,
+                         out.slow_spread, out.separation);
+        }
+        if (options.json) {
+            std::printf("{\"seed\": %llu, \"fast_spread_s\": %.4f, "
+                        "\"slow_spread_s\": %.4f, \"separation_s\": %.3f}\n",
+                        static_cast<unsigned long long>(seeds[i]), out.fast_spread,
+                        out.slow_spread, out.separation);
+        }
         if (out.fast_spread < 0.5 && out.slow_spread < 0.5 &&
             out.separation > 0.5) {
             ++seeds_with_split;

@@ -43,7 +43,8 @@ Outcome run(bool incremental) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    parse_options(argc, argv);
     header("Extension (paper footnote 3)",
            "periodic full tables vs BGP-style incremental updates on the "
            "NEARnet core (synchronized timers, blocking CPUs)");

@@ -46,7 +46,8 @@ const char* name(tcpsync::DropPolicy policy) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    parse_options(argc, argv);
     header("Extension (paper Section 1)",
            "TCP window increase/decrease synchronization at a shared "
            "bottleneck, vs gateway drop policy");

@@ -22,27 +22,33 @@ struct PingRun {
     int lost;
 };
 
-PingRun run(bool blocking) {
+PingRun run(bool blocking, obs::RunContext* ctx = nullptr) {
     scenarios::NearnetConfig cfg;
     cfg.blocking_cpu = blocking;
-    scenarios::NearnetScenario s{cfg};
+    scenarios::NearnetScenario s{cfg, ctx};
     apps::PingConfig pc;
     pc.dst = s.dst().id();
     pc.count = 1000;
     apps::PingApp ping{s.src(), pc};
     ping.start(s.routing_start() + sim::SimTime::seconds(200));
     s.engine().run_until(sim::SimTime::seconds(1500));
+    if (ctx != nullptr) {
+        s.collect_metrics(*ctx);
+    }
     return PingRun{ping.rtts(), ping.loss_fraction(), ping.lost()};
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    Options& options = parse_options(
+        argc, argv, "Figure 1: ping losses under synchronized updates");
+    options.sim_seconds = 1500.0;
     header("Figure 1",
            "ping RTT series with ~90 s periodic losses from synchronized "
            "IGRP-style updates (blocking route processors)");
 
-    const PingRun pre = run(/*blocking=*/true);
+    const PingRun pre = run(/*blocking=*/true, &options.ctx);
 
     section("series: ping number vs RTT (s); negative = dropped — every 10th "
             "shown, plus every loss");

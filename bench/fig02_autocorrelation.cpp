@@ -10,16 +10,19 @@
 using namespace routesync;
 using namespace routesync::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    Options& options = parse_options(argc, argv, "Figure 2: RTT autocorrelation");
+    options.sim_seconds = 1500.0;
     header("Figure 2", "autocorrelation of the Figure 1 RTT series (losses -> 2 s)");
 
-    scenarios::NearnetScenario s{scenarios::NearnetConfig{}};
+    scenarios::NearnetScenario s{scenarios::NearnetConfig{}, &options.ctx};
     apps::PingConfig pc;
     pc.dst = s.dst().id();
     pc.count = 1000;
     apps::PingApp ping{s.src(), pc};
     ping.start(s.routing_start() + sim::SimTime::seconds(200));
     s.engine().run_until(sim::SimTime::seconds(1500));
+    s.collect_metrics(options.ctx);
 
     const auto series = ping.rtts_with_losses_as(2.0);
     const auto r = stats::autocorrelation(series, 200);

@@ -12,11 +12,14 @@
 using namespace routesync;
 using namespace routesync::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    Options& options = parse_options(
+        argc, argv, "Figure 3: audio outages under synchronized RIP");
+    options.sim_seconds = 720.0;
     header("Figure 3",
            "audio outage durations vs time under synchronized 30 s RIP updates");
 
-    scenarios::AudiocastScenario s{scenarios::AudiocastConfig{}};
+    scenarios::AudiocastScenario s{scenarios::AudiocastConfig{}, &options.ctx};
     apps::CbrConfig cc;
     cc.dst = s.audio_dst().id();
     cc.packets_per_second = 50.0;
@@ -34,6 +37,7 @@ int main() {
     src.start(t0);
     cross.start(t0);
     s.engine().run_until(sim::SimTime::seconds(720));
+    s.collect_metrics(options.ctx);
 
     section("series: outage start (s, relative) vs duration (s) and loss count");
     std::printf("%10s %10s %8s\n", "time_s", "outage_s", "lost");

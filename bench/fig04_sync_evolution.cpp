@@ -12,7 +12,9 @@
 using namespace routesync;
 using namespace routesync::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    Options& options = parse_options(
+        argc, argv, "Figure 4: time-offset of every routing message");
     header("Figure 4",
            "time-offset of every routing message; unsynchronized start, N=20, "
            "Tp=121 s, Tc=0.11 s, Tr=0.1 s");
@@ -22,11 +24,18 @@ int main() {
     cfg.params.tp = sim::SimTime::seconds(121);
     cfg.params.tc = sim::SimTime::seconds(0.11);
     cfg.params.tr = sim::SimTime::seconds(0.1);
-    cfg.params.seed = 42;
+    cfg.params.seed = options.seed_or(42);
     cfg.max_time = sim::SimTime::seconds(1e5);
     cfg.transmit_stride = 7; // ~2400 of ~16500 points, enough to see the lines
     cfg.record_rounds = true;
+    cfg.obs = &options.ctx; // timer/transmit/cluster events land in --trace
+    options.ctx.manifest().seeds.assign(1, cfg.params.seed);
+    options.ctx.manifest().set_config("n", cfg.params.n);
+    options.ctx.manifest().set_config("tp_sec", cfg.params.tp.sec());
+    options.ctx.manifest().set_config("tc_sec", cfg.params.tc.sec());
+    options.ctx.manifest().set_config("tr_sec", cfg.params.tr.sec());
     const auto r = core::run_experiment(cfg);
+    options.sim_seconds = r.end_time_sec;
 
     section("series: time (s) vs node vs offset = time mod (Tp+Tc) (s)");
     std::printf("%10s %5s %10s\n", "time_s", "node", "offset_s");

@@ -14,7 +14,8 @@
 using namespace routesync;
 using namespace routesync::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    parse_options(argc, argv);
     header("Figure 5", "close-up of cluster formation and break-up");
 
     section("part 1: two routers, deterministic replay of the paper's narrative");

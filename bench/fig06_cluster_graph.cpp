@@ -8,7 +8,8 @@
 using namespace routesync;
 using namespace routesync::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    parse_options(argc, argv);
     header("Figure 6", "largest cluster per round, Figure 4 parameters");
 
     core::ExperimentConfig cfg;

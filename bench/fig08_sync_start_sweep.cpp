@@ -17,7 +17,7 @@ using namespace routesync;
 using namespace routesync::bench;
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_jobs(argc, argv);
+    const std::size_t jobs = parse_options(argc, argv).jobs;
     header("Figure 8",
            "time to break up vs Tr, synchronized start (Tc = 0.11 s)");
 

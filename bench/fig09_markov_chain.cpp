@@ -11,7 +11,8 @@
 using namespace routesync;
 using namespace routesync::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    parse_options(argc, argv);
     header("Figure 9",
            "the Markov chain: states and transition probabilities "
            "(N=20, Tp=121 s, Tc=0.11 s, Tr=0.11 s, f(2)=19)");

@@ -17,7 +17,7 @@ using namespace routesync;
 using namespace routesync::bench;
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_jobs(argc, argv);
+    const std::size_t jobs = parse_options(argc, argv).jobs;
     header("Figure 10",
            "time to first reach each cluster size from unsynchronized start "
            "(N=20, Tp=121 s, Tc=0.11 s, Tr=0.1 s, f(2)=19 rounds)");

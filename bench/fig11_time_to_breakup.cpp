@@ -12,7 +12,8 @@
 using namespace routesync;
 using namespace routesync::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    parse_options(argc, argv);
     header("Figure 11",
            "time to first come down to each cluster size from synchronized "
            "start (N=20, Tp=121 s, Tc=0.11 s, Tr=0.3 s)");

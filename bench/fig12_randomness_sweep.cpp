@@ -45,7 +45,7 @@ core::ExperimentConfig breakup_time_config(double tr, std::uint64_t seed) {
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_jobs(argc, argv);
+    const std::size_t jobs = parse_options(argc, argv).jobs;
     header("Figure 12",
            "f(N) and g(1) in seconds vs Tr (N=20, Tp=121 s, Tc=0.11 s); "
            "f(2) from the diffusion estimate, plus the f(2)=0 variant");

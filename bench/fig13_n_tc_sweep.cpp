@@ -28,7 +28,7 @@ markov::FJChain make_chain(int n, double tc, double tr) {
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_jobs(argc, argv);
+    const std::size_t jobs = parse_options(argc, argv).jobs;
     header("Figure 13",
            "f(N) and g(1) vs Tr (in units of Tc) for N in {10,20,30}, "
            "Tc in {0.01, 0.11} s, Tp = 121 s");

@@ -27,7 +27,7 @@ double fraction_at(double tr_over_tc) {
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_jobs(argc, argv);
+    const std::size_t jobs = parse_options(argc, argv).jobs;
     header("Figure 14",
            "fraction of time unsynchronized vs Tr (N=20, Tp=121 s, Tc=0.11 s)");
 

@@ -26,7 +26,7 @@ double fraction_at(int n) {
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_jobs(argc, argv);
+    const std::size_t jobs = parse_options(argc, argv).jobs;
     header("Figure 15",
            "fraction of time unsynchronized vs N (Tp=121 s, Tc=0.11 s, Tr=0.3 s)");
 

@@ -2,10 +2,12 @@
 // every experiment leans on. Not a paper figure — a performance floor so
 // regressions in the simulator core are visible.
 //
-// `--json[=path]` additionally writes machine-readable results (op,
-// ns/op, items/sec) to BENCH_perf.json (or `path`) next to the normal
-// console output, so CI and docs/PERFORMANCE.md can consume the numbers
-// without scraping the table.
+// Takes the unified bench flags (bench/common.hpp): `--json` additionally
+// writes machine-readable results (op, ns/op, items/sec) to
+// BENCH_perf.json — or to `--out PATH` — next to the normal console
+// output, so CI and docs/PERFORMANCE.md can consume the numbers without
+// scraping the table. Unrecognised flags (e.g. --benchmark_filter) pass
+// through to google-benchmark.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -16,13 +18,14 @@
 #include <memory>
 #include <queue>
 #include <string>
-#include <string_view>
 #include <unordered_set>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "core/core.hpp"
 #include "markov/markov.hpp"
 #include "net/net.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel.hpp"
 #include "rng/rng.hpp"
 #include "routing/routing.hpp"
@@ -411,7 +414,10 @@ constexpr int kEntriesPerUpdate = 25;
 void BM_PacketPath_EnqueueDeliver(benchmark::State& state) {
     sim::Engine engine;
     std::uint64_t delivered = 0;
-    net::Link link{engine, 0.0, sim::SimTime::micros(1), 512,
+    net::Link link{engine,
+                   net::LinkConfig{.rate_bps = 0.0,
+                                   .delay = sim::SimTime::micros(1),
+                                   .queue_packets = 512},
                    [&delivered](net::PooledPacket) { ++delivered; }};
     std::uint64_t seq = 0;
     for (auto _ : state) {
@@ -437,6 +443,58 @@ void BM_PacketPath_EnqueueDeliver(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * kBurst);
 }
 BENCHMARK(BM_PacketPath_EnqueueDeliver);
+
+/// The same enqueue→deliver loop with a tracer attached — measures the
+/// observability layer's per-packet cost when tracing is ON. Two sink
+/// variants: NullSink (event construction + virtual dispatch only) and
+/// RingBufferSink (plus the deque). The tracing-OFF overhead is the
+/// plain BM_PacketPath_EnqueueDeliver benchmark: its emit sites reduce
+/// to one null-pointer test.
+template <typename Sink, typename... Args>
+void packet_path_traced(benchmark::State& state, Args&&... args) {
+    sim::Engine engine;
+    Sink sink{std::forward<Args>(args)...};
+    obs::Tracer tracer{sink};
+    engine.set_tracer(&tracer);
+    std::uint64_t delivered = 0;
+    net::Link link{engine,
+                   net::LinkConfig{.rate_bps = 0.0,
+                                   .delay = sim::SimTime::micros(1),
+                                   .queue_packets = 512},
+                   [&delivered](net::PooledPacket) { ++delivered; }};
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kBurst; ++i) {
+            net::Packet p;
+            p.type = net::PacketType::RoutingUpdate;
+            p.src = 0;
+            p.dst = 1;
+            p.size_bytes = 524;
+            p.seq = seq++;
+            net::PayloadRef ref = net::PayloadPool::local().acquire();
+            auto& payload = ref.mutate();
+            payload.sender = 0;
+            for (int e = 0; e < kEntriesPerUpdate; ++e) {
+                payload.entries.push_back({e, e % 15});
+            }
+            p.update = std::move(ref);
+            link.send(std::move(p));
+        }
+        engine.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * kBurst);
+}
+
+void BM_PacketPath_EnqueueDeliver_TracedNull(benchmark::State& state) {
+    packet_path_traced<obs::NullSink>(state);
+}
+BENCHMARK(BM_PacketPath_EnqueueDeliver_TracedNull);
+
+void BM_PacketPath_EnqueueDeliver_TracedRing(benchmark::State& state) {
+    packet_path_traced<obs::RingBufferSink>(state, std::size_t{1} << 16);
+}
+BENCHMARK(BM_PacketPath_EnqueueDeliver_TracedRing);
 
 void BM_PacketPathLegacy_EnqueueDeliver(benchmark::State& state) {
     sim::Engine engine;
@@ -906,17 +964,15 @@ private:
 } // namespace
 
 int main(int argc, char** argv) {
-    std::string json_path;
+    bench::OptionsSpec spec;
+    spec.allow_unknown = true; // google-benchmark owns --benchmark_* flags
+    spec.description = "engine micro-benchmarks (performance floor)";
+    bench::Options& options = bench::parse_options(argc, argv, spec);
+
     std::vector<char*> args;
-    for (int i = 0; i < argc; ++i) {
-        const std::string_view arg = argv[i];
-        if (arg == "--json") {
-            json_path = "BENCH_perf.json";
-        } else if (arg.rfind("--json=", 0) == 0) {
-            json_path = arg.substr(7);
-        } else {
-            args.push_back(argv[i]);
-        }
+    args.push_back(argv[0]);
+    for (std::string& passed : options.passthrough) {
+        args.push_back(passed.data());
     }
     int filtered_argc = static_cast<int>(args.size());
     benchmark::Initialize(&filtered_argc, args.data());
@@ -925,10 +981,12 @@ int main(int argc, char** argv) {
     }
     std::unique_ptr<benchmark::BenchmarkReporter> display{
         benchmark::CreateDefaultDisplayReporter()};
-    if (json_path.empty()) {
+    if (!options.json) {
         benchmark::RunSpecifiedBenchmarks(display.get());
     } else {
-        JsonPerfReporter reporter{json_path, display.get()};
+        const std::string path =
+            options.out.empty() ? "BENCH_perf.json" : options.out;
+        JsonPerfReporter reporter{path, display.get()};
         benchmark::RunSpecifiedBenchmarks(&reporter);
     }
     benchmark::Shutdown();

@@ -1,6 +1,6 @@
 // jitter_tuning: size the randomness for YOUR routing protocol.
 //
-//   $ ./examples/jitter_tuning [N] [period_s] [per_update_cost_s]
+//   $ ./examples/jitter_tuning [--n N] [--tp period_s] [--tc cost_s]
 //
 // Given the number of routers sharing a network, their update period, and
 // the CPU cost of one update, this walks the paper's Section 5 analysis:
@@ -11,20 +11,34 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/common.hpp"
 #include "markov/markov.hpp"
 
 using namespace routesync;
 
 int main(int argc, char** argv) {
-    const int n = argc > 1 ? std::atoi(argv[1]) : 20;
-    const double tp = argc > 2 ? std::atof(argv[2]) : 30.0; // RIP default
-    const double tc = argc > 3 ? std::atof(argv[3]) : 0.3;  // 300 routes @ 1 ms
+    bench::OptionsSpec spec;
+    spec.extra = {"n", "tp", "tc"};
+    spec.description = "size the update-timer randomness for your protocol";
+    bench::Options& options = bench::parse_options(argc, argv, spec);
+    const int n = options.extra.count("n") != 0
+                      ? std::atoi(options.extra.at("n").c_str())
+                      : 20;
+    const double tp = options.extra.count("tp") != 0
+                          ? std::atof(options.extra.at("tp").c_str())
+                          : 30.0; // RIP default
+    const double tc = options.extra.count("tc") != 0
+                          ? std::atof(options.extra.at("tc").c_str())
+                          : 0.3; // 300 routes @ 1 ms
     if (n < 2 || tp <= 0 || tc <= 0) {
-        std::fprintf(stderr,
-                     "usage: %s [N>=2] [period_s>0] [per_update_cost_s>0]\n",
+        std::fprintf(stderr, "usage: %s [--n N>=2] [--tp period_s>0] [--tc cost_s>0]\n",
                      argv[0]);
         return 1;
     }
+    obs::Manifest& manifest = options.ctx.manifest();
+    manifest.set_config("n", n);
+    manifest.set_config("tp_sec", tp);
+    manifest.set_config("tc_sec", tc);
 
     std::printf("network: N=%d routers, period Tp=%.3g s, update cost Tc=%.3g s\n\n",
                 n, tp, tc);
@@ -70,5 +84,5 @@ int main(int argc, char** argv) {
                 0.5 * tp, 1.5 * tp);
     std::printf("\n(reset the timer only AFTER processing, and add the jitter "
                 "fresh on every arm — see DESIGN.md)\n");
-    return 0;
+    return bench::footer_quiet();
 }

@@ -1,7 +1,7 @@
 // Quickstart: simulate a network of periodic routers and watch them
 // synchronize.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [--seed S] [--trace FILE] [--out FILE]
 //
 // Twenty routers send routing messages roughly every 121 seconds, with
 // only ~0.1 s of accidental timing noise. Although they start at random
@@ -12,11 +12,14 @@
 // (SIGCOMM '93).
 #include <cstdio>
 
+#include "bench/common.hpp"
 #include "core/core.hpp"
 
 using namespace routesync;
 
-int main() {
+int main(int argc, char** argv) {
+    bench::Options& options = bench::parse_options(
+        argc, argv, "quickstart: watch periodic routers synchronize");
     // 1. Describe the system: N routers, period Tp, jitter Tr, per-message
     //    processing cost Tc.
     core::ExperimentConfig config;
@@ -25,12 +28,14 @@ int main() {
     config.params.tr = sim::SimTime::seconds(0.1);
     config.params.tc = sim::SimTime::seconds(0.11);
     config.params.start = core::StartCondition::Unsynchronized;
-    config.params.seed = 2026;
+    config.params.seed = options.seed_or(2026);
 
     // 2. Run until full synchronization (or the time horizon).
     config.max_time = sim::SimTime::seconds(1e6);
     config.stop_on_full_sync = true;
     config.record_rounds = true;
+    config.obs = &options.ctx; // --trace records every timer set/fire
+    options.ctx.manifest().seeds.assign(1, config.params.seed);
 
     const auto result = core::run_experiment(config);
 
@@ -56,7 +61,10 @@ int main() {
     }
 
     // 4. The fix: re-run with the paper's recommended [0.5*Tp, 1.5*Tp]
-    //    jitter. The system now never synchronizes.
+    //    jitter. The system now never synchronizes. The trace/manifest
+    //    describe the headline run only: a JSONL trace is one simulation
+    //    (monotonic time), so the re-run must not append to it.
+    config.obs = nullptr;
     config.make_policy = [&] {
         return std::make_unique<core::HalfPeriodJitter>(config.params.tp);
     };
@@ -64,5 +72,6 @@ int main() {
     std::printf("\nwith uniform [0.5*Tp, 1.5*Tp] timers: %s\n",
                 fixed.full_sync_time_sec ? "synchronized (unexpected!)"
                                          : "never synchronizes");
-    return 0;
+    options.sim_seconds = result.end_time_sec;
+    return bench::footer_quiet();
 }

@@ -13,6 +13,7 @@
 //   3. both.
 #include <cstdio>
 
+#include "bench/common.hpp"
 #include "scenarios/scenarios.hpp"
 #include "stats/stats.hpp"
 
@@ -26,14 +27,18 @@ struct Outcome {
     double correlation;
 };
 
-Outcome measure(const scenarios::NearnetConfig& config) {
-    scenarios::NearnetScenario s{config};
+Outcome measure(const scenarios::NearnetConfig& config,
+                obs::RunContext* ctx = nullptr) {
+    scenarios::NearnetScenario s{config, ctx};
     apps::PingConfig pc;
     pc.dst = s.dst().id();
     pc.count = 800;
     apps::PingApp ping{s.src(), pc};
     ping.start(s.routing_start() + sim::SimTime::seconds(200));
     s.engine().run_until(sim::SimTime::seconds(1300));
+    if (ctx != nullptr) {
+        s.collect_metrics(*ctx);
+    }
 
     const auto series = ping.rtts_with_losses_as(2.0);
     const auto dom = stats::dominant_lag(series, 30, 150);
@@ -42,7 +47,9 @@ Outcome measure(const scenarios::NearnetConfig& config) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::Options& options = bench::parse_options(
+        argc, argv, "routing storm: user-visible damage and three fixes");
     std::printf("pinging across a core with synchronized 90 s routing updates\n");
     std::printf("(300-route tables, 1 ms/route processing — the paper's cisco "
                 "measurements)\n\n");
@@ -50,7 +57,7 @@ int main() {
                 "corr");
 
     scenarios::NearnetConfig broken; // blocking CPUs, synchronized, tiny jitter
-    const auto a = measure(broken);
+    const auto a = measure(broken, &options.ctx);
     std::printf("%-34s %8.2f %12zu %8.2f\n", "synchronized + blocking (1992)",
                 a.loss_pct, a.dominant_lag, a.correlation);
 
@@ -74,5 +81,6 @@ int main() {
                 "storm itself (and its network load) remains;\n");
     std::printf(" * jitter removes the storm: updates spread across the whole "
                 "period.\n");
-    return 0;
+    options.sim_seconds = 3 * 1300.0;
+    return bench::footer_quiet();
 }

@@ -8,6 +8,7 @@
 // pluggable drop discipline, and halving-cluster synchronization metrics.
 #include <cstdio>
 
+#include "bench/common.hpp"
 #include "tcpsync/tcpsync.hpp"
 
 using namespace routesync;
@@ -36,7 +37,9 @@ void report(const char* label, tcpsync::DropPolicy policy) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::parse_options(
+        argc, argv, "TCP global synchronization at a drop-tail bottleneck");
     std::printf("8 TCP-like flows share one bottleneck for 4 minutes:\n\n");
     report("drop-tail gateway:", tcpsync::DropPolicy::DropTail);
     report("random-drop gateway:", tcpsync::DropPolicy::RandomDrop);

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/common.hpp"
 #include "core/core.hpp"
 
 using namespace routesync;
@@ -67,7 +68,9 @@ void run(const char* label, sim::SimTime tr) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::parse_options(
+        argc, argv, "triggered-update wave: instant synchronization and its cure");
     std::printf("a triggered-update wave at t=10000 s hits 20 routers "
                 "(Tp=121 s, Tc=0.11 s):\n\n");
     run("Tr = 0.05 s (< Tc/2):", sim::SimTime::seconds(0.05));
@@ -77,5 +80,6 @@ int main() {
     std::printf("\nmoral: triggered updates make 'start unsynchronized and hope'"
                 " a losing strategy —\nthe jitter must be large enough to "
                 "dissolve synchronization, not just avoid creating it.\n");
-    return 0;
+    bench::opts().sim_seconds = 3 * 200000.0;
+    return bench::footer_quiet();
 }

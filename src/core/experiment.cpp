@@ -2,10 +2,18 @@
 
 #include <utility>
 
+#include "obs/run_context.hpp"
+#include "obs/tracer.hpp"
+
 namespace routesync::core {
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
     sim::Engine engine;
+    if (config.obs != nullptr) {
+        // Attach before the model exists so the initial timer schedule is
+        // traced too.
+        config.obs->attach(engine);
+    }
     auto policy = config.make_policy ? config.make_policy() : nullptr;
     PeriodicMessagesModel model{engine, config.params, std::move(policy)};
 
@@ -52,6 +60,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         };
     }
 
+    if (obs::Tracer* tr = engine.tracer()) {
+        // Trace cluster growth: the first time any cluster reaches a new
+        // size. Chained in front of the stop condition (if one is set).
+        auto prev = std::move(tracker.on_size_first_reached);
+        tracker.on_size_first_reached = [tr, prev = std::move(prev)](
+                                            int size, sim::SimTime t) {
+            tr->emit(obs::TraceEventType::ClusterChange, t, -1, size);
+            if (prev) {
+                prev(size, t);
+            }
+        };
+    }
+
     if (config.trigger_all_at.has_value()) {
         engine.schedule_at(*config.trigger_all_at,
                            [&model] { model.trigger_update_all(); });
@@ -89,6 +110,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.total_transmissions = model.total_transmissions();
     result.events_processed = engine.events_processed();
     result.end_time_sec = engine.now().sec();
+
+    obs::MetricsRegistry reg;
+    reg.add("experiment.transmissions", result.total_transmissions);
+    reg.add("experiment.rounds_closed", result.rounds_closed);
+    reg.add("experiment.rounds_unsynchronized", result.rounds_unsynchronized);
+    reg.add("engine.events_processed", result.events_processed);
+    reg.set_gauge("experiment.end_time_sec", result.end_time_sec);
+    if (result.full_sync_time_sec.has_value()) {
+        reg.add("experiment.full_sync_runs", 1);
+        reg.observe("experiment.full_sync_time_sec", *result.full_sync_time_sec);
+    }
+    if (result.breakup_time_sec.has_value()) {
+        reg.observe("experiment.breakup_time_sec", *result.breakup_time_sec);
+    }
+    result.metrics = reg.snapshot();
+    if (config.obs != nullptr) {
+        config.obs->merge_metrics(result.metrics);
+    }
     return result;
 }
 

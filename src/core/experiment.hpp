@@ -13,7 +13,12 @@
 #include "core/cluster_tracker.hpp"
 #include "core/periodic_messages.hpp"
 #include "core/timer_policy.hpp"
+#include "obs/metrics.hpp"
 #include "sim/sim.hpp"
+
+namespace routesync::obs {
+class RunContext;
+}
 
 namespace routesync::core {
 
@@ -47,6 +52,12 @@ struct ExperimentConfig {
     std::function<std::unique_ptr<TimerPolicy>()> make_policy;
     /// If set, fire a triggered update on every node at this time.
     std::optional<sim::SimTime> trigger_all_at;
+    /// Optional observability context: its tracer (if any) is attached to
+    /// the run's engine, so the model's timer/transmission events land in
+    /// the configured sink, and cluster membership changes are traced.
+    /// Not owned; must outlive the run. One context per concurrent run —
+    /// do not share across parallel trials.
+    obs::RunContext* obs = nullptr;
 };
 
 struct ExperimentResult {
@@ -66,6 +77,10 @@ struct ExperimentResult {
     std::uint64_t events_processed = 0;
     double end_time_sec = 0.0;
     double round_length_sec = 0.0;
+    /// Per-trial metric snapshot (always populated; cheap). TrialRunner
+    /// merges these deterministically across trials — see
+    /// parallel::merge_trial_metrics.
+    obs::MetricsSnapshot metrics;
 };
 
 /// Runs one Periodic Messages experiment to completion.

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/tracer.hpp"
+
 namespace routesync::core {
 
 PeriodicMessagesModel::PeriodicMessagesModel(sim::Engine& engine,
@@ -84,10 +86,17 @@ void PeriodicMessagesModel::schedule_timer(int i, sim::SimTime at) {
     nd.timer_event = engine_.schedule_at(at, [this, i] { timer_expired(i); });
     nd.timer_pending = true;
     nd.next_expiry = at;
+    if (obs::Tracer* tr = engine_.tracer()) {
+        tr->emit(obs::TraceEventType::TimerSet, engine_.now(), i, 0,
+                 (at - engine_.now()).sec());
+    }
 }
 
 void PeriodicMessagesModel::timer_expired(int i) {
     nodes_[static_cast<std::size_t>(i)].timer_pending = false;
+    if (obs::Tracer* tr = engine_.tracer()) {
+        tr->emit(obs::TraceEventType::TimerFire, engine_.now(), i);
+    }
     if (params_.reset_at_expiry) {
         // RFC 1058 alternative: the clock is unaffected by processing time;
         // re-arm right now rather than after the busy period. The "timer
@@ -108,6 +117,10 @@ void PeriodicMessagesModel::begin_transmission(int i) {
     ++tx_count_;
     if (on_transmit) {
         on_transmit(i, now);
+    }
+    if (obs::Tracer* tr = engine_.tracer()) {
+        tr->emit(obs::TraceEventType::UpdateTx, now, i,
+                 static_cast<std::int64_t>(nd.transmissions));
     }
 
     if (!params_.reset_at_expiry) {
@@ -188,6 +201,9 @@ void PeriodicMessagesModel::trigger_update(std::span<const int> to_fire) {
             // updates").
             engine_.cancel(nd.timer_event);
             nd.timer_pending = false;
+            if (obs::Tracer* tr = engine_.tracer()) {
+                tr->emit(obs::TraceEventType::TimerReset, engine_.now(), i);
+            }
         }
         begin_transmission(i); // re-arms the busy check as needed
     }

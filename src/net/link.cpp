@@ -3,14 +3,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/tracer.hpp"
+
 namespace routesync::net {
 
-Link::Link(sim::Engine& engine, double rate_bps, sim::SimTime prop_delay,
-           std::size_t queue_packets, std::function<void(PooledPacket)> deliver)
+Link::Link(sim::Engine& engine, const LinkConfig& config,
+           std::function<void(PooledPacket)> deliver)
     : engine_{engine},
-      rate_bps_{rate_bps},
-      prop_delay_{prop_delay},
-      queue_{queue_packets},
+      rate_bps_{config.rate_bps},
+      prop_delay_{config.delay},
+      queue_{config.queue_packets},
       deliver_{std::move(deliver)} {
     if (!deliver_) {
         throw std::invalid_argument{"Link: delivery callback required"};
@@ -27,14 +29,39 @@ sim::SimTime Link::serialization_time(std::uint32_t bytes) const noexcept {
     return sim::SimTime::seconds(static_cast<double>(bytes) * 8.0 / rate_bps_);
 }
 
+void Link::trace_drop(const Packet& p) const {
+    if (obs::Tracer* tr = engine_.tracer()) {
+        tr->emit(obs::TraceEventType::PacketDrop, engine_.now(), p.src,
+                 static_cast<std::int64_t>(p.seq), p.size_bytes);
+    }
+}
+
 void Link::send(PooledPacket p) {
     if (!up_) {
         ++down_drops_;
+        trace_drop(*p);
         return;
     }
     if (transmitting_) {
-        queue_.push(std::move(p)); // drop-tail on overflow
+        obs::Tracer* const tr = engine_.tracer();
+        if (tr == nullptr) {
+            queue_.push(std::move(p)); // drop-tail on overflow
+            return;
+        }
+        // queue_.push releases the handle on overflow, so read the fields
+        // the event needs before handing it over.
+        const auto seq = static_cast<std::int64_t>(p->seq);
+        const double size = p->size_bytes;
+        const int src = p->src;
+        const bool accepted = queue_.push(std::move(p));
+        tr->emit(accepted ? obs::TraceEventType::PacketEnqueue
+                          : obs::TraceEventType::PacketDrop,
+                 engine_.now(), src, seq, size);
         return;
+    }
+    if (obs::Tracer* tr = engine_.tracer()) {
+        tr->emit(obs::TraceEventType::PacketEnqueue, engine_.now(), p->src,
+                 static_cast<std::int64_t>(p->seq), p->size_bytes);
     }
     start_transmission(std::move(p));
 }
@@ -44,8 +71,13 @@ void Link::start_transmission(PooledPacket p) {
     const sim::SimTime tx = serialization_time(p->size_bytes);
     // Delivery after serialization + propagation; the transmitter frees up
     // after serialization alone.
-    engine_.schedule_after(tx + prop_delay_,
-                           [this, pkt = std::move(p)]() mutable { deliver_(std::move(pkt)); });
+    engine_.schedule_after(tx + prop_delay_, [this, pkt = std::move(p)]() mutable {
+        if (obs::Tracer* tr = engine_.tracer()) {
+            tr->emit(obs::TraceEventType::PacketDeliver, engine_.now(), pkt->dst,
+                     static_cast<std::int64_t>(pkt->seq), pkt->size_bytes);
+        }
+        deliver_(std::move(pkt));
+    });
     engine_.schedule_after(tx, [this] { transmission_done(); });
 }
 

@@ -14,13 +14,29 @@
 
 namespace routesync::net {
 
+/// Aggregate link parameters; designated initializers at call sites
+/// replace the old positional argument list.
+struct LinkConfig {
+    double rate_bps = 10e6;                       ///< 10 Mb/s Ethernet-era default; <= 0 means infinite rate
+    sim::SimTime delay = sim::SimTime::millis(1); ///< propagation
+    std::size_t queue_packets = 64;
+};
+
 class Link {
 public:
     /// `deliver` — invoked at the far end when a packet finishes
-    /// propagation. `rate_bps` <= 0 means infinite rate (zero
-    /// serialization time).
+    /// propagation.
+    Link(sim::Engine& engine, const LinkConfig& config,
+         std::function<void(PooledPacket)> deliver);
+
+    [[deprecated("use Link(engine, LinkConfig{...}, deliver)")]]
     Link(sim::Engine& engine, double rate_bps, sim::SimTime prop_delay,
-         std::size_t queue_packets, std::function<void(PooledPacket)> deliver);
+         std::size_t queue_packets, std::function<void(PooledPacket)> deliver)
+        : Link{engine,
+               LinkConfig{.rate_bps = rate_bps,
+                          .delay = prop_delay,
+                          .queue_packets = queue_packets},
+               std::move(deliver)} {}
 
     /// Queues the packet for transmission; drops (with accounting) when the
     /// queue is full or the link is administratively/physically down.
@@ -43,6 +59,7 @@ public:
 private:
     void start_transmission(PooledPacket p);
     void transmission_done();
+    void trace_drop(const Packet& p) const;
 
     sim::Engine& engine_;
     double rate_bps_;

@@ -32,10 +32,10 @@ void Network::connect(Node& a, Node& b, const LinkConfig& config) {
     // index is the far node's interface *towards the sender*, assigned
     // below in the same order.
     auto to_b = std::make_unique<Link>(
-        engine_, config.rate_bps, config.delay, config.queue_packets,
+        engine_, config,
         [&b, iface = b.iface_count()](PooledPacket p) { b.receive(std::move(p), iface); });
     auto to_a = std::make_unique<Link>(
-        engine_, config.rate_bps, config.delay, config.queue_packets,
+        engine_, config,
         [&a, iface = a.iface_count()](PooledPacket p) { a.receive(std::move(p), iface); });
 
     const int iface_a = a.add_interface(to_b.get(), b.id());

@@ -13,11 +13,8 @@
 
 namespace routesync::net {
 
-struct LinkConfig {
-    double rate_bps = 10e6;                       ///< 10 Mb/s Ethernet-era default
-    sim::SimTime delay = sim::SimTime::millis(1); ///< propagation
-    std::size_t queue_packets = 64;
-};
+// LinkConfig now lives in net/link.hpp next to the class it configures;
+// this header re-exports it via the link.hpp include above.
 
 class Network {
 public:

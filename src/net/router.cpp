@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/tracer.hpp"
+
 namespace routesync::net {
 
 void Router::receive(PooledPacket p, int iface) {
@@ -33,6 +35,10 @@ void Router::forward(PooledPacket p) {
         // drop the rest (the pre-fix NEARnet behaviour).
         if (pending_.size() >= pending_capacity_) {
             ++stats_.cpu_blocked_drops;
+            if (obs::Tracer* tr = engine().tracer()) {
+                tr->emit(obs::TraceEventType::PacketDrop, engine().now(), id(),
+                         static_cast<std::int64_t>(p->seq), p->size_bytes);
+            }
             return;
         }
         pending_.push_back(std::move(p));
@@ -60,6 +66,11 @@ void Router::schedule_cpu_work(sim::SimTime cost, std::function<void()> done) {
     }
     cpu_free_at_ += cost;
     stats_.cpu_seconds += cost.sec();
+    if (cpu_jobs_pending_ == 0) {
+        if (obs::Tracer* tr = engine().tracer()) {
+            tr->emit(obs::TraceEventType::CpuBusyBegin, now, id(), 0, cost.sec());
+        }
+    }
     ++cpu_jobs_pending_;
     engine().schedule_at(cpu_free_at_, [this, done = std::move(done)]() mutable {
         cpu_job_finished(std::move(done));
@@ -72,6 +83,10 @@ void Router::cpu_job_finished(std::function<void()> done) {
         done();
     }
     if (cpu_jobs_pending_ == 0) {
+        if (obs::Tracer* tr = engine().tracer()) {
+            tr->emit(obs::TraceEventType::CpuBusyEnd, engine().now(), id(),
+                     static_cast<std::int64_t>(pending_.size()), 0.0);
+        }
         // Drain the pending buffer first (they waited out the stall), then
         // wake anyone waiting for idle (e.g. the DV agent's timer re-arm).
         while (!pending_.empty()) {

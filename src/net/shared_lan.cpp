@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/tracer.hpp"
+
 namespace routesync::net {
 
 SharedLan::SharedLan(sim::Engine& engine, const SharedLanConfig& config)
@@ -29,7 +31,15 @@ void SharedLan::send(int station, PooledPacket p) {
     ++stats_.frames_offered;
     if (st.queue.size() >= config_.station_queue_packets) {
         ++stats_.drops_queue_full;
+        if (obs::Tracer* tr = engine_.tracer()) {
+            tr->emit(obs::TraceEventType::PacketDrop, engine_.now(), station,
+                     static_cast<std::int64_t>(p->seq), p->size_bytes);
+        }
         return;
+    }
+    if (obs::Tracer* tr = engine_.tracer()) {
+        tr->emit(obs::TraceEventType::PacketEnqueue, engine_.now(), station,
+                 static_cast<std::int64_t>(p->seq), p->size_bytes);
     }
     st.queue.push_back(std::move(p));
     if (!st.pending) {
@@ -90,6 +100,11 @@ void SharedLan::collide(int second_station) {
         ++st.attempts;
         if (st.attempts >= config_.max_attempts) {
             ++stats_.drops_excessive_collisions;
+            if (obs::Tracer* tr = engine_.tracer()) {
+                const PooledPacket& head = st.queue.front();
+                tr->emit(obs::TraceEventType::PacketDrop, engine_.now(), station,
+                         static_cast<std::int64_t>(head->seq), head->size_bytes);
+            }
             st.queue.pop_front();
             st.attempts = 0;
             if (st.queue.empty()) {
@@ -121,6 +136,10 @@ void SharedLan::transmission_done() {
     st.queue.pop_front();
     st.attempts = 0;
     ++stats_.frames_delivered;
+    if (obs::Tracer* tr = engine_.tracer()) {
+        tr->emit(obs::TraceEventType::PacketDeliver, engine_.now(), owner,
+                 static_cast<std::int64_t>(frame->seq), frame->size_bytes);
+    }
 
     // Broadcast: everyone else hears the frame after the propagation
     // delay. All receivers share the transmitted slot — the capture is

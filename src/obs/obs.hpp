@@ -1,0 +1,12 @@
+// Umbrella header for the observability layer: trace sinks, the tracer,
+// the metrics registry, run manifests, and the RunContext that bundles
+// them. See docs/OBSERVABILITY.md for the event schema and formats.
+#pragma once
+
+#include "obs/json.hpp"          // IWYU pragma: export
+#include "obs/manifest.hpp"      // IWYU pragma: export
+#include "obs/metrics.hpp"       // IWYU pragma: export
+#include "obs/run_context.hpp"   // IWYU pragma: export
+#include "obs/trace_event.hpp"   // IWYU pragma: export
+#include "obs/trace_sink.hpp"    // IWYU pragma: export
+#include "obs/tracer.hpp"        // IWYU pragma: export

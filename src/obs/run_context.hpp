@@ -1,0 +1,87 @@
+// RunContext: the single observability handle a run carries.
+//
+// One RunContext bundles the three legs of the observability layer —
+// a trace sink (+ Tracer stamping sequence numbers), a MetricsRegistry,
+// and a Manifest under construction — behind one object that scenario
+// builders, bench::Options, and the CLI all plumb the same way:
+//
+//   obs::RunContext ctx;
+//   ctx.trace_to_file("out.jsonl");          // or trace_to_ring(n), or neither
+//   scenarios::NearnetScenario s{cfg, &ctx}; // attaches the tracer to the engine
+//   ... run ...
+//   ctx.finish(engine.now());
+//   ctx.manifest().write("manifest.json");
+//
+// A default-constructed context does not trace: tracer() returns null,
+// every emit site in the stack reduces to one pointer test, and the
+// metrics registry sits idle until someone writes to it.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace routesync::sim {
+class Engine;
+}
+
+namespace routesync::obs {
+
+class RunContext {
+public:
+    RunContext();
+
+    RunContext(const RunContext&) = delete;
+    RunContext& operator=(const RunContext&) = delete;
+
+    /// Installs a sink (replacing any previous one) and starts tracing.
+    void set_sink(std::unique_ptr<TraceSink> sink);
+    /// Convenience: trace to a JSONL file / an in-memory ring buffer.
+    void trace_to_file(const std::string& path);
+    void trace_to_ring(std::size_t capacity);
+
+    /// Null when no sink is installed — the zero-cost-off gate every
+    /// instrumented component tests.
+    [[nodiscard]] Tracer* tracer() noexcept {
+        return tracer_.has_value() ? &*tracer_ : nullptr;
+    }
+    [[nodiscard]] bool tracing() const noexcept { return tracer_.has_value(); }
+    [[nodiscard]] TraceSink* sink() noexcept { return sink_.get(); }
+
+    /// Points the engine's tracer hook at this context, so every
+    /// component built on that engine inherits it.
+    void attach(sim::Engine& engine) noexcept;
+
+    [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+    [[nodiscard]] Manifest& manifest() noexcept { return manifest_; }
+
+    /// Folds an externally produced snapshot (e.g. one trial's metrics)
+    /// into this run's totals; finish() combines these with the live
+    /// registry. Merge order is caller-controlled — merge in submission
+    /// order for determinism across --jobs values.
+    void merge_metrics(const MetricsSnapshot& snap) { merged_.merge(snap); }
+
+    /// Seals the run record: flushes the sink, snapshots the metrics into
+    /// the manifest, stamps wall/sim time and (for file sinks) the trace
+    /// path, event count, and content hash. Call once, after the run.
+    void finish(double sim_seconds);
+
+    /// finish() + manifest().write(path).
+    void write_manifest(const std::string& path, double sim_seconds);
+
+private:
+    std::unique_ptr<TraceSink> sink_;
+    std::optional<Tracer> tracer_;
+    MetricsRegistry metrics_;
+    MetricsSnapshot merged_;
+    Manifest manifest_;
+    std::string trace_path_; ///< non-empty for file sinks
+    std::chrono::steady_clock::time_point started_;
+};
+
+} // namespace routesync::obs

@@ -1,0 +1,67 @@
+// Typed trace events — the vocabulary of the observability layer.
+//
+// Every event carries the simulation time, the node it concerns, and a
+// monotonically assigned sequence number (stamped by obs::Tracer), so a
+// trace is a totally ordered, diffable record of one run. Events are
+// emitted single-threaded from within one engine's callbacks; parallel
+// sweeps give each trial its own engine *and* its own tracer, which is
+// what makes traces byte-identical across `--jobs` counts.
+//
+// The payload is deliberately flat (two generic slots `a` and `b`) so the
+// event fits in a fixed-size ring buffer cell and serializes to one JSONL
+// line without allocation. Per-type slot meanings are documented below
+// and in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace routesync::obs {
+
+enum class TraceEventType : std::uint8_t {
+    TimerSet,      ///< periodic timer armed; b = interval (s)
+    TimerFire,     ///< periodic timer expired
+    TimerReset,    ///< pending timer cancelled (triggered update restart)
+    PacketEnqueue, ///< packet accepted by a link/LAN queue; a = pkt seq, b = size bytes
+    PacketDrop,    ///< packet dropped (queue full, link down, CPU stall, ...);
+                   ///< a = pkt seq, b = size bytes
+    PacketDeliver, ///< packet handed to the far end; a = pkt seq, b = size bytes
+    UpdateTx,      ///< DV agent transmitted an update; a = routes, b = 1 if triggered
+    UpdateRx,      ///< DV agent finished processing an update; a = routes,
+                   ///< b = sender id
+    CpuBusyBegin,  ///< route processor went busy; b = scheduled cost (s)
+    CpuBusyEnd,    ///< route processor drained its work queue
+    ClusterChange, ///< largest simultaneous timer-set group changed; a = size
+    MetricSample,  ///< generic scalar sample (CLI sweeps); a = index, b = value
+};
+
+/// Stable wire name of an event type (the JSONL `type` field).
+[[nodiscard]] constexpr const char* trace_event_name(TraceEventType type) noexcept {
+    switch (type) {
+    case TraceEventType::TimerSet: return "timer_set";
+    case TraceEventType::TimerFire: return "timer_fire";
+    case TraceEventType::TimerReset: return "timer_reset";
+    case TraceEventType::PacketEnqueue: return "packet_enqueue";
+    case TraceEventType::PacketDrop: return "packet_drop";
+    case TraceEventType::PacketDeliver: return "packet_deliver";
+    case TraceEventType::UpdateTx: return "update_tx";
+    case TraceEventType::UpdateRx: return "update_rx";
+    case TraceEventType::CpuBusyBegin: return "cpu_busy_begin";
+    case TraceEventType::CpuBusyEnd: return "cpu_busy_end";
+    case TraceEventType::ClusterChange: return "cluster_change";
+    case TraceEventType::MetricSample: return "metric_sample";
+    }
+    return "unknown";
+}
+
+struct TraceEvent {
+    std::uint64_t seq = 0; ///< 0-based, assigned by the Tracer
+    sim::SimTime time = sim::SimTime::zero();
+    TraceEventType type = TraceEventType::TimerSet;
+    std::int32_t node = -1; ///< node id, or -1 when no node applies
+    std::int64_t a = 0;     ///< per-type integer slot (see TraceEventType)
+    double b = 0.0;         ///< per-type scalar slot (see TraceEventType)
+};
+
+} // namespace routesync::obs

@@ -1,0 +1,69 @@
+#include "obs/trace_sink.hpp"
+
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace routesync::obs {
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_{capacity} {
+    if (capacity_ == 0) {
+        throw std::invalid_argument{"RingBufferSink: capacity must be >= 1"};
+    }
+}
+
+void RingBufferSink::on_event(const TraceEvent& event) {
+    ++seen_;
+    if (events_.size() == capacity_) {
+        events_.pop_front();
+        ++dropped_;
+    }
+    events_.push_back(event);
+}
+
+std::string trace_event_jsonl(const TraceEvent& event) {
+    // Hand-rolled rather than JsonWriter: this runs once per traced
+    // event, and a fixed field order keeps traces diffable.
+    std::string line;
+    line.reserve(96);
+    line += "{\"seq\": ";
+    line += std::to_string(event.seq);
+    line += ", \"t\": ";
+    line += json_number(event.time.sec());
+    line += ", \"type\": \"";
+    line += trace_event_name(event.type); // fixed identifiers, no escaping needed
+    line += "\", \"node\": ";
+    line += std::to_string(event.node);
+    line += ", \"a\": ";
+    line += std::to_string(event.a);
+    line += ", \"b\": ";
+    line += json_number(event.b);
+    line += "}";
+    return line;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : path_{path} {
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_ == nullptr) {
+        throw std::runtime_error{"JsonlFileSink: cannot open " + path};
+    }
+}
+
+JsonlFileSink::~JsonlFileSink() {
+    if (file_ != nullptr) {
+        std::fclose(file_);
+    }
+}
+
+void JsonlFileSink::on_event(const TraceEvent& event) {
+    ++seen_;
+    const std::string line = trace_event_jsonl(event);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+}
+
+void JsonlFileSink::flush() {
+    std::fflush(file_);
+}
+
+} // namespace routesync::obs

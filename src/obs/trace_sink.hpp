@@ -1,0 +1,89 @@
+// Trace sinks: where emitted TraceEvents go.
+//
+//   NullSink       — discards everything; the zero-cost default. Emit
+//                    sites never reach a sink in the disabled case (they
+//                    gate on a null Tracer pointer), so NullSink only
+//                    exists for code that wants an unconditional sink.
+//   RingBufferSink — keeps the most recent `capacity` events in memory
+//                    (drop-oldest overflow, with a dropped counter);
+//                    for tests and post-mortem inspection.
+//   JsonlFileSink  — streams every event as one JSON object per line;
+//                    the interchange format tools/validate_trace.py and
+//                    the figure pipeline consume.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+
+#include "obs/trace_event.hpp"
+
+namespace routesync::obs {
+
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+
+    virtual void on_event(const TraceEvent& event) = 0;
+
+    /// Flushes buffered output (file sinks). Default: nothing.
+    virtual void flush() {}
+
+    /// Events offered to the sink so far (accepted or dropped).
+    [[nodiscard]] std::uint64_t events_seen() const noexcept { return seen_; }
+
+protected:
+    std::uint64_t seen_ = 0;
+};
+
+class NullSink final : public TraceSink {
+public:
+    void on_event(const TraceEvent&) override { ++seen_; }
+};
+
+class RingBufferSink final : public TraceSink {
+public:
+    /// Keeps the newest `capacity` events; older ones are dropped (and
+    /// counted) once the buffer is full. capacity >= 1 required.
+    explicit RingBufferSink(std::size_t capacity);
+
+    void on_event(const TraceEvent& event) override;
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+    /// Retained events, oldest first.
+    [[nodiscard]] const std::deque<TraceEvent>& events() const noexcept {
+        return events_;
+    }
+
+private:
+    std::size_t capacity_;
+    std::deque<TraceEvent> events_;
+    std::uint64_t dropped_ = 0;
+};
+
+class JsonlFileSink final : public TraceSink {
+public:
+    /// Opens (truncates) `path`; throws std::runtime_error on failure.
+    explicit JsonlFileSink(const std::string& path);
+    ~JsonlFileSink() override;
+
+    JsonlFileSink(const JsonlFileSink&) = delete;
+    JsonlFileSink& operator=(const JsonlFileSink&) = delete;
+
+    void on_event(const TraceEvent& event) override;
+    void flush() override;
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    std::string path_;
+    std::FILE* file_ = nullptr;
+};
+
+/// One event as its JSONL line (no trailing newline) — the single
+/// serialization used by JsonlFileSink, golden-hash tests, and docs.
+[[nodiscard]] std::string trace_event_jsonl(const TraceEvent& event);
+
+} // namespace routesync::obs

@@ -1,0 +1,43 @@
+// Tracer: stamps events with a monotonically increasing sequence number
+// and hands them to one sink.
+//
+// Instrumented components hold (or reach, via sim::Engine::tracer()) a
+// `Tracer*` that is null when observability is off. The emit sites are
+// therefore a single pointer test in the disabled case — no virtual
+// call, no event construction — which is what keeps the default path
+// inside the perf budget (see docs/PERFORMANCE.md).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/trace_event.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace routesync::obs {
+
+class Tracer {
+public:
+    /// The sink must outlive the tracer (RunContext owns both).
+    explicit Tracer(TraceSink& sink) noexcept : sink_{&sink} {}
+
+    void emit(TraceEventType type, sim::SimTime time, int node,
+              std::int64_t a = 0, double b = 0.0) {
+        TraceEvent event;
+        event.seq = next_seq_++;
+        event.time = time;
+        event.type = type;
+        event.node = node;
+        event.a = a;
+        event.b = b;
+        sink_->on_event(event);
+    }
+
+    [[nodiscard]] std::uint64_t events_emitted() const noexcept { return next_seq_; }
+    [[nodiscard]] TraceSink& sink() noexcept { return *sink_; }
+
+private:
+    TraceSink* sink_;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace routesync::obs

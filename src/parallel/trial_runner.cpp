@@ -17,18 +17,36 @@ TrialRunner::TrialRunner(TrialRunnerOptions options)
 
 std::vector<core::ExperimentResult>
 TrialRunner::run_all(const std::vector<core::ExperimentConfig>& configs) const {
-    return map_index<core::ExperimentResult>(
-        configs.size(), jobs_,
-        [&](std::size_t i) { return core::run_experiment(configs[i]); });
+    return map_index<core::ExperimentResult>(configs.size(), jobs_,
+                                             [&](std::size_t i) {
+                                                 // A shared RunContext is not
+                                                 // safe across worker threads;
+                                                 // trial metrics come back in
+                                                 // each result instead.
+                                                 core::ExperimentConfig config =
+                                                     configs[i];
+                                                 config.obs = nullptr;
+                                                 return core::run_experiment(config);
+                                             });
 }
 
 std::vector<core::ExperimentResult> TrialRunner::run_generated(
     std::size_t count,
     const std::function<core::ExperimentConfig(std::size_t)>& make_config) const {
     return map_index<core::ExperimentResult>(count, jobs_, [&](std::size_t i) {
-        const core::ExperimentConfig config = make_config(i);
+        core::ExperimentConfig config = make_config(i);
+        config.obs = nullptr;
         return core::run_experiment(config);
     });
+}
+
+obs::MetricsSnapshot
+merge_trial_metrics(const std::vector<core::ExperimentResult>& results) {
+    obs::MetricsSnapshot merged;
+    for (const core::ExperimentResult& result : results) {
+        merged.merge(result.metrics);
+    }
+    return merged;
 }
 
 } // namespace routesync::parallel

@@ -69,4 +69,11 @@ private:
     std::size_t jobs_;
 };
 
+/// Folds every trial's per-run metric snapshot (ExperimentResult::metrics)
+/// in submission order. Because the fold order is the submission order —
+/// not the completion order — the merged snapshot is byte-identical for
+/// every --jobs value.
+[[nodiscard]] obs::MetricsSnapshot
+merge_trial_metrics(const std::vector<core::ExperimentResult>& results);
+
 } // namespace routesync::parallel

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/tracer.hpp"
+
 namespace routesync::routing {
 
 DistanceVectorAgent::DistanceVectorAgent(
@@ -66,6 +68,10 @@ void DistanceVectorAgent::arm_timer(sim::SimTime interval_from_now) {
     if (on_timer_set) {
         on_timer_set(router_.engine().now());
     }
+    if (obs::Tracer* tr = router_.engine().tracer()) {
+        tr->emit(obs::TraceEventType::TimerSet, router_.engine().now(),
+                 router_.id(), 0, interval_from_now.sec());
+    }
     timer_event_ =
         router_.engine().schedule_after(interval_from_now, [this] { timer_expired(); });
     timer_armed_ = true;
@@ -84,6 +90,10 @@ void DistanceVectorAgent::arm_timer_after_processing() {
 
 void DistanceVectorAgent::timer_expired() {
     timer_armed_ = false;
+    if (obs::Tracer* tr = router_.engine().tracer()) {
+        tr->emit(obs::TraceEventType::TimerFire, router_.engine().now(),
+                 router_.id());
+    }
     if (config_.reset == TimerReset::AtExpiry) {
         // Free-running clock: re-arm immediately, before any processing.
         arm_timer(draw_interval());
@@ -127,6 +137,10 @@ void DistanceVectorAgent::send_update(bool triggered) {
     case UpdateKind::Incremental:
         route_count = static_cast<int>(changed_.size());
         break;
+    }
+    if (obs::Tracer* tr = router_.engine().tracer()) {
+        tr->emit(obs::TraceEventType::UpdateTx, router_.engine().now(),
+                 router_.id(), route_count, triggered ? 1.0 : 0.0);
     }
     do_send(kind, triggered);
     const sim::SimTime cost =
@@ -259,6 +273,10 @@ void DistanceVectorAgent::handle_update_packet(const net::Packet& p, int iface) 
 void DistanceVectorAgent::process_update(const net::UpdatePayload& update, int iface) {
     ++stats_.updates_processed;
     const sim::SimTime now = router_.engine().now();
+    if (obs::Tracer* tr = router_.engine().tracer()) {
+        tr->emit(obs::TraceEventType::UpdateRx, now, router_.id(), update.sender,
+                 static_cast<double>(update.total_routes()));
+    }
     bool changed = false;
 
     if (config_.incremental) {
@@ -397,6 +415,10 @@ void DistanceVectorAgent::schedule_triggered_update() {
         if (timer_armed_) {
             router_.engine().cancel(timer_event_);
             timer_armed_ = false;
+            if (obs::Tracer* tr = router_.engine().tracer()) {
+                tr->emit(obs::TraceEventType::TimerReset, router_.engine().now(),
+                         router_.id());
+            }
         }
         arm_timer_after_processing();
     }

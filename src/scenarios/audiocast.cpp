@@ -1,9 +1,16 @@
 #include "scenarios/audiocast.hpp"
 
+#include "obs/run_context.hpp"
+#include "scenarios/scenario_metrics.hpp"
+
 namespace routesync::scenarios {
 
-AudiocastScenario::AudiocastScenario(const AudiocastConfig& config)
+AudiocastScenario::AudiocastScenario(const AudiocastConfig& config,
+                                     obs::RunContext* obs)
     : routing_start_{sim::SimTime::seconds(5.0)} {
+    if (obs != nullptr) {
+        obs->attach(engine_);
+    }
     network_ = std::make_unique<net::Network>(engine_);
     auto& nw = *network_;
 
@@ -71,6 +78,10 @@ AudiocastScenario::AudiocastScenario(const AudiocastConfig& config)
         agents_.push_back(std::move(agent));
         ++index;
     }
+}
+
+void AudiocastScenario::collect_metrics(obs::RunContext& ctx) const {
+    collect_network_metrics(*network_, agents_, ctx.metrics());
 }
 
 } // namespace routesync::scenarios

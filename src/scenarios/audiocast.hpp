@@ -23,6 +23,10 @@
 #include "routing/routing.hpp"
 #include "sim/sim.hpp"
 
+namespace routesync::obs {
+class RunContext;
+}
+
 namespace routesync::scenarios {
 
 struct AudiocastConfig {
@@ -39,7 +43,13 @@ struct AudiocastConfig {
 
 class AudiocastScenario {
 public:
-    explicit AudiocastScenario(const AudiocastConfig& config);
+    /// `obs` (optional, not owned, must outlive the scenario): its tracer
+    /// is attached to the engine before the network is built.
+    explicit AudiocastScenario(const AudiocastConfig& config,
+                               obs::RunContext* obs = nullptr);
+
+    /// Publishes the run's router/DV stats into `ctx`'s metrics registry.
+    void collect_metrics(obs::RunContext& ctx) const;
 
     [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
     [[nodiscard]] net::Network& network() noexcept { return *network_; }

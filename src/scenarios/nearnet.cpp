@@ -1,9 +1,15 @@
 #include "scenarios/nearnet.hpp"
 
+#include "obs/run_context.hpp"
+#include "scenarios/scenario_metrics.hpp"
+
 namespace routesync::scenarios {
 
-NearnetScenario::NearnetScenario(const NearnetConfig& config)
+NearnetScenario::NearnetScenario(const NearnetConfig& config, obs::RunContext* obs)
     : routing_start_{sim::SimTime::seconds(5.0)} {
+    if (obs != nullptr) {
+        obs->attach(engine_);
+    }
     network_ = std::make_unique<net::Network>(engine_);
     auto& nw = *network_;
 
@@ -75,6 +81,10 @@ NearnetScenario::NearnetScenario(const NearnetConfig& config)
         agents_.push_back(std::move(agent));
         ++index;
     }
+}
+
+void NearnetScenario::collect_metrics(obs::RunContext& ctx) const {
+    collect_network_metrics(*network_, agents_, ctx.metrics());
 }
 
 } // namespace routesync::scenarios

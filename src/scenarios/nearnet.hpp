@@ -26,6 +26,10 @@
 #include "routing/routing.hpp"
 #include "sim/sim.hpp"
 
+namespace routesync::obs {
+class RunContext;
+}
+
 namespace routesync::scenarios {
 
 struct NearnetConfig {
@@ -48,7 +52,16 @@ struct NearnetConfig {
 /// then run the engine.
 class NearnetScenario {
 public:
-    explicit NearnetScenario(const NearnetConfig& config);
+    /// `obs` (optional, not owned, must outlive the scenario): its tracer
+    /// is attached to the engine before the network is built, so every
+    /// packet/timer/update event of the run lands in the configured sink.
+    explicit NearnetScenario(const NearnetConfig& config,
+                             obs::RunContext* obs = nullptr);
+
+    /// Publishes the run's router/DV stats into `ctx`'s metrics registry
+    /// (see scenarios/scenario_metrics.hpp for the names). Call after the
+    /// run, before the manifest is written.
+    void collect_metrics(obs::RunContext& ctx) const;
 
     [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
     [[nodiscard]] net::Network& network() noexcept { return *network_; }

@@ -1,0 +1,29 @@
+#include "scenarios/scenario_metrics.hpp"
+
+namespace routesync::scenarios {
+
+void collect_network_metrics(
+    const net::Network& network,
+    const std::vector<std::unique_ptr<routing::DistanceVectorAgent>>& agents,
+    obs::MetricsRegistry& reg) {
+    for (const net::Router* router : network.routers()) {
+        const net::RouterStats& rs = router->stats();
+        reg.add("router.forwarded", rs.forwarded);
+        reg.add("router.no_route_drops", rs.no_route_drops);
+        reg.add("router.ttl_drops", rs.ttl_drops);
+        reg.add("router.cpu_blocked_drops", rs.cpu_blocked_drops);
+        reg.add("router.cpu_blocked_delayed", rs.cpu_blocked_delayed);
+        reg.add("router.updates_received", rs.updates_received);
+        reg.observe("router.cpu_seconds", rs.cpu_seconds);
+    }
+    for (const auto& agent : agents) {
+        const routing::DvStats& ds = agent->stats();
+        reg.add("dv.periodic_updates_sent", ds.periodic_updates_sent);
+        reg.add("dv.triggered_updates_sent", ds.triggered_updates_sent);
+        reg.add("dv.updates_processed", ds.updates_processed);
+        reg.add("dv.routes_timed_out", ds.routes_timed_out);
+        reg.add("dv.timer_arms", ds.timer_arms);
+    }
+}
+
+} // namespace routesync::scenarios

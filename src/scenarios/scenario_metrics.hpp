@@ -1,0 +1,24 @@
+// Folds the stats the packet-level substrate already keeps (RouterStats,
+// DvStats) into an obs::MetricsRegistry under stable metric names, so any
+// scenario run can publish them in a manifest without per-bench glue.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "routing/dv_agent.hpp"
+
+namespace routesync::scenarios {
+
+/// Registers aggregate router counters ("router.forwarded", drop classes,
+/// "router.cpu_seconds" as a per-router distribution) and DV agent
+/// counters ("dv.periodic_updates_sent", ...) into `reg`. Call once,
+/// after the run.
+void collect_network_metrics(
+    const net::Network& network,
+    const std::vector<std::unique_ptr<routing::DistanceVectorAgent>>& agents,
+    obs::MetricsRegistry& reg);
+
+} // namespace routesync::scenarios

@@ -12,6 +12,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
+namespace routesync::obs {
+class Tracer;
+}
+
 namespace routesync::sim {
 
 class Engine {
@@ -58,8 +62,16 @@ public:
     /// Live (pending, non-cancelled) events.
     [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
 
+    /// Attaches (or detaches, with nullptr) a trace event sink. Components
+    /// built on this engine emit typed trace events through it; a null
+    /// tracer — the default — makes every emission a single pointer test.
+    void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+    [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
 private:
     EventQueue queue_;
+    obs::Tracer* tracer_ = nullptr;
     SimTime now_ = SimTime::zero();
     std::uint64_t processed_ = 0;
     bool stopped_ = false;

@@ -21,6 +21,25 @@ TEST(CliFlags, ParsesNameValuePairs) {
     EXPECT_DOUBLE_EQ(flag_d(f, "tp", 0.0), 121.5);
 }
 
+TEST(CliFlags, ParsesEqualsSignForm) {
+    const auto f = parse({"--n=20", "--tp=121.5", "--trace=out.jsonl"});
+    EXPECT_EQ(flag_i(f, "n", 0), 20);
+    EXPECT_DOUBLE_EQ(flag_d(f, "tp", 0.0), 121.5);
+    EXPECT_EQ(flag_s(f, "trace"), "out.jsonl");
+}
+
+TEST(CliFlags, EqualsFormWithEmptyValueStoresEmpty) {
+    const auto f = parse({"--out="});
+    EXPECT_TRUE(flag_b(f, "out"));
+    EXPECT_EQ(flag_s(f, "out", "fallback"), "");
+}
+
+TEST(CliFlags, StringFlagFallback) {
+    const auto f = parse({"--trace", "t.jsonl"});
+    EXPECT_EQ(flag_s(f, "trace"), "t.jsonl");
+    EXPECT_EQ(flag_s(f, "absent", "dflt"), "dflt");
+}
+
 TEST(CliFlags, BooleanFlagsGetOne) {
     const auto f = parse({"--sync-start", "--n", "5", "--rounds"});
     EXPECT_TRUE(flag_b(f, "sync-start"));

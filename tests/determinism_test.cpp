@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "apps/apps.hpp"
+#include "core/core.hpp"
 #include "net/net.hpp"
+#include "obs/obs.hpp"
 #include "scenarios/scenarios.hpp"
 
 namespace {
@@ -118,6 +120,36 @@ TEST(Determinism, SharedLanContentionMatchesSeedGolden) {
     EXPECT_EQ(r.delivered, 200U);
     EXPECT_EQ(r.collisions, 155U);
     EXPECT_EQ(r.drops, 0U);
+}
+
+/// FNV-1a over the JSONL encoding of every event a traced run emits —
+/// the same bytes JsonlFileSink writes and manifests hash, so a match
+/// here means traces are diffable across machines and --jobs values.
+std::uint64_t traced_pm_hash() {
+    obs::RunContext ctx;
+    ctx.trace_to_ring(1U << 20);
+    core::ExperimentConfig cfg;
+    cfg.params.n = 10;
+    cfg.params.tp = sim::SimTime::seconds(121);
+    cfg.params.tc = sim::SimTime::seconds(0.11);
+    cfg.params.tr = sim::SimTime::seconds(0.1);
+    cfg.params.seed = 42;
+    cfg.max_time = sim::SimTime::seconds(20000);
+    cfg.obs = &ctx;
+    (void)core::run_experiment(cfg);
+
+    const auto* ring = dynamic_cast<obs::RingBufferSink*>(ctx.sink());
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const auto& e : ring->events()) {
+        h = fnv1a(h, (obs::trace_event_jsonl(e) + "\n").c_str());
+    }
+    return h;
+}
+
+TEST(Determinism, TracedRunMatchesGoldenHash) {
+    const std::uint64_t h = traced_pm_hash();
+    EXPECT_EQ(h, traced_pm_hash()); // stable within a process
+    EXPECT_EQ(h, 18400051260860963185ULL); // golden: trace byte stream is frozen
 }
 
 TEST(Determinism, RepeatedRunsInOneProcessAreIdentical) {

@@ -153,7 +153,8 @@ TEST(DropTailQueue, ByteLimitEnforced) {
 TEST(Link, DeliveryDelayIsSerializationPlusPropagation) {
     sim::Engine engine;
     double delivered_at = -1.0;
-    net::Link link{engine, /*rate=*/8000.0, /*delay=*/100_msec, 8,
+    net::Link link{engine,
+                   net::LinkConfig{.rate_bps = 8000.0, .delay = 100_msec, .queue_packets = 8},
                    [&](net::PooledPacket) { delivered_at = engine.now().sec(); }};
     Packet p;
     p.size_bytes = 1000; // 8000 bits / 8000 bps = 1 s serialization
@@ -165,7 +166,8 @@ TEST(Link, DeliveryDelayIsSerializationPlusPropagation) {
 TEST(Link, InfiniteRateHasZeroSerialization) {
     sim::Engine engine;
     double delivered_at = -1.0;
-    net::Link link{engine, 0.0, 50_msec, 8,
+    net::Link link{engine,
+                   net::LinkConfig{.rate_bps = 0.0, .delay = 50_msec, .queue_packets = 8},
                    [&](net::PooledPacket) { delivered_at = engine.now().sec(); }};
     Packet p;
     p.size_bytes = 1500;
@@ -177,7 +179,8 @@ TEST(Link, InfiniteRateHasZeroSerialization) {
 TEST(Link, BackToBackPacketsSerialize) {
     sim::Engine engine;
     std::vector<double> arrivals;
-    net::Link link{engine, 8000.0, SimTime::zero(), 8,
+    net::Link link{engine,
+                   net::LinkConfig{.rate_bps = 8000.0, .delay = SimTime::zero(), .queue_packets = 8},
                    [&](net::PooledPacket) { arrivals.push_back(engine.now().sec()); }};
     Packet p;
     p.size_bytes = 1000; // 1 s each
@@ -194,7 +197,8 @@ TEST(Link, BackToBackPacketsSerialize) {
 TEST(Link, QueueOverflowDrops) {
     sim::Engine engine;
     int delivered = 0;
-    net::Link link{engine, 8000.0, SimTime::zero(), 2,
+    net::Link link{engine,
+                   net::LinkConfig{.rate_bps = 8000.0, .delay = SimTime::zero(), .queue_packets = 2},
                    [&](net::PooledPacket) { ++delivered; }};
     Packet p;
     p.size_bytes = 1000;

@@ -1,0 +1,294 @@
+// Observability layer: trace sinks, the JSONL encoding, metric snapshot
+// merge rules, manifests, and the cross---jobs determinism contract of
+// merge_trial_metrics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+#include "obs/obs.hpp"
+#include "parallel/parallel.hpp"
+
+namespace {
+
+using namespace routesync;
+
+obs::TraceEvent make_event(std::uint64_t seq, double t, obs::TraceEventType type,
+                           int node, std::int64_t a, double b) {
+    obs::TraceEvent e;
+    e.seq = seq;
+    e.time = sim::SimTime::seconds(t);
+    e.type = type;
+    e.node = node;
+    e.a = a;
+    e.b = b;
+    return e;
+}
+
+// ------------------------------------------------------------ sinks
+
+TEST(RingBufferSink, KeepsNewestEventsAndCountsDrops) {
+    obs::RingBufferSink sink{4};
+    for (int i = 0; i < 10; ++i) {
+        sink.on_event(make_event(static_cast<std::uint64_t>(i), i * 1.0,
+                                 obs::TraceEventType::TimerSet, i, 0, 0.0));
+    }
+    EXPECT_EQ(sink.capacity(), 4U);
+    EXPECT_EQ(sink.events_seen(), 10U);
+    EXPECT_EQ(sink.dropped(), 6U);
+    ASSERT_EQ(sink.events().size(), 4U);
+    // Oldest-first: seqs 6, 7, 8, 9 survive.
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(sink.events()[i].seq, 6U + i);
+    }
+}
+
+TEST(RingBufferSink, NoDropsBelowCapacity) {
+    obs::RingBufferSink sink{8};
+    for (int i = 0; i < 8; ++i) {
+        sink.on_event(make_event(static_cast<std::uint64_t>(i), 0.0,
+                                 obs::TraceEventType::PacketDrop, 0, 0, 0.0));
+    }
+    EXPECT_EQ(sink.dropped(), 0U);
+    EXPECT_EQ(sink.events().size(), 8U);
+}
+
+TEST(TraceEventJsonl, EncodesEveryField) {
+    const auto e = make_event(7, 1.5, obs::TraceEventType::PacketDeliver, 3, 42, 2.5);
+    EXPECT_EQ(obs::trace_event_jsonl(e),
+              "{\"seq\": 7, \"t\": 1.5, \"type\": \"packet_deliver\", "
+              "\"node\": 3, \"a\": 42, \"b\": 2.5}");
+}
+
+TEST(TraceEventJsonl, RoundTripsDoublesAtFullPrecision) {
+    const double b = 69.421511837985378;
+    const auto e = make_event(0, 0.1, obs::TraceEventType::TimerSet, 0, 0, b);
+    const std::string line = obs::trace_event_jsonl(e);
+    // %.17g is shortest-round-trip-safe: parsing the text recovers the bits.
+    const auto pos = line.find("\"b\": ");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_EQ(std::stod(line.substr(pos + 5)), b);
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+    EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::json_escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(obs::json_escape(std::string{"a\x01z"}), "a\\u0001z");
+}
+
+TEST(JsonlFileSink, WritesOneValidLinePerEvent) {
+    const std::string path = ::testing::TempDir() + "obs_jsonl_sink_test.jsonl";
+    {
+        obs::JsonlFileSink sink{path};
+        sink.on_event(make_event(0, 0.25, obs::TraceEventType::TimerSet, 1, 0, 9.5));
+        sink.on_event(make_event(1, 0.5, obs::TraceEventType::UpdateTx, 2, 20, 1.0));
+        sink.flush();
+        EXPECT_EQ(sink.events_seen(), 2U);
+    }
+    std::ifstream in{path};
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) {
+        lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 2U);
+    EXPECT_EQ(lines[0],
+              "{\"seq\": 0, \"t\": 0.25, \"type\": \"timer_set\", "
+              "\"node\": 1, \"a\": 0, \"b\": 9.5}");
+    EXPECT_EQ(lines[1], obs::trace_event_jsonl(
+                            make_event(1, 0.5, obs::TraceEventType::UpdateTx, 2, 20, 1.0)));
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- metric merges
+
+TEST(MetricsSnapshot, CountersSumAndGaugesLastWriterWins) {
+    obs::MetricsRegistry a;
+    a.add("pkts", 3);
+    a.set_gauge("end_time", 10.0);
+    obs::MetricsRegistry b;
+    b.add("pkts", 4);
+    b.add("drops", 1);
+    b.set_gauge("end_time", 20.0);
+
+    obs::MetricsSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.counters.at("pkts"), 7U);
+    EXPECT_EQ(merged.counters.at("drops"), 1U);
+    EXPECT_EQ(merged.gauges.at("end_time"), 20.0);
+}
+
+TEST(MetricsSnapshot, DistributionsWelfordMerge) {
+    obs::MetricsRegistry a;
+    obs::MetricsRegistry b;
+    obs::MetricsRegistry whole;
+    const std::vector<double> xs{1.0, 2.0, 3.0, 10.0, 20.0, 30.0};
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        (i < 3 ? a : b).observe("x", xs[i]);
+        whole.observe("x", xs[i]);
+    }
+    obs::MetricsSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    const auto& m = merged.distributions.at("x");
+    const auto& w = whole.snapshot().distributions.at("x");
+    EXPECT_EQ(m.count(), w.count());
+    EXPECT_DOUBLE_EQ(m.mean(), w.mean());
+    EXPECT_NEAR(m.variance(), w.variance(), 1e-9);
+    EXPECT_EQ(m.min(), w.min());
+    EXPECT_EQ(m.max(), w.max());
+}
+
+TEST(MetricsSnapshot, HistogramsMergeBinWiseAndRejectMismatchedBinning) {
+    obs::MetricsRegistry a;
+    a.histogram("h", 0.0, 10.0, 5).add(1.0);
+    obs::MetricsRegistry b;
+    b.histogram("h", 0.0, 10.0, 5).add(9.0);
+    obs::MetricsSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.histograms.at("h").total(), 2U);
+
+    obs::MetricsRegistry c;
+    c.histogram("h", 0.0, 20.0, 5).add(1.0);
+    obs::MetricsSnapshot bad = a.snapshot();
+    EXPECT_THROW(bad.merge(c.snapshot()), std::invalid_argument);
+}
+
+TEST(MetricsSnapshot, MergeIsAFunctionOfSnapshotSequenceOnly) {
+    // merge_snapshots(parts) == fold in order, independent of who
+    // produced the parts.
+    std::vector<obs::MetricsSnapshot> parts;
+    for (int i = 0; i < 4; ++i) {
+        obs::MetricsRegistry r;
+        r.add("n", static_cast<std::uint64_t>(i + 1));
+        r.observe("t", i * 1.5);
+        parts.push_back(r.snapshot());
+    }
+    const obs::MetricsSnapshot once = obs::merge_snapshots(parts);
+    const obs::MetricsSnapshot again = obs::merge_snapshots(parts);
+    EXPECT_TRUE(once == again);
+    EXPECT_EQ(once.counters.at("n"), 10U);
+}
+
+// --------------------------------------- cross-jobs trial determinism
+
+std::vector<core::ExperimentConfig> small_sweep() {
+    std::vector<core::ExperimentConfig> configs;
+    for (int i = 0; i < 8; ++i) {
+        core::ExperimentConfig cfg;
+        cfg.params.n = 10;
+        cfg.params.tp = sim::SimTime::seconds(121);
+        cfg.params.tc = sim::SimTime::seconds(0.11);
+        cfg.params.tr = sim::SimTime::seconds(0.1);
+        cfg.params.seed = parallel::derive_seed(42, static_cast<std::uint64_t>(i));
+        cfg.max_time = sim::SimTime::seconds(5000);
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+TEST(TrialMetrics, MergedSnapshotIdenticalForJobs1And8) {
+    const auto configs = small_sweep();
+    const parallel::TrialRunner serial{{.jobs = 1}};
+    const parallel::TrialRunner wide{{.jobs = 8}};
+    const auto r1 = serial.run_all(configs);
+    const auto r8 = wide.run_all(configs);
+    const obs::MetricsSnapshot m1 = parallel::merge_trial_metrics(r1);
+    const obs::MetricsSnapshot m8 = parallel::merge_trial_metrics(r8);
+    EXPECT_TRUE(m1 == m8);
+    EXPECT_EQ(m1.to_json(), m8.to_json());
+    // And the merge actually saw every trial.
+    EXPECT_EQ(m1.counters.at("experiment.rounds_closed") > 0, true);
+}
+
+TEST(TrialMetrics, SharedRunContextIsNotHandedToWorkerThreads) {
+    // config.obs is per-run state; the runner must strip it from the
+    // copies it hands to workers (the caller merges via result.metrics).
+    obs::RunContext ctx;
+    auto configs = small_sweep();
+    for (auto& cfg : configs) {
+        cfg.obs = &ctx;
+    }
+    const parallel::TrialRunner wide{{.jobs = 4}};
+    const auto results = wide.run_all(configs);
+    ASSERT_EQ(results.size(), configs.size());
+    // The shared context saw none of the trials' merges...
+    obs::MetricsRegistry empty;
+    EXPECT_TRUE(ctx.metrics().snapshot() == empty.snapshot());
+    // ...but every result still carries its own snapshot.
+    for (const auto& r : results) {
+        EXPECT_GT(r.metrics.counters.at("experiment.transmissions"), 0U);
+    }
+}
+
+// ------------------------------------------------------------ manifest
+
+TEST(Manifest, WritesParsableJsonWithConfigAndMetrics) {
+    obs::RunContext ctx;
+    ctx.metrics().add("demo.count", 5);
+    obs::Manifest& m = ctx.manifest();
+    m.tool = "obs_test";
+    m.description = "manifest \"quoted\" description";
+    m.seeds = {1, 2};
+    m.jobs = 4;
+    m.set_config("n", 20);
+    const std::string path = ::testing::TempDir() + "obs_manifest_test.json";
+    ctx.write_manifest(path, 123.5);
+
+    std::ifstream in{path};
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    EXPECT_NE(text.find("\"tool\": \"obs_test\""), std::string::npos);
+    EXPECT_NE(text.find("manifest \\\"quoted\\\" description"), std::string::npos);
+    EXPECT_NE(text.find("\"demo.count\": 5"), std::string::npos);
+    EXPECT_NE(text.find("\"sim_seconds\": 123.5"), std::string::npos);
+    EXPECT_NE(text.find("\"n\": \"20\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Manifest, Fnv1aMatchesRepoConvention) {
+    // The repo-wide FNV-1a variant (same basis determinism_test and the
+    // figure tools use). Frozen so manifests stay comparable across
+    // builds.
+    EXPECT_EQ(obs::fnv1a(""), 1469598103934665603ULL);
+    std::uint64_t h = 1469598103934665603ULL;
+    h ^= static_cast<unsigned char>('a');
+    h *= 1099511628211ULL;
+    EXPECT_EQ(obs::fnv1a("a"), h);
+}
+
+// --------------------------------------------------- engine attachment
+
+TEST(RunContext, AttachedTracerSeesModelEventsInSeqOrder) {
+    obs::RunContext ctx;
+    ctx.trace_to_ring(4096);
+    core::ExperimentConfig cfg;
+    cfg.params.n = 5;
+    cfg.params.seed = 7;
+    cfg.max_time = sim::SimTime::seconds(2000);
+    cfg.obs = &ctx;
+    const auto r = core::run_experiment(cfg);
+    EXPECT_GT(r.total_transmissions, 0U);
+
+    const auto* ring = dynamic_cast<obs::RingBufferSink*>(ctx.sink());
+    ASSERT_NE(ring, nullptr);
+    ASSERT_FALSE(ring->events().empty());
+    std::uint64_t last_seq = 0;
+    bool saw_timer_set = false;
+    bool saw_update_tx = false;
+    for (const auto& e : ring->events()) {
+        EXPECT_GE(e.seq, last_seq);
+        last_seq = e.seq;
+        saw_timer_set |= e.type == obs::TraceEventType::TimerSet;
+        saw_update_tx |= e.type == obs::TraceEventType::UpdateTx;
+    }
+    EXPECT_TRUE(saw_timer_set);
+    EXPECT_TRUE(saw_update_tx);
+}
+
+} // namespace

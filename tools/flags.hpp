@@ -12,9 +12,9 @@ namespace routesync::cli {
 
 using Flags = std::map<std::string, std::string>;
 
-/// Parses `--name value` pairs starting at argv[first]. A flag followed by
-/// another flag (or by nothing) is boolean and gets the value "1".
-/// Non-flag tokens throw.
+/// Parses `--name value` and `--name=value` flags starting at
+/// argv[first]. A flag followed by another flag (or by nothing) is
+/// boolean and gets the value "1". Non-flag tokens throw.
 inline Flags parse_flags(int argc, char** argv, int first) {
     Flags flags;
     for (int i = first; i < argc; ++i) {
@@ -26,7 +26,12 @@ inline Flags parse_flags(int argc, char** argv, int first) {
         if (arg.empty()) {
             throw std::invalid_argument{"empty flag name"};
         }
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        if (const auto eq = arg.find('='); eq != std::string::npos) {
+            if (eq == 0) {
+                throw std::invalid_argument{"empty flag name"};
+            }
+            flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
             flags[arg] = argv[++i];
         } else {
             flags[arg] = "1";
@@ -47,6 +52,12 @@ inline int flag_i(const Flags& flags, const std::string& key, int fallback) {
 
 inline bool flag_b(const Flags& flags, const std::string& key) {
     return flags.contains(key);
+}
+
+inline std::string flag_s(const Flags& flags, const std::string& key,
+                          const std::string& fallback = {}) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
 }
 
 /// Parses `--jobs`: worker-thread count for parallel sweeps. Absent ->

@@ -17,6 +17,11 @@
 // `sweep` and `f2` accept --jobs N to fan independent work over N worker
 // threads (default: hardware concurrency). Output is byte-identical for
 // every jobs value.
+//
+// `pm` and `sweep` accept --trace FILE (JSONL event trace; for pm every
+// timer/transmission event, for sweep one metric_sample per grid point)
+// and --out FILE (a run manifest with config, metrics, and the trace
+// hash).
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -24,6 +29,7 @@
 
 #include "core/core.hpp"
 #include "markov/markov.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel.hpp"
 #include "tools/flags.hpp"
 
@@ -35,6 +41,7 @@ using cli::flag_b;
 using cli::flag_d;
 using cli::flag_i;
 using cli::flag_jobs;
+using cli::flag_s;
 using cli::Flags;
 
 markov::ChainParams chain_params(const Flags& flags) {
@@ -81,7 +88,33 @@ int cmd_pm(const Flags& flags) {
     cfg.record_rounds = want_rounds;
     cfg.transmit_stride = want_transmits ? flag_i(flags, "stride", 1) : 0;
 
+    obs::RunContext ctx;
+    const std::string trace = flag_s(flags, "trace");
+    const std::string out = flag_s(flags, "out");
+    if (!trace.empty()) {
+        ctx.trace_to_file(trace);
+    }
+    if (!trace.empty() || !out.empty()) {
+        cfg.obs = &ctx;
+        obs::Manifest& m = ctx.manifest();
+        m.tool = "routesync_cli pm";
+        m.description = "Periodic Messages model run";
+        m.seeds.assign(1, cfg.params.seed);
+        m.set_config("n", cfg.params.n);
+        m.set_config("tp_sec", cfg.params.tp.sec());
+        m.set_config("tr_sec", cfg.params.tr.sec());
+        m.set_config("tc_sec", cfg.params.tc.sec());
+        m.set_config("max_time_sec", cfg.max_time.sec());
+    }
+
     const auto r = core::run_experiment(cfg);
+    if (cfg.obs != nullptr) {
+        if (out.empty()) {
+            ctx.finish(r.end_time_sec);
+        } else {
+            ctx.write_manifest(out, r.end_time_sec);
+        }
+    }
 
     if (want_transmits) {
         std::printf("time_s,node,offset_s\n");
@@ -136,6 +169,12 @@ int cmd_sweep(const Flags& flags) {
     const double to = flag_d(flags, "to", 3.0);
     const double step = flag_d(flags, "step", 0.05);
     const std::size_t jobs = flag_jobs(flags, parallel::hardware_jobs());
+    obs::RunContext ctx;
+    const std::string trace = flag_s(flags, "trace");
+    const std::string out = flag_s(flags, "out");
+    if (!trace.empty()) {
+        ctx.trace_to_file(trace);
+    }
     std::printf("tr_over_tc,tr_s,fraction_unsync,f_n_s,g_1_s\n");
     std::vector<double> grid;
     for (double x = from; x <= to + 1e-12; x += step) {
@@ -157,6 +196,33 @@ int cmd_sweep(const Flags& flags) {
     for (std::size_t i = 0; i < grid.size(); ++i) {
         std::printf("%.4f,%.6g,%.6g,%.6g,%.6g\n", grid[i], rows[i].tr_s,
                     rows[i].frac, rows[i].fn_s, rows[i].g1_s);
+        // One metric_sample per grid point, in grid order: t carries the
+        // swept Tr (seconds), a the grid index, b the unsynchronized
+        // fraction — deterministic for every --jobs value because the
+        // sweep results come back in submission order.
+        if (obs::Tracer* tr = ctx.tracer()) {
+            tr->emit(obs::TraceEventType::MetricSample,
+                     sim::SimTime::seconds(rows[i].tr_s), -1,
+                     static_cast<std::int64_t>(i), rows[i].frac);
+        }
+        ctx.metrics().observe("sweep.fraction_unsync", rows[i].frac);
+    }
+    if (!trace.empty() || !out.empty()) {
+        obs::Manifest& m = ctx.manifest();
+        m.tool = "routesync_cli sweep";
+        m.description = "fraction-unsynchronized sweep over Tr";
+        m.jobs = jobs;
+        m.set_config("n", base.n);
+        m.set_config("tp_sec", base.tp_sec);
+        m.set_config("tc_sec", base.tc_sec);
+        m.set_config("from_tr_over_tc", from);
+        m.set_config("to_tr_over_tc", to);
+        m.set_config("step", step);
+        if (out.empty()) {
+            ctx.finish(0.0);
+        } else {
+            ctx.write_manifest(out, 0.0);
+        }
     }
     return 0;
 }
@@ -195,9 +261,10 @@ void usage() {
                  "            [--reset-at-expiry] [--half-period] [--delta X]\n"
                  "            [--stop-on-sync] [--stop-on-breakup K]\n"
                  "            [--rounds|--transmits [--stride k]]\n"
+                 "            [--trace FILE] [--out MANIFEST]\n"
                  "  chain     --n --tp --tr --tc [--f2 rounds]\n"
                  "  sweep     --n --tp --tc --from --to --step [--jobs N]\n"
-                 "            (Tr in units of Tc)\n"
+                 "            [--trace FILE] [--out MANIFEST] (Tr in units of Tc)\n"
                  "  threshold --n --tp --tc [--n-max]\n"
                  "  f2        --n --tp --tr --tc [--reps] [--seed] [--jobs N]\n"
                  "\n"

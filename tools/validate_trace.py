@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Validate routesync observability artifacts: JSONL traces + manifests.
+
+Usage:
+  validate_trace.py trace TRACE.jsonl [--manifest MANIFEST.json]
+      Schema-check every trace line; with --manifest also check that the
+      manifest's embedded event count and FNV-1a hash match the file.
+
+  validate_trace.py manifest MANIFEST.json
+      Schema-check a run manifest.
+
+  validate_trace.py compare MANIFEST_A.json MANIFEST_B.json
+      Assert two manifests describe byte-identical traces (same event
+      count and FNV-1a) and identical metric blocks — the --jobs 1 vs
+      --jobs 8 determinism gate used by the `check-trace` build target.
+
+Exit status 0 on success; 1 with a diagnostic on the first violation.
+No third-party dependencies (stdlib json only).
+"""
+
+import argparse
+import json
+import sys
+
+EVENT_TYPES = {
+    "timer_set",
+    "timer_fire",
+    "timer_reset",
+    "packet_enqueue",
+    "packet_drop",
+    "packet_deliver",
+    "update_tx",
+    "update_rx",
+    "cpu_busy_begin",
+    "cpu_busy_end",
+    "cluster_change",
+    "metric_sample",
+}
+
+# Field name -> accepted types. `t` and `b` are JSON numbers; `seq`, `node`
+# and `a` must be integers.
+EVENT_FIELDS = {
+    "seq": (int,),
+    "t": (int, float),
+    "type": (str,),
+    "node": (int,),
+    "a": (int,),
+    "b": (int, float),
+}
+
+MANIFEST_FIELDS = {
+    "tool": (str,),
+    "description": (str,),
+    "git_describe": (str,),
+    "build_type": (str,),
+    "seeds": (list,),
+    "jobs": (int,),
+    "config": (dict,),
+    "metrics": (dict,),
+    "wall_seconds": (int, float),
+    "sim_seconds": (int, float),
+    "failed_checks": (int,),
+}
+
+FNV_BASIS = 1469598103934665603  # the repo-wide FNV-1a basis
+FNV_PRIME = 1099511628211
+U64 = (1 << 64) - 1
+
+
+def fnv1a(data: bytes) -> int:
+    h = FNV_BASIS
+    for byte in data:
+        h ^= byte
+        h = (h * FNV_PRIME) & U64
+    return h
+
+
+def fail(msg: str) -> "NoReturn":  # noqa: F821 - py3.8-friendly annotation
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(obj: dict, spec: dict, what: str) -> None:
+    for name, types in spec.items():
+        if name not in obj:
+            fail(f"{what}: missing field '{name}'")
+        value = obj[name]
+        # bool is an int subclass in Python; a JSON true/false is never valid
+        # where the schema expects a number.
+        if isinstance(value, bool) or not isinstance(value, types):
+            fail(f"{what}: field '{name}' has type {type(value).__name__}, "
+             f"expected {'/'.join(t.__name__ for t in types)}")
+
+
+def validate_trace_file(path: str) -> tuple[int, int]:
+    """Returns (event_count, fnv1a_of_bytes)."""
+    try:
+        with open(path, "rb") as f:
+            raw = f.read()
+    except OSError as e:
+        fail(f"cannot read trace {path}: {e}")
+    count = 0
+    prev_seq = -1
+    prev_t = float("-inf")
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        if not line.strip():
+            fail(f"{path}:{lineno}: blank line in JSONL trace")
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{lineno}: invalid JSON: {e}")
+        if not isinstance(event, dict):
+            fail(f"{path}:{lineno}: expected a JSON object")
+        check_fields(event, EVENT_FIELDS, f"{path}:{lineno}")
+        if set(event) - set(EVENT_FIELDS):
+            fail(f"{path}:{lineno}: unknown fields "
+                 f"{sorted(set(event) - set(EVENT_FIELDS))}")
+        if event["type"] not in EVENT_TYPES:
+            fail(f"{path}:{lineno}: unknown event type '{event['type']}'")
+        if event["seq"] != prev_seq + 1:
+            fail(f"{path}:{lineno}: seq {event['seq']} breaks the monotonic "
+                 f"sequence (previous {prev_seq})")
+        if event["t"] < prev_t:
+            fail(f"{path}:{lineno}: time {event['t']} goes backwards "
+                 f"(previous {prev_t})")
+        if event["t"] < 0:
+            fail(f"{path}:{lineno}: negative time {event['t']}")
+        prev_seq = event["seq"]
+        prev_t = event["t"]
+        count += 1
+    return count, fnv1a(raw)
+
+
+def load_manifest(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load manifest {path}: {e}")
+    if not isinstance(manifest, dict):
+        fail(f"{path}: manifest must be a JSON object")
+    check_fields(manifest, MANIFEST_FIELDS, path)
+    for kind in ("counters", "gauges", "distributions", "histograms"):
+        if kind not in manifest["metrics"]:
+            fail(f"{path}: metrics block missing '{kind}'")
+    trace = manifest.get("trace")
+    if trace is not None:
+        for field in ("path", "events", "fnv1a"):
+            if field not in trace:
+                fail(f"{path}: trace block missing '{field}'")
+    return manifest
+
+
+def cmd_trace(args: argparse.Namespace) -> None:
+    count, digest = validate_trace_file(args.trace)
+    if args.manifest:
+        manifest = load_manifest(args.manifest)
+        trace = manifest.get("trace")
+        if trace is None:
+            fail(f"{args.manifest}: no trace block but a trace file was given")
+        if trace["events"] != count:
+            fail(f"manifest says {trace['events']} events, trace has {count}")
+        if int(trace["fnv1a"], 16) != digest:
+            fail(f"manifest hash {trace['fnv1a']} != computed {digest:016x}")
+    print(f"validate_trace: OK: {args.trace}: {count} events, "
+          f"fnv1a {digest:016x}")
+
+
+def cmd_manifest(args: argparse.Namespace) -> None:
+    load_manifest(args.manifest)
+    print(f"validate_trace: OK: {args.manifest}")
+
+
+def cmd_compare(args: argparse.Namespace) -> None:
+    a = load_manifest(args.manifest_a)
+    b = load_manifest(args.manifest_b)
+    ta, tb = a.get("trace"), b.get("trace")
+    if (ta is None) != (tb is None):
+        fail("one manifest has a trace block, the other does not")
+    if ta is not None:
+        if ta["events"] != tb["events"]:
+            fail(f"event counts differ: {ta['events']} vs {tb['events']}")
+        if ta["fnv1a"] != tb["fnv1a"]:
+            fail(f"trace hashes differ: {ta['fnv1a']} vs {tb['fnv1a']}")
+    if a["metrics"] != b["metrics"]:
+        fail("metric blocks differ")
+    if a["failed_checks"] != b["failed_checks"]:
+        fail(f"failed_checks differ: {a['failed_checks']} vs "
+             f"{b['failed_checks']}")
+    print(f"validate_trace: OK: {args.manifest_a} == {args.manifest_b} "
+          f"(trace + metrics)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="validate a JSONL trace")
+    p_trace.add_argument("trace")
+    p_trace.add_argument("--manifest", help="cross-check against a manifest")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_manifest = sub.add_parser("manifest", help="validate a run manifest")
+    p_manifest.add_argument("manifest")
+    p_manifest.set_defaults(func=cmd_manifest)
+
+    p_compare = sub.add_parser(
+        "compare", help="assert two manifests describe identical runs")
+    p_compare.add_argument("manifest_a")
+    p_compare.add_argument("manifest_b")
+    p_compare.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()
