@@ -15,6 +15,10 @@
 //   --quiet       suppress human chatter entirely (checks still counted)
 //   --trace FILE  write a JSONL trace of the run's events (obs layer)
 //   --out FILE    write a run manifest (manifest.json) on exit
+//   --sample-every SEC  run the ResourceSampler at this sim-time cadence
+//                 (benches forward opts().sample_every to their configs)
+//   --profile     wall-clock self-profiler: per-label count/total/max in
+//                 the manifest's "profile" section + a table on exit
 //
 // Bench-specific flags are whitelisted through OptionsSpec::extra;
 // anything else is a usage error (exit 2). The returned Options owns the
@@ -48,6 +52,10 @@ struct Options {
     bool quiet = false;
     std::string trace; ///< JSONL trace path ("" = tracing off)
     std::string out;   ///< manifest path ("" = no manifest)
+    /// ResourceSampler cadence in sim seconds (0 = sampling off). Benches
+    /// forward this to ExperimentConfig::sample_every / scenario configs.
+    double sample_every = 0.0;
+    bool profile = false; ///< wall-clock self-profiler on
     /// Values of the OptionsSpec::extra flags that were present.
     cli::Flags extra;
     /// Unrecognised argv tokens, in order — only populated under
@@ -89,7 +97,7 @@ namespace detail {
 [[noreturn]] inline void usage(const char* argv0, const OptionsSpec& spec) {
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--seed S] [--json] [--quiet]"
-                 " [--trace FILE] [--out FILE]",
+                 " [--trace FILE] [--out FILE] [--sample-every SEC] [--profile]",
                  argv0);
     for (const std::string& name : spec.extra) {
         std::fprintf(stderr, " [--%s V]", name.c_str());
@@ -135,9 +143,10 @@ inline Options& parse_options(int argc, char** argv, const OptionsSpec& spec = {
             name = name.substr(0, eq);
             has_value = true;
         }
-        const bool is_bool = name == "json" || name == "quiet";
+        const bool is_bool = name == "json" || name == "quiet" || name == "profile";
         const bool is_known = is_bool || name == "jobs" || name == "seed" ||
-                              name == "trace" || name == "out" || is_extra(name);
+                              name == "trace" || name == "out" ||
+                              name == "sample-every" || is_extra(name);
         if (!is_known) {
             if (spec.allow_unknown) {
                 o.passthrough.push_back(std::move(arg));
@@ -154,6 +163,20 @@ inline Options& parse_options(int argc, char** argv, const OptionsSpec& spec = {
             o.json = true;
         } else if (name == "quiet") {
             o.quiet = true;
+        } else if (name == "profile") {
+            o.profile = true;
+        } else if (name == "sample-every") {
+            char* end = nullptr;
+            const double sec = std::strtod(value.c_str(), &end);
+            if (!has_value || end == value.c_str() || *end != '\0' ||
+                !(sec > 0.0) || std::isinf(sec)) {
+                std::fprintf(stderr,
+                             "error: --sample-every must be a positive number of"
+                             " seconds, got '%s'\n",
+                             value.c_str());
+                std::exit(2);
+            }
+            o.sample_every = sec;
         } else if (name == "jobs") {
             char* end = nullptr;
             const long n = std::strtol(value.c_str(), &end, 10);
@@ -192,6 +215,9 @@ inline Options& parse_options(int argc, char** argv, const OptionsSpec& spec = {
     }
     if (!o.trace.empty()) {
         o.ctx.trace_to_file(o.trace);
+    }
+    if (o.profile) {
+        o.ctx.enable_profiling();
     }
     obs::Manifest& m = o.ctx.manifest();
     m.tool = !spec.tool.empty() ? spec.tool : detail::basename_of(argv[0]);
@@ -261,10 +287,18 @@ inline int footer_quiet() {
     o.ctx.manifest().failed_checks = g_failed_checks;
     if (!o.out.empty()) {
         o.ctx.write_manifest(o.out, o.sim_seconds);
-    } else if (!o.trace.empty()) {
-        // Still flush + hash the trace so --trace alone leaves a complete
-        // file behind.
+    } else if (!o.trace.empty() || o.profile) {
+        // Still flush + hash the trace (and fold the profile into the
+        // manifest) so --trace/--profile alone leave a complete record.
         o.ctx.finish(o.sim_seconds);
+    }
+    if (o.profile) {
+        if (FILE* f = chatter()) {
+            const auto& prof = o.ctx.manifest().profile;
+            std::fprintf(f, "\n-- profile (wall clock) --\n%s",
+                         prof.has_value() ? prof->format().c_str()
+                                          : "(no scopes recorded)\n");
+        }
     }
     return 0; // benches report, they do not abort the bench sweep
 }

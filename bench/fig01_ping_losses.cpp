@@ -26,6 +26,9 @@ PingRun run(bool blocking, obs::RunContext* ctx = nullptr) {
     scenarios::NearnetConfig cfg;
     cfg.blocking_cpu = blocking;
     scenarios::NearnetScenario s{cfg, ctx};
+    if (ctx != nullptr && opts().sample_every > 0.0) {
+        s.start_sampler(*ctx, opts().sample_every);
+    }
     apps::PingConfig pc;
     pc.dst = s.dst().id();
     pc.count = 1000;

@@ -5,16 +5,22 @@
 // routers merge into the steep line of the growing cluster until all 20
 // transmit in lockstep.
 #include <cstdio>
+#include <fstream>
 
 #include "bench/common.hpp"
 #include "core/core.hpp"
+#include "core/trace_replay.hpp"
 
 using namespace routesync;
 using namespace routesync::bench;
 
 int main(int argc, char** argv) {
-    Options& options = parse_options(
-        argc, argv, "Figure 4: time-offset of every routing message");
+    OptionsSpec spec;
+    spec.description = "Figure 4: time-offset of every routing message";
+    // --clusters-out FILE: the live cluster-size series ("time size" per
+    // line) — the reference routesync trace replay-check --expect diffs.
+    spec.extra = {"clusters-out"};
+    Options& options = parse_options(argc, argv, spec);
     header("Figure 4",
            "time-offset of every routing message; unsynchronized start, N=20, "
            "Tp=121 s, Tc=0.11 s, Tr=0.1 s");
@@ -29,6 +35,10 @@ int main(int argc, char** argv) {
     cfg.transmit_stride = 7; // ~2400 of ~16500 points, enough to see the lines
     cfg.record_rounds = true;
     cfg.obs = &options.ctx; // timer/transmit/cluster events land in --trace
+    cfg.sample_every = options.sample_every;
+    if (options.sample_every > 0.0) {
+        options.ctx.manifest().set_config("sample_every_sec", options.sample_every);
+    }
     options.ctx.manifest().seeds.assign(1, cfg.params.seed);
     options.ctx.manifest().set_config("n", cfg.params.n);
     options.ctx.manifest().set_config("tp_sec", cfg.params.tp.sec());
@@ -36,6 +46,27 @@ int main(int argc, char** argv) {
     options.ctx.manifest().set_config("tr_sec", cfg.params.tr.sec());
     const auto r = core::run_experiment(cfg);
     options.sim_seconds = r.end_time_sec;
+
+    if (const auto it = options.extra.find("clusters-out");
+        it != options.extra.end()) {
+        // first_hit_up[s] is exactly the series the live ClusterTracker's
+        // on_size_first_reached callback produced (groups grow one member
+        // at a time, so sizes are first reached in increasing order).
+        std::vector<core::ClusterEvent> series;
+        for (int s = 1; s <= cfg.params.n; ++s) {
+            const auto& t = r.first_hit_up[static_cast<std::size_t>(s)];
+            if (t.has_value()) {
+                series.push_back(
+                    core::ClusterEvent{sim::SimTime::seconds(*t), s});
+            }
+        }
+        std::ofstream f{it->second};
+        if (!f) {
+            std::fprintf(stderr, "error: cannot open %s\n", it->second.c_str());
+            return 1;
+        }
+        f << core::format_cluster_series(series);
+    }
 
     section("series: time (s) vs node vs offset = time mod (Tp+Tc) (s)");
     std::printf("%10s %5s %10s\n", "time_s", "node", "offset_s");

@@ -1,13 +1,25 @@
 #include "core/experiment.hpp"
 
+#include <optional>
 #include <utility>
 
+#include "obs/resource_sampler.hpp"
 #include "obs/run_context.hpp"
 #include "obs/tracer.hpp"
 
 namespace routesync::core {
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+    // Per-trial profiler: thread-locals don't propagate to worker
+    // threads, so each trial installs its own and the snapshot is merged
+    // back in submission order (like metrics). No-op when profiling is
+    // off process-wide.
+    obs::Profiler trial_profiler;
+    std::optional<obs::ScopedProfilerInstall> prof_install;
+    if (obs::Profiler::process_enabled()) {
+        prof_install.emplace(trial_profiler);
+    }
+
     sim::Engine engine;
     if (config.obs != nullptr) {
         // Attach before the model exists so the initial timer schedule is
@@ -78,8 +90,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                            [&model] { model.trigger_update_all(); });
     }
 
-    engine.run_until(config.max_time);
-    tracker.finish();
+    std::optional<obs::ResourceSampler> sampler;
+    if (config.sample_every > 0.0 && config.obs != nullptr) {
+        sampler.emplace(engine, *config.obs,
+                        sim::SimTime::seconds(config.sample_every));
+        sampler->watch_engine_queue();
+        sampler->start();
+    }
+
+    {
+        OBS_PROF_SCOPE("experiment.run");
+        engine.run_until(config.max_time);
+        tracker.finish();
+    }
 
     if (const auto t = tracker.full_sync_time()) {
         result.full_sync_time_sec = t->sec();
@@ -127,6 +150,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.metrics = reg.snapshot();
     if (config.obs != nullptr) {
         config.obs->merge_metrics(result.metrics);
+    }
+    prof_install.reset(); // restore the caller's profiler before merging
+    result.profile = trial_profiler.snapshot();
+    if (config.obs != nullptr && !result.profile.empty()) {
+        config.obs->merge_profile(result.profile);
     }
     return result;
 }

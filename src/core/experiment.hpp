@@ -14,6 +14,7 @@
 #include "core/periodic_messages.hpp"
 #include "core/timer_policy.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "sim/sim.hpp"
 
 namespace routesync::obs {
@@ -58,6 +59,12 @@ struct ExperimentConfig {
     /// Not owned; must outlive the run. One context per concurrent run —
     /// do not share across parallel trials.
     obs::RunContext* obs = nullptr;
+    /// If > 0 and `obs` is tracing: run a ResourceSampler at this cadence
+    /// (seconds of sim time), emitting resource_sample events and rs.*
+    /// gauges for the engine's queue. 0 (default) = no sampler, no
+    /// overhead. Sampling adds engine events but never touches model
+    /// state, so simulation outcomes are unchanged.
+    double sample_every = 0.0;
 };
 
 struct ExperimentResult {
@@ -81,6 +88,10 @@ struct ExperimentResult {
     /// merges these deterministically across trials — see
     /// parallel::merge_trial_metrics.
     obs::MetricsSnapshot metrics;
+    /// Per-trial profiler snapshot; empty unless the process-wide
+    /// profiler is on (obs::Profiler::set_process_enabled). Labels and
+    /// counts are deterministic; wall-clock times are not.
+    obs::ProfileSnapshot profile;
 };
 
 /// Runs one Periodic Messages experiment to completion.

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 
 namespace routesync::core {
@@ -93,6 +94,7 @@ void PeriodicMessagesModel::schedule_timer(int i, sim::SimTime at) {
 }
 
 void PeriodicMessagesModel::timer_expired(int i) {
+    OBS_PROF_SCOPE("pm.timer_fire");
     nodes_[static_cast<std::size_t>(i)].timer_pending = false;
     if (obs::Tracer* tr = engine_.tracer()) {
         tr->emit(obs::TraceEventType::TimerFire, engine_.now(), i);
@@ -110,6 +112,7 @@ void PeriodicMessagesModel::timer_expired(int i) {
 }
 
 void PeriodicMessagesModel::begin_transmission(int i) {
+    OBS_PROF_SCOPE("pm.begin_transmission");
     const sim::SimTime now = engine_.now();
     auto& nd = nodes_[static_cast<std::size_t>(i)];
 

@@ -1,0 +1,89 @@
+#include "core/trace_replay.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace routesync::core {
+
+ReplayResult replay_cluster_series(const std::vector<obs::TraceEvent>& events,
+                                   sim::SimTime tolerance) {
+    ReplayResult result;
+
+    int max_node = -1;
+    for (const obs::TraceEvent& e : events) {
+        if (e.type == obs::TraceEventType::TimerSet && e.node > max_node) {
+            max_node = e.node;
+        }
+        if (e.type == obs::TraceEventType::ClusterChange) {
+            result.recorded.push_back(
+                ClusterEvent{e.time, static_cast<int>(e.a)});
+        }
+    }
+    if (max_node < 0) {
+        throw std::runtime_error{
+            "replay_cluster_series: trace has no timer_set events"};
+    }
+    result.n = max_node + 1;
+
+    // round_length only matters for the tracker's per-round bookkeeping,
+    // which the size-first-reached series never consults; any positive
+    // value works here.
+    ClusterTracker tracker{result.n, sim::SimTime::seconds(1.0), tolerance};
+    tracker.on_size_first_reached = [&result](int size, sim::SimTime t) {
+        result.replayed.push_back(ClusterEvent{t, size});
+    };
+
+    std::vector<bool> skipped(static_cast<std::size_t>(result.n), false);
+    for (const obs::TraceEvent& e : events) {
+        if (e.type != obs::TraceEventType::TimerSet) {
+            continue;
+        }
+        auto node = static_cast<std::size_t>(e.node);
+        if (!skipped[node]) {
+            // The model constructor's initial arm, emitted before the
+            // live tracker was wired up (see header).
+            skipped[node] = true;
+            ++result.initial_skipped;
+            continue;
+        }
+        tracker.on_timer_set(e.node, e.time);
+        ++result.timer_sets_fed;
+    }
+    tracker.finish();
+    return result;
+}
+
+std::string format_cluster_series(const std::vector<ClusterEvent>& series) {
+    std::string out;
+    char buf[64];
+    for (const ClusterEvent& e : series) {
+        std::snprintf(buf, sizeof buf, "%.17g %d\n", e.time.sec(), e.size);
+        out += buf;
+    }
+    return out;
+}
+
+std::string diff_cluster_series(const std::vector<ClusterEvent>& got,
+                                const std::vector<ClusterEvent>& want) {
+    const std::size_t n = std::min(got.size(), want.size());
+    char buf[192];
+    for (std::size_t i = 0; i < n; ++i) {
+        if (got[i].time != want[i].time || got[i].size != want[i].size) {
+            std::snprintf(buf, sizeof buf,
+                          "entry %zu differs: got (%.17g, %d), want (%.17g, %d)",
+                          i, got[i].time.sec(), got[i].size,
+                          want[i].time.sec(), want[i].size);
+            return buf;
+        }
+    }
+    if (got.size() != want.size()) {
+        std::snprintf(buf, sizeof buf,
+                      "length differs: got %zu entries, want %zu",
+                      got.size(), want.size());
+        return buf;
+    }
+    return {};
+}
+
+} // namespace routesync::core

@@ -1,0 +1,56 @@
+// Trace replay: recompute the cluster-size series from a trace alone.
+//
+// A traced Periodic Messages run records two independent views of
+// synchronization: the raw `timer_set` stream (every timer re-arm, with
+// its node and time) and the derived `cluster_change` stream (the first
+// time each cluster size was reached, emitted by the live ClusterTracker).
+// `routesync trace replay-check` feeds the timer_set stream through a
+// fresh ClusterTracker and diffs the recomputed series against the
+// recorded one — an end-to-end consistency check of the tracer, the
+// serialization, the reader, and the tracker itself.
+//
+// One wrinkle: the model constructor arms each node's initial timer
+// before run_experiment wires model.on_timer_set to the tracker, so the
+// trace holds one leading timer_set per node the live tracker never saw.
+// The replay skips each node's first timer_set to reproduce the exact
+// stream the live tracker consumed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cluster_tracker.hpp"
+#include "obs/trace_event.hpp"
+#include "sim/time.hpp"
+
+namespace routesync::core {
+
+struct ReplayResult {
+    /// Cluster-size series recomputed from the trace's timer_set stream.
+    std::vector<ClusterEvent> replayed;
+    /// The cluster_change series recorded in the trace (a = size).
+    std::vector<ClusterEvent> recorded;
+    int n = 0; ///< node count inferred from the timer_set stream
+    std::uint64_t timer_sets_fed = 0;
+    std::uint64_t initial_skipped = 0; ///< leading per-node timer_sets
+};
+
+/// Replays `events`' timer_set stream through a fresh ClusterTracker with
+/// the given grouping tolerance (the live default is 1 µs). Throws
+/// std::runtime_error when the trace holds no timer_set events.
+[[nodiscard]] ReplayResult
+replay_cluster_series(const std::vector<obs::TraceEvent>& events,
+                      sim::SimTime tolerance = sim::SimTime::micros(1.0));
+
+/// One "time size" line per event, %.17g times — the exchange format of
+/// fig04's --clusters-out and replay-check's --expect.
+[[nodiscard]] std::string
+format_cluster_series(const std::vector<ClusterEvent>& series);
+
+/// Empty string when the two series match exactly; otherwise a
+/// description of the first divergence.
+[[nodiscard]] std::string diff_cluster_series(const std::vector<ClusterEvent>& got,
+                                              const std::vector<ClusterEvent>& want);
+
+} // namespace routesync::core

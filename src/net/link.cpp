@@ -12,6 +12,7 @@ Link::Link(sim::Engine& engine, const LinkConfig& config,
     : engine_{engine},
       rate_bps_{config.rate_bps},
       prop_delay_{config.delay},
+      queue_capacity_{config.queue_packets},
       queue_{config.queue_packets},
       deliver_{std::move(deliver)} {
     if (!deliver_) {

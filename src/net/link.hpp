@@ -54,6 +54,13 @@ public:
     [[nodiscard]] const QueueStats& queue_stats() const noexcept {
         return queue_.stats();
     }
+    /// Packets waiting behind the transmitter right now (the level the
+    /// ResourceSampler reads; queue_stats() has the cumulative counters).
+    [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+    [[nodiscard]] std::uint64_t queue_bytes() const noexcept { return queue_.bytes(); }
+    [[nodiscard]] std::size_t queue_capacity() const noexcept {
+        return queue_capacity_;
+    }
     [[nodiscard]] sim::SimTime serialization_time(std::uint32_t bytes) const noexcept;
 
 private:
@@ -64,6 +71,7 @@ private:
     sim::Engine& engine_;
     double rate_bps_;
     sim::SimTime prop_delay_;
+    std::size_t queue_capacity_;
     DropTailQueue queue_;
     std::function<void(PooledPacket)> deliver_;
     bool transmitting_ = false;

@@ -1,0 +1,100 @@
+// ResourceSampler probes over the packet-level network components.
+//
+// obs::ResourceSampler is generic (it sits below net in the link order),
+// so the closures that know how to read a Link, SharedLan, Router, or
+// PacketPool live here. Each watch_* registers one or more sources on
+// the sampler; names are dotted paths under the component's name, so the
+// resulting gauges ("rs.r1.cpu_busy", ...) sort into a readable tree.
+//
+// All probes are read-only: sampling never perturbs the simulation.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "net/packet_pool.hpp"
+#include "net/router.hpp"
+#include "net/shared_lan.hpp"
+#include "obs/resource_sampler.hpp"
+
+namespace routesync::net {
+
+/// Queue depth (vs capacity) and queued bytes of a point-to-point link.
+inline void watch_link(obs::ResourceSampler& sampler, const std::string& name,
+                       int node, const Link& link) {
+    sampler.add_source(name + ".queue", node, [&link] {
+        return obs::ResourceSampler::Sample{
+            static_cast<double>(link.queue_depth()),
+            static_cast<double>(link.queue_capacity())};
+    });
+    sampler.add_source(name + ".queue_bytes", node, [&link] {
+        return obs::ResourceSampler::Sample{
+            static_cast<double>(link.queue_bytes()), 0.0};
+    });
+}
+
+/// Total frames queued across a shared LAN's stations (vs the per-station
+/// capacity times the station count).
+inline void watch_shared_lan(obs::ResourceSampler& sampler,
+                             const std::string& name, const SharedLan& lan) {
+    sampler.add_source(name + ".queued_frames", -1, [&lan] {
+        return obs::ResourceSampler::Sample{
+            static_cast<double>(lan.queued_frames()),
+            static_cast<double>(lan.station_queue_capacity()) *
+                static_cast<double>(lan.stations())};
+    });
+}
+
+/// Pending-buffer depth and CPU busy fraction since the last sample. The
+/// busy fraction differentiates RouterStats::cpu_seconds over the
+/// sampler's cadence, so a saturated route processor reads 1.0.
+inline void watch_router(obs::ResourceSampler& sampler, const std::string& name,
+                         const Router& router) {
+    sampler.add_source(name + ".pending", router.id(), [&router] {
+        return obs::ResourceSampler::Sample{
+            static_cast<double>(router.pending_depth()),
+            static_cast<double>(router.pending_capacity())};
+    });
+    const double window = sampler.cadence().sec();
+    sampler.add_source(name + ".cpu_busy", router.id(),
+                       [&router, window, last = 0.0]() mutable {
+                           const double total = router.stats().cpu_seconds;
+                           const double frac = (total - last) / window;
+                           last = total;
+                           return obs::ResourceSampler::Sample{frac, 1.0};
+                       });
+}
+
+/// Live slots vs allocated capacity of a packet pool (or any slab-backed
+/// pool exposing the same PoolStats shape).
+inline void watch_packet_pool(obs::ResourceSampler& sampler,
+                              const std::string& name, const PacketPool& pool) {
+    sampler.add_source(name + ".live", -1, [&pool] {
+        const PacketPool::PoolStats s = pool.pool_stats();
+        return obs::ResourceSampler::Sample{static_cast<double>(s.live),
+                                            static_cast<double>(s.capacity)};
+    });
+}
+
+/// Everything at once: every router (pending depth + CPU busy fraction),
+/// every link direction (queue depth + bytes), and the calling thread's
+/// packet pool. Names follow the nodes' own names, so the resulting
+/// gauge tree reads like the topology.
+inline void watch_network(obs::ResourceSampler& sampler, const Network& nw) {
+    for (const Router* router : nw.routers()) {
+        watch_router(sampler, router->name(), *router);
+    }
+    for (const Network::LinkView& view : nw.link_views()) {
+        const std::string a = nw.node(view.a).name();
+        const std::string b = nw.node(view.b).name();
+        watch_link(sampler, "link." + a + "-" + b, static_cast<int>(view.a),
+                   *view.a_to_b);
+        watch_link(sampler, "link." + b + "-" + a, static_cast<int>(view.b),
+                   *view.b_to_a);
+    }
+    watch_packet_pool(sampler, "packet_pool", PacketPool::local());
+}
+
+} // namespace routesync::net

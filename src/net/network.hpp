@@ -54,6 +54,24 @@ public:
         return routers_;
     }
 
+    /// Read-only view of one duplex connection, for instrumentation
+    /// (net_probes.hpp's watch_network registers a sampler source per
+    /// direction).
+    struct LinkView {
+        NodeId a;
+        NodeId b;
+        const Link* a_to_b;
+        const Link* b_to_a;
+    };
+    [[nodiscard]] std::vector<LinkView> link_views() const {
+        std::vector<LinkView> views;
+        views.reserve(duplexes_.size());
+        for (const Duplex& d : duplexes_) {
+            views.push_back(LinkView{d.a, d.b, d.a_to_b, d.b_to_a});
+        }
+        return views;
+    }
+
 private:
     struct Duplex {
         NodeId a;

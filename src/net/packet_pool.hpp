@@ -97,6 +97,16 @@ public:
     [[nodiscard]] std::size_t peak_live() const noexcept { return arena_.peak_live(); }
     [[nodiscard]] std::size_t capacity() const noexcept { return arena_.capacity(); }
 
+    /// One self-describing occupancy reading (ResourceSampler probes).
+    struct PoolStats {
+        std::size_t live = 0;
+        std::size_t peak_live = 0;
+        std::size_t capacity = 0; ///< slots currently allocated by the arena
+    };
+    [[nodiscard]] PoolStats pool_stats() const noexcept {
+        return PoolStats{arena_.live(), arena_.peak_live(), arena_.capacity()};
+    }
+
 private:
     friend class PooledPacket;
     detail::SlabArena<Packet> arena_;

@@ -97,6 +97,13 @@ public:
     [[nodiscard]] bool cpu_busy() const noexcept { return cpu_jobs_pending_ > 0; }
     [[nodiscard]] sim::SimTime cpu_busy_until() const noexcept { return cpu_free_at_; }
 
+    /// Transit packets parked while the route processor is busy (the
+    /// level the ResourceSampler reads), and the buffer's capacity.
+    [[nodiscard]] std::size_t pending_depth() const noexcept { return pending_.size(); }
+    [[nodiscard]] std::size_t pending_capacity() const noexcept {
+        return pending_capacity_;
+    }
+
     [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
 
 private:

@@ -68,6 +68,23 @@ public:
         return static_cast<int>(stations_.size());
     }
 
+    /// Frames currently queued at `station` (the level the
+    /// ResourceSampler reads; stats() has the cumulative counters).
+    [[nodiscard]] std::size_t station_queue_depth(int station) const {
+        return stations_.at(static_cast<std::size_t>(station)).queue.size();
+    }
+    /// Frames queued across all stations.
+    [[nodiscard]] std::size_t queued_frames() const noexcept {
+        std::size_t total = 0;
+        for (const Station& st : stations_) {
+            total += st.queue.size();
+        }
+        return total;
+    }
+    [[nodiscard]] std::size_t station_queue_capacity() const noexcept {
+        return config_.station_queue_packets;
+    }
+
 private:
     struct Station {
         std::function<void(const Packet&)> deliver;

@@ -81,6 +81,8 @@ std::string Manifest::to_json() const {
     std::string out = w.str();
     out += ", \"metrics\": ";
     out += metrics.to_json();
+    out += ", \"profile\": ";
+    out += profile.has_value() ? profile->to_json() : "null";
     out += ", \"trace\": ";
     if (trace.has_value()) {
         JsonWriter tw;
@@ -89,6 +91,10 @@ std::string Manifest::to_json() const {
         tw.value(trace->path);
         tw.key("events");
         tw.value(trace->events);
+        tw.key("offered");
+        tw.value(trace->offered);
+        tw.key("dropped");
+        tw.value(trace->dropped);
         tw.key("fnv1a");
         if (trace->fnv1a.has_value()) {
             char buf[24];

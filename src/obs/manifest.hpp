@@ -10,7 +10,9 @@
 //     "seeds": [..], "jobs": N,
 //     "config": { "<key>": "<value>", ... },
 //     "metrics": { counters/gauges/distributions/histograms },
-//     "trace": { "path": "...", "events": N, "fnv1a": "<hex>" } | null,
+//     "profile": { "<label>": {count, total_sec, max_sec}, ... } | null,
+//     "trace": { "path": "...", "events": N, "offered": N, "dropped": N,
+//                "fnv1a": "<hex>" } | null,
 //     "wall_seconds": X, "sim_seconds": X,
 //     "failed_checks": N
 //   }
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace routesync::obs {
 
@@ -35,7 +38,9 @@ namespace routesync::obs {
 
 struct TraceInfo {
     std::string path;
-    std::uint64_t events = 0;
+    std::uint64_t events = 0;  ///< events the tracer stamped
+    std::uint64_t offered = 0; ///< events the sink saw (accepted or dropped)
+    std::uint64_t dropped = 0; ///< events the sink discarded (ring overflow)
     std::optional<std::uint64_t> fnv1a; ///< hash of the written JSONL bytes
 };
 
@@ -48,6 +53,8 @@ struct Manifest {
     /// as strings so any config type can participate).
     std::vector<std::pair<std::string, std::string>> config;
     MetricsSnapshot metrics;
+    /// Present when the run was profiled (--profile).
+    std::optional<ProfileSnapshot> profile;
     std::optional<TraceInfo> trace;
     double wall_seconds = 0.0;
     double sim_seconds = 0.0;

@@ -1,0 +1,65 @@
+#include "obs/resource_sampler.hpp"
+
+#include <stdexcept>
+
+#include "obs/run_context.hpp"
+#include "sim/engine.hpp"
+
+namespace routesync::obs {
+
+ResourceSampler::ResourceSampler(sim::Engine& engine, RunContext& ctx,
+                                 sim::SimTime cadence)
+    : engine_{engine}, ctx_{ctx}, cadence_{cadence} {
+    if (cadence_ <= sim::SimTime::zero()) {
+        throw std::invalid_argument{"ResourceSampler: cadence must be > 0"};
+    }
+}
+
+int ResourceSampler::add_source(std::string name, int node, Probe probe) {
+    const int index = static_cast<int>(sources_.size());
+    sources_.push_back(Source{std::move(name), node, std::move(probe)});
+    return index;
+}
+
+void ResourceSampler::watch_engine_queue() {
+    add_source("engine.queue.live", -1, [this] {
+        return Sample{static_cast<double>(engine_.queue_stats().live), 0.0};
+    });
+    add_source("engine.queue.tombstones", -1, [this] {
+        return Sample{static_cast<double>(engine_.queue_stats().tombstones), 0.0};
+    });
+    add_source("engine.queue.heap", -1, [this] {
+        return Sample{static_cast<double>(engine_.queue_stats().heap_entries), 0.0};
+    });
+}
+
+void ResourceSampler::start() {
+    active_ = true;
+    engine_.schedule_after(cadence_, [this] { tick(); });
+}
+
+void ResourceSampler::tick() {
+    if (!active_) {
+        return;
+    }
+    ++ticks_;
+    const sim::SimTime now = engine_.now();
+    Tracer* tr = ctx_.tracer();
+    MetricsRegistry& metrics = ctx_.metrics();
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+        const Source& src = sources_[i];
+        const Sample s = src.probe();
+        if (tr != nullptr) {
+            tr->emit(TraceEventType::ResourceSample, now, src.node,
+                     static_cast<std::int64_t>(i), s.value, s.capacity);
+        }
+        metrics.set_gauge("rs." + src.name, s.value);
+        if (s.capacity > 0.0) {
+            metrics.set_gauge("rs." + src.name + ".cap", s.capacity);
+        }
+    }
+    metrics.counter("sampler.ticks") = ticks_;
+    engine_.schedule_after(cadence_, [this] { tick(); });
+}
+
+} // namespace routesync::obs

@@ -1,0 +1,90 @@
+// ResourceSampler: a virtual-time ticker that snapshots resource levels.
+//
+// Discrete-event traces record *transitions*; resource exhaustion
+// questions ("how deep did the queue get while the cluster formed?") need
+// *levels* over time. The sampler schedules itself on the simulation
+// engine every `cadence` of virtual time and, for each registered source,
+// emits one `resource_sample` trace event (a = source index, b = sampled
+// value, x = capacity bound, 0 when unbounded) and refreshes a pair of
+// gauges (`rs.<name>`, `rs.<name>.cap`).
+//
+// Sources are plain closures, registered in a fixed order before start();
+// the source index is that registration order, so traces are diffable and
+// the mapping index -> name lands in the metrics block (gauges) and the
+// manifest. Probes read simulator state only — they must not mutate it —
+// so sampling never changes simulation results, and a sampled run's trace
+// is byte-identical across --jobs values like any other.
+//
+// Off by default: nothing constructs a sampler unless a cadence was
+// requested (ExperimentConfig::sample_every / --sample-every), so the
+// disabled path costs nothing at all.
+//
+// This header depends on sim only; probes over net components live in
+// net/net_probes.hpp (the obs library sits below net in the link order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace routesync::sim {
+class Engine;
+}
+
+namespace routesync::obs {
+
+class RunContext;
+
+class ResourceSampler {
+public:
+    struct Sample {
+        double value = 0.0;
+        double capacity = 0.0; ///< 0 = unbounded / not applicable
+    };
+    using Probe = std::function<Sample()>;
+
+    /// `cadence` must be > 0 (throws std::invalid_argument otherwise).
+    /// Both the engine and the context must outlive the sampler.
+    ResourceSampler(sim::Engine& engine, RunContext& ctx, sim::SimTime cadence);
+
+    /// Registers a probe read at every tick. `node` tags the emitted
+    /// events (-1 when no single node applies). Returns the source index
+    /// (the trace events' `a` slot).
+    int add_source(std::string name, int node, Probe probe);
+
+    /// Registers the engine's own event-queue sources: live events,
+    /// tombstones, and total heap entries.
+    void watch_engine_queue();
+
+    /// Schedules the first tick at now + cadence. Call after the sources
+    /// are registered.
+    void start();
+    /// No further ticks are scheduled (the pending one becomes a no-op).
+    void stop() noexcept { active_ = false; }
+
+    [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+    [[nodiscard]] std::size_t sources() const noexcept { return sources_.size(); }
+    [[nodiscard]] sim::SimTime cadence() const noexcept { return cadence_; }
+
+private:
+    struct Source {
+        std::string name;
+        int node;
+        Probe probe;
+    };
+
+    void tick();
+
+    sim::Engine& engine_;
+    RunContext& ctx_;
+    sim::SimTime cadence_;
+    std::vector<Source> sources_;
+    bool active_ = false;
+    std::uint64_t ticks_ = 0;
+};
+
+} // namespace routesync::obs

@@ -30,12 +30,20 @@ void RunContext::attach(sim::Engine& engine) noexcept {
     engine.set_tracer(tracer());
 }
 
+void RunContext::enable_profiling() {
+    profiling_ = true;
+    Profiler::set_process_enabled(true);
+    Profiler::set_current(&profiler_);
+}
+
 void RunContext::finish(double sim_seconds) {
     if (sink_ != nullptr) {
         sink_->flush();
         TraceInfo info;
         info.path = trace_path_;
         info.events = tracer_.has_value() ? tracer_->events_emitted() : 0;
+        info.offered = sink_->events_seen();
+        info.dropped = sink_->dropped_events();
         if (!trace_path_.empty()) {
             info.fnv1a = fnv1a_file(trace_path_);
         }
@@ -44,6 +52,11 @@ void RunContext::finish(double sim_seconds) {
     MetricsSnapshot combined = merged_;
     combined.merge(metrics_.snapshot());
     manifest_.metrics = std::move(combined);
+    if (profiling_) {
+        ProfileSnapshot prof = merged_profile_;
+        prof.merge(profiler_.snapshot());
+        manifest_.profile = std::move(prof);
+    }
     manifest_.sim_seconds = sim_seconds;
     manifest_.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started_)

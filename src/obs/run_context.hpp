@@ -24,6 +24,7 @@
 
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 
 namespace routesync::sim {
@@ -66,6 +67,18 @@ public:
     /// order for determinism across --jobs values.
     void merge_metrics(const MetricsSnapshot& snap) { merged_.merge(snap); }
 
+    /// Turns on the wall-clock self-profiler for this process and installs
+    /// this context's profiler on the calling thread. Worker threads get
+    /// their own per-trial profilers (run_experiment installs one when
+    /// Profiler::process_enabled()); merge their snapshots back here.
+    void enable_profiling();
+    [[nodiscard]] bool profiling() const noexcept { return profiling_; }
+    [[nodiscard]] Profiler& profiler() noexcept { return profiler_; }
+
+    /// Folds one trial's profile into this run's totals (submission order,
+    /// like merge_metrics). finish() combines these with the live profiler.
+    void merge_profile(const ProfileSnapshot& snap) { merged_profile_.merge(snap); }
+
     /// Seals the run record: flushes the sink, snapshots the metrics into
     /// the manifest, stamps wall/sim time and (for file sinks) the trace
     /// path, event count, and content hash. Call once, after the run.
@@ -79,6 +92,9 @@ private:
     std::optional<Tracer> tracer_;
     MetricsRegistry metrics_;
     MetricsSnapshot merged_;
+    Profiler profiler_;
+    ProfileSnapshot merged_profile_;
+    bool profiling_ = false;
     Manifest manifest_;
     std::string trace_path_; ///< non-empty for file sinks
     std::chrono::steady_clock::time_point started_;

@@ -1,0 +1,78 @@
+// Trace analysis: the pure functions behind `routesync trace`.
+//
+//   summarize()     — event counts, time span, per-node transmissions,
+//                     a transmission phase histogram (when the caller
+//                     knows the round length), and busy-period stats.
+//   filter_events() — type / node / time-window selection.
+//   export_chrome() — Chrome trace-event JSON ({"traceEvents": [...]})
+//                     loadable in Perfetto / chrome://tracing: one track
+//                     per node, cpu_busy begin/end as duration slices,
+//                     timer events as instants, resource samples as
+//                     counter series.
+//
+// Everything here is a pure function of the event vector, so the CLI
+// subcommands stay thin and the behaviour is unit-testable without
+// touching the filesystem.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace routesync::obs {
+
+struct SummaryOptions {
+    /// Round length (Tp + Tc) in seconds; > 0 enables the transmission
+    /// phase histogram (offset = t mod round_length).
+    double round_length = 0.0;
+    int phase_bins = 20;
+};
+
+struct TraceSummary {
+    std::uint64_t events = 0;
+    double t_min = 0.0;
+    double t_max = 0.0;
+    /// Count per wire type name, ordered by name.
+    std::map<std::string, std::uint64_t> by_type;
+    /// update_tx count per node id.
+    std::map<int, std::uint64_t> tx_by_node;
+    /// Histogram of update_tx offsets within a round; empty unless
+    /// SummaryOptions::round_length was set.
+    std::vector<std::uint64_t> tx_phase_hist;
+    double round_length = 0.0;
+    /// cpu_busy_begin/cpu_busy_end pairing, per node, aggregated.
+    std::uint64_t busy_periods = 0;
+    double busy_total_sec = 0.0;
+    double busy_max_sec = 0.0;
+    /// Begins with no matching end (still busy at trace end) — counted,
+    /// not an error.
+    std::uint64_t busy_unclosed = 0;
+};
+
+[[nodiscard]] TraceSummary summarize(const std::vector<TraceEvent>& events,
+                                     const SummaryOptions& options = {});
+
+/// Human-readable report (the `trace summary` stdout).
+[[nodiscard]] std::string format_summary(const TraceSummary& summary);
+
+struct FilterOptions {
+    /// Keep only these types (empty = all types).
+    std::vector<TraceEventType> types;
+    /// Keep only this node's events.
+    std::optional<int> node;
+    /// Keep events with t_min <= t <= t_max.
+    std::optional<double> t_min;
+    std::optional<double> t_max;
+};
+
+[[nodiscard]] std::vector<TraceEvent>
+filter_events(const std::vector<TraceEvent>& events, const FilterOptions& options);
+
+/// The whole trace as one Chrome trace-event JSON document.
+[[nodiscard]] std::string export_chrome(const std::vector<TraceEvent>& events);
+
+} // namespace routesync::obs

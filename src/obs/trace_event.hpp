@@ -7,10 +7,10 @@
 // sweeps give each trial its own engine *and* its own tracer, which is
 // what makes traces byte-identical across `--jobs` counts.
 //
-// The payload is deliberately flat (two generic slots `a` and `b`) so the
-// event fits in a fixed-size ring buffer cell and serializes to one JSONL
-// line without allocation. Per-type slot meanings are documented below
-// and in docs/OBSERVABILITY.md.
+// The payload is deliberately flat (generic slots `a`, `b`, and `x`) so
+// the event fits in a fixed-size ring buffer cell and serializes to one
+// JSONL line without allocation. Per-type slot meanings are documented
+// below and in docs/OBSERVABILITY.md.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +33,10 @@ enum class TraceEventType : std::uint8_t {
     CpuBusyBegin,  ///< route processor went busy; b = scheduled cost (s)
     CpuBusyEnd,    ///< route processor drained its work queue
     ClusterChange, ///< largest simultaneous timer-set group changed; a = size
-    MetricSample,  ///< generic scalar sample (CLI sweeps); a = index, b = value
+    MetricSample,  ///< generic scalar sample (CLI sweeps); a = index,
+                   ///< b = value, x = swept parameter
+    ResourceSample, ///< ResourceSampler tick; a = source index, b = value,
+                    ///< x = capacity/limit (0 when unbounded)
 };
 
 /// Stable wire name of an event type (the JSONL `type` field).
@@ -51,6 +54,7 @@ enum class TraceEventType : std::uint8_t {
     case TraceEventType::CpuBusyEnd: return "cpu_busy_end";
     case TraceEventType::ClusterChange: return "cluster_change";
     case TraceEventType::MetricSample: return "metric_sample";
+    case TraceEventType::ResourceSample: return "resource_sample";
     }
     return "unknown";
 }
@@ -62,6 +66,9 @@ struct TraceEvent {
     std::int32_t node = -1; ///< node id, or -1 when no node applies
     std::int64_t a = 0;     ///< per-type integer slot (see TraceEventType)
     double b = 0.0;         ///< per-type scalar slot (see TraceEventType)
+    double x = 0.0;         ///< second per-type scalar slot: the swept
+                            ///< parameter (metric_sample) or the capacity
+                            ///< bound (resource_sample); 0 elsewhere
 };
 
 } // namespace routesync::obs

@@ -1,0 +1,214 @@
+#include "obs/trace_reader.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace routesync::obs {
+
+namespace {
+
+// The full vocabulary, for name lookup. Keep in sync with TraceEventType
+// (trace_tool_test round-trips every member).
+constexpr std::array<TraceEventType, 13> kAllTypes = {
+    TraceEventType::TimerSet,      TraceEventType::TimerFire,
+    TraceEventType::TimerReset,    TraceEventType::PacketEnqueue,
+    TraceEventType::PacketDrop,    TraceEventType::PacketDeliver,
+    TraceEventType::UpdateTx,      TraceEventType::UpdateRx,
+    TraceEventType::CpuBusyBegin,  TraceEventType::CpuBusyEnd,
+    TraceEventType::ClusterChange, TraceEventType::MetricSample,
+    TraceEventType::ResourceSample,
+};
+
+// Minimal strict scanner over one JSONL line. Field order and whitespace
+// are free; everything else (unknown keys, missing fields, strings where
+// numbers belong) is an error.
+struct Cursor {
+    const std::string& s;
+    std::size_t i = 0;
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error{"TraceReader: " + what + " at column " +
+                                 std::to_string(i + 1)};
+    }
+
+    void skip_ws() {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) {
+            ++i;
+        }
+    }
+
+    void expect(char c) {
+        skip_ws();
+        if (i >= s.size() || s[i] != c) {
+            fail(std::string{"expected '"} + c + "'");
+        }
+        ++i;
+    }
+
+    [[nodiscard]] bool peek_is(char c) {
+        skip_ws();
+        return i < s.size() && s[i] == c;
+    }
+
+    [[nodiscard]] std::string string_value() {
+        expect('"');
+        const std::size_t start = i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                fail("escape sequences are not used in traces");
+            }
+            ++i;
+        }
+        if (i >= s.size()) {
+            fail("unterminated string");
+        }
+        std::string out = s.substr(start, i - start);
+        ++i; // closing quote
+        return out;
+    }
+
+    /// The raw token of a JSON number ([-+0-9.eE]+).
+    [[nodiscard]] std::string number_token() {
+        skip_ws();
+        const std::size_t start = i;
+        while (i < s.size() &&
+               (s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' ||
+                s[i] == 'E' || (s[i] >= '0' && s[i] <= '9'))) {
+            ++i;
+        }
+        if (i == start) {
+            fail("expected a number");
+        }
+        return s.substr(start, i - start);
+    }
+};
+
+double parse_double(Cursor& c, const char* field) {
+    const std::string tok = c.number_token();
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+        c.fail(std::string{"malformed number in \""} + field + "\"");
+    }
+    return v;
+}
+
+std::int64_t parse_int(Cursor& c, const char* field) {
+    const std::string tok = c.number_token();
+    if (tok.find_first_of(".eE") != std::string::npos) {
+        c.fail(std::string{"\""} + field + "\" must be an integer");
+    }
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size()) {
+        c.fail(std::string{"malformed integer in \""} + field + "\"");
+    }
+    return v;
+}
+
+} // namespace
+
+std::optional<TraceEventType> trace_event_type_from_name(const std::string& name) {
+    for (const TraceEventType t : kAllTypes) {
+        if (name == trace_event_name(t)) {
+            return t;
+        }
+    }
+    return std::nullopt;
+}
+
+TraceEvent TraceReader::parse_line(const std::string& line) {
+    Cursor c{line};
+    c.expect('{');
+
+    TraceEvent event;
+    bool have_seq = false, have_t = false, have_type = false, have_node = false,
+         have_a = false, have_b = false, have_x = false;
+
+    if (!c.peek_is('}')) {
+        for (;;) {
+            const std::string key = c.string_value();
+            c.expect(':');
+            const auto take = [&](bool& have) {
+                if (have) {
+                    c.fail("duplicate field \"" + key + "\"");
+                }
+                have = true;
+            };
+            if (key == "seq") {
+                take(have_seq);
+                const std::int64_t v = parse_int(c, "seq");
+                if (v < 0) {
+                    c.fail("\"seq\" must be >= 0");
+                }
+                event.seq = static_cast<std::uint64_t>(v);
+            } else if (key == "t") {
+                take(have_t);
+                event.time = sim::SimTime::seconds(parse_double(c, "t"));
+            } else if (key == "type") {
+                take(have_type);
+                const std::string name = c.string_value();
+                const auto type = trace_event_type_from_name(name);
+                if (!type.has_value()) {
+                    c.fail("unknown event type \"" + name + "\"");
+                }
+                event.type = *type;
+            } else if (key == "node") {
+                take(have_node);
+                event.node = static_cast<std::int32_t>(parse_int(c, "node"));
+            } else if (key == "a") {
+                take(have_a);
+                event.a = parse_int(c, "a");
+            } else if (key == "b") {
+                take(have_b);
+                event.b = parse_double(c, "b");
+            } else if (key == "x") {
+                take(have_x);
+                event.x = parse_double(c, "x");
+            } else {
+                c.fail("unknown field \"" + key + "\"");
+            }
+            if (c.peek_is('}')) {
+                break;
+            }
+            c.expect(',');
+        }
+    }
+    c.expect('}');
+    c.skip_ws();
+    if (c.i != line.size()) {
+        c.fail("trailing content after event object");
+    }
+
+    if (!(have_seq && have_t && have_type && have_node && have_a && have_b &&
+          have_x)) {
+        throw std::runtime_error{
+            "TraceReader: event is missing required fields (need seq, t, "
+            "type, node, a, b, x)"};
+    }
+    return event;
+}
+
+std::vector<TraceEvent> TraceReader::read_all(const std::string& path) {
+    std::ifstream in{path};
+    if (!in) {
+        throw std::runtime_error{"TraceReader: cannot open " + path};
+    }
+    std::vector<TraceEvent> events;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        try {
+            events.push_back(parse_line(line));
+        } catch (const std::runtime_error& e) {
+            throw std::runtime_error{path + ":" + std::to_string(lineno) +
+                                     ": " + e.what()};
+        }
+    }
+    return events;
+}
+
+} // namespace routesync::obs

@@ -38,6 +38,8 @@ std::string trace_event_jsonl(const TraceEvent& event) {
     line += std::to_string(event.a);
     line += ", \"b\": ";
     line += json_number(event.b);
+    line += ", \"x\": ";
+    line += json_number(event.x);
     line += "}";
     return line;
 }

@@ -33,6 +33,11 @@ public:
     /// Events offered to the sink so far (accepted or dropped).
     [[nodiscard]] std::uint64_t events_seen() const noexcept { return seen_; }
 
+    /// Events this sink discarded (ring overflow). 0 for sinks that keep
+    /// everything; recorded in the manifest trace block so silent
+    /// overflow is visible post-mortem.
+    [[nodiscard]] virtual std::uint64_t dropped_events() const noexcept { return 0; }
+
 protected:
     std::uint64_t seen_ = 0;
 };
@@ -52,6 +57,9 @@ public:
 
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
     [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+    [[nodiscard]] std::uint64_t dropped_events() const noexcept override {
+        return dropped_;
+    }
     /// Retained events, oldest first.
     [[nodiscard]] const std::deque<TraceEvent>& events() const noexcept {
         return events_;

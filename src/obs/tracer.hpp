@@ -21,7 +21,7 @@ public:
     explicit Tracer(TraceSink& sink) noexcept : sink_{&sink} {}
 
     void emit(TraceEventType type, sim::SimTime time, int node,
-              std::int64_t a = 0, double b = 0.0) {
+              std::int64_t a = 0, double b = 0.0, double x = 0.0) {
         TraceEvent event;
         event.seq = next_seq_++;
         event.time = time;
@@ -29,6 +29,7 @@ public:
         event.node = node;
         event.a = a;
         event.b = b;
+        event.x = x;
         sink_->on_event(event);
     }
 

@@ -49,4 +49,13 @@ merge_trial_metrics(const std::vector<core::ExperimentResult>& results) {
     return merged;
 }
 
+obs::ProfileSnapshot
+merge_trial_profiles(const std::vector<core::ExperimentResult>& results) {
+    obs::ProfileSnapshot merged;
+    for (const core::ExperimentResult& result : results) {
+        merged.merge(result.profile);
+    }
+    return merged;
+}
+
 } // namespace routesync::parallel

@@ -76,4 +76,10 @@ private:
 [[nodiscard]] obs::MetricsSnapshot
 merge_trial_metrics(const std::vector<core::ExperimentResult>& results);
 
+/// Same fold for the per-trial profiler snapshots. Labels and counts are
+/// --jobs invariant (each trial's profiler sees exactly that trial's
+/// scopes); wall-clock totals are genuinely nondeterministic.
+[[nodiscard]] obs::ProfileSnapshot
+merge_trial_profiles(const std::vector<core::ExperimentResult>& results);
+
 } // namespace routesync::parallel

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 
 namespace routesync::routing {
@@ -110,6 +111,7 @@ int DistanceVectorAgent::advertised_route_count() const {
 }
 
 void DistanceVectorAgent::send_update(bool triggered) {
+    OBS_PROF_SCOPE("dv.send_update");
     UpdateKind kind = UpdateKind::Full;
     if (config_.incremental) {
         if (triggered) {
@@ -271,6 +273,7 @@ void DistanceVectorAgent::handle_update_packet(const net::Packet& p, int iface) 
 }
 
 void DistanceVectorAgent::process_update(const net::UpdatePayload& update, int iface) {
+    OBS_PROF_SCOPE("dv.process_update");
     ++stats_.updates_processed;
     const sim::SimTime now = router_.engine().now();
     if (obs::Tracer* tr = router_.engine().tracer()) {
@@ -373,6 +376,7 @@ void DistanceVectorAgent::process_update(const net::UpdatePayload& update, int i
 }
 
 void DistanceVectorAgent::expire_routes() {
+    OBS_PROF_SCOPE("dv.expire_routes");
     const sim::SimTime now = router_.engine().now();
     bool changed = false;
     // Single pass: time out stale routes in place and compact away the

@@ -1,5 +1,6 @@
 #include "scenarios/nearnet.hpp"
 
+#include "net/net_probes.hpp"
 #include "obs/run_context.hpp"
 #include "scenarios/scenario_metrics.hpp"
 
@@ -85,6 +86,14 @@ NearnetScenario::NearnetScenario(const NearnetConfig& config, obs::RunContext* o
 
 void NearnetScenario::collect_metrics(obs::RunContext& ctx) const {
     collect_network_metrics(*network_, agents_, ctx.metrics());
+}
+
+void NearnetScenario::start_sampler(obs::RunContext& ctx, double cadence_sec) {
+    sampler_ = std::make_unique<obs::ResourceSampler>(
+        engine_, ctx, sim::SimTime::seconds(cadence_sec));
+    sampler_->watch_engine_queue();
+    net::watch_network(*sampler_, *network_);
+    sampler_->start();
 }
 
 } // namespace routesync::scenarios

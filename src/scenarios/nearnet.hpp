@@ -23,6 +23,7 @@
 
 #include "apps/apps.hpp"
 #include "net/net.hpp"
+#include "obs/resource_sampler.hpp"
 #include "routing/routing.hpp"
 #include "sim/sim.hpp"
 
@@ -63,6 +64,12 @@ public:
     /// run, before the manifest is written.
     void collect_metrics(obs::RunContext& ctx) const;
 
+    /// Starts a ResourceSampler over the whole testbed (engine queue,
+    /// every router's CPU/pending, every link queue, the packet pool) at
+    /// `cadence_sec` of sim time. Call after construction, before the
+    /// run; no-op cost when never called.
+    void start_sampler(obs::RunContext& ctx, double cadence_sec);
+
     [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
     [[nodiscard]] net::Network& network() noexcept { return *network_; }
     [[nodiscard]] net::Host& src() noexcept { return *src_; }
@@ -85,6 +92,7 @@ private:
     net::Router* r1_ = nullptr;
     net::Router* r2_ = nullptr;
     std::vector<std::unique_ptr<routing::DistanceVectorAgent>> agents_;
+    std::unique_ptr<obs::ResourceSampler> sampler_;
     sim::SimTime routing_start_;
 };
 

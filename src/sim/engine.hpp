@@ -62,6 +62,11 @@ public:
     /// Live (pending, non-cancelled) events.
     [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
 
+    /// Occupancy of the underlying event queue (live / tombstones / heap).
+    [[nodiscard]] EventQueueStats queue_stats() const noexcept {
+        return queue_.stats();
+    }
+
     /// Attaches (or detaches, with nullptr) a trace event sink. Components
     /// built on this engine emit typed trace events through it; a null
     /// tracer — the default — makes every emission a single pointer test.

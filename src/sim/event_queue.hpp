@@ -70,6 +70,14 @@ struct EventHandle {
     friend bool operator==(EventHandle, EventHandle) = default;
 };
 
+/// One self-describing reading of the queue's occupancy — what the
+/// ResourceSampler and tests read.
+struct EventQueueStats {
+    std::size_t live = 0;        ///< pending, non-cancelled events
+    std::size_t tombstones = 0;  ///< cancelled entries still in the heap
+    std::size_t heap_entries = 0; ///< live + tombstones
+};
+
 class EventQueue {
 public:
     using Callback = SmallCallback;
@@ -90,6 +98,13 @@ public:
     /// Heap entries currently held, including not-yet-reclaimed
     /// tombstones. Exposed so tests can observe the compaction policy.
     [[nodiscard]] std::size_t heap_entries() const noexcept { return heap_.size(); }
+
+    /// Cancelled entries still occupying heap slots.
+    [[nodiscard]] std::size_t tombstones() const noexcept { return tombstones_; }
+
+    [[nodiscard]] EventQueueStats stats() const noexcept {
+        return EventQueueStats{live_, tombstones_, heap_.size()};
+    }
 
     /// Timestamp of the earliest live event. Precondition: !empty().
     [[nodiscard]] SimTime next_time();

@@ -61,7 +61,7 @@ TEST(TraceEventJsonl, EncodesEveryField) {
     const auto e = make_event(7, 1.5, obs::TraceEventType::PacketDeliver, 3, 42, 2.5);
     EXPECT_EQ(obs::trace_event_jsonl(e),
               "{\"seq\": 7, \"t\": 1.5, \"type\": \"packet_deliver\", "
-              "\"node\": 3, \"a\": 42, \"b\": 2.5}");
+              "\"node\": 3, \"a\": 42, \"b\": 2.5, \"x\": 0}");
 }
 
 TEST(TraceEventJsonl, RoundTripsDoublesAtFullPrecision) {
@@ -99,7 +99,7 @@ TEST(JsonlFileSink, WritesOneValidLinePerEvent) {
     ASSERT_EQ(lines.size(), 2U);
     EXPECT_EQ(lines[0],
               "{\"seq\": 0, \"t\": 0.25, \"type\": \"timer_set\", "
-              "\"node\": 1, \"a\": 0, \"b\": 9.5}");
+              "\"node\": 1, \"a\": 0, \"b\": 9.5, \"x\": 0}");
     EXPECT_EQ(lines[1], obs::trace_event_jsonl(
                             make_event(1, 0.5, obs::TraceEventType::UpdateTx, 2, 20, 1.0)));
     std::remove(path.c_str());

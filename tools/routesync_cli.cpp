@@ -22,14 +22,27 @@
 // timer/transmission event, for sweep one metric_sample per grid point)
 // and --out FILE (a run manifest with config, metrics, and the trace
 // hash).
+//
+// `trace` post-processes a recorded JSONL trace:
+//   routesync trace summary      --in run.jsonl [--round SEC] [--bins N]
+//   routesync trace filter       --in run.jsonl [--type a,b] [--node N]
+//                                [--from T] [--to T] [--out FILE]
+//   routesync trace export-chrome --in run.jsonl [--out FILE]
+//   routesync trace replay-check --in run.jsonl [--tolerance SEC]
+//                                [--expect FILE] [--print]
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/core.hpp"
+#include "core/trace_replay.hpp"
 #include "markov/markov.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace_analysis.hpp"
+#include "obs/trace_reader.hpp"
 #include "parallel/parallel.hpp"
 #include "tools/flags.hpp"
 
@@ -96,6 +109,7 @@ int cmd_pm(const Flags& flags) {
     }
     if (!trace.empty() || !out.empty()) {
         cfg.obs = &ctx;
+        cfg.sample_every = flag_d(flags, "sample-every", 0.0);
         obs::Manifest& m = ctx.manifest();
         m.tool = "routesync_cli pm";
         m.description = "Periodic Messages model run";
@@ -196,14 +210,15 @@ int cmd_sweep(const Flags& flags) {
     for (std::size_t i = 0; i < grid.size(); ++i) {
         std::printf("%.4f,%.6g,%.6g,%.6g,%.6g\n", grid[i], rows[i].tr_s,
                     rows[i].frac, rows[i].fn_s, rows[i].g1_s);
-        // One metric_sample per grid point, in grid order: t carries the
-        // swept Tr (seconds), a the grid index, b the unsynchronized
-        // fraction — deterministic for every --jobs value because the
-        // sweep results come back in submission order.
+        // One metric_sample per grid point, in grid order: a carries the
+        // grid index, b the unsynchronized fraction, x the swept Tr
+        // (seconds). There is no simulation clock in a chain sweep, so t
+        // stays 0 — keeping the "t is monotone simulation time" contract
+        // intact. Deterministic for every --jobs value because the sweep
+        // results come back in submission order.
         if (obs::Tracer* tr = ctx.tracer()) {
-            tr->emit(obs::TraceEventType::MetricSample,
-                     sim::SimTime::seconds(rows[i].tr_s), -1,
-                     static_cast<std::int64_t>(i), rows[i].frac);
+            tr->emit(obs::TraceEventType::MetricSample, sim::SimTime::zero(), -1,
+                     static_cast<std::int64_t>(i), rows[i].frac, rows[i].tr_s);
         }
         ctx.metrics().observe("sweep.fraction_unsync", rows[i].frac);
     }
@@ -254,19 +269,178 @@ int cmd_f2(const Flags& flags) {
     return 0;
 }
 
+std::vector<obs::TraceEvent> load_trace(const Flags& flags) {
+    const std::string in = flag_s(flags, "in");
+    if (in.empty()) {
+        throw std::invalid_argument{"trace: --in FILE is required"};
+    }
+    return obs::TraceReader::read_all(in);
+}
+
+/// Writes to --out when given, stdout otherwise.
+void emit_text(const Flags& flags, const std::string& text) {
+    const std::string out = flag_s(flags, "out");
+    if (out.empty()) {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return;
+    }
+    std::ofstream f{out};
+    if (!f) {
+        throw std::runtime_error{"trace: cannot open " + out};
+    }
+    f << text;
+}
+
+int cmd_trace_summary(const Flags& flags) {
+    const auto events = load_trace(flags);
+    obs::SummaryOptions options;
+    options.round_length = flag_d(flags, "round", 0.0);
+    options.phase_bins = flag_i(flags, "bins", 20);
+    const std::string report = obs::format_summary(obs::summarize(events, options));
+    std::fwrite(report.data(), 1, report.size(), stdout);
+    return 0;
+}
+
+int cmd_trace_filter(const Flags& flags) {
+    const auto events = load_trace(flags);
+    obs::FilterOptions options;
+    // --type a,b,c — comma-separated wire names.
+    if (const std::string types = flag_s(flags, "type"); !types.empty()) {
+        std::istringstream ss{types};
+        std::string name;
+        while (std::getline(ss, name, ',')) {
+            const auto type = obs::trace_event_type_from_name(name);
+            if (!type.has_value()) {
+                throw std::invalid_argument{"trace filter: unknown event type '" +
+                                            name + "'"};
+            }
+            options.types.push_back(*type);
+        }
+    }
+    if (flags.contains("node")) {
+        options.node = flag_i(flags, "node", -1);
+    }
+    if (flags.contains("from")) {
+        options.t_min = flag_d(flags, "from", 0.0);
+    }
+    if (flags.contains("to")) {
+        options.t_max = flag_d(flags, "to", 0.0);
+    }
+    std::string out;
+    for (const obs::TraceEvent& e : obs::filter_events(events, options)) {
+        out += obs::trace_event_jsonl(e);
+        out += '\n';
+    }
+    emit_text(flags, out);
+    return 0;
+}
+
+int cmd_trace_export_chrome(const Flags& flags) {
+    emit_text(flags, obs::export_chrome(load_trace(flags)));
+    return 0;
+}
+
+int cmd_trace_replay_check(const Flags& flags) {
+    const auto events = load_trace(flags);
+    const auto replay = core::replay_cluster_series(
+        events,
+        sim::SimTime::seconds(flag_d(flags, "tolerance", 1e-6)));
+    std::fprintf(stderr,
+                 "replay-check: n=%d, %llu timer_set fed (%llu initial "
+                 "skipped), %zu cluster events recomputed\n",
+                 replay.n,
+                 static_cast<unsigned long long>(replay.timer_sets_fed),
+                 static_cast<unsigned long long>(replay.initial_skipped),
+                 replay.replayed.size());
+    if (flag_b(flags, "print")) {
+        const std::string series = core::format_cluster_series(replay.replayed);
+        std::fwrite(series.data(), 1, series.size(), stdout);
+    }
+
+    int failures = 0;
+    const std::string vs_recorded =
+        core::diff_cluster_series(replay.replayed, replay.recorded);
+    if (replay.recorded.empty()) {
+        std::fprintf(stderr,
+                     "replay-check: trace has no cluster_change events to "
+                     "compare against\n");
+    } else if (!vs_recorded.empty()) {
+        std::fprintf(stderr, "replay-check: MISMATCH vs recorded series: %s\n",
+                     vs_recorded.c_str());
+        ++failures;
+    } else {
+        std::fprintf(stderr,
+                     "replay-check: OK — replayed series matches the %zu "
+                     "recorded cluster_change events\n",
+                     replay.recorded.size());
+    }
+
+    // --expect FILE: diff against an externally recorded series (the
+    // format fig04 --clusters-out writes: "time size" per line).
+    if (const std::string expect = flag_s(flags, "expect"); !expect.empty()) {
+        std::ifstream f{expect};
+        if (!f) {
+            throw std::runtime_error{"trace replay-check: cannot open " + expect};
+        }
+        std::ostringstream buf;
+        buf << f.rdbuf();
+        if (buf.str() != core::format_cluster_series(replay.replayed)) {
+            std::fprintf(stderr,
+                         "replay-check: MISMATCH vs expected series %s\n",
+                         expect.c_str());
+            ++failures;
+        } else {
+            std::fprintf(stderr,
+                         "replay-check: OK — replayed series matches %s "
+                         "byte-for-byte\n",
+                         expect.c_str());
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int cmd_trace(int argc, char** argv) {
+    if (argc < 3) {
+        throw std::invalid_argument{
+            "trace: need an action (summary|filter|export-chrome|replay-check)"};
+    }
+    const std::string action = argv[2];
+    const Flags flags = cli::parse_flags(argc, argv, 3);
+    if (action == "summary") {
+        return cmd_trace_summary(flags);
+    }
+    if (action == "filter") {
+        return cmd_trace_filter(flags);
+    }
+    if (action == "export-chrome") {
+        return cmd_trace_export_chrome(flags);
+    }
+    if (action == "replay-check") {
+        return cmd_trace_replay_check(flags);
+    }
+    throw std::invalid_argument{"trace: unknown action '" + action + "'"};
+}
+
 void usage() {
     std::fprintf(stderr,
-                 "usage: routesync <pm|chain|sweep|threshold|f2> [--flag value]...\n"
+                 "usage: routesync <pm|chain|sweep|threshold|f2|trace> [--flag value]...\n"
                  "  pm        --n --tp --tr --tc --seed --max-time [--sync-start]\n"
                  "            [--reset-at-expiry] [--half-period] [--delta X]\n"
                  "            [--stop-on-sync] [--stop-on-breakup K]\n"
                  "            [--rounds|--transmits [--stride k]]\n"
-                 "            [--trace FILE] [--out MANIFEST]\n"
+                 "            [--trace FILE] [--out MANIFEST] [--sample-every SEC]\n"
                  "  chain     --n --tp --tr --tc [--f2 rounds]\n"
                  "  sweep     --n --tp --tc --from --to --step [--jobs N]\n"
                  "            [--trace FILE] [--out MANIFEST] (Tr in units of Tc)\n"
                  "  threshold --n --tp --tc [--n-max]\n"
                  "  f2        --n --tp --tr --tc [--reps] [--seed] [--jobs N]\n"
+                 "  trace     <summary|filter|export-chrome|replay-check> --in FILE\n"
+                 "            summary:       [--round SEC] [--bins N]\n"
+                 "            filter:        [--type a,b] [--node N] [--from T]\n"
+                 "                           [--to T] [--out FILE]\n"
+                 "            export-chrome: [--out FILE]\n"
+                 "            replay-check:  [--tolerance SEC] [--expect FILE]\n"
+                 "                           [--print] (exit 1 on mismatch)\n"
                  "\n"
                  "  --jobs N  worker threads for parallel sweeps (default:\n"
                  "            hardware concurrency; must be >= 1). Results are\n"
@@ -281,6 +455,14 @@ int main(int argc, char** argv) {
         return 2;
     }
     const std::string cmd = argv[1];
+    if (cmd == "trace") {
+        try {
+            return cmd_trace(argc, argv);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
     Flags flags;
     try {
         flags = cli::parse_flags(argc, argv, 2);

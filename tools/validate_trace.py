@@ -7,12 +7,23 @@ Usage:
       manifest's embedded event count and FNV-1a hash match the file.
 
   validate_trace.py manifest MANIFEST.json
-      Schema-check a run manifest.
+      Schema-check a run manifest (including the profile block and the
+      trace block's offered/dropped accounting).
 
-  validate_trace.py compare MANIFEST_A.json MANIFEST_B.json
-      Assert two manifests describe byte-identical traces (same event
-      count and FNV-1a) and identical metric blocks — the --jobs 1 vs
-      --jobs 8 determinism gate used by the `check-trace` build target.
+  validate_trace.py compare MANIFEST_A.json MANIFEST_B.json [--ignore-key K]
+      Assert two manifests describe identical runs: byte-identical traces
+      (same event count and FNV-1a), identical metric blocks, and
+      identical seeds/jobs/config/failed_checks. --ignore-key (repeatable)
+      skips a named comparison — e.g. `--ignore-key jobs` for the
+      --jobs 1 vs --jobs 8 determinism gate used by `check-trace`.
+
+  validate_trace.py chrome CHROME.json
+      Structural check of a Chrome/Perfetto trace-event file as produced
+      by `routesync trace export-chrome`: traceEvents list, required keys
+      per phase, and balanced B/E slices per thread.
+
+  validate_trace.py selftest
+      Run this script's own unit tests (no files needed).
 
 Exit status 0 on success; 1 with a diagnostic on the first violation.
 No third-party dependencies (stdlib json only).
@@ -35,10 +46,11 @@ EVENT_TYPES = {
     "cpu_busy_end",
     "cluster_change",
     "metric_sample",
+    "resource_sample",
 }
 
-# Field name -> accepted types. `t` and `b` are JSON numbers; `seq`, `node`
-# and `a` must be integers.
+# Field name -> accepted types. `t`, `b` and `x` are JSON numbers; `seq`,
+# `node` and `a` must be integers.
 EVENT_FIELDS = {
     "seq": (int,),
     "t": (int, float),
@@ -46,6 +58,7 @@ EVENT_FIELDS = {
     "node": (int,),
     "a": (int,),
     "b": (int, float),
+    "x": (int, float),
 }
 
 MANIFEST_FIELDS = {
@@ -61,6 +74,18 @@ MANIFEST_FIELDS = {
     "sim_seconds": (int, float),
     "failed_checks": (int,),
 }
+
+TRACE_BLOCK_FIELDS = {
+    "path": (str,),
+    "events": (int,),
+    "offered": (int,),
+    "dropped": (int,),
+    "fnv1a": (str,),
+}
+
+# Keys cmd_compare checks for equality, in report order. "trace" means the
+# events/fnv1a pair of the trace block (path may legitimately differ).
+COMPARE_KEYS = ("trace", "seeds", "jobs", "config", "metrics", "failed_checks")
 
 FNV_BASIS = 1469598103934665603  # the repo-wide FNV-1a basis
 FNV_PRIME = 1099511628211
@@ -139,16 +164,35 @@ def load_manifest(path: str) -> dict:
         fail(f"cannot load manifest {path}: {e}")
     if not isinstance(manifest, dict):
         fail(f"{path}: manifest must be a JSON object")
-    check_fields(manifest, MANIFEST_FIELDS, path)
+    check_manifest(manifest, path)
+    return manifest
+
+
+def check_manifest(manifest: dict, what: str) -> None:
+    check_fields(manifest, MANIFEST_FIELDS, what)
     for kind in ("counters", "gauges", "distributions", "histograms"):
         if kind not in manifest["metrics"]:
-            fail(f"{path}: metrics block missing '{kind}'")
+            fail(f"{what}: metrics block missing '{kind}'")
+    if "profile" not in manifest:
+        fail(f"{what}: missing field 'profile' (object or null)")
+    profile = manifest["profile"]
+    if profile is not None:
+        if not isinstance(profile, dict):
+            fail(f"{what}: profile must be an object or null")
+        for label, entry in profile.items():
+            for field in ("count", "total_sec", "max_sec"):
+                if field not in entry:
+                    fail(f"{what}: profile['{label}'] missing '{field}'")
     trace = manifest.get("trace")
     if trace is not None:
-        for field in ("path", "events", "fnv1a"):
-            if field not in trace:
-                fail(f"{path}: trace block missing '{field}'")
-    return manifest
+        check_fields(trace, TRACE_BLOCK_FIELDS, f"{what}: trace block")
+        if trace["dropped"] > trace["offered"]:
+            fail(f"{what}: trace block dropped ({trace['dropped']}) exceeds "
+                 f"offered ({trace['offered']})")
+        if trace["events"] + trace["dropped"] != trace["offered"]:
+            fail(f"{what}: trace block accounting: events ({trace['events']}) "
+                 f"+ dropped ({trace['dropped']}) != offered "
+                 f"({trace['offered']})")
 
 
 def cmd_trace(args: argparse.Namespace) -> None:
@@ -167,28 +211,243 @@ def cmd_trace(args: argparse.Namespace) -> None:
 
 
 def cmd_manifest(args: argparse.Namespace) -> None:
-    load_manifest(args.manifest)
-    print(f"validate_trace: OK: {args.manifest}")
+    manifest = load_manifest(args.manifest)
+    trace = manifest.get("trace")
+    detail = ""
+    if trace is not None:
+        detail = (f" (trace: {trace['events']} events, "
+                  f"{trace['offered']} offered, {trace['dropped']} dropped)")
+    print(f"validate_trace: OK: {args.manifest}{detail}")
+
+
+def compare_manifests(a: dict, b: dict, ignore: set) -> str:
+    """Returns an error message, or "" when the manifests match."""
+    for key in COMPARE_KEYS:
+        if key in ignore:
+            continue
+        if key == "trace":
+            ta, tb = a.get("trace"), b.get("trace")
+            if (ta is None) != (tb is None):
+                return "one manifest has a trace block, the other does not"
+            if ta is not None:
+                if ta["events"] != tb["events"]:
+                    return (f"event counts differ: {ta['events']} vs "
+                            f"{tb['events']}")
+                if ta["fnv1a"] != tb["fnv1a"]:
+                    return (f"trace hashes differ: {ta['fnv1a']} vs "
+                            f"{tb['fnv1a']}")
+        elif a[key] != b[key]:
+            return f"'{key}' differs: {a[key]!r} vs {b[key]!r}"
+    return ""
 
 
 def cmd_compare(args: argparse.Namespace) -> None:
     a = load_manifest(args.manifest_a)
     b = load_manifest(args.manifest_b)
-    ta, tb = a.get("trace"), b.get("trace")
-    if (ta is None) != (tb is None):
-        fail("one manifest has a trace block, the other does not")
-    if ta is not None:
-        if ta["events"] != tb["events"]:
-            fail(f"event counts differ: {ta['events']} vs {tb['events']}")
-        if ta["fnv1a"] != tb["fnv1a"]:
-            fail(f"trace hashes differ: {ta['fnv1a']} vs {tb['fnv1a']}")
-    if a["metrics"] != b["metrics"]:
-        fail("metric blocks differ")
-    if a["failed_checks"] != b["failed_checks"]:
-        fail(f"failed_checks differ: {a['failed_checks']} vs "
-             f"{b['failed_checks']}")
+    ignore = set(args.ignore_key or [])
+    unknown = ignore - set(COMPARE_KEYS)
+    if unknown:
+        fail(f"--ignore-key: unknown key(s) {sorted(unknown)}; "
+             f"choose from {list(COMPARE_KEYS)}")
+    error = compare_manifests(a, b, ignore)
+    if error:
+        fail(error)
+    checked = [k for k in COMPARE_KEYS if k not in ignore]
     print(f"validate_trace: OK: {args.manifest_a} == {args.manifest_b} "
-          f"(trace + metrics)")
+          f"({', '.join(checked)})")
+
+
+CHROME_PHASE_KEYS = {
+    "M": ("name", "ph", "pid", "tid", "args"),
+    "B": ("name", "ph", "ts", "pid", "tid"),
+    "E": ("name", "ph", "ts", "pid", "tid"),
+    "C": ("name", "ph", "ts", "pid", "tid", "args"),
+    "i": ("name", "ph", "ts", "pid", "tid", "s", "args"),
+}
+
+
+def check_chrome(doc, what: str) -> int:
+    """Returns the event count; calls fail() on the first violation."""
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{what}: expected an object with a 'traceEvents' list")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{what}: traceEvents must be a list")
+    open_slices = {}  # tid -> depth
+    prev_ts = {}      # tid -> last ts, per-thread monotonicity
+    for i, event in enumerate(events):
+        what_i = f"{what}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(f"{what_i}: not an object")
+        ph = event.get("ph")
+        if ph not in CHROME_PHASE_KEYS:
+            fail(f"{what_i}: unknown phase {ph!r}")
+        for key in CHROME_PHASE_KEYS[ph]:
+            if key not in event:
+                fail(f"{what_i}: phase '{ph}' missing key '{key}'")
+        tid = event["tid"]
+        if ph == "M":
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            fail(f"{what_i}: ts must be a number")
+        if ts < prev_ts.get(tid, float("-inf")):
+            fail(f"{what_i}: ts {ts} goes backwards on tid {tid}")
+        prev_ts[tid] = ts
+        if ph == "B":
+            open_slices[tid] = open_slices.get(tid, 0) + 1
+        elif ph == "E":
+            if open_slices.get(tid, 0) == 0:
+                fail(f"{what_i}: 'E' with no open 'B' on tid {tid}")
+            open_slices[tid] -= 1
+    unbalanced = {tid: n for tid, n in open_slices.items() if n}
+    if unbalanced:
+        fail(f"{what}: unclosed 'B' slices: {unbalanced}")
+    return len(events)
+
+
+def cmd_chrome(args: argparse.Namespace) -> None:
+    try:
+        with open(args.chrome, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load chrome trace {args.chrome}: {e}")
+    count = check_chrome(doc, args.chrome)
+    print(f"validate_trace: OK: {args.chrome}: {count} trace events")
+
+
+# ---------------------------------------------------------------------------
+# selftest — exercises the pure helpers without touching the filesystem.
+
+def _expect_fail(fn, substring: str, label: str) -> None:
+    try:
+        fn()
+    except SystemExit:
+        # fail() printed to stderr and exited; capture via wrapper instead.
+        raise AssertionError(f"{label}: fail() exited instead of raising")
+    except _SelfTestFailure as e:
+        if substring not in str(e):
+            raise AssertionError(
+                f"{label}: expected '{substring}' in '{e}'") from None
+        return
+    raise AssertionError(f"{label}: expected a validation failure")
+
+
+class _SelfTestFailure(Exception):
+    pass
+
+
+def cmd_selftest(args: argparse.Namespace) -> None:
+    # Route fail() through an exception so each case can assert on it.
+    global fail
+
+    def raising_fail(msg):
+        raise _SelfTestFailure(msg)
+
+    original_fail = fail
+    fail = raising_fail
+    try:
+        # FNV-1a matches the repo-wide C++ implementation's parameters.
+        assert fnv1a(b"") == FNV_BASIS
+        assert fnv1a(b"a") == ((FNV_BASIS ^ ord("a")) * FNV_PRIME) & U64
+
+        good_event = {"seq": 0, "t": 1.5, "type": "timer_set", "node": 2,
+                      "a": 0, "b": 91.5, "x": 0}
+        check_fields(good_event, EVENT_FIELDS, "selftest")
+        _expect_fail(
+            lambda: check_fields({k: v for k, v in good_event.items()
+                                  if k != "x"}, EVENT_FIELDS, "t"),
+            "missing field 'x'", "event without x")
+        _expect_fail(
+            lambda: check_fields(dict(good_event, seq=True), EVENT_FIELDS,
+                                 "t"),
+            "has type bool", "bool where int expected")
+        assert "resource_sample" in EVENT_TYPES
+
+        good_trace = {"path": "t.jsonl", "events": 8, "offered": 10,
+                      "dropped": 2, "fnv1a": "00" * 8}
+        good_manifest = {
+            "tool": "x", "description": "d", "git_describe": "g",
+            "build_type": "Release", "seeds": [1], "jobs": 1, "config": {},
+            "metrics": {"counters": {}, "gauges": {}, "distributions": {},
+                        "histograms": {}},
+            "profile": {"experiment.run":
+                        {"count": 1, "total_sec": 0.5, "max_sec": 0.5}},
+            "trace": dict(good_trace),
+            "wall_seconds": 0.1, "sim_seconds": 1.0, "failed_checks": 0,
+        }
+        check_manifest(good_manifest, "selftest")
+        check_manifest(dict(good_manifest, profile=None, trace=None),
+                       "selftest")
+        _expect_fail(
+            lambda: check_manifest(
+                {k: v for k, v in good_manifest.items() if k != "profile"},
+                "m"),
+            "missing field 'profile'", "manifest without profile")
+        _expect_fail(
+            lambda: check_manifest(
+                dict(good_manifest,
+                     profile={"lbl": {"count": 1, "total_sec": 0.0}}), "m"),
+            "missing 'max_sec'", "profile entry missing max_sec")
+        _expect_fail(
+            lambda: check_manifest(
+                dict(good_manifest, trace=dict(good_trace, dropped=11)), "m"),
+            "exceeds offered", "dropped > offered")
+        _expect_fail(
+            lambda: check_manifest(
+                dict(good_manifest, trace=dict(good_trace, events=9)), "m"),
+            "accounting", "events + dropped != offered")
+        _expect_fail(
+            lambda: check_manifest(
+                dict(good_manifest,
+                     trace={k: v for k, v in good_trace.items()
+                            if k != "offered"}), "m"),
+            "missing field 'offered'", "trace block without offered")
+
+        other = json.loads(json.dumps(good_manifest))
+        assert compare_manifests(good_manifest, other, set()) == ""
+        other["jobs"] = 8
+        assert "'jobs' differs" in compare_manifests(good_manifest, other,
+                                                     set())
+        assert compare_manifests(good_manifest, other, {"jobs"}) == ""
+        other["trace"]["fnv1a"] = "ff" * 8
+        assert "hashes differ" in compare_manifests(good_manifest, other,
+                                                    {"jobs"})
+        other["trace"] = None
+        assert "trace block" in compare_manifests(good_manifest, other,
+                                                  {"jobs"})
+
+        good_chrome = {"traceEvents": [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1,
+             "args": {"name": "node 0"}},
+            {"name": "cpu_busy", "ph": "B", "ts": 0, "pid": 0, "tid": 1},
+            {"name": "resource.0", "ph": "C", "ts": 5, "pid": 0, "tid": 0,
+             "args": {"value": 3}},
+            {"name": "cpu_busy", "ph": "E", "ts": 10, "pid": 0, "tid": 1},
+            {"name": "timer_set", "ph": "i", "ts": 11, "pid": 0, "tid": 1,
+             "s": "t", "args": {"a": 0, "b": 1.0, "x": 0}},
+        ]}
+        assert check_chrome(good_chrome, "selftest") == 5
+        _expect_fail(lambda: check_chrome({"events": []}, "c"),
+                     "traceEvents", "chrome without traceEvents")
+        _expect_fail(
+            lambda: check_chrome(
+                {"traceEvents": good_chrome["traceEvents"][:2]}, "c"),
+            "unclosed 'B'", "chrome with unclosed slice")
+        _expect_fail(
+            lambda: check_chrome(
+                {"traceEvents": [good_chrome["traceEvents"][3]]}, "c"),
+            "no open 'B'", "chrome E without B")
+        _expect_fail(
+            lambda: check_chrome(
+                {"traceEvents": [
+                    {"name": "n", "ph": "B", "ts": 5, "pid": 0, "tid": 1},
+                    {"name": "n", "ph": "E", "ts": 4, "pid": 0, "tid": 1}]},
+                "c"),
+            "goes backwards", "chrome non-monotonic ts")
+    finally:
+        fail = original_fail
+    print("validate_trace: OK: selftest passed")
 
 
 def main() -> None:
@@ -208,7 +467,18 @@ def main() -> None:
         "compare", help="assert two manifests describe identical runs")
     p_compare.add_argument("manifest_a")
     p_compare.add_argument("manifest_b")
+    p_compare.add_argument(
+        "--ignore-key", action="append", metavar="KEY",
+        help=f"skip one comparison; repeatable; keys: {list(COMPARE_KEYS)}")
     p_compare.set_defaults(func=cmd_compare)
+
+    p_chrome = sub.add_parser(
+        "chrome", help="structurally validate a Chrome trace-event file")
+    p_chrome.add_argument("chrome")
+    p_chrome.set_defaults(func=cmd_chrome)
+
+    p_selftest = sub.add_parser("selftest", help="run this script's tests")
+    p_selftest.set_defaults(func=cmd_selftest)
 
     args = parser.parse_args()
     args.func(args)
