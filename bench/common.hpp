@@ -9,7 +9,8 @@
 // Every bench binary accepts the same command line, parsed once by
 // parse_options():
 //
-//   --jobs N      worker threads for parallel sweeps (default: hardware)
+//   --jobs N      worker threads for parallel sweeps; 0 or a bare --jobs
+//                 auto-detects the hardware concurrency (also the default)
 //   --seed S      override the bench's base seed
 //   --json        machine-readable rows on stdout; human chatter -> stderr
 //   --quiet       suppress human chatter entirely (checks still counted)
@@ -178,15 +179,23 @@ inline Options& parse_options(int argc, char** argv, const OptionsSpec& spec = {
             }
             o.sample_every = sec;
         } else if (name == "jobs") {
+            if (!has_value) {
+                // Bare --jobs: auto-detect, same as the default.
+                o.jobs = parallel::hardware_jobs();
+                continue;
+            }
             char* end = nullptr;
             const long n = std::strtol(value.c_str(), &end, 10);
-            if (!has_value || end == value.c_str() || *end != '\0' || n < 1) {
+            if (end == value.c_str() || *end != '\0' || n < 0) {
                 std::fprintf(stderr,
-                             "error: --jobs must be a positive integer, got '%s'\n",
+                             "error: --jobs must be a non-negative integer"
+                             " (0 = auto-detect), got '%s'\n",
                              value.c_str());
                 std::exit(2);
             }
-            o.jobs = static_cast<std::size_t>(n);
+            // 0 = auto-detect the hardware concurrency.
+            o.jobs = n == 0 ? parallel::hardware_jobs()
+                            : static_cast<std::size_t>(n);
         } else if (name == "seed") {
             char* end = nullptr;
             const unsigned long long s = std::strtoull(value.c_str(), &end, 10);

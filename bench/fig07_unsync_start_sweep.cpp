@@ -4,8 +4,9 @@
 // (17 hours) at 0.6*Tc and after 7796 rounds at 1.0*Tc; larger Tr takes
 // longer and longer.
 //
-// The 3 x 5 trial grid runs through the parallel TrialRunner (--jobs N);
-// configs are fixed up front and results consumed in submission order, so
+// The 3 x 5 trial grid runs through the work-stealing SweepScheduler
+// (--jobs N): all trials pool into one task set, idle workers steal from
+// the slow Tr values, and results are consumed in submission order, so
 // the output is byte-identical for every jobs value.
 #include <cstdio>
 #include <vector>
@@ -41,7 +42,9 @@ int main(int argc, char** argv) {
             configs.push_back(cfg);
         }
     }
-    const auto results = parallel::TrialRunner{{.jobs = jobs}}.run_all(configs);
+    const auto results =
+        parallel::SweepScheduler{{.jobs = jobs}}.run_all(configs);
+    parallel::merge_sweep_into(opts().ctx, results);
 
     std::vector<double> sync_means;
     for (std::size_t fi = 0; fi < factors.size(); ++fi) {

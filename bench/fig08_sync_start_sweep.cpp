@@ -3,8 +3,9 @@
 // labels: at 2.3*Tc synchronization is not broken within 10^7 s; at
 // 2.5*Tc it breaks after 4791 rounds; at 2.8*Tc after 300 rounds.
 //
-// The 3 x 3 trial grid runs through the parallel TrialRunner (--jobs N);
-// configs are fixed up front and results consumed in submission order, so
+// The 3 x 3 trial grid runs through the work-stealing SweepScheduler
+// (--jobs N): all trials pool into one task set, idle workers steal from
+// the slow Tr values, and results are consumed in submission order, so
 // the output is byte-identical for every jobs value.
 #include <cstdio>
 #include <vector>
@@ -41,7 +42,9 @@ int main(int argc, char** argv) {
             configs.push_back(cfg);
         }
     }
-    const auto results = parallel::TrialRunner{{.jobs = jobs}}.run_all(configs);
+    const auto results =
+        parallel::SweepScheduler{{.jobs = jobs}}.run_all(configs);
+    parallel::merge_sweep_into(opts().ctx, results);
 
     std::vector<double> breakup_means;
     for (std::size_t fi = 0; fi < factors.size(); ++fi) {

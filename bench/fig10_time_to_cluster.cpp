@@ -31,11 +31,12 @@ int main(int argc, char** argv) {
     const markov::FJChain chain{cp};
     const auto f = chain.f_rounds();
 
-    // Twenty simulations, seeds 1..20, fanned over the trial runner; the
-    // stats accumulate in seed order whatever the jobs value.
+    // Twenty simulations, seeds 1..20, pooled in the work-stealing sweep
+    // scheduler; the stats accumulate in seed order whatever the jobs
+    // value.
     const int kSims = 20;
     std::vector<stats::RunningStats> hit(21);
-    const auto results = parallel::TrialRunner{{.jobs = jobs}}.run_generated(
+    const auto results = parallel::SweepScheduler{{.jobs = jobs}}.run_generated(
         static_cast<std::size_t>(kSims), [](std::size_t i) {
             core::ExperimentConfig cfg;
             cfg.params.n = 20;
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
             cfg.stop_on_full_sync = true;
             return cfg;
         });
+    parallel::merge_sweep_into(opts().ctx, results);
     for (const auto& r : results) {
         for (int s = 2; s <= 20; ++s) {
             if (r.first_hit_up[static_cast<std::size_t>(s)]) {

@@ -308,6 +308,74 @@ void BM_TrialRunner(benchmark::State& state) {
 }
 BENCHMARK(BM_TrialRunner)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+core::ExperimentConfig kernel_trial_config(core::ExperimentBackend backend) {
+    core::ExperimentConfig cfg;
+    cfg.params.n = 20;
+    cfg.params.tp = sim::SimTime::seconds(121);
+    cfg.params.tc = sim::SimTime::seconds(0.11);
+    cfg.params.tr = sim::SimTime::seconds(0.11);
+    cfg.params.seed = 42;
+    cfg.max_time = sim::SimTime::seconds(2e4);
+    cfg.backend = backend;
+    return cfg;
+}
+
+void BM_PMKernel_Trial(benchmark::State& state) {
+    // One full experiment trial on the fused PM fast path (SoA state,
+    // calendar queue, O(1) shared-busy broadcast). Compare against
+    // BM_PMKernelLegacy_Trial: identical simulation, generic engine.
+    const auto cfg = kernel_trial_config(core::ExperimentBackend::FastKernel);
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        const auto r = core::run_experiment(cfg);
+        events = r.events_processed;
+        benchmark::DoNotOptimize(r.total_transmissions);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_PMKernel_Trial);
+
+void BM_PMKernelLegacy_Trial(benchmark::State& state) {
+    // The same trial, forced onto the generic DES engine +
+    // PeriodicMessagesModel — the in-binary baseline for the kernel.
+    const auto cfg = kernel_trial_config(core::ExperimentBackend::Engine);
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        const auto r = core::run_experiment(cfg);
+        events = r.events_processed;
+        benchmark::DoNotOptimize(r.total_transmissions);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_PMKernelLegacy_Trial);
+
+void BM_SweepScheduler(benchmark::State& state) {
+    // BM_TrialRunner's batch through the global work-stealing scheduler:
+    // one pooled task set instead of a per-batch barrier. items/sec are
+    // trials per wall-clock second (UseRealTime).
+    const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+    const int kTrials = 8;
+    for (auto _ : state) {
+        parallel::SweepScheduler scheduler{{.jobs = jobs}};
+        const auto results =
+            scheduler.run_generated(kTrials, [](std::size_t i) {
+                core::ExperimentConfig cfg;
+                cfg.params.n = 20;
+                cfg.params.tp = sim::SimTime::seconds(121);
+                cfg.params.tc = sim::SimTime::seconds(0.11);
+                cfg.params.tr = sim::SimTime::seconds(0.11);
+                cfg.params.seed = parallel::derive_seed(42, i);
+                cfg.max_time = sim::SimTime::seconds(2e4);
+                return cfg;
+            });
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(state.iterations() * kTrials);
+}
+BENCHMARK(BM_SweepScheduler)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_Engine_SelfSchedulingChain(benchmark::State& state) {
     for (auto _ : state) {
         sim::Engine engine;

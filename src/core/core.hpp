@@ -5,4 +5,5 @@
 #include "core/cluster_tracker.hpp"    // IWYU pragma: export
 #include "core/experiment.hpp"         // IWYU pragma: export
 #include "core/periodic_messages.hpp"  // IWYU pragma: export
+#include "core/pm_kernel.hpp"          // IWYU pragma: export
 #include "core/timer_policy.hpp"       // IWYU pragma: export

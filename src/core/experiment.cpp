@@ -3,82 +3,135 @@
 #include <optional>
 #include <utility>
 
+#include "core/pm_kernel.hpp"
 #include "obs/resource_sampler.hpp"
 #include "obs/run_context.hpp"
 #include "obs/tracer.hpp"
 
 namespace routesync::core {
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-    // Per-trial profiler: thread-locals don't propagate to worker
-    // threads, so each trial installs its own and the snapshot is merged
-    // back in submission order (like metrics). No-op when profiling is
-    // off process-wide.
-    obs::Profiler trial_profiler;
-    std::optional<obs::ScopedProfilerInstall> prof_install;
-    if (obs::Profiler::process_enabled()) {
-        prof_install.emplace(trial_profiler);
-    }
+namespace {
 
-    sim::Engine engine;
-    if (config.obs != nullptr) {
-        // Attach before the model exists so the initial timer schedule is
-        // traced too.
-        config.obs->attach(engine);
-    }
-    auto policy = config.make_policy ? config.make_policy() : nullptr;
-    PeriodicMessagesModel model{engine, config.params, std::move(policy)};
+// The two simulation cores behind run_experiment, reduced to the one
+// surface the driver needs. Bit-identity between them is the PmKernel
+// contract (tests/pm_kernel_test.cpp), so the driver below is written
+// once and templated over the adapter.
 
-    ClusterTracker tracker{config.params.n, model.round_length()};
+struct EngineSim {
+    sim::Engine& engine;
+    PeriodicMessagesModel& model;
+
+    template <typename F> void set_on_transmit(F&& f) {
+        model.on_transmit = std::forward<F>(f);
+    }
+    template <typename F> void set_on_timer_set(F&& f) {
+        model.on_timer_set = std::forward<F>(f);
+    }
+    [[nodiscard]] sim::SimTime round_length() const {
+        return model.round_length();
+    }
+    [[nodiscard]] sim::SimTime offset_of(sim::SimTime t) const {
+        return model.offset_of(t);
+    }
+    void schedule_trigger_all(sim::SimTime t) {
+        engine.schedule_at(t, [m = &model] { m->trigger_update_all(); });
+    }
+    void stop() { engine.stop(); }
+    void run_until(sim::SimTime t) { engine.run_until(t); }
+    [[nodiscard]] sim::SimTime now() const { return engine.now(); }
+    [[nodiscard]] std::uint64_t events_processed() const {
+        return engine.events_processed();
+    }
+    [[nodiscard]] std::uint64_t total_transmissions() const {
+        return model.total_transmissions();
+    }
+};
+
+struct KernelSim {
+    PmKernel& kernel;
+
+    template <typename F> void set_on_transmit(F&& f) {
+        kernel.on_transmit = std::forward<F>(f);
+    }
+    template <typename F> void set_on_timer_set(F&& f) {
+        kernel.on_timer_set = std::forward<F>(f);
+    }
+    [[nodiscard]] sim::SimTime round_length() const {
+        return kernel.round_length();
+    }
+    [[nodiscard]] sim::SimTime offset_of(sim::SimTime t) const {
+        return kernel.offset_of(t);
+    }
+    void schedule_trigger_all(sim::SimTime t) {
+        kernel.schedule_trigger_all(t);
+    }
+    void stop() { kernel.stop(); }
+    void run_until(sim::SimTime t) { kernel.run_until(t); }
+    [[nodiscard]] sim::SimTime now() const { return kernel.now(); }
+    [[nodiscard]] std::uint64_t events_processed() const {
+        return kernel.events_processed();
+    }
+    [[nodiscard]] std::uint64_t total_transmissions() const {
+        return kernel.total_transmissions();
+    }
+};
+
+/// The backend-independent experiment body. `tracer` is the run's tracer
+/// (null when not tracing); `sampler_engine` is non-null only on the
+/// engine path (the ResourceSampler probes an Engine's queue).
+template <typename Sim>
+ExperimentResult run_with(const ExperimentConfig& config, Sim& sim,
+                          obs::Tracer* tracer, sim::Engine* sampler_engine) {
+    ClusterTracker tracker{config.params.n, sim.round_length()};
     tracker.record_events(config.record_cluster_events);
     tracker.record_rounds(config.record_rounds);
 
     ExperimentResult result;
-    result.round_length_sec = model.round_length().sec();
+    result.round_length_sec = sim.round_length().sec();
 
     if (config.transmit_stride > 0) {
-        model.on_transmit = [&, stride = config.transmit_stride,
+        sim.set_on_transmit([&, stride = config.transmit_stride,
                              count = std::uint64_t{0}](int node,
                                                        sim::SimTime t) mutable {
             if (count++ % static_cast<std::uint64_t>(stride) == 0) {
                 result.transmits.push_back(
-                    TransmitRecord{node, t.sec(), model.offset_of(t).sec()});
+                    TransmitRecord{node, t.sec(), sim.offset_of(t).sec()});
             }
-        };
+        });
     }
 
-    model.on_timer_set = [&tracker](int node, sim::SimTime t) {
+    sim.set_on_timer_set([&tracker](int node, sim::SimTime t) {
         tracker.on_timer_set(node, t);
-    };
+    });
 
     if (config.stop_on_full_sync) {
-        tracker.on_full_sync = [&engine](sim::SimTime) { engine.stop(); };
+        tracker.on_full_sync = [&sim](sim::SimTime) { sim.stop(); };
     }
     if (config.stop_on_cluster_size > 0) {
-        tracker.on_size_first_reached = [&engine, limit = config.stop_on_cluster_size](
+        tracker.on_size_first_reached = [&sim, limit = config.stop_on_cluster_size](
                                             int size, sim::SimTime) {
             if (size >= limit) {
-                engine.stop();
+                sim.stop();
             }
         };
     }
     if (config.stop_on_breakup_threshold > 0) {
-        tracker.on_round_closed = [&engine,
+        tracker.on_round_closed = [&sim,
                                    limit = config.stop_on_breakup_threshold](
                                       const RoundLargest& r) {
             if (r.largest <= limit) {
-                engine.stop();
+                sim.stop();
             }
         };
     }
 
-    if (obs::Tracer* tr = engine.tracer()) {
+    if (tracer != nullptr) {
         // Trace cluster growth: the first time any cluster reaches a new
         // size. Chained in front of the stop condition (if one is set).
         auto prev = std::move(tracker.on_size_first_reached);
-        tracker.on_size_first_reached = [tr, prev = std::move(prev)](
+        tracker.on_size_first_reached = [tracer, prev = std::move(prev)](
                                             int size, sim::SimTime t) {
-            tr->emit(obs::TraceEventType::ClusterChange, t, -1, size);
+            tracer->emit(obs::TraceEventType::ClusterChange, t, -1, size);
             if (prev) {
                 prev(size, t);
             }
@@ -86,13 +139,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
 
     if (config.trigger_all_at.has_value()) {
-        engine.schedule_at(*config.trigger_all_at,
-                           [&model] { model.trigger_update_all(); });
+        sim.schedule_trigger_all(*config.trigger_all_at);
     }
 
     std::optional<obs::ResourceSampler> sampler;
-    if (config.sample_every > 0.0 && config.obs != nullptr) {
-        sampler.emplace(engine, *config.obs,
+    if (config.sample_every > 0.0 && config.obs != nullptr &&
+        sampler_engine != nullptr) {
+        sampler.emplace(*sampler_engine, *config.obs,
                         sim::SimTime::seconds(config.sample_every));
         sampler->watch_engine_queue();
         sampler->start();
@@ -100,7 +153,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
     {
         OBS_PROF_SCOPE("experiment.run");
-        engine.run_until(config.max_time);
+        sim.run_until(config.max_time);
         tracker.finish();
     }
 
@@ -130,9 +183,52 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.rounds = tracker.rounds();
     result.rounds_closed = tracker.rounds_closed();
     result.rounds_unsynchronized = tracker.rounds_with_largest_at_most(1);
-    result.total_transmissions = model.total_transmissions();
-    result.events_processed = engine.events_processed();
-    result.end_time_sec = engine.now().sec();
+    result.total_transmissions = sim.total_transmissions();
+    result.events_processed = sim.events_processed();
+    result.end_time_sec = sim.now().sec();
+    return result;
+}
+
+} // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+    // Per-trial profiler: thread-locals don't propagate to worker
+    // threads, so each trial installs its own and the snapshot is merged
+    // back in submission order (like metrics). No-op when profiling is
+    // off process-wide.
+    obs::Profiler trial_profiler;
+    std::optional<obs::ScopedProfilerInstall> prof_install;
+    if (obs::Profiler::process_enabled()) {
+        prof_install.emplace(trial_profiler);
+    }
+
+    // The fast kernel covers the full model; only the ResourceSampler
+    // (which probes an Engine's event queue) forces the generic engine.
+    const bool use_engine =
+        config.backend == ExperimentBackend::Engine ||
+        (config.backend == ExperimentBackend::Auto &&
+         config.sample_every > 0.0 && config.obs != nullptr);
+
+    ExperimentResult result;
+    if (use_engine) {
+        sim::Engine engine;
+        if (config.obs != nullptr) {
+            // Attach before the model exists so the initial timer schedule
+            // is traced too.
+            config.obs->attach(engine);
+        }
+        auto policy = config.make_policy ? config.make_policy() : nullptr;
+        PeriodicMessagesModel model{engine, config.params, std::move(policy)};
+        EngineSim sim{engine, model};
+        result = run_with(config, sim, engine.tracer(), &engine);
+    } else {
+        obs::Tracer* tracer =
+            config.obs != nullptr ? config.obs->tracer() : nullptr;
+        auto policy = config.make_policy ? config.make_policy() : nullptr;
+        PmKernel kernel{config.params, std::move(policy), tracer};
+        KernelSim sim{kernel};
+        result = run_with(config, sim, tracer, nullptr);
+    }
 
     obs::MetricsRegistry reg;
     reg.add("experiment.transmissions", result.total_transmissions);

@@ -30,8 +30,23 @@ struct TransmitRecord {
     double offset_sec; ///< time mod (Tp + Tc)
 };
 
+/// Which simulation core executes the run. Both produce bit-identical
+/// results (RNG order, event order, traces, metrics) — the choice is pure
+/// performance.
+enum class ExperimentBackend {
+    /// FastKernel unless a feature needs the real engine (currently only
+    /// the ResourceSampler: sample_every > 0 with an obs context).
+    Auto,
+    /// The generic DES engine + PeriodicMessagesModel.
+    Engine,
+    /// The fused PM fast path (core/pm_kernel.hpp). If sampling is
+    /// requested it is silently skipped (the sampler probes an Engine).
+    FastKernel,
+};
+
 struct ExperimentConfig {
     ModelParams params;
+    ExperimentBackend backend = ExperimentBackend::Auto;
     /// Hard stop; the run may end earlier via the stop_on_* conditions.
     sim::SimTime max_time = sim::SimTime::seconds(1e5);
     /// Stop the instant a cluster of size N forms.

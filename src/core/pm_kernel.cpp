@@ -1,0 +1,390 @@
+#include "core/pm_kernel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/profiler.hpp"
+#include "obs/tracer.hpp"
+
+namespace routesync::core {
+
+namespace {
+
+constexpr std::size_t kBuckets = 1024; // power of two
+
+/// Sizing estimate for the calendar horizon: the farthest ahead of `now`
+/// the model ever schedules is one timer interval (plus jitter) or a
+/// busy-period end, which grows by ~n*Tc per overlapping transmission.
+/// 2x headroom keeps HalfPeriodJitter's 1.5*Tp draws in-window; anything
+/// beyond (deep trigger cascades) takes the overflow path, which is
+/// correct, just not O(1).
+double horizon_hint(const ModelParams& p, const TimerPolicy& policy) {
+    double mean = policy.mean_interval().sec();
+    if (!p.per_node_tp.empty()) {
+        mean = *std::max_element(p.per_node_tp.begin(), p.per_node_tp.end());
+    }
+    double tc = p.tc.sec();
+    if (!p.per_node_tc.empty()) {
+        tc = std::max(tc, *std::max_element(p.per_node_tc.begin(),
+                                            p.per_node_tc.end()));
+    }
+    const double h =
+        2.0 * (mean + p.tr.sec() + (static_cast<double>(p.n) + 1.0) * tc);
+    return h > 1e-9 ? h : 1e-9;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// PmCalendarQueue (cold paths; the push/peek/pop trio is inline in the
+// header)
+
+PmCalendarQueue::PmCalendarQueue(double horizon_hint)
+    : width_((horizon_hint > 1e-9 ? horizon_hint : 1e-9) /
+             static_cast<double>(kBuckets)),
+      inv_width_(1.0 / width_),
+      bucket_count_(kBuckets),
+      bucket_mask_(kBuckets - 1),
+      buckets_(kBuckets),
+      occupied_(kBuckets / 64, 0) {}
+
+void PmCalendarQueue::flush_overflow() {
+    const std::int64_t window_end = day_ + static_cast<std::int64_t>(bucket_count_);
+    std::size_t keep = 0;
+    std::int64_t new_min = std::numeric_limits<std::int64_t>::max();
+    for (const PmEvent& e : overflow_) {
+        const std::int64_t d = day_of(e.time);
+        if (d < window_end) {
+            const std::size_t b = static_cast<std::size_t>(d) & bucket_mask_;
+            buckets_[b].push_back(e);
+            occupied_[b >> 6] |= std::uint64_t{1} << (b & 63U);
+            if (b == cursor_b_) {
+                cursor_heaped_ = false; // re-heapify on the next peek
+            }
+        } else {
+            new_min = std::min(new_min, d);
+            overflow_[keep++] = e;
+        }
+    }
+    overflow_.resize(keep);
+    overflow_min_day_ = new_min;
+}
+
+void PmCalendarQueue::advance_to_next_bucket() {
+    // Circular bitmap scan for the next occupied bucket strictly after the
+    // current day's. Within the window each bucket holds events of exactly
+    // one day, and day -> bucket is an order-preserving circular map, so
+    // the first hit is the minimum day.
+    const std::size_t b = cursor_b_;
+    std::size_t pos = (b + 1) & bucket_mask_;
+    std::size_t remaining = bucket_mask_; // every bucket except b itself
+    while (remaining > 0) {
+        const std::size_t off = pos & 63U;
+        const std::uint64_t word = occupied_[pos >> 6] >> off;
+        const std::size_t span = std::min<std::size_t>(64 - off, remaining);
+        if (word != 0) {
+            const auto tz = static_cast<std::size_t>(std::countr_zero(word));
+            if (tz < span) {
+                const std::size_t hit = pos + tz; // within the word, no wrap
+                day_ += static_cast<std::int64_t>((hit - b) & bucket_mask_);
+                cursor_b_ = static_cast<std::size_t>(day_) & bucket_mask_;
+                cursor_heaped_ = false;
+                return;
+            }
+        }
+        pos = (pos + span) & bucket_mask_;
+        remaining -= span;
+    }
+    // Every bucket is empty; only overflow remains (caller guarantees
+    // live_ > 0). Jump straight to the earliest overflow day and fold it
+    // in — peek_min's outer loop rescans.
+    assert(!overflow_.empty());
+    day_ = overflow_min_day_;
+    cursor_b_ = static_cast<std::size_t>(day_) & bucket_mask_;
+    cursor_heaped_ = false;
+    flush_overflow();
+}
+
+// ---------------------------------------------------------------------------
+// PmKernel
+
+PmKernel::PmKernel(const ModelParams& params,
+                   std::unique_ptr<TimerPolicy> policy, obs::Tracer* tracer)
+    : params_{params},
+      policy_{std::move(policy)},
+      gen_{params.seed},
+      tracer_{tracer},
+      queue_{0.0} {
+    // Same validation (and messages) as PeriodicMessagesModel — callers
+    // switch backends without seeing a different contract.
+    if (params_.n < 1) {
+        throw std::invalid_argument{"PeriodicMessagesModel: need at least one node"};
+    }
+    if (params_.tc < sim::SimTime::zero()) {
+        throw std::invalid_argument{"PeriodicMessagesModel: Tc must be >= 0"};
+    }
+    if (!policy_) {
+        policy_ = std::make_unique<UniformJitter>(params_.tp, params_.tr);
+    }
+    if (!params_.initial_phases.empty() &&
+        params_.initial_phases.size() != static_cast<std::size_t>(params_.n)) {
+        throw std::invalid_argument{
+            "PeriodicMessagesModel: initial_phases size must equal n"};
+    }
+    if (!params_.per_node_tp.empty() &&
+        params_.per_node_tp.size() != static_cast<std::size_t>(params_.n)) {
+        throw std::invalid_argument{
+            "PeriodicMessagesModel: per_node_tp size must equal n"};
+    }
+    if (!params_.per_node_tc.empty() &&
+        params_.per_node_tc.size() != static_cast<std::size_t>(params_.n)) {
+        throw std::invalid_argument{
+            "PeriodicMessagesModel: per_node_tc size must equal n"};
+    }
+    queue_ = PmCalendarQueue{horizon_hint(params_, *policy_)};
+
+    const auto n = static_cast<std::size_t>(params_.n);
+    next_expiry_.assign(n, sim::SimTime::infinity());
+    timer_seq_.assign(n, 0);
+    transmissions_.assign(n, 0);
+    pending_own_.assign(n, 0);
+    timer_pending_.assign(n, 0);
+    busy_check_scheduled_.assign(n, 0);
+    shared_busy_ = params_.notification == Notification::Immediate &&
+                   params_.per_node_tc.empty();
+    if (!shared_busy_) {
+        busy_end_.assign(n, -sim::SimTime::seconds(1.0));
+    }
+
+    for (int i = 0; i < params_.n; ++i) {
+        sim::SimTime first;
+        if (!params_.initial_phases.empty()) {
+            first = sim::SimTime::seconds(
+                params_.initial_phases[static_cast<std::size_t>(i)]);
+        } else if (params_.start == StartCondition::Synchronized) {
+            first = sim::SimTime::zero();
+        } else {
+            first = sim::SimTime::seconds(
+                rng::uniform_real(gen_, 0.0, params_.tp.sec()));
+        }
+        schedule_timer(i, now_ + first);
+    }
+}
+
+sim::SimTime PmKernel::round_length() const noexcept {
+    return policy_->mean_interval() + params_.tc;
+}
+
+sim::SimTime PmKernel::offset_of(sim::SimTime t) const noexcept {
+    return t.mod(round_length());
+}
+
+NodeView PmKernel::node(int i) const {
+    if (i < 0 || i >= params_.n) {
+        throw std::out_of_range{"PmKernel::node: index out of range"};
+    }
+    const auto idx = static_cast<std::size_t>(i);
+    const sim::SimTime be = busy_end(i);
+    return NodeView{
+        .next_expiry = timer_pending_[idx] != 0 ? next_expiry_[idx]
+                                                : sim::SimTime::infinity(),
+        .busy_until = be,
+        .busy = be > now_,
+        .transmissions = transmissions_[idx],
+    };
+}
+
+sim::SimTime PmKernel::draw_interval(int i) {
+    if (!params_.per_node_tp.empty()) {
+        const double tp_i = params_.per_node_tp[static_cast<std::size_t>(i)];
+        return sim::SimTime::seconds(rng::uniform_real(
+            gen_, tp_i - params_.tr.sec(), tp_i + params_.tr.sec()));
+    }
+    return policy_->next_interval(gen_);
+}
+
+void PmKernel::push_event(sim::SimTime at, std::uint32_t kind,
+                          std::uint32_t node) {
+    queue_.push(at.sec(), next_seq_++, kind, node);
+}
+
+void PmKernel::schedule_timer(int i, sim::SimTime at) {
+    const auto idx = static_cast<std::size_t>(i);
+    assert(timer_pending_[idx] == 0 && "node already has a pending timer");
+    timer_seq_[idx] = next_seq_;
+    push_event(at, kPmTimer, static_cast<std::uint32_t>(i));
+    timer_pending_[idx] = 1;
+    next_expiry_[idx] = at;
+    if (tracer_ != nullptr) {
+        tracer_->emit(obs::TraceEventType::TimerSet, now_, i, 0,
+                      (at - now_).sec());
+    }
+}
+
+void PmKernel::schedule_trigger_all(sim::SimTime t) {
+    if (t < now_) {
+        throw std::logic_error{"Engine::schedule_at: time is in the past"};
+    }
+    push_event(t, kPmTrigger, 0);
+}
+
+void PmKernel::trigger_update(std::span<const int> to_fire) {
+    for (const int i : to_fire) {
+        if (i < 0 || i >= params_.n) {
+            throw std::out_of_range{"PmKernel::trigger_update: node out of range"};
+        }
+        const auto idx = static_cast<std::size_t>(i);
+        if (!params_.reset_at_expiry && timer_pending_[idx] != 0) {
+            // Cancel: clearing the pending flag makes the queued event
+            // stale; the run loop discards it on surfacing, exactly like
+            // an EventQueue tombstone (never executed, never counted).
+            timer_pending_[idx] = 0;
+            if (tracer_ != nullptr) {
+                tracer_->emit(obs::TraceEventType::TimerReset, now_, i);
+            }
+        }
+        begin_transmission(i);
+    }
+}
+
+void PmKernel::trigger_update_all() {
+    std::vector<int> all(static_cast<std::size_t>(params_.n));
+    for (int i = 0; i < params_.n; ++i) {
+        all[static_cast<std::size_t>(i)] = i;
+    }
+    trigger_update(all);
+}
+
+void PmKernel::extend_busy(int i, sim::SimTime t) {
+    if (shared_busy_) {
+        if (shared_busy_end_ > t) {
+            shared_busy_end_ += params_.tc;
+        } else {
+            shared_busy_end_ = t + params_.tc;
+        }
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(i);
+    const sim::SimTime tc =
+        params_.per_node_tc.empty()
+            ? params_.tc
+            : sim::SimTime::seconds(params_.per_node_tc[idx]);
+    if (busy_end_[idx] > t) {
+        busy_end_[idx] += tc;
+    } else {
+        busy_end_[idx] = t + tc;
+    }
+}
+
+void PmKernel::timer_expired(int i) {
+    OBS_PROF_SCOPE("pm.timer_fire");
+    timer_pending_[static_cast<std::size_t>(i)] = 0;
+    if (tracer_ != nullptr) {
+        tracer_->emit(obs::TraceEventType::TimerFire, now_, i);
+    }
+    if (params_.reset_at_expiry) {
+        schedule_timer(i, now_ + draw_interval(i));
+        if (on_timer_set) {
+            on_timer_set(i, now_);
+        }
+    }
+    begin_transmission(i);
+}
+
+void PmKernel::begin_transmission(int i) {
+    OBS_PROF_SCOPE("pm.begin_transmission");
+    const sim::SimTime now = now_;
+    const auto idx = static_cast<std::size_t>(i);
+
+    ++transmissions_[idx];
+    ++tx_count_;
+    if (on_transmit) {
+        on_transmit(i, now);
+    }
+    if (tracer_ != nullptr) {
+        tracer_->emit(obs::TraceEventType::UpdateTx, now, i,
+                      static_cast<std::int64_t>(transmissions_[idx]));
+    }
+
+    if (!params_.reset_at_expiry) {
+        ++pending_own_[idx];
+    }
+    extend_busy(i, now);
+    if (!params_.reset_at_expiry && busy_check_scheduled_[idx] == 0) {
+        busy_check_scheduled_[idx] = 1;
+        push_event(busy_end(i), kPmBusyCheck, static_cast<std::uint32_t>(i));
+    }
+
+    if (params_.notification == Notification::Immediate) {
+        // Shared-busy mode: the broadcast is already done. In the engine
+        // model every node applies the same extend rule to its own copy
+        // of the same prior value at the same instant, so all n copies
+        // land on one new value — which the sender's extend_busy above
+        // just computed on the shared scalar. O(1) per transmission
+        // instead of O(n), bit-identical by induction on "all copies
+        // equal".
+        if (!shared_busy_) {
+            for (int j = 0; j < params_.n; ++j) {
+                if (j != i) {
+                    extend_busy(j, now);
+                }
+            }
+        }
+    } else {
+        push_event(now + params_.tc, kPmDeliver, static_cast<std::uint32_t>(i));
+    }
+}
+
+void PmKernel::deliver_from(int i) {
+    const sim::SimTime at = now_;
+    for (int j = 0; j < params_.n; ++j) {
+        if (j != i) {
+            extend_busy(j, at);
+        }
+    }
+}
+
+void PmKernel::busy_check(int i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const sim::SimTime now = now_;
+    const sim::SimTime be = busy_end(i);
+    if (be > now) {
+        // Extended after this check was scheduled; re-arm at the new end
+        // (lazy revalidation, flag stays set).
+        push_event(be, kPmBusyCheck, static_cast<std::uint32_t>(i));
+        return;
+    }
+    busy_check_scheduled_[idx] = 0;
+    if (pending_own_[idx] > 0) {
+        pending_own_[idx] = 0;
+        schedule_timer(i, now + draw_interval(i));
+        if (on_timer_set) {
+            on_timer_set(i, now);
+        }
+    }
+}
+
+void PmKernel::fire_trigger_all() { trigger_update_all(); }
+
+void PmKernel::dispatch(const PmEvent& e) {
+    switch (e.kind) {
+    case kPmTimer:
+        timer_expired(static_cast<int>(e.node));
+        break;
+    case kPmBusyCheck:
+        busy_check(static_cast<int>(e.node));
+        break;
+    case kPmDeliver:
+        deliver_from(static_cast<int>(e.node));
+        break;
+    case kPmTrigger:
+        fire_trigger_all();
+        break;
+    default:
+        assert(false && "unknown PmEvent kind");
+    }
+}
+
+} // namespace routesync::core

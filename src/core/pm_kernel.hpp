@@ -1,0 +1,339 @@
+// Fast-path kernel for the Periodic Messages model.
+//
+// `PeriodicMessagesModel` runs on the generic DES engine: every timer is a
+// type-erased callback in a general-purpose priority queue, and every
+// transmission walks all N nodes to extend their busy periods. This kernel
+// is the same model compiled down to its actual physics:
+//
+//   * Struct-of-arrays node state — next-expiry, busy-until, pending-own
+//     counts, transmission counters live in flat vectors, not per-node
+//     objects holding engine handles.
+//   * A dedicated two-level calendar queue (`PmCalendarQueue`) sized from
+//     Tp/Tc replaces the generic `EventQueue`: events are 24-byte PODs
+//     (time, FIFO seq, kind|node), pushes drop into a day bucket in O(1),
+//     and idle gaps of ~Tp are skipped with one bitmap scan instead of a
+//     log-n heap walk per event. No per-event allocation, no type erasure,
+//     no generation-counted handles.
+//   * The paper's own Section 4 assumptions collapse the hot loop: under
+//     Notification::Immediate with a shared Tc, *every* node's busy period
+//     ends at the same instant at all times (all start idle; every
+//     transmission applies the same extend rule to all nodes at the same
+//     moment). The kernel therefore keeps ONE shared busy-until scalar and
+//     turns the engine model's O(N) per-transmission broadcast into O(1).
+//     Per-node Tc or AfterPreparation notification fall back to a per-node
+//     busy array with the same event ordering.
+//
+// Fidelity contract: a kernel run is *bit-identical* to the engine-backed
+// model — same RNG draw order, same (time, FIFO) event execution order,
+// same `events_processed` count, same trace events (types, sequence
+// numbers, payloads) when tracing is on, and therefore the same
+// ClusterTracker series. The randomized differential test
+// (tests/pm_kernel_test.cpp) and the frozen traced-run golden hash in
+// determinism_test enforce this. Anything the kernel cannot replicate
+// exactly (currently: nothing in the model itself — only the
+// engine-attached ResourceSampler) stays on the engine path; see
+// ExperimentConfig::backend.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/periodic_messages.hpp"
+#include "core/timer_policy.hpp"
+#include "rng/rng.hpp"
+#include "sim/time.hpp"
+
+namespace routesync::obs {
+class Tracer;
+}
+
+namespace routesync::core {
+
+/// One pending kernel event: plain data, 24 bytes, no callback. `seq`
+/// mirrors the engine queue's FIFO push counter so ties at equal times
+/// break identically.
+struct PmEvent {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t kind = 0; ///< PmEventKind
+    std::uint32_t node = 0;
+};
+
+enum PmEventKind : std::uint32_t {
+    kPmTimer = 0,     ///< a node's routing timer expires
+    kPmBusyCheck = 1, ///< end-of-busy-period check (lazy revalidation)
+    kPmDeliver = 2,   ///< AfterPreparation message delivery
+    kPmTrigger = 3,   ///< triggered-update wave on every node
+};
+
+/// Two-level calendar/bucket timer queue for PmEvents.
+///
+/// Level 1: `bucket_count` (power of two) day buckets of width
+/// `bucket_width` seconds; an event lands in bucket floor(t/w) mod B.
+/// Because the horizon B*w is sized beyond the maximum scheduling offset
+/// the model produces (one full timer interval plus the busy-period
+/// slack), a bucket holds events of a single "day" at a time; the bucket
+/// under the day cursor is heapified lazily, so extraction stays
+/// O(log k) even when a synchronized cluster drops k equal-time events
+/// into one bucket. A bitmap of non-empty
+/// buckets turns the ~Tp idle gap between rounds into a couple of
+/// count-trailing-zeros jumps. Level 2: events beyond the horizon wait in
+/// an unsorted overflow vector and are folded into the buckets when the
+/// current day reaches them (`min-day` cached so the common case tests one
+/// branch).
+///
+/// Ordering is strictly (time, seq) — identical to sim::EventQueue's
+/// FIFO-among-equal-times contract.
+class PmCalendarQueue {
+public:
+    /// `horizon_hint`: an upper estimate of how far ahead of `now` events
+    /// get scheduled (e.g. max timer interval + N*Tc). The queue stays
+    /// correct if the hint is wrong — outliers go through overflow — but
+    /// accurate hints keep placement O(1).
+    explicit PmCalendarQueue(double horizon_hint);
+
+    // The push/peek/pop trio runs once per simulated event; defined
+    // inline so the kernel's run loop compiles down to direct bucket and
+    // heap operations with no cross-TU calls.
+
+    void push(double time, std::uint64_t seq, std::uint32_t kind,
+              std::uint32_t node) {
+        const std::int64_t d = day_of(time);
+        assert(d >= day_ && "push into the past breaks the day cursor");
+        if (d >= day_ + static_cast<std::int64_t>(bucket_count_)) {
+            if (overflow_.empty() || d < overflow_min_day_) {
+                overflow_min_day_ = d;
+            }
+            overflow_.push_back(PmEvent{time, seq, kind, node});
+        } else {
+            const std::size_t b = static_cast<std::size_t>(d) & bucket_mask_;
+            buckets_[b].push_back(PmEvent{time, seq, kind, node});
+            occupied_[b >> 6] |= std::uint64_t{1} << (b & 63U);
+            if (cursor_heaped_ && b == cursor_b_) {
+                // In-window pushes to the cursor index are always
+                // cursor-day events (an aliasing day would be >= day_ + B,
+                // i.e. overflow), so keep the heap property incrementally.
+                std::push_heap(buckets_[b].begin(), buckets_[b].end(), after);
+            }
+        }
+        ++live_;
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+    /// Locates the earliest (time, seq) event without removing it.
+    /// Precondition: !empty(). Advances the internal day cursor over idle
+    /// gaps as a side effect (monotone, so repeated peeks are cheap).
+    [[nodiscard]] const PmEvent& peek_min() {
+        assert(live_ > 0);
+        for (;;) {
+            if (!overflow_.empty() &&
+                overflow_min_day_ <
+                    day_ + static_cast<std::int64_t>(bucket_count_)) {
+                flush_overflow();
+            }
+            std::vector<PmEvent>& bucket = buckets_[cursor_b_];
+            if (!bucket.empty()) {
+                if (!cursor_heaped_) {
+                    std::make_heap(bucket.begin(), bucket.end(), after);
+                    cursor_heaped_ = true;
+                }
+                return bucket.front();
+            }
+            advance_to_next_bucket();
+        }
+    }
+
+    /// Removes the event peek_min() returned. Must follow a peek_min()
+    /// with no intervening push.
+    void pop_min() {
+        std::vector<PmEvent>& bucket = buckets_[cursor_b_];
+        assert(cursor_heaped_ && !bucket.empty());
+        std::pop_heap(bucket.begin(), bucket.end(), after);
+        bucket.pop_back();
+        if (bucket.empty()) {
+            occupied_[cursor_b_ >> 6] &=
+                ~(std::uint64_t{1} << (cursor_b_ & 63U));
+        }
+        --live_;
+    }
+
+private:
+    void flush_overflow();
+    void advance_to_next_bucket();
+
+    [[nodiscard]] static bool before(const PmEvent& a,
+                                     const PmEvent& b) noexcept {
+        return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+    }
+    /// std::*_heap comparator for a MIN-heap on (time, seq).
+    [[nodiscard]] static bool after(const PmEvent& a,
+                                    const PmEvent& b) noexcept {
+        return before(b, a);
+    }
+
+    [[nodiscard]] std::int64_t day_of(double t) const noexcept {
+        return static_cast<std::int64_t>(t * inv_width_);
+    }
+
+    double width_;
+    double inv_width_;
+    std::size_t bucket_count_;
+    std::size_t bucket_mask_;
+    std::int64_t day_ = 0; ///< current day cursor (buckets before it are empty)
+    std::size_t cursor_b_ = 0; ///< cached day_ & bucket_mask_
+    std::size_t live_ = 0;
+    std::vector<std::vector<PmEvent>> buckets_;
+    std::vector<std::uint64_t> occupied_; ///< bitmap over buckets
+    std::vector<PmEvent> overflow_;       ///< events with day >= day_ + B
+    std::int64_t overflow_min_day_ = 0;   ///< valid when !overflow_.empty()
+    /// True when the cursor-day bucket is organized as a binary min-heap.
+    /// Synchronized clusters drop many equal-time events into one bucket;
+    /// a heap makes each extraction O(log k) instead of a fresh O(k)
+    /// min-scan per peek (O(k^2) to drain — and the synchronized regime
+    /// is exactly where the model spends its time). Off-day buckets stay
+    /// unordered append-only; heapified lazily when the cursor arrives.
+    bool cursor_heaped_ = false;
+};
+
+/// The fused engine+model fast path. Mirrors the externally observable
+/// API of (sim::Engine, PeriodicMessagesModel) so `run_experiment` can
+/// drive either interchangeably.
+class PmKernel {
+public:
+    /// Same contract as PeriodicMessagesModel: validates params, draws
+    /// each node's first expiry (consuming the RNG in node order), and
+    /// schedules the initial timers. `tracer` may be null (tracing off).
+    explicit PmKernel(const ModelParams& params,
+                      std::unique_ptr<TimerPolicy> policy = nullptr,
+                      obs::Tracer* tracer = nullptr);
+
+    PmKernel(const PmKernel&) = delete;
+    PmKernel& operator=(const PmKernel&) = delete;
+
+    /// Fires when a node's timer expires and it begins transmitting.
+    std::function<void(int node, sim::SimTime t)> on_transmit;
+    /// Fires when a node completes its busy period and re-arms its timer.
+    std::function<void(int node, sim::SimTime t)> on_timer_set;
+
+    /// Schedules a triggered update on every node at absolute time `t`
+    /// (the ExperimentConfig::trigger_all_at path). Must be scheduled in
+    /// the same relative push order as the engine path: after
+    /// construction, before running.
+    void schedule_trigger_all(sim::SimTime t);
+
+    /// Immediate triggered update (parity with the model's API).
+    void trigger_update(std::span<const int> nodes);
+    void trigger_update_all();
+
+    /// Runs every event with timestamp <= `t`, then advances now() to `t`.
+    /// Returns early (leaving now() at the last event) if stop() is
+    /// called from a callback — exactly sim::Engine::run_until semantics.
+    /// Inline so the queue's peek/pop fold into the loop.
+    void run_until(sim::SimTime t) {
+        const double t_sec = t.sec();
+        while (!stopped_) {
+            // Discard stale (cancelled) timers before the boundary check —
+            // EventQueue::next_time() does the same tombstone skip, so the
+            // engine's loop condition only ever sees live events.
+            const PmEvent* head = nullptr;
+            while (!queue_.empty()) {
+                const PmEvent& e = queue_.peek_min();
+                if (e.kind == kPmTimer) {
+                    const auto idx = static_cast<std::size_t>(e.node);
+                    if (timer_pending_[idx] == 0 || timer_seq_[idx] != e.seq) {
+                        queue_.pop_min();
+                        continue;
+                    }
+                }
+                head = &e;
+                break;
+            }
+            if (head == nullptr || head->time > t_sec) {
+                break;
+            }
+            const PmEvent e = *head;
+            queue_.pop_min();
+            now_ = sim::SimTime::seconds(e.time);
+            ++processed_;
+            dispatch(e);
+        }
+        if (!stopped_ && now_ < t) {
+            now_ = t;
+        }
+    }
+
+    void stop() noexcept { stopped_ = true; }
+    void clear_stop() noexcept { stopped_ = false; }
+    [[nodiscard]] bool stop_requested() const noexcept { return stopped_; }
+
+    [[nodiscard]] sim::SimTime now() const noexcept { return now_; }
+    /// Callbacks executed so far — matches Engine::events_processed()
+    /// step for step (cancelled timers never execute or count).
+    [[nodiscard]] std::uint64_t events_processed() const noexcept {
+        return processed_;
+    }
+
+    [[nodiscard]] int n() const noexcept { return params_.n; }
+    [[nodiscard]] const ModelParams& params() const noexcept { return params_; }
+    [[nodiscard]] sim::SimTime round_length() const noexcept;
+    [[nodiscard]] sim::SimTime offset_of(sim::SimTime t) const noexcept;
+    [[nodiscard]] NodeView node(int i) const;
+    [[nodiscard]] std::uint64_t total_transmissions() const noexcept {
+        return tx_count_;
+    }
+
+    /// True when every node shares one busy-until scalar (Immediate
+    /// notification, uniform Tc) — the O(1)-per-transmission fast variant.
+    [[nodiscard]] bool shared_busy() const noexcept { return shared_busy_; }
+
+private:
+    [[nodiscard]] sim::SimTime draw_interval(int i);
+    void schedule_timer(int i, sim::SimTime at);
+    void push_event(sim::SimTime at, std::uint32_t kind, std::uint32_t node);
+    void dispatch(const PmEvent& e);
+    void timer_expired(int i);
+    void begin_transmission(int i);
+    void deliver_from(int i);
+    void busy_check(int i);
+    void fire_trigger_all();
+    void extend_busy(int i, sim::SimTime t);
+    [[nodiscard]] sim::SimTime busy_end(int i) const noexcept {
+        return shared_busy_ ? shared_busy_end_
+                            : busy_end_[static_cast<std::size_t>(i)];
+    }
+
+    ModelParams params_;
+    std::unique_ptr<TimerPolicy> policy_;
+    rng::DefaultEngine gen_;
+    obs::Tracer* tracer_ = nullptr;
+
+    bool shared_busy_ = true;
+    sim::SimTime shared_busy_end_ = -sim::SimTime::seconds(1.0);
+
+    // Struct-of-arrays node state (index = node id).
+    std::vector<sim::SimTime> next_expiry_;
+    std::vector<sim::SimTime> busy_end_;       ///< per-node variant only
+    std::vector<std::uint64_t> timer_seq_;     ///< seq of the live timer event
+    std::vector<std::uint64_t> transmissions_;
+    std::vector<std::int32_t> pending_own_;
+    std::vector<std::uint8_t> timer_pending_;
+    std::vector<std::uint8_t> busy_check_scheduled_;
+
+    PmCalendarQueue queue_;
+    std::uint64_t next_seq_ = 0; ///< mirrors the engine queue's push counter
+    std::uint64_t processed_ = 0;
+    sim::SimTime now_ = sim::SimTime::zero();
+    bool stopped_ = false;
+    std::uint64_t tx_count_ = 0;
+};
+
+} // namespace routesync::core

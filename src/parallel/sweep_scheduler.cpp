@@ -1,0 +1,169 @@
+#include "parallel/sweep_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "obs/run_context.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/trial_runner.hpp"
+
+namespace routesync::parallel {
+
+SweepScheduler::SweepScheduler(SweepSchedulerOptions options)
+    : jobs_{options.jobs == 0 ? hardware_jobs() : options.jobs} {}
+
+std::size_t SweepScheduler::submit(core::ExperimentConfig config) {
+    const std::size_t index = count_;
+    batches_.push_back(Batch{
+        index, 1,
+        [config = std::move(config)](std::size_t) { return config; }});
+    ++count_;
+    return index;
+}
+
+std::size_t SweepScheduler::submit_generated(
+    std::size_t count,
+    std::function<core::ExperimentConfig(std::size_t)> make_config) {
+    const std::size_t index = count_;
+    if (count == 0) {
+        return index;
+    }
+    batches_.push_back(Batch{index, count, std::move(make_config)});
+    count_ += count;
+    return index;
+}
+
+core::ExperimentConfig SweepScheduler::materialize(std::size_t index) const {
+    // Find the batch containing `index`: last batch with first <= index.
+    const auto it = std::upper_bound(
+        batches_.begin(), batches_.end(), index,
+        [](std::size_t i, const Batch& b) { return i < b.first; });
+    assert(it != batches_.begin());
+    const Batch& batch = *std::prev(it);
+    assert(index >= batch.first && index < batch.first + batch.count);
+    return batch.make(index - batch.first);
+}
+
+bool SweepScheduler::claim(std::size_t worker, std::size_t& out) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    Range& own = ranges_[worker];
+    if (own.lo < own.hi) {
+        out = own.lo++;
+        return true;
+    }
+    // Own range drained: steal the back half of the largest remaining
+    // range. The owner keeps consuming its front, so the handoff never
+    // contends on a task, and the biggest victim is where the sweep's
+    // long tail (the near-transition grid points) lives.
+    std::size_t victim = ranges_.size();
+    std::size_t victim_rem = 0;
+    for (std::size_t w = 0; w < ranges_.size(); ++w) {
+        const std::size_t rem = ranges_[w].hi - ranges_[w].lo;
+        if (w != worker && rem > victim_rem) {
+            victim = w;
+            victim_rem = rem;
+        }
+    }
+    if (victim == ranges_.size()) {
+        return false; // sweep drained
+    }
+    Range& v = ranges_[victim];
+    const std::size_t take = (victim_rem + 1) / 2; // at least 1
+    own.lo = v.hi - take;
+    own.hi = v.hi;
+    v.hi -= take;
+    ++steals_;
+    out = own.lo++;
+    return true;
+}
+
+std::vector<core::ExperimentResult> SweepScheduler::run() {
+    const std::size_t count = count_;
+    std::vector<core::ExperimentResult> results(count);
+    steals_ = 0;
+
+    const auto run_task = [&](std::size_t i) {
+        core::ExperimentConfig config = materialize(i);
+        config.obs = nullptr; // a RunContext is not safe across workers
+        results[i] = core::run_experiment(config);
+    };
+
+    const std::size_t jobs = std::min(jobs_, std::max<std::size_t>(count, 1));
+    if (jobs <= 1) {
+        // Inline, in submission order — the reference execution that
+        // every parallel run must reproduce byte for byte.
+        for (std::size_t i = 0; i < count; ++i) {
+            run_task(i);
+        }
+        batches_.clear();
+        count_ = 0;
+        return results;
+    }
+
+    // Contiguous initial shards, one per worker; stealing rebalances.
+    ranges_.assign(jobs, Range{});
+    for (std::size_t w = 0; w < jobs; ++w) {
+        ranges_[w] = Range{w * count / jobs, (w + 1) * count / jobs};
+    }
+
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    const auto worker = [&](std::size_t w) noexcept {
+        std::size_t i = 0;
+        while (claim(w, i)) {
+            try {
+                run_task(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock{error_mutex};
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs - 1);
+    for (std::size_t w = 1; w < jobs; ++w) {
+        pool.emplace_back(worker, w);
+    }
+    worker(0); // the calling thread pulls its weight too
+    for (std::thread& t : pool) {
+        t.join();
+    }
+    batches_.clear();
+    count_ = 0;
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+    return results;
+}
+
+std::vector<core::ExperimentResult>
+SweepScheduler::run_all(const std::vector<core::ExperimentConfig>& configs) {
+    for (const core::ExperimentConfig& config : configs) {
+        (void)submit(config);
+    }
+    return run();
+}
+
+std::vector<core::ExperimentResult> SweepScheduler::run_generated(
+    std::size_t count,
+    const std::function<core::ExperimentConfig(std::size_t)>& make_config) {
+    (void)submit_generated(count, make_config);
+    return run();
+}
+
+void merge_sweep_into(obs::RunContext& ctx,
+                      const std::vector<core::ExperimentResult>& results) {
+    ctx.merge_metrics(merge_trial_metrics(results));
+    const obs::ProfileSnapshot profiles = merge_trial_profiles(results);
+    if (!profiles.empty()) {
+        ctx.merge_profile(profiles);
+    }
+}
+
+} // namespace routesync::parallel

@@ -1,0 +1,118 @@
+// SweepScheduler: one work-stealing pool for a whole parameter sweep.
+//
+// TrialRunner parallelizes the trials *inside* one grid point and then
+// joins — a barrier per point. That wastes cores precisely where sweeps
+// hurt: near the phase transition one point's trials run to max_time
+// (minutes) while its neighbours' finish in milliseconds, so every round
+// of the sweep ends with most workers idle behind the slowest point. The
+// scheduler instead pools ALL (grid point x trial) tasks of the sweep up
+// front and lets idle workers steal from whoever still has work, so the
+// long tail of a hard grid point is shared by the whole machine instead
+// of serializing it.
+//
+// Scheduling: each worker owns a contiguous index range of the submitted
+// tasks. A worker consumes its range front to back; when empty it steals
+// the back half of the largest remaining range. Claims are O(jobs) under
+// ONE global mutex — tasks are entire experiments (>=100us, usually way
+// more), so the lock is uncontended noise, and a single mutex keeps the
+// stealing logic obviously correct.
+//
+// Determinism contract (same as TrialRunner, sweep-wide):
+//   * a task's config is a pure function of its submission index;
+//   * results land in a pre-sized slot addressed by submission index;
+//   * each task runs with obs = nullptr (per-task metrics/profiles come
+//     back in the result; merge_sweep_into folds them in submission
+//     order).
+// Therefore --jobs N output is byte-identical to --jobs 1 for every N —
+// stealing changes who computes a task, never what the task computes or
+// where its result goes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace routesync::obs {
+class RunContext;
+}
+
+namespace routesync::parallel {
+
+struct SweepSchedulerOptions {
+    /// Worker threads. 0 = hardware concurrency; 1 = run inline, no
+    /// threads.
+    std::size_t jobs = 0;
+};
+
+class SweepScheduler {
+public:
+    explicit SweepScheduler(SweepSchedulerOptions options = {});
+
+    /// Effective worker count (never 0).
+    [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+    /// Queues one task; returns its submission index. The config is
+    /// materialized now (copied), so callers may reuse their local.
+    std::size_t submit(core::ExperimentConfig config);
+
+    /// Queues `count` tasks whose configs are built on the claiming
+    /// worker: `make_config(i)` receives the batch-local index i in
+    /// [0, count). Must be a pure function of i (called concurrently,
+    /// possibly never for tasks a failed run abandons).
+    std::size_t submit_generated(
+        std::size_t count,
+        std::function<core::ExperimentConfig(std::size_t)> make_config);
+
+    /// Number of tasks currently queued.
+    [[nodiscard]] std::size_t pending() const noexcept { return count_; }
+
+    /// Runs every queued task; returns results in submission order and
+    /// clears the queue (the scheduler is reusable). First task exception
+    /// is rethrown after all workers join.
+    [[nodiscard]] std::vector<core::ExperimentResult> run();
+
+    /// Convenience one-shots mirroring TrialRunner's API.
+    [[nodiscard]] std::vector<core::ExperimentResult>
+    run_all(const std::vector<core::ExperimentConfig>& configs);
+    [[nodiscard]] std::vector<core::ExperimentResult> run_generated(
+        std::size_t count,
+        const std::function<core::ExperimentConfig(std::size_t)>& make_config);
+
+    /// Steals performed by the last run() — observability for tests and
+    /// the bench footers. 0 under jobs = 1.
+    [[nodiscard]] std::size_t steals() const noexcept { return steals_; }
+
+private:
+    struct Batch {
+        std::size_t first = 0;
+        std::size_t count = 0;
+        std::function<core::ExperimentConfig(std::size_t)> make;
+    };
+    struct Range {
+        std::size_t lo = 0;
+        std::size_t hi = 0;
+    };
+
+    [[nodiscard]] core::ExperimentConfig materialize(std::size_t index) const;
+    /// Claims the next task for `worker` (own range, then steal).
+    /// Returns false when the sweep is drained.
+    [[nodiscard]] bool claim(std::size_t worker, std::size_t& out);
+
+    std::size_t jobs_;
+    std::size_t count_ = 0;
+    std::vector<Batch> batches_;
+    std::mutex mutex_; ///< guards ranges_ and steals_ during run()
+    std::vector<Range> ranges_;
+    std::size_t steals_ = 0;
+};
+
+/// Folds every task's metrics (and non-empty profiles) into `ctx` in
+/// submission order — the deterministic sweep-level counterpart of
+/// merge_trial_metrics/merge_trial_profiles.
+void merge_sweep_into(obs::RunContext& ctx,
+                      const std::vector<core::ExperimentResult>& results);
+
+} // namespace routesync::parallel

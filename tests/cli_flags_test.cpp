@@ -88,8 +88,10 @@ TEST(CliFlags, JobsParsesPositiveIntegers) {
     EXPECT_EQ(flag_jobs(parse({"--jobs", "64"}), 1), 64U);
 }
 
-TEST(CliFlags, JobsRejectsZero) {
-    EXPECT_THROW(flag_jobs(parse({"--jobs", "0"}), 1), std::invalid_argument);
+TEST(CliFlags, JobsZeroMeansAutoDetect) {
+    // 0 falls back to the caller-supplied default, which call sites set to
+    // parallel::hardware_jobs().
+    EXPECT_EQ(flag_jobs(parse({"--jobs", "0"}), 6), 6U);
 }
 
 TEST(CliFlags, JobsRejectsNegatives) {
@@ -103,11 +105,11 @@ TEST(CliFlags, JobsRejectsJunk) {
 
 TEST(CliFlags, JobsErrorMessageNamesTheFlag) {
     try {
-        flag_jobs(parse({"--jobs", "0"}), 1);
+        flag_jobs(parse({"--jobs", "-1"}), 1);
         FAIL() << "expected std::invalid_argument";
     } catch (const std::invalid_argument& e) {
         EXPECT_NE(std::string{e.what()}.find("--jobs"), std::string::npos);
-        EXPECT_NE(std::string{e.what()}.find("positive"), std::string::npos);
+        EXPECT_NE(std::string{e.what()}.find("auto-detect"), std::string::npos);
     }
 }
 

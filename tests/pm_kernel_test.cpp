@@ -1,0 +1,380 @@
+// Differential tests for the PM fast-path kernel (core/pm_kernel.hpp).
+//
+// The kernel's contract is *bit-identity* with the engine-backed
+// PeriodicMessagesModel: same RNG draw order, same (time, FIFO) event
+// execution order, same events_processed count, same callback streams,
+// and the same final node state. The tests here enforce that over a
+// randomized sample of the whole parameter space (N, Tp, Tr, Tc, start
+// condition, notification mode, reset-at-expiry, per-node periods and
+// costs, explicit phases, triggered updates), plus fuzz the calendar
+// queue against a reference ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+#include "sim/sim.hpp"
+
+namespace {
+
+using namespace routesync;
+
+// ---------------------------------------------------------------------------
+// PmCalendarQueue vs a reference (time, seq)-ordered vector.
+
+struct RefEvent {
+    double time;
+    std::uint64_t seq;
+    std::uint32_t kind;
+    std::uint32_t node;
+};
+
+bool ref_before(const RefEvent& a, const RefEvent& b) {
+    if (a.time != b.time) {
+        return a.time < b.time;
+    }
+    return a.seq < b.seq;
+}
+
+TEST(PmCalendarQueue, MatchesReferenceOrderUnderFuzz) {
+    std::mt19937_64 rng{20260805};
+    for (int round = 0; round < 50; ++round) {
+        // Mixed horizons: accurate, too small (everything overflows), and
+        // degenerate-tiny. The queue must stay correct for all of them.
+        const double horizon =
+            round % 3 == 0 ? 100.0 : (round % 3 == 1 ? 1.0 : 1e-6);
+        core::PmCalendarQueue q{horizon};
+        std::vector<RefEvent> ref;
+        std::uint64_t seq = 0;
+        double now = 0.0;
+        std::uniform_real_distribution<double> ahead{0.0, 150.0};
+        std::uniform_int_distribution<int> burst{1, 8};
+        while (seq < 400 || !ref.empty()) {
+            // Push a burst at or after `now` (the kernel only schedules
+            // from dispatch, so pushes never precede the cursor).
+            if (seq < 400) {
+                const int k = burst(rng);
+                double last = now;
+                for (int i = 0; i < k; ++i) {
+                    // Every other push reuses the previous time: FIFO
+                    // tie-break coverage.
+                    const double t = i % 2 == 0 ? now + ahead(rng) : last;
+                    last = t;
+                    const auto kind = static_cast<std::uint32_t>(seq % 4);
+                    const auto node = static_cast<std::uint32_t>(seq % 7);
+                    q.push(t, seq, kind, node);
+                    ref.push_back({t, seq, kind, node});
+                    ++seq;
+                }
+            }
+            // Pop a few and check exact agreement with the reference.
+            const int pops = burst(rng);
+            for (int i = 0; i < pops && !ref.empty(); ++i) {
+                const auto it = std::min_element(ref.begin(), ref.end(), ref_before);
+                ASSERT_FALSE(q.empty());
+                const core::PmEvent& e = q.peek_min();
+                ASSERT_EQ(e.time, it->time);
+                ASSERT_EQ(e.seq, it->seq);
+                ASSERT_EQ(e.kind, it->kind);
+                ASSERT_EQ(e.node, it->node);
+                now = e.time;
+                q.pop_min();
+                ref.erase(it);
+            }
+        }
+        EXPECT_TRUE(q.empty());
+        EXPECT_EQ(q.size(), 0U);
+    }
+}
+
+TEST(PmCalendarQueue, DrainsOverflowAcrossManyHorizons) {
+    // Events spread over ~1000x the horizon force repeated
+    // overflow->bucket folds and long bitmap skips.
+    core::PmCalendarQueue q{1.0};
+    std::mt19937_64 rng{7};
+    std::uniform_real_distribution<double> t{0.0, 1000.0};
+    std::vector<RefEvent> ref;
+    for (std::uint64_t s = 0; s < 500; ++s) {
+        const double at = t(rng);
+        q.push(at, s, 0, 0);
+        ref.push_back({at, s, 0, 0});
+    }
+    std::stable_sort(ref.begin(), ref.end(), ref_before);
+    for (const RefEvent& want : ref) {
+        ASSERT_FALSE(q.empty());
+        const core::PmEvent& e = q.peek_min();
+        EXPECT_EQ(e.time, want.time);
+        EXPECT_EQ(e.seq, want.seq);
+        q.pop_min();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential: kernel vs engine-backed model.
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffU;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t hash_bits(std::uint64_t h, double d) {
+    return fnv1a(h, std::bit_cast<std::uint64_t>(d));
+}
+
+/// Callback stream digest: every on_transmit / on_timer_set event, in
+/// order, folded into one hash. Any reordering, drop, or changed
+/// timestamp diverges the digest.
+struct StreamHash {
+    std::uint64_t h = 1469598103934665603ULL;
+    void transmit(int node, sim::SimTime t) {
+        h = fnv1a(h, 0x11);
+        h = fnv1a(h, static_cast<std::uint64_t>(node));
+        h = hash_bits(h, t.sec());
+    }
+    void timer_set(int node, sim::SimTime t) {
+        h = fnv1a(h, 0x22);
+        h = fnv1a(h, static_cast<std::uint64_t>(node));
+        h = hash_bits(h, t.sec());
+    }
+};
+
+std::uint64_t node_state_hash(std::uint64_t h, const core::NodeView& v) {
+    h = hash_bits(h, v.next_expiry.sec());
+    h = hash_bits(h, v.busy_until.sec());
+    h = fnv1a(h, v.busy ? 1 : 0);
+    h = fnv1a(h, v.transmissions);
+    return h;
+}
+
+core::ModelParams sample_params(std::mt19937_64& rng) {
+    std::uniform_real_distribution<double> u{0.0, 1.0};
+    core::ModelParams p;
+    p.n = 1 + static_cast<int>(rng() % 24);
+    p.tp = sim::SimTime::seconds(5.0 + 145.0 * u(rng));
+    p.tr = sim::SimTime::seconds(u(rng) < 0.1 ? 0.0 : p.tp.sec() * 0.05 * u(rng));
+    p.tc = sim::SimTime::seconds(u(rng) < 0.1 ? 0.0 : 0.01 + 0.5 * u(rng));
+    p.start = u(rng) < 0.5 ? core::StartCondition::Unsynchronized
+                           : core::StartCondition::Synchronized;
+    p.seed = rng();
+    p.reset_at_expiry = u(rng) < 0.25;
+    p.notification = u(rng) < 0.8 ? core::Notification::Immediate
+                                  : core::Notification::AfterPreparation;
+    if (u(rng) < 0.2) {
+        p.initial_phases.resize(static_cast<std::size_t>(p.n));
+        for (double& ph : p.initial_phases) {
+            ph = u(rng) * p.tp.sec();
+        }
+    }
+    if (u(rng) < 0.15) {
+        p.per_node_tp.resize(static_cast<std::size_t>(p.n));
+        for (double& tp : p.per_node_tp) {
+            tp = p.tp.sec() * (0.8 + 0.4 * u(rng));
+        }
+    }
+    if (u(rng) < 0.15) {
+        p.per_node_tc.resize(static_cast<std::size_t>(p.n));
+        for (double& tc : p.per_node_tc) {
+            tc = p.tc.sec() * (0.5 + u(rng));
+        }
+    }
+    return p;
+}
+
+TEST(PmKernelDifferential, MatchesEngineOnRandomizedParameterSweep) {
+    std::mt19937_64 rng{0xf10d5ULL};
+    std::uniform_real_distribution<double> u{0.0, 1.0};
+    for (int point = 0; point < 200; ++point) {
+        const core::ModelParams p = sample_params(rng);
+        const sim::SimTime horizon =
+            sim::SimTime::seconds(p.tp.sec() * (3.0 + 7.0 * u(rng)));
+        const bool trigger = u(rng) < 0.2;
+        const sim::SimTime trig_at = sim::SimTime::seconds(horizon.sec() * 0.45);
+
+        // Engine-backed reference.
+        StreamHash eng_stream;
+        sim::Engine engine;
+        core::PeriodicMessagesModel model{engine, p};
+        model.on_transmit = [&](int node, sim::SimTime t) {
+            eng_stream.transmit(node, t);
+        };
+        model.on_timer_set = [&](int node, sim::SimTime t) {
+            eng_stream.timer_set(node, t);
+        };
+        if (trigger) {
+            engine.schedule_at(trig_at, [&] { model.trigger_update_all(); });
+        }
+        engine.run_until(horizon);
+
+        // Kernel under test.
+        StreamHash ker_stream;
+        core::PmKernel kernel{p};
+        kernel.on_transmit = [&](int node, sim::SimTime t) {
+            ker_stream.transmit(node, t);
+        };
+        kernel.on_timer_set = [&](int node, sim::SimTime t) {
+            ker_stream.timer_set(node, t);
+        };
+        if (trigger) {
+            kernel.schedule_trigger_all(trig_at);
+        }
+        kernel.run_until(horizon);
+
+        ASSERT_EQ(ker_stream.h, eng_stream.h)
+            << "callback stream diverged at point " << point << " (n=" << p.n
+            << " seed=" << p.seed << ")";
+        ASSERT_EQ(kernel.events_processed(), engine.events_processed())
+            << "event count diverged at point " << point;
+        ASSERT_EQ(kernel.total_transmissions(), model.total_transmissions());
+        ASSERT_EQ(kernel.now().sec(), engine.now().sec());
+
+        std::uint64_t eng_state = 1469598103934665603ULL;
+        std::uint64_t ker_state = 1469598103934665603ULL;
+        for (int i = 0; i < p.n; ++i) {
+            eng_state = node_state_hash(eng_state, model.node(i));
+            ker_state = node_state_hash(ker_state, kernel.node(i));
+        }
+        ASSERT_EQ(ker_state, eng_state)
+            << "final node state diverged at point " << point;
+    }
+}
+
+TEST(PmKernelDifferential, ExperimentBackendsAgreeOnClusterSeries) {
+    // The same differential through run_experiment: the full
+    // ClusterTracker series (per-round largest, first-hit tables, cluster
+    // events) and the run summary must match field for field.
+    std::mt19937_64 rng{0xc105e5ULL};
+    std::uniform_real_distribution<double> u{0.0, 1.0};
+    for (int point = 0; point < 24; ++point) {
+        core::ExperimentConfig cfg;
+        cfg.params = sample_params(rng);
+        // Clusters need the coupling mechanism on.
+        cfg.params.reset_at_expiry = false;
+        cfg.max_time =
+            sim::SimTime::seconds(cfg.params.tp.sec() * (4.0 + 8.0 * u(rng)));
+        cfg.record_rounds = true;
+        cfg.record_cluster_events = true;
+        cfg.transmit_stride = 3;
+        if (u(rng) < 0.3) {
+            cfg.stop_on_full_sync = true;
+        }
+        if (u(rng) < 0.2) {
+            cfg.trigger_all_at =
+                sim::SimTime::seconds(cfg.max_time.sec() * 0.5);
+        }
+
+        cfg.backend = core::ExperimentBackend::Engine;
+        const core::ExperimentResult eng = core::run_experiment(cfg);
+        cfg.backend = core::ExperimentBackend::FastKernel;
+        const core::ExperimentResult ker = core::run_experiment(cfg);
+
+        ASSERT_EQ(ker.rounds_closed, eng.rounds_closed) << "point " << point;
+        ASSERT_EQ(ker.rounds_unsynchronized, eng.rounds_unsynchronized);
+        ASSERT_EQ(ker.total_transmissions, eng.total_transmissions);
+        ASSERT_EQ(ker.events_processed, eng.events_processed);
+        ASSERT_EQ(ker.end_time_sec, eng.end_time_sec);
+        ASSERT_EQ(ker.full_sync_time_sec, eng.full_sync_time_sec);
+        ASSERT_EQ(ker.breakup_time_sec, eng.breakup_time_sec);
+
+        ASSERT_EQ(ker.rounds.size(), eng.rounds.size());
+        for (std::size_t i = 0; i < eng.rounds.size(); ++i) {
+            ASSERT_EQ(ker.rounds[i].round, eng.rounds[i].round);
+            ASSERT_EQ(ker.rounds[i].largest, eng.rounds[i].largest);
+            ASSERT_EQ(ker.rounds[i].end_time.sec(), eng.rounds[i].end_time.sec());
+        }
+        ASSERT_EQ(ker.cluster_events.size(), eng.cluster_events.size());
+        for (std::size_t i = 0; i < eng.cluster_events.size(); ++i) {
+            ASSERT_EQ(ker.cluster_events[i].time.sec(),
+                      eng.cluster_events[i].time.sec());
+            ASSERT_EQ(ker.cluster_events[i].size, eng.cluster_events[i].size);
+        }
+        ASSERT_EQ(ker.first_hit_up.size(), eng.first_hit_up.size());
+        for (std::size_t i = 0; i < eng.first_hit_up.size(); ++i) {
+            ASSERT_EQ(ker.first_hit_up[i], eng.first_hit_up[i]);
+            ASSERT_EQ(ker.first_hit_down[i], eng.first_hit_down[i]);
+        }
+        ASSERT_EQ(ker.transmits.size(), eng.transmits.size());
+        for (std::size_t i = 0; i < eng.transmits.size(); ++i) {
+            ASSERT_EQ(ker.transmits[i].node, eng.transmits[i].node);
+            ASSERT_EQ(ker.transmits[i].time_sec, eng.transmits[i].time_sec);
+            ASSERT_EQ(ker.transmits[i].offset_sec, eng.transmits[i].offset_sec);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted behaviour.
+
+TEST(PmKernel, SharedBusyFastVariantSelection) {
+    core::ModelParams p;
+    p.n = 4;
+    EXPECT_TRUE(core::PmKernel{p}.shared_busy());
+
+    core::ModelParams after = p;
+    after.notification = core::Notification::AfterPreparation;
+    EXPECT_FALSE(core::PmKernel{after}.shared_busy());
+
+    core::ModelParams mixed = p;
+    mixed.per_node_tc = {0.1, 0.2, 0.1, 0.1};
+    EXPECT_FALSE(core::PmKernel{mixed}.shared_busy());
+}
+
+TEST(PmKernel, ValidationMatchesEngineModel) {
+    // The kernel must reject bad params with the model's exact messages —
+    // callers switching backends must not see a different contract.
+    auto message_of = [](auto&& make) -> std::string {
+        try {
+            make();
+        } catch (const std::invalid_argument& e) {
+            return e.what();
+        }
+        return {};
+    };
+    core::ModelParams bad_n;
+    bad_n.n = 0;
+    core::ModelParams bad_phases;
+    bad_phases.n = 3;
+    bad_phases.initial_phases = {0.0, 1.0};
+    for (const core::ModelParams& p : {bad_n, bad_phases}) {
+        const std::string engine_msg = message_of([&] {
+            sim::Engine engine;
+            core::PeriodicMessagesModel model{engine, p};
+        });
+        const std::string kernel_msg =
+            message_of([&] { core::PmKernel kernel{p}; });
+        EXPECT_FALSE(engine_msg.empty());
+        EXPECT_EQ(kernel_msg, engine_msg);
+    }
+}
+
+TEST(PmKernel, StopHaltsInsideRun) {
+    core::ModelParams p;
+    p.n = 5;
+    p.seed = 9;
+    core::PmKernel kernel{p};
+    int fires = 0;
+    kernel.on_transmit = [&](int, sim::SimTime) {
+        if (++fires == 3) {
+            kernel.stop();
+        }
+    };
+    kernel.run_until(sim::SimTime::seconds(1e6));
+    EXPECT_EQ(fires, 3);
+    EXPECT_TRUE(kernel.stop_requested());
+    EXPECT_LT(kernel.now().sec(), 1e6);
+    kernel.clear_stop();
+    kernel.run_until(sim::SimTime::seconds(1e6));
+    EXPECT_GT(fires, 3);
+    EXPECT_EQ(kernel.now().sec(), 1e6);
+}
+
+} // namespace

@@ -60,10 +60,10 @@ inline std::string flag_s(const Flags& flags, const std::string& key,
     return it == flags.end() ? fallback : it->second;
 }
 
-/// Parses `--jobs`: worker-thread count for parallel sweeps. Absent ->
-/// `fallback` (callers typically pass parallel::hardware_jobs()). The
-/// value must be a positive integer; `--jobs 0`, negatives, and non-
-/// numeric junk all throw with a clear message — a silently-serial or
+/// Parses `--jobs`: worker-thread count for parallel sweeps. Absent or
+/// `--jobs 0` -> `fallback` (callers typically pass
+/// parallel::hardware_jobs(), so 0 means "auto-detect"). Negatives and
+/// non-numeric junk throw with a clear message — a silently-serial or
 /// zero-thread run would be worse than an error.
 inline std::size_t flag_jobs(const Flags& flags, std::size_t fallback) {
     const auto it = flags.find("jobs");
@@ -73,11 +73,12 @@ inline std::size_t flag_jobs(const Flags& flags, std::size_t fallback) {
     const std::string& value = it->second;
     char* end = nullptr;
     const long n = std::strtol(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0' || n < 1) {
-        throw std::invalid_argument{"--jobs must be a positive integer, got '" +
-                                    value + "'"};
+    if (end == value.c_str() || *end != '\0' || n < 0) {
+        throw std::invalid_argument{
+            "--jobs must be a non-negative integer (0 = auto-detect), got '" +
+            value + "'"};
     }
-    return static_cast<std::size_t>(n);
+    return n == 0 ? fallback : static_cast<std::size_t>(n);
 }
 
 } // namespace routesync::cli

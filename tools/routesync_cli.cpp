@@ -15,8 +15,10 @@
 //   routesync f2 --n 20 --tp 121 --tr 0.1 --tc 0.11 --reps 20 --jobs 4
 //
 // `sweep` and `f2` accept --jobs N to fan independent work over N worker
-// threads (default: hardware concurrency). Output is byte-identical for
-// every jobs value.
+// threads (default, and N = 0: hardware concurrency). Output is
+// byte-identical for every jobs value. `sweep --sim-trials T` validates
+// the chain against T pooled Periodic Messages simulations per grid
+// point (work-stealing across the whole grid x trial task set).
 //
 // `pm` and `sweep` accept --trace FILE (JSONL event trace; for pm every
 // timer/transmission event, for sweep one metric_sample per grid point)
@@ -183,13 +185,19 @@ int cmd_sweep(const Flags& flags) {
     const double to = flag_d(flags, "to", 3.0);
     const double step = flag_d(flags, "step", 0.05);
     const std::size_t jobs = flag_jobs(flags, parallel::hardware_jobs());
+    // --sim-trials T (> 0) runs T Periodic Messages simulations per grid
+    // point alongside the chain and appends a sim_frac_unsync column: the
+    // mean fraction of closed rounds that were fully unsynchronized,
+    // measured over --sim-max-time seconds. Default output is unchanged.
+    const int sim_trials = flag_i(flags, "sim-trials", 0);
+    const double sim_max_time = flag_d(flags, "sim-max-time", 1e4);
+    const auto sim_seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 1));
     obs::RunContext ctx;
     const std::string trace = flag_s(flags, "trace");
     const std::string out = flag_s(flags, "out");
     if (!trace.empty()) {
         ctx.trace_to_file(trace);
     }
-    std::printf("tr_over_tc,tr_s,fraction_unsync,f_n_s,g_1_s\n");
     std::vector<double> grid;
     for (double x = from; x <= to + 1e-12; x += step) {
         grid.push_back(x);
@@ -207,9 +215,47 @@ int cmd_sweep(const Flags& flags) {
                        chain.time_to_synchronize_seconds(),
                        chain.time_to_break_up_seconds()};
         });
+    // All (grid point x trial) simulations pool into one work-stealing
+    // task set; the results come back in submission (grid-major) order,
+    // so the CSV is byte-identical for every --jobs value.
+    std::vector<double> sim_frac(grid.size(), 0.0);
+    if (sim_trials > 0) {
+        const auto trials = static_cast<std::size_t>(sim_trials);
+        parallel::SweepScheduler scheduler{{.jobs = jobs}};
+        const auto sims = scheduler.run_generated(
+            grid.size() * trials, [&](std::size_t task) {
+                core::ExperimentConfig cfg;
+                cfg.params.n = base.n;
+                cfg.params.tp = sim::SimTime::seconds(base.tp_sec);
+                cfg.params.tc = sim::SimTime::seconds(base.tc_sec);
+                cfg.params.tr =
+                    sim::SimTime::seconds(grid[task / trials] * base.tc_sec);
+                cfg.params.seed = parallel::derive_seed(sim_seed, task);
+                cfg.max_time = sim::SimTime::seconds(sim_max_time);
+                return cfg;
+            });
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            double total = 0.0;
+            for (std::size_t t = 0; t < trials; ++t) {
+                const auto& r = sims[i * trials + t];
+                if (r.rounds_closed > 0) {
+                    total += static_cast<double>(r.rounds_unsynchronized) /
+                             static_cast<double>(r.rounds_closed);
+                }
+            }
+            sim_frac[i] = total / static_cast<double>(trials);
+        }
+    }
+    std::printf(sim_trials > 0
+                    ? "tr_over_tc,tr_s,fraction_unsync,f_n_s,g_1_s,sim_frac_unsync\n"
+                    : "tr_over_tc,tr_s,fraction_unsync,f_n_s,g_1_s\n");
     for (std::size_t i = 0; i < grid.size(); ++i) {
-        std::printf("%.4f,%.6g,%.6g,%.6g,%.6g\n", grid[i], rows[i].tr_s,
+        std::printf("%.4f,%.6g,%.6g,%.6g,%.6g", grid[i], rows[i].tr_s,
                     rows[i].frac, rows[i].fn_s, rows[i].g1_s);
+        if (sim_trials > 0) {
+            std::printf(",%.6g", sim_frac[i]);
+        }
+        std::printf("\n");
         // One metric_sample per grid point, in grid order: a carries the
         // grid index, b the unsynchronized fraction, x the swept Tr
         // (seconds). There is no simulation clock in a chain sweep, so t
@@ -233,6 +279,10 @@ int cmd_sweep(const Flags& flags) {
         m.set_config("from_tr_over_tc", from);
         m.set_config("to_tr_over_tc", to);
         m.set_config("step", step);
+        if (sim_trials > 0) {
+            m.set_config("sim_trials", sim_trials);
+            m.set_config("sim_max_time_sec", sim_max_time);
+        }
         if (out.empty()) {
             ctx.finish(0.0);
         } else {
@@ -431,6 +481,7 @@ void usage() {
                  "            [--trace FILE] [--out MANIFEST] [--sample-every SEC]\n"
                  "  chain     --n --tp --tr --tc [--f2 rounds]\n"
                  "  sweep     --n --tp --tc --from --to --step [--jobs N]\n"
+                 "            [--sim-trials T [--sim-max-time SEC] [--seed S]]\n"
                  "            [--trace FILE] [--out MANIFEST] (Tr in units of Tc)\n"
                  "  threshold --n --tp --tc [--n-max]\n"
                  "  f2        --n --tp --tr --tc [--reps] [--seed] [--jobs N]\n"
@@ -442,8 +493,8 @@ void usage() {
                  "            replay-check:  [--tolerance SEC] [--expect FILE]\n"
                  "                           [--print] (exit 1 on mismatch)\n"
                  "\n"
-                 "  --jobs N  worker threads for parallel sweeps (default:\n"
-                 "            hardware concurrency; must be >= 1). Results are\n"
+                 "  --jobs N  worker threads for parallel sweeps (default and\n"
+                 "            N = 0: hardware concurrency). Results are\n"
                  "            byte-identical for every N.\n");
 }
 
