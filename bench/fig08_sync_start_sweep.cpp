@@ -18,7 +18,8 @@ using namespace routesync;
 using namespace routesync::bench;
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_options(argc, argv).jobs;
+    const Options& options = parse_options(argc, argv);
+    const std::size_t jobs = options.jobs;
     header("Figure 8",
            "time to break up vs Tr, synchronized start (Tc = 0.11 s)");
 
@@ -43,7 +44,7 @@ int main(int argc, char** argv) {
         }
     }
     const auto results =
-        parallel::SweepScheduler{{.jobs = jobs}}.run_all(configs);
+        parallel::SweepScheduler{{.jobs = jobs, .batch = options.batch}}.run_all(configs);
     parallel::merge_sweep_into(opts().ctx, results);
 
     std::vector<double> breakup_means;

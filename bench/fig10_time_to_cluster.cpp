@@ -17,7 +17,8 @@ using namespace routesync;
 using namespace routesync::bench;
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_options(argc, argv).jobs;
+    const Options& options = parse_options(argc, argv);
+    const std::size_t jobs = options.jobs;
     header("Figure 10",
            "time to first reach each cluster size from unsynchronized start "
            "(N=20, Tp=121 s, Tc=0.11 s, Tr=0.1 s, f(2)=19 rounds)");
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
     // value.
     const int kSims = 20;
     std::vector<stats::RunningStats> hit(21);
-    const auto results = parallel::SweepScheduler{{.jobs = jobs}}.run_generated(
+    const auto results = parallel::SweepScheduler{{.jobs = jobs, .batch = options.batch}}.run_generated(
         static_cast<std::size_t>(kSims), [](std::size_t i) {
             core::ExperimentConfig cfg;
             cfg.params.n = 20;

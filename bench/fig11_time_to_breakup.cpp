@@ -18,7 +18,8 @@ using namespace routesync;
 using namespace routesync::bench;
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_options(argc, argv).jobs;
+    const Options& options = parse_options(argc, argv);
+    const std::size_t jobs = options.jobs;
     header("Figure 11",
            "time to first come down to each cluster size from synchronized "
            "start (N=20, Tp=121 s, Tc=0.11 s, Tr=0.3 s)");
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
 
     const int kSims = 20;
     std::vector<stats::RunningStats> hit(21);
-    const auto results = parallel::SweepScheduler{{.jobs = jobs}}.run_generated(
+    const auto results = parallel::SweepScheduler{{.jobs = jobs, .batch = options.batch}}.run_generated(
         static_cast<std::size_t>(kSims), [](std::size_t i) {
             core::ExperimentConfig cfg;
             cfg.params.n = 20;

@@ -45,7 +45,8 @@ core::ExperimentConfig breakup_time_config(double tr, std::uint64_t seed) {
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_options(argc, argv).jobs;
+    const Options& options = parse_options(argc, argv);
+    const std::size_t jobs = options.jobs;
     header("Figure 12",
            "f(N) and g(1) in seconds vs Tr (N=20, Tp=121 s, Tc=0.11 s); "
            "f(2) from the diffusion estimate, plus the f(2)=0 variant");
@@ -100,7 +101,7 @@ int main(int argc, char** argv) {
         sync_time_config(0.6 * tc, 11), sync_time_config(1.0 * tc, 11),
         breakup_time_config(2.5 * tc, 13), breakup_time_config(2.8 * tc, 13)};
     const auto marks =
-        parallel::SweepScheduler{{.jobs = jobs}}.run_all(mark_configs);
+        parallel::SweepScheduler{{.jobs = jobs, .batch = options.batch}}.run_all(mark_configs);
     parallel::merge_sweep_into(opts().ctx, marks);
     std::printf("x  Tr=%.2f*Tc  time_to_sync  = %.4g s\n", 0.6,
                 marks[0].full_sync_time_sec.value_or(1e7));

@@ -351,6 +351,33 @@ void BM_PMKernelLegacy_Trial(benchmark::State& state) {
 }
 BENCHMARK(BM_PMKernelLegacy_Trial);
 
+void BM_PMKernelBatched(benchmark::State& state) {
+    // B copies of the kernel trial (distinct seeds) advanced lock-step
+    // through PmKernelBatch's SoA lanes. items/sec counts events across
+    // all lanes, so it is directly comparable to BM_PMKernel_Trial's
+    // events/sec: the ratio at B=8/32 is the batching win, and B=1 shows
+    // the batch driver's overhead over the plain scalar call.
+    const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+    std::vector<core::ExperimentConfig> configs;
+    for (std::size_t i = 0; i < lanes; ++i) {
+        auto cfg = kernel_trial_config(core::ExperimentBackend::FastKernel);
+        cfg.params.seed = parallel::derive_seed(42, i);
+        configs.push_back(cfg);
+    }
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        const auto results = core::run_experiment_batch(configs);
+        events = 0;
+        for (const auto& r : results) {
+            events += r.events_processed;
+        }
+        benchmark::DoNotOptimize(events);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_PMKernelBatched)->Arg(1)->Arg(8)->Arg(32);
+
 void BM_SweepScheduler(benchmark::State& state) {
     // BM_TrialRunner's batch through the global work-stealing scheduler:
     // one pooled task set instead of a per-batch barrier. items/sec are

@@ -20,6 +20,55 @@ ClusterTracker::ClusterTracker(int n, sim::SimTime round_length, sim::SimTime to
     first_up_.resize(static_cast<std::size_t>(n) + 1);
     first_down_.resize(static_cast<std::size_t>(n) + 1);
     rounds_at_most_.assign(static_cast<std::size_t>(n) + 1, 0);
+    down_filled_from_ = n + 1;
+}
+
+void ClusterTracker::reset(int n, sim::SimTime round_length,
+                           sim::SimTime tolerance) {
+    if (n < 1) {
+        throw std::invalid_argument{"ClusterTracker: n must be >= 1"};
+    }
+    if (round_length <= sim::SimTime::zero()) {
+        throw std::invalid_argument{"ClusterTracker: round_length must be positive"};
+    }
+    if (tolerance < sim::SimTime::zero()) {
+        throw std::invalid_argument{"ClusterTracker: tolerance must be >= 0"};
+    }
+    n_ = n;
+    round_length_ = round_length;
+    tolerance_ = tolerance;
+
+    group_open_ = false;
+    group_start_ = sim::SimTime::zero();
+    group_last_ = sim::SimTime::zero();
+    group_size_ = 0;
+    group_round_ = 0;
+    group_last_round_ = 0;
+    events_seen_ = 0;
+    event_round_ = 0;
+    idx_in_round_ = 0;
+    current_round_ = 0;
+    current_round_largest_ = 0;
+    spill_largest_ = 0;
+    max_size_seen_ = 0;
+    down_filled_from_ = n + 1;
+    round_end_time_ = sim::SimTime::zero();
+    record_events_ = false;
+    record_rounds_ = true;
+    finished_ = false;
+    rounds_closed_ = 0;
+
+    on_full_sync = nullptr;
+    on_size_first_reached = nullptr;
+    on_round_closed = nullptr;
+
+    // The whole point of reset(): clear() + assign() reuse the vectors'
+    // existing storage instead of reallocating per run.
+    events_.clear();
+    rounds_.clear();
+    first_up_.assign(static_cast<std::size_t>(n) + 1, std::nullopt);
+    first_down_.assign(static_cast<std::size_t>(n) + 1, std::nullopt);
+    rounds_at_most_.assign(static_cast<std::size_t>(n) + 1, 0);
 }
 
 void ClusterTracker::on_timer_set(int /*node*/, sim::SimTime t) {
@@ -38,15 +87,23 @@ void ClusterTracker::on_timer_set(int /*node*/, sim::SimTime t) {
         group_start_ = t;
         group_last_ = t;
         group_size_ = 1;
-        group_start_index_ = events_seen_;
+        group_round_ = event_round_;
     }
+    group_last_round_ = event_round_;
     ++events_seen_;
+    if (++idx_in_round_ == n_) {
+        idx_in_round_ = 0;
+        ++event_round_;
+    }
 
     // Record the earliest time each cluster size was *reached*, live, so a
-    // run can be stopped the instant full synchronization occurs.
-    auto& first = first_up_[static_cast<std::size_t>(group_size_)];
-    if (!first.has_value()) {
-        first = group_start_;
+    // run can be stopped the instant full synchronization occurs. Groups
+    // grow one event at a time, so first_up_ is filled for exactly the
+    // sizes up to max_size_seen_ — one int compare replaces the optional
+    // load on the hot path.
+    if (group_size_ > max_size_seen_) {
+        max_size_seen_ = group_size_;
+        first_up_[static_cast<std::size_t>(group_size_)] = group_start_;
         if (on_size_first_reached) {
             on_size_first_reached(group_size_, group_start_);
         }
@@ -57,7 +114,7 @@ void ClusterTracker::on_timer_set(int /*node*/, sim::SimTime t) {
 }
 
 void ClusterTracker::finalize_group() {
-    const std::uint64_t round = group_start_index_ / static_cast<std::uint64_t>(n_);
+    const std::uint64_t round = group_round_;
     if (round > current_round_) {
         close_current_round();
         current_round_ = round;
@@ -72,10 +129,7 @@ void ClusterTracker::finalize_group() {
     if (group_size_ > current_round_largest_) {
         current_round_largest_ = group_size_;
     }
-    const std::uint64_t last_index =
-        group_start_index_ + static_cast<std::uint64_t>(group_size_) - 1;
-    if (last_index / static_cast<std::uint64_t>(n_) > round &&
-        group_size_ > spill_largest_) {
+    if (group_last_round_ > round && group_size_ > spill_largest_) {
         spill_largest_ = group_size_;
     }
     round_end_time_ = group_last_;
@@ -91,10 +145,14 @@ void ClusterTracker::close_current_round() {
     ++rounds_closed_;
     for (int s = current_round_largest_; s <= n_; ++s) {
         ++rounds_at_most_[static_cast<std::size_t>(s)];
-        auto& first = first_down_[static_cast<std::size_t>(s)];
-        if (!first.has_value()) {
-            first = round_end_time_;
+    }
+    // first_down_ is filled for a suffix [down_filled_from_, n]; only a
+    // new record-low largest extends it.
+    if (current_round_largest_ < down_filled_from_) {
+        for (int s = current_round_largest_; s < down_filled_from_; ++s) {
+            first_down_[static_cast<std::size_t>(s)] = round_end_time_;
         }
+        down_filled_from_ = current_round_largest_;
     }
     if (record_rounds_) {
         rounds_.push_back(rec);

@@ -47,6 +47,16 @@ public:
     ClusterTracker(int n, sim::SimTime round_length,
                    sim::SimTime tolerance = sim::SimTime::micros(1.0));
 
+    /// Reconfigures the tracker for a fresh run without releasing its
+    /// scratch buffers: the event/round vectors keep their capacity and
+    /// the per-size arrays are overwritten in place, so a pooled tracker
+    /// (e.g. one per batch lane, reused across batches) costs no
+    /// allocations after warm-up. Same validation as the constructor;
+    /// callbacks and record flags revert to their defaults. A reset
+    /// tracker is indistinguishable from a freshly constructed one.
+    void reset(int n, sim::SimTime round_length,
+               sim::SimTime tolerance = sim::SimTime::micros(1.0));
+
     /// Feed: call for every timer-set event, in nondecreasing time order.
     void on_timer_set(int node, sim::SimTime t);
 
@@ -104,13 +114,22 @@ private:
     sim::SimTime group_start_ = sim::SimTime::zero();
     sim::SimTime group_last_ = sim::SimTime::zero();
     int group_size_ = 0;
-    std::uint64_t group_start_index_ = 0; ///< ordinal of the group's first event
+    std::uint64_t group_round_ = 0;      ///< round of the group's first event
+    std::uint64_t group_last_round_ = 0; ///< round of the group's last event
 
-    // Current round accumulator (rounds are N events long).
+    // Current round accumulator (rounds are N events long). The event
+    // round is carried as a running counter (idx_in_round_ wraps at n_)
+    // instead of dividing event ordinals by n_ — finalize_group() runs
+    // once per group and the two divisions dominated its profile.
     std::uint64_t events_seen_ = 0;
+    std::uint64_t event_round_ = 0; ///< events_seen_ / n_, maintained
+    int idx_in_round_ = 0;          ///< events_seen_ % n_, maintained
     std::uint64_t current_round_ = 0;
     int current_round_largest_ = 0;
     int spill_largest_ = 0; ///< size of a group straddling into the next round
+    int max_size_seen_ = 0; ///< largest group size so far: first_up_[s]
+                            ///< has a value exactly for s <= this
+    int down_filled_from_ = 0; ///< first_down_[s] has a value for s >= this
     sim::SimTime round_end_time_ = sim::SimTime::zero();
 
     bool record_events_ = false;

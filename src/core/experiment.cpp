@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/pm_kernel.hpp"
+#include "core/pm_kernel_batch.hpp"
 #include "obs/resource_sampler.hpp"
 #include "obs/run_context.hpp"
 #include "obs/tracer.hpp"
@@ -26,6 +27,13 @@ struct EngineSim {
     }
     template <typename F> void set_on_timer_set(F&& f) {
         model.on_timer_set = std::forward<F>(f);
+    }
+    void set_tracker_sink(ClusterTracker& tracker) {
+        // The generic engine path has no direct sink; forward through
+        // the model's std::function (this is not the fast path anyway).
+        model.on_timer_set = [t = &tracker](int node, sim::SimTime at) {
+            t->on_timer_set(node, at);
+        };
     }
     [[nodiscard]] sim::SimTime round_length() const {
         return model.round_length();
@@ -56,6 +64,9 @@ struct KernelSim {
     template <typename F> void set_on_timer_set(F&& f) {
         kernel.on_timer_set = std::forward<F>(f);
     }
+    void set_tracker_sink(ClusterTracker& tracker) {
+        kernel.tracker_sink = &tracker;
+    }
     [[nodiscard]] sim::SimTime round_length() const {
         return kernel.round_length();
     }
@@ -75,6 +86,61 @@ struct KernelSim {
         return kernel.total_transmissions();
     }
 };
+
+/// Copies everything the ClusterTracker learned into the result — the
+/// shared tail of the scalar and batched drivers.
+void assemble_tracker_results(const ExperimentConfig& config,
+                              const ClusterTracker& tracker,
+                              ExperimentResult& result) {
+    if (const auto t = tracker.full_sync_time()) {
+        result.full_sync_time_sec = t->sec();
+    }
+    if (config.stop_on_breakup_threshold > 0) {
+        if (const auto t = tracker.first_round_largest_at_most(
+                config.stop_on_breakup_threshold)) {
+            result.breakup_time_sec = t->sec();
+        }
+    }
+
+    const int n = config.params.n;
+    result.first_hit_up.resize(static_cast<std::size_t>(n) + 1);
+    result.first_hit_down.resize(static_cast<std::size_t>(n) + 1);
+    for (int s = 1; s <= n; ++s) {
+        if (const auto t = tracker.first_time_size_at_least(s)) {
+            result.first_hit_up[static_cast<std::size_t>(s)] = t->sec();
+        }
+        if (const auto t = tracker.first_round_largest_at_most(s)) {
+            result.first_hit_down[static_cast<std::size_t>(s)] = t->sec();
+        }
+    }
+
+    result.cluster_events = tracker.events();
+    result.rounds = tracker.rounds();
+    result.rounds_closed = tracker.rounds_closed();
+    result.rounds_unsynchronized = tracker.rounds_with_largest_at_most(1);
+}
+
+/// Builds the per-trial metrics snapshot (identical key order on every
+/// path) and folds it into the config's RunContext if one is attached.
+void finalize_metrics(const ExperimentConfig& config, ExperimentResult& result) {
+    obs::MetricsRegistry reg;
+    reg.add("experiment.transmissions", result.total_transmissions);
+    reg.add("experiment.rounds_closed", result.rounds_closed);
+    reg.add("experiment.rounds_unsynchronized", result.rounds_unsynchronized);
+    reg.add("engine.events_processed", result.events_processed);
+    reg.set_gauge("experiment.end_time_sec", result.end_time_sec);
+    if (result.full_sync_time_sec.has_value()) {
+        reg.add("experiment.full_sync_runs", 1);
+        reg.observe("experiment.full_sync_time_sec", *result.full_sync_time_sec);
+    }
+    if (result.breakup_time_sec.has_value()) {
+        reg.observe("experiment.breakup_time_sec", *result.breakup_time_sec);
+    }
+    result.metrics = reg.snapshot();
+    if (config.obs != nullptr) {
+        config.obs->merge_metrics(result.metrics);
+    }
+}
 
 /// The backend-independent experiment body. `tracer` is the run's tracer
 /// (null when not tracing); `sampler_engine` is non-null only on the
@@ -100,9 +166,7 @@ ExperimentResult run_with(const ExperimentConfig& config, Sim& sim,
         });
     }
 
-    sim.set_on_timer_set([&tracker](int node, sim::SimTime t) {
-        tracker.on_timer_set(node, t);
-    });
+    sim.set_tracker_sink(tracker);
 
     if (config.stop_on_full_sync) {
         tracker.on_full_sync = [&sim](sim::SimTime) { sim.stop(); };
@@ -157,32 +221,7 @@ ExperimentResult run_with(const ExperimentConfig& config, Sim& sim,
         tracker.finish();
     }
 
-    if (const auto t = tracker.full_sync_time()) {
-        result.full_sync_time_sec = t->sec();
-    }
-    if (config.stop_on_breakup_threshold > 0) {
-        if (const auto t =
-                tracker.first_round_largest_at_most(config.stop_on_breakup_threshold)) {
-            result.breakup_time_sec = t->sec();
-        }
-    }
-
-    const int n = config.params.n;
-    result.first_hit_up.resize(static_cast<std::size_t>(n) + 1);
-    result.first_hit_down.resize(static_cast<std::size_t>(n) + 1);
-    for (int s = 1; s <= n; ++s) {
-        if (const auto t = tracker.first_time_size_at_least(s)) {
-            result.first_hit_up[static_cast<std::size_t>(s)] = t->sec();
-        }
-        if (const auto t = tracker.first_round_largest_at_most(s)) {
-            result.first_hit_down[static_cast<std::size_t>(s)] = t->sec();
-        }
-    }
-
-    result.cluster_events = tracker.events();
-    result.rounds = tracker.rounds();
-    result.rounds_closed = tracker.rounds_closed();
-    result.rounds_unsynchronized = tracker.rounds_with_largest_at_most(1);
+    assemble_tracker_results(config, tracker, result);
     result.total_transmissions = sim.total_transmissions();
     result.events_processed = sim.events_processed();
     result.end_time_sec = sim.now().sec();
@@ -230,29 +269,173 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         result = run_with(config, sim, tracer, nullptr);
     }
 
-    obs::MetricsRegistry reg;
-    reg.add("experiment.transmissions", result.total_transmissions);
-    reg.add("experiment.rounds_closed", result.rounds_closed);
-    reg.add("experiment.rounds_unsynchronized", result.rounds_unsynchronized);
-    reg.add("engine.events_processed", result.events_processed);
-    reg.set_gauge("experiment.end_time_sec", result.end_time_sec);
-    if (result.full_sync_time_sec.has_value()) {
-        reg.add("experiment.full_sync_runs", 1);
-        reg.observe("experiment.full_sync_time_sec", *result.full_sync_time_sec);
-    }
-    if (result.breakup_time_sec.has_value()) {
-        reg.observe("experiment.breakup_time_sec", *result.breakup_time_sec);
-    }
-    result.metrics = reg.snapshot();
-    if (config.obs != nullptr) {
-        config.obs->merge_metrics(result.metrics);
-    }
+    finalize_metrics(config, result);
     prof_install.reset(); // restore the caller's profiler before merging
     result.profile = trial_profiler.snapshot();
     if (config.obs != nullptr && !result.profile.empty()) {
         config.obs->merge_profile(result.profile);
     }
     return result;
+}
+
+bool batch_eligible(const ExperimentConfig& config) {
+    // Mirrors run_experiment's backend selection: whatever would pick
+    // the generic engine cannot batch. Per-trial profiling stays scalar
+    // too — lanes interleave, so one profiler could not keep the trials'
+    // scope counts separable.
+    const bool use_engine =
+        config.backend == ExperimentBackend::Engine ||
+        (config.backend == ExperimentBackend::Auto &&
+         config.sample_every > 0.0 && config.obs != nullptr);
+    return !use_engine && !obs::Profiler::process_enabled() &&
+           config.params.n < PmKernelBatch::kMaxNodes;
+}
+
+std::vector<ExperimentResult>
+run_experiment_batch(std::span<const ExperimentConfig> configs) {
+    std::vector<ExperimentResult> results(configs.size());
+
+    // Ineligible configs run scalar, in input order; eligible ones pool
+    // into one batch. Results are bit-identical either way, so the split
+    // never shows in the output.
+    std::vector<std::size_t> lane_of;
+    lane_of.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (batch_eligible(configs[i])) {
+            lane_of.push_back(i);
+        } else {
+            results[i] = run_experiment(configs[i]);
+        }
+    }
+    if (lane_of.size() == 1) {
+        // B = 1 degenerates to the scalar kernel — same results, and the
+        // scalar calendar queue is the tuned single-trial path.
+        results[lane_of[0]] = run_experiment(configs[lane_of[0]]);
+        return results;
+    }
+    if (lane_of.empty()) {
+        return results;
+    }
+
+    const std::size_t lanes = lane_of.size();
+    std::vector<PmLaneSpec> specs;
+    specs.reserve(lanes);
+    for (const std::size_t i : lane_of) {
+        const ExperimentConfig& config = configs[i];
+        specs.push_back(PmLaneSpec{
+            config.params,
+            config.make_policy ? config.make_policy() : nullptr,
+            config.obs != nullptr ? config.obs->tracer() : nullptr});
+    }
+    PmKernelBatch batch{std::move(specs)};
+
+    // Lane trackers come from a thread-local pool: reset() reuses their
+    // scratch buffers, so a sweep worker stops paying per-trial tracker
+    // allocations after its first batch.
+    thread_local std::vector<std::unique_ptr<ClusterTracker>> tracker_pool;
+    while (tracker_pool.size() < lanes) {
+        tracker_pool.push_back(nullptr);
+    }
+
+    struct LaneDriver {
+        ClusterTracker* tracker = nullptr;
+        ExperimentResult* result = nullptr;
+        int stride = 0;
+        std::uint64_t tx_seen = 0;
+    };
+    std::vector<LaneDriver> drivers(lanes);
+    std::vector<ClusterTracker*> sinks(lanes, nullptr);
+    bool any_stride = false;
+
+    for (std::size_t l = 0; l < lanes; ++l) {
+        const ExperimentConfig& config = configs[lane_of[l]];
+        ExperimentResult& result = results[lane_of[l]];
+        auto& slot = tracker_pool[l];
+        if (slot == nullptr) {
+            slot = std::make_unique<ClusterTracker>(config.params.n,
+                                                    batch.round_length(l));
+        } else {
+            slot->reset(config.params.n, batch.round_length(l));
+        }
+        ClusterTracker& tracker = *slot;
+        tracker.record_events(config.record_cluster_events);
+        tracker.record_rounds(config.record_rounds);
+
+        drivers[l] = LaneDriver{&tracker, &result, config.transmit_stride, 0};
+        sinks[l] = &tracker;
+        any_stride = any_stride || config.transmit_stride > 0;
+        result.round_length_sec = batch.round_length(l).sec();
+
+        if (config.stop_on_full_sync) {
+            tracker.on_full_sync = [&batch, l](sim::SimTime) { batch.stop(l); };
+        }
+        if (config.stop_on_cluster_size > 0) {
+            tracker.on_size_first_reached =
+                [&batch, l, limit = config.stop_on_cluster_size](
+                    int size, sim::SimTime) {
+                    if (size >= limit) {
+                        batch.stop(l);
+                    }
+                };
+        }
+        if (config.stop_on_breakup_threshold > 0) {
+            tracker.on_round_closed =
+                [&batch, l, limit = config.stop_on_breakup_threshold](
+                    const RoundLargest& r) {
+                    if (r.largest <= limit) {
+                        batch.stop(l);
+                    }
+                };
+        }
+        obs::Tracer* tracer =
+            config.obs != nullptr ? config.obs->tracer() : nullptr;
+        if (tracer != nullptr) {
+            auto prev = std::move(tracker.on_size_first_reached);
+            tracker.on_size_first_reached = [tracer, prev = std::move(prev)](
+                                                int size, sim::SimTime t) {
+                tracer->emit(obs::TraceEventType::ClusterChange, t, -1, size);
+                if (prev) {
+                    prev(size, t);
+                }
+            };
+        }
+        if (config.trigger_all_at.has_value()) {
+            batch.schedule_trigger_all(l, *config.trigger_all_at);
+        }
+    }
+
+    if (any_stride) {
+        batch.on_transmit = [&batch, &drivers](std::size_t l, int node,
+                                               sim::SimTime t) {
+            LaneDriver& d = drivers[l];
+            if (d.stride > 0 &&
+                d.tx_seen++ % static_cast<std::uint64_t>(d.stride) == 0) {
+                d.result->transmits.push_back(TransmitRecord{
+                    node, t.sec(), batch.offset_of(l, t).sec()});
+            }
+        };
+    }
+    batch.tracker_sinks = sinks.data(); // alive through run_all_until below
+
+    std::vector<sim::SimTime> targets;
+    targets.reserve(lanes);
+    for (const std::size_t i : lane_of) {
+        targets.push_back(configs[i].max_time);
+    }
+    batch.run_all_until(targets);
+
+    for (std::size_t l = 0; l < lanes; ++l) {
+        const ExperimentConfig& config = configs[lane_of[l]];
+        ExperimentResult& result = results[lane_of[l]];
+        ClusterTracker& tracker = *drivers[l].tracker;
+        tracker.finish();
+        assemble_tracker_results(config, tracker, result);
+        result.total_transmissions = batch.total_transmissions(l);
+        result.events_processed = batch.events_processed(l);
+        result.end_time_sec = batch.now(l).sec();
+        finalize_metrics(config, result);
+    }
+    return results;
 }
 
 } // namespace routesync::core

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/cluster_tracker.hpp"
@@ -111,5 +112,21 @@ struct ExperimentResult {
 
 /// Runs one Periodic Messages experiment to completion.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// True when `config` can run as a lane of the batched kernel
+/// (core/pm_kernel_batch.hpp): anything that forces the generic engine
+/// (explicit Engine backend, ResourceSampler) or per-trial profiling
+/// stays on the scalar path. Eligibility never changes results — both
+/// paths are bit-identical — only which core executes the trial.
+[[nodiscard]] bool batch_eligible(const ExperimentConfig& config);
+
+/// Runs a batch of experiments, advancing every batch-eligible config
+/// lock-step in the batched SoA kernel (ineligible configs fall back to
+/// run_experiment). Results are returned in input order and are
+/// byte-identical to calling run_experiment on each config one at a
+/// time — batching is pure performance. A one-element batch degenerates
+/// to run_experiment exactly.
+[[nodiscard]] std::vector<ExperimentResult>
+run_experiment_batch(std::span<const ExperimentConfig> configs);
 
 } // namespace routesync::core

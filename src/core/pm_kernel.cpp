@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/cluster_tracker.hpp"
 #include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 
@@ -286,7 +287,9 @@ void PmKernel::timer_expired(int i) {
     }
     if (params_.reset_at_expiry) {
         schedule_timer(i, now_ + draw_interval(i));
-        if (on_timer_set) {
+        if (tracker_sink != nullptr) {
+            tracker_sink->on_timer_set(i, now_);
+        } else if (on_timer_set) {
             on_timer_set(i, now_);
         }
     }
@@ -360,7 +363,9 @@ void PmKernel::busy_check(int i) {
     if (pending_own_[idx] > 0) {
         pending_own_[idx] = 0;
         schedule_timer(i, now + draw_interval(i));
-        if (on_timer_set) {
+        if (tracker_sink != nullptr) {
+            tracker_sink->on_timer_set(i, now);
+        } else if (on_timer_set) {
             on_timer_set(i, now);
         }
     }

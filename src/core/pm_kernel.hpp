@@ -56,6 +56,8 @@ class Tracer;
 
 namespace routesync::core {
 
+class ClusterTracker;
+
 /// One pending kernel event: plain data, 24 bytes, no callback. `seq`
 /// mirrors the engine queue's FIFO push counter so ties at equal times
 /// break identically.
@@ -223,6 +225,11 @@ public:
     std::function<void(int node, sim::SimTime t)> on_transmit;
     /// Fires when a node completes its busy period and re-arms its timer.
     std::function<void(int node, sim::SimTime t)> on_timer_set;
+    /// Direct ClusterTracker feed for timer re-arms. When set it takes
+    /// the place of `on_timer_set`: the experiment driver's only use of
+    /// that callback is forwarding to a tracker, and the re-arm site is
+    /// hot enough that skipping the std::function hop is measurable.
+    ClusterTracker* tracker_sink = nullptr;
 
     /// Schedules a triggered update on every node at absolute time `t`
     /// (the ExperimentConfig::trigger_all_at path). Must be scheduled in

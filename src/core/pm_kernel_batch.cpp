@@ -1,0 +1,481 @@
+#include "core/pm_kernel_batch.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/cluster_tracker.hpp"
+#include "core/pm_kernel.hpp" // PmEventKind: the event vocabulary is shared
+#include "obs/tracer.hpp"
+
+namespace routesync::core {
+
+PmKernelBatch::PmKernelBatch(std::vector<PmLaneSpec> specs) {
+    lanes_.reserve(specs.size());
+    std::size_t total_nodes = 0;
+    for (PmLaneSpec& spec : specs) {
+        // Same validation (and messages) as the scalar kernel — a lane
+        // rejects exactly what a scalar construction of its spec would.
+        if (spec.params.n < 1) {
+            throw std::invalid_argument{
+                "PeriodicMessagesModel: need at least one node"};
+        }
+        if (spec.params.tc < sim::SimTime::zero()) {
+            throw std::invalid_argument{"PeriodicMessagesModel: Tc must be >= 0"};
+        }
+        if (!spec.policy) {
+            spec.policy =
+                std::make_unique<UniformJitter>(spec.params.tp, spec.params.tr);
+        }
+        if (!spec.params.initial_phases.empty() &&
+            spec.params.initial_phases.size() !=
+                static_cast<std::size_t>(spec.params.n)) {
+            throw std::invalid_argument{
+                "PeriodicMessagesModel: initial_phases size must equal n"};
+        }
+        if (!spec.params.per_node_tp.empty() &&
+            spec.params.per_node_tp.size() !=
+                static_cast<std::size_t>(spec.params.n)) {
+            throw std::invalid_argument{
+                "PeriodicMessagesModel: per_node_tp size must equal n"};
+        }
+        if (!spec.params.per_node_tc.empty() &&
+            spec.params.per_node_tc.size() !=
+                static_cast<std::size_t>(spec.params.n)) {
+            throw std::invalid_argument{
+                "PeriodicMessagesModel: per_node_tc size must equal n"};
+        }
+        if (spec.params.n >= kMaxNodes) {
+            throw std::invalid_argument{
+                "PmKernelBatch: n exceeds the 22-bit event-tag node limit"};
+        }
+
+        Lane lane;
+        lane.params = std::move(spec.params);
+        lane.policy = std::move(spec.policy);
+        lane.tracer = spec.tracer;
+        lane.base = total_nodes;
+        lane.reset_at_expiry = lane.params.reset_at_expiry;
+        lane.immediate = lane.params.notification == Notification::Immediate;
+        lane.shared_busy = lane.immediate && lane.params.per_node_tc.empty();
+        if (lane.params.per_node_tp.empty()) {
+            if (const auto* uj =
+                    dynamic_cast<const UniformJitter*>(lane.policy.get())) {
+                lane.draw_lo = (uj->tp() - uj->tr()).sec();
+                lane.draw_span = (uj->tp() + uj->tr()).sec() - lane.draw_lo;
+                lane.fast_draw = true;
+            }
+        }
+        total_nodes += static_cast<std::size_t>(lane.params.n);
+        lanes_.push_back(std::move(lane));
+    }
+
+    next_expiry_.assign(total_nodes, sim::SimTime::infinity());
+    busy_end_.assign(total_nodes, -sim::SimTime::seconds(1.0));
+    timer_seq_.assign(total_nodes, 0);
+    transmissions_.assign(total_nodes, 0);
+    pending_own_.assign(total_nodes, 0);
+    timer_pending_.assign(total_nodes, 0);
+    busy_check_scheduled_.assign(total_nodes, 0);
+
+    // Seed and schedule lane by lane, nodes in order — each lane's RNG
+    // consumption replays a scalar construction of the same params.
+    for (Lane& lane : lanes_) {
+        lane.gen = rng::DefaultEngine{lane.params.seed};
+        for (int i = 0; i < lane.params.n; ++i) {
+            sim::SimTime first;
+            if (!lane.params.initial_phases.empty()) {
+                first = sim::SimTime::seconds(
+                    lane.params.initial_phases[static_cast<std::size_t>(i)]);
+            } else if (lane.params.start == StartCondition::Synchronized) {
+                first = sim::SimTime::zero();
+            } else {
+                first = sim::SimTime::seconds(
+                    rng::uniform_real(lane.gen, 0.0, lane.params.tp.sec()));
+            }
+            schedule_timer(lane, i, lane.now + first);
+        }
+    }
+}
+
+sim::SimTime PmKernelBatch::round_length(std::size_t lane) const noexcept {
+    const Lane& l = lanes_[lane];
+    return l.policy->mean_interval() + l.params.tc;
+}
+
+sim::SimTime PmKernelBatch::offset_of(std::size_t lane,
+                                      sim::SimTime t) const noexcept {
+    return t.mod(round_length(lane));
+}
+
+NodeView PmKernelBatch::node(std::size_t lane, int i) const {
+    const Lane& l = lanes_[lane];
+    if (i < 0 || i >= l.params.n) {
+        throw std::out_of_range{"PmKernel::node: index out of range"};
+    }
+    const std::size_t idx = l.base + static_cast<std::size_t>(i);
+    const sim::SimTime be = busy_end_of(l, i);
+    return NodeView{
+        .next_expiry = timer_pending_[idx] != 0 ? next_expiry_[idx]
+                                                : sim::SimTime::infinity(),
+        .busy_until = be,
+        .busy = be > l.now,
+        .transmissions = transmissions_[idx],
+    };
+}
+
+void PmKernelBatch::q_insert(Lane& lane, BEvent e) {
+    // Append, then bubble backward to rank. A re-armed timer lands at
+    // now + Tp ± jitter — the queue maximum, or within a few slots of it
+    // when cluster-mates re-arm under the same jitter window — so the
+    // loop almost never iterates. (Near-minimum pushes, the busy checks
+    // at now + Tc, are absorbed by the hold slot and rarely get here.)
+    std::vector<BEvent>& q = lane.q;
+    q.push_back(e);
+    std::size_t i = q.size() - 1;
+    while (i > lane.q_head && before(e, q[i - 1])) {
+        q[i] = q[i - 1];
+        --i;
+    }
+    q[i] = e;
+}
+
+void PmKernelBatch::q_pop(Lane& lane) {
+    // O(1): consume by cursor. The dead prefix is recycled wholesale —
+    // either free (queue drained) or one small memmove of the live
+    // window (at most n + a few events) every kCompactAt pops.
+    constexpr std::size_t kCompactAt = 64;
+    if (++lane.q_head == lane.q.size()) {
+        lane.q.clear();
+        lane.q_head = 0;
+    } else if (lane.q_head >= kCompactAt) {
+        lane.q.erase(lane.q.begin(),
+                     lane.q.begin() + static_cast<std::ptrdiff_t>(lane.q_head));
+        lane.q_head = 0;
+    }
+}
+
+void PmKernelBatch::push_event(Lane& lane, double time, std::uint32_t kind,
+                               std::uint32_t node) {
+    // Hold-slot pushpop fusion: the most recent push sits outside the
+    // queue. In the dominant cycle (timer fires, re-arms, the re-armed
+    // timer is served next) the event never enters the queue at all. The
+    // hold always carries the lane's largest seq, so serving it only on
+    // a STRICTLY earlier time preserves FIFO order among equal times.
+    if (lane.has_hold) {
+        q_insert(lane, lane.hold);
+    }
+    lane.hold = BEvent{time, lane.next_seq++ << 24 |
+                                 static_cast<std::uint64_t>(kind) << 22 | node};
+    lane.has_hold = true;
+}
+
+sim::SimTime PmKernelBatch::draw_interval(Lane& lane, int i) {
+    if (!lane.params.per_node_tp.empty()) {
+        const double tp_i = lane.params.per_node_tp[static_cast<std::size_t>(i)];
+        return sim::SimTime::seconds(rng::uniform_real(
+            lane.gen, tp_i - lane.params.tr.sec(), tp_i + lane.params.tr.sec()));
+    }
+    if (lane.fast_draw) {
+        // lo + span*u01 with span = hi - lo hoisted: bit-identical to
+        // rng::uniform_real(gen, lo, hi), which UniformJitter calls.
+        return sim::SimTime::seconds(lane.draw_lo +
+                                     lane.draw_span * rng::uniform01(lane.gen));
+    }
+    return lane.policy->next_interval(lane.gen);
+}
+
+void PmKernelBatch::schedule_timer(Lane& lane, int i, sim::SimTime at) {
+    const std::size_t idx = lane.base + static_cast<std::size_t>(i);
+    assert(timer_pending_[idx] == 0 && "node already has a pending timer");
+    timer_seq_[idx] = lane.next_seq;
+    push_event(lane, at.sec(), kPmTimer, static_cast<std::uint32_t>(i));
+    timer_pending_[idx] = 1;
+    next_expiry_[idx] = at;
+    if (lane.tracer != nullptr) {
+        lane.tracer->emit(obs::TraceEventType::TimerSet, lane.now, i, 0,
+                          (at - lane.now).sec());
+    }
+}
+
+void PmKernelBatch::schedule_trigger_all(std::size_t lane, sim::SimTime t) {
+    Lane& l = lanes_[lane];
+    if (t < l.now) {
+        throw std::logic_error{"Engine::schedule_at: time is in the past"};
+    }
+    push_event(l, t.sec(), kPmTrigger, 0);
+    if (!l.reset_at_expiry) {
+        l.can_cancel = true; // the wave may tombstone pending timers
+    }
+}
+
+void PmKernelBatch::trigger_update(std::size_t lane, std::span<const int> to_fire) {
+    Lane& l = lanes_[lane];
+    for (const int i : to_fire) {
+        if (i < 0 || i >= l.params.n) {
+            throw std::out_of_range{"PmKernel::trigger_update: node out of range"};
+        }
+        const std::size_t idx = l.base + static_cast<std::size_t>(i);
+        if (!l.reset_at_expiry && timer_pending_[idx] != 0) {
+            // Tombstone cancel: the queued event goes stale and the run
+            // loop discards it on surfacing (never executed or counted).
+            timer_pending_[idx] = 0;
+            l.can_cancel = true;
+            if (l.tracer != nullptr) {
+                l.tracer->emit(obs::TraceEventType::TimerReset, l.now, i);
+            }
+        }
+        begin_transmission(l, i);
+    }
+}
+
+void PmKernelBatch::trigger_update_all(std::size_t lane) {
+    std::vector<int> all(static_cast<std::size_t>(lanes_[lane].params.n));
+    for (int i = 0; i < lanes_[lane].params.n; ++i) {
+        all[static_cast<std::size_t>(i)] = i;
+    }
+    trigger_update(lane, all);
+}
+
+void PmKernelBatch::extend_busy(Lane& lane, int i, sim::SimTime t) {
+    if (lane.shared_busy) {
+        if (lane.shared_busy_end > t) {
+            lane.shared_busy_end += lane.params.tc;
+        } else {
+            lane.shared_busy_end = t + lane.params.tc;
+        }
+        return;
+    }
+    const std::size_t idx = lane.base + static_cast<std::size_t>(i);
+    const sim::SimTime tc =
+        lane.params.per_node_tc.empty()
+            ? lane.params.tc
+            : sim::SimTime::seconds(
+                  lane.params.per_node_tc[static_cast<std::size_t>(i)]);
+    if (busy_end_[idx] > t) {
+        busy_end_[idx] += tc;
+    } else {
+        busy_end_[idx] = t + tc;
+    }
+}
+
+void PmKernelBatch::begin_transmission(Lane& lane, int i) {
+    const sim::SimTime now = lane.now;
+    const std::size_t idx = lane.base + static_cast<std::size_t>(i);
+    const std::size_t lane_id =
+        static_cast<std::size_t>(&lane - lanes_.data());
+
+    ++transmissions_[idx];
+    ++lane.tx_count;
+    if (on_transmit) {
+        on_transmit(lane_id, i, now);
+    }
+    if (lane.tracer != nullptr) {
+        lane.tracer->emit(obs::TraceEventType::UpdateTx, now, i,
+                          static_cast<std::int64_t>(transmissions_[idx]));
+    }
+
+    if (!lane.reset_at_expiry) {
+        ++pending_own_[idx];
+    }
+    extend_busy(lane, i, now);
+    if (!lane.reset_at_expiry && busy_check_scheduled_[idx] == 0) {
+        busy_check_scheduled_[idx] = 1;
+        push_event(lane, busy_end_of(lane, i).sec(), kPmBusyCheck,
+                   static_cast<std::uint32_t>(i));
+    }
+
+    if (lane.immediate) {
+        // Shared-busy lanes already broadcast via the scalar above (see
+        // the scalar kernel's induction argument).
+        if (!lane.shared_busy) {
+            for (int j = 0; j < lane.params.n; ++j) {
+                if (j != i) {
+                    extend_busy(lane, j, now);
+                }
+            }
+        }
+    } else {
+        push_event(lane, (now + lane.params.tc).sec(), kPmDeliver,
+                   static_cast<std::uint32_t>(i));
+    }
+}
+
+void PmKernelBatch::deliver_from(Lane& lane, int i) {
+    const sim::SimTime at = lane.now;
+    for (int j = 0; j < lane.params.n; ++j) {
+        if (j != i) {
+            extend_busy(lane, j, at);
+        }
+    }
+}
+
+void PmKernelBatch::busy_check(Lane& lane, int i) {
+    const std::size_t idx = lane.base + static_cast<std::size_t>(i);
+    const sim::SimTime now = lane.now;
+    const sim::SimTime be = busy_end_of(lane, i);
+    if (be > now) {
+        // Extended after this check was scheduled; re-arm at the new end
+        // (lazy revalidation, flag stays set).
+        push_event(lane, be.sec(), kPmBusyCheck, static_cast<std::uint32_t>(i));
+        return;
+    }
+    busy_check_scheduled_[idx] = 0;
+    if (pending_own_[idx] > 0) {
+        pending_own_[idx] = 0;
+        schedule_timer(lane, i, now + draw_interval(lane, i));
+        const auto lane_id = static_cast<std::size_t>(&lane - lanes_.data());
+        ClusterTracker* sink =
+            tracker_sinks != nullptr ? tracker_sinks[lane_id] : nullptr;
+        if (sink != nullptr) {
+            sink->on_timer_set(i, now);
+        } else if (on_timer_set) {
+            on_timer_set(lane_id, i, now);
+        }
+    }
+}
+
+void PmKernelBatch::dispatch(Lane& lane, const BEvent& e) {
+    const auto i = static_cast<int>(e.node());
+    switch (e.kind()) {
+    case kPmTimer: {
+        timer_pending_[lane.base + e.node()] = 0;
+        if (lane.tracer != nullptr) {
+            lane.tracer->emit(obs::TraceEventType::TimerFire, lane.now, i);
+        }
+        if (lane.reset_at_expiry) {
+            schedule_timer(lane, i, lane.now + draw_interval(lane, i));
+            const auto lane_id =
+                static_cast<std::size_t>(&lane - lanes_.data());
+            ClusterTracker* sink =
+                tracker_sinks != nullptr ? tracker_sinks[lane_id] : nullptr;
+            if (sink != nullptr) {
+                sink->on_timer_set(i, lane.now);
+            } else if (on_timer_set) {
+                on_timer_set(lane_id, i, lane.now);
+            }
+        }
+        begin_transmission(lane, i);
+        break;
+    }
+    case kPmBusyCheck:
+        busy_check(lane, i);
+        break;
+    case kPmDeliver:
+        deliver_from(lane, i);
+        break;
+    case kPmTrigger:
+        trigger_update_all(static_cast<std::size_t>(&lane - lanes_.data()));
+        break;
+    default:
+        assert(false && "unknown PmEvent kind");
+    }
+}
+
+bool PmKernelBatch::advance(Lane& lane, double bound_sec, sim::SimTime target) {
+    const double target_sec = target.sec();
+    const double stop_at = bound_sec < target_sec ? bound_sec : target_sec;
+    while (!lane.stopped) {
+        // Surface the next live event: the hold slot wins only on a
+        // strictly earlier time (it always has the largest seq), and
+        // stale (tombstoned) timers are discarded before the boundary
+        // check — exactly the scalar run loop's order of operations.
+        const BEvent* head = nullptr;
+        bool from_hold = false;
+        for (;;) {
+            const bool q_empty = lane.q_head == lane.q.size();
+            if (lane.has_hold &&
+                (q_empty || lane.hold.time < lane.q[lane.q_head].time)) {
+                head = &lane.hold;
+                from_hold = true;
+            } else if (!q_empty) {
+                head = &lane.q[lane.q_head];
+                from_hold = false;
+            } else {
+                head = nullptr;
+                break;
+            }
+            if (lane.can_cancel && head->kind() == kPmTimer) {
+                const std::size_t idx = lane.base + head->node();
+                if (timer_pending_[idx] == 0 || timer_seq_[idx] != head->seq()) {
+                    if (from_hold) {
+                        lane.has_hold = false;
+                    } else {
+                        q_pop(lane);
+                    }
+                    continue;
+                }
+            }
+            break;
+        }
+        // One boundary compare on the hot path: stop_at <= target, so
+        // the drain test only needs to run once an event crosses the
+        // epoch bound.
+        if (head == nullptr || head->time > stop_at) {
+            if (head != nullptr && head->time <= target_sec) {
+                return true; // still live; resume next epoch
+            }
+            if (lane.now < target) {
+                lane.now = target;
+            }
+            return false; // drained (or nothing left before the target)
+        }
+        const BEvent e = *head;
+        if (from_hold) {
+            lane.has_hold = false;
+        } else {
+            q_pop(lane);
+        }
+        lane.now = sim::SimTime::seconds(e.time);
+        ++lane.processed;
+        dispatch(lane, e);
+    }
+    return false; // stopped: clock stays at the last event
+}
+
+void PmKernelBatch::run_all_until(std::span<const sim::SimTime> targets) {
+    assert(targets.size() == lanes_.size() &&
+           "one target time per lane required");
+
+    // Epoch: a few round lengths — long enough to amortize the rotation,
+    // short enough that every lane's working set stays warm.
+    double epoch = 0.0;
+    double start = 0.0;
+    bool any_live = false;
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+        if (lanes_[l].stopped) {
+            continue;
+        }
+        const double rl = round_length(l).sec();
+        epoch = epoch > rl ? epoch : rl;
+        const double now = lanes_[l].now.sec();
+        start = any_live ? (start < now ? start : now) : now;
+        any_live = true;
+    }
+    if (!any_live) {
+        return;
+    }
+    epoch = epoch > 1e-9 ? 8.0 * epoch : 1.0;
+
+    std::vector<std::uint8_t> live(lanes_.size(), 0);
+    std::size_t live_count = 0;
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+        if (!lanes_[l].stopped) {
+            live[l] = 1;
+            ++live_count;
+        }
+    }
+
+    for (double bound = start + epoch; live_count > 0; bound += epoch) {
+        for (std::size_t l = 0; l < lanes_.size(); ++l) {
+            if (live[l] == 0) {
+                continue;
+            }
+            if (!advance(lanes_[l], bound, targets[l])) {
+                live[l] = 0;
+                --live_count;
+            }
+        }
+    }
+}
+
+} // namespace routesync::core

@@ -1,0 +1,236 @@
+// Batched structure-of-trials fast path for the Periodic Messages model.
+//
+// Parameter sweeps (Figures 7-15) are thousands of tiny independent
+// trials, and the scalar PmKernel runs them one at a time: every trial
+// pays its own construction, queue churn, and driver fixed costs on cold
+// caches. This kernel advances B trials ("lanes") lock-step instead:
+//
+//   * Struct-of-arrays node state ACROSS trials — next-expiry, busy-end,
+//     pending counts, transmission counters live in flat vectors laid out
+//     [lane][node] (lane-major, per-lane base offsets), so a batch's
+//     working set is contiguous and construction is B appends into seven
+//     arrays instead of B*7 allocations.
+//   * Per-lane sorted-run timer queues: each lane keeps its pending
+//     16-byte packed events {time, seq|kind|node} in a flat array
+//     sorted ascending, consumed through a head cursor, with a
+//     one-slot hold buffer fusing the ubiquitous push-then-pop cycle
+//     (a re-armed timer is usually the next event served). The model
+//     makes this degenerate-fast: a re-armed timer lands at
+//     now + Tp ± jitter, which is (almost) the queue MAXIMUM, so a
+//     push is an append with a rarely-iterating backward bubble and a
+//     pop is a cursor bump — no heap sift on either side. Binary
+//     heaps (classic and bottom-up) and tournament trees were
+//     measured and lost to this; see docs/PERFORMANCE.md.
+//   * Batch-amortized RNG: one engine per lane, seeded exactly like the
+//     scalar kernel's, with the uniform-jitter draw constants (lo, span)
+//     hoisted per lane so the hot draw is one multiply-add on the raw
+//     uniform01 bits. Draw ORDER within a lane is the scalar order, so
+//     each lane's stream is bit-identical to a scalar run of the same
+//     params. (A single jumped stream shared across lanes would break
+//     that contract; see docs/PERFORMANCE.md.)
+//   * Epoch lock-step: lanes advance in rotation through fixed simulated-
+//     time epochs (a few round lengths each), keeping the batch's arrays
+//     hot without ever coupling lane state.
+//
+// Fidelity contract: every lane is *bit-identical* to a scalar PmKernel
+// run of the same spec — same RNG draw order, same (time, FIFO-seq) event
+// execution order, same events_processed count, same callback and trace
+// streams, and therefore the same ClusterTracker series. B = 1 is the
+// scalar kernel with a different queue; the randomized differential in
+// tests/pm_kernel_batch_test.cpp enforces the contract across policies,
+// start conditions, per-node overrides, and trigger waves.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/periodic_messages.hpp"
+#include "core/timer_policy.hpp"
+#include "rng/rng.hpp"
+#include "sim/time.hpp"
+
+namespace routesync::obs {
+class Tracer;
+}
+
+namespace routesync::core {
+
+class ClusterTracker;
+
+/// Everything one lane needs: the scalar PmKernel constructor surface.
+struct PmLaneSpec {
+    ModelParams params;
+    std::unique_ptr<TimerPolicy> policy; ///< null -> UniformJitter(tp, tr)
+    obs::Tracer* tracer = nullptr;       ///< per-lane; may be null
+};
+
+/// Runs B independent Periodic Messages trials lock-step. Node state is
+/// SoA across lanes; each lane keeps its own RNG, event queue, and clock.
+class PmKernelBatch {
+public:
+    /// Validates every lane (same checks and messages as the scalar
+    /// kernel, in lane order) and draws the initial phases lane-by-lane
+    /// in node order — each lane's RNG consumption matches a scalar
+    /// construction of the same params.
+    explicit PmKernelBatch(std::vector<PmLaneSpec> specs);
+
+    PmKernelBatch(const PmKernelBatch&) = delete;
+    PmKernelBatch& operator=(const PmKernelBatch&) = delete;
+
+    /// Fires when a node's timer expires and it begins transmitting.
+    std::function<void(std::size_t lane, int node, sim::SimTime t)> on_transmit;
+    /// Fires when a node completes its busy period and re-arms its timer.
+    std::function<void(std::size_t lane, int node, sim::SimTime t)> on_timer_set;
+    /// Direct per-lane ClusterTracker feed for timer re-arms: an array of
+    /// lanes() pointers (entries may be null). When set it takes the
+    /// place of `on_timer_set` for lanes with a non-null entry — the
+    /// experiment driver's only use of that callback is forwarding to the
+    /// lane's tracker, and skipping the std::function hop is measurable
+    /// on the re-arm path. The caller keeps the array alive through
+    /// run_all_until().
+    ClusterTracker* const* tracker_sinks = nullptr;
+
+    [[nodiscard]] std::size_t lanes() const noexcept { return lanes_.size(); }
+
+    /// Schedules a triggered update on every node of `lane` at absolute
+    /// time `t` — same push-order contract as the scalar kernel (after
+    /// construction, before running).
+    void schedule_trigger_all(std::size_t lane, sim::SimTime t);
+
+    /// Immediate triggered update on `lane` (API parity with the model).
+    void trigger_update(std::size_t lane, std::span<const int> nodes);
+    void trigger_update_all(std::size_t lane);
+
+    /// Runs every lane until its own target time (targets.size() must
+    /// equal lanes()), advancing lanes in epoch-sized rotation. Each
+    /// lane observes exactly the scalar run_until(target) semantics:
+    /// stop() leaves the lane's clock at its last event; otherwise the
+    /// clock lands on the target.
+    void run_all_until(std::span<const sim::SimTime> targets);
+
+    /// Per-lane mirrors of the scalar kernel's introspection surface.
+    void stop(std::size_t lane) noexcept { lanes_[lane].stopped = true; }
+    void clear_stop(std::size_t lane) noexcept { lanes_[lane].stopped = false; }
+    [[nodiscard]] bool stop_requested(std::size_t lane) const noexcept {
+        return lanes_[lane].stopped;
+    }
+    [[nodiscard]] sim::SimTime now(std::size_t lane) const noexcept {
+        return lanes_[lane].now;
+    }
+    [[nodiscard]] std::uint64_t events_processed(std::size_t lane) const noexcept {
+        return lanes_[lane].processed;
+    }
+    [[nodiscard]] std::uint64_t total_transmissions(std::size_t lane) const noexcept {
+        return lanes_[lane].tx_count;
+    }
+    [[nodiscard]] int n(std::size_t lane) const noexcept {
+        return lanes_[lane].params.n;
+    }
+    [[nodiscard]] const ModelParams& params(std::size_t lane) const noexcept {
+        return lanes_[lane].params;
+    }
+    [[nodiscard]] sim::SimTime round_length(std::size_t lane) const noexcept;
+    [[nodiscard]] sim::SimTime offset_of(std::size_t lane, sim::SimTime t) const noexcept;
+    [[nodiscard]] NodeView node(std::size_t lane, int i) const;
+    [[nodiscard]] bool shared_busy(std::size_t lane) const noexcept {
+        return lanes_[lane].shared_busy;
+    }
+
+    /// Max node count a lane may have (node ids pack into 22 bits of the
+    /// event tag). Callers route wider models to the scalar kernel.
+    static constexpr int kMaxNodes = 1 << 22;
+
+private:
+    /// 16-byte packed event. tag = seq << 24 | kind << 22 | node: seq in
+    /// the high bits makes one u64 compare settle equal-time FIFO order
+    /// (seqs are unique per lane), and kind/node unpack with shifts.
+    struct BEvent {
+        double time;
+        std::uint64_t tag;
+        [[nodiscard]] std::uint32_t kind() const noexcept {
+            return static_cast<std::uint32_t>(tag >> 22) & 3U;
+        }
+        [[nodiscard]] std::uint32_t node() const noexcept {
+            return static_cast<std::uint32_t>(tag) & 0x3fffffU;
+        }
+        [[nodiscard]] std::uint64_t seq() const noexcept { return tag >> 24; }
+    };
+
+    /// Per-lane control state (everything that is not node-indexed).
+    struct Lane {
+        ModelParams params;
+        std::unique_ptr<TimerPolicy> policy;
+        obs::Tracer* tracer = nullptr;
+        rng::DefaultEngine gen{0};
+
+        /// Pending events in ascending (time, tag) order; the live
+        /// window is [q_head, q.size()). See q_insert / q_pop.
+        std::vector<BEvent> q;
+        std::size_t q_head = 0;
+        BEvent hold{}; ///< one-slot most-recent-push buffer
+        bool has_hold = false;
+
+        std::size_t base = 0; ///< this lane's offset into the SoA arrays
+        std::uint64_t next_seq = 0;
+        std::uint64_t processed = 0;
+        std::uint64_t tx_count = 0;
+        sim::SimTime now = sim::SimTime::zero();
+        sim::SimTime shared_busy_end = -sim::SimTime::seconds(1.0);
+        double draw_lo = 0.0;   ///< uniform-jitter fast path: lo constant
+        double draw_span = 0.0; ///< uniform-jitter fast path: hi - lo
+        bool fast_draw = false; ///< UniformJitter and no per-node Tp
+        bool shared_busy = true;
+        bool reset_at_expiry = false;
+        bool immediate = true;
+        bool can_cancel = false; ///< a timer may have been tombstoned
+        bool stopped = false;
+    };
+
+    // Sorted-run primitives. q_insert appends and bubbles the new event
+    // backward to its rank — zero iterations in the dominant case (a
+    // re-armed timer is the queue maximum; only cluster-mates re-arming
+    // under the same jitter window bubble a few slots). q_pop advances
+    // the head cursor and compacts the consumed prefix once it grows
+    // past a threshold, so the live window stays within a cache line or
+    // two of the array head.
+    static void q_insert(Lane& lane, BEvent e);
+    static void q_pop(Lane& lane);
+    [[nodiscard]] static bool before(const BEvent& a, const BEvent& b) noexcept {
+        return a.time < b.time || (a.time == b.time && a.tag < b.tag);
+    }
+
+    void push_event(Lane& lane, double time, std::uint32_t kind,
+                    std::uint32_t node);
+    [[nodiscard]] sim::SimTime draw_interval(Lane& lane, int i);
+    void schedule_timer(Lane& lane, int i, sim::SimTime at);
+    void begin_transmission(Lane& lane, int i);
+    void deliver_from(Lane& lane, int i);
+    void busy_check(Lane& lane, int i);
+    void extend_busy(Lane& lane, int i, sim::SimTime t);
+    [[nodiscard]] sim::SimTime busy_end_of(const Lane& lane, int i) const noexcept {
+        return lane.shared_busy
+                   ? lane.shared_busy_end
+                   : busy_end_[lane.base + static_cast<std::size_t>(i)];
+    }
+    void dispatch(Lane& lane, const BEvent& e);
+    /// Advances one lane to min(epoch bound, its target). Returns true
+    /// while the lane still has work before its target.
+    [[nodiscard]] bool advance(Lane& lane, double bound_sec, sim::SimTime target);
+
+    std::vector<Lane> lanes_;
+
+    // SoA node state across lanes: index = lane.base + node.
+    std::vector<sim::SimTime> next_expiry_;
+    std::vector<sim::SimTime> busy_end_; ///< per-node-busy lanes only
+    std::vector<std::uint64_t> timer_seq_;
+    std::vector<std::uint64_t> transmissions_;
+    std::vector<std::int32_t> pending_own_;
+    std::vector<std::uint8_t> timer_pending_;
+    std::vector<std::uint8_t> busy_check_scheduled_;
+};
+
+} // namespace routesync::core

@@ -13,7 +13,25 @@
 namespace routesync::parallel {
 
 SweepScheduler::SweepScheduler(SweepSchedulerOptions options)
-    : jobs_{options.jobs == 0 ? hardware_jobs() : options.jobs} {}
+    : jobs_{options.jobs == 0 ? hardware_jobs() : options.jobs},
+      batch_{options.batch} {}
+
+std::size_t SweepScheduler::effective_batch(std::size_t count) const noexcept {
+    if (batch_ != 0) {
+        return batch_;
+    }
+    // Auto: 16 lanes is the measured sweet spot of the batched kernel
+    // (bench/sweep_wallclock). Under multiple workers, cap the chunk so
+    // every worker still gets a few claims — stealing needs granularity
+    // to rebalance the sweep's long tail.
+    constexpr std::size_t kPreferred = 16;
+    if (jobs_ <= 1) {
+        return kPreferred;
+    }
+    const std::size_t per_worker = count / (jobs_ * 2);
+    const std::size_t cap = per_worker > 1 ? per_worker : 1;
+    return cap < kPreferred ? cap : kPreferred;
+}
 
 std::size_t SweepScheduler::submit(core::ExperimentConfig config) {
     const std::size_t index = count_;
@@ -47,11 +65,15 @@ core::ExperimentConfig SweepScheduler::materialize(std::size_t index) const {
     return batch.make(index - batch.first);
 }
 
-bool SweepScheduler::claim(std::size_t worker, std::size_t& out) {
+bool SweepScheduler::claim(std::size_t worker, std::size_t max_len,
+                           std::size_t& out_lo, std::size_t& out_len) {
     const std::lock_guard<std::mutex> lock{mutex_};
     Range& own = ranges_[worker];
     if (own.lo < own.hi) {
-        out = own.lo++;
+        const std::size_t avail = own.hi - own.lo;
+        out_lo = own.lo;
+        out_len = avail < max_len ? avail : max_len;
+        own.lo += out_len;
         return true;
     }
     // Own range drained: steal the back half of the largest remaining
@@ -76,7 +98,10 @@ bool SweepScheduler::claim(std::size_t worker, std::size_t& out) {
     own.hi = v.hi;
     v.hi -= take;
     ++steals_;
-    out = own.lo++;
+    const std::size_t avail = own.hi - own.lo;
+    out_lo = own.lo;
+    out_len = avail < max_len ? avail : max_len;
+    own.lo += out_len;
     return true;
 }
 
@@ -85,18 +110,36 @@ std::vector<core::ExperimentResult> SweepScheduler::run() {
     std::vector<core::ExperimentResult> results(count);
     steals_ = 0;
 
-    const auto run_task = [&](std::size_t i) {
-        core::ExperimentConfig config = materialize(i);
-        config.obs = nullptr; // a RunContext is not safe across workers
-        results[i] = core::run_experiment(config);
+    const std::size_t batch = effective_batch(count);
+    // A chunk of tasks runs lock-step in the batched kernel; len == 1
+    // takes the scalar path. Both are bit-identical per task, so chunk
+    // boundaries (and therefore --batch) never show in the results.
+    const auto run_chunk = [&](std::size_t lo, std::size_t len) {
+        if (len == 1) {
+            core::ExperimentConfig config = materialize(lo);
+            config.obs = nullptr; // a RunContext is not safe across workers
+            results[lo] = core::run_experiment(config);
+            return;
+        }
+        std::vector<core::ExperimentConfig> configs;
+        configs.reserve(len);
+        for (std::size_t i = lo; i < lo + len; ++i) {
+            configs.push_back(materialize(i));
+            configs.back().obs = nullptr;
+        }
+        std::vector<core::ExperimentResult> chunk =
+            core::run_experiment_batch(configs);
+        for (std::size_t i = 0; i < len; ++i) {
+            results[lo + i] = std::move(chunk[i]);
+        }
     };
 
     const std::size_t jobs = std::min(jobs_, std::max<std::size_t>(count, 1));
     if (jobs <= 1) {
         // Inline, in submission order — the reference execution that
         // every parallel run must reproduce byte for byte.
-        for (std::size_t i = 0; i < count; ++i) {
-            run_task(i);
+        for (std::size_t lo = 0; lo < count; lo += batch) {
+            run_chunk(lo, std::min(batch, count - lo));
         }
         batches_.clear();
         count_ = 0;
@@ -112,10 +155,11 @@ std::vector<core::ExperimentResult> SweepScheduler::run() {
     std::exception_ptr first_error;
     std::mutex error_mutex;
     const auto worker = [&](std::size_t w) noexcept {
-        std::size_t i = 0;
-        while (claim(w, i)) {
+        std::size_t lo = 0;
+        std::size_t len = 0;
+        while (claim(w, batch, lo, len)) {
             try {
-                run_task(i);
+                run_chunk(lo, len);
             } catch (...) {
                 const std::lock_guard<std::mutex> lock{error_mutex};
                 if (!first_error) {

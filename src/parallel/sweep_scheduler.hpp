@@ -45,6 +45,13 @@ struct SweepSchedulerOptions {
     /// Worker threads. 0 = hardware concurrency; 1 = run inline, no
     /// threads.
     std::size_t jobs = 0;
+    /// Tasks per claim, executed lock-step in the batched SoA kernel
+    /// (core::run_experiment_batch). 0 = auto-tune from the sweep shape;
+    /// 1 = per-trial scalar execution (the pre-batching behavior). Since
+    /// every batch size produces bit-identical per-task results, this is
+    /// a pure performance knob — the determinism contract above holds
+    /// for every (jobs, batch) pair.
+    std::size_t batch = 0;
 };
 
 class SweepScheduler {
@@ -53,6 +60,10 @@ public:
 
     /// Effective worker count (never 0).
     [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+    /// Batch size a run of `count` tasks would use (resolves the auto
+    /// setting; never 0).
+    [[nodiscard]] std::size_t effective_batch(std::size_t count) const noexcept;
 
     /// Queues one task; returns its submission index. The config is
     /// materialized now (copied), so callers may reuse their local.
@@ -97,11 +108,16 @@ private:
     };
 
     [[nodiscard]] core::ExperimentConfig materialize(std::size_t index) const;
-    /// Claims the next task for `worker` (own range, then steal).
-    /// Returns false when the sweep is drained.
-    [[nodiscard]] bool claim(std::size_t worker, std::size_t& out);
+    /// Claims the next chunk of up to `max_len` contiguous tasks for
+    /// `worker` (own range front, then steal). Returns false when the
+    /// sweep is drained. Chunks feed run_experiment_batch; a chunk never
+    /// spans two workers' ranges, so stealing still rebalances at chunk
+    /// granularity.
+    [[nodiscard]] bool claim(std::size_t worker, std::size_t max_len,
+                             std::size_t& out_lo, std::size_t& out_len);
 
     std::size_t jobs_;
+    std::size_t batch_;
     std::size_t count_ = 0;
     std::vector<Batch> batches_;
     std::mutex mutex_; ///< guards ranges_ and steals_ during run()

@@ -113,4 +113,39 @@ TEST(CliFlags, JobsErrorMessageNamesTheFlag) {
     }
 }
 
+TEST(CliFlags, BatchDefaultsToFallbackWhenAbsent) {
+    EXPECT_EQ(flag_batch(parse({}), 0), 0U);
+    EXPECT_EQ(flag_batch(parse({}), 7), 7U);
+}
+
+TEST(CliFlags, BatchParsesPositiveIntegersAndEqualsForm) {
+    EXPECT_EQ(flag_batch(parse({"--batch", "4"}), 0), 4U);
+    EXPECT_EQ(flag_batch(parse({"--batch", "1"}), 8), 1U);
+    EXPECT_EQ(flag_batch(parse({"--batch=16"}), 0), 16U);
+}
+
+TEST(CliFlags, BatchZeroStaysZeroMeaningAuto) {
+    // Unlike --jobs (where 0 falls back to hardware concurrency), 0 is a
+    // meaningful value: the SweepScheduler auto-tunes the batch size.
+    EXPECT_EQ(flag_batch(parse({"--batch", "0"}), 6), 0U);
+    EXPECT_EQ(flag_batch(parse({"--batch=0"}), 6), 0U);
+}
+
+TEST(CliFlags, BatchRejectsNegativesAndJunk) {
+    EXPECT_THROW(flag_batch(parse({"--batch", "-2"}), 0), std::invalid_argument);
+    EXPECT_THROW(flag_batch(parse({"--batch", "four"}), 0), std::invalid_argument);
+    EXPECT_THROW(flag_batch(parse({"--batch", "4x"}), 0), std::invalid_argument);
+    EXPECT_THROW(flag_batch(parse({"--batch", ""}), 0), std::invalid_argument);
+}
+
+TEST(CliFlags, BatchErrorMessageNamesTheFlag) {
+    try {
+        flag_batch(parse({"--batch", "-1"}), 0);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string{e.what()}.find("--batch"), std::string::npos);
+        EXPECT_NE(std::string{e.what()}.find("auto"), std::string::npos);
+    }
+}
+
 } // namespace

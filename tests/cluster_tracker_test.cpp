@@ -211,4 +211,85 @@ TEST(ClusterTracker, FinishIsIdempotent) {
     EXPECT_EQ(t.rounds_closed(), rounds);
 }
 
+TEST(ClusterTracker, ResetReplaysIdenticalSeries) {
+    // reset() reuses the tracker's scratch buffers (the batched sweep
+    // path pools trackers across lanes); a reset tracker fed the same
+    // event stream must reproduce the exact ClusterEvent / RoundLargest
+    // series and every derived statistic of a fresh one.
+    auto feed = [](ClusterTracker& t) {
+        // Two rounds (n = 5): clusters of 3 + 2, then a straddling group
+        // and a breakup round — exercises groups, spill, and first-hit.
+        t.record_events(true);
+        t.on_timer_set(0, 10_sec);
+        t.on_timer_set(1, 10_sec);
+        t.on_timer_set(2, 10_sec);
+        t.on_timer_set(3, 40_sec);
+        t.on_timer_set(4, 40_sec);
+        t.on_timer_set(0, SimTime::seconds(kRound + 10));
+        t.on_timer_set(1, SimTime::seconds(kRound + 30));
+        t.on_timer_set(2, SimTime::seconds(kRound + 50));
+        t.on_timer_set(3, SimTime::seconds(kRound + 70));
+        t.on_timer_set(4, SimTime::seconds(kRound + 90));
+        t.finish();
+    };
+
+    auto t = make_tracker();
+    feed(t);
+    const std::vector<routesync::core::ClusterEvent> events = t.events();
+    const std::vector<routesync::core::RoundLargest> rounds = t.rounds();
+    const auto rounds_closed = t.rounds_closed();
+
+    int size_callbacks = 0;
+    t.reset(5, SimTime::seconds(kRound));
+    t.on_size_first_reached = [&size_callbacks](int, SimTime) {
+        ++size_callbacks;
+    };
+    feed(t);
+
+    ASSERT_EQ(t.events().size(), events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(t.events()[i].time.sec(), events[i].time.sec()) << i;
+        EXPECT_EQ(t.events()[i].size, events[i].size) << i;
+    }
+    ASSERT_EQ(t.rounds().size(), rounds.size());
+    for (std::size_t i = 0; i < rounds.size(); ++i) {
+        EXPECT_EQ(t.rounds()[i].round, rounds[i].round) << i;
+        EXPECT_EQ(t.rounds()[i].largest, rounds[i].largest) << i;
+        EXPECT_EQ(t.rounds()[i].end_time.sec(), rounds[i].end_time.sec()) << i;
+    }
+    EXPECT_EQ(t.rounds_closed(), rounds_closed);
+    EXPECT_GT(size_callbacks, 0) << "reset must leave callbacks settable";
+    for (int s = 1; s <= 5; ++s) {
+        // Derived queries agree with the first pass too.
+        auto fresh = make_tracker();
+        feed(fresh);
+        EXPECT_EQ(t.first_time_size_at_least(s).has_value(),
+                  fresh.first_time_size_at_least(s).has_value());
+        if (t.first_time_size_at_least(s)) {
+            EXPECT_EQ(t.first_time_size_at_least(s)->sec(),
+                      fresh.first_time_size_at_least(s)->sec());
+        }
+        EXPECT_EQ(t.rounds_with_largest_at_most(s),
+                  fresh.rounds_with_largest_at_most(s));
+    }
+}
+
+TEST(ClusterTracker, ResetRevalidatesAndResizes) {
+    auto t = make_tracker(5);
+    t.on_timer_set(0, 1_sec);
+    t.finish();
+    EXPECT_THROW(t.reset(0, 1_sec), std::invalid_argument);
+    EXPECT_THROW(t.reset(3, SimTime::zero()), std::invalid_argument);
+    EXPECT_THROW(t.reset(3, 1_sec, SimTime::seconds(-1)), std::invalid_argument);
+
+    // Reset to a different n: the per-size tables follow the new bound.
+    t.reset(2, 1_sec);
+    t.on_timer_set(0, 1_sec);
+    t.on_timer_set(1, 1_sec);
+    t.finish();
+    EXPECT_EQ(t.n(), 2);
+    EXPECT_TRUE(t.full_sync_time().has_value());
+    EXPECT_THROW((void)t.first_time_size_at_least(3), std::out_of_range);
+}
+
 } // namespace

@@ -1,0 +1,426 @@
+// Differential tests for the batched PM kernel (core/pm_kernel_batch.hpp).
+//
+// The batch kernel's contract is *bit-identity per lane* with the scalar
+// PmKernel: same RNG draw order, same (time, FIFO) event execution
+// order, same events_processed count, same callback AND trace streams,
+// and the same final node state — for every lane of every batch size.
+// The tests enforce that over a randomized sample of the parameter space
+// (N, Tp, Tr, Tc, start condition, notification mode, reset-at-expiry,
+// per-node periods and costs, explicit phases, timer policies, triggered
+// updates), batched {1, 3, 8, non-divisible tail} lanes at a time, and
+// then again at the run_experiment_batch level where the ClusterTracker
+// series and metrics snapshots must agree field for field.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+#include "core/pm_kernel_batch.hpp"
+#include "obs/trace_sink.hpp"
+#include "obs/tracer.hpp"
+#include "sim/sim.hpp"
+
+namespace {
+
+using namespace routesync;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffU;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t hash_bits(std::uint64_t h, double d) {
+    return fnv1a(h, std::bit_cast<std::uint64_t>(d));
+}
+
+/// Callback stream digest (same scheme as pm_kernel_test): every
+/// on_transmit / on_timer_set event, in order, folded into one hash.
+struct StreamHash {
+    std::uint64_t h = 1469598103934665603ULL;
+    void transmit(int node, sim::SimTime t) {
+        h = fnv1a(h, 0x11);
+        h = fnv1a(h, static_cast<std::uint64_t>(node));
+        h = hash_bits(h, t.sec());
+    }
+    void timer_set(int node, sim::SimTime t) {
+        h = fnv1a(h, 0x22);
+        h = fnv1a(h, static_cast<std::uint64_t>(node));
+        h = hash_bits(h, t.sec());
+    }
+};
+
+/// Trace sink that digests every event field — any dropped, reordered,
+/// or re-payloaded trace event diverges the hash.
+struct HashSink final : obs::TraceSink {
+    std::uint64_t h = 1469598103934665603ULL;
+    void on_event(const obs::TraceEvent& e) override {
+        h = fnv1a(h, e.seq);
+        h = hash_bits(h, e.time.sec());
+        h = fnv1a(h, static_cast<std::uint64_t>(e.type));
+        h = fnv1a(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.node)));
+        h = fnv1a(h, static_cast<std::uint64_t>(e.a));
+        h = hash_bits(h, e.b);
+        h = hash_bits(h, e.x);
+    }
+};
+
+std::uint64_t node_state_hash(std::uint64_t h, const core::NodeView& v) {
+    h = hash_bits(h, v.next_expiry.sec());
+    h = hash_bits(h, v.busy_until.sec());
+    h = fnv1a(h, v.busy ? 1 : 0);
+    h = fnv1a(h, v.transmissions);
+    return h;
+}
+
+core::ModelParams sample_params(std::mt19937_64& rng) {
+    std::uniform_real_distribution<double> u{0.0, 1.0};
+    core::ModelParams p;
+    p.n = 1 + static_cast<int>(rng() % 24);
+    p.tp = sim::SimTime::seconds(5.0 + 145.0 * u(rng));
+    p.tr = sim::SimTime::seconds(u(rng) < 0.1 ? 0.0 : p.tp.sec() * 0.05 * u(rng));
+    p.tc = sim::SimTime::seconds(u(rng) < 0.1 ? 0.0 : 0.01 + 0.5 * u(rng));
+    p.start = u(rng) < 0.5 ? core::StartCondition::Unsynchronized
+                           : core::StartCondition::Synchronized;
+    p.seed = rng();
+    p.reset_at_expiry = u(rng) < 0.25;
+    p.notification = u(rng) < 0.8 ? core::Notification::Immediate
+                                  : core::Notification::AfterPreparation;
+    if (u(rng) < 0.2) {
+        p.initial_phases.resize(static_cast<std::size_t>(p.n));
+        for (double& ph : p.initial_phases) {
+            ph = u(rng) * p.tp.sec();
+        }
+    }
+    if (u(rng) < 0.15) {
+        p.per_node_tp.resize(static_cast<std::size_t>(p.n));
+        for (double& tp : p.per_node_tp) {
+            tp = p.tp.sec() * (0.8 + 0.4 * u(rng));
+        }
+    }
+    if (u(rng) < 0.15) {
+        p.per_node_tc.resize(static_cast<std::size_t>(p.n));
+        for (double& tc : p.per_node_tc) {
+            tc = p.tc.sec() * (0.5 + u(rng));
+        }
+    }
+    return p;
+}
+
+/// One randomized trial spec: params plus an explicit timer policy
+/// (0 = default UniformJitter, 1 = HalfPeriodJitter, 2 = FixedInterval),
+/// a run horizon, and an optional trigger-all wave.
+struct TrialSpec {
+    core::ModelParams params;
+    int policy_kind = 0;
+    sim::SimTime horizon = sim::SimTime::zero();
+    bool trigger = false;
+    sim::SimTime trig_at = sim::SimTime::zero();
+    bool trace = false;
+};
+
+std::unique_ptr<core::TimerPolicy> make_policy(const TrialSpec& spec) {
+    switch (spec.policy_kind) {
+    case 1:
+        return std::make_unique<core::HalfPeriodJitter>(spec.params.tp);
+    case 2:
+        return std::make_unique<core::FixedInterval>(spec.params.tp);
+    default:
+        return nullptr; // kernel default: UniformJitter(tp, tr)
+    }
+}
+
+TrialSpec sample_trial(std::mt19937_64& rng) {
+    std::uniform_real_distribution<double> u{0.0, 1.0};
+    TrialSpec spec;
+    spec.params = sample_params(rng);
+    const double pk = u(rng);
+    spec.policy_kind = pk < 0.7 ? 0 : (pk < 0.85 ? 1 : 2);
+    spec.horizon =
+        sim::SimTime::seconds(spec.params.tp.sec() * (3.0 + 7.0 * u(rng)));
+    spec.trigger = u(rng) < 0.2;
+    spec.trig_at = sim::SimTime::seconds(spec.horizon.sec() * 0.45);
+    spec.trace = u(rng) < 0.35;
+    return spec;
+}
+
+/// Scalar reference digest of one trial.
+struct TrialDigest {
+    std::uint64_t stream = 0;
+    std::uint64_t trace = 0;
+    std::uint64_t events = 0;
+    std::uint64_t transmissions = 0;
+    double now_sec = 0.0;
+    std::uint64_t state = 0;
+};
+
+TrialDigest run_scalar(const TrialSpec& spec) {
+    StreamHash stream;
+    HashSink sink;
+    obs::Tracer tracer{sink};
+    core::PmKernel kernel{spec.params, make_policy(spec),
+                          spec.trace ? &tracer : nullptr};
+    kernel.on_transmit = [&](int node, sim::SimTime t) {
+        stream.transmit(node, t);
+    };
+    kernel.on_timer_set = [&](int node, sim::SimTime t) {
+        stream.timer_set(node, t);
+    };
+    if (spec.trigger) {
+        kernel.schedule_trigger_all(spec.trig_at);
+    }
+    kernel.run_until(spec.horizon);
+
+    TrialDigest d;
+    d.stream = stream.h;
+    d.trace = sink.h;
+    d.events = kernel.events_processed();
+    d.transmissions = kernel.total_transmissions();
+    d.now_sec = kernel.now().sec();
+    d.state = 1469598103934665603ULL;
+    for (int i = 0; i < spec.params.n; ++i) {
+        d.state = node_state_hash(d.state, kernel.node(i));
+    }
+    return d;
+}
+
+TEST(PmKernelBatchDifferential, MatchesScalarKernelAcrossBatchSizes) {
+    std::mt19937_64 rng{0xba7c4ULL};
+    constexpr int kTrials = 212; // lands mid-batch: forces a truncated tail
+    std::vector<TrialSpec> specs;
+    specs.reserve(kTrials);
+    for (int i = 0; i < kTrials; ++i) {
+        specs.push_back(sample_trial(rng));
+    }
+
+    // Batch sizes cycle {1, 3, 8} with every fifth batch widened by 2;
+    // 212 falls strictly inside the final requested batch, so the tail
+    // truncates (verified below) — the non-divisible-remainder case.
+    const std::size_t sizes[] = {1, 3, 8};
+    std::size_t next = 0;
+    std::size_t size_i = 0;
+    int batches = 0;
+    bool saw_truncated_tail = false;
+    while (next < specs.size()) {
+        const std::size_t want = sizes[size_i % 3] + (size_i % 5 == 4 ? 2 : 0);
+        ++size_i;
+        const std::size_t lanes = std::min(want, specs.size() - next);
+        saw_truncated_tail = saw_truncated_tail || lanes != want;
+        ++batches;
+
+        std::vector<core::PmLaneSpec> lane_specs;
+        lane_specs.reserve(lanes);
+        std::vector<HashSink> sinks(lanes);
+        std::vector<std::unique_ptr<obs::Tracer>> tracers(lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            const TrialSpec& spec = specs[next + l];
+            obs::Tracer* tracer = nullptr;
+            if (spec.trace) {
+                tracers[l] = std::make_unique<obs::Tracer>(sinks[l]);
+                tracer = tracers[l].get();
+            }
+            lane_specs.push_back(
+                core::PmLaneSpec{spec.params, make_policy(spec), tracer});
+        }
+        core::PmKernelBatch batch{std::move(lane_specs)};
+
+        std::vector<StreamHash> streams(lanes);
+        batch.on_transmit = [&](std::size_t l, int node, sim::SimTime t) {
+            streams[l].transmit(node, t);
+        };
+        batch.on_timer_set = [&](std::size_t l, int node, sim::SimTime t) {
+            streams[l].timer_set(node, t);
+        };
+        std::vector<sim::SimTime> targets;
+        targets.reserve(lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            const TrialSpec& spec = specs[next + l];
+            if (spec.trigger) {
+                batch.schedule_trigger_all(l, spec.trig_at);
+            }
+            targets.push_back(spec.horizon);
+        }
+        batch.run_all_until(targets);
+
+        for (std::size_t l = 0; l < lanes; ++l) {
+            const TrialSpec& spec = specs[next + l];
+            const TrialDigest want_digest = run_scalar(spec);
+            const std::string where = "trial " + std::to_string(next + l) +
+                                      " (lane " + std::to_string(l) + " of " +
+                                      std::to_string(lanes) +
+                                      ", n=" + std::to_string(spec.params.n) +
+                                      " seed=" + std::to_string(spec.params.seed) +
+                                      ")";
+            ASSERT_EQ(streams[l].h, want_digest.stream)
+                << "callback stream diverged at " << where;
+            ASSERT_EQ(sinks[l].h, want_digest.trace)
+                << "trace stream diverged at " << where;
+            ASSERT_EQ(batch.events_processed(l), want_digest.events) << where;
+            ASSERT_EQ(batch.total_transmissions(l), want_digest.transmissions)
+                << where;
+            ASSERT_EQ(batch.now(l).sec(), want_digest.now_sec) << where;
+            std::uint64_t state = 1469598103934665603ULL;
+            for (int i = 0; i < spec.params.n; ++i) {
+                state = node_state_hash(state, batch.node(l, i));
+            }
+            ASSERT_EQ(state, want_digest.state)
+                << "final node state diverged at " << where;
+        }
+        next += lanes;
+    }
+    EXPECT_GE(batches, 40);
+    EXPECT_TRUE(saw_truncated_tail)
+        << "size pattern never produced a truncated tail batch";
+}
+
+TEST(PmKernelBatchDifferential, RunExperimentBatchAgreesWithScalarDriver) {
+    // The same contract one level up: run_experiment_batch vs per-config
+    // run_experiment, comparing the full ClusterTracker-derived series,
+    // the stop conditions, and the metrics snapshot.
+    std::mt19937_64 rng{0xbead5ULL};
+    std::uniform_real_distribution<double> u{0.0, 1.0};
+    std::vector<core::ExperimentConfig> configs;
+    for (int point = 0; point < 36; ++point) {
+        core::ExperimentConfig cfg;
+        cfg.params = sample_params(rng);
+        cfg.params.reset_at_expiry = false; // clusters need the coupling on
+        cfg.max_time =
+            sim::SimTime::seconds(cfg.params.tp.sec() * (4.0 + 8.0 * u(rng)));
+        cfg.record_rounds = true;
+        cfg.record_cluster_events = true;
+        cfg.transmit_stride = 3;
+        if (u(rng) < 0.3) {
+            cfg.stop_on_full_sync = true;
+        }
+        if (u(rng) < 0.2) {
+            cfg.stop_on_breakup_threshold = 1;
+        }
+        if (u(rng) < 0.2) {
+            cfg.trigger_all_at = sim::SimTime::seconds(cfg.max_time.sec() * 0.5);
+        }
+        if (point % 9 == 4) {
+            // Ineligible lanes must fall back to the scalar path without
+            // disturbing their batched neighbours.
+            cfg.backend = core::ExperimentBackend::Engine;
+        }
+        configs.push_back(std::move(cfg));
+    }
+
+    const std::vector<core::ExperimentResult> batched =
+        core::run_experiment_batch(configs);
+    ASSERT_EQ(batched.size(), configs.size());
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const core::ExperimentResult want = core::run_experiment(configs[i]);
+        const core::ExperimentResult& got = batched[i];
+        ASSERT_EQ(got.rounds_closed, want.rounds_closed) << "config " << i;
+        ASSERT_EQ(got.rounds_unsynchronized, want.rounds_unsynchronized);
+        ASSERT_EQ(got.total_transmissions, want.total_transmissions);
+        ASSERT_EQ(got.events_processed, want.events_processed);
+        ASSERT_EQ(got.end_time_sec, want.end_time_sec);
+        ASSERT_EQ(got.round_length_sec, want.round_length_sec);
+        ASSERT_EQ(got.full_sync_time_sec, want.full_sync_time_sec);
+        ASSERT_EQ(got.breakup_time_sec, want.breakup_time_sec);
+
+        ASSERT_EQ(got.rounds.size(), want.rounds.size()) << "config " << i;
+        for (std::size_t r = 0; r < want.rounds.size(); ++r) {
+            ASSERT_EQ(got.rounds[r].round, want.rounds[r].round);
+            ASSERT_EQ(got.rounds[r].largest, want.rounds[r].largest);
+            ASSERT_EQ(got.rounds[r].end_time.sec(), want.rounds[r].end_time.sec());
+        }
+        ASSERT_EQ(got.cluster_events.size(), want.cluster_events.size());
+        for (std::size_t e = 0; e < want.cluster_events.size(); ++e) {
+            ASSERT_EQ(got.cluster_events[e].time.sec(),
+                      want.cluster_events[e].time.sec());
+            ASSERT_EQ(got.cluster_events[e].size, want.cluster_events[e].size);
+        }
+        ASSERT_EQ(got.first_hit_up.size(), want.first_hit_up.size());
+        for (std::size_t s = 0; s < want.first_hit_up.size(); ++s) {
+            ASSERT_EQ(got.first_hit_up[s], want.first_hit_up[s]);
+            ASSERT_EQ(got.first_hit_down[s], want.first_hit_down[s]);
+        }
+        ASSERT_EQ(got.transmits.size(), want.transmits.size());
+        for (std::size_t t = 0; t < want.transmits.size(); ++t) {
+            ASSERT_EQ(got.transmits[t].node, want.transmits[t].node);
+            ASSERT_EQ(got.transmits[t].time_sec, want.transmits[t].time_sec);
+            ASSERT_EQ(got.transmits[t].offset_sec, want.transmits[t].offset_sec);
+        }
+        ASSERT_EQ(got.metrics, want.metrics) << "config " << i;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted behaviour.
+
+TEST(PmKernelBatch, ValidationMatchesScalarKernel) {
+    auto message_of = [](auto&& make) -> std::string {
+        try {
+            make();
+        } catch (const std::invalid_argument& e) {
+            return e.what();
+        }
+        return {};
+    };
+    core::ModelParams bad_n;
+    bad_n.n = 0;
+    core::ModelParams bad_phases;
+    bad_phases.n = 3;
+    bad_phases.initial_phases = {0.0, 1.0};
+    core::ModelParams good;
+    good.n = 2;
+    for (const core::ModelParams& p : {bad_n, bad_phases}) {
+        const std::string scalar_msg =
+            message_of([&] { core::PmKernel kernel{p}; });
+        const std::string batch_msg = message_of([&] {
+            // The bad lane rides second — validation must cover every
+            // lane, not just the first.
+            std::vector<core::PmLaneSpec> specs;
+            specs.push_back(core::PmLaneSpec{good, nullptr, nullptr});
+            specs.push_back(core::PmLaneSpec{p, nullptr, nullptr});
+            core::PmKernelBatch batch{std::move(specs)};
+        });
+        EXPECT_FALSE(scalar_msg.empty());
+        EXPECT_EQ(batch_msg, scalar_msg);
+    }
+}
+
+TEST(PmKernelBatch, StopHaltsOneLaneOnly) {
+    core::ModelParams p;
+    p.n = 5;
+    p.seed = 9;
+    std::vector<core::PmLaneSpec> specs;
+    specs.push_back(core::PmLaneSpec{p, nullptr, nullptr});
+    p.seed = 10;
+    specs.push_back(core::PmLaneSpec{p, nullptr, nullptr});
+    core::PmKernelBatch batch{std::move(specs)};
+    int fires = 0;
+    batch.on_transmit = [&](std::size_t lane, int, sim::SimTime) {
+        if (lane == 0 && ++fires == 3) {
+            batch.stop(0);
+        }
+    };
+    const sim::SimTime horizon = sim::SimTime::seconds(1e5);
+    const std::vector<sim::SimTime> targets{horizon, horizon};
+    batch.run_all_until(targets);
+    EXPECT_EQ(fires, 3);
+    EXPECT_TRUE(batch.stop_requested(0));
+    EXPECT_FALSE(batch.stop_requested(1));
+    EXPECT_LT(batch.now(0).sec(), 1e5);
+    EXPECT_EQ(batch.now(1).sec(), 1e5);
+
+    // clear_stop + rerun finishes lane 0 — scalar clear_stop semantics.
+    batch.clear_stop(0);
+    batch.run_all_until(targets);
+    EXPECT_GT(fires, 3);
+    EXPECT_EQ(batch.now(0).sec(), 1e5);
+}
+
+} // namespace

@@ -51,6 +51,52 @@ TEST(SweepScheduler, ResultsIdenticalAcrossWorkerCounts) {
     expect_identical(r1, r8);
 }
 
+TEST(SweepScheduler, ResultsIdenticalAcrossJobsAndBatchSizes) {
+    // The batched kernel is a pure performance knob: every (jobs, batch)
+    // combination must reproduce the jobs=1 batch=1 scalar pass exactly,
+    // including per-trial metrics snapshots. 22 tasks with batch 3 and 16
+    // exercises truncated tails in both the chunk claim and the lanes.
+    std::vector<core::ExperimentConfig> configs;
+    for (std::uint64_t s = 1; s <= 22; ++s) {
+        auto cfg = small_config(s, 4 + static_cast<int>(s % 5));
+        if (s % 4 == 0) {
+            cfg.stop_on_full_sync = true; // per-lane stop in a shared batch
+        }
+        configs.push_back(cfg);
+    }
+    const auto scalar =
+        parallel::SweepScheduler{{.jobs = 1, .batch = 1}}.run_all(configs);
+    const std::size_t jobs_grid[] = {1, 4, 8};
+    const std::size_t batch_grid[] = {0, 1, 3, 16};
+    for (const std::size_t jobs : jobs_grid) {
+        for (const std::size_t batch : batch_grid) {
+            const auto got =
+                parallel::SweepScheduler{{.jobs = jobs, .batch = batch}}
+                    .run_all(configs);
+            expect_identical(scalar, got);
+            for (std::size_t i = 0; i < scalar.size(); ++i) {
+                EXPECT_EQ(scalar[i].metrics, got[i].metrics)
+                    << "jobs=" << jobs << " batch=" << batch << " task=" << i;
+            }
+        }
+    }
+}
+
+TEST(SweepScheduler, EffectiveBatchAutoTunes) {
+    // Explicit batch always wins; auto picks 16 single-threaded and
+    // throttles down so each worker sees at least two chunks.
+    EXPECT_EQ((parallel::SweepScheduler{{.jobs = 4, .batch = 5}})
+                  .effective_batch(100),
+              5U);
+    EXPECT_EQ((parallel::SweepScheduler{{.jobs = 1}}).effective_batch(100),
+              16U);
+    EXPECT_EQ((parallel::SweepScheduler{{.jobs = 4}}).effective_batch(400),
+              16U);
+    EXPECT_EQ((parallel::SweepScheduler{{.jobs = 4}}).effective_batch(40),
+              5U);
+    EXPECT_EQ((parallel::SweepScheduler{{.jobs = 8}}).effective_batch(8), 1U);
+}
+
 TEST(SweepScheduler, JobsZeroAutoDetects) {
     parallel::SweepScheduler scheduler{{.jobs = 0}};
     EXPECT_EQ(scheduler.jobs(), parallel::hardware_jobs());

@@ -81,4 +81,24 @@ inline std::size_t flag_jobs(const Flags& flags, std::size_t fallback) {
     return n == 0 ? fallback : static_cast<std::size_t>(n);
 }
 
+/// Parses `--batch`: trials per batched-kernel claim in parallel sweeps.
+/// Absent -> `fallback`; `--batch 0` stays 0 ("auto-tune from the sweep
+/// shape" — unlike --jobs, 0 is a meaningful value the scheduler
+/// resolves itself). Negatives and non-numeric junk throw.
+inline std::size_t flag_batch(const Flags& flags, std::size_t fallback) {
+    const auto it = flags.find("batch");
+    if (it == flags.end()) {
+        return fallback;
+    }
+    const std::string& value = it->second;
+    char* end = nullptr;
+    const long n = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || n < 0) {
+        throw std::invalid_argument{
+            "--batch must be a non-negative integer (0 = auto), got '" +
+            value + "'"};
+    }
+    return static_cast<std::size_t>(n);
+}
+
 } // namespace routesync::cli
