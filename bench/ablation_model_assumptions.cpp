@@ -13,6 +13,7 @@
 //     grouping timer-set events within a tolerance; the results must not
 //     depend on its exact value across many orders of magnitude.
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -65,8 +66,18 @@ double run_tolerance(double tol) {
     sim::Engine engine;
     auto cfg = canonical();
     core::PeriodicMessagesModel model{engine, cfg.params};
-    core::ClusterTracker tracker{cfg.params.n, model.round_length(),
-                                 sim::SimTime::seconds(tol)};
+    // Pooled per worker thread, like the experiment driver's tracker:
+    // reset() reuses the per-size tables across the tolerance sweep
+    // instead of reallocating them for every point.
+    thread_local std::unique_ptr<core::ClusterTracker> tracker_pool;
+    if (tracker_pool == nullptr) {
+        tracker_pool = std::make_unique<core::ClusterTracker>(
+            cfg.params.n, model.round_length(), sim::SimTime::seconds(tol));
+    } else {
+        tracker_pool->reset(cfg.params.n, model.round_length(),
+                            sim::SimTime::seconds(tol));
+    }
+    core::ClusterTracker& tracker = *tracker_pool;
     model.on_timer_set = [&](int node, sim::SimTime t) {
         tracker.on_timer_set(node, t);
     };

@@ -30,11 +30,15 @@
 // pre-options benches (figures are diffed across runs and --jobs values).
 #pragma once
 
+#include <cctype>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/run_context.hpp"
@@ -308,6 +312,153 @@ inline std::string fmt_time(double seconds) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6g", seconds);
     return buf;
+}
+
+namespace detail {
+
+/// Scans `text` from `pos` (which must point at the opening quote of a
+/// JSON string) past the closing quote, honouring backslash escapes.
+/// Returns npos on malformed input.
+inline std::size_t skip_json_string(const std::string& text, std::size_t pos) {
+    for (++pos; pos < text.size(); ++pos) {
+        if (text[pos] == '\\') {
+            ++pos;
+        } else if (text[pos] == '"') {
+            return pos + 1;
+        }
+    }
+    return std::string::npos;
+}
+
+/// Scans one JSON value starting at `pos` (object, array, string, number,
+/// or literal) and returns the index one past its end. Returns npos on
+/// malformed input. Good enough for files this repo writes itself.
+inline std::size_t skip_json_value(const std::string& text, std::size_t pos) {
+    if (pos >= text.size()) {
+        return std::string::npos;
+    }
+    if (text[pos] == '"') {
+        return skip_json_string(text, pos);
+    }
+    if (text[pos] == '{' || text[pos] == '[') {
+        int depth = 0;
+        for (; pos < text.size(); ++pos) {
+            const char c = text[pos];
+            if (c == '"') {
+                pos = skip_json_string(text, pos);
+                if (pos == std::string::npos) {
+                    return std::string::npos;
+                }
+                --pos; // loop increment lands on the next char
+            } else if (c == '{' || c == '[') {
+                ++depth;
+            } else if (c == '}' || c == ']') {
+                if (--depth == 0) {
+                    return pos + 1;
+                }
+            }
+        }
+        return std::string::npos;
+    }
+    // Number / true / false / null: runs until a delimiter.
+    while (pos < text.size() && text[pos] != ',' && text[pos] != '}' &&
+           text[pos] != ']' && !std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+    }
+    return pos;
+}
+
+/// Parses the top-level `"key": value` pairs of a JSON object into raw
+/// (key, value-text) pairs, preserving order. Returns false on anything
+/// that does not parse as a flat object of sections.
+inline bool read_json_sections(
+    const std::string& text,
+    std::vector<std::pair<std::string, std::string>>& sections) {
+    const auto ws = [&text](std::size_t p) {
+        while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p]))) {
+            ++p;
+        }
+        return p;
+    };
+    std::size_t pos = ws(0);
+    if (pos >= text.size() || text[pos] != '{') {
+        return false;
+    }
+    pos = ws(pos + 1);
+    if (pos < text.size() && text[pos] == '}') {
+        return true; // empty object
+    }
+    while (pos < text.size()) {
+        if (text[pos] != '"') {
+            return false;
+        }
+        const std::size_t key_end = skip_json_string(text, pos);
+        if (key_end == std::string::npos) {
+            return false;
+        }
+        std::string key = text.substr(pos + 1, key_end - pos - 2);
+        pos = ws(key_end);
+        if (pos >= text.size() || text[pos] != ':') {
+            return false;
+        }
+        pos = ws(pos + 1);
+        const std::size_t value_end = skip_json_value(text, pos);
+        if (value_end == std::string::npos) {
+            return false;
+        }
+        sections.emplace_back(std::move(key), text.substr(pos, value_end - pos));
+        pos = ws(value_end);
+        if (pos < text.size() && text[pos] == ',') {
+            pos = ws(pos + 1);
+            continue;
+        }
+        if (pos < text.size() && text[pos] == '}') {
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+} // namespace detail
+
+/// Read-modify-write one top-level section of a shared JSON report file
+/// (BENCH_sweep.json): the file is `{ "section": {...}, ... }`, each
+/// bench owns one key, and writing a section preserves every other
+/// bench's data. `object_text` must be a complete JSON value (normally
+/// an object). Unparseable files — including the pre-section flat format
+/// whose first key was "bench" — are discarded and rebuilt with just the
+/// new section.
+inline void write_json_section(const std::string& path, const std::string& key,
+                               const std::string& object_text) {
+    std::vector<std::pair<std::string, std::string>> sections;
+    if (std::ifstream in{path}; in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string text = buf.str();
+        if (!detail::read_json_sections(text, sections) ||
+            (!sections.empty() && sections.front().first == "bench")) {
+            sections.clear(); // malformed or legacy flat layout: start over
+        }
+    }
+    bool replaced = false;
+    for (auto& [name, value] : sections) {
+        if (name == key) {
+            value = object_text;
+            replaced = true;
+            break;
+        }
+    }
+    if (!replaced) {
+        sections.emplace_back(key, object_text);
+    }
+    std::ofstream out{path};
+    out << "{\n";
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        out << "  \"" << sections[i].first << "\": " << sections[i].second
+            << (i + 1 < sections.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
 }
 
 /// footer() without the shape-check summary line — for the examples,

@@ -18,19 +18,24 @@
 // arguments, output discarded, total wall time recorded — the number a
 // user actually waits for when regenerating the paper's figures.
 //
-// Writes BENCH_sweep.json (or --out PATH): per-pass wall milliseconds,
-// kernel-vs-engine and batched-vs-scalar speedups at one thread,
-// 1->4 / 1->8 scaling, per-figure suite times, and the
-// hardware_concurrency of the machine that produced the numbers — thread
-// scaling is only meaningful with that context (a 1-core container shows
-// ~1.0x regardless of the scheduler).
+// Writes the "sweep_wallclock" section of BENCH_sweep.json (or
+// --bench-out PATH; bench/metroscale_sweep owns the "metroscale" section
+// of the same file): per-pass wall milliseconds, kernel-vs-engine and
+// batched-vs-scalar speedups at one thread, 1->4 / 1->8 scaling,
+// per-figure suite times, peak RSS, a representative N = 30 kernel
+// state footprint in bytes/router, and the hardware_concurrency of the
+// machine that produced the numbers — thread scaling is only meaningful
+// with that context (a 1-core container shows ~1.0x regardless of the
+// scheduler).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/manifest.hpp"
 
 #include "bench/common.hpp"
 #include "core/core.hpp"
@@ -125,6 +130,7 @@ FigureRun time_figure(const std::string& bin_dir, const std::string& name) {
 
 int main(int argc, char** argv) {
     OptionsSpec spec;
+    spec.extra = {"bench-out"};
     spec.tool = "sweep_wallclock";
     spec.description = "fig13 N x Tc simulation grid wall clock: engine vs "
                        "scalar vs batched PM kernel, SweepScheduler at "
@@ -219,41 +225,67 @@ int main(int argc, char** argv) {
     std::printf("%26s %12.1f ms\n", "total", suite_ms);
     check(suite_ok, "every figure binary in the suite exits 0");
 
-    const std::string path = options.out.empty() ? "BENCH_sweep.json" : options.out;
-    std::ofstream out{path};
+    // Representative per-router state footprint: one N = 30 grid point on
+    // the scalar kernel (the largest N the fig13 grid reaches). The
+    // metroscale section carries the same number up to N = 1e5.
+    std::uint64_t n30_state_bytes = 0;
+    {
+        auto cfgs = make_grid(core::ExperimentBackend::FastKernel);
+        for (auto& cfg : cfgs) {
+            if (cfg.params.n == 30) {
+                n30_state_bytes = core::run_experiment(cfg).kernel_state_bytes;
+                break;
+            }
+        }
+    }
+    const std::uint64_t rss = obs::peak_rss_bytes();
+    section("memory");
+    std::printf("kernel state, N = 30       : %llu B (%.1f B/router)\n",
+                static_cast<unsigned long long>(n30_state_bytes),
+                static_cast<double>(n30_state_bytes) / 30.0);
+    std::printf("peak RSS                   : %.1f MiB\n",
+                static_cast<double>(rss) / (1024.0 * 1024.0));
+
+    const std::string path =
+        cli::flag_s(options.extra, "bench-out", "BENCH_sweep.json");
+    std::ostringstream out;
     out << "{\n";
-    out << "  \"bench\": \"sweep_wallclock\",\n";
-    out << "  \"grid\": {\"n\": [10, 20, 30], \"tc_sec\": [0.01, 0.11], "
+    out << "    \"grid\": {\"n\": [10, 20, 30], \"tc_sec\": [0.01, 0.11], "
            "\"tr_over_tc\": \"0.6..8.0 step 0.4\", \"sim_seconds\": 5000, "
            "\"tasks\": 114},\n";
-    out << "  \"hardware_concurrency\": " << hw << ",\n";
-    out << "  \"passes\": [\n";
+    out << "    \"hardware_concurrency\": " << hw << ",\n";
+    out << "    \"passes\": [\n";
     for (std::size_t i = 0; i < passes.size(); ++i) {
-        out << "    {\"name\": \"" << passes[i].name << "\", \"wall_ms\": "
+        out << "      {\"name\": \"" << passes[i].name << "\", \"wall_ms\": "
             << passes[i].wall_ms << ", \"transmissions\": "
             << passes[i].transmissions << (i + 1 < passes.size() ? "},\n" : "}\n");
     }
-    out << "  ],\n";
-    out << "  \"speedup_kernel_vs_engine_jobs1\": " << speedup_kernel << ",\n";
-    out << "  \"speedup_batched_vs_scalar_jobs1\": " << speedup_batched
+    out << "    ],\n";
+    out << "    \"speedup_kernel_vs_engine_jobs1\": " << speedup_kernel << ",\n";
+    out << "    \"speedup_batched_vs_scalar_jobs1\": " << speedup_batched
         << ",\n";
-    out << "  \"scaling_jobs_1_to_4\": " << scale_4 << ",\n";
-    out << "  \"scaling_jobs_1_to_8\": " << scale_8 << ",\n";
-    out << "  \"batched_scaling_jobs_1_to_4\": " << batched_scale_4 << ",\n";
-    out << "  \"batched_scaling_jobs_1_to_8\": " << batched_scale_8 << ",\n";
-    out << "  \"figure_suite\": {\n";
-    out << "    \"figures\": [\n";
+    out << "    \"scaling_jobs_1_to_4\": " << scale_4 << ",\n";
+    out << "    \"scaling_jobs_1_to_8\": " << scale_8 << ",\n";
+    out << "    \"batched_scaling_jobs_1_to_4\": " << batched_scale_4 << ",\n";
+    out << "    \"batched_scaling_jobs_1_to_8\": " << batched_scale_8 << ",\n";
+    out << "    \"kernel_state_bytes_n30\": " << n30_state_bytes << ",\n";
+    out << "    \"bytes_per_router_n30\": "
+        << static_cast<double>(n30_state_bytes) / 30.0 << ",\n";
+    out << "    \"peak_rss_bytes\": " << rss << ",\n";
+    out << "    \"figure_suite\": {\n";
+    out << "      \"figures\": [\n";
     for (std::size_t i = 0; i < figures.size(); ++i) {
-        out << "      {\"name\": \"" << figures[i].name << "\", \"wall_ms\": "
+        out << "        {\"name\": \"" << figures[i].name << "\", \"wall_ms\": "
             << figures[i].wall_ms << ", \"ok\": "
             << (figures[i].ok ? "true" : "false")
             << (i + 1 < figures.size() ? "},\n" : "}\n");
     }
-    out << "    ],\n";
-    out << "    \"total_wall_ms\": " << suite_ms << "\n";
-    out << "  }\n";
-    out << "}\n";
-    std::printf("wrote %s\n", path.c_str());
+    out << "      ],\n";
+    out << "      \"total_wall_ms\": " << suite_ms << "\n";
+    out << "    }\n";
+    out << "  }";
+    write_json_section(path, "sweep_wallclock", out.str());
+    std::printf("wrote section \"sweep_wallclock\" of %s\n", path.c_str());
 
     return footer();
 }

@@ -6,6 +6,12 @@
 
 namespace routesync::core {
 
+namespace {
+/// Sentinel for "this size was never reached": no real event time is
+/// infinite, so the flat 8-byte table encodes optional<SimTime> exactly.
+constexpr sim::SimTime kNever = sim::SimTime::infinity();
+} // namespace
+
 ClusterTracker::ClusterTracker(int n, sim::SimTime round_length, sim::SimTime tolerance)
     : n_{n}, round_length_{round_length}, tolerance_{tolerance} {
     if (n < 1) {
@@ -17,10 +23,11 @@ ClusterTracker::ClusterTracker(int n, sim::SimTime round_length, sim::SimTime to
     if (tolerance < sim::SimTime::zero()) {
         throw std::invalid_argument{"ClusterTracker: tolerance must be >= 0"};
     }
-    first_up_.resize(static_cast<std::size_t>(n) + 1);
-    first_down_.resize(static_cast<std::size_t>(n) + 1);
-    rounds_at_most_.assign(static_cast<std::size_t>(n) + 1, 0);
+    first_up_.assign(static_cast<std::size_t>(n) + 1, kNever);
+    first_down_.assign(static_cast<std::size_t>(n) + 1, kNever);
+    rounds_by_largest_.assign(static_cast<std::size_t>(n) + 1, 0);
     down_filled_from_ = n + 1;
+    record_rounds_ = n <= kAutoRecordRoundsMaxN;
 }
 
 void ClusterTracker::reset(int n, sim::SimTime round_length,
@@ -54,7 +61,7 @@ void ClusterTracker::reset(int n, sim::SimTime round_length,
     down_filled_from_ = n + 1;
     round_end_time_ = sim::SimTime::zero();
     record_events_ = false;
-    record_rounds_ = true;
+    record_rounds_ = n <= kAutoRecordRoundsMaxN;
     finished_ = false;
     rounds_closed_ = 0;
 
@@ -66,9 +73,9 @@ void ClusterTracker::reset(int n, sim::SimTime round_length,
     // existing storage instead of reallocating per run.
     events_.clear();
     rounds_.clear();
-    first_up_.assign(static_cast<std::size_t>(n) + 1, std::nullopt);
-    first_down_.assign(static_cast<std::size_t>(n) + 1, std::nullopt);
-    rounds_at_most_.assign(static_cast<std::size_t>(n) + 1, 0);
+    first_up_.assign(static_cast<std::size_t>(n) + 1, kNever);
+    first_down_.assign(static_cast<std::size_t>(n) + 1, kNever);
+    rounds_by_largest_.assign(static_cast<std::size_t>(n) + 1, 0);
 }
 
 void ClusterTracker::on_timer_set(int /*node*/, sim::SimTime t) {
@@ -143,9 +150,11 @@ void ClusterTracker::close_current_round() {
     }
     const RoundLargest rec{current_round_, current_round_largest_, round_end_time_};
     ++rounds_closed_;
-    for (int s = current_round_largest_; s <= n_; ++s) {
-        ++rounds_at_most_[static_cast<std::size_t>(s)];
-    }
+    // O(1) histogram bump; the cumulative "at most" form a caller wants is
+    // a single prefix sum deferred to finish(). The previous code walked
+    // [largest, n] every round — O(N) per round is 10^5 stores/round at
+    // metro scale.
+    ++rounds_by_largest_[static_cast<std::size_t>(current_round_largest_)];
     // first_down_ is filled for a suffix [down_filled_from_, n]; only a
     // new record-low largest extends it.
     if (current_round_largest_ < down_filled_from_) {
@@ -170,6 +179,11 @@ void ClusterTracker::finish() {
         finalize_group();
     }
     close_current_round();
+    // Materialize the cumulative form in place: after this,
+    // rounds_by_largest_[s] == closed rounds whose largest was <= s.
+    for (std::size_t s = 1; s < rounds_by_largest_.size(); ++s) {
+        rounds_by_largest_[s] += rounds_by_largest_[s - 1];
+    }
     finished_ = true;
 }
 
@@ -180,21 +194,45 @@ std::optional<sim::SimTime> ClusterTracker::first_time_size_at_least(int s) cons
     // first_up_[k] is the first time size exactly k was reached while a
     // group grew; a group of size m passes through every size <= m, so
     // first_up_[s] already covers "at least s".
-    return first_up_[static_cast<std::size_t>(s)];
+    const sim::SimTime t = first_up_[static_cast<std::size_t>(s)];
+    if (t == kNever) {
+        return std::nullopt;
+    }
+    return t;
 }
 
 std::optional<sim::SimTime> ClusterTracker::first_round_largest_at_most(int s) const {
     if (s < 1 || s > n_) {
         throw std::out_of_range{"first_round_largest_at_most: size outside [1, n]"};
     }
-    return first_down_[static_cast<std::size_t>(s)];
+    const sim::SimTime t = first_down_[static_cast<std::size_t>(s)];
+    if (t == kNever) {
+        return std::nullopt;
+    }
+    return t;
 }
 
 std::uint64_t ClusterTracker::rounds_with_largest_at_most(int s) const {
     if (s < 1 || s > n_) {
         throw std::out_of_range{"rounds_with_largest_at_most: size outside [1, n]"};
     }
-    return rounds_at_most_[static_cast<std::size_t>(s)];
+    if (finished_) {
+        return rounds_by_largest_[static_cast<std::size_t>(s)];
+    }
+    // Pre-finish query: the table still holds the raw histogram; sum it.
+    std::uint64_t total = 0;
+    for (int k = 1; k <= s; ++k) {
+        total += rounds_by_largest_[static_cast<std::size_t>(k)];
+    }
+    return total;
+}
+
+std::size_t ClusterTracker::state_bytes() const noexcept {
+    return first_up_.capacity() * sizeof(sim::SimTime) +
+           first_down_.capacity() * sizeof(sim::SimTime) +
+           rounds_by_largest_.capacity() * sizeof(std::uint64_t) +
+           events_.capacity() * sizeof(ClusterEvent) +
+           rounds_.capacity() * sizeof(RoundLargest);
 }
 
 } // namespace routesync::core

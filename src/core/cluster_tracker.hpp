@@ -12,6 +12,15 @@
 //   * the time of full synchronization (all N in one cluster),
 //   * the fraction of rounds spent (un)synchronized (Figures 14-15's
 //     simulated counterpart).
+//
+// Metro-scale layout: every per-size table is a flat 8-byte-per-entry
+// array — hitting times use an infinity sentinel instead of
+// std::optional<SimTime> (16 B/entry and a non-trivial assign loop), and
+// the "rounds with largest <= s" table is maintained as a histogram
+// increment per closed round (O(1)) with the cumulative form materialized
+// once in finish(), not as an O(N) per-round suffix update. At N = 10^6
+// the tracker's fixed state is 24 B/node and a closed round costs O(1)
+// amortized.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +51,12 @@ struct RoundLargest {
 
 class ClusterTracker {
 public:
+    /// Above this node count, per-round record storage defaults OFF: a
+    /// metro-scale run (N = 10^5..10^6) would otherwise grow an unbounded
+    /// RoundLargest vector nobody asked for. record_rounds(true) still
+    /// enables it explicitly at any N.
+    static constexpr int kAutoRecordRoundsMaxN = 4096;
+
     /// `n` — node count; `round_length` — Tp + Tc (phase-space modulus);
     /// `tolerance` — max spacing between timer-set events in one cluster.
     ClusterTracker(int n, sim::SimTime round_length,
@@ -75,7 +90,8 @@ public:
     /// Enables storage of every cluster event (off by default: a 10^7 s run
     /// produces millions of events).
     void record_events(bool on) noexcept { record_events_ = on; }
-    /// Enables storage of per-round largest-cluster records (on by default).
+    /// Enables storage of per-round largest-cluster records (default: on
+    /// for n <= kAutoRecordRoundsMaxN, off above — see the constant).
     void record_rounds(bool on) noexcept { record_rounds_ = on; }
 
     [[nodiscard]] const std::vector<ClusterEvent>& events() const noexcept {
@@ -100,6 +116,10 @@ public:
     [[nodiscard]] std::uint64_t rounds_closed() const noexcept { return rounds_closed_; }
 
     [[nodiscard]] int n() const noexcept { return n_; }
+
+    /// Bytes held by the per-size tables and record vectors (capacity, not
+    /// size) — the number a metro-scale memory budget needs.
+    [[nodiscard]] std::size_t state_bytes() const noexcept;
 
 private:
     void finalize_group();
@@ -138,9 +158,13 @@ private:
 
     std::vector<ClusterEvent> events_;
     std::vector<RoundLargest> rounds_;
-    std::vector<std::optional<sim::SimTime>> first_up_;   // [size] 1..n
-    std::vector<std::optional<sim::SimTime>> first_down_; // [size] 1..n
-    std::vector<std::uint64_t> rounds_at_most_;           // [size] cumulative counts
+    /// Sentinel-valued hitting-time tables, [size] 1..n: infinity = never.
+    std::vector<sim::SimTime> first_up_;
+    std::vector<sim::SimTime> first_down_;
+    /// Before finish(): rounds_by_largest_[s] counts closed rounds whose
+    /// largest cluster was exactly s (one increment per round). finish()
+    /// prefix-sums it in place into the cumulative "at most s" form.
+    std::vector<std::uint64_t> rounds_by_largest_;
     std::uint64_t rounds_closed_ = 0;
 };
 

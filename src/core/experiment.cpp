@@ -53,6 +53,14 @@ struct EngineSim {
     [[nodiscard]] std::uint64_t total_transmissions() const {
         return model.total_transmissions();
     }
+    [[nodiscard]] std::uint64_t state_bytes() const {
+        return 0; // the type-erased engine has no comparable accounting
+    }
+    void setup_sampler(std::optional<obs::ResourceSampler>& sampler,
+                       obs::RunContext& ctx, sim::SimTime cadence) {
+        sampler.emplace(engine, ctx, cadence);
+        sampler->watch_engine_queue();
+    }
 };
 
 struct KernelSim {
@@ -84,6 +92,29 @@ struct KernelSim {
     }
     [[nodiscard]] std::uint64_t total_transmissions() const {
         return kernel.total_transmissions();
+    }
+    [[nodiscard]] std::uint64_t state_bytes() const {
+        return kernel.state_bytes();
+    }
+    void setup_sampler(std::optional<obs::ResourceSampler>& sampler,
+                       obs::RunContext& ctx, sim::SimTime cadence) {
+        // Tick on the kernel's own event loop and probe its memory: the
+        // rs.pm_kernel.* gauges show node-state + queue bytes over
+        // virtual time (the metro-scale question --sample-every answers).
+        PmKernel* k = &kernel;
+        sampler.emplace(
+            [k](sim::SimTime delay, std::function<void()> fn) {
+                k->schedule_hook(k->now() + delay, std::move(fn));
+            },
+            [k] { return k->now(); }, ctx, cadence);
+        sampler->add_source("pm_kernel.state_bytes", -1, [k] {
+            return obs::ResourceSampler::Sample{
+                static_cast<double>(k->state_bytes()), 0.0};
+        });
+        sampler->add_source("pm_kernel.queue.live", -1, [k] {
+            return obs::ResourceSampler::Sample{
+                static_cast<double>(k->queue_size()), 0.0};
+        });
     }
 };
 
@@ -143,12 +174,23 @@ void finalize_metrics(const ExperimentConfig& config, ExperimentResult& result) 
 }
 
 /// The backend-independent experiment body. `tracer` is the run's tracer
-/// (null when not tracing); `sampler_engine` is non-null only on the
-/// engine path (the ResourceSampler probes an Engine's queue).
+/// (null when not tracing).
 template <typename Sim>
 ExperimentResult run_with(const ExperimentConfig& config, Sim& sim,
-                          obs::Tracer* tracer, sim::Engine* sampler_engine) {
-    ClusterTracker tracker{config.params.n, sim.round_length()};
+                          obs::Tracer* tracer) {
+    // Pooled per-thread tracker: reset() reuses its buffers, so figure
+    // benches running one trial per grid point stop paying the per-trial
+    // tracker allocations (the same pattern as run_experiment_batch's
+    // lane pool). Safe because a thread runs one trial at a time and the
+    // record flags/callbacks are re-set below after every reset.
+    thread_local std::unique_ptr<ClusterTracker> tracker_pool;
+    if (tracker_pool == nullptr) {
+        tracker_pool = std::make_unique<ClusterTracker>(config.params.n,
+                                                        sim.round_length());
+    } else {
+        tracker_pool->reset(config.params.n, sim.round_length());
+    }
+    ClusterTracker& tracker = *tracker_pool;
     tracker.record_events(config.record_cluster_events);
     tracker.record_rounds(config.record_rounds);
 
@@ -207,11 +249,9 @@ ExperimentResult run_with(const ExperimentConfig& config, Sim& sim,
     }
 
     std::optional<obs::ResourceSampler> sampler;
-    if (config.sample_every > 0.0 && config.obs != nullptr &&
-        sampler_engine != nullptr) {
-        sampler.emplace(*sampler_engine, *config.obs,
-                        sim::SimTime::seconds(config.sample_every));
-        sampler->watch_engine_queue();
+    if (config.sample_every > 0.0 && config.obs != nullptr) {
+        sim.setup_sampler(sampler, *config.obs,
+                          sim::SimTime::seconds(config.sample_every));
         sampler->start();
     }
 
@@ -225,6 +265,7 @@ ExperimentResult run_with(const ExperimentConfig& config, Sim& sim,
     result.total_transmissions = sim.total_transmissions();
     result.events_processed = sim.events_processed();
     result.end_time_sec = sim.now().sec();
+    result.kernel_state_bytes = sim.state_bytes();
     return result;
 }
 
@@ -259,14 +300,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         auto policy = config.make_policy ? config.make_policy() : nullptr;
         PeriodicMessagesModel model{engine, config.params, std::move(policy)};
         EngineSim sim{engine, model};
-        result = run_with(config, sim, engine.tracer(), &engine);
+        result = run_with(config, sim, engine.tracer());
     } else {
         obs::Tracer* tracer =
             config.obs != nullptr ? config.obs->tracer() : nullptr;
         auto policy = config.make_policy ? config.make_policy() : nullptr;
         PmKernel kernel{config.params, std::move(policy), tracer};
         KernelSim sim{kernel};
-        result = run_with(config, sim, tracer, nullptr);
+        result = run_with(config, sim, tracer);
     }
 
     finalize_metrics(config, result);
@@ -280,14 +321,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
 bool batch_eligible(const ExperimentConfig& config) {
     // Mirrors run_experiment's backend selection: whatever would pick
-    // the generic engine cannot batch. Per-trial profiling stays scalar
-    // too — lanes interleave, so one profiler could not keep the trials'
+    // the generic engine cannot batch, and a sampled run stays on its
+    // own scalar core regardless of backend (the sampler ticks one
+    // simulation loop — lanes interleave). Per-trial profiling stays
+    // scalar too — one profiler could not keep interleaved trials'
     // scope counts separable.
-    const bool use_engine =
-        config.backend == ExperimentBackend::Engine ||
-        (config.backend == ExperimentBackend::Auto &&
-         config.sample_every > 0.0 && config.obs != nullptr);
-    return !use_engine && !obs::Profiler::process_enabled() &&
+    const bool use_engine = config.backend == ExperimentBackend::Engine;
+    const bool sampled = config.sample_every > 0.0 && config.obs != nullptr;
+    return !use_engine && !sampled && !obs::Profiler::process_enabled() &&
            config.params.n < PmKernelBatch::kMaxNodes;
 }
 
@@ -433,6 +474,7 @@ run_experiment_batch(std::span<const ExperimentConfig> configs) {
         result.total_transmissions = batch.total_transmissions(l);
         result.events_processed = batch.events_processed(l);
         result.end_time_sec = batch.now(l).sec();
+        result.kernel_state_bytes = batch.lane_state_bytes(l);
         finalize_metrics(config, result);
     }
     return results;

@@ -41,7 +41,9 @@ enum class ExperimentBackend {
     /// The generic DES engine + PeriodicMessagesModel.
     Engine,
     /// The fused PM fast path (core/pm_kernel.hpp). If sampling is
-    /// requested it is silently skipped (the sampler probes an Engine).
+    /// requested, a ResourceSampler ticks on the kernel's own event loop
+    /// (PmKernel::schedule_hook) and reports rs.pm_kernel.* gauges —
+    /// kernel state bytes and live queue depth over virtual time.
     FastKernel,
 };
 
@@ -75,11 +77,13 @@ struct ExperimentConfig {
     /// Not owned; must outlive the run. One context per concurrent run —
     /// do not share across parallel trials.
     obs::RunContext* obs = nullptr;
-    /// If > 0 and `obs` is tracing: run a ResourceSampler at this cadence
+    /// If > 0 and `obs` is set: run a ResourceSampler at this cadence
     /// (seconds of sim time), emitting resource_sample events and rs.*
-    /// gauges for the engine's queue. 0 (default) = no sampler, no
-    /// overhead. Sampling adds engine events but never touches model
-    /// state, so simulation outcomes are unchanged.
+    /// gauges — the engine's queue depths on the engine path, kernel
+    /// state bytes + queue depth on the explicit-FastKernel path. 0
+    /// (default) = no sampler, no overhead. Sampling adds simulator
+    /// events but never touches model state, so simulation outcomes are
+    /// unchanged.
     double sample_every = 0.0;
 };
 
@@ -100,6 +104,13 @@ struct ExperimentResult {
     std::uint64_t events_processed = 0;
     double end_time_sec = 0.0;
     double round_length_sec = 0.0;
+    /// Bytes of simulation-core state the trial retained (SoA node lanes
+    /// + timer-queue storage); divide by params.n for bytes/router. Filled
+    /// by the kernel paths, 0 on the generic engine (whose type-erased
+    /// queue has no comparable accounting). Deliberately NOT a metric:
+    /// metrics blocks are bit-identical across backends by contract, and
+    /// this number is backend-specific by nature.
+    std::uint64_t kernel_state_bytes = 0;
     /// Per-trial metric snapshot (always populated; cheap). TrialRunner
     /// merges these deterministically across trials — see
     /// parallel::merge_trial_metrics.

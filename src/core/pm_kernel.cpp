@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 
 #include "core/cluster_tracker.hpp"
@@ -14,6 +15,10 @@ namespace routesync::core {
 namespace {
 
 constexpr std::size_t kBuckets = 1024; // power of two
+
+/// pending_state_ layout: bit 31 = a kPmBusyCheck event is queued for the
+/// node; bits 0..30 = own transmissions awaiting the busy-period re-arm.
+constexpr std::uint32_t kBusyCheckQueued = 0x80000000U;
 
 /// Sizing estimate for the calendar horizon: the farthest ahead of `now`
 /// the model ever schedules is one timer interval (plus jitter) or a
@@ -59,10 +64,15 @@ void PmCalendarQueue::flush_overflow() {
         const std::int64_t d = day_of(e.time);
         if (d < window_end) {
             const std::size_t b = static_cast<std::size_t>(d) & bucket_mask_;
-            buckets_[b].push_back(e);
-            occupied_[b >> 6] |= std::uint64_t{1} << (b & 63U);
-            if (b == cursor_b_) {
-                cursor_heaped_ = false; // re-heapify on the next peek
+            if (cursor_sorted_ && b == cursor_b_) {
+                // Folding into the already-sorted cursor day (only
+                // possible when the cursor jumped straight to the
+                // overflow's min day): spill, like any post-sort push.
+                spill_.push_back(e);
+                std::push_heap(spill_.begin(), spill_.end(), after);
+            } else {
+                buckets_[b].push_back(e);
+                occupied_[b >> 6] |= std::uint64_t{1} << (b & 63U);
             }
         } else {
             new_min = std::min(new_min, d);
@@ -74,6 +84,7 @@ void PmCalendarQueue::flush_overflow() {
 }
 
 void PmCalendarQueue::advance_to_next_bucket() {
+    assert(spill_.empty() && "spill events belong to the current day");
     // Circular bitmap scan for the next occupied bucket strictly after the
     // current day's. Within the window each bucket holds events of exactly
     // one day, and day -> bucket is an order-preserving circular map, so
@@ -91,7 +102,8 @@ void PmCalendarQueue::advance_to_next_bucket() {
                 const std::size_t hit = pos + tz; // within the word, no wrap
                 day_ += static_cast<std::int64_t>((hit - b) & bucket_mask_);
                 cursor_b_ = static_cast<std::size_t>(day_) & bucket_mask_;
-                cursor_heaped_ = false;
+                cursor_sorted_ = false;
+                cursor_pos_ = 0;
                 return;
             }
         }
@@ -104,8 +116,20 @@ void PmCalendarQueue::advance_to_next_bucket() {
     assert(!overflow_.empty());
     day_ = overflow_min_day_;
     cursor_b_ = static_cast<std::size_t>(day_) & bucket_mask_;
-    cursor_heaped_ = false;
+    cursor_sorted_ = false;
+    cursor_pos_ = 0;
     flush_overflow();
+}
+
+std::size_t PmCalendarQueue::memory_bytes() const noexcept {
+    std::size_t bytes = buckets_.capacity() * sizeof(std::vector<PmEvent>) +
+                        occupied_.capacity() * sizeof(std::uint64_t) +
+                        overflow_.capacity() * sizeof(PmEvent) +
+                        spill_.capacity() * sizeof(PmEvent);
+    for (const std::vector<PmEvent>& b : buckets_) {
+        bytes += b.capacity() * sizeof(PmEvent);
+    }
+    return bytes;
 }
 
 // ---------------------------------------------------------------------------
@@ -146,17 +170,19 @@ PmKernel::PmKernel(const ModelParams& params,
     }
     queue_ = PmCalendarQueue{horizon_hint(params_, *policy_)};
 
+    // One exact-size allocation per lane (assign sizes the vector in a
+    // single reserve-equivalent step — nothing grows later).
     const auto n = static_cast<std::size_t>(params_.n);
     next_expiry_.assign(n, sim::SimTime::infinity());
-    timer_seq_.assign(n, 0);
     transmissions_.assign(n, 0);
-    pending_own_.assign(n, 0);
-    timer_pending_.assign(n, 0);
-    busy_check_scheduled_.assign(n, 0);
+    timer_gen_.assign(n, 0);
     shared_busy_ = params_.notification == Notification::Immediate &&
                    params_.per_node_tc.empty();
     if (!shared_busy_) {
         busy_end_.assign(n, -sim::SimTime::seconds(1.0));
+    }
+    if (!params_.reset_at_expiry) {
+        pending_state_.assign(n, 0);
     }
 
     for (int i = 0; i < params_.n; ++i) {
@@ -189,12 +215,22 @@ NodeView PmKernel::node(int i) const {
     const auto idx = static_cast<std::size_t>(i);
     const sim::SimTime be = busy_end(i);
     return NodeView{
-        .next_expiry = timer_pending_[idx] != 0 ? next_expiry_[idx]
-                                                : sim::SimTime::infinity(),
+        .next_expiry = (timer_gen_[idx] & 1U) != 0 ? next_expiry_[idx]
+                                                   : sim::SimTime::infinity(),
         .busy_until = be,
         .busy = be > now_,
         .transmissions = transmissions_[idx],
     };
+}
+
+std::size_t PmKernel::state_bytes() const noexcept {
+    return next_expiry_.capacity() * sizeof(sim::SimTime) +
+           busy_end_.capacity() * sizeof(sim::SimTime) +
+           transmissions_.capacity() * sizeof(std::uint64_t) +
+           timer_gen_.capacity() * sizeof(std::uint32_t) +
+           pending_state_.capacity() * sizeof(std::uint32_t) +
+           trigger_scratch_.capacity() * sizeof(int) +
+           queue_.memory_bytes();
 }
 
 sim::SimTime PmKernel::draw_interval(int i) {
@@ -213,10 +249,10 @@ void PmKernel::push_event(sim::SimTime at, std::uint32_t kind,
 
 void PmKernel::schedule_timer(int i, sim::SimTime at) {
     const auto idx = static_cast<std::size_t>(i);
-    assert(timer_pending_[idx] == 0 && "node already has a pending timer");
-    timer_seq_[idx] = next_seq_;
-    push_event(at, kPmTimer, static_cast<std::uint32_t>(i));
-    timer_pending_[idx] = 1;
+    assert((timer_gen_[idx] & 1U) == 0 && "node already has a pending timer");
+    const std::uint32_t gen = ++timer_gen_[idx]; // odd = pending
+    push_event(at, ((gen & kPmGenMask) << kPmKindBits) | kPmTimer,
+               static_cast<std::uint32_t>(i));
     next_expiry_[idx] = at;
     if (tracer_ != nullptr) {
         tracer_->emit(obs::TraceEventType::TimerSet, now_, i, 0,
@@ -231,17 +267,34 @@ void PmKernel::schedule_trigger_all(sim::SimTime t) {
     push_event(t, kPmTrigger, 0);
 }
 
+void PmKernel::schedule_hook(sim::SimTime t, std::function<void()> fn) {
+    if (t < now_) {
+        throw std::logic_error{"Engine::schedule_at: time is in the past"};
+    }
+    std::uint32_t slot;
+    if (!free_hooks_.empty()) {
+        slot = free_hooks_.back();
+        free_hooks_.pop_back();
+        hooks_[slot] = std::move(fn);
+    } else {
+        slot = static_cast<std::uint32_t>(hooks_.size());
+        hooks_.push_back(std::move(fn));
+    }
+    push_event(t, kPmHook, slot);
+}
+
 void PmKernel::trigger_update(std::span<const int> to_fire) {
     for (const int i : to_fire) {
         if (i < 0 || i >= params_.n) {
             throw std::out_of_range{"PmKernel::trigger_update: node out of range"};
         }
         const auto idx = static_cast<std::size_t>(i);
-        if (!params_.reset_at_expiry && timer_pending_[idx] != 0) {
-            // Cancel: clearing the pending flag makes the queued event
-            // stale; the run loop discards it on surfacing, exactly like
-            // an EventQueue tombstone (never executed, never counted).
-            timer_pending_[idx] = 0;
+        if (!params_.reset_at_expiry && (timer_gen_[idx] & 1U) != 0) {
+            // Cancel: bumping the generation (odd -> even) makes the
+            // queued event stale; the run loop discards it on surfacing,
+            // exactly like an EventQueue tombstone (never executed, never
+            // counted).
+            ++timer_gen_[idx];
             if (tracer_ != nullptr) {
                 tracer_->emit(obs::TraceEventType::TimerReset, now_, i);
             }
@@ -251,11 +304,11 @@ void PmKernel::trigger_update(std::span<const int> to_fire) {
 }
 
 void PmKernel::trigger_update_all() {
-    std::vector<int> all(static_cast<std::size_t>(params_.n));
-    for (int i = 0; i < params_.n; ++i) {
-        all[static_cast<std::size_t>(i)] = i;
+    if (trigger_scratch_.size() != static_cast<std::size_t>(params_.n)) {
+        trigger_scratch_.resize(static_cast<std::size_t>(params_.n));
+        std::iota(trigger_scratch_.begin(), trigger_scratch_.end(), 0);
     }
-    trigger_update(all);
+    trigger_update(trigger_scratch_);
 }
 
 void PmKernel::extend_busy(int i, sim::SimTime t) {
@@ -281,7 +334,7 @@ void PmKernel::extend_busy(int i, sim::SimTime t) {
 
 void PmKernel::timer_expired(int i) {
     OBS_PROF_SCOPE("pm.timer_fire");
-    timer_pending_[static_cast<std::size_t>(i)] = 0;
+    ++timer_gen_[static_cast<std::size_t>(i)]; // odd -> even: no pending timer
     if (tracer_ != nullptr) {
         tracer_->emit(obs::TraceEventType::TimerFire, now_, i);
     }
@@ -312,11 +365,12 @@ void PmKernel::begin_transmission(int i) {
     }
 
     if (!params_.reset_at_expiry) {
-        ++pending_own_[idx];
+        ++pending_state_[idx]; // own-transmission count (low bits)
     }
     extend_busy(i, now);
-    if (!params_.reset_at_expiry && busy_check_scheduled_[idx] == 0) {
-        busy_check_scheduled_[idx] = 1;
+    if (!params_.reset_at_expiry &&
+        (pending_state_[idx] & kBusyCheckQueued) == 0) {
+        pending_state_[idx] |= kBusyCheckQueued;
         push_event(busy_end(i), kPmBusyCheck, static_cast<std::uint32_t>(i));
     }
 
@@ -355,13 +409,14 @@ void PmKernel::busy_check(int i) {
     const sim::SimTime be = busy_end(i);
     if (be > now) {
         // Extended after this check was scheduled; re-arm at the new end
-        // (lazy revalidation, flag stays set).
+        // (lazy revalidation, queued flag stays set).
         push_event(be, kPmBusyCheck, static_cast<std::uint32_t>(i));
         return;
     }
-    busy_check_scheduled_[idx] = 0;
-    if (pending_own_[idx] > 0) {
-        pending_own_[idx] = 0;
+    std::uint32_t& ps = pending_state_[idx];
+    ps &= ~kBusyCheckQueued;
+    if (ps != 0) { // own transmissions occurred: re-arm
+        ps = 0;
         schedule_timer(i, now + draw_interval(i));
         if (tracker_sink != nullptr) {
             tracker_sink->on_timer_set(i, now);
@@ -374,7 +429,7 @@ void PmKernel::busy_check(int i) {
 void PmKernel::fire_trigger_all() { trigger_update_all(); }
 
 void PmKernel::dispatch(const PmEvent& e) {
-    switch (e.kind) {
+    switch (e.kind & kPmKindMask) {
     case kPmTimer:
         timer_expired(static_cast<int>(e.node));
         break;
@@ -387,6 +442,12 @@ void PmKernel::dispatch(const PmEvent& e) {
     case kPmTrigger:
         fire_trigger_all();
         break;
+    case kPmHook: {
+        auto fn = std::move(hooks_[static_cast<std::size_t>(e.node)]);
+        free_hooks_.push_back(e.node);
+        fn();
+        break;
+    }
     default:
         assert(false && "unknown PmEvent kind");
     }

@@ -7,7 +7,10 @@
 //
 //   * Struct-of-arrays node state — next-expiry, busy-until, pending-own
 //     counts, transmission counters live in flat vectors, not per-node
-//     objects holding engine handles.
+//     objects holding engine handles. The metro-scale layout packs the
+//     flag/seq bookkeeping into two 4-byte lanes (see below): 24 B/router
+//     of fixed state in the default shared-busy model, reported exactly by
+//     state_bytes().
 //   * A dedicated two-level calendar queue (`PmCalendarQueue`) sized from
 //     Tp/Tc replaces the generic `EventQueue`: events are 24-byte PODs
 //     (time, FIFO seq, kind|node), pushes drop into a day bucket in O(1),
@@ -64,7 +67,7 @@ class ClusterTracker;
 struct PmEvent {
     double time = 0.0;
     std::uint64_t seq = 0;
-    std::uint32_t kind = 0; ///< PmEventKind
+    std::uint32_t kind = 0; ///< packed: see kPmKindBits
     std::uint32_t node = 0;
 };
 
@@ -73,7 +76,21 @@ enum PmEventKind : std::uint32_t {
     kPmBusyCheck = 1, ///< end-of-busy-period check (lazy revalidation)
     kPmDeliver = 2,   ///< AfterPreparation message delivery
     kPmTrigger = 3,   ///< triggered-update wave on every node
+    kPmHook = 4,      ///< scheduled std::function (resource sampling etc.)
 };
+
+/// PmEvent::kind packs the PmEventKind in the low 3 bits; for kPmTimer
+/// events the upper 29 bits carry the scheduling node's re-arm generation
+/// (timer_gen_, below) so a queued timer identifies itself as live or
+/// stale with one integer compare — no per-node 8-byte seq lane needed.
+inline constexpr std::uint32_t kPmKindBits = 3;
+inline constexpr std::uint32_t kPmKindMask = (1U << kPmKindBits) - 1;
+inline constexpr std::uint32_t kPmGenMask = 0xFFFFFFFFU >> kPmKindBits;
+
+/// Calendar buckets keep their storage across days (steady-state rounds
+/// reuse it allocation-free) up to this many events; a drained bucket
+/// above the threshold returns its storage — see pop_min.
+inline constexpr std::size_t kPmBucketRetainEvents = 256;
 
 /// Two-level calendar/bucket timer queue for PmEvents.
 ///
@@ -81,15 +98,24 @@ enum PmEventKind : std::uint32_t {
 /// `bucket_width` seconds; an event lands in bucket floor(t/w) mod B.
 /// Because the horizon B*w is sized beyond the maximum scheduling offset
 /// the model produces (one full timer interval plus the busy-period
-/// slack), a bucket holds events of a single "day" at a time; the bucket
-/// under the day cursor is heapified lazily, so extraction stays
-/// O(log k) even when a synchronized cluster drops k equal-time events
-/// into one bucket. A bitmap of non-empty
-/// buckets turns the ~Tp idle gap between rounds into a couple of
-/// count-trailing-zeros jumps. Level 2: events beyond the horizon wait in
-/// an unsorted overflow vector and are folded into the buckets when the
+/// slack), a bucket holds events of a single "day" at a time. A bitmap of
+/// non-empty buckets turns the ~Tp idle gap between rounds into a couple
+/// of count-trailing-zeros jumps. Level 2: events beyond the horizon wait
+/// in an unsorted overflow vector and are folded into the buckets when the
 /// current day reaches them (`min-day` cached so the common case tests one
 /// branch).
+///
+/// Batched expiry: when the day cursor reaches a bucket, the bucket is
+/// sorted ONCE into an ascending (time, seq) run and consumed by bumping a
+/// cursor — no per-event heap sift. At metro scale a synchronized cluster
+/// drops 10^5+ equal-time timers into one bucket; draining them costs one
+/// O(k log k) sort plus k pointer bumps instead of k * O(log k)
+/// sift-downs over a k-wide heap (and the sorted run is scanned
+/// sequentially, not hopped through heap levels). Events pushed into the
+/// *current* bucket after its sort (re-armed timers landing in the same
+/// day, busy-check re-arms) go to a small `spill` min-heap; peek serves
+/// whichever of run-head/spill-top is earlier, which preserves the exact
+/// global order because both sources are themselves (time, seq)-ordered.
 ///
 /// Ordering is strictly (time, seq) — identical to sim::EventQueue's
 /// FIFO-among-equal-times contract.
@@ -103,7 +129,7 @@ public:
 
     // The push/peek/pop trio runs once per simulated event; defined
     // inline so the kernel's run loop compiles down to direct bucket and
-    // heap operations with no cross-TU calls.
+    // cursor operations with no cross-TU calls.
 
     void push(double time, std::uint64_t seq, std::uint32_t kind,
               std::uint32_t node) {
@@ -116,13 +142,18 @@ public:
             overflow_.push_back(PmEvent{time, seq, kind, node});
         } else {
             const std::size_t b = static_cast<std::size_t>(d) & bucket_mask_;
-            buckets_[b].push_back(PmEvent{time, seq, kind, node});
-            occupied_[b >> 6] |= std::uint64_t{1} << (b & 63U);
-            if (cursor_heaped_ && b == cursor_b_) {
+            if (cursor_sorted_ && b == cursor_b_) {
                 // In-window pushes to the cursor index are always
                 // cursor-day events (an aliasing day would be >= day_ + B,
-                // i.e. overflow), so keep the heap property incrementally.
-                std::push_heap(buckets_[b].begin(), buckets_[b].end(), after);
+                // i.e. overflow). The sorted run must not be disturbed, so
+                // late arrivals heap into the spill lane. Re-armed timers
+                // carry fresh (monotone) seqs at now+Tp-ish times, so the
+                // typical sift terminates immediately.
+                spill_.push_back(PmEvent{time, seq, kind, node});
+                std::push_heap(spill_.begin(), spill_.end(), after);
+            } else {
+                buckets_[b].push_back(PmEvent{time, seq, kind, node});
+                occupied_[b >> 6] |= std::uint64_t{1} << (b & 63U);
             }
         }
         ++live_;
@@ -143,12 +174,23 @@ public:
                 flush_overflow();
             }
             std::vector<PmEvent>& bucket = buckets_[cursor_b_];
-            if (!bucket.empty()) {
-                if (!cursor_heaped_) {
-                    std::make_heap(bucket.begin(), bucket.end(), after);
-                    cursor_heaped_ = true;
+            if (!cursor_sorted_ && !bucket.empty()) {
+                std::sort(bucket.begin(), bucket.end(), before);
+                cursor_sorted_ = true;
+                cursor_pos_ = 0;
+            }
+            const bool have_run = cursor_sorted_ && cursor_pos_ < bucket.size();
+            if (have_run || !spill_.empty()) {
+                if (!have_run) {
+                    peek_from_spill_ = true;
+                    return spill_.front();
                 }
-                return bucket.front();
+                if (!spill_.empty() && before(spill_.front(), bucket[cursor_pos_])) {
+                    peek_from_spill_ = true;
+                    return spill_.front();
+                }
+                peek_from_spill_ = false;
+                return bucket[cursor_pos_];
             }
             advance_to_next_bucket();
         }
@@ -158,15 +200,41 @@ public:
     /// with no intervening push.
     void pop_min() {
         std::vector<PmEvent>& bucket = buckets_[cursor_b_];
-        assert(cursor_heaped_ && !bucket.empty());
-        std::pop_heap(bucket.begin(), bucket.end(), after);
-        bucket.pop_back();
-        if (bucket.empty()) {
-            occupied_[cursor_b_ >> 6] &=
-                ~(std::uint64_t{1} << (cursor_b_ & 63U));
+        assert(cursor_sorted_ && "pop_min without a preceding peek_min");
+        if (peek_from_spill_) {
+            assert(!spill_.empty());
+            std::pop_heap(spill_.begin(), spill_.end(), after);
+            spill_.pop_back();
+        } else {
+            assert(cursor_pos_ < bucket.size());
+            ++cursor_pos_;
         }
         --live_;
+        if (cursor_pos_ >= bucket.size() && spill_.empty()) {
+            // Day fully drained: release the run in one shot and return
+            // the bucket to append-only mode for its next day.
+            bucket.clear();
+            if (bucket.capacity() > kPmBucketRetainEvents) {
+                // A synchronized cluster drops its whole membership into
+                // one day — a different ring slot every round, since the
+                // cluster period is not a multiple of the horizon. Left
+                // alone, each visited slot would keep that high-water
+                // capacity forever and the queue's footprint would grow
+                // by ~24*N bytes per round. Oversized runs are rare (one
+                // per cluster round), so one free/realloc cycle per round
+                // is noise next to the O(N log N) sort that consumed it.
+                std::vector<PmEvent>{}.swap(bucket);
+            }
+            occupied_[cursor_b_ >> 6] &=
+                ~(std::uint64_t{1} << (cursor_b_ & 63U));
+            cursor_sorted_ = false;
+            cursor_pos_ = 0;
+        }
     }
+
+    /// Bytes retained by bucket/overflow/spill storage (capacity, not
+    /// size) — the queue's share of a kernel memory report.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
 private:
     void flush_overflow();
@@ -197,13 +265,13 @@ private:
     std::vector<std::uint64_t> occupied_; ///< bitmap over buckets
     std::vector<PmEvent> overflow_;       ///< events with day >= day_ + B
     std::int64_t overflow_min_day_ = 0;   ///< valid when !overflow_.empty()
-    /// True when the cursor-day bucket is organized as a binary min-heap.
-    /// Synchronized clusters drop many equal-time events into one bucket;
-    /// a heap makes each extraction O(log k) instead of a fresh O(k)
-    /// min-scan per peek (O(k^2) to drain — and the synchronized regime
-    /// is exactly where the model spends its time). Off-day buckets stay
-    /// unordered append-only; heapified lazily when the cursor arrives.
-    bool cursor_heaped_ = false;
+    /// True when the cursor-day bucket has been sorted into its
+    /// consumption run. Invariants: cursor_pos_ > 0 and spill_ non-empty
+    /// only while cursor_sorted_; spill_ holds only cursor-day events.
+    bool cursor_sorted_ = false;
+    bool peek_from_spill_ = false; ///< which source the last peek chose
+    std::size_t cursor_pos_ = 0;   ///< next unconsumed index in the run
+    std::vector<PmEvent> spill_;   ///< min-heap of post-sort same-day pushes
 };
 
 /// The fused engine+model fast path. Mirrors the externally observable
@@ -237,6 +305,12 @@ public:
     /// construction, before running.
     void schedule_trigger_all(sim::SimTime t);
 
+    /// Schedules `fn` to run once at absolute time `t` as a kernel event
+    /// (it advances now() and counts in events_processed(), matching an
+    /// Engine-scheduled callback). This is the hook the ResourceSampler
+    /// uses to tick over virtual time on the kernel path.
+    void schedule_hook(sim::SimTime t, std::function<void()> fn);
+
     /// Immediate triggered update (parity with the model's API).
     void trigger_update(std::span<const int> nodes);
     void trigger_update_all();
@@ -250,13 +324,16 @@ public:
         while (!stopped_) {
             // Discard stale (cancelled) timers before the boundary check —
             // EventQueue::next_time() does the same tombstone skip, so the
-            // engine's loop condition only ever sees live events.
+            // engine's loop condition only ever sees live events. A timer
+            // is live iff the generation packed into its kind field still
+            // matches the node's current (odd = pending) generation.
             const PmEvent* head = nullptr;
             while (!queue_.empty()) {
                 const PmEvent& e = queue_.peek_min();
-                if (e.kind == kPmTimer) {
+                if ((e.kind & kPmKindMask) == kPmTimer) {
                     const auto idx = static_cast<std::size_t>(e.node);
-                    if (timer_pending_[idx] == 0 || timer_seq_[idx] != e.seq) {
+                    if ((e.kind >> kPmKindBits) !=
+                        (timer_gen_[idx] & kPmGenMask)) {
                         queue_.pop_min();
                         continue;
                     }
@@ -302,6 +379,18 @@ public:
     /// notification, uniform Tc) — the O(1)-per-transmission fast variant.
     [[nodiscard]] bool shared_busy() const noexcept { return shared_busy_; }
 
+    /// Bytes of kernel state currently retained: the SoA node lanes plus
+    /// the calendar queue's bucket storage (capacities, not sizes). Divide
+    /// by n() for the bytes/router a metro-scale memory budget needs. In
+    /// the default shared-busy model the fixed lanes are 24 B/router:
+    /// next_expiry (8) + transmissions (8) + timer_gen (4) +
+    /// pending_state (4).
+    [[nodiscard]] std::size_t state_bytes() const noexcept;
+    /// Live events in the calendar queue (for rs.* gauges).
+    [[nodiscard]] std::size_t queue_size() const noexcept {
+        return queue_.size();
+    }
+
 private:
     [[nodiscard]] sim::SimTime draw_interval(int i);
     void schedule_timer(int i, sim::SimTime at);
@@ -326,14 +415,21 @@ private:
     bool shared_busy_ = true;
     sim::SimTime shared_busy_end_ = -sim::SimTime::seconds(1.0);
 
-    // Struct-of-arrays node state (index = node id).
+    // Struct-of-arrays node state (index = node id), packed to the
+    // metro-scale minimum. timer_gen_ fuses the old pending flag + 8-byte
+    // live-seq lane: the count is bumped on every schedule/fire/cancel,
+    // so odd = pending, and the truncated value is compared against the
+    // generation packed into a surfacing timer event (a stale event can
+    // outlive at most a calendar horizon — a handful of transitions —
+    // so 29 bits cannot alias). pending_state_ fuses the old
+    // pending-own count + busy-check flag into one word (bit 31 = a
+    // busy-check event is queued; low 31 bits = own transmissions awaiting
+    // re-arm) and is allocated only for the model variant that uses it.
     std::vector<sim::SimTime> next_expiry_;
-    std::vector<sim::SimTime> busy_end_;       ///< per-node variant only
-    std::vector<std::uint64_t> timer_seq_;     ///< seq of the live timer event
+    std::vector<sim::SimTime> busy_end_; ///< per-node variant only
     std::vector<std::uint64_t> transmissions_;
-    std::vector<std::int32_t> pending_own_;
-    std::vector<std::uint8_t> timer_pending_;
-    std::vector<std::uint8_t> busy_check_scheduled_;
+    std::vector<std::uint32_t> timer_gen_;
+    std::vector<std::uint32_t> pending_state_; ///< !reset_at_expiry only
 
     PmCalendarQueue queue_;
     std::uint64_t next_seq_ = 0; ///< mirrors the engine queue's push counter
@@ -341,6 +437,10 @@ private:
     sim::SimTime now_ = sim::SimTime::zero();
     bool stopped_ = false;
     std::uint64_t tx_count_ = 0;
+
+    std::vector<int> trigger_scratch_; ///< trigger_update_all's node list
+    std::vector<std::function<void()>> hooks_; ///< kPmHook slots
+    std::vector<std::uint32_t> free_hooks_;    ///< recycled hook slots
 };
 
 } // namespace routesync::core

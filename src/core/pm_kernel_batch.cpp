@@ -107,6 +107,19 @@ sim::SimTime PmKernelBatch::offset_of(std::size_t lane,
     return t.mod(round_length(lane));
 }
 
+std::size_t PmKernelBatch::lane_state_bytes(std::size_t lane) const noexcept {
+    const Lane& l = lanes_[lane];
+    const auto n = static_cast<std::size_t>(l.params.n);
+    std::size_t per_node = sizeof(sim::SimTime)        // next_expiry_
+                           + sizeof(std::uint64_t) * 2 // timer_seq_, transmissions_
+                           + sizeof(std::int32_t)      // pending_own_
+                           + sizeof(std::uint8_t) * 2; // pending, busy_check flags
+    if (!busy_end_.empty()) {
+        per_node += sizeof(sim::SimTime);
+    }
+    return n * per_node + l.q.capacity() * sizeof(BEvent);
+}
+
 NodeView PmKernelBatch::node(std::size_t lane, int i) const {
     const Lane& l = lanes_[lane];
     if (i < 0 || i >= l.params.n) {

@@ -139,6 +139,10 @@ public:
     [[nodiscard]] bool shared_busy(std::size_t lane) const noexcept {
         return lanes_[lane].shared_busy;
     }
+    /// Bytes of kernel state attributable to one lane: its slice of the
+    /// SoA node arrays plus its event-queue storage (capacity). The
+    /// batched counterpart of PmKernel::state_bytes().
+    [[nodiscard]] std::size_t lane_state_bytes(std::size_t lane) const noexcept;
 
     /// Max node count a lane may have (node ids pack into 22 bits of the
     /// event tag). Callers route wider models to the scalar kernel.

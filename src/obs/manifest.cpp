@@ -8,7 +8,27 @@
 #include "obs/build_info.hpp"
 #include "obs/json.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace routesync::obs {
+
+std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0) {
+        return 0;
+    }
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss); // bytes on Darwin
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024U; // KiB on Linux
+#endif
+#else
+    return 0;
+#endif
+}
 
 std::uint64_t fnv1a(const std::string& bytes) noexcept {
     std::uint64_t h = 1469598103934665603ULL;
@@ -111,6 +131,7 @@ std::string Manifest::to_json() const {
     }
     out += ", \"wall_seconds\": " + json_number(wall_seconds);
     out += ", \"sim_seconds\": " + json_number(sim_seconds);
+    out += ", \"peak_rss_bytes\": " + std::to_string(peak_rss_bytes);
     out += ", \"failed_checks\": " + std::to_string(failed_checks);
     out += "}\n";
     return out;

@@ -13,7 +13,7 @@
 //     "profile": { "<label>": {count, total_sec, max_sec}, ... } | null,
 //     "trace": { "path": "...", "events": N, "offered": N, "dropped": N,
 //                "fnv1a": "<hex>" } | null,
-//     "wall_seconds": X, "sim_seconds": X,
+//     "wall_seconds": X, "sim_seconds": X, "peak_rss_bytes": N,
 //     "failed_checks": N
 //   }
 #pragma once
@@ -35,6 +35,11 @@ namespace routesync::obs {
 
 /// FNV-1a of a file's contents; std::nullopt if the file cannot be read.
 [[nodiscard]] std::optional<std::uint64_t> fnv1a_file(const std::string& path);
+
+/// The process's peak resident set size in bytes (getrusage ru_maxrss),
+/// 0 where the platform cannot report it. A high-water mark, not a
+/// current level — the number a metro-scale memory budget wants.
+[[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
 
 struct TraceInfo {
     std::string path;
@@ -58,6 +63,8 @@ struct Manifest {
     std::optional<TraceInfo> trace;
     double wall_seconds = 0.0;
     double sim_seconds = 0.0;
+    /// Process-wide peak RSS when the manifest was sealed (finish()).
+    std::uint64_t peak_rss_bytes = 0;
     int failed_checks = 0;
 
     void set_config(const std::string& key, const std::string& value);

@@ -9,9 +9,30 @@ namespace routesync::obs {
 
 ResourceSampler::ResourceSampler(sim::Engine& engine, RunContext& ctx,
                                  sim::SimTime cadence)
-    : engine_{engine}, ctx_{ctx}, cadence_{cadence} {
+    : engine_{&engine},
+      schedule_{[e = &engine](sim::SimTime delay, std::function<void()> fn) {
+          e->schedule_after(delay, std::move(fn));
+      }},
+      now_{[e = &engine] { return e->now(); }},
+      ctx_{ctx},
+      cadence_{cadence} {
     if (cadence_ <= sim::SimTime::zero()) {
         throw std::invalid_argument{"ResourceSampler: cadence must be > 0"};
+    }
+}
+
+ResourceSampler::ResourceSampler(ScheduleFn schedule, NowFn now,
+                                 RunContext& ctx, sim::SimTime cadence)
+    : schedule_{std::move(schedule)},
+      now_{std::move(now)},
+      ctx_{ctx},
+      cadence_{cadence} {
+    if (cadence_ <= sim::SimTime::zero()) {
+        throw std::invalid_argument{"ResourceSampler: cadence must be > 0"};
+    }
+    if (!schedule_ || !now_) {
+        throw std::invalid_argument{
+            "ResourceSampler: schedule and now hooks must be callable"};
     }
 }
 
@@ -22,20 +43,24 @@ int ResourceSampler::add_source(std::string name, int node, Probe probe) {
 }
 
 void ResourceSampler::watch_engine_queue() {
+    if (engine_ == nullptr) {
+        throw std::logic_error{
+            "ResourceSampler::watch_engine_queue: no engine attached"};
+    }
     add_source("engine.queue.live", -1, [this] {
-        return Sample{static_cast<double>(engine_.queue_stats().live), 0.0};
+        return Sample{static_cast<double>(engine_->queue_stats().live), 0.0};
     });
     add_source("engine.queue.tombstones", -1, [this] {
-        return Sample{static_cast<double>(engine_.queue_stats().tombstones), 0.0};
+        return Sample{static_cast<double>(engine_->queue_stats().tombstones), 0.0};
     });
     add_source("engine.queue.heap", -1, [this] {
-        return Sample{static_cast<double>(engine_.queue_stats().heap_entries), 0.0};
+        return Sample{static_cast<double>(engine_->queue_stats().heap_entries), 0.0};
     });
 }
 
 void ResourceSampler::start() {
     active_ = true;
-    engine_.schedule_after(cadence_, [this] { tick(); });
+    schedule_(cadence_, [this] { tick(); });
 }
 
 void ResourceSampler::tick() {
@@ -43,7 +68,7 @@ void ResourceSampler::tick() {
         return;
     }
     ++ticks_;
-    const sim::SimTime now = engine_.now();
+    const sim::SimTime now = now_();
     Tracer* tr = ctx_.tracer();
     MetricsRegistry& metrics = ctx_.metrics();
     for (std::size_t i = 0; i < sources_.size(); ++i) {
@@ -59,7 +84,7 @@ void ResourceSampler::tick() {
         }
     }
     metrics.counter("sampler.ticks") = ticks_;
-    engine_.schedule_after(cadence_, [this] { tick(); });
+    schedule_(cadence_, [this] { tick(); });
 }
 
 } // namespace routesync::obs

@@ -46,10 +46,22 @@ public:
         double capacity = 0.0; ///< 0 = unbounded / not applicable
     };
     using Probe = std::function<Sample()>;
+    /// Schedules a callback `delay` of virtual time from now. The sampler
+    /// only needs this plus a clock to tick on any event loop — the
+    /// generic Engine and the PmKernel fast path both qualify.
+    using ScheduleFn = std::function<void(sim::SimTime delay,
+                                          std::function<void()> fn)>;
+    using NowFn = std::function<sim::SimTime()>;
 
     /// `cadence` must be > 0 (throws std::invalid_argument otherwise).
     /// Both the engine and the context must outlive the sampler.
     ResourceSampler(sim::Engine& engine, RunContext& ctx, sim::SimTime cadence);
+
+    /// Engine-free variant: ticks via the supplied scheduler/clock pair
+    /// (e.g. PmKernel::schedule_hook / PmKernel::now). watch_engine_queue()
+    /// is unavailable on a sampler built this way.
+    ResourceSampler(ScheduleFn schedule, NowFn now, RunContext& ctx,
+                    sim::SimTime cadence);
 
     /// Registers a probe read at every tick. `node` tags the emitted
     /// events (-1 when no single node applies). Returns the source index
@@ -57,7 +69,8 @@ public:
     int add_source(std::string name, int node, Probe probe);
 
     /// Registers the engine's own event-queue sources: live events,
-    /// tombstones, and total heap entries.
+    /// tombstones, and total heap entries. Requires the engine-bound
+    /// constructor (throws std::logic_error otherwise).
     void watch_engine_queue();
 
     /// Schedules the first tick at now + cadence. Call after the sources
@@ -79,7 +92,9 @@ private:
 
     void tick();
 
-    sim::Engine& engine_;
+    sim::Engine* engine_ = nullptr; ///< non-null on the engine-bound path
+    ScheduleFn schedule_;
+    NowFn now_;
     RunContext& ctx_;
     sim::SimTime cadence_;
     std::vector<Source> sources_;

@@ -61,6 +61,7 @@ void RunContext::finish(double sim_seconds) {
     manifest_.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started_)
             .count();
+    manifest_.peak_rss_bytes = peak_rss_bytes();
 }
 
 void RunContext::write_manifest(const std::string& path, double sim_seconds) {

@@ -292,4 +292,163 @@ TEST(ClusterTracker, ResetRevalidatesAndResizes) {
     EXPECT_THROW((void)t.first_time_size_at_least(3), std::out_of_range);
 }
 
+// ---------------------------------------------------------------------------
+// Metro scale: N = 1e5. The per-size tables are flat sentinel arrays and
+// the per-round record is an O(1) histogram bump, so driving a tracker
+// this wide through synthetic growth/decay streams is cheap — these tests
+// pin down the invariants the big-N figure sweep relies on.
+
+constexpr int kMetroN = 100000;
+
+/// Feeds `t` a deterministic stream: round r (r = 0..rounds-1) holds one
+/// cluster of size `largest(r)` followed by singles filling the round to
+/// exactly kMetroN events.
+template <typename LargestFn>
+void feed_metro_rounds(ClusterTracker& t, int rounds, LargestFn largest) {
+    double base = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+        const int big = largest(r);
+        for (int i = 0; i < big; ++i) {
+            t.on_timer_set(i, SimTime::seconds(base + 1.0));
+        }
+        for (int i = big; i < kMetroN; ++i) {
+            // Singles 1 ms apart (>> the 1 us tolerance) stay unclustered
+            // while the whole round still fits inside kRound seconds.
+            t.on_timer_set(i, SimTime::seconds(base + 2.0 + 1e-3 * (i - big)));
+        }
+        base += kRound;
+    }
+}
+
+TEST(ClusterTracker, MetroScaleGrowthStream) {
+    ClusterTracker t{kMetroN, SimTime::seconds(kRound)};
+    // Rounds with largest cluster 1, 10, 100, ..., kMetroN: a clean
+    // growth staircase.
+    const auto largest = [](int r) {
+        int s = 1;
+        for (int i = 0; i < r; ++i) {
+            s *= 10;
+        }
+        return s;
+    };
+    feed_metro_rounds(t, 6, largest);
+    t.finish();
+
+    EXPECT_TRUE(t.full_sync_time().has_value());
+    // first_up is filled exactly up to the running max; growth is one
+    // event at a time, so every size has a first-hit.
+    SimTime prev = SimTime::zero();
+    for (int s = 1; s <= kMetroN; s *= 10) {
+        const auto up = t.first_time_size_at_least(s);
+        ASSERT_TRUE(up.has_value()) << s;
+        EXPECT_GE(up->sec(), prev.sec()) << s;
+        prev = *up;
+    }
+    // Intermediate sizes inherit the first time a *larger* group grew
+    // through them: size 37 was first passed on the way to 100.
+    ASSERT_TRUE(t.first_time_size_at_least(37).has_value());
+    EXPECT_EQ(*t.first_time_size_at_least(37), *t.first_time_size_at_least(100));
+
+    EXPECT_EQ(t.rounds_closed(), 6U);
+    EXPECT_EQ(t.rounds_with_largest_at_most(kMetroN), t.rounds_closed());
+    // Cumulative counts are monotone in s and count the staircase exactly:
+    // sizes below 10 cover only the first round, below 100 two rounds, ...
+    EXPECT_EQ(t.rounds_with_largest_at_most(1), 1U);
+    EXPECT_EQ(t.rounds_with_largest_at_most(99), 2U);
+    EXPECT_EQ(t.rounds_with_largest_at_most(100), 3U);
+    std::uint64_t last = 0;
+    for (int s = 1; s <= kMetroN; s = s < 10 ? s + 1 : s * 3) {
+        const std::uint64_t c = t.rounds_with_largest_at_most(s);
+        EXPECT_GE(c, last) << s;
+        last = c;
+    }
+}
+
+TEST(ClusterTracker, MetroScaleDecayFillsFirstDown) {
+    ClusterTracker t{kMetroN, SimTime::seconds(kRound)};
+    // Largest cluster decays 1e5 -> 1e4 -> ... -> 1: first_down fills
+    // from the top as record lows appear.
+    const auto largest = [](int r) {
+        int s = kMetroN;
+        for (int i = 0; i < r; ++i) {
+            s /= 10;
+        }
+        return s;
+    };
+    feed_metro_rounds(t, 6, largest);
+    t.finish();
+
+    // A round whose largest was 1e4 is the first with largest <= s for
+    // every s in [1e4, 1e5).
+    ASSERT_TRUE(t.first_round_largest_at_most(10000).has_value());
+    ASSERT_TRUE(t.first_round_largest_at_most(99999).has_value());
+    EXPECT_EQ(*t.first_round_largest_at_most(10000),
+              *t.first_round_largest_at_most(99999));
+    ASSERT_TRUE(t.first_round_largest_at_most(1).has_value());
+    EXPECT_EQ(t.rounds_closed(), 6U);
+    EXPECT_EQ(t.rounds_with_largest_at_most(1), 1U);
+    EXPECT_EQ(t.rounds_with_largest_at_most(kMetroN), 6U);
+    EXPECT_GT(t.state_bytes(), 0U);
+}
+
+TEST(ClusterTracker, MetroScaleRecordRoundsAutoGated) {
+    // Above kAutoRecordRoundsMaxN the per-round record defaults off (the
+    // counters and tables still work); opting back in still records.
+    ClusterTracker big{kMetroN, SimTime::seconds(kRound)};
+    feed_metro_rounds(big, 2, [](int) { return 2; });
+    big.finish();
+    EXPECT_EQ(big.rounds_closed(), 2U);
+    EXPECT_TRUE(big.rounds().empty());
+
+    ClusterTracker small{ClusterTracker::kAutoRecordRoundsMaxN,
+                         SimTime::seconds(kRound)};
+    small.on_timer_set(0, 1_sec);
+    small.on_timer_set(1, SimTime::seconds(kRound + 1.0));
+    small.finish();
+    EXPECT_EQ(small.rounds().size(), small.rounds_closed());
+
+    ClusterTracker opted{kMetroN, SimTime::seconds(kRound)};
+    opted.record_rounds(true);
+    feed_metro_rounds(opted, 2, [](int) { return 2; });
+    opted.finish();
+    EXPECT_EQ(opted.rounds().size(), 2U);
+}
+
+TEST(ClusterTracker, MetroScaleResetMatchesFresh) {
+    // A tracker reset at metro scale is indistinguishable from a fresh
+    // one: identical queries across the whole size axis.
+    const auto largest = [](int r) { return (r + 1) * 12345 % kMetroN + 1; };
+    const auto feed = [&](ClusterTracker& t) {
+        feed_metro_rounds(t, 8, largest);
+        t.finish();
+    };
+
+    ClusterTracker fresh{kMetroN, SimTime::seconds(kRound)};
+    feed(fresh);
+
+    ClusterTracker pooled{kMetroN, SimTime::seconds(kRound)};
+    feed_metro_rounds(pooled, 3, [](int) { return 7; }); // dirty it first
+    pooled.finish();
+    pooled.reset(kMetroN, SimTime::seconds(kRound));
+    feed(pooled);
+
+    EXPECT_EQ(pooled.rounds_closed(), fresh.rounds_closed());
+    for (int s = 1; s <= kMetroN; s = s < 16 ? s + 1 : s * 2 - 7) {
+        ASSERT_EQ(pooled.first_time_size_at_least(s).has_value(),
+                  fresh.first_time_size_at_least(s).has_value())
+            << s;
+        if (fresh.first_time_size_at_least(s)) {
+            EXPECT_EQ(pooled.first_time_size_at_least(s)->sec(),
+                      fresh.first_time_size_at_least(s)->sec())
+                << s;
+        }
+        ASSERT_EQ(pooled.first_round_largest_at_most(s).has_value(),
+                  fresh.first_round_largest_at_most(s).has_value())
+            << s;
+        EXPECT_EQ(pooled.rounds_with_largest_at_most(s),
+                  fresh.rounds_with_largest_at_most(s))
+            << s;
+    }
+}
+
 } // namespace

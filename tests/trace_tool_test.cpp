@@ -364,6 +364,60 @@ TEST(ResourceSampler, OffByDefaultProducesNoSampleEvents) {
     std::remove(path.c_str());
 }
 
+TEST(ResourceSampler, SamplesThePmKernelOnTheFastPath) {
+    // Explicit FastKernel backend + a cadence: the sampler ticks on the
+    // kernel's own hook events (no generic engine anywhere) and reports
+    // the kernel-side gauges. Sampling must not change simulation
+    // results, so the run is compared against an unsampled twin.
+    core::ExperimentConfig cfg;
+    cfg.params.n = 10;
+    cfg.params.seed = 424242;
+    cfg.max_time = sim::SimTime::seconds(2000);
+    cfg.backend = core::ExperimentBackend::FastKernel;
+    const auto plain = core::run_experiment(cfg);
+
+    obs::RunContext ctx;
+    ctx.trace_to_ring(1 << 16);
+    cfg.obs = &ctx;
+    cfg.sample_every = 100.0;
+    const auto sampled = core::run_experiment(cfg);
+
+    EXPECT_EQ(sampled.total_transmissions, plain.total_transmissions);
+    EXPECT_EQ(sampled.rounds_closed, plain.rounds_closed);
+    EXPECT_EQ(sampled.end_time_sec, plain.end_time_sec);
+    // Hook events count like any other kernel event.
+    EXPECT_GT(sampled.events_processed, plain.events_processed);
+    EXPECT_GT(sampled.kernel_state_bytes, 0U);
+
+    const auto* ring = dynamic_cast<obs::RingBufferSink*>(ctx.sink());
+    ASSERT_NE(ring, nullptr);
+    std::uint64_t samples = 0;
+    for (const auto& e : ring->events()) {
+        if (e.type == obs::TraceEventType::ResourceSample) {
+            ++samples;
+        }
+    }
+    // ~20 ticks x 2 sources (state bytes + live queue depth).
+    EXPECT_GE(samples, 2U * 15U);
+    const auto snap = ctx.metrics().snapshot();
+    ASSERT_TRUE(snap.gauges.contains("rs.pm_kernel.state_bytes"));
+    EXPECT_GT(snap.gauges.at("rs.pm_kernel.state_bytes"), 0.0);
+    ASSERT_TRUE(snap.gauges.contains("rs.pm_kernel.queue.live"));
+    EXPECT_GT(snap.gauges.at("rs.pm_kernel.queue.live"), 0.0);
+    EXPECT_GT(snap.counters.at("sampler.ticks"), 0U);
+}
+
+TEST(ResourceSampler, EngineFreeConstructorRequiresHooksAndNoEngineWatch) {
+    obs::RunContext ctx;
+    EXPECT_THROW((obs::ResourceSampler{nullptr, [] { return sim::SimTime::zero(); },
+                                       ctx, sim::SimTime::seconds(1.0)}),
+                 std::invalid_argument);
+    obs::ResourceSampler sampler{
+        [](sim::SimTime, std::function<void()>) {},
+        [] { return sim::SimTime::zero(); }, ctx, sim::SimTime::seconds(1.0)};
+    EXPECT_THROW(sampler.watch_engine_queue(), std::logic_error);
+}
+
 TEST(ResourceSampler, StopCancelsFutureTicks) {
     sim::Engine engine;
     obs::RunContext ctx;

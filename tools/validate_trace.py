@@ -72,6 +72,7 @@ MANIFEST_FIELDS = {
     "metrics": (dict,),
     "wall_seconds": (int, float),
     "sim_seconds": (int, float),
+    "peak_rss_bytes": (int,),
     "failed_checks": (int,),
 }
 
@@ -374,7 +375,8 @@ def cmd_selftest(args: argparse.Namespace) -> None:
             "profile": {"experiment.run":
                         {"count": 1, "total_sec": 0.5, "max_sec": 0.5}},
             "trace": dict(good_trace),
-            "wall_seconds": 0.1, "sim_seconds": 1.0, "failed_checks": 0,
+            "wall_seconds": 0.1, "sim_seconds": 1.0,
+            "peak_rss_bytes": 1048576, "failed_checks": 0,
         }
         check_manifest(good_manifest, "selftest")
         check_manifest(dict(good_manifest, profile=None, trace=None),
