@@ -12,10 +12,14 @@
 // synchronization phenomenon survives intact — the model's abstraction is
 // sound.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "core/core.hpp"
+#include "net/elements/callback_sink.hpp"
+#include "net/elements/element_graph.hpp"
+#include "net/elements/periodic_agent.hpp"
 #include "net/shared_lan.hpp"
 #include "stats/stats.hpp"
 
@@ -24,79 +28,25 @@ using namespace routesync::bench;
 
 namespace {
 
-// A periodic router on the LAN, with the Periodic Messages timer rule.
-class LanRouter {
-public:
-    LanRouter(sim::Engine& engine, net::SharedLan& lan, int id,
-              sim::SimTime tp, sim::SimTime tr, sim::SimTime tc,
-              std::uint64_t seed)
-        : engine_{engine}, lan_{lan}, id_{id}, tp_{tp}, tr_{tr}, tc_{tc},
-          gen_{seed} {
-        station_ = lan_.attach([this](const net::Packet& p) { receive(p); });
-    }
-
-    void start(sim::SimTime at) {
-        engine_.schedule_at(at, [this] { timer_expired(); });
-    }
-
-    std::function<void(int, sim::SimTime)> on_timer_set;
-
-private:
-    void timer_expired() {
-        net::Packet update;
-        update.type = net::PacketType::RoutingUpdate;
-        update.src = id_;
-        update.size_bytes = 1000;
-        lan_.send(station_, update);
-        pending_own_ = true;
-        extend_busy();
-        if (!check_scheduled_) {
-            check_scheduled_ = true;
-            engine_.schedule_at(busy_end_, [this] { busy_check(); });
-        }
-    }
-
-    void receive(const net::Packet&) { extend_busy(); }
-
-    void extend_busy() {
-        const sim::SimTime now = engine_.now();
-        busy_end_ = busy_end_ > now ? busy_end_ + tc_ : now + tc_;
-        if (pending_own_ && !check_scheduled_) {
-            check_scheduled_ = true;
-            engine_.schedule_at(busy_end_, [this] { busy_check(); });
-        }
-    }
-
-    void busy_check() {
-        if (busy_end_ > engine_.now()) {
-            engine_.schedule_at(busy_end_, [this] { busy_check(); });
-            return;
-        }
-        check_scheduled_ = false;
-        if (pending_own_) {
-            pending_own_ = false;
-            if (on_timer_set) {
-                on_timer_set(id_, engine_.now());
-            }
-            const double interval =
-                rng::uniform_real(gen_, (tp_ - tr_).sec(), (tp_ + tr_).sec());
-            engine_.schedule_after(sim::SimTime::seconds(interval),
-                                   [this] { timer_expired(); });
-        }
-    }
-
-    sim::Engine& engine_;
-    net::SharedLan& lan_;
-    int id_;
-    int station_ = -1;
-    sim::SimTime tp_;
-    sim::SimTime tr_;
-    sim::SimTime tc_;
-    rng::DefaultEngine gen_;
-    sim::SimTime busy_end_ = -sim::SimTime::seconds(1);
-    bool pending_own_ = false;
-    bool check_scheduled_ = false;
-};
+/// Wires one PeriodicAgent element onto a LAN station: the agent's "out"
+/// pushes into a sink that transmits on the medium, and the station's
+/// receive callback feeds the agent's ear. The paper's timer rule
+/// (reset-after-processing, Tc per update) lives in the element now —
+/// this bench is just topology.
+net::elements::PeriodicAgent& attach_lan_router(
+    net::elements::ElementGraph& graph, net::SharedLan& lan, int id,
+    const net::elements::PeriodicAgentConfig& config) {
+    auto& agent = graph.add<net::elements::PeriodicAgent>(
+        "agent" + std::to_string(id), config);
+    const int station =
+        lan.attach([&agent](const net::Packet& p) { agent.hear(p); });
+    graph.add<net::elements::CallbackSink>(
+        "tolan" + std::to_string(id),
+        [&lan, station](net::PooledPacket p) { lan.send(station, std::move(p)); });
+    graph.connect("agent" + std::to_string(id), 0,
+                  "tolan" + std::to_string(id), 0);
+    return agent;
+}
 
 } // namespace
 
@@ -115,20 +65,27 @@ int main(int argc, char** argv) {
     const auto tr = sim::SimTime::seconds(0.1);
     const auto tc = sim::SimTime::seconds(0.11);
 
-    std::vector<std::unique_ptr<LanRouter>> routers;
+    net::elements::ElementGraph graph{engine};
     // Loose tolerance: LAN delivery skews cluster members' busy-ends by up
     // to ~N * frame_time (~10 ms), far below Tc.
     core::ClusterTracker tracker{n, tp + tc, sim::SimTime::millis(50)};
     rng::DefaultEngine phases{1234};
     for (int i = 0; i < n; ++i) {
-        routers.push_back(std::make_unique<LanRouter>(
-            engine, lan, i, tp, tr, tc, 400 + static_cast<std::uint64_t>(i)));
-        routers.back()->on_timer_set = [&tracker](int node, sim::SimTime t) {
+        net::elements::PeriodicAgentConfig cfg;
+        cfg.node = i;
+        cfg.period = tp;
+        cfg.jitter = tr;
+        cfg.process_cost = tc;
+        cfg.update_bytes = 1000;
+        cfg.seed = 400 + static_cast<std::uint64_t>(i);
+        auto& agent = attach_lan_router(graph, lan, i, cfg);
+        agent.on_timer_set = [&tracker](int node, sim::SimTime t) {
             tracker.on_timer_set(node, t);
         };
-        routers.back()->start(
+        agent.start(
             sim::SimTime::seconds(rng::uniform_real(phases, 0.0, tp.sec())));
     }
+    graph.finalize();
     tracker.on_full_sync = [&engine](sim::SimTime) { engine.stop(); };
 
     engine.run_until(sim::SimTime::seconds(2e6));

@@ -629,7 +629,10 @@ void BM_PacketPath_Broadcast(benchmark::State& state) {
     std::vector<std::unique_ptr<net::Link>> links;
     for (int i = 0; i < kFanOut; ++i) {
         links.push_back(std::make_unique<net::Link>(
-            engine, 0.0, sim::SimTime::micros(1), 512,
+            engine,
+            net::LinkConfig{.rate_bps = 0.0,
+                            .delay = sim::SimTime::micros(1),
+                            .queue_packets = 512},
             [&delivered](net::PooledPacket) { ++delivered; }));
     }
     std::uint64_t seq = 0;
@@ -713,7 +716,11 @@ void BM_PacketPath_ForwardChain(benchmark::State& state) {
             };
         }
         chain[static_cast<std::size_t>(hop)] = std::make_unique<net::Link>(
-            engine, 0.0, sim::SimTime::micros(1), 512, std::move(deliver));
+            engine,
+            net::LinkConfig{.rate_bps = 0.0,
+                            .delay = sim::SimTime::micros(1),
+                            .queue_packets = 512},
+            std::move(deliver));
     }
     std::uint64_t seq = 0;
     for (auto _ : state) {

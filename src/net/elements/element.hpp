@@ -1,0 +1,151 @@
+// The element API: composable packet-processing stages in the style of
+// the Click modular router (kohler/click). An Element declares a fixed
+// signature of typed ports; an ElementGraph (element_graph.hpp) wires
+// outputs to inputs by name and validates the result.
+//
+// Port semantics (Click's push/pull duality):
+//
+//   Push — the upstream element hands a packet downstream immediately:
+//     `output(port, p)` on the source invokes `push(port, p)` on the
+//     connected peer. Sources of packets (agents, link receivers) have
+//     push outputs; queues have push inputs.
+//
+//   Pull — the downstream element asks upstream for a packet when it is
+//     ready for one: `input(port)` on the sink invokes `pull(port)` on
+//     the connected peer, which returns an empty handle when it has
+//     nothing. Transmitters drain queues through pull inputs, so the
+//     queue — not the wire — absorbs the backlog.
+//
+// A connection is only legal between an output and an input of the same
+// kind; `Element::connect_output` enforces this, plus port-range and
+// double-connection checks, so a mis-wired graph fails at construction
+// instead of corrupting a run.
+//
+// Timer hook: an element that needs virtual time arms its (single) timer
+// with `schedule_timer_at/after`; the engine calls `on_timer()` when it
+// expires. Re-arming from inside `on_timer` is the idiomatic periodic
+// loop (see PeriodicAgent).
+//
+// Observability: `collect_metrics` publishes per-element counters under
+// "elem.<name>.*" (obs::MetricsRegistry, PR 3); elements that accept or
+// drop packets emit packet_enqueue/packet_drop trace events through the
+// engine's tracer exactly like the pre-element Link/SharedLan did.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/packet_pool.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace routesync::net::elements {
+
+/// Direction-typed port classes (Click's push/pull).
+enum class PortKind : std::uint8_t {
+    Push, ///< data moves when the upstream element decides
+    Pull, ///< data moves when the downstream element asks
+};
+
+[[nodiscard]] constexpr const char* port_kind_name(PortKind kind) noexcept {
+    return kind == PortKind::Push ? "push" : "pull";
+}
+
+/// One port of an element's fixed signature.
+struct PortSpec {
+    PortKind kind;
+    const char* label; ///< for diagnostics ("xmit", "overflow", ...)
+};
+
+class Element {
+public:
+    Element(sim::Engine& engine, std::string name)
+        : engine_{engine}, name_{std::move(name)} {}
+    virtual ~Element() { cancel_timer(); }
+
+    Element(const Element&) = delete;
+    Element& operator=(const Element&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] sim::Engine& engine() const noexcept { return engine_; }
+
+    /// Element class name for diagnostics ("FifoQueue", ...).
+    [[nodiscard]] virtual const char* kind() const noexcept = 0;
+
+    /// The fixed port signature. Connections are validated against it.
+    [[nodiscard]] virtual std::vector<PortSpec> input_ports() const = 0;
+    [[nodiscard]] virtual std::vector<PortSpec> output_ports() const = 0;
+
+    /// Packet handed to a push input. Default: no push inputs.
+    virtual void push(int port, PooledPacket p);
+
+    /// Packet requested from a pull output; empty handle when there is
+    /// nothing to give. Default: no pull outputs.
+    [[nodiscard]] virtual PooledPacket pull(int port);
+
+    /// Timer expiry hook; armed with schedule_timer_at/after.
+    virtual void on_timer() {}
+
+    /// Publishes this element's counters as "<prefix>.<name>.<counter>".
+    /// Default: nothing to publish.
+    virtual void collect_metrics(obs::MetricsRegistry& reg,
+                                 const std::string& prefix) const;
+
+    /// Wires this element's `out_port` to `downstream`'s `in_port`.
+    /// Throws std::invalid_argument on port-range violations, kind
+    /// mismatches (push output into pull input or vice versa), and
+    /// double connections on either end.
+    void connect_output(int out_port, Element& downstream, int in_port);
+
+    [[nodiscard]] bool output_connected(int port) const noexcept;
+    [[nodiscard]] bool input_connected(int port) const noexcept;
+
+protected:
+    /// Pushes `p` to whatever is connected downstream of `out_port`.
+    /// Throws std::logic_error when the port was never wired (finalize()
+    /// catches this earlier for graph-built elements).
+    void output(int out_port, PooledPacket p);
+
+    /// Pulls from whatever is connected upstream of `in_port` (which
+    /// must be a pull input); empty handle when upstream is empty.
+    [[nodiscard]] PooledPacket input(int in_port);
+
+    void schedule_timer_at(sim::SimTime t) {
+        cancel_timer();
+        timer_event_ = engine_.schedule_at(t, [this] { on_timer(); });
+        timer_armed_ = true;
+    }
+    void schedule_timer_after(sim::SimTime dt) {
+        cancel_timer();
+        timer_event_ = engine_.schedule_after(dt, [this] { on_timer(); });
+        timer_armed_ = true;
+    }
+    void cancel_timer() noexcept {
+        if (timer_armed_) {
+            engine_.cancel(timer_event_);
+            timer_armed_ = false;
+        }
+    }
+
+    [[noreturn]] void bad_port(const char* action, int port) const;
+
+private:
+    struct Peer {
+        Element* element = nullptr;
+        int port = 0;
+    };
+
+    void ensure_peer_slots();
+
+    sim::Engine& engine_;
+    std::string name_;
+    std::vector<Peer> outputs_; ///< indexed by output port
+    std::vector<Peer> inputs_;  ///< indexed by input port
+    bool peers_sized_ = false;
+    sim::EventHandle timer_event_{};
+    bool timer_armed_ = false;
+};
+
+} // namespace routesync::net::elements

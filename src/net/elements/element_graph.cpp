@@ -1,0 +1,190 @@
+#include "net/elements/element_graph.hpp"
+
+#include <cctype>
+
+namespace routesync::net::elements {
+
+namespace {
+
+/// One side of a `->`: optional [input port], name, optional [output port].
+struct Endpoint {
+    std::string name;
+    int in_port = 0;
+    int out_port = 0;
+};
+
+[[nodiscard]] std::string strip(const std::string& s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+        ++b;
+    }
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+        --e;
+    }
+    return s.substr(b, e - b);
+}
+
+[[nodiscard]] int parse_port(const std::string& text, const std::string& stmt) {
+    try {
+        std::size_t used = 0;
+        const int port = std::stoi(text, &used);
+        if (used != text.size() || port < 0) {
+            throw std::invalid_argument{""};
+        }
+        return port;
+    } catch (const std::exception&) {
+        throw std::invalid_argument{"wire '" + stmt + "': bad port '" + text +
+                                    "'"};
+    }
+}
+
+[[nodiscard]] Endpoint parse_endpoint(std::string text, const std::string& stmt) {
+    Endpoint ep;
+    text = strip(text);
+    if (!text.empty() && text.front() == '[') {
+        const std::size_t close = text.find(']');
+        if (close == std::string::npos) {
+            throw std::invalid_argument{"wire '" + stmt + "': unterminated '['"};
+        }
+        ep.in_port = parse_port(strip(text.substr(1, close - 1)), stmt);
+        text = strip(text.substr(close + 1));
+    }
+    if (!text.empty() && text.back() == ']') {
+        const std::size_t open = text.rfind('[');
+        if (open == std::string::npos) {
+            throw std::invalid_argument{"wire '" + stmt + "': unmatched ']'"};
+        }
+        ep.out_port =
+            parse_port(strip(text.substr(open + 1, text.size() - open - 2)), stmt);
+        text = strip(text.substr(0, open));
+    }
+    if (text.empty()) {
+        throw std::invalid_argument{"wire '" + stmt + "': missing element name"};
+    }
+    ep.name = text;
+    return ep;
+}
+
+} // namespace
+
+Element& ElementGraph::adopt(std::unique_ptr<Element> elem) {
+    const std::string& name = elem->name();
+    if (name.empty()) {
+        throw std::invalid_argument{"ElementGraph: element name required"};
+    }
+    if (by_name_.count(name) != 0) {
+        throw std::invalid_argument{"ElementGraph: duplicate element '" + name +
+                                    "'"};
+    }
+    by_name_.emplace(name, elements_.size());
+    elements_.push_back(std::move(elem));
+    finalized_ = false;
+    return *elements_.back();
+}
+
+Element* ElementGraph::find(const std::string& name) noexcept {
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : elements_[it->second].get();
+}
+
+Element& ElementGraph::get(const std::string& name) {
+    Element* elem = find(name);
+    if (elem == nullptr) {
+        throw std::invalid_argument{"ElementGraph: no element named '" + name +
+                                    "'"};
+    }
+    return *elem;
+}
+
+void ElementGraph::connect(const std::string& from, int out_port,
+                           const std::string& to, int in_port) {
+    get(from).connect_output(out_port, get(to), in_port);
+    finalized_ = false;
+}
+
+void ElementGraph::wire(const std::string& spec) {
+    // Statements split on ';' and newlines; '//' comments out the rest of
+    // the line.
+    std::vector<std::string> statements;
+    std::string current;
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        if (spec[i] == '/' && i + 1 < spec.size() && spec[i + 1] == '/') {
+            while (i < spec.size() && spec[i] != '\n') {
+                ++i;
+            }
+            statements.push_back(current);
+            current.clear();
+            continue;
+        }
+        if (spec[i] == ';' || spec[i] == '\n') {
+            statements.push_back(current);
+            current.clear();
+            continue;
+        }
+        current.push_back(spec[i]);
+    }
+    statements.push_back(current);
+
+    for (const std::string& raw : statements) {
+        const std::string stmt = strip(raw);
+        if (stmt.empty()) {
+            continue;
+        }
+        // Split the chain on "->".
+        std::vector<Endpoint> chain;
+        std::size_t pos = 0;
+        while (true) {
+            const std::size_t arrow = stmt.find("->", pos);
+            if (arrow == std::string::npos) {
+                chain.push_back(parse_endpoint(stmt.substr(pos), stmt));
+                break;
+            }
+            chain.push_back(parse_endpoint(stmt.substr(pos, arrow - pos), stmt));
+            pos = arrow + 2;
+        }
+        if (chain.size() < 2) {
+            throw std::invalid_argument{"wire '" + stmt +
+                                        "': expected 'a -> b'"};
+        }
+        for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+            connect(chain[i].name, chain[i].out_port, chain[i + 1].name,
+                    chain[i + 1].in_port);
+        }
+    }
+}
+
+void ElementGraph::finalize() {
+    for (const auto& elem : elements_) {
+        const auto outs = elem->output_ports();
+        for (std::size_t port = 0; port < outs.size(); ++port) {
+            if (outs[port].kind == PortKind::Push &&
+                !elem->output_connected(static_cast<int>(port))) {
+                throw std::logic_error{
+                    "ElementGraph: push output " + elem->name() + "[" +
+                    std::to_string(port) + "] ('" + outs[port].label +
+                    "') is not connected"};
+            }
+        }
+        const auto ins = elem->input_ports();
+        for (std::size_t port = 0; port < ins.size(); ++port) {
+            if (ins[port].kind == PortKind::Pull &&
+                !elem->input_connected(static_cast<int>(port))) {
+                throw std::logic_error{
+                    "ElementGraph: pull input " + elem->name() + "[" +
+                    std::to_string(port) + "] ('" + ins[port].label +
+                    "') is not connected"};
+            }
+        }
+    }
+    finalized_ = true;
+}
+
+void ElementGraph::collect_metrics(obs::MetricsRegistry& reg,
+                                   const std::string& prefix) const {
+    for (const auto& elem : elements_) {
+        elem->collect_metrics(reg, prefix);
+    }
+}
+
+} // namespace routesync::net::elements

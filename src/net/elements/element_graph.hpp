@@ -1,0 +1,93 @@
+// ElementGraph: owns a set of named elements and wires their ports into
+// a packet path, either programmatically (connect) or from a declarative
+// spec string (wire) in Click's config syntax:
+//
+//     source -> q -> xmit          // port 0 implied
+//     xmit[1] -> [0]q              // output 1 of xmit into input 0 of q
+//
+// Statements separate on ';' or newline; '//' starts a comment. Chains
+// are allowed: for a middle endpoint, the port in front of the name is
+// the input the previous stage pushes into / pulls from, and the port
+// after the name is the output feeding the next stage.
+//
+// finalize() enforces the completeness rule a runnable path needs: every
+// push *output* and every pull *input* must be connected (a dangling
+// push output would throw at the first packet; a dangling pull input
+// would starve its transmitter forever). Push inputs and pull outputs
+// may stay open — they are the graph's entry and exit points.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/elements/element.hpp"
+
+namespace routesync::net::elements {
+
+class ElementGraph {
+public:
+    explicit ElementGraph(sim::Engine& engine) : engine_{engine} {}
+
+    ElementGraph(const ElementGraph&) = delete;
+    ElementGraph& operator=(const ElementGraph&) = delete;
+
+    /// Constructs an element of type T in place under `name` (which is
+    /// also passed to the element as its name). Throws on duplicates.
+    template <typename T, typename... Args>
+    T& add(const std::string& name, Args&&... args) {
+        auto elem =
+            std::make_unique<T>(engine_, name, std::forward<Args>(args)...);
+        T& ref = *elem;
+        adopt(std::move(elem));
+        return ref;
+    }
+
+    /// Takes ownership of an already-constructed element, keyed by its
+    /// own name().
+    Element& adopt(std::unique_ptr<Element> elem);
+
+    [[nodiscard]] Element* find(const std::string& name) noexcept;
+    /// Throws std::invalid_argument when `name` is unknown.
+    [[nodiscard]] Element& get(const std::string& name);
+
+    /// connect("a", 1, "b", 0) == a[1] -> [0]b.
+    void connect(const std::string& from, int out_port, const std::string& to,
+                 int in_port);
+
+    /// Wires connections from a spec string (syntax in the file comment).
+    /// Throws std::invalid_argument on parse errors, unknown names, and
+    /// every connection error Element::connect_output rejects.
+    void wire(const std::string& spec);
+
+    /// Validates completeness (see file comment); throws std::logic_error
+    /// naming the first dangling port. Idempotent.
+    void finalize();
+    [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+    /// Per-element counters for every element, insertion order, as
+    /// "<prefix>.<element>.<counter>".
+    void collect_metrics(obs::MetricsRegistry& reg,
+                         const std::string& prefix = "elem") const;
+
+    /// Elements in insertion order (stable across runs, so metric and
+    /// trace emission order is deterministic).
+    [[nodiscard]] const std::vector<std::unique_ptr<Element>>& elements()
+        const noexcept {
+        return elements_;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return elements_.size(); }
+    [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+private:
+    sim::Engine& engine_;
+    std::vector<std::unique_ptr<Element>> elements_;
+    std::map<std::string, std::size_t> by_name_;
+    bool finalized_ = false;
+};
+
+} // namespace routesync::net::elements

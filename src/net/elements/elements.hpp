@@ -1,0 +1,11 @@
+// Umbrella header for the element layer (see docs/ELEMENTS.md).
+#pragma once
+
+#include "net/elements/callback_sink.hpp"
+#include "net/elements/delay_link.hpp"
+#include "net/elements/element.hpp"
+#include "net/elements/element_graph.hpp"
+#include "net/elements/fifo_queue.hpp"
+#include "net/elements/periodic_agent.hpp"
+#include "net/elements/queue_element.hpp"
+#include "net/elements/red_queue.hpp"

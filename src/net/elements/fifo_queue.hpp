@@ -1,0 +1,57 @@
+// FifoQueue: the drop-tail discipline as an element. Storage and
+// accounting are DropTailQueue (net/queue.hpp) unchanged — this element
+// adds the port surface and the accept/drop trace emission that used to
+// live inline in Link::send.
+#pragma once
+
+#include <utility>
+
+#include "net/elements/queue_element.hpp"
+
+namespace routesync::net::elements {
+
+class FifoQueue final : public QueueElement {
+public:
+    FifoQueue(sim::Engine& engine, std::string name,
+              std::size_t max_packets = 64, std::uint64_t max_bytes = 0)
+        : QueueElement{engine, std::move(name)},
+          queue_{max_packets, max_bytes},
+          capacity_{max_packets} {}
+
+    [[nodiscard]] const char* kind() const noexcept override {
+        return "FifoQueue";
+    }
+
+    bool enqueue(PooledPacket p) override {
+        // DropTailQueue::push releases the handle on overflow, so read the
+        // fields the trace event needs before handing it over.
+        const auto seq = static_cast<std::int64_t>(p->seq);
+        const double size = p->size_bytes;
+        const int src = p->src;
+        const bool accepted = queue_.push(std::move(p));
+        trace_offer(accepted, src, seq, size);
+        return accepted;
+    }
+
+    [[nodiscard]] PooledPacket dequeue() override { return queue_.pop(); }
+    [[nodiscard]] const Packet* peek() const override { return queue_.front(); }
+
+    [[nodiscard]] std::size_t size() const noexcept override {
+        return queue_.size();
+    }
+    [[nodiscard]] std::uint64_t bytes() const noexcept override {
+        return queue_.bytes();
+    }
+    [[nodiscard]] std::size_t capacity() const noexcept override {
+        return capacity_;
+    }
+    [[nodiscard]] const QueueStats& stats() const noexcept override {
+        return queue_.stats();
+    }
+
+private:
+    DropTailQueue queue_;
+    std::size_t capacity_;
+};
+
+} // namespace routesync::net::elements

@@ -1,0 +1,106 @@
+// PeriodicAgent: the paper's PERIOD+JITTER periodic-update source as an
+// element — the gridroutetable.hh shape from kohler/click's Grid code:
+// a route-advertisement timer that re-arms itself with a jittered
+// interval, here uniform in [Tp - Tr, Tp + Tr].
+//
+// Two timer-reset rules (the routing::TimerReset dichotomy, restated
+// here so net/ stays below routing/ in the layer order):
+//
+//   AfterProcessing — the paper's weakly-coupled rule. Each update (its
+//     own, or one heard on input 0) costs Tc of processing; the next
+//     interval is drawn only after the processing backlog drains. This
+//     is the coupling that synchronizes routers — and this element is
+//     byte-identical to bench/ablation_shared_lan.cpp's LanRouter.
+//
+//   AtExpiry — the uncoupled control: re-arm immediately at expiry, so
+//     processing load never touches the phase.
+//
+// Ports: input 0 "hear" (push) — updates from the medium; output 0
+// "out" (push) — this agent's own updates, as pooled RoutingUpdate
+// packets with src = node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/elements/element.hpp"
+#include "rng/rng.hpp"
+
+namespace routesync::net::elements {
+
+/// When the next-interval draw happens (see file comment).
+enum class TimerResetRule {
+    AfterProcessing, ///< Periodic Messages model (synchronizing)
+    AtExpiry,        ///< free-running clock (RFC 1058 suggestion)
+};
+
+struct PeriodicAgentConfig {
+    int node = 0;                       ///< src id stamped on updates
+    sim::SimTime period = sim::SimTime::seconds(121);   ///< Tp
+    sim::SimTime jitter = sim::SimTime::seconds(0.1);   ///< Tr
+    sim::SimTime process_cost = sim::SimTime::seconds(0.11); ///< Tc
+    std::uint32_t update_bytes = 1000;
+    TimerResetRule reset = TimerResetRule::AfterProcessing;
+    std::uint64_t seed = 1;
+};
+
+class PeriodicAgent final : public Element {
+public:
+    PeriodicAgent(sim::Engine& engine, std::string name,
+                  const PeriodicAgentConfig& config);
+
+    [[nodiscard]] const char* kind() const noexcept override {
+        return "PeriodicAgent";
+    }
+    [[nodiscard]] std::vector<PortSpec> input_ports() const override {
+        return {{PortKind::Push, "hear"}};
+    }
+    [[nodiscard]] std::vector<PortSpec> output_ports() const override {
+        return {{PortKind::Push, "out"}};
+    }
+
+    /// Arms the first expiry at absolute time `at` (the random initial
+    /// phase the paper draws uniformly in [0, Tp)).
+    void start(sim::SimTime at) { schedule_timer_at(at); }
+
+    void push(int port, PooledPacket p) override;
+    /// A heard update, for hosts that hold the medium's const Packet&
+    /// (SharedLan receive callbacks) instead of a pooled handle.
+    void hear(const Packet& p);
+
+    void on_timer() override;
+
+    /// Fires when the next interval is drawn (ClusterTracker hookup).
+    std::function<void(int node, sim::SimTime when)> on_timer_set;
+
+    [[nodiscard]] int node() const noexcept { return config_.node; }
+    [[nodiscard]] std::uint64_t updates_sent() const noexcept {
+        return updates_sent_;
+    }
+    [[nodiscard]] std::uint64_t updates_heard() const noexcept {
+        return updates_heard_;
+    }
+    [[nodiscard]] std::uint64_t timer_arms() const noexcept {
+        return timer_arms_;
+    }
+
+    void collect_metrics(obs::MetricsRegistry& reg,
+                         const std::string& prefix) const override;
+
+private:
+    void extend_busy();
+    void busy_check();
+    void rearm();
+
+    PeriodicAgentConfig config_;
+    rng::DefaultEngine gen_;
+    sim::SimTime busy_end_ = -sim::SimTime::seconds(1);
+    bool pending_own_ = false;
+    bool check_scheduled_ = false;
+    std::uint64_t updates_sent_ = 0;
+    std::uint64_t updates_heard_ = 0;
+    std::uint64_t timer_arms_ = 0;
+};
+
+} // namespace routesync::net::elements

@@ -1,0 +1,129 @@
+// Queue-discipline elements: the common QueueElement interface plus the
+// QueueDisc selector configs use to pick one by name.
+//
+// A queue element is the Click Queue shape: one push input (upstream
+// offers a packet; the discipline decides accept-or-drop) and one pull
+// output (the transmitter drains it when ready). Direct enqueue()/
+// dequeue()/peek() calls are exposed for owners that embed a queue
+// without a full graph (Router's pending buffer, SharedLan stations).
+//
+// Trace integration matches the pre-element Link/SharedLan byte for
+// byte: one packet_enqueue per accepted packet, one packet_drop per
+// rejection, with `node` = the packet's src by default or a fixed id
+// via set_trace_node (SharedLan traces by station index). Owners that
+// never traced their queue (Router's pending buffer) call
+// set_trace_events(false) and keep their own drop events.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/elements/element.hpp"
+#include "net/queue.hpp"
+#include "obs/tracer.hpp"
+
+namespace routesync::net::elements {
+
+/// Queue discipline selector for LinkConfig/SharedLanConfig and the
+/// `--queue` CLI knob.
+enum class QueueDisc : std::uint8_t {
+    DropTail, ///< FifoQueue: accept until full, then drop the arrival
+    Red,      ///< RedQueue: random early detection (Floyd & Jacobson 1993)
+};
+
+[[nodiscard]] constexpr const char* queue_disc_name(QueueDisc disc) noexcept {
+    return disc == QueueDisc::Red ? "red" : "droptail";
+}
+
+/// Parses a `--queue` value; empty optional on junk.
+[[nodiscard]] inline std::optional<QueueDisc>
+queue_disc_from_name(const std::string& name) {
+    if (name == "droptail" || name == "drop-tail" || name == "fifo") {
+        return QueueDisc::DropTail;
+    }
+    if (name == "red") {
+        return QueueDisc::Red;
+    }
+    return std::nullopt;
+}
+
+class QueueElement : public Element {
+public:
+    using Element::Element;
+
+    [[nodiscard]] std::vector<PortSpec> input_ports() const override {
+        return {{PortKind::Push, "in"}};
+    }
+    [[nodiscard]] std::vector<PortSpec> output_ports() const override {
+        return {{PortKind::Pull, "out"}};
+    }
+
+    /// Offers a packet to the discipline. Returns false when it was
+    /// dropped (the handle is released and the drop is accounted).
+    virtual bool enqueue(PooledPacket p) = 0;
+
+    /// Removes and returns the head packet; empty handle when empty.
+    [[nodiscard]] virtual PooledPacket dequeue() = 0;
+
+    /// The head packet without removing it; nullptr when empty.
+    [[nodiscard]] virtual const Packet* peek() const = 0;
+
+    [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+    [[nodiscard]] virtual std::uint64_t bytes() const noexcept = 0;
+    [[nodiscard]] virtual std::size_t capacity() const noexcept = 0;
+    [[nodiscard]] virtual const QueueStats& stats() const noexcept = 0;
+
+    [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+    void push(int port, PooledPacket p) override {
+        if (port != 0) {
+            bad_port("push into", port);
+        }
+        enqueue(std::move(p));
+    }
+    [[nodiscard]] PooledPacket pull(int port) override {
+        if (port != 0) {
+            bad_port("pull from", port);
+        }
+        return dequeue();
+    }
+
+    /// Trace packet_enqueue/packet_drop with this node id instead of the
+    /// packet's src (SharedLan traces by station index).
+    void set_trace_node(int node) noexcept { trace_node_ = node; }
+    /// Disables this queue's own trace events (for owners that keep
+    /// emitting their own, like Router's pending buffer).
+    void set_trace_events(bool on) noexcept { trace_events_ = on; }
+
+    void collect_metrics(obs::MetricsRegistry& reg,
+                         const std::string& prefix) const override {
+        const QueueStats& s = stats();
+        reg.add(prefix + "." + name() + ".enqueued", s.enqueued);
+        reg.add(prefix + "." + name() + ".dequeued", s.dequeued);
+        reg.add(prefix + "." + name() + ".dropped", s.dropped);
+    }
+
+protected:
+    /// Emits the accept-or-drop trace event for one offered packet,
+    /// mirroring the pre-element Link::send emission exactly.
+    void trace_offer(bool accepted, int src, std::int64_t seq, double size_bytes) {
+        if (!trace_events_) {
+            return;
+        }
+        if (obs::Tracer* tr = engine().tracer()) {
+            tr->emit(accepted ? obs::TraceEventType::PacketEnqueue
+                              : obs::TraceEventType::PacketDrop,
+                     engine().now(), trace_node_ == kTraceNodeSrc ? src : trace_node_,
+                     seq, size_bytes);
+        }
+    }
+
+    static constexpr int kTraceNodeSrc = -2; ///< sentinel: use packet src
+
+private:
+    int trace_node_ = kTraceNodeSrc;
+    bool trace_events_ = true;
+};
+
+} // namespace routesync::net::elements

@@ -3,90 +3,31 @@
 #include <stdexcept>
 #include <utility>
 
-#include "obs/tracer.hpp"
+#include "net/elements/callback_sink.hpp"
+#include "net/elements/fifo_queue.hpp"
+#include "net/elements/red_queue.hpp"
 
 namespace routesync::net {
 
 Link::Link(sim::Engine& engine, const LinkConfig& config,
            std::function<void(PooledPacket)> deliver)
-    : engine_{engine},
-      rate_bps_{config.rate_bps},
-      prop_delay_{config.delay},
-      queue_capacity_{config.queue_packets},
-      queue_{config.queue_packets},
-      deliver_{std::move(deliver)} {
-    if (!deliver_) {
+    : graph_{engine} {
+    if (!deliver) {
         throw std::invalid_argument{"Link: delivery callback required"};
     }
-    if (prop_delay_ < sim::SimTime::zero()) {
+    if (config.delay < sim::SimTime::zero()) {
         throw std::invalid_argument{"Link: negative propagation delay"};
     }
-}
-
-sim::SimTime Link::serialization_time(std::uint32_t bytes) const noexcept {
-    if (rate_bps_ <= 0.0) {
-        return sim::SimTime::zero();
+    tx_ = &graph_.add<elements::DelayLink>("tx", config.rate_bps, config.delay);
+    if (config.queue_disc == elements::QueueDisc::Red) {
+        queue_ = &graph_.add<elements::RedQueue>("queue", config.queue_packets,
+                                                 config.red);
+    } else {
+        queue_ = &graph_.add<elements::FifoQueue>("queue", config.queue_packets);
     }
-    return sim::SimTime::seconds(static_cast<double>(bytes) * 8.0 / rate_bps_);
-}
-
-void Link::trace_drop(const Packet& p) const {
-    if (obs::Tracer* tr = engine_.tracer()) {
-        tr->emit(obs::TraceEventType::PacketDrop, engine_.now(), p.src,
-                 static_cast<std::int64_t>(p.seq), p.size_bytes);
-    }
-}
-
-void Link::send(PooledPacket p) {
-    if (!up_) {
-        ++down_drops_;
-        trace_drop(*p);
-        return;
-    }
-    if (transmitting_) {
-        obs::Tracer* const tr = engine_.tracer();
-        if (tr == nullptr) {
-            queue_.push(std::move(p)); // drop-tail on overflow
-            return;
-        }
-        // queue_.push releases the handle on overflow, so read the fields
-        // the event needs before handing it over.
-        const auto seq = static_cast<std::int64_t>(p->seq);
-        const double size = p->size_bytes;
-        const int src = p->src;
-        const bool accepted = queue_.push(std::move(p));
-        tr->emit(accepted ? obs::TraceEventType::PacketEnqueue
-                          : obs::TraceEventType::PacketDrop,
-                 engine_.now(), src, seq, size);
-        return;
-    }
-    if (obs::Tracer* tr = engine_.tracer()) {
-        tr->emit(obs::TraceEventType::PacketEnqueue, engine_.now(), p->src,
-                 static_cast<std::int64_t>(p->seq), p->size_bytes);
-    }
-    start_transmission(std::move(p));
-}
-
-void Link::start_transmission(PooledPacket p) {
-    transmitting_ = true;
-    const sim::SimTime tx = serialization_time(p->size_bytes);
-    // Delivery after serialization + propagation; the transmitter frees up
-    // after serialization alone.
-    engine_.schedule_after(tx + prop_delay_, [this, pkt = std::move(p)]() mutable {
-        if (obs::Tracer* tr = engine_.tracer()) {
-            tr->emit(obs::TraceEventType::PacketDeliver, engine_.now(), pkt->dst,
-                     static_cast<std::int64_t>(pkt->seq), pkt->size_bytes);
-        }
-        deliver_(std::move(pkt));
-    });
-    engine_.schedule_after(tx, [this] { transmission_done(); });
-}
-
-void Link::transmission_done() {
-    transmitting_ = false;
-    if (auto next = queue_.pop()) {
-        start_transmission(std::move(next));
-    }
+    graph_.add<elements::CallbackSink>("sink", std::move(deliver));
+    graph_.wire("tx[1] -> queue; queue -> [1]tx; tx -> sink");
+    graph_.finalize();
 }
 
 } // namespace routesync::net

@@ -1,13 +1,30 @@
-// A simplex point-to-point link: serialization at a fixed bit rate, fixed
-// propagation delay, and a drop-tail queue ahead of the transmitter.
+// A simplex point-to-point link, built as a three-element graph
+// (see docs/ELEMENTS.md):
+//
+//     tx[1] -> queue; queue -> [1]tx; tx -> sink
+//
+// i.e. a DelayLink transmitter (serialization at a fixed bit rate, fixed
+// propagation delay) whose overflow feeds a queue element it drains
+// between transmissions, terminating in a CallbackSink that invokes the
+// delivery callback. The queue discipline is a config knob: drop-tail
+// (the historical behaviour and default) or RED.
+//
+// This class is the stable facade the rest of net/ holds: same API as
+// the pre-element Link, byte-identical default behaviour, with the
+// element graph reachable through graph() for metrics and rewiring.
 //
 // Packets travel as PooledPacket handles; the in-flight delivery capture
-// is {Link*, handle} = 24 bytes, inside the event queue's inline-callback
-// budget, so a link hop schedules without touching the heap.
+// is {DelayLink*, handle} = 24 bytes, inside the event queue's
+// inline-callback budget, so a link hop schedules without touching the
+// heap.
 #pragma once
 
 #include <functional>
 
+#include "net/elements/delay_link.hpp"
+#include "net/elements/element_graph.hpp"
+#include "net/elements/queue_element.hpp"
+#include "net/elements/red_queue.hpp"
 #include "net/packet_pool.hpp"
 #include "net/queue.hpp"
 #include "sim/engine.hpp"
@@ -20,6 +37,8 @@ struct LinkConfig {
     double rate_bps = 10e6;                       ///< 10 Mb/s Ethernet-era default; <= 0 means infinite rate
     sim::SimTime delay = sim::SimTime::millis(1); ///< propagation
     std::size_t queue_packets = 64;
+    elements::QueueDisc queue_disc = elements::QueueDisc::DropTail;
+    elements::RedTuning red{}; ///< used when queue_disc == Red
 };
 
 class Link {
@@ -29,54 +48,49 @@ public:
     Link(sim::Engine& engine, const LinkConfig& config,
          std::function<void(PooledPacket)> deliver);
 
-    [[deprecated("use Link(engine, LinkConfig{...}, deliver)")]]
-    Link(sim::Engine& engine, double rate_bps, sim::SimTime prop_delay,
-         std::size_t queue_packets, std::function<void(PooledPacket)> deliver)
-        : Link{engine,
-               LinkConfig{.rate_bps = rate_bps,
-                          .delay = prop_delay,
-                          .queue_packets = queue_packets},
-               std::move(deliver)} {}
-
     /// Queues the packet for transmission; drops (with accounting) when the
     /// queue is full or the link is administratively/physically down.
-    void send(PooledPacket p);
+    void send(PooledPacket p) { tx_->push(0, std::move(p)); }
     /// Convenience: pools a loose packet on the calling thread's pool.
     void send(Packet p) { send(PacketPool::local().acquire(std::move(p))); }
 
     /// Carrier state: a downed link silently discards everything offered
     /// to it (in-flight packets still arrive — they are already on the
     /// wire).
-    void set_up(bool up) noexcept { up_ = up; }
-    [[nodiscard]] bool is_up() const noexcept { return up_; }
-    [[nodiscard]] std::uint64_t down_drops() const noexcept { return down_drops_; }
+    void set_up(bool up) noexcept { tx_->set_up(up); }
+    [[nodiscard]] bool is_up() const noexcept { return tx_->is_up(); }
+    [[nodiscard]] std::uint64_t down_drops() const noexcept {
+        return tx_->down_drops();
+    }
 
     [[nodiscard]] const QueueStats& queue_stats() const noexcept {
-        return queue_.stats();
+        return queue_->stats();
     }
     /// Packets waiting behind the transmitter right now (the level the
     /// ResourceSampler reads; queue_stats() has the cumulative counters).
-    [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
-    [[nodiscard]] std::uint64_t queue_bytes() const noexcept { return queue_.bytes(); }
-    [[nodiscard]] std::size_t queue_capacity() const noexcept {
-        return queue_capacity_;
+    [[nodiscard]] std::size_t queue_depth() const noexcept {
+        return queue_->size();
     }
-    [[nodiscard]] sim::SimTime serialization_time(std::uint32_t bytes) const noexcept;
+    [[nodiscard]] std::uint64_t queue_bytes() const noexcept {
+        return queue_->bytes();
+    }
+    [[nodiscard]] std::size_t queue_capacity() const noexcept {
+        return queue_->capacity();
+    }
+    [[nodiscard]] sim::SimTime serialization_time(std::uint32_t bytes) const noexcept {
+        return tx_->serialization_time(bytes);
+    }
+
+    /// The underlying element graph ("tx", "queue", "sink").
+    [[nodiscard]] elements::ElementGraph& graph() noexcept { return graph_; }
+    [[nodiscard]] const elements::ElementGraph& graph() const noexcept {
+        return graph_;
+    }
 
 private:
-    void start_transmission(PooledPacket p);
-    void transmission_done();
-    void trace_drop(const Packet& p) const;
-
-    sim::Engine& engine_;
-    double rate_bps_;
-    sim::SimTime prop_delay_;
-    std::size_t queue_capacity_;
-    DropTailQueue queue_;
-    std::function<void(PooledPacket)> deliver_;
-    bool transmitting_ = false;
-    bool up_ = true;
-    std::uint64_t down_drops_ = 0;
+    elements::ElementGraph graph_;
+    elements::DelayLink* tx_;
+    elements::QueueElement* queue_;
 };
 
 } // namespace routesync::net

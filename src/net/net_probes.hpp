@@ -67,6 +67,26 @@ inline void watch_router(obs::ResourceSampler& sampler, const std::string& name,
                        });
 }
 
+/// Queue occupancy (vs capacity) for every queue element in an element
+/// graph. Non-queue elements carry no level worth sampling (counters go
+/// through collect_metrics instead), so they are skipped.
+inline void watch_element_graph(obs::ResourceSampler& sampler,
+                                const std::string& name, int node,
+                                const elements::ElementGraph& graph) {
+    for (const auto& elem : graph.elements()) {
+        const auto* queue =
+            dynamic_cast<const elements::QueueElement*>(elem.get());
+        if (queue == nullptr) {
+            continue;
+        }
+        sampler.add_source(name + "." + queue->name(), node, [queue] {
+            return obs::ResourceSampler::Sample{
+                static_cast<double>(queue->size()),
+                static_cast<double>(queue->capacity())};
+        });
+    }
+}
+
 /// Live slots vs allocated capacity of a packet pool (or any slab-backed
 /// pool exposing the same PoolStats shape).
 inline void watch_packet_pool(obs::ResourceSampler& sampler,

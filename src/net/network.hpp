@@ -10,6 +10,7 @@
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "net/router.hpp"
+#include "obs/metrics.hpp"
 
 namespace routesync::net {
 
@@ -70,6 +71,17 @@ public:
             views.push_back(LinkView{d.a, d.b, d.a_to_b, d.b_to_a});
         }
         return views;
+    }
+
+    /// Folds every link's element-graph counters into `reg` under
+    /// "<prefix>.<element>.<counter>". Links share element names ("tx",
+    /// "queue", "sink"), so the counters aggregate across the topology —
+    /// "elem.link.queue.dropped" is the network-wide queue-drop total.
+    void collect_element_metrics(obs::MetricsRegistry& reg,
+                                 const std::string& prefix = "elem.link") const {
+        for (const auto& link : links_) {
+            link->graph().collect_metrics(reg, prefix);
+        }
     }
 
 private:

@@ -31,6 +31,11 @@ public:
     /// queue is empty.
     PooledPacket pop();
 
+    /// The head packet without removing it; nullptr when empty.
+    [[nodiscard]] const Packet* front() const noexcept {
+        return items_.empty() ? nullptr : items_.front().get();
+    }
+
     [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
     [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
     [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }

@@ -41,7 +41,7 @@ void Router::forward(PooledPacket p) {
             }
             return;
         }
-        pending_.push_back(std::move(p));
+        pending_.enqueue(std::move(p));
         ++stats_.cpu_blocked_delayed;
         return;
     }
@@ -89,9 +89,7 @@ void Router::cpu_job_finished(std::function<void()> done) {
         }
         // Drain the pending buffer first (they waited out the stall), then
         // wake anyone waiting for idle (e.g. the DV agent's timer re-arm).
-        while (!pending_.empty()) {
-            PooledPacket p = std::move(pending_.front());
-            pending_.pop_front();
+        while (PooledPacket p = pending_.dequeue()) {
             transmit(std::move(p));
         }
         auto waiters = std::move(idle_waiters_);

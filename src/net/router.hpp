@@ -21,11 +21,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <stdexcept>
 #include <vector>
 
+#include "net/elements/fifo_queue.hpp"
 #include "net/node.hpp"
 
 namespace routesync::net {
@@ -48,7 +48,13 @@ public:
            bool blocking_cpu = true, std::size_t pending_capacity = 4)
         : Node{engine, id, std::move(name)},
           blocking_cpu_{blocking_cpu},
-          pending_capacity_{pending_capacity} {}
+          pending_capacity_{pending_capacity},
+          pending_{engine, this->name() + ".pending", pending_capacity} {
+        // The pre-element Router never traced its pending buffer (the CPU
+        // stall is what the trace shows, via the explicit drop event in
+        // forward() and CpuBusyEnd's backlog count); keep that contract.
+        pending_.set_trace_events(false);
+    }
 
     /// Routing-protocol hook: invoked for every routing update addressed
     /// here (or broadcast). The agent decides the processing cost and calls
@@ -117,7 +123,10 @@ private:
 
     sim::SimTime cpu_free_at_ = sim::SimTime::zero();
     int cpu_jobs_pending_ = 0;
-    std::deque<PooledPacket> pending_; // packets waiting out a CPU stall
+    /// Packets waiting out a CPU stall — a queue element so the pending
+    /// buffer shares the discipline/metrics machinery of every other
+    /// queue in the packet path.
+    elements::FifoQueue pending_;
     std::vector<std::function<void()>> idle_waiters_;
 
     RouterStats stats_;

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "net/elements/fifo_queue.hpp"
 #include "obs/tracer.hpp"
 
 namespace routesync::net {
 
 SharedLan::SharedLan(sim::Engine& engine, const SharedLanConfig& config)
-    : engine_{engine}, config_{config}, gen_{config.seed} {
+    : engine_{engine}, config_{config}, gen_{config.seed}, graph_{engine} {
     if (config_.rate_bps <= 0.0) {
         throw std::invalid_argument{"SharedLan: rate must be positive"};
     }
@@ -22,26 +24,32 @@ int SharedLan::attach(std::function<void(const Packet&)> deliver) {
     if (!deliver) {
         throw std::invalid_argument{"SharedLan: delivery callback required"};
     }
-    stations_.push_back(Station{std::move(deliver), {}, 0, false});
-    return static_cast<int>(stations_.size()) - 1;
+    const int station = static_cast<int>(stations_.size());
+    const std::string qname = "st" + std::to_string(station);
+    elements::QueueElement* queue = nullptr;
+    if (config_.queue_disc == elements::QueueDisc::Red) {
+        elements::RedTuning tuning = config_.red;
+        tuning.seed += static_cast<std::uint64_t>(station);
+        queue = &graph_.add<elements::RedQueue>(
+            qname, config_.station_queue_packets, tuning);
+    } else {
+        queue = &graph_.add<elements::FifoQueue>(qname,
+                                                 config_.station_queue_packets);
+    }
+    // Enqueue/drop trace events carry the station index (this medium's
+    // node id space), not the frame's src field.
+    queue->set_trace_node(station);
+    stations_.push_back(Station{std::move(deliver), queue, 0, false});
+    return station;
 }
 
 void SharedLan::send(int station, PooledPacket p) {
     auto& st = stations_.at(static_cast<std::size_t>(station));
     ++stats_.frames_offered;
-    if (st.queue.size() >= config_.station_queue_packets) {
+    if (!st.queue->enqueue(std::move(p))) {
         ++stats_.drops_queue_full;
-        if (obs::Tracer* tr = engine_.tracer()) {
-            tr->emit(obs::TraceEventType::PacketDrop, engine_.now(), station,
-                     static_cast<std::int64_t>(p->seq), p->size_bytes);
-        }
         return;
     }
-    if (obs::Tracer* tr = engine_.tracer()) {
-        tr->emit(obs::TraceEventType::PacketEnqueue, engine_.now(), station,
-                 static_cast<std::int64_t>(p->seq), p->size_bytes);
-    }
-    st.queue.push_back(std::move(p));
     if (!st.pending) {
         st.pending = true;
         st.attempts = 0;
@@ -51,7 +59,7 @@ void SharedLan::send(int station, PooledPacket p) {
 
 void SharedLan::contend(int station) {
     auto& st = stations_[static_cast<std::size_t>(station)];
-    if (st.queue.empty()) {
+    if (st.queue->empty()) {
         st.pending = false;
         return;
     }
@@ -79,7 +87,8 @@ void SharedLan::contend(int station) {
     current_owner_ = station;
     tx_start_ = now;
     const sim::SimTime duration = sim::SimTime::seconds(
-        static_cast<double>(st.queue.front()->size_bytes) * 8.0 / config_.rate_bps);
+        static_cast<double>(st.queue->peek()->size_bytes) * 8.0 /
+        config_.rate_bps);
     channel_free_at_ = now + duration + config_.inter_frame_gap;
     tx_end_event_ =
         engine_.schedule_after(duration, [this] { transmission_done(); });
@@ -101,13 +110,13 @@ void SharedLan::collide(int second_station) {
         if (st.attempts >= config_.max_attempts) {
             ++stats_.drops_excessive_collisions;
             if (obs::Tracer* tr = engine_.tracer()) {
-                const PooledPacket& head = st.queue.front();
+                const Packet* head = st.queue->peek();
                 tr->emit(obs::TraceEventType::PacketDrop, engine_.now(), station,
                          static_cast<std::int64_t>(head->seq), head->size_bytes);
             }
-            st.queue.pop_front();
+            st.queue->dequeue().reset();
             st.attempts = 0;
-            if (st.queue.empty()) {
+            if (st.queue->empty()) {
                 st.pending = false;
                 continue;
             }
@@ -132,8 +141,7 @@ void SharedLan::transmission_done() {
     current_owner_ = -1;
 
     auto& st = stations_[static_cast<std::size_t>(owner)];
-    PooledPacket frame = std::move(st.queue.front());
-    st.queue.pop_front();
+    PooledPacket frame = st.queue->dequeue();
     st.attempts = 0;
     ++stats_.frames_delivered;
     if (obs::Tracer* tr = engine_.tracer()) {
@@ -159,7 +167,7 @@ void SharedLan::transmission_done() {
 
 void SharedLan::station_next(int station) {
     auto& st = stations_[static_cast<std::size_t>(station)];
-    if (st.queue.empty()) {
+    if (st.queue->empty()) {
         st.pending = false;
         return;
     }

@@ -17,6 +17,9 @@
 #include <functional>
 #include <vector>
 
+#include "net/elements/element_graph.hpp"
+#include "net/elements/queue_element.hpp"
+#include "net/elements/red_queue.hpp"
 #include "net/packet_pool.hpp"
 #include "rng/rng.hpp"
 #include "sim/engine.hpp"
@@ -32,6 +35,10 @@ struct SharedLanConfig {
     int max_backoff_exponent = 10;
     int max_attempts = 16; ///< frame dropped afterwards (excessive collisions)
     std::size_t station_queue_packets = 64;
+    /// Per-station queue discipline (the RED-vs-drop-tail knob; station
+    /// i's RED lottery is seeded red.seed + i so stations decorrelate).
+    elements::QueueDisc queue_disc = elements::QueueDisc::DropTail;
+    elements::RedTuning red{};
     std::uint64_t seed = 1;
 };
 
@@ -71,13 +78,13 @@ public:
     /// Frames currently queued at `station` (the level the
     /// ResourceSampler reads; stats() has the cumulative counters).
     [[nodiscard]] std::size_t station_queue_depth(int station) const {
-        return stations_.at(static_cast<std::size_t>(station)).queue.size();
+        return stations_.at(static_cast<std::size_t>(station)).queue->size();
     }
     /// Frames queued across all stations.
     [[nodiscard]] std::size_t queued_frames() const noexcept {
         std::size_t total = 0;
         for (const Station& st : stations_) {
-            total += st.queue.size();
+            total += st.queue->size();
         }
         return total;
     }
@@ -85,10 +92,17 @@ public:
         return config_.station_queue_packets;
     }
 
+    /// The element graph holding the per-station queues ("st0", "st1",
+    /// ...), for metric collection and discipline inspection.
+    [[nodiscard]] elements::ElementGraph& graph() noexcept { return graph_; }
+    [[nodiscard]] const elements::ElementGraph& graph() const noexcept {
+        return graph_;
+    }
+
 private:
     struct Station {
         std::function<void(const Packet&)> deliver;
-        std::deque<PooledPacket> queue;
+        elements::QueueElement* queue; ///< owned by graph_
         int attempts = 0;   ///< collisions suffered by the head frame
         bool pending = false; ///< head frame is scheduled/contending
     };
@@ -105,6 +119,7 @@ private:
     sim::Engine& engine_;
     SharedLanConfig config_;
     rng::DefaultEngine gen_;
+    elements::ElementGraph graph_; ///< owns the station queue elements
     std::deque<Station> stations_; ///< deque: grows without relocating stations
 
     // Channel state.

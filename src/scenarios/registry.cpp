@@ -1,0 +1,314 @@
+#include "scenarios/registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "net/elements/queue_element.hpp"
+#include "scenarios/audiocast.hpp"
+#include "scenarios/nearnet.hpp"
+#include "scenarios/shared_lan_scenario.hpp"
+
+namespace routesync::scenarios {
+
+namespace {
+
+double flag_d(const ScenarioFlags& flags, const std::string& key,
+              double fallback) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+int flag_i(const ScenarioFlags& flags, const std::string& key, int fallback) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+std::string flag_s(const ScenarioFlags& flags, const std::string& key,
+                   const std::string& fallback = {}) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+}
+
+// ---- builtin: nearnet ---------------------------------------------------
+// The Figure 1/2 testbed with a ping probe; prints a loss summary. The
+// full paper reproduction (series, autocorrelation, checks) stays in
+// bench/fig01/fig02 — this runner is the interactive knob-turning entry.
+int run_nearnet(const ScenarioFlags& flags) {
+    NearnetConfig cfg;
+    cfg.core_routers = flag_i(flags, "core-routers", cfg.core_routers);
+    cfg.filler_routes = flag_i(flags, "filler-routes", cfg.filler_routes);
+    cfg.update_period_sec = flag_d(flags, "period", cfg.update_period_sec);
+    cfg.jitter_sec = flag_d(flags, "jitter", cfg.jitter_sec);
+    cfg.blocking_cpu = !flags.contains("non-blocking");
+    cfg.incremental_updates = flags.contains("incremental");
+    cfg.seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 1));
+    NearnetScenario s{cfg};
+
+    apps::PingConfig pc;
+    pc.dst = s.dst().id();
+    pc.count = flag_i(flags, "pings", 1000);
+    apps::PingApp ping{s.src(), pc};
+    ping.start(s.routing_start() + sim::SimTime::seconds(200));
+    const double horizon = flag_d(flags, "max-time", 1500.0);
+    s.engine().run_until(sim::SimTime::seconds(horizon));
+
+    std::printf("scenario,nearnet\n");
+    std::printf("core_routers,%d\n", cfg.core_routers);
+    std::printf("blocking_cpu,%d\n", cfg.blocking_cpu ? 1 : 0);
+    std::printf("jitter_s,%g\n", cfg.jitter_sec);
+    std::printf("pings_sent,%zu\n", ping.rtts().size());
+    std::printf("pings_lost,%d\n", ping.lost());
+    std::printf("loss_fraction,%.4f\n", ping.loss_fraction());
+    return 0;
+}
+
+// ---- builtin: audiocast -------------------------------------------------
+int run_audiocast(const ScenarioFlags& flags) {
+    AudiocastConfig cfg;
+    cfg.core_routers = flag_i(flags, "core-routers", cfg.core_routers);
+    cfg.jitter_sec = flag_d(flags, "jitter", cfg.jitter_sec);
+    cfg.background_pps = flag_d(flags, "bg-pps", cfg.background_pps);
+    cfg.seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 1));
+    AudiocastScenario s{cfg};
+
+    const double horizon = flag_d(flags, "max-time", 720.0);
+    apps::CbrConfig cc;
+    cc.dst = s.audio_dst().id();
+    cc.packets_per_second = 50.0;
+    cc.stop_at = sim::SimTime::seconds(horizon - 15.0);
+    apps::CbrSource src{s.audio_src(), cc};
+    apps::AudioSink sink{s.audio_dst(), sim::SimTime::seconds(0.02)};
+    apps::BackgroundConfig bg;
+    bg.dst = s.bg_dst().id();
+    bg.mean_packets_per_second = 270.0;
+    bg.stop_at = cc.stop_at;
+    bg.seed = 99;
+    apps::BackgroundTraffic cross{s.bg_src(), bg};
+
+    const auto t0 = s.routing_start() + sim::SimTime::seconds(95);
+    src.start(t0);
+    cross.start(t0);
+    s.engine().run_until(sim::SimTime::seconds(horizon));
+
+    const auto spikes = sink.outages_longer_than(0.5);
+    std::printf("scenario,audiocast\n");
+    std::printf("jitter_s,%g\n", cfg.jitter_sec);
+    std::printf("packets_sent,%llu\n",
+                static_cast<unsigned long long>(src.sent()));
+    std::printf("packets_lost,%llu\n",
+                static_cast<unsigned long long>(sink.lost()));
+    std::printf("outages,%zu\n", sink.outages().size());
+    std::printf("periodic_spikes,%zu\n", spikes.size());
+    return 0;
+}
+
+// ---- builtin: shared_lan ------------------------------------------------
+// The RED-vs-drop-tail knob (--queue red|droptail); see
+// shared_lan_scenario.hpp for the mechanism under test.
+int run_shared_lan(const ScenarioFlags& flags) {
+    SharedLanScenarioConfig cfg;
+    cfg.n = flag_i(flags, "n", cfg.n);
+    cfg.tp = sim::SimTime::seconds(flag_d(flags, "tp", cfg.tp.sec()));
+    cfg.tr = sim::SimTime::seconds(flag_d(flags, "tr", cfg.tr.sec()));
+    cfg.tc = sim::SimTime::seconds(flag_d(flags, "tc", cfg.tc.sec()));
+    const std::string queue = flag_s(flags, "queue", "droptail");
+    const auto disc = net::elements::queue_disc_from_name(queue);
+    if (!disc.has_value()) {
+        throw std::invalid_argument{
+            "shared_lan: unknown --queue '" + queue + "' (want red|droptail)"};
+    }
+    cfg.queue_disc = *disc;
+    cfg.queue_packets = static_cast<std::size_t>(
+        flag_i(flags, "queue-cap", static_cast<int>(cfg.queue_packets)));
+    cfg.red.min_th = flag_d(flags, "red-min", cfg.red.min_th);
+    cfg.red.max_th = flag_d(flags, "red-max", cfg.red.max_th);
+    cfg.red.max_p = flag_d(flags, "red-maxp", cfg.red.max_p);
+    cfg.red.weight = flag_d(flags, "red-weight", cfg.red.weight);
+    cfg.bg_burst = flag_i(flags, "bg-burst", cfg.bg_burst);
+    cfg.bg_period =
+        sim::SimTime::seconds(flag_d(flags, "bg-period", cfg.bg_period.sec()));
+    cfg.max_time =
+        sim::SimTime::seconds(flag_d(flags, "max-time", cfg.max_time.sec()));
+    cfg.seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 1));
+
+    const SharedLanScenarioResult r = run_shared_lan_scenario(cfg);
+    std::printf("scenario,shared_lan\n");
+    std::printf("queue,%s\n", net::elements::queue_disc_name(cfg.queue_disc));
+    std::printf("n,%d\n", cfg.n);
+    std::printf("end_time_s,%.3f\n", r.end_time_s);
+    std::printf("frames_offered,%llu\n",
+                static_cast<unsigned long long>(r.frames_offered));
+    std::printf("frames_delivered,%llu\n",
+                static_cast<unsigned long long>(r.frames_delivered));
+    std::printf("collisions,%llu\n",
+                static_cast<unsigned long long>(r.collisions));
+    std::printf("drops_queue,%llu\n",
+                static_cast<unsigned long long>(r.drops_queue_full));
+    std::printf("red_early_drops,%llu\n",
+                static_cast<unsigned long long>(r.red_early_drops));
+    std::printf("red_forced_drops,%llu\n",
+                static_cast<unsigned long long>(r.red_forced_drops));
+    std::printf("updates_sent,%llu\n",
+                static_cast<unsigned long long>(r.updates_sent));
+    std::printf("updates_heard,%llu\n",
+                static_cast<unsigned long long>(r.updates_heard));
+    std::printf("update_delivery_rate,%.4f\n",
+                r.updates_sent == 0
+                    ? 0.0
+                    : static_cast<double>(r.updates_heard) /
+                          (static_cast<double>(r.updates_sent) *
+                           static_cast<double>(cfg.n - 1)));
+    std::printf("largest_cluster,%d\n", r.largest_cluster);
+    std::printf("largest_cluster_time_s,%s\n",
+                r.largest_cluster_time_s
+                    ? std::to_string(*r.largest_cluster_time_s).c_str()
+                    : "none");
+    std::printf("full_sync_time_s,%s\n",
+                r.full_sync_time_s ? std::to_string(*r.full_sync_time_s).c_str()
+                                   : "none");
+    return 0;
+}
+
+ScenarioEntry builtin(std::string name, std::string summary,
+                      std::string flags_help,
+                      std::function<int(const ScenarioFlags&)> run) {
+    ScenarioEntry e;
+    e.name = std::move(name);
+    e.summary = std::move(summary);
+    e.flags_help = std::move(flags_help);
+    e.run = std::move(run);
+    return e;
+}
+
+ScenarioEntry external(std::string name, std::string summary,
+                       std::string binary) {
+    ScenarioEntry e;
+    e.name = std::move(name);
+    e.summary = std::move(summary);
+    e.binary = std::move(binary);
+    return e;
+}
+
+} // namespace
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+void ScenarioRegistry::add(ScenarioEntry entry) {
+    if (entry.name.empty()) {
+        throw std::invalid_argument{"ScenarioRegistry: empty scenario name"};
+    }
+    if (entry.run == nullptr && entry.binary.empty()) {
+        throw std::invalid_argument{"ScenarioRegistry: entry '" + entry.name +
+                                    "' is neither builtin nor external"};
+    }
+    if (find(entry.name) != nullptr) {
+        throw std::invalid_argument{"ScenarioRegistry: duplicate scenario '" +
+                                    entry.name + "'"};
+    }
+    entries_.push_back(std::move(entry));
+}
+
+const ScenarioEntry* ScenarioRegistry::find(const std::string& name) const {
+    for (const ScenarioEntry& e : entries_) {
+        if (e.name == name) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+int ScenarioRegistry::run(const std::string& name,
+                          const ScenarioFlags& flags) const {
+    const ScenarioEntry* entry = find(name);
+    if (entry == nullptr) {
+        throw std::invalid_argument{
+            "unknown scenario '" + name +
+            "' (run `routesync scenario list` for the table)"};
+    }
+    if (entry->is_builtin()) {
+        return entry->run(flags);
+    }
+    // External: exec the standalone binary, forwarding the flags (minus
+    // the dispatch-only --bin-dir) verbatim.
+    std::string cmd = flag_s(flags, "bin-dir", ".") + "/" + entry->binary;
+    for (const auto& [key, value] : flags) {
+        if (key == "bin-dir") {
+            continue;
+        }
+        cmd += " --" + key;
+        if (value != "1") {
+            cmd += " " + value;
+        }
+    }
+    const int status = std::system(cmd.c_str()); // NOLINT(cert-env33-c)
+    if (status < 0) {
+        throw std::runtime_error{"scenario run: failed to exec " + cmd};
+    }
+    return status == 0 ? 0 : 1;
+}
+
+void register_builtin_scenarios() {
+    ScenarioRegistry& reg = ScenarioRegistry::instance();
+    if (reg.find("nearnet") != nullptr) {
+        return; // already populated
+    }
+    reg.add(builtin(
+        "nearnet",
+        "Fig 1/2 testbed: pings through synchronized IGRP core routers",
+        "--core-routers --filler-routes --period --jitter --pings "
+        "--max-time --seed [--non-blocking] [--incremental]",
+        run_nearnet));
+    reg.add(builtin(
+        "audiocast",
+        "Fig 3 testbed: audio outages under synchronized RIP storms",
+        "--core-routers --jitter --bg-pps --max-time --seed",
+        run_audiocast));
+    reg.add(builtin(
+        "shared_lan",
+        "periodic updates on a congested CSMA/CD LAN; RED vs drop-tail "
+        "station queues",
+        "--queue red|droptail --n --tp --tr --tc --queue-cap --red-min "
+        "--red-max --red-maxp --red-weight --bg-burst --bg-period "
+        "--max-time --seed",
+        run_shared_lan));
+    // The standalone paper figures and examples, addressable through the
+    // same table (resolved against --bin-dir, default ".": run from the
+    // build directory).
+    reg.add(external("fig1", "ping losses from synchronized IGRP updates",
+                     "bench/fig01_ping_losses"));
+    reg.add(external("fig2", "ping-loss autocorrelation",
+                     "bench/fig02_autocorrelation"));
+    reg.add(external("fig3", "audio outages under synchronized RIP",
+                     "bench/fig03_audio_outages"));
+    reg.add(external("fig4", "evolution of synchronization clusters",
+                     "bench/fig04_sync_evolution"));
+    reg.add(external("fig5", "close-up of a cluster merge",
+                     "bench/fig05_cluster_closeup"));
+    reg.add(external("fig6", "cluster-size transition graph",
+                     "bench/fig06_cluster_graph"));
+    reg.add(external("fig7", "unsynchronized-start jitter sweep",
+                     "bench/fig07_unsync_start_sweep"));
+    reg.add(external("fig8", "synchronized-start jitter sweep",
+                     "bench/fig08_sync_start_sweep"));
+    reg.add(external("ablation_shared_lan",
+                     "PM workload over real CSMA/CD (Section 3 ablation)",
+                     "bench/ablation_shared_lan"));
+    reg.add(external("quickstart", "minimal end-to-end simulation example",
+                     "examples/quickstart"));
+    reg.add(external("routing_storm", "routing-storm walkthrough example",
+                     "examples/routing_storm"));
+    reg.add(external("jitter_tuning", "jitter-tuning walkthrough example",
+                     "examples/jitter_tuning"));
+    reg.add(external("triggered_wave", "triggered-update wave example",
+                     "examples/triggered_wave"));
+    reg.add(external("tcp_global_sync", "TCP global synchronization example",
+                     "examples/tcp_global_sync"));
+}
+
+} // namespace routesync::scenarios

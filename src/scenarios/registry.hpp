@@ -1,0 +1,77 @@
+// One table of runnable scenarios, keyed by name.
+//
+// Before this registry every testbed was its own binary with its own
+// dispatch (bench/fig*.cpp, examples/*.cpp), so "what can I run?" had no
+// single answer. Entries come in two kinds:
+//
+//   * builtin  — a std::function runner linked into this library. It
+//     receives the parsed --flag map (the same shape as cli::Flags; the
+//     registry deliberately takes std::map<std::string, std::string>
+//     rather than including tools/flags.hpp, so the library keeps zero
+//     dependency on the CLI layer) and returns a process exit code.
+//   * external — a relative path to a standalone binary (the figures and
+//     examples keep their own main()s). run() resolves the path against
+//     the --bin-dir flag and executes it, forwarding the remaining
+//     flags verbatim.
+//
+// `routesync scenario list` prints the table; `routesync scenario run
+// <name> [--flags]` dispatches through it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace routesync::scenarios {
+
+/// Parsed "--name value" pairs, exactly the shape cli::parse_flags
+/// produces (boolean flags carry the value "1").
+using ScenarioFlags = std::map<std::string, std::string>;
+
+struct ScenarioEntry {
+    std::string name;
+    std::string summary;
+    /// One-line flag cheat-sheet shown by `scenario list` (builtins only).
+    std::string flags_help;
+    /// In-process runner; null for external entries.
+    std::function<int(const ScenarioFlags&)> run;
+    /// Binary path relative to --bin-dir; empty for builtins.
+    std::string binary;
+
+    [[nodiscard]] bool is_builtin() const noexcept { return run != nullptr; }
+};
+
+class ScenarioRegistry {
+public:
+    /// The process-wide table. Starts empty; call
+    /// register_builtin_scenarios() (idempotent) to populate it.
+    static ScenarioRegistry& instance();
+
+    /// Throws std::invalid_argument on a duplicate or empty name, or an
+    /// entry that is neither builtin nor external.
+    void add(ScenarioEntry entry);
+
+    [[nodiscard]] const ScenarioEntry* find(const std::string& name) const;
+
+    /// Registration order (builtins first, then figures, then examples).
+    [[nodiscard]] const std::vector<ScenarioEntry>& entries() const noexcept {
+        return entries_;
+    }
+
+    /// Dispatches to the named entry. Builtins run in-process; external
+    /// entries exec "<bin-dir>/<binary>" (bin-dir from `flags`, default
+    /// ".") with the remaining flags forwarded. Throws
+    /// std::invalid_argument for an unknown name.
+    int run(const std::string& name, const ScenarioFlags& flags) const;
+
+private:
+    std::vector<ScenarioEntry> entries_;
+};
+
+/// Fills the registry with the built-in table: the in-process scenarios
+/// (nearnet, audiocast, shared_lan) plus external entries for every
+/// figure and example binary. Safe to call more than once.
+void register_builtin_scenarios();
+
+} // namespace routesync::scenarios

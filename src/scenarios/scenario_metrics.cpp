@@ -24,6 +24,9 @@ void collect_network_metrics(
         reg.add("dv.routes_timed_out", ds.routes_timed_out);
         reg.add("dv.timer_arms", ds.timer_arms);
     }
+    // Per-element counters of the packet path, aggregated across links
+    // ("elem.link.queue.dropped" = network-wide queue-drop total).
+    network.collect_element_metrics(reg);
 }
 
 } // namespace routesync::scenarios

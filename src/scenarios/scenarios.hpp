@@ -1,5 +1,7 @@
 // Umbrella header for the reusable measurement testbeds.
 #pragma once
 
-#include "scenarios/audiocast.hpp" // IWYU pragma: export
-#include "scenarios/nearnet.hpp"   // IWYU pragma: export
+#include "scenarios/audiocast.hpp"          // IWYU pragma: export
+#include "scenarios/nearnet.hpp"            // IWYU pragma: export
+#include "scenarios/registry.hpp"           // IWYU pragma: export
+#include "scenarios/shared_lan_scenario.hpp" // IWYU pragma: export

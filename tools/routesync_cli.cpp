@@ -46,6 +46,7 @@
 #include "obs/trace_analysis.hpp"
 #include "obs/trace_reader.hpp"
 #include "parallel/parallel.hpp"
+#include "scenarios/registry.hpp"
 #include "tools/flags.hpp"
 
 using namespace routesync;
@@ -452,6 +453,52 @@ int cmd_trace_replay_check(const Flags& flags) {
     return failures == 0 ? 0 : 1;
 }
 
+// `scenario list` prints the registry table; `scenario run <name>
+// [--flags]` dispatches through it. Builtins run in-process; figure and
+// example binaries exec relative to --bin-dir (default: the build root,
+// inferred from this binary's own path — tools/ and bench/ are
+// siblings).
+int cmd_scenario(int argc, char** argv) {
+    scenarios::register_builtin_scenarios();
+    const auto& registry = scenarios::ScenarioRegistry::instance();
+    if (argc < 3) {
+        throw std::invalid_argument{"scenario: need an action (list|run NAME)"};
+    }
+    const std::string action = argv[2];
+    if (action == "list") {
+        std::printf("%-18s %-8s %s\n", "name", "kind", "summary");
+        for (const auto& e : registry.entries()) {
+            std::printf("%-18s %-8s %s\n", e.name.c_str(),
+                        e.is_builtin() ? "builtin" : "external",
+                        e.summary.c_str());
+            if (!e.flags_help.empty()) {
+                std::printf("%-18s %-8s   flags: %s\n", "", "",
+                            e.flags_help.c_str());
+            }
+        }
+        return 0;
+    }
+    if (action == "run") {
+        if (argc < 4) {
+            throw std::invalid_argument{"scenario run: need a scenario name"};
+        }
+        const std::string name = argv[3];
+        Flags flags = cli::parse_flags(argc, argv, 4);
+        if (!flags.contains("bin-dir")) {
+            // argv[0] is <build>/tools/routesync; the figure and example
+            // binaries live in <build>/bench and <build>/examples.
+            std::string self = argv[0];
+            const auto slash = self.find_last_of('/');
+            flags["bin-dir"] =
+                (slash == std::string::npos ? std::string{"."}
+                                            : self.substr(0, slash)) +
+                "/..";
+        }
+        return registry.run(name, flags);
+    }
+    throw std::invalid_argument{"scenario: unknown action '" + action + "'"};
+}
+
 int cmd_trace(int argc, char** argv) {
     if (argc < 3) {
         throw std::invalid_argument{
@@ -476,7 +523,7 @@ int cmd_trace(int argc, char** argv) {
 
 void usage() {
     std::fprintf(stderr,
-                 "usage: routesync <pm|chain|sweep|threshold|f2|trace> [--flag value]...\n"
+                 "usage: routesync <pm|chain|sweep|threshold|f2|trace|scenario> [--flag value]...\n"
                  "  pm        --n --tp --tr --tc --seed --max-time [--sync-start]\n"
                  "            [--reset-at-expiry] [--half-period] [--delta X]\n"
                  "            [--stop-on-sync] [--stop-on-breakup K]\n"
@@ -496,6 +543,11 @@ void usage() {
                  "            export-chrome: [--out FILE]\n"
                  "            replay-check:  [--tolerance SEC] [--expect FILE]\n"
                  "                           [--print] (exit 1 on mismatch)\n"
+                 "  scenario  list | run NAME [--flag value]... [--bin-dir DIR]\n"
+                 "            one table of testbeds, figures, and examples;\n"
+                 "            `list` shows each entry's flags. shared_lan\n"
+                 "            takes --queue red|droptail (the element-graph\n"
+                 "            AQM knob).\n"
                  "\n"
                  "  --jobs N  worker threads for parallel sweeps (default and\n"
                  "            N = 0: hardware concurrency). Results are\n"
@@ -512,9 +564,10 @@ int main(int argc, char** argv) {
         return 2;
     }
     const std::string cmd = argv[1];
-    if (cmd == "trace") {
+    if (cmd == "trace" || cmd == "scenario") {
         try {
-            return cmd_trace(argc, argv);
+            return cmd == "trace" ? cmd_trace(argc, argv)
+                                  : cmd_scenario(argc, argv);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 2;

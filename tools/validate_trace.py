@@ -76,6 +76,28 @@ MANIFEST_FIELDS = {
     "failed_checks": (int,),
 }
 
+# Per-element metric names the element graph (src/net/elements/) emits:
+# every counter under the "elem." prefix must end in one of these
+# suffixes, and every "elem." gauge in one of the gauge suffixes. A new
+# element counter is a schema change — add its suffix here deliberately.
+ELEMENT_COUNTER_SUFFIXES = {
+    "enqueued",       # QueueElement: packets accepted
+    "dequeued",       # QueueElement: packets drained
+    "dropped",        # QueueElement: packets rejected (all causes)
+    "early_drops",    # RedQueue: probabilistic drops below max_th
+    "forced_drops",   # RedQueue: full-queue / above-max_th drops
+    "transmissions",  # DelayLink: serializations started
+    "down_drops",     # DelayLink: offered while carrier was down
+    "delivered",      # CallbackSink: packets handed to the callback
+    "updates_sent",   # PeriodicAgent: timer firings
+    "updates_heard",  # PeriodicAgent: updates received on "hear"
+    "timer_arms",     # PeriodicAgent: interval draws
+}
+
+ELEMENT_GAUGE_SUFFIXES = {
+    "avg",  # RedQueue: EWMA queue average at collection time
+}
+
 TRACE_BLOCK_FIELDS = {
     "path": (str,),
     "events": (int,),
@@ -169,11 +191,30 @@ def load_manifest(path: str) -> dict:
     return manifest
 
 
+def check_element_metrics(metrics: dict, what: str) -> None:
+    """Name-checks the "elem." namespace the element graph publishes."""
+    for name in metrics.get("counters", {}):
+        if not name.startswith("elem."):
+            continue
+        suffix = name.rsplit(".", 1)[-1]
+        if suffix not in ELEMENT_COUNTER_SUFFIXES:
+            fail(f"{what}: unknown element counter '{name}' "
+                 f"(suffix '{suffix}' is not a known element counter)")
+    for name in metrics.get("gauges", {}):
+        if not name.startswith("elem."):
+            continue
+        suffix = name.rsplit(".", 1)[-1]
+        if suffix not in ELEMENT_GAUGE_SUFFIXES:
+            fail(f"{what}: unknown element gauge '{name}' "
+                 f"(suffix '{suffix}' is not a known element gauge)")
+
+
 def check_manifest(manifest: dict, what: str) -> None:
     check_fields(manifest, MANIFEST_FIELDS, what)
     for kind in ("counters", "gauges", "distributions", "histograms"):
         if kind not in manifest["metrics"]:
             fail(f"{what}: metrics block missing '{kind}'")
+    check_element_metrics(manifest["metrics"], what)
     if "profile" not in manifest:
         fail(f"{what}: missing field 'profile' (object or null)")
     profile = manifest["profile"]
@@ -381,6 +422,34 @@ def cmd_selftest(args: argparse.Namespace) -> None:
         check_manifest(good_manifest, "selftest")
         check_manifest(dict(good_manifest, profile=None, trace=None),
                        "selftest")
+
+        # Element-graph metric names: known suffixes pass, unknown fail.
+        good_elem_metrics = {
+            "counters": {"elem.link.queue.enqueued": 4,
+                         "elem.link.queue.early_drops": 1,
+                         "elem.link.tx.transmissions": 5,
+                         "elem.link.sink.delivered": 5,
+                         "elem.agent0.updates_sent": 2,
+                         "router.forwarded": 9},  # non-elem: not name-checked
+            "gauges": {"elem.st0.avg": 1.5},
+            "distributions": {}, "histograms": {},
+        }
+        check_manifest(dict(good_manifest, metrics=good_elem_metrics),
+                       "selftest")
+        _expect_fail(
+            lambda: check_manifest(
+                dict(good_manifest,
+                     metrics=dict(good_elem_metrics,
+                                  counters={"elem.link.queue.enqueue": 1})),
+                "m"),
+            "unknown element counter", "typo'd element counter suffix")
+        _expect_fail(
+            lambda: check_manifest(
+                dict(good_manifest,
+                     metrics=dict(good_elem_metrics,
+                                  gauges={"elem.st0.average": 1.0})),
+                "m"),
+            "unknown element gauge", "typo'd element gauge suffix")
         _expect_fail(
             lambda: check_manifest(
                 {k: v for k, v in good_manifest.items() if k != "profile"},
