@@ -65,6 +65,10 @@ struct Options {
     /// forward this to ExperimentConfig::sample_every / scenario configs.
     double sample_every = 0.0;
     bool profile = false; ///< wall-clock self-profiler on
+    /// Synchronization observatory (obs/sync_monitor.hpp): benches
+    /// forward this to ExperimentConfig::monitor / scenario configs.
+    /// Off by default with nil overhead.
+    bool monitor = false;
     /// Values of the OptionsSpec::extra flags that were present.
     cli::Flags extra;
     /// Unrecognised argv tokens, in order — only populated under
@@ -106,7 +110,8 @@ namespace detail {
 [[noreturn]] inline void usage(const char* argv0, const OptionsSpec& spec) {
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--batch N] [--seed S] [--json] [--quiet]"
-                 " [--trace FILE] [--out FILE] [--sample-every SEC] [--profile]",
+                 " [--trace FILE] [--out FILE] [--sample-every SEC] [--profile]"
+                 " [--monitor]",
                  argv0);
     for (const std::string& name : spec.extra) {
         std::fprintf(stderr, " [--%s V]", name.c_str());
@@ -152,7 +157,8 @@ inline Options& parse_options(int argc, char** argv, const OptionsSpec& spec = {
             name = name.substr(0, eq);
             has_value = true;
         }
-        const bool is_bool = name == "json" || name == "quiet" || name == "profile";
+        const bool is_bool = name == "json" || name == "quiet" ||
+                             name == "profile" || name == "monitor";
         const bool is_known = is_bool || name == "jobs" || name == "batch" ||
                               name == "seed" || name == "trace" ||
                               name == "out" || name == "sample-every" ||
@@ -175,6 +181,8 @@ inline Options& parse_options(int argc, char** argv, const OptionsSpec& spec = {
             o.quiet = true;
         } else if (name == "profile") {
             o.profile = true;
+        } else if (name == "monitor") {
+            o.monitor = true;
         } else if (name == "sample-every") {
             char* end = nullptr;
             const double sec = std::strtod(value.c_str(), &end);

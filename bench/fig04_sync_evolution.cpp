@@ -36,8 +36,14 @@ int main(int argc, char** argv) {
     cfg.record_rounds = true;
     cfg.obs = &options.ctx; // timer/transmit/cluster events land in --trace
     cfg.sample_every = options.sample_every;
+    cfg.monitor = options.monitor;
     if (options.sample_every > 0.0) {
         options.ctx.manifest().set_config("sample_every_sec", options.sample_every);
+    }
+    if (options.monitor) {
+        options.ctx.manifest().set_config("monitor", true);
+        options.ctx.manifest().set_config("sync_threshold", cfg.sync_threshold);
+        options.ctx.manifest().set_config("sync_hysteresis", cfg.sync_hysteresis);
     }
     options.ctx.manifest().seeds.assign(1, cfg.params.seed);
     options.ctx.manifest().set_config("n", cfg.params.n);
@@ -82,6 +88,26 @@ int main(int argc, char** argv) {
     std::printf("full synchronization at : %s s (paper's run: 826 rounds ~ 1e5 s)\n",
                 r.full_sync_time_sec ? fmt_time(*r.full_sync_time_sec).c_str()
                                      : "not reached");
+
+    if (r.sync.has_value()) {
+        section("synchronization observatory (--monitor)");
+        std::printf("order parameter r(end)  : %.6f (max %.6f)\n",
+                    r.sync->r_last, r.sync->r_max);
+        std::printf("time to sync (r >= %.2f): %s s after %llu transitions\n",
+                    cfg.sync_threshold,
+                    r.sync->time_to_sync_sec >= 0.0
+                        ? fmt_time(r.sync->time_to_sync_sec).c_str()
+                        : "never",
+                    static_cast<unsigned long long>(r.sync->transitions));
+        std::printf("cluster entropy (last)  : %.6f, largest fraction %.3f\n",
+                    r.sync->entropy_last, r.sync->largest_fraction_last);
+        std::printf("coupling graph          : %zu edges, total weight %llu\n",
+                    r.sync_coupling.edge_count(),
+                    static_cast<unsigned long long>(
+                        r.sync_coupling.total_weight()));
+        check(r.sync_coupling.total_weight() == r.sync->rearms,
+              "coupling edge weights account for every observed re-arm");
+    }
 
     check(r.full_sync_time_sec.has_value(),
           "initially-unsynchronized system reaches full synchronization");

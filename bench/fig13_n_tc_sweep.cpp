@@ -4,9 +4,11 @@
 // ensures that clusters of routing messages will be quickly broken up",
 // across the whole parameter range.
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "core/core.hpp"
 #include "markov/markov.hpp"
 #include "parallel/parallel.hpp"
 
@@ -25,21 +27,64 @@ markov::FJChain make_chain(int n, double tc, double tr) {
     return markov::FJChain{p};
 }
 
+/// Simulation window for the measured time-to-sync column. fig04's
+/// reference point (N=20, Tc=0.11, Tr=0.1) syncs at ~5.8e4 s, so 1.5e5 s
+/// covers the synchronizing regime with headroom; runs stop early the
+/// instant the full cluster forms.
+constexpr double kSyncWindowSec = 1.5e5;
+
+/// One monitored simulation trial: time to r >= 0.95 (SyncMonitor's
+/// default threshold), or -1 if not reached within the window.
+double measured_time_to_sync(int n, double tc, double tr, std::uint64_t seed,
+                             bool* full_implies_crossing) {
+    core::ExperimentConfig cfg;
+    cfg.params.n = n;
+    cfg.params.tp = sim::SimTime::seconds(121.0);
+    cfg.params.tc = sim::SimTime::seconds(tc);
+    cfg.params.tr = sim::SimTime::seconds(tr);
+    cfg.params.seed = seed;
+    cfg.max_time = sim::SimTime::seconds(kSyncWindowSec);
+    cfg.stop_on_full_sync = true;
+    cfg.monitor = true;
+    const auto r = core::run_experiment(cfg);
+    if (full_implies_crossing != nullptr && r.full_sync_time_sec.has_value() &&
+        !(r.sync.has_value() && r.sync->time_to_sync_sec >= 0.0)) {
+        // The full cluster re-arms in lockstep, so r hits ~1 the moment
+        // it forms: a full-sync run that never crossed threshold is a bug.
+        *full_implies_crossing = false;
+    }
+    return r.sync.has_value() ? r.sync->time_to_sync_sec : -1.0;
+}
+
+std::string fmt_sync(double t) {
+    return t >= 0.0 ? fmt_time(t) : ">window";
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::size_t jobs = parse_options(argc, argv).jobs;
+    OptionsSpec spec;
+    spec.description = "Figure 13: f(N) and g(1) vs Tr/Tc over the N x Tc grid";
+    spec.extra = {"bench-out"}; // BENCH_sweep.json path override
+    Options& options = parse_options(argc, argv, spec);
+    const std::size_t jobs = options.jobs;
     header("Figure 13",
            "f(N) and g(1) vs Tr (in units of Tc) for N in {10,20,30}, "
            "Tc in {0.01, 0.11} s, Tp = 121 s");
 
     bool ten_tc_breaks_everything = true;
     bool breakup_harder_with_n = true;
+    bool full_implies_crossing = true;
+    bool any_sim_synced = false;
+    bool any_sim_never = false;
+    std::ostringstream json_rows;
+    bool first_json_row = true;
 
     for (const double tc : {0.01, 0.11}) {
         for (const int n : {10, 20, 30}) {
             section("Tc = " + std::to_string(tc) + " s, N = " + std::to_string(n));
-            std::printf("%7s %16s %16s\n", "Tr/Tc", "g1_s", "fN_s");
+            std::printf("%7s %16s %16s %16s\n", "Tr/Tc", "g1_s", "fN_s",
+                        "sync_sim_s");
             // Same accumulation as the old serial loop (bit-identical
             // factors); chain evaluations fan out, printing stays serial.
             std::vector<double> grid;
@@ -47,18 +92,33 @@ int main(int argc, char** argv) {
                 grid.push_back(factor);
             }
             struct Row {
-                double g1, fn;
+                double g1, fn, sync_sim;
+                bool full_crossed;
             };
+            const std::uint64_t seed_base = options.seed_or(42);
             const auto rows =
                 parallel::map_index<Row>(grid.size(), jobs, [&](std::size_t i) {
                     const auto chain = make_chain(n, tc, grid[i] * tc);
-                    return Row{chain.time_to_break_up_seconds(),
-                               chain.time_to_synchronize_seconds()};
+                    Row row{chain.time_to_break_up_seconds(),
+                            chain.time_to_synchronize_seconds(), -1.0, true};
+                    row.sync_sim = measured_time_to_sync(
+                        n, tc, grid[i] * tc, seed_base + i, &row.full_crossed);
+                    return row;
                 });
             for (std::size_t i = 0; i < grid.size(); ++i) {
-                std::printf("%7.1f %16s %16s\n", grid[i],
+                std::printf("%7.1f %16s %16s %16s\n", grid[i],
                             fmt_time(rows[i].g1).c_str(),
-                            fmt_time(rows[i].fn).c_str());
+                            fmt_time(rows[i].fn).c_str(),
+                            fmt_sync(rows[i].sync_sim).c_str());
+                full_implies_crossing =
+                    full_implies_crossing && rows[i].full_crossed;
+                (rows[i].sync_sim >= 0.0 ? any_sim_synced : any_sim_never) = true;
+                json_rows << (first_json_row ? "" : ",\n")
+                          << "      {\"n\": " << n << ", \"tc_sec\": " << tc
+                          << ", \"tr_over_tc\": " << grid[i]
+                          << ", \"time_to_sync_sec\": " << rows[i].sync_sim
+                          << "}";
+                first_json_row = false;
             }
             const double g_at_10tc =
                 make_chain(n, tc, 10.0 * tc).time_to_break_up_seconds();
@@ -80,6 +140,26 @@ int main(int argc, char** argv) {
           "(the paper's rule of thumb)");
     check(breakup_harder_with_n,
           "at fixed Tr/Tc, larger networks hold synchronization longer");
+    check(full_implies_crossing,
+          "every simulated run that reached full sync also crossed r >= 0.95 "
+          "(monitor agrees with the cluster tracker)");
+    check(any_sim_synced && any_sim_never,
+          "simulated time-to-sync spans both regimes: reached at small Tr/Tc, "
+          "not reached at large");
+
+    {
+        std::ostringstream out;
+        out << "{\n    \"window_sec\": " << kSyncWindowSec
+            << ",\n    \"threshold\": 0.95,\n    \"rows\": [\n"
+            << json_rows.str() << "\n    ]\n  }";
+        const std::string path =
+            cli::flag_s(options.extra, "bench-out", "BENCH_sweep.json");
+        write_json_section(path, "fig13_time_to_sync", out.str());
+        if (FILE* f = chatter()) {
+            std::fprintf(f, "\nwrote section \"fig13_time_to_sync\" of %s\n",
+                         path.c_str());
+        }
+    }
 
     return footer();
 }

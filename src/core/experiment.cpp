@@ -167,6 +167,21 @@ void finalize_metrics(const ExperimentConfig& config, ExperimentResult& result) 
     if (result.breakup_time_sec.has_value()) {
         reg.observe("experiment.breakup_time_sec", *result.breakup_time_sec);
     }
+    if (result.sync.has_value()) {
+        const obs::SyncReport& s = *result.sync;
+        reg.add("sync.rearms", s.rearms);
+        reg.add("sync.transitions", s.transitions);
+        reg.add("sync.coupling_edges",
+                static_cast<std::uint64_t>(result.sync_coupling.edge_count()));
+        reg.set_gauge("sync.r_last", s.r_last);
+        reg.set_gauge("sync.r_max", s.r_max);
+        reg.set_gauge("sync.entropy_last", s.entropy_last);
+        reg.set_gauge("sync.largest_fraction_last", s.largest_fraction_last);
+        if (s.time_to_sync_sec >= 0.0) {
+            reg.add("sync.synced_runs", 1);
+            reg.observe("sync.time_to_sync_sec", s.time_to_sync_sec);
+        }
+    }
     result.metrics = reg.snapshot();
     if (config.obs != nullptr) {
         config.obs->merge_metrics(result.metrics);
@@ -197,18 +212,46 @@ ExperimentResult run_with(const ExperimentConfig& config, Sim& sim,
     ExperimentResult result;
     result.round_length_sec = sim.round_length().sec();
 
+    // The monitor observes the same callback streams the tracker does;
+    // when it is off the wiring below is exactly the pre-monitor code
+    // (direct tracker sink, no std::function hop on the re-arm path).
+    std::optional<obs::SyncMonitor> monitor;
+    if (config.monitor) {
+        monitor.emplace(
+            obs::SyncMonitorConfig{.n = config.params.n,
+                                   .period_sec = sim.round_length().sec(),
+                                   .threshold = config.sync_threshold,
+                                   .hysteresis = config.sync_hysteresis},
+            tracer);
+    }
+    obs::SyncMonitor* mon = monitor.has_value() ? &*monitor : nullptr;
+
     if (config.transmit_stride > 0) {
-        sim.set_on_transmit([&, stride = config.transmit_stride,
+        sim.set_on_transmit([&, mon, stride = config.transmit_stride,
                              count = std::uint64_t{0}](int node,
                                                        sim::SimTime t) mutable {
+            if (mon != nullptr) {
+                mon->on_transmit(node, t);
+            }
             if (count++ % static_cast<std::uint64_t>(stride) == 0) {
                 result.transmits.push_back(
                     TransmitRecord{node, t.sec(), sim.offset_of(t).sec()});
             }
         });
+    } else if (mon != nullptr) {
+        sim.set_on_transmit(
+            [mon](int node, sim::SimTime t) { mon->on_transmit(node, t); });
     }
 
-    sim.set_tracker_sink(tracker);
+    if (mon != nullptr) {
+        sim.set_on_timer_set(
+            [t = &tracker, mon](int node, sim::SimTime at) {
+                t->on_timer_set(node, at);
+                mon->on_timer_set(node, at);
+            });
+    } else {
+        sim.set_tracker_sink(tracker);
+    }
 
     if (config.stop_on_full_sync) {
         tracker.on_full_sync = [&sim](sim::SimTime) { sim.stop(); };
@@ -259,6 +302,14 @@ ExperimentResult run_with(const ExperimentConfig& config, Sim& sim,
         OBS_PROF_SCOPE("experiment.run");
         sim.run_until(config.max_time);
         tracker.finish();
+    }
+
+    if (mon != nullptr) {
+        // Finish at the run's end time so the coupling_edge events keep
+        // the trace's time monotone past any later-emitted samples.
+        mon->finish(sim.now());
+        result.sync = mon->report();
+        result.sync_coupling = mon->coupling();
     }
 
     assemble_tracker_results(config, tracker, result);
@@ -380,13 +431,16 @@ run_experiment_batch(std::span<const ExperimentConfig> configs) {
 
     struct LaneDriver {
         ClusterTracker* tracker = nullptr;
+        obs::SyncMonitor* monitor = nullptr;
         ExperimentResult* result = nullptr;
         int stride = 0;
         std::uint64_t tx_seen = 0;
     };
     std::vector<LaneDriver> drivers(lanes);
     std::vector<ClusterTracker*> sinks(lanes, nullptr);
+    std::vector<std::unique_ptr<obs::SyncMonitor>> monitors(lanes);
     bool any_stride = false;
+    bool any_monitor = false;
 
     for (std::size_t l = 0; l < lanes; ++l) {
         const ExperimentConfig& config = configs[lane_of[l]];
@@ -402,10 +456,27 @@ run_experiment_batch(std::span<const ExperimentConfig> configs) {
         tracker.record_events(config.record_cluster_events);
         tracker.record_rounds(config.record_rounds);
 
-        drivers[l] = LaneDriver{&tracker, &result, config.transmit_stride, 0};
+        drivers[l] =
+            LaneDriver{&tracker, nullptr, &result, config.transmit_stride, 0};
         sinks[l] = &tracker;
         any_stride = any_stride || config.transmit_stride > 0;
         result.round_length_sec = batch.round_length(l).sec();
+        if (config.monitor) {
+            // A monitored lane routes its re-arms through the
+            // on_timer_set fallback (sink left null) so tracker and
+            // monitor both see the stream — same callback order as the
+            // scalar path's combined lambda.
+            monitors[l] = std::make_unique<obs::SyncMonitor>(
+                obs::SyncMonitorConfig{
+                    .n = config.params.n,
+                    .period_sec = batch.round_length(l).sec(),
+                    .threshold = config.sync_threshold,
+                    .hysteresis = config.sync_hysteresis},
+                config.obs != nullptr ? config.obs->tracer() : nullptr);
+            drivers[l].monitor = monitors[l].get();
+            sinks[l] = nullptr;
+            any_monitor = true;
+        }
 
         if (config.stop_on_full_sync) {
             tracker.on_full_sync = [&batch, l](sim::SimTime) { batch.stop(l); };
@@ -445,15 +516,27 @@ run_experiment_batch(std::span<const ExperimentConfig> configs) {
         }
     }
 
-    if (any_stride) {
+    if (any_stride || any_monitor) {
         batch.on_transmit = [&batch, &drivers](std::size_t l, int node,
                                                sim::SimTime t) {
             LaneDriver& d = drivers[l];
+            if (d.monitor != nullptr) {
+                d.monitor->on_transmit(node, t);
+            }
             if (d.stride > 0 &&
                 d.tx_seen++ % static_cast<std::uint64_t>(d.stride) == 0) {
                 d.result->transmits.push_back(TransmitRecord{
                     node, t.sec(), batch.offset_of(l, t).sec()});
             }
+        };
+    }
+    if (any_monitor) {
+        // Fires only for lanes whose sink is null — i.e. monitored ones.
+        batch.on_timer_set = [&drivers](std::size_t l, int node,
+                                        sim::SimTime t) {
+            LaneDriver& d = drivers[l];
+            d.tracker->on_timer_set(node, t);
+            d.monitor->on_timer_set(node, t);
         };
     }
     batch.tracker_sinks = sinks.data(); // alive through run_all_until below
@@ -470,6 +553,11 @@ run_experiment_batch(std::span<const ExperimentConfig> configs) {
         ExperimentResult& result = results[lane_of[l]];
         ClusterTracker& tracker = *drivers[l].tracker;
         tracker.finish();
+        if (drivers[l].monitor != nullptr) {
+            drivers[l].monitor->finish(batch.now(l));
+            result.sync = drivers[l].monitor->report();
+            result.sync_coupling = drivers[l].monitor->coupling();
+        }
         assemble_tracker_results(config, tracker, result);
         result.total_transmissions = batch.total_transmissions(l);
         result.events_processed = batch.events_processed(l);

@@ -16,6 +16,7 @@
 #include "core/timer_policy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/sync_monitor.hpp"
 #include "sim/sim.hpp"
 
 namespace routesync::obs {
@@ -85,6 +86,18 @@ struct ExperimentConfig {
     /// events but never touches model state, so simulation outcomes are
     /// unchanged.
     double sample_every = 0.0;
+    /// Attach a SyncMonitor (obs/sync_monitor.hpp): streaming order
+    /// parameter r(t), per-round cluster entropy, the time-to-sync
+    /// detector, and the causal coupling graph. Off by default — when
+    /// off, the wiring is byte-for-byte what it was without the feature
+    /// (the hot paths keep their direct ClusterTracker sink). Works on
+    /// all three backends (engine, PmKernel, PmKernelBatch) with
+    /// bit-identical results.
+    bool monitor = false;
+    /// Detector up-crossing level for r (monitor only).
+    double sync_threshold = 0.95;
+    /// Detector down-crossing at threshold - hysteresis (monitor only).
+    double sync_hysteresis = 0.02;
 };
 
 struct ExperimentResult {
@@ -111,6 +124,10 @@ struct ExperimentResult {
     /// metrics blocks are bit-identical across backends by contract, and
     /// this number is backend-specific by nature.
     std::uint64_t kernel_state_bytes = 0;
+    /// Synchronization analytics (set iff config.monitor was on).
+    std::optional<obs::SyncReport> sync;
+    /// Who-reset-whom graph (empty unless config.monitor was on).
+    obs::CouplingGraph sync_coupling;
     /// Per-trial metric snapshot (always populated; cheap). TrialRunner
     /// merges these deterministically across trials — see
     /// parallel::merge_trial_metrics.

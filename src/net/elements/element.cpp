@@ -73,6 +73,14 @@ bool Element::output_connected(int port) const noexcept {
            outputs_[static_cast<std::size_t>(port)].element != nullptr;
 }
 
+Element::PeerView Element::output_peer(int port) const noexcept {
+    if (!output_connected(port)) {
+        return {};
+    }
+    const Peer& peer = outputs_[static_cast<std::size_t>(port)];
+    return {peer.element, peer.port};
+}
+
 bool Element::input_connected(int port) const noexcept {
     return port >= 0 && static_cast<std::size_t>(port) < inputs_.size() &&
            inputs_[static_cast<std::size_t>(port)].element != nullptr;

@@ -102,6 +102,16 @@ public:
     [[nodiscard]] bool output_connected(int port) const noexcept;
     [[nodiscard]] bool input_connected(int port) const noexcept;
 
+    /// The downstream peer wired to `out_port`: {element, its input
+    /// port}, or {nullptr, 0} when the port is out of range or
+    /// unconnected. Read-only topology introspection — this is how
+    /// ElementGraph::wire_spec() recovers the wiring.
+    struct PeerView {
+        const Element* element = nullptr;
+        int port = 0;
+    };
+    [[nodiscard]] PeerView output_peer(int port) const noexcept;
+
 protected:
     /// Pushes `p` to whatever is connected downstream of `out_port`.
     /// Throws std::logic_error when the port was never wired (finalize()

@@ -154,6 +154,36 @@ void ElementGraph::wire(const std::string& spec) {
     }
 }
 
+std::string ElementGraph::wire_spec() const {
+    std::string out;
+    for (const auto& elem : elements_) {
+        out += "// ";
+        out += elem->name();
+        out += " :: ";
+        out += elem->kind();
+        out += '\n';
+    }
+    for (const auto& elem : elements_) {
+        const auto outs = elem->output_ports();
+        for (std::size_t port = 0; port < outs.size(); ++port) {
+            const Element::PeerView peer =
+                elem->output_peer(static_cast<int>(port));
+            if (peer.element == nullptr) {
+                continue;
+            }
+            out += elem->name();
+            out += '[';
+            out += std::to_string(port);
+            out += "] -> [";
+            out += std::to_string(peer.port);
+            out += ']';
+            out += peer.element->name();
+            out += '\n';
+        }
+    }
+    return out;
+}
+
 void ElementGraph::finalize() {
     for (const auto& elem : elements_) {
         const auto outs = elem->output_ports();

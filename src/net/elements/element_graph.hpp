@@ -64,6 +64,15 @@ public:
     /// every connection error Element::connect_output rejects.
     void wire(const std::string& spec);
 
+    /// The graph's wiring as a spec string: one `// name :: Kind`
+    /// comment line per element (insertion order) followed by one
+    /// `a[p] -> [q]b` statement per connected output (element order,
+    /// then port order). The result is deterministic for a given build
+    /// order and parses back through wire() on a graph holding the same
+    /// element names — so a manifest that embeds it records a
+    /// reconstructible topology, not just a description.
+    [[nodiscard]] std::string wire_spec() const;
+
     /// Validates completeness (see file comment); throws std::logic_error
     /// naming the first dangling port. Idempotent.
     void finalize();

@@ -1,0 +1,73 @@
+#include "obs/coupling_graph.hpp"
+
+#include <set>
+
+#include "obs/json.hpp"
+
+namespace routesync::obs {
+
+void CouplingGraph::add_edge(int src, int dst, std::uint64_t weight) {
+    weights_[{src, dst}] += weight;
+    total_ += weight;
+}
+
+std::vector<CouplingGraph::Edge> CouplingGraph::edges() const {
+    std::vector<Edge> out;
+    out.reserve(weights_.size());
+    for (const auto& [key, w] : weights_) {
+        out.push_back(Edge{key.first, key.second, w});
+    }
+    return out;
+}
+
+std::size_t CouplingGraph::node_count() const {
+    std::set<int> nodes;
+    for (const auto& [key, w] : weights_) {
+        nodes.insert(key.first);
+        nodes.insert(key.second);
+    }
+    return nodes.size();
+}
+
+std::string CouplingGraph::to_dot() const {
+    std::string out = "digraph coupling {\n";
+    for (const auto& [key, w] : weights_) {
+        out += "  n";
+        out += std::to_string(key.first);
+        out += " -> n";
+        out += std::to_string(key.second);
+        out += " [label=\"";
+        out += std::to_string(w);
+        out += "\" weight=";
+        out += std::to_string(w);
+        out += "];\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string CouplingGraph::to_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.key("nodes");
+    w.value(static_cast<std::uint64_t>(node_count()));
+    w.key("edges");
+    w.begin_array();
+    for (const auto& [key, weight] : weights_) {
+        w.begin_object();
+        w.key("src");
+        w.value(static_cast<std::int64_t>(key.first));
+        w.key("dst");
+        w.value(static_cast<std::int64_t>(key.second));
+        w.key("weight");
+        w.value(weight);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("total_weight");
+    w.value(total_);
+    w.end_object();
+    return w.str();
+}
+
+} // namespace routesync::obs

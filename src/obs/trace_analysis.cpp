@@ -63,6 +63,18 @@ TraceSummary summarize(const std::vector<TraceEvent>& events,
             }
             break;
         }
+        case TraceEventType::MetricSample: {
+            auto& m = s.metric_samples[e.a];
+            if (m.count == 0) {
+                m.min = m.max = e.b;
+            } else {
+                m.min = std::min(m.min, e.b);
+                m.max = std::max(m.max, e.b);
+            }
+            m.last = e.b;
+            ++m.count;
+            break;
+        }
         default:
             break;
         }
@@ -113,6 +125,20 @@ std::string format_summary(const TraceSummary& s) {
             std::snprintf(buf, sizeof buf, "  %8.3f %10llu  %s\n", lo,
                           static_cast<unsigned long long>(s.tx_phase_hist[i]),
                           std::string(bar_len, '#').c_str());
+            out += buf;
+        }
+    }
+
+    if (!s.metric_samples.empty()) {
+        out += "\nmetric samples (by source id):\n";
+        std::snprintf(buf, sizeof buf, "  %-6s %10s %12s %12s %12s\n", "id",
+                      "count", "min", "max", "last");
+        out += buf;
+        for (const auto& [id, m] : s.metric_samples) {
+            std::snprintf(buf, sizeof buf, "  %-6lld %10llu %12.6g %12.6g %12.6g\n",
+                          static_cast<long long>(id),
+                          static_cast<unsigned long long>(m.count), m.min, m.max,
+                          m.last);
             out += buf;
         }
     }

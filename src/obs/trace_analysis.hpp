@@ -51,6 +51,15 @@ struct TraceSummary {
     /// Begins with no matching end (still busy at trace end) — counted,
     /// not an error.
     std::uint64_t busy_unclosed = 0;
+    /// Per-source statistics over metric_sample values (slot b), keyed by
+    /// the sample's source id (slot a). "last" is last-in-trace-order.
+    struct MetricSeriesStats {
+        std::uint64_t count = 0;
+        double min = 0.0;
+        double max = 0.0;
+        double last = 0.0;
+    };
+    std::map<std::int64_t, MetricSeriesStats> metric_samples;
 };
 
 [[nodiscard]] TraceSummary summarize(const std::vector<TraceEvent>& events,

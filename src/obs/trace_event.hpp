@@ -37,6 +37,14 @@ enum class TraceEventType : std::uint8_t {
                    ///< b = value, x = swept parameter
     ResourceSample, ///< ResourceSampler tick; a = source index, b = value,
                     ///< x = capacity/limit (0 when unbounded)
+    SyncConfig,     ///< SyncMonitor parameters, once per monitored run;
+                    ///< a = hysteresis (microunits), b = round length (s),
+                    ///< x = order-parameter threshold
+    SyncTransition, ///< order parameter crossed the detector threshold;
+                    ///< a = direction (1 = into sync, 0 = out), b = r,
+                    ///< x = threshold
+    CouplingEdge,   ///< who-reset-whom edge, emitted at finish();
+                    ///< node = dst, a = src, b = edge weight (resets)
 };
 
 /// Stable wire name of an event type (the JSONL `type` field).
@@ -55,6 +63,9 @@ enum class TraceEventType : std::uint8_t {
     case TraceEventType::ClusterChange: return "cluster_change";
     case TraceEventType::MetricSample: return "metric_sample";
     case TraceEventType::ResourceSample: return "resource_sample";
+    case TraceEventType::SyncConfig: return "sync_config";
+    case TraceEventType::SyncTransition: return "sync_transition";
+    case TraceEventType::CouplingEdge: return "coupling_edge";
     }
     return "unknown";
 }

@@ -11,14 +11,15 @@ namespace {
 
 // The full vocabulary, for name lookup. Keep in sync with TraceEventType
 // (trace_tool_test round-trips every member).
-constexpr std::array<TraceEventType, 13> kAllTypes = {
+constexpr std::array<TraceEventType, 16> kAllTypes = {
     TraceEventType::TimerSet,      TraceEventType::TimerFire,
     TraceEventType::TimerReset,    TraceEventType::PacketEnqueue,
     TraceEventType::PacketDrop,    TraceEventType::PacketDeliver,
     TraceEventType::UpdateTx,      TraceEventType::UpdateRx,
     TraceEventType::CpuBusyBegin,  TraceEventType::CpuBusyEnd,
     TraceEventType::ClusterChange, TraceEventType::MetricSample,
-    TraceEventType::ResourceSample,
+    TraceEventType::ResourceSample, TraceEventType::SyncConfig,
+    TraceEventType::SyncTransition, TraceEventType::CouplingEdge,
 };
 
 // Minimal strict scanner over one JSONL line. Field order and whitespace

@@ -39,7 +39,9 @@ AudiocastScenario::AudiocastScenario(const AudiocastConfig& config,
     // synchronized cluster holds together exactly as in the model.
     std::vector<net::Router*> cores;
     for (int i = 0; i < config.core_routers; ++i) {
-        auto& c = nw.add_router("C" + std::to_string(i), config.blocking_cpu);
+        std::string name = "C";
+        name += std::to_string(i);
+        auto& c = nw.add_router(name, config.blocking_cpu);
         nw.connect(r1, c, lan);
         nw.connect(r2, c, lan);
         for (net::Router* other : cores) {

@@ -33,7 +33,9 @@ NearnetScenario::NearnetScenario(const NearnetConfig& config, obs::RunContext* o
     std::vector<net::Router*> cores;
     cores.reserve(static_cast<std::size_t>(config.core_routers));
     for (int i = 0; i < config.core_routers; ++i) {
-        auto& c = nw.add_router("C" + std::to_string(i), config.blocking_cpu);
+        std::string name = "C";
+        name += std::to_string(i);
+        auto& c = nw.add_router(name, config.blocking_cpu);
         nw.connect(*r1_, c, core);
         nw.connect(*r2_, c, core);
         cores.push_back(&c);

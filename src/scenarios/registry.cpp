@@ -7,6 +7,8 @@
 
 #include "apps/apps.hpp"
 #include "net/elements/queue_element.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "scenarios/audiocast.hpp"
 #include "scenarios/nearnet.hpp"
 #include "scenarios/shared_lan_scenario.hpp"
@@ -133,6 +135,9 @@ int run_shared_lan(const ScenarioFlags& flags) {
     cfg.max_time =
         sim::SimTime::seconds(flag_d(flags, "max-time", cfg.max_time.sec()));
     cfg.seed = static_cast<std::uint64_t>(flag_i(flags, "seed", 1));
+    cfg.monitor = flags.contains("monitor");
+    cfg.sync_threshold = flag_d(flags, "sync-threshold", cfg.sync_threshold);
+    cfg.sync_hysteresis = flag_d(flags, "sync-hysteresis", cfg.sync_hysteresis);
 
     const SharedLanScenarioResult r = run_shared_lan_scenario(cfg);
     std::printf("scenario,shared_lan\n");
@@ -169,6 +174,83 @@ int run_shared_lan(const ScenarioFlags& flags) {
     std::printf("full_sync_time_s,%s\n",
                 r.full_sync_time_s ? std::to_string(*r.full_sync_time_s).c_str()
                                    : "none");
+    if (r.sync.has_value()) {
+        const obs::SyncReport& s = *r.sync;
+        std::printf("sync_r_last,%.6f\n", s.r_last);
+        std::printf("sync_r_max,%.6f\n", s.r_max);
+        std::printf("sync_transitions,%llu\n",
+                    static_cast<unsigned long long>(s.transitions));
+        std::printf("sync_time_to_sync_s,%s\n",
+                    s.time_to_sync_sec >= 0.0
+                        ? std::to_string(s.time_to_sync_sec).c_str()
+                        : "none");
+        std::printf("sync_entropy_last,%.6f\n", s.entropy_last);
+        std::printf("sync_largest_fraction,%.4f\n", s.largest_fraction_last);
+        std::printf("coupling_edges,%zu\n", r.sync_coupling.edge_count());
+        std::printf("coupling_total_weight,%llu\n",
+                    static_cast<unsigned long long>(
+                        r.sync_coupling.total_weight()));
+    }
+
+    // --out FILE: a run manifest whose config embeds the element graph's
+    // wire spec — the topology that ran, reconstructible via wire().
+    const std::string out = flag_s(flags, "out");
+    if (!out.empty()) {
+        obs::Manifest m;
+        m.tool = "scenario/shared_lan";
+        m.description =
+            "periodic updates on a congested CSMA/CD LAN (" +
+            std::string{net::elements::queue_disc_name(cfg.queue_disc)} +
+            " station queues)";
+        m.seeds = {cfg.seed};
+        // std::string{} forced: a bare const char* would select the bool
+        // overload of set_config.
+        m.set_config("queue", std::string{net::elements::queue_disc_name(
+                                  cfg.queue_disc)});
+        m.set_config("n", cfg.n);
+        m.set_config("tp_sec", cfg.tp.sec());
+        m.set_config("tr_sec", cfg.tr.sec());
+        m.set_config("tc_sec", cfg.tc.sec());
+        m.set_config("queue_packets",
+                     static_cast<std::uint64_t>(cfg.queue_packets));
+        m.set_config("bg_burst", cfg.bg_burst);
+        m.set_config("bg_period_sec", cfg.bg_period.sec());
+        m.set_config("max_time_sec", cfg.max_time.sec());
+        m.set_config("monitor", cfg.monitor);
+        if (cfg.monitor) {
+            m.set_config("sync_threshold", cfg.sync_threshold);
+            m.set_config("sync_hysteresis", cfg.sync_hysteresis);
+        }
+        m.set_config("elements.wire_spec", r.wire_spec);
+
+        obs::MetricsRegistry reg;
+        reg.add("lan.frames_offered", r.frames_offered);
+        reg.add("lan.frames_delivered", r.frames_delivered);
+        reg.add("lan.collisions", r.collisions);
+        reg.add("lan.drops_queue", r.drops_queue_full);
+        reg.add("agents.updates_sent", r.updates_sent);
+        reg.add("agents.updates_heard", r.updates_heard);
+        if (r.sync.has_value()) {
+            // Same names the engine path publishes (finalize_metrics),
+            // so sync.* readers work across both backends.
+            const obs::SyncReport& s = *r.sync;
+            reg.add("sync.rearms", s.rearms);
+            reg.add("sync.transitions", s.transitions);
+            reg.add("sync.coupling_edges",
+                    static_cast<std::uint64_t>(r.sync_coupling.edge_count()));
+            reg.set_gauge("sync.r_last", s.r_last);
+            reg.set_gauge("sync.r_max", s.r_max);
+            reg.set_gauge("sync.entropy_last", s.entropy_last);
+            reg.set_gauge("sync.largest_fraction_last", s.largest_fraction_last);
+            if (s.time_to_sync_sec >= 0.0) {
+                reg.add("sync.synced_runs", 1);
+                reg.observe("sync.time_to_sync_sec", s.time_to_sync_sec);
+            }
+        }
+        m.metrics = reg.snapshot();
+        m.sim_seconds = r.end_time_s;
+        m.write(out);
+    }
     return 0;
 }
 
@@ -275,7 +357,8 @@ void register_builtin_scenarios() {
         "station queues",
         "--queue red|droptail --n --tp --tr --tc --queue-cap --red-min "
         "--red-max --red-maxp --red-weight --bg-burst --bg-period "
-        "--max-time --seed",
+        "--max-time --seed [--monitor [--sync-threshold R] "
+        "[--sync-hysteresis H]] [--out MANIFEST]",
         run_shared_lan));
     // The standalone paper figures and examples, addressable through the
     // same table (resolved against --bin-dir, default ".": run from the

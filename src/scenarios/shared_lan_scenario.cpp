@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "core/cluster_tracker.hpp"
 #include "net/elements/callback_sink.hpp"
 #include "net/elements/element_graph.hpp"
@@ -72,6 +74,20 @@ SharedLanScenarioResult run_shared_lan_scenario(
     core::ClusterTracker tracker{config.n, config.tp + config.tc,
                                  sim::SimTime::millis(50)};
 
+    // The observatory rides the same re-arm stream the tracker sees
+    // (agent start() never fires on_timer_set, so — exactly like the
+    // engine path — the monitor observes re-arms only).
+    std::optional<obs::SyncMonitor> monitor;
+    if (config.monitor) {
+        obs::SyncMonitorConfig mc;
+        mc.n = config.n;
+        mc.period_sec = (config.tp + config.tc).sec();
+        mc.threshold = config.sync_threshold;
+        mc.hysteresis = config.sync_hysteresis;
+        monitor.emplace(mc);
+    }
+    obs::SyncMonitor* mon = monitor.has_value() ? &*monitor : nullptr;
+
     std::vector<net::elements::PeriodicAgent*> agents;
     agents.reserve(static_cast<std::size_t>(config.n));
     rng::DefaultEngine phases{config.seed};
@@ -92,15 +108,23 @@ SharedLanScenarioResult run_shared_lan_scenario(
                 agent.hear(p);
             }
         });
+        // The sink sees every update the agent offers (pre-queue, sender
+        // side) — the transmit stream the monitor samples.
         graph.add<net::elements::CallbackSink>(
             "tolan" + std::to_string(i),
-            [&lan, station](net::PooledPacket p) {
+            [&lan, &engine, station, i, mon](net::PooledPacket p) {
+                if (mon != nullptr) {
+                    mon->on_transmit(i, engine.now());
+                }
                 lan.send(station, std::move(p));
             });
         graph.connect("agent" + std::to_string(i), 0,
                       "tolan" + std::to_string(i), 0);
-        agent.on_timer_set = [&tracker](int node, sim::SimTime t) {
+        agent.on_timer_set = [&tracker, mon](int node, sim::SimTime t) {
             tracker.on_timer_set(node, t);
+            if (mon != nullptr) {
+                mon->on_timer_set(node, t);
+            }
         };
         agent.start(sim::SimTime::seconds(
             rng::uniform_real(phases, 0.0, config.tp.sec())));
@@ -109,6 +133,8 @@ SharedLanScenarioResult run_shared_lan_scenario(
     graph.finalize();
 
     SharedLanScenarioResult result;
+    result.wire_spec = graph.wire_spec();
+
     tracker.on_size_first_reached = [&result](int size, sim::SimTime t) {
         if (size > result.largest_cluster) {
             result.largest_cluster = size;
@@ -122,6 +148,11 @@ SharedLanScenarioResult run_shared_lan_scenario(
 
     engine.run_until(config.max_time);
     tracker.finish();
+    if (mon != nullptr) {
+        mon->finish(engine.now());
+        result.sync = mon->report();
+        result.sync_coupling = mon->coupling();
+    }
     result.full_sync_time_s = tracker.full_sync_time().has_value()
                                   ? std::optional<double>{tracker.full_sync_time()->sec()}
                                   : std::nullopt;

@@ -23,6 +23,7 @@
 
 #include "net/elements/queue_element.hpp"
 #include "net/elements/red_queue.hpp"
+#include "obs/sync_monitor.hpp"
 #include "sim/time.hpp"
 
 namespace routesync::scenarios {
@@ -51,6 +52,15 @@ struct SharedLanScenarioConfig {
 
     sim::SimTime max_time = sim::SimTime::seconds(5000);
     std::uint64_t seed = 1; ///< initial phase draws (and LAN backoff via +1)
+
+    /// Synchronization observatory (the engine path's --monitor, here for
+    /// the element-graph workload): when set, a SyncMonitor rides the
+    /// same agent re-arm stream the ClusterTracker sees and the result
+    /// carries a SyncReport + coupling graph. Off by default — the
+    /// unmonitored run is untouched.
+    bool monitor = false;
+    double sync_threshold = 0.95;
+    double sync_hysteresis = 0.02;
 };
 
 struct SharedLanScenarioResult {
@@ -70,6 +80,12 @@ struct SharedLanScenarioResult {
     std::optional<double> largest_cluster_time_s; ///< first reach of largest
     std::optional<double> full_sync_time_s;
     double end_time_s = 0.0;
+    // Synchronization observatory (present when config.monitor was set).
+    std::optional<obs::SyncReport> sync;
+    obs::CouplingGraph sync_coupling;
+    /// The element graph's wiring (ElementGraph::wire_spec()), recorded
+    /// unconditionally so a manifest can embed the topology that ran.
+    std::string wire_spec;
 };
 
 /// Runs the scenario to full synchronization or `max_time`, whichever

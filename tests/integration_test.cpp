@@ -241,7 +241,9 @@ TEST(CrossCheck, DvRoutersOnLanSynchronizeLikeTheModel) {
     std::vector<net::Router*> routers;
     const int n = 6;
     for (int i = 0; i < n; ++i) {
-        routers.push_back(&nw.add_router("r" + std::to_string(i)));
+        std::string name = "r";
+        name += std::to_string(i);
+        routers.push_back(&nw.add_router(name));
     }
     const net::LinkConfig fast{.rate_bps = 0.0,
                                .delay = sim::SimTime::micros(10)};
@@ -299,7 +301,9 @@ TEST(CrossCheck, JitteredDvRoutersStayUnsynchronized) {
     std::vector<net::Router*> routers;
     const int n = 6;
     for (int i = 0; i < n; ++i) {
-        routers.push_back(&nw.add_router("r" + std::to_string(i)));
+        std::string name = "r";
+        name += std::to_string(i);
+        routers.push_back(&nw.add_router(name));
     }
     const net::LinkConfig fast{.rate_bps = 0.0,
                                .delay = sim::SimTime::micros(10)};

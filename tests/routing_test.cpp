@@ -44,7 +44,9 @@ struct LineNet {
         left = &nw->add_host("L");
         right = &nw->add_host("R");
         for (int i = 0; i < k; ++i) {
-            routers.push_back(&nw->add_router("r" + std::to_string(i)));
+            std::string name = "r";
+            name += std::to_string(i);
+            routers.push_back(&nw->add_router(name));
         }
         nw->connect(*left, *routers.front(), fast_link());
         for (int i = 0; i + 1 < k; ++i) {

@@ -1,0 +1,403 @@
+// Tests for the synchronization observatory (obs/sync_monitor.hpp +
+// obs/coupling_graph.hpp): unit behaviour of the streaming order
+// parameter, detector, entropy, and coupling graph — plus the headline
+// determinism contracts:
+//
+//   * engine vs PmKernel vs PmKernelBatch produce bit-identical sync
+//     reports over randomized configs;
+//   * replay_sync over a run's own trace reproduces the live monitor
+//     exactly (r series endpoints, transitions, coupling graph);
+//   * merged sync.* metrics are byte-identical across --jobs and
+//     --batch settings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+#include "obs/run_context.hpp"
+#include "obs/sync_monitor.hpp"
+#include "obs/trace_sink.hpp"
+#include "parallel/parallel.hpp"
+#include "rng/rng.hpp"
+#include "scenarios/shared_lan_scenario.hpp"
+
+using namespace routesync;
+
+namespace {
+
+// ---- unit: order parameter ----------------------------------------------
+
+TEST(SyncMonitorTest, AlignedPhasesGiveUnityOrderParameter) {
+    obs::SyncMonitorConfig cfg;
+    cfg.n = 4;
+    cfg.period_sec = 10.0;
+    obs::SyncMonitor mon{cfg};
+    EXPECT_EQ(mon.r(), 0.0); // nobody armed yet
+    for (int node = 0; node < 4; ++node) {
+        mon.on_timer_set(node, sim::SimTime::seconds(20.0));
+    }
+    EXPECT_NEAR(mon.r(), 1.0, 1e-12);
+}
+
+TEST(SyncMonitorTest, OppositePhasesCancel) {
+    obs::SyncMonitorConfig cfg;
+    cfg.n = 2;
+    cfg.period_sec = 1.0;
+    obs::SyncMonitor mon{cfg};
+    mon.on_timer_set(0, sim::SimTime::seconds(3.0)); // phase 0
+    mon.on_timer_set(1, sim::SimTime::seconds(3.5)); // phase pi
+    EXPECT_NEAR(mon.r(), 0.0, 1e-12);
+}
+
+TEST(SyncMonitorTest, RearmMovesOnlyThatNodesPhasor) {
+    obs::SyncMonitorConfig cfg;
+    cfg.n = 4;
+    cfg.period_sec = 1.0;
+    obs::SyncMonitor mon{cfg};
+    for (int node = 0; node < 4; ++node) {
+        mon.on_timer_set(node, sim::SimTime::seconds(1.0));
+    }
+    // Node 0 re-arms half a period out: sum = 3*e^{i0} + e^{i*pi}.
+    mon.on_timer_set(0, sim::SimTime::seconds(1.5));
+    EXPECT_NEAR(mon.r(), 0.5, 1e-12);
+    // Partial population: unarmed nodes count in the denominator.
+    obs::SyncMonitorConfig half = cfg;
+    half.n = 8;
+    obs::SyncMonitor mon8{half};
+    for (int node = 0; node < 4; ++node) {
+        mon8.on_timer_set(node, sim::SimTime::seconds(1.0));
+    }
+    EXPECT_NEAR(mon8.r(), 0.5, 1e-12);
+}
+
+// ---- unit: detector ------------------------------------------------------
+
+TEST(SyncMonitorTest, DetectorCrossesWithHysteresis) {
+    obs::SyncMonitorConfig cfg;
+    cfg.n = 2;
+    cfg.period_sec = 1.0;
+    cfg.threshold = 0.9;
+    cfg.hysteresis = 0.3; // down-crossing at 0.6
+    obs::SyncMonitor mon{cfg};
+
+    mon.on_timer_set(0, sim::SimTime::seconds(1.0));
+    EXPECT_EQ(mon.transitions().size(), 0u); // r = 0.5, below threshold
+    mon.on_timer_set(1, sim::SimTime::seconds(2.0));
+    ASSERT_EQ(mon.transitions().size(), 1u); // r ~ 1: entered sync
+    EXPECT_TRUE(mon.transitions()[0].up);
+    EXPECT_EQ(mon.transitions()[0].time, sim::SimTime::seconds(2.0));
+
+    // r drops to ~0.707 — inside the hysteresis band, no transition.
+    mon.on_timer_set(1, sim::SimTime::seconds(2.25));
+    EXPECT_EQ(mon.transitions().size(), 1u);
+    // r drops to ~0: leaves sync.
+    mon.on_timer_set(1, sim::SimTime::seconds(2.5));
+    ASSERT_EQ(mon.transitions().size(), 2u);
+    EXPECT_FALSE(mon.transitions()[1].up);
+
+    mon.finish(sim::SimTime::seconds(3.0));
+    EXPECT_EQ(mon.report().transitions, 2u);
+    EXPECT_FALSE(mon.report().in_sync);
+    EXPECT_EQ(mon.report().time_to_sync_sec, 2.0);
+}
+
+TEST(SyncMonitorTest, ConstructorValidates) {
+    obs::SyncMonitorConfig cfg;
+    cfg.n = 0;
+    cfg.period_sec = 1.0;
+    EXPECT_THROW(obs::SyncMonitor{cfg}, std::invalid_argument);
+    cfg.n = 2;
+    cfg.period_sec = 0.0;
+    EXPECT_THROW(obs::SyncMonitor{cfg}, std::invalid_argument);
+    cfg.period_sec = 1.0;
+    cfg.threshold = 1.5;
+    EXPECT_THROW(obs::SyncMonitor{cfg}, std::invalid_argument);
+    cfg.threshold = 0.5;
+    cfg.hysteresis = 0.6; // >= threshold
+    EXPECT_THROW(obs::SyncMonitor{cfg}, std::invalid_argument);
+}
+
+// ---- unit: per-round entropy --------------------------------------------
+
+TEST(SyncMonitorTest, TwoEqualClustersGiveHalfEntropy) {
+    obs::SyncMonitorConfig cfg;
+    cfg.n = 4;
+    cfg.period_sec = 10.0;
+    obs::SyncMonitor mon{cfg};
+    // One round = 4 re-arms: two clusters of two.
+    mon.on_timer_set(0, sim::SimTime::seconds(1.0));
+    mon.on_timer_set(1, sim::SimTime::seconds(1.0));
+    mon.on_timer_set(2, sim::SimTime::seconds(5.0));
+    mon.on_timer_set(3, sim::SimTime::seconds(5.0));
+    mon.finish(sim::SimTime::seconds(10.0));
+    EXPECT_EQ(mon.report().rounds_closed, 1u);
+    // H = ln 2 normalized by ln 4.
+    EXPECT_NEAR(mon.report().entropy_last, 0.5, 1e-12);
+    EXPECT_EQ(mon.report().largest_fraction_last, 0.5);
+}
+
+// ---- unit: coupling graph ------------------------------------------------
+
+TEST(CouplingGraphTest, AccumulatesAndSorts) {
+    obs::CouplingGraph g;
+    g.add_edge(2, 1);
+    g.add_edge(0, 1, 3);
+    g.add_edge(2, 1); // accumulates onto the first
+    EXPECT_EQ(g.edge_count(), 2u);
+    EXPECT_EQ(g.total_weight(), 5u);
+    EXPECT_EQ(g.node_count(), 3u);
+    const auto edges = g.edges();
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[0].src, 0);
+    EXPECT_EQ(edges[0].weight, 3u);
+    EXPECT_EQ(edges[1].src, 2);
+    EXPECT_EQ(edges[1].weight, 2u);
+
+    obs::CouplingGraph h;
+    h.add_edge(0, 1, 3);
+    h.add_edge(2, 1, 2);
+    EXPECT_TRUE(g == h);
+    h.add_edge(5, 5);
+    EXPECT_FALSE(g == h);
+}
+
+TEST(CouplingGraphTest, DotAndJsonExports) {
+    obs::CouplingGraph g;
+    g.add_edge(0, 1, 7);
+    g.add_edge(1, 1, 2);
+    const std::string dot = g.to_dot();
+    EXPECT_NE(dot.find("digraph coupling {"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+    EXPECT_NE(dot.find("weight=7"), std::string::npos);
+    const std::string json = g.to_json();
+    EXPECT_NE(json.find("\"total_weight\": 9"), std::string::npos);
+    EXPECT_NE(json.find("\"src\": 0"), std::string::npos);
+}
+
+TEST(SyncMonitorTest, CouplingAttributesToLastTransmitter) {
+    obs::SyncMonitorConfig cfg;
+    cfg.n = 3;
+    cfg.period_sec = 10.0;
+    obs::SyncMonitor mon{cfg};
+    // No transmission yet: self-attribution.
+    mon.on_timer_set(0, sim::SimTime::seconds(1.0));
+    mon.on_transmit(1, sim::SimTime::seconds(2.0));
+    mon.on_timer_set(2, sim::SimTime::seconds(3.0)); // 1 -> 2
+    mon.on_transmit(2, sim::SimTime::seconds(4.0));
+    mon.on_timer_set(0, sim::SimTime::seconds(5.0)); // 2 -> 0
+    mon.finish(sim::SimTime::seconds(6.0));
+
+    const auto edges = mon.coupling().edges();
+    ASSERT_EQ(edges.size(), 3u);
+    EXPECT_EQ(edges[0].src, 0); // self edge 0 -> 0
+    EXPECT_EQ(edges[0].dst, 0);
+    EXPECT_EQ(edges[1].src, 1);
+    EXPECT_EQ(edges[1].dst, 2);
+    EXPECT_EQ(edges[2].src, 2);
+    EXPECT_EQ(edges[2].dst, 0);
+    EXPECT_EQ(mon.coupling().total_weight(), mon.report().rearms);
+}
+
+// ---- differential: engine vs PmKernel vs PmKernelBatch -------------------
+
+core::ExperimentConfig random_monitored_config(std::uint64_t seed_base,
+                                               std::size_t i) {
+    rng::DefaultEngine gen{parallel::derive_seed(seed_base, i)};
+    core::ExperimentConfig cfg;
+    cfg.params.n = 3 + static_cast<int>(rng::uniform_real(gen, 0.0, 8.0));
+    cfg.params.tp = sim::SimTime::seconds(121);
+    cfg.params.tc = sim::SimTime::seconds(0.11);
+    cfg.params.tr =
+        sim::SimTime::seconds(rng::uniform_real(gen, 0.02, 0.25));
+    if (rng::uniform_real(gen, 0.0, 1.0) < 0.3) {
+        cfg.params.start = core::StartCondition::Synchronized;
+    }
+    cfg.params.seed = parallel::derive_seed(seed_base + 1, i);
+    cfg.max_time =
+        sim::SimTime::seconds(rng::uniform_real(gen, 3e3, 1e4));
+    cfg.monitor = true;
+    cfg.sync_threshold = rng::uniform_real(gen, 0.3, 0.9);
+    cfg.sync_hysteresis =
+        rng::uniform_real(gen, 0.0, cfg.sync_threshold * 0.4);
+    return cfg;
+}
+
+void expect_sync_identical(const core::ExperimentResult& a,
+                           const core::ExperimentResult& b,
+                           const char* what) {
+    ASSERT_TRUE(a.sync.has_value()) << what;
+    ASSERT_TRUE(b.sync.has_value()) << what;
+    const obs::SyncReport& x = *a.sync;
+    const obs::SyncReport& y = *b.sync;
+    EXPECT_EQ(x.rearms, y.rearms) << what;
+    EXPECT_EQ(x.transmissions, y.transmissions) << what;
+    EXPECT_EQ(x.transitions, y.transitions) << what;
+    EXPECT_EQ(x.rounds_closed, y.rounds_closed) << what;
+    // Bitwise double equality — the contract is bit-identity, not
+    // tolerance.
+    EXPECT_EQ(x.r_last, y.r_last) << what;
+    EXPECT_EQ(x.r_max, y.r_max) << what;
+    EXPECT_EQ(x.entropy_last, y.entropy_last) << what;
+    EXPECT_EQ(x.largest_fraction_last, y.largest_fraction_last) << what;
+    EXPECT_EQ(x.in_sync, y.in_sync) << what;
+    EXPECT_EQ(x.time_to_sync_sec, y.time_to_sync_sec) << what;
+    EXPECT_TRUE(a.sync_coupling == b.sync_coupling) << what;
+}
+
+TEST(SyncMonitorDifferentialTest, BackendsAgreeOnRandomizedConfigs) {
+    constexpr std::size_t kConfigs = 100;
+    std::vector<core::ExperimentConfig> configs;
+    configs.reserve(kConfigs);
+    for (std::size_t i = 0; i < kConfigs; ++i) {
+        configs.push_back(random_monitored_config(2026, i));
+    }
+
+    // The batched kernel advances all lanes lock-step in one pass.
+    std::vector<core::ExperimentResult> batched =
+        core::run_experiment_batch(configs);
+    ASSERT_EQ(batched.size(), kConfigs);
+
+    std::size_t transitions_seen = 0;
+    for (std::size_t i = 0; i < kConfigs; ++i) {
+        core::ExperimentConfig engine_cfg = configs[i];
+        engine_cfg.backend = core::ExperimentBackend::Engine;
+        const core::ExperimentResult engine_r = core::run_experiment(engine_cfg);
+
+        core::ExperimentConfig kernel_cfg = configs[i];
+        kernel_cfg.backend = core::ExperimentBackend::FastKernel;
+        const core::ExperimentResult kernel_r = core::run_experiment(kernel_cfg);
+
+        expect_sync_identical(engine_r, kernel_r, "engine vs kernel");
+        expect_sync_identical(engine_r, batched[i], "engine vs batch");
+        transitions_seen += engine_r.sync->transitions;
+    }
+    // The randomized thresholds must actually exercise the detector —
+    // a sweep where nothing ever crosses would be a vacuous pass.
+    EXPECT_GT(transitions_seen, 0u);
+}
+
+// ---- differential: live monitor vs trace replay --------------------------
+
+TEST(SyncMonitorDifferentialTest, ReplayFromTraceMatchesLiveExactly) {
+    for (std::size_t i = 0; i < 10; ++i) {
+        core::ExperimentConfig cfg = random_monitored_config(777, i);
+
+        obs::RunContext ctx;
+        ctx.set_sink(std::make_unique<obs::RingBufferSink>(1u << 20));
+        cfg.obs = &ctx;
+        const core::ExperimentResult live = core::run_experiment(cfg);
+        ASSERT_TRUE(live.sync.has_value());
+
+        const auto* ring =
+            dynamic_cast<const obs::RingBufferSink*>(ctx.sink());
+        ASSERT_NE(ring, nullptr);
+        ASSERT_EQ(ring->dropped(), 0u);
+        const std::vector<obs::TraceEvent> events(ring->events().begin(),
+                                                  ring->events().end());
+
+        const obs::SyncReplayResult replay = obs::replay_sync(events);
+        EXPECT_TRUE(replay.have_config);
+        EXPECT_EQ(replay.config.n, cfg.params.n);
+        EXPECT_EQ(replay.report.rearms, live.sync->rearms);
+        EXPECT_EQ(replay.report.r_last, live.sync->r_last);
+        EXPECT_EQ(replay.report.r_max, live.sync->r_max);
+        EXPECT_EQ(replay.report.entropy_last, live.sync->entropy_last);
+        EXPECT_EQ(replay.report.time_to_sync_sec, live.sync->time_to_sync_sec);
+        EXPECT_TRUE(replay.coupling == live.sync_coupling);
+
+        // Transition-by-transition: recomputed == recorded == live.
+        ASSERT_EQ(replay.transitions.size(), replay.recorded.size());
+        ASSERT_EQ(replay.transitions.size(),
+                  static_cast<std::size_t>(live.sync->transitions));
+        for (std::size_t k = 0; k < replay.transitions.size(); ++k) {
+            EXPECT_EQ(replay.transitions[k].time, replay.recorded[k].time);
+            EXPECT_EQ(replay.transitions[k].up, replay.recorded[k].up);
+            EXPECT_EQ(replay.transitions[k].r, replay.recorded[k].r);
+        }
+        // The coupling_edge events written at finish() round-trip too.
+        const auto live_edges = live.sync_coupling.edges();
+        ASSERT_EQ(replay.recorded_edges.size(), live_edges.size());
+        for (std::size_t k = 0; k < live_edges.size(); ++k) {
+            EXPECT_EQ(replay.recorded_edges[k].src, live_edges[k].src);
+            EXPECT_EQ(replay.recorded_edges[k].dst, live_edges[k].dst);
+            EXPECT_EQ(replay.recorded_edges[k].weight, live_edges[k].weight);
+        }
+    }
+}
+
+// ---- determinism: merged sync.* metrics across --jobs and --batch --------
+
+TEST(SyncMonitorDifferentialTest, MergedSyncMetricsAreJobsInvariant) {
+    std::vector<core::ExperimentConfig> configs;
+    for (std::size_t i = 0; i < 12; ++i) {
+        configs.push_back(random_monitored_config(31, i));
+    }
+    const parallel::TrialRunner serial{parallel::TrialRunnerOptions{.jobs = 1}};
+    const parallel::TrialRunner wide{parallel::TrialRunnerOptions{.jobs = 8}};
+    const auto r1 = serial.run_all(configs);
+    const auto r8 = wide.run_all(configs);
+    const obs::MetricsSnapshot m1 = parallel::merge_trial_metrics(r1);
+    const obs::MetricsSnapshot m8 = parallel::merge_trial_metrics(r8);
+    EXPECT_EQ(m1.to_json(), m8.to_json());
+    EXPECT_NE(m1.to_json().find("sync.rearms"), std::string::npos);
+}
+
+TEST(SyncMonitorDifferentialTest, BatchWidthDoesNotChangeSyncResults) {
+    std::vector<core::ExperimentConfig> configs;
+    for (std::size_t i = 0; i < 16; ++i) {
+        configs.push_back(random_monitored_config(59, i));
+    }
+    // Width 16 in one call vs width 1 sixteen times.
+    const std::vector<core::ExperimentResult> wide =
+        core::run_experiment_batch(configs);
+    std::vector<core::ExperimentResult> narrow;
+    for (const core::ExperimentConfig& cfg : configs) {
+        narrow.push_back(core::run_experiment_batch(std::span{&cfg, 1})[0]);
+    }
+    ASSERT_EQ(wide.size(), narrow.size());
+    std::vector<obs::MetricsSnapshot> wide_parts, narrow_parts;
+    for (std::size_t i = 0; i < wide.size(); ++i) {
+        expect_sync_identical(wide[i], narrow[i], "batch 16 vs 1");
+        wide_parts.push_back(wide[i].metrics);
+        narrow_parts.push_back(narrow[i].metrics);
+    }
+    EXPECT_EQ(obs::merge_snapshots(wide_parts).to_json(),
+              obs::merge_snapshots(narrow_parts).to_json());
+}
+
+// ---- scenario: the element-graph workload carries the same observatory ---
+
+TEST(SyncMonitorScenarioTest, SharedLanMonitorReportsAndWireSpec) {
+    scenarios::SharedLanScenarioConfig cfg;
+    cfg.n = 6;
+    cfg.max_time = sim::SimTime::seconds(400);
+    cfg.monitor = true;
+    const scenarios::SharedLanScenarioResult r =
+        run_shared_lan_scenario(cfg);
+    ASSERT_TRUE(r.sync.has_value());
+    EXPECT_GT(r.sync->rearms, 0u);
+    // Every observed re-arm is attributed to exactly one coupling edge.
+    EXPECT_EQ(r.sync_coupling.total_weight(), r.sync->rearms);
+    EXPECT_GT(r.sync->r_max, 0.0);
+    // The wire spec names every element and the full agent -> sink path.
+    EXPECT_NE(r.wire_spec.find("// agent0 :: PeriodicAgent"),
+              std::string::npos);
+    EXPECT_NE(r.wire_spec.find("agent5[0] -> [0]tolan5"), std::string::npos);
+
+    // Monitoring never perturbs the simulation itself.
+    scenarios::SharedLanScenarioConfig off = cfg;
+    off.monitor = false;
+    const scenarios::SharedLanScenarioResult r0 =
+        run_shared_lan_scenario(off);
+    EXPECT_EQ(r0.updates_sent, r.updates_sent);
+    EXPECT_EQ(r0.updates_heard, r.updates_heard);
+    EXPECT_EQ(r0.frames_delivered, r.frames_delivered);
+    EXPECT_FALSE(r0.sync.has_value());
+    EXPECT_EQ(r0.sync_coupling.total_weight(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Cross-check the two exports of `routesync analyze coupling`.
+
+Usage:
+  check_coupling.py GRAPH.json GRAPH.dot [--expect-total N]
+      Assert the JSON and DOT documents describe the same coupling
+      graph: identical edge sets with identical weights, a JSON
+      total_weight equal to the sum of its edges, and a node count
+      covering every endpoint. --expect-total additionally pins the
+      total edge weight (e.g. to a traced reset count).
+
+  check_coupling.py selftest
+      Run this script's own unit tests (no files needed).
+
+Exit status 0 on success; 1 with a diagnostic on the first violation.
+No third-party dependencies (stdlib json + re only).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# One edge statement per line: `nSRC -> nDST [label="W" weight=W];`
+DOT_EDGE_RE = re.compile(
+    r'^\s*n(\d+)\s*->\s*n(\d+)\s*\[label="(\d+)"\s+weight=(\d+)\];\s*$')
+
+
+def fail(msg: str) -> None:
+    print(f"check_coupling: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_dot(text: str, what: str) -> dict:
+    """Returns {(src, dst): weight} from a coupling DOT document."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != "digraph coupling {":
+        fail(f"{what}: expected a 'digraph coupling {{' header")
+    if not lines[-1].strip() == "}":
+        fail(f"{what}: missing closing '}}'")
+    edges = {}
+    for lineno, line in enumerate(lines[1:-1], start=2):
+        if not line.strip():
+            continue
+        m = DOT_EDGE_RE.match(line)
+        if m is None:
+            fail(f"{what}:{lineno}: unparseable edge line: {line!r}")
+        src, dst, label, weight = (int(g) for g in m.groups())
+        if label != weight:
+            fail(f"{what}:{lineno}: label {label} != weight {weight}")
+        if (src, dst) in edges:
+            fail(f"{what}:{lineno}: duplicate edge n{src} -> n{dst}")
+        edges[(src, dst)] = weight
+    return edges
+
+
+def parse_json(doc: dict, what: str) -> dict:
+    """Returns {(src, dst): weight}; checks internal consistency."""
+    for key in ("nodes", "edges", "total_weight"):
+        if key not in doc:
+            fail(f"{what}: missing key '{key}'")
+    edges = {}
+    for i, edge in enumerate(doc["edges"]):
+        for key in ("src", "dst", "weight"):
+            if key not in edge:
+                fail(f"{what}: edges[{i}] missing '{key}'")
+        key = (edge["src"], edge["dst"])
+        if key in edges:
+            fail(f"{what}: duplicate edge {key} in edges[{i}]")
+        if edge["weight"] < 1:
+            fail(f"{what}: edges[{i}] weight must be >= 1, "
+                 f"got {edge['weight']}")
+        edges[key] = edge["weight"]
+    total = sum(edges.values())
+    if total != doc["total_weight"]:
+        fail(f"{what}: total_weight {doc['total_weight']} != "
+             f"sum of edge weights {total}")
+    endpoints = {n for e in edges for n in e}
+    if len(endpoints) != doc["nodes"]:
+        fail(f"{what}: nodes {doc['nodes']} != distinct endpoints "
+             f"{len(endpoints)}")
+    return edges
+
+
+def compare(json_edges: dict, dot_edges: dict) -> str:
+    """Returns an error message, or "" when the graphs match."""
+    if json_edges != dot_edges:
+        only_json = sorted(set(json_edges) - set(dot_edges))
+        only_dot = sorted(set(dot_edges) - set(json_edges))
+        if only_json or only_dot:
+            return (f"edge sets differ: {len(only_json)} only in JSON "
+                    f"{only_json[:3]}, {len(only_dot)} only in DOT "
+                    f"{only_dot[:3]}")
+        diff = [k for k in json_edges if json_edges[k] != dot_edges[k]]
+        return (f"edge weights differ on {len(diff)} edges, first "
+                f"{diff[0]}: {json_edges[diff[0]]} vs {dot_edges[diff[0]]}")
+    return ""
+
+
+def cmd_check(args: argparse.Namespace) -> None:
+    try:
+        with open(args.json, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.json}: {e}")
+    try:
+        with open(args.dot, encoding="utf-8") as f:
+            dot_text = f.read()
+    except OSError as e:
+        fail(f"cannot read {args.dot}: {e}")
+
+    json_edges = parse_json(doc, args.json)
+    dot_edges = parse_dot(dot_text, args.dot)
+    error = compare(json_edges, dot_edges)
+    if error:
+        fail(error)
+    total = sum(json_edges.values())
+    if args.expect_total is not None and total != args.expect_total:
+        fail(f"total edge weight {total} != expected {args.expect_total}")
+    print(f"check_coupling: OK: {len(json_edges)} edges, "
+          f"total weight {total}, JSON == DOT")
+
+
+def cmd_selftest(args: argparse.Namespace) -> None:
+    global fail
+
+    class SelfTestFailure(Exception):
+        pass
+
+    def raising_fail(msg):
+        raise SelfTestFailure(msg)
+
+    def expect_fail(fn, substring, label):
+        try:
+            fn()
+        except SelfTestFailure as e:
+            if substring not in str(e):
+                raise AssertionError(
+                    f"{label}: expected '{substring}' in '{e}'") from None
+            return
+        raise AssertionError(f"{label}: expected a failure")
+
+    original_fail = fail
+    fail = raising_fail
+    try:
+        good_dot = ('digraph coupling {\n'
+                    '  n0 -> n0 [label="7" weight=7];\n'
+                    '  n0 -> n2 [label="3" weight=3];\n'
+                    '}\n')
+        good_json = {"nodes": 2,
+                     "edges": [{"src": 0, "dst": 0, "weight": 7},
+                               {"src": 0, "dst": 2, "weight": 3}],
+                     "total_weight": 10}
+        dot_edges = parse_dot(good_dot, "selftest")
+        json_edges = parse_json(good_json, "selftest")
+        assert dot_edges == {(0, 0): 7, (0, 2): 3}
+        assert compare(json_edges, dot_edges) == ""
+
+        expect_fail(lambda: parse_dot("graph x {\n}\n", "t"),
+                    "digraph coupling", "wrong header")
+        expect_fail(
+            lambda: parse_dot('digraph coupling {\n  n0 -> n1;\n}\n', "t"),
+            "unparseable", "edge without attributes")
+        expect_fail(
+            lambda: parse_dot(
+                'digraph coupling {\n'
+                '  n0 -> n1 [label="2" weight=3];\n}\n', "t"),
+            "label 2 != weight 3", "label/weight mismatch")
+        expect_fail(
+            lambda: parse_json(dict(good_json, total_weight=11), "t"),
+            "total_weight", "bad total")
+        expect_fail(
+            lambda: parse_json(dict(good_json, nodes=5), "t"),
+            "distinct endpoints", "bad node count")
+        assert "edge sets differ" in compare(json_edges, {(0, 0): 7})
+        assert "weights differ" in compare(json_edges,
+                                           {(0, 0): 7, (0, 2): 4})
+    finally:
+        fail = original_fail
+    print("check_coupling: OK: selftest passed")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="cross-check JSON vs DOT exports")
+    p_check.add_argument("json")
+    p_check.add_argument("dot")
+    p_check.add_argument("--expect-total", type=int, default=None,
+                         help="assert the total edge weight equals N")
+    p_check.set_defaults(func=cmd_check)
+
+    p_selftest = sub.add_parser("selftest", help="run this script's tests")
+    p_selftest.set_defaults(func=cmd_selftest)
+
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

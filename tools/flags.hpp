@@ -22,7 +22,7 @@ inline Flags parse_flags(int argc, char** argv, int first) {
         if (arg.rfind("--", 0) != 0) {
             throw std::invalid_argument{"unexpected argument: " + arg};
         }
-        arg = arg.substr(2);
+        arg.erase(0, 2);
         if (arg.empty()) {
             throw std::invalid_argument{"empty flag name"};
         }
@@ -32,9 +32,9 @@ inline Flags parse_flags(int argc, char** argv, int first) {
             }
             flags[arg.substr(0, eq)] = arg.substr(eq + 1);
         } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-            flags[arg] = argv[++i];
+            flags.insert_or_assign(arg, std::string{argv[++i]});
         } else {
-            flags[arg] = "1";
+            flags.insert_or_assign(arg, std::string{"1"});
         }
     }
     return flags;

@@ -43,6 +43,7 @@
 #include "core/trace_replay.hpp"
 #include "markov/markov.hpp"
 #include "obs/obs.hpp"
+#include "obs/sync_monitor.hpp"
 #include "obs/trace_analysis.hpp"
 #include "obs/trace_reader.hpp"
 #include "parallel/parallel.hpp"
@@ -99,6 +100,9 @@ int cmd_pm(const Flags& flags) {
     cfg.max_time = sim::SimTime::seconds(flag_d(flags, "max-time", 1e5));
     cfg.stop_on_full_sync = flag_b(flags, "stop-on-sync");
     cfg.stop_on_breakup_threshold = flag_i(flags, "stop-on-breakup", 0);
+    cfg.monitor = flag_b(flags, "monitor");
+    cfg.sync_threshold = flag_d(flags, "sync-threshold", cfg.sync_threshold);
+    cfg.sync_hysteresis = flag_d(flags, "sync-hysteresis", cfg.sync_hysteresis);
     const bool want_rounds = flag_b(flags, "rounds");
     const bool want_transmits = flag_b(flags, "transmits");
     cfg.record_rounds = want_rounds;
@@ -122,6 +126,11 @@ int cmd_pm(const Flags& flags) {
         m.set_config("tr_sec", cfg.params.tr.sec());
         m.set_config("tc_sec", cfg.params.tc.sec());
         m.set_config("max_time_sec", cfg.max_time.sec());
+        if (cfg.monitor) {
+            m.set_config("monitor", true);
+            m.set_config("sync_threshold", cfg.sync_threshold);
+            m.set_config("sync_hysteresis", cfg.sync_hysteresis);
+        }
     }
 
     const auto r = core::run_experiment(cfg);
@@ -345,6 +354,24 @@ void emit_text(const Flags& flags, const std::string& text) {
     f << text;
 }
 
+std::string fmt_time_to_sync(double t) {
+    if (t < 0.0) {
+        return "never";
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6f s", t);
+    return buf;
+}
+
+bool has_sync_config(const std::vector<obs::TraceEvent>& events) {
+    for (const obs::TraceEvent& e : events) {
+        if (e.type == obs::TraceEventType::SyncConfig) {
+            return true;
+        }
+    }
+    return false;
+}
+
 int cmd_trace_summary(const Flags& flags) {
     const auto events = load_trace(flags);
     obs::SummaryOptions options;
@@ -352,6 +379,25 @@ int cmd_trace_summary(const Flags& flags) {
     options.phase_bins = flag_i(flags, "bins", 20);
     const std::string report = obs::format_summary(obs::summarize(events, options));
     std::fwrite(report.data(), 1, report.size(), stdout);
+
+    // Traces from --monitor runs carry a sync_config event; recompute the
+    // streaming analysis so the summary reports r(t) and the transition
+    // time without needing the original run.
+    if (has_sync_config(events)) {
+        const auto sync = obs::replay_sync(events);
+        std::printf("\nsynchronization (recomputed from trace):\n");
+        std::printf("  r: last %.6g  max %.6g  in_sync %s\n", sync.report.r_last,
+                    sync.report.r_max, sync.report.in_sync ? "yes" : "no");
+        std::printf("  transitions: %llu  time_to_sync: %s\n",
+                    static_cast<unsigned long long>(sync.report.transitions),
+                    fmt_time_to_sync(sync.report.time_to_sync_sec).c_str());
+        std::printf("  entropy (last round): %.6g  largest fraction: %.6g\n",
+                    sync.report.entropy_last, sync.report.largest_fraction_last);
+        std::printf("  coupling: %zu edges, total weight %llu over %zu nodes\n",
+                    sync.coupling.edge_count(),
+                    static_cast<unsigned long long>(sync.coupling.total_weight()),
+                    sync.coupling.node_count());
+    }
     return 0;
 }
 
@@ -450,7 +496,143 @@ int cmd_trace_replay_check(const Flags& flags) {
                          expect.c_str());
         }
     }
+
+    // Monitored traces (sync_config present): recompute r(t), the
+    // detector transitions, and the coupling graph from the trace, and
+    // hold them to the recorded sync_transition / coupling_edge events
+    // bit for bit.
+    if (has_sync_config(events)) {
+        const auto sync = obs::replay_sync(events);
+        std::fprintf(stderr,
+                     "replay-check: sync replay — r_last=%.17g r_max=%.17g "
+                     "transitions=%zu time_to_sync=%s\n",
+                     sync.report.r_last, sync.report.r_max,
+                     sync.transitions.size(),
+                     fmt_time_to_sync(sync.report.time_to_sync_sec).c_str());
+        bool ok = sync.transitions.size() == sync.recorded.size();
+        for (std::size_t i = 0; ok && i < sync.transitions.size(); ++i) {
+            const auto& a = sync.transitions[i];
+            const auto& b = sync.recorded[i];
+            ok = a.time == b.time && a.up == b.up && a.r == b.r;
+        }
+        if (!ok) {
+            std::fprintf(stderr,
+                         "replay-check: MISMATCH — recomputed %zu transitions "
+                         "vs %zu recorded (or values differ)\n",
+                         sync.transitions.size(), sync.recorded.size());
+            ++failures;
+        } else {
+            std::fprintf(stderr,
+                         "replay-check: OK — %zu recomputed sync transitions "
+                         "match the recorded events exactly\n",
+                         sync.transitions.size());
+        }
+        const auto recomputed_edges = sync.coupling.edges();
+        bool edges_ok = recomputed_edges.size() == sync.recorded_edges.size();
+        for (std::size_t i = 0; edges_ok && i < recomputed_edges.size(); ++i) {
+            const auto& a = recomputed_edges[i];
+            const auto& b = sync.recorded_edges[i];
+            edges_ok = a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+        }
+        if (!edges_ok) {
+            std::fprintf(stderr,
+                         "replay-check: MISMATCH — recomputed coupling graph "
+                         "(%zu edges) differs from the %zu recorded "
+                         "coupling_edge events\n",
+                         recomputed_edges.size(), sync.recorded_edges.size());
+            ++failures;
+        } else {
+            std::fprintf(stderr,
+                         "replay-check: OK — coupling graph matches the %zu "
+                         "recorded coupling_edge events\n",
+                         recomputed_edges.size());
+        }
+    }
     return failures == 0 ? 0 : 1;
+}
+
+// `analyze coupling` recomputes the causal coupling graph from a trace
+// (monitored or not — an unmonitored trace needs --round SEC for the
+// phase modulus) and exports it as DOT and/or JSON. Exits 1 when the
+// graph fails its internal cross-checks: the edge-weight total must
+// equal the number of re-arms fed, and when the trace carries recorded
+// coupling_edge events the recomputed graph must match them exactly.
+int cmd_analyze_coupling(const Flags& flags) {
+    const auto events = load_trace(flags);
+    obs::SyncReplayOverrides overrides;
+    overrides.period_sec = flag_d(flags, "round", 0.0);
+    const auto sync = obs::replay_sync(events, overrides);
+    const obs::CouplingGraph& g = sync.coupling;
+
+    int failures = 0;
+    if (g.total_weight() != sync.timer_sets_fed) {
+        std::fprintf(stderr,
+                     "analyze coupling: MISMATCH — edge-weight total %llu != "
+                     "%llu re-arms fed from the trace\n",
+                     static_cast<unsigned long long>(g.total_weight()),
+                     static_cast<unsigned long long>(sync.timer_sets_fed));
+        ++failures;
+    }
+    if (!sync.recorded_edges.empty()) {
+        const auto recomputed = g.edges();
+        bool ok = recomputed.size() == sync.recorded_edges.size();
+        for (std::size_t i = 0; ok && i < recomputed.size(); ++i) {
+            const auto& a = recomputed[i];
+            const auto& b = sync.recorded_edges[i];
+            ok = a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+        }
+        if (!ok) {
+            std::fprintf(stderr,
+                         "analyze coupling: MISMATCH — recomputed graph (%zu "
+                         "edges) differs from the %zu recorded coupling_edge "
+                         "events\n",
+                         recomputed.size(), sync.recorded_edges.size());
+            ++failures;
+        }
+    }
+    std::fprintf(stderr,
+                 "analyze coupling: %zu nodes, %zu edges, total weight %llu "
+                 "(%llu re-arms fed, %llu initial arms skipped)%s\n",
+                 g.node_count(), g.edge_count(),
+                 static_cast<unsigned long long>(g.total_weight()),
+                 static_cast<unsigned long long>(sync.timer_sets_fed),
+                 static_cast<unsigned long long>(sync.initial_skipped),
+                 sync.recorded_edges.empty()
+                     ? ""
+                     : " — matches the recorded coupling_edge events");
+
+    if (const std::string dot = flag_s(flags, "dot"); !dot.empty()) {
+        std::ofstream f{dot};
+        if (!f) {
+            throw std::runtime_error{"analyze coupling: cannot open " + dot};
+        }
+        f << g.to_dot();
+    }
+    if (const std::string json = flag_s(flags, "json"); !json.empty()) {
+        std::ofstream f{json};
+        if (!f) {
+            throw std::runtime_error{"analyze coupling: cannot open " + json};
+        }
+        f << g.to_json() << '\n';
+    }
+    if (flag_b(flags, "print") ||
+        (flag_s(flags, "dot").empty() && flag_s(flags, "json").empty())) {
+        const std::string dot = g.to_dot();
+        std::fwrite(dot.data(), 1, dot.size(), stdout);
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int cmd_analyze(int argc, char** argv) {
+    if (argc < 3) {
+        throw std::invalid_argument{"analyze: need an action (coupling)"};
+    }
+    const std::string action = argv[2];
+    const Flags flags = cli::parse_flags(argc, argv, 3);
+    if (action == "coupling") {
+        return cmd_analyze_coupling(flags);
+    }
+    throw std::invalid_argument{"analyze: unknown action '" + action + "'"};
 }
 
 // `scenario list` prints the registry table; `scenario run <name>
@@ -523,11 +705,12 @@ int cmd_trace(int argc, char** argv) {
 
 void usage() {
     std::fprintf(stderr,
-                 "usage: routesync <pm|chain|sweep|threshold|f2|trace|scenario> [--flag value]...\n"
+                 "usage: routesync <pm|chain|sweep|threshold|f2|trace|analyze|scenario> [--flag value]...\n"
                  "  pm        --n --tp --tr --tc --seed --max-time [--sync-start]\n"
                  "            [--reset-at-expiry] [--half-period] [--delta X]\n"
                  "            [--stop-on-sync] [--stop-on-breakup K]\n"
                  "            [--rounds|--transmits [--stride k]]\n"
+                 "            [--monitor [--sync-threshold R] [--sync-hysteresis H]]\n"
                  "            [--trace FILE] [--out MANIFEST] [--sample-every SEC]\n"
                  "  chain     --n --tp --tr --tc [--f2 rounds]\n"
                  "  sweep     --n --tp --tc --from --to --step [--jobs N]\n"
@@ -542,7 +725,14 @@ void usage() {
                  "                           [--to T] [--out FILE]\n"
                  "            export-chrome: [--out FILE]\n"
                  "            replay-check:  [--tolerance SEC] [--expect FILE]\n"
-                 "                           [--print] (exit 1 on mismatch)\n"
+                 "                           [--print] (exit 1 on mismatch;\n"
+                 "                           monitored traces also get the\n"
+                 "                           sync r(t)/transition recompute)\n"
+                 "  analyze   coupling --in FILE [--round SEC] [--dot FILE]\n"
+                 "            [--json FILE] [--print]\n"
+                 "            who-reset-whom coupling graph from a trace\n"
+                 "            (DOT to stdout by default; exit 1 when the\n"
+                 "            cross-checks fail)\n"
                  "  scenario  list | run NAME [--flag value]... [--bin-dir DIR]\n"
                  "            one table of testbeds, figures, and examples;\n"
                  "            `list` shows each entry's flags. shared_lan\n"
@@ -564,10 +754,13 @@ int main(int argc, char** argv) {
         return 2;
     }
     const std::string cmd = argv[1];
-    if (cmd == "trace" || cmd == "scenario") {
+    if (cmd == "trace" || cmd == "scenario" || cmd == "analyze") {
         try {
-            return cmd == "trace" ? cmd_trace(argc, argv)
-                                  : cmd_scenario(argc, argv);
+            if (cmd == "trace") {
+                return cmd_trace(argc, argv);
+            }
+            return cmd == "analyze" ? cmd_analyze(argc, argv)
+                                    : cmd_scenario(argc, argv);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 2;

@@ -47,6 +47,9 @@ EVENT_TYPES = {
     "cluster_change",
     "metric_sample",
     "resource_sample",
+    "sync_config",
+    "sync_transition",
+    "coupling_edge",
 }
 
 # Field name -> accepted types. `t`, `b` and `x` are JSON numbers; `seq`,
@@ -59,6 +62,25 @@ EVENT_FIELDS = {
     "a": (int,),
     "b": (int, float),
     "x": (int, float),
+}
+
+# Synchronization-observatory metric names (the sync.* namespace the
+# SyncMonitor publishes, by metric kind). Any sync.* name outside this
+# table is a schema violation — extend it deliberately.
+SYNC_COUNTERS = {
+    "sync.rearms",
+    "sync.transitions",
+    "sync.coupling_edges",
+    "sync.synced_runs",
+}
+SYNC_GAUGES = {
+    "sync.r_last",
+    "sync.r_max",
+    "sync.entropy_last",
+    "sync.largest_fraction_last",
+}
+SYNC_DISTRIBUTIONS = {
+    "sync.time_to_sync_sec",
 }
 
 MANIFEST_FIELDS = {
@@ -140,6 +162,52 @@ def check_fields(obj: dict, spec: dict, what: str) -> None:
              f"expected {'/'.join(t.__name__ for t in types)}")
 
 
+def check_event_semantics(event: dict, what: str) -> None:
+    """Per-type slot constraints for the sync-observatory events.
+
+    Slot meanings (see src/obs/trace_event.hpp):
+      sync_config:     a = hysteresis in microunits, b = round length,
+                       x = detector threshold; node is always -1.
+      sync_transition: a = direction (1 up / 0 down), b = r at the
+                       crossing; node is always -1.
+      coupling_edge:   node = dst router, a = src router, b = weight
+                       (a positive integer count of attributed resets).
+    """
+    etype = event["type"]
+    if etype == "sync_config":
+        if event["node"] != -1:
+            fail(f"{what}: sync_config is global; node must be -1")
+        if event["a"] < 0:
+            fail(f"{what}: sync_config hysteresis (a, microunits) must be "
+                 f">= 0, got {event['a']}")
+        if event["b"] <= 0:
+            fail(f"{what}: sync_config round length (b) must be > 0, "
+                 f"got {event['b']}")
+        if not 0 < event["x"] <= 1:
+            fail(f"{what}: sync_config threshold (x) must be in (0, 1], "
+                 f"got {event['x']}")
+    elif etype == "sync_transition":
+        if event["node"] != -1:
+            fail(f"{what}: sync_transition is global; node must be -1")
+        if event["a"] not in (0, 1):
+            fail(f"{what}: sync_transition direction (a) must be 0 or 1, "
+                 f"got {event['a']}")
+        if not 0 <= event["b"] <= 1 + 1e-9:
+            fail(f"{what}: sync_transition order parameter (b) must be in "
+                 f"[0, 1], got {event['b']}")
+    elif etype == "coupling_edge":
+        if event["node"] < 0:
+            fail(f"{what}: coupling_edge dst (node) must be >= 0, "
+                 f"got {event['node']}")
+        if event["a"] < 0:
+            fail(f"{what}: coupling_edge src (a) must be >= 0, "
+                 f"got {event['a']}")
+        weight = event["b"]
+        if weight < 1 or weight != int(weight):
+            fail(f"{what}: coupling_edge weight (b) must be a positive "
+                 f"integer, got {weight}")
+
+
 def validate_trace_file(path: str) -> tuple[int, int]:
     """Returns (event_count, fnv1a_of_bytes)."""
     try:
@@ -165,6 +233,7 @@ def validate_trace_file(path: str) -> tuple[int, int]:
                  f"{sorted(set(event) - set(EVENT_FIELDS))}")
         if event["type"] not in EVENT_TYPES:
             fail(f"{path}:{lineno}: unknown event type '{event['type']}'")
+        check_event_semantics(event, f"{path}:{lineno}")
         if event["seq"] != prev_seq + 1:
             fail(f"{path}:{lineno}: seq {event['seq']} breaks the monotonic "
                  f"sequence (previous {prev_seq})")
@@ -209,12 +278,24 @@ def check_element_metrics(metrics: dict, what: str) -> None:
                  f"(suffix '{suffix}' is not a known element gauge)")
 
 
+def check_sync_metrics(metrics: dict, what: str) -> None:
+    """Whitelists the sync.* namespace the SyncMonitor publishes."""
+    for kind, allowed in (("counters", SYNC_COUNTERS),
+                          ("gauges", SYNC_GAUGES),
+                          ("distributions", SYNC_DISTRIBUTIONS)):
+        for name in metrics.get(kind, {}):
+            if name.startswith("sync.") and name not in allowed:
+                fail(f"{what}: unknown sync metric '{name}' in {kind} "
+                     f"(allowed: {sorted(allowed)})")
+
+
 def check_manifest(manifest: dict, what: str) -> None:
     check_fields(manifest, MANIFEST_FIELDS, what)
     for kind in ("counters", "gauges", "distributions", "histograms"):
         if kind not in manifest["metrics"]:
             fail(f"{what}: metrics block missing '{kind}'")
     check_element_metrics(manifest["metrics"], what)
+    check_sync_metrics(manifest["metrics"], what)
     if "profile" not in manifest:
         fail(f"{what}: missing field 'profile' (object or null)")
     profile = manifest["profile"]
@@ -406,6 +487,42 @@ def cmd_selftest(args: argparse.Namespace) -> None:
             "has type bool", "bool where int expected")
         assert "resource_sample" in EVENT_TYPES
 
+        # Sync-observatory event semantics.
+        good_sync_config = {"seq": 1, "t": 0, "type": "sync_config",
+                            "node": -1, "a": 20000, "b": 121.11, "x": 0.95}
+        check_event_semantics(good_sync_config, "selftest")
+        _expect_fail(
+            lambda: check_event_semantics(dict(good_sync_config, node=3),
+                                          "t"),
+            "node must be -1", "sync_config with a node id")
+        _expect_fail(
+            lambda: check_event_semantics(dict(good_sync_config, b=0), "t"),
+            "round length", "sync_config zero period")
+        _expect_fail(
+            lambda: check_event_semantics(dict(good_sync_config, x=1.5), "t"),
+            "threshold", "sync_config threshold > 1")
+        good_transition = {"seq": 2, "t": 5.0, "type": "sync_transition",
+                           "node": -1, "a": 1, "b": 0.96, "x": 0.95}
+        check_event_semantics(good_transition, "selftest")
+        _expect_fail(
+            lambda: check_event_semantics(dict(good_transition, a=2), "t"),
+            "direction", "sync_transition bad direction")
+        _expect_fail(
+            lambda: check_event_semantics(dict(good_transition, b=1.5), "t"),
+            "order parameter", "sync_transition r > 1")
+        good_edge = {"seq": 3, "t": 9.0, "type": "coupling_edge",
+                     "node": 4, "a": 2, "b": 17, "x": 0}
+        check_event_semantics(good_edge, "selftest")
+        _expect_fail(
+            lambda: check_event_semantics(dict(good_edge, node=-1), "t"),
+            "dst", "coupling_edge negative dst")
+        _expect_fail(
+            lambda: check_event_semantics(dict(good_edge, b=0), "t"),
+            "positive integer", "coupling_edge zero weight")
+        _expect_fail(
+            lambda: check_event_semantics(dict(good_edge, b=2.5), "t"),
+            "positive integer", "coupling_edge fractional weight")
+
         good_trace = {"path": "t.jsonl", "events": 8, "offered": 10,
                       "dropped": 2, "fnv1a": "00" * 8}
         good_manifest = {
@@ -450,6 +567,30 @@ def cmd_selftest(args: argparse.Namespace) -> None:
                                   gauges={"elem.st0.average": 1.0})),
                 "m"),
             "unknown element gauge", "typo'd element gauge suffix")
+        # sync.* metric names: the whitelist passes, anything else fails.
+        good_sync_metrics = {
+            "counters": {"sync.rearms": 100, "sync.transitions": 2,
+                         "sync.coupling_edges": 40, "sync.synced_runs": 1},
+            "gauges": {"sync.r_last": 0.99, "sync.r_max": 1.0,
+                       "sync.entropy_last": 0.2,
+                       "sync.largest_fraction_last": 1.0},
+            "distributions": {"sync.time_to_sync_sec":
+                              {"count": 1, "mean": 39330.3}},
+            "histograms": {},
+        }
+        check_manifest(dict(good_manifest, metrics=good_sync_metrics), "m")
+        _expect_fail(
+            lambda: check_manifest(
+                dict(good_manifest,
+                     metrics=dict(good_sync_metrics,
+                                  counters={"sync.rearm": 1})), "m"),
+            "unknown sync metric", "typo'd sync counter")
+        _expect_fail(
+            lambda: check_manifest(
+                dict(good_manifest,
+                     metrics=dict(good_sync_metrics,
+                                  gauges={"sync.r": 0.5})), "m"),
+            "unknown sync metric", "typo'd sync gauge")
         _expect_fail(
             lambda: check_manifest(
                 {k: v for k, v in good_manifest.items() if k != "profile"},
