@@ -472,10 +472,12 @@ void BM_FJChain_HittingTimes(benchmark::State& state) {
 }
 BENCHMARK(BM_FJChain_HittingTimes)->Arg(20)->Arg(200);
 
-void BM_SharedLanSaturated(benchmark::State& state) {
+void shared_lan_saturated(benchmark::State& state,
+                          net::elements::DispatchMode dispatch) {
     sim::Engine engine;
     net::SharedLanConfig cfg;
     cfg.station_queue_packets = 1 << 20;
+    cfg.dispatch = dispatch;
     net::SharedLan lan{engine, cfg};
     for (int i = 0; i < 4; ++i) {
         lan.attach([](net::Packet) {});
@@ -493,7 +495,18 @@ void BM_SharedLanSaturated(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * 256);
 }
+
+/// The checked-virtual reference (the pre-fast-path medium).
+void BM_SharedLanSaturated(benchmark::State& state) {
+    shared_lan_saturated(state, net::elements::DispatchMode::Virtual);
+}
 BENCHMARK(BM_SharedLanSaturated);
+
+/// The default fast path: devirtualized station queues + fused fan-out.
+void BM_SharedLanSaturatedFast(benchmark::State& state) {
+    shared_lan_saturated(state, net::elements::DispatchMode::Fast);
+}
+BENCHMARK(BM_SharedLanSaturatedFast);
 
 // ----------------------------------------------------- packet hot path
 
@@ -506,13 +519,15 @@ constexpr int kEntriesPerUpdate = 25;
 /// enqueue the packet on a link, deliver at the far end. This is the
 /// per-interface lifecycle of a periodic update under the default
 /// split-horizon config (each interface gets its own payload build).
-void BM_PacketPath_EnqueueDeliver(benchmark::State& state) {
+void packet_path_enqueue_deliver(benchmark::State& state,
+                                 net::elements::DispatchMode dispatch) {
     sim::Engine engine;
     std::uint64_t delivered = 0;
     net::Link link{engine,
                    net::LinkConfig{.rate_bps = 0.0,
                                    .delay = sim::SimTime::micros(1),
-                                   .queue_packets = 512},
+                                   .queue_packets = 512,
+                                   .dispatch = dispatch},
                    [&delivered](net::PooledPacket) { ++delivered; }};
     std::uint64_t seq = 0;
     for (auto _ : state) {
@@ -537,7 +552,6 @@ void BM_PacketPath_EnqueueDeliver(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * kBurst);
 }
-BENCHMARK(BM_PacketPath_EnqueueDeliver);
 
 /// The same enqueue→deliver loop with a tracer attached — measures the
 /// observability layer's per-packet cost when tracing is ON. Two sink
@@ -581,6 +595,18 @@ void packet_path_traced(benchmark::State& state, Args&&... args) {
     state.SetItemsProcessed(state.iterations() * kBurst);
 }
 
+/// The checked-virtual reference (the pre-fast-path element dispatch).
+void BM_PacketPath_EnqueueDeliver(benchmark::State& state) {
+    packet_path_enqueue_deliver(state, net::elements::DispatchMode::Virtual);
+}
+BENCHMARK(BM_PacketPath_EnqueueDeliver);
+
+/// The default fast path: devirtualized ports + coalesced backlog drain.
+void BM_PacketPathFast_EnqueueDeliver(benchmark::State& state) {
+    packet_path_enqueue_deliver(state, net::elements::DispatchMode::Fast);
+}
+BENCHMARK(BM_PacketPathFast_EnqueueDeliver);
+
 void BM_PacketPath_EnqueueDeliver_TracedNull(benchmark::State& state) {
     packet_path_traced<obs::NullSink>(state);
 }
@@ -623,7 +649,8 @@ BENCHMARK(BM_PacketPathLegacy_EnqueueDeliver);
 /// The broadcast variant (split horizon off): one payload fanned out as
 /// 4 packet copies — the new path shares one pooled slot, the legacy
 /// path bumps an atomic shared_ptr per copy.
-void BM_PacketPath_Broadcast(benchmark::State& state) {
+void packet_path_broadcast(benchmark::State& state,
+                           net::elements::DispatchMode dispatch) {
     sim::Engine engine;
     std::uint64_t delivered = 0;
     std::vector<std::unique_ptr<net::Link>> links;
@@ -632,7 +659,8 @@ void BM_PacketPath_Broadcast(benchmark::State& state) {
             engine,
             net::LinkConfig{.rate_bps = 0.0,
                             .delay = sim::SimTime::micros(1),
-                            .queue_packets = 512},
+                            .queue_packets = 512,
+                            .dispatch = dispatch},
             [&delivered](net::PooledPacket) { ++delivered; }));
     }
     std::uint64_t seq = 0;
@@ -661,7 +689,21 @@ void BM_PacketPath_Broadcast(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * kBurst * kFanOut);
 }
+
+/// The checked-virtual reference (the pre-fast-path element dispatch).
+void BM_PacketPath_Broadcast(benchmark::State& state) {
+    packet_path_broadcast(state, net::elements::DispatchMode::Virtual);
+}
 BENCHMARK(BM_PacketPath_Broadcast);
+
+/// The default fast path. The cross-link round-robin delivery order is
+/// part of the bit-identity contract, so the per-packet event pair
+/// cannot be coalesced here — gains come from devirtualized dispatch,
+/// duplicate-time event chaining, and trivially-copyable captures.
+void BM_PacketPathFast_Broadcast(benchmark::State& state) {
+    packet_path_broadcast(state, net::elements::DispatchMode::Fast);
+}
+BENCHMARK(BM_PacketPathFast_Broadcast);
 
 void BM_PacketPathLegacy_Broadcast(benchmark::State& state) {
     sim::Engine engine;
@@ -702,7 +744,8 @@ BENCHMARK(BM_PacketPathLegacy_Broadcast);
 /// Multi-hop forwarding context: the same update packets relayed down an
 /// 8-hop link chain, where shared event-engine cost dominates and the
 /// per-hop delta is what remains visible.
-void BM_PacketPath_ForwardChain(benchmark::State& state) {
+void packet_path_forward_chain(benchmark::State& state,
+                               net::elements::DispatchMode dispatch) {
     sim::Engine engine;
     std::uint64_t delivered = 0;
     std::vector<std::unique_ptr<net::Link>> chain(kChainHops);
@@ -719,7 +762,8 @@ void BM_PacketPath_ForwardChain(benchmark::State& state) {
             engine,
             net::LinkConfig{.rate_bps = 0.0,
                             .delay = sim::SimTime::micros(1),
-                            .queue_packets = 512},
+                            .queue_packets = 512,
+                            .dispatch = dispatch},
             std::move(deliver));
     }
     std::uint64_t seq = 0;
@@ -745,7 +789,19 @@ void BM_PacketPath_ForwardChain(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * kBurst * kChainHops);
 }
+
+/// The checked-virtual reference (the pre-fast-path element dispatch).
+void BM_PacketPath_ForwardChain(benchmark::State& state) {
+    packet_path_forward_chain(state, net::elements::DispatchMode::Virtual);
+}
 BENCHMARK(BM_PacketPath_ForwardChain);
+
+/// The default fast path: each hop's backlog drains in one coalesced
+/// batch, so the per-hop event count collapses.
+void BM_PacketPathFast_ForwardChain(benchmark::State& state) {
+    packet_path_forward_chain(state, net::elements::DispatchMode::Fast);
+}
+BENCHMARK(BM_PacketPathFast_ForwardChain);
 
 void BM_PacketPathLegacy_ForwardChain(benchmark::State& state) {
     sim::Engine engine;

@@ -62,6 +62,18 @@ void DelayLink::start_transmission(PooledPacket p) {
     // after serialization alone. Delivery is scheduled first so that at
     // equal timestamps (zero propagation) it runs before the
     // transmitter-free event, matching the pre-element Link's FIFO order.
+    if (fast_dispatch()) {
+        // Fast mode parks the packet in the link's own in-flight FIFO so
+        // the delivery capture is {this} — trivially copyable, so the
+        // callback's moves through the event queue are plain memcpys.
+        // Delivery times are non-decreasing in schedule order (each later
+        // packet starts serializing when the previous one ends), so
+        // front-of-FIFO is always the right packet.
+        in_flight_.push_back(std::move(p));
+        engine().schedule_after(tx + prop_delay_, [this] { deliver_head(); });
+        engine().schedule_after(tx, [this] { transmission_done(); });
+        return;
+    }
     engine().schedule_after(
         tx + prop_delay_, [this, pkt = std::move(p)]() mutable {
             if (obs::Tracer* tr = engine().tracer()) {
@@ -74,13 +86,79 @@ void DelayLink::start_transmission(PooledPacket p) {
     engine().schedule_after(tx, [this] { transmission_done(); });
 }
 
+void DelayLink::deliver_head() {
+    PooledPacket pkt = std::move(in_flight_.front());
+    in_flight_.pop_front();
+    if (obs::Tracer* tr = engine().tracer()) {
+        tr->emit(obs::TraceEventType::PacketDeliver, engine().now(), pkt->dst,
+                 static_cast<std::int64_t>(pkt->seq), pkt->size_bytes);
+    }
+    output(0, std::move(pkt));
+}
+
 void DelayLink::transmission_done() {
     transmitting_ = false;
     if (input_connected(1)) {
         if (auto next = input(1)) {
+            // Fast cascade (header comment): zero serialization time,
+            // positive propagation, fast-dispatch graph, and no other
+            // event pending at this instant together prove the whole
+            // backlog would drain as the next |backlog| consecutive
+            // events — so drain it inline and coalesce the deliveries.
+            if (fast_dispatch() && rate_bps_ <= 0.0 &&
+                prop_delay_ > sim::SimTime::zero() &&
+                !engine().has_event_at_now()) {
+                drain_backlog_batch(std::move(next));
+                return;
+            }
             start_transmission(std::move(next));
         }
     }
+}
+
+PacketBatch* DelayLink::acquire_batch() {
+    if (!free_batches_.empty()) {
+        PacketBatch* b = free_batches_.back();
+        free_batches_.pop_back();
+        return b;
+    }
+    batch_pool_.push_back(std::make_unique<PacketBatch>());
+    return batch_pool_.back().get();
+}
+
+void DelayLink::release_batch(PacketBatch* batch) noexcept {
+    batch->clear();
+    free_batches_.push_back(batch);
+}
+
+void DelayLink::drain_backlog_batch(PooledPacket first) {
+    PacketBatch* batch = acquire_batch();
+    ++transmissions_;
+    batch->push_back(std::move(first));
+    const std::size_t pulled =
+        input_batch(1, *batch, static_cast<std::size_t>(-1));
+    transmissions_ += pulled;
+    engine().schedule_after(prop_delay_,
+                            [this, batch] { deliver_batch(batch); });
+}
+
+void DelayLink::deliver_batch(PacketBatch* batch) {
+    obs::Tracer* const tr = engine().tracer();
+    if (tr == nullptr) {
+        output_batch(0, *batch);
+    } else {
+        // Traced: interleave each packet's deliver event with its
+        // downstream push, exactly as the individual delivery events
+        // would have.
+        const sim::SimTime now = engine().now();
+        for (std::size_t i = 0; i < batch->size(); ++i) {
+            PooledPacket& p = (*batch)[i];
+            tr->emit(obs::TraceEventType::PacketDeliver, now, p->dst,
+                     static_cast<std::int64_t>(p->seq), p->size_bytes);
+            output(0, std::move(p));
+        }
+    }
+    release_batch(batch);
 }
 
 void DelayLink::collect_metrics(obs::MetricsRegistry& reg,

@@ -68,11 +68,6 @@ void Element::connect_output(int out_port, Element& downstream, int in_port) {
     downstream.inputs_[static_cast<std::size_t>(in_port)] = Peer{this, out_port};
 }
 
-bool Element::output_connected(int port) const noexcept {
-    return port >= 0 && static_cast<std::size_t>(port) < outputs_.size() &&
-           outputs_[static_cast<std::size_t>(port)].element != nullptr;
-}
-
 Element::PeerView Element::output_peer(int port) const noexcept {
     if (!output_connected(port)) {
         return {};
@@ -81,12 +76,7 @@ Element::PeerView Element::output_peer(int port) const noexcept {
     return {peer.element, peer.port};
 }
 
-bool Element::input_connected(int port) const noexcept {
-    return port >= 0 && static_cast<std::size_t>(port) < inputs_.size() &&
-           inputs_[static_cast<std::size_t>(port)].element != nullptr;
-}
-
-void Element::output(int out_port, PooledPacket p) {
+void Element::output_slow(int out_port, PooledPacket p) {
     ensure_peer_slots();
     if (!output_connected(out_port)) {
         throw std::logic_error{std::string{kind()} + " '" + name_ +
@@ -97,7 +87,7 @@ void Element::output(int out_port, PooledPacket p) {
     peer.element->push(peer.port, std::move(p));
 }
 
-PooledPacket Element::input(int in_port) {
+PooledPacket Element::input_slow(int in_port) {
     ensure_peer_slots();
     if (!input_connected(in_port)) {
         throw std::logic_error{std::string{kind()} + " '" + name_ +
@@ -106,6 +96,32 @@ PooledPacket Element::input(int in_port) {
     }
     const Peer& peer = inputs_[static_cast<std::size_t>(in_port)];
     return peer.element->pull(peer.port);
+}
+
+void Element::resolve_dispatch(DispatchMode mode) {
+    ensure_peer_slots();
+    fast_out_.assign(outputs_.size(), ResolvedOut{});
+    fast_in_.assign(inputs_.size(), ResolvedIn{});
+    fast_dispatch_ = mode == DispatchMode::Fast;
+    if (!fast_dispatch_) {
+        return;
+    }
+    for (std::size_t i = 0; i < outputs_.size(); ++i) {
+        if (outputs_[i].element == nullptr) {
+            continue;
+        }
+        const FastOps ops = outputs_[i].element->fast_ops();
+        fast_out_[i] = ResolvedOut{outputs_[i].element, outputs_[i].port,
+                                   ops.push, ops.push_batch};
+    }
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        if (inputs_[i].element == nullptr) {
+            continue;
+        }
+        const FastOps ops = inputs_[i].element->fast_ops();
+        fast_in_[i] = ResolvedIn{inputs_[i].element, inputs_[i].port, ops.pull,
+                                 ops.pull_batch};
+    }
 }
 
 } // namespace routesync::net::elements

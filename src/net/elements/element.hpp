@@ -30,18 +30,38 @@
 // "elem.<name>.*" (obs::MetricsRegistry, PR 3); elements that accept or
 // drop packets emit packet_enqueue/packet_drop trace events through the
 // engine's tracer exactly like the pre-element Link/SharedLan did.
+// Fast dispatch (PR 10): ElementGraph::finalize() resolves every
+// connection to a cached {peer, port, function pointer} triple stored
+// in the port slot, so a steady-state output()/input() is one indirect
+// call through a devirtualized thunk instead of a connected-check plus
+// a vtable dispatch. Elements opt in by overriding fast_ops() (usually
+// `return fast_ops_for<Self>();`, which requires the class to be
+// final); elements that don't opt in — and every graph finalized with
+// DispatchMode::Virtual — keep taking the original checked virtual
+// path, which is preserved bit-for-bit as the differential reference.
+// The cached state is dispatch-only: topology introspection
+// (output_peer, wire_spec) always reads the canonical peer table.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "net/elements/packet_batch.hpp"
 #include "net/packet_pool.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace routesync::net::elements {
+
+/// How a finalized graph routes output()/input() calls.
+enum class DispatchMode : std::uint8_t {
+    Fast,    ///< cached devirtualized dispatch (the default)
+    Virtual, ///< the original checked virtual path (differential reference)
+};
 
 /// Direction-typed port classes (Click's push/pull).
 enum class PortKind : std::uint8_t {
@@ -85,6 +105,90 @@ public:
     /// nothing to give. Default: no pull outputs.
     [[nodiscard]] virtual PooledPacket pull(int port);
 
+    /// A run of packets handed to a push input — semantically identical
+    /// to pushing each packet in order; the batch is left empty. The
+    /// default is the scalar fallback (defined inline so fast_ops_for
+    /// thunks devirtualize the per-packet call for final classes).
+    virtual void push_batch(int port, PacketBatch& batch) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            push(port, std::move(batch[i]));
+        }
+        batch.clear();
+    }
+
+    /// Drains up to `max` packets from a pull output into `batch`;
+    /// returns the count. Semantically identical to repeated pull().
+    virtual std::size_t pull_batch(int port, PacketBatch& batch,
+                                   std::size_t max) {
+        std::size_t n = 0;
+        while (n < max) {
+            PooledPacket p = pull(port);
+            if (!p) {
+                break;
+            }
+            batch.push_back(std::move(p));
+            ++n;
+        }
+        return n;
+    }
+
+    /// Devirtualized entry points for fast dispatch, resolved once at
+    /// ElementGraph::finalize(). All-null (the default) means "not
+    /// fast-capable": connections into this element stay on the checked
+    /// virtual path.
+    struct FastOps {
+        using PushFn = void (*)(Element&, int, PooledPacket);
+        using PushBatchFn = void (*)(Element&, int, PacketBatch&);
+        using PullFn = PooledPacket (*)(Element&, int);
+        using PullBatchFn = std::size_t (*)(Element&, int, PacketBatch&,
+                                            std::size_t);
+        PushFn push = nullptr;
+        PushBatchFn push_batch = nullptr;
+        PullFn pull = nullptr;
+        PullBatchFn pull_batch = nullptr;
+    };
+
+    /// Fast-dispatch opt-in hook. Override in a final element class as
+    /// `return fast_ops_for<Self>();`.
+    [[nodiscard]] virtual FastOps fast_ops() noexcept { return {}; }
+
+    /// Thunks that call D's entry points through qualified (non-virtual)
+    /// names. D must be final so the calls inside the inlined bodies
+    /// devirtualize too.
+    template <typename D>
+    [[nodiscard]] static FastOps fast_ops_for() noexcept {
+        static_assert(std::is_final_v<D>,
+                      "fast_ops_for<D>: D must be final so qualified calls "
+                      "devirtualize");
+        return FastOps{
+            [](Element& e, int port, PooledPacket p) {
+                static_cast<D&>(e).D::push(port, std::move(p));
+            },
+            [](Element& e, int port, PacketBatch& b) {
+                static_cast<D&>(e).D::push_batch(port, b);
+            },
+            [](Element& e, int port) {
+                return static_cast<D&>(e).D::pull(port);
+            },
+            [](Element& e, int port, PacketBatch& b, std::size_t max) {
+                return static_cast<D&>(e).D::pull_batch(port, b, max);
+            },
+        };
+    }
+
+    /// Fills (DispatchMode::Fast) or clears (DispatchMode::Virtual) the
+    /// cached per-port dispatch slots from the current wiring.
+    /// ElementGraph::finalize() calls this on every element; standalone
+    /// elements never resolve and always take the checked virtual path.
+    void resolve_dispatch(DispatchMode mode);
+
+    /// True when this element was last resolved with DispatchMode::Fast
+    /// (elements gate event-structure optimizations on it, so a Virtual
+    /// graph reproduces the reference event pattern exactly).
+    [[nodiscard]] bool fast_dispatch() const noexcept {
+        return fast_dispatch_;
+    }
+
     /// Timer expiry hook; armed with schedule_timer_at/after.
     virtual void on_timer() {}
 
@@ -99,8 +203,14 @@ public:
     /// double connections on either end.
     void connect_output(int out_port, Element& downstream, int in_port);
 
-    [[nodiscard]] bool output_connected(int port) const noexcept;
-    [[nodiscard]] bool input_connected(int port) const noexcept;
+    [[nodiscard]] bool output_connected(int port) const noexcept {
+        return port >= 0 && static_cast<std::size_t>(port) < outputs_.size() &&
+               outputs_[static_cast<std::size_t>(port)].element != nullptr;
+    }
+    [[nodiscard]] bool input_connected(int port) const noexcept {
+        return port >= 0 && static_cast<std::size_t>(port) < inputs_.size() &&
+               inputs_[static_cast<std::size_t>(port)].element != nullptr;
+    }
 
     /// The downstream peer wired to `out_port`: {element, its input
     /// port}, or {nullptr, 0} when the port is out of range or
@@ -114,13 +224,64 @@ public:
 
 protected:
     /// Pushes `p` to whatever is connected downstream of `out_port`.
-    /// Throws std::logic_error when the port was never wired (finalize()
+    /// Resolved ports take the cached devirtualized call; everything
+    /// else falls back to the checked virtual path, which throws
+    /// std::logic_error when the port was never wired (finalize()
     /// catches this earlier for graph-built elements).
-    void output(int out_port, PooledPacket p);
+    void output(int out_port, PooledPacket p) {
+        const auto port = static_cast<std::size_t>(out_port);
+        if (port < fast_out_.size() && fast_out_[port].push != nullptr) {
+            const ResolvedOut& r = fast_out_[port];
+            r.push(*r.element, r.port, std::move(p));
+            return;
+        }
+        output_slow(out_port, std::move(p));
+    }
 
     /// Pulls from whatever is connected upstream of `in_port` (which
     /// must be a pull input); empty handle when upstream is empty.
-    [[nodiscard]] PooledPacket input(int in_port);
+    [[nodiscard]] PooledPacket input(int in_port) {
+        const auto port = static_cast<std::size_t>(in_port);
+        if (port < fast_in_.size() && fast_in_[port].pull != nullptr) {
+            const ResolvedIn& r = fast_in_[port];
+            return r.pull(*r.element, r.port);
+        }
+        return input_slow(in_port);
+    }
+
+    /// Batch variants: one dispatch for the whole run. Identical in
+    /// effect to per-packet output()/input() calls in order.
+    void output_batch(int out_port, PacketBatch& batch) {
+        const auto port = static_cast<std::size_t>(out_port);
+        if (port < fast_out_.size() && fast_out_[port].push_batch != nullptr) {
+            const ResolvedOut& r = fast_out_[port];
+            r.push_batch(*r.element, r.port, batch);
+            return;
+        }
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            output(out_port, std::move(batch[i]));
+        }
+        batch.clear();
+    }
+
+    [[nodiscard]] std::size_t input_batch(int in_port, PacketBatch& batch,
+                                          std::size_t max) {
+        const auto port = static_cast<std::size_t>(in_port);
+        if (port < fast_in_.size() && fast_in_[port].pull_batch != nullptr) {
+            const ResolvedIn& r = fast_in_[port];
+            return r.pull_batch(*r.element, r.port, batch, max);
+        }
+        std::size_t n = 0;
+        while (n < max) {
+            PooledPacket p = input(in_port);
+            if (!p) {
+                break;
+            }
+            batch.push_back(std::move(p));
+            ++n;
+        }
+        return n;
+    }
 
     void schedule_timer_at(sim::SimTime t) {
         cancel_timer();
@@ -147,13 +308,34 @@ private:
         int port = 0;
     };
 
+    /// Cached dispatch for one resolved port. Null function pointers
+    /// mean "use the checked virtual path" (unresolved, Virtual mode,
+    /// or a peer that didn't opt in).
+    struct ResolvedOut {
+        Element* element = nullptr;
+        int port = 0;
+        FastOps::PushFn push = nullptr;
+        FastOps::PushBatchFn push_batch = nullptr;
+    };
+    struct ResolvedIn {
+        Element* element = nullptr;
+        int port = 0;
+        FastOps::PullFn pull = nullptr;
+        FastOps::PullBatchFn pull_batch = nullptr;
+    };
+
     void ensure_peer_slots();
+    void output_slow(int out_port, PooledPacket p);
+    [[nodiscard]] PooledPacket input_slow(int in_port);
 
     sim::Engine& engine_;
     std::string name_;
     std::vector<Peer> outputs_; ///< indexed by output port
     std::vector<Peer> inputs_;  ///< indexed by input port
+    std::vector<ResolvedOut> fast_out_; ///< dispatch cache (resolve_dispatch)
+    std::vector<ResolvedIn> fast_in_;
     bool peers_sized_ = false;
+    bool fast_dispatch_ = false;
     sim::EventHandle timer_event_{};
     bool timer_armed_ = false;
 };

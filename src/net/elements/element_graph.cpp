@@ -184,7 +184,7 @@ std::string ElementGraph::wire_spec() const {
     return out;
 }
 
-void ElementGraph::finalize() {
+void ElementGraph::finalize(DispatchMode mode) {
     for (const auto& elem : elements_) {
         const auto outs = elem->output_ports();
         for (std::size_t port = 0; port < outs.size(); ++port) {
@@ -207,6 +207,10 @@ void ElementGraph::finalize() {
             }
         }
     }
+    for (const auto& elem : elements_) {
+        elem->resolve_dispatch(mode);
+    }
+    dispatch_mode_ = mode;
     finalized_ = true;
 }
 

@@ -73,10 +73,17 @@ public:
     /// reconstructible topology, not just a description.
     [[nodiscard]] std::string wire_spec() const;
 
-    /// Validates completeness (see file comment); throws std::logic_error
-    /// naming the first dangling port. Idempotent.
-    void finalize();
+    /// Validates completeness (see file comment), then resolves every
+    /// element's cached port dispatch: DispatchMode::Fast (the default)
+    /// installs devirtualized peer calls, DispatchMode::Virtual clears
+    /// them so every hop takes the original checked virtual path (the
+    /// differential reference). Throws std::logic_error naming the
+    /// first dangling port. Idempotent; re-finalizing may switch modes.
+    void finalize(DispatchMode mode = DispatchMode::Fast);
     [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+    [[nodiscard]] DispatchMode dispatch_mode() const noexcept {
+        return dispatch_mode_;
+    }
 
     /// Per-element counters for every element, insertion order, as
     /// "<prefix>.<element>.<counter>".
@@ -97,6 +104,7 @@ private:
     std::vector<std::unique_ptr<Element>> elements_;
     std::map<std::string, std::size_t> by_name_;
     bool finalized_ = false;
+    DispatchMode dispatch_mode_ = DispatchMode::Fast;
 };
 
 } // namespace routesync::net::elements

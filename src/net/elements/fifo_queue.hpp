@@ -23,6 +23,9 @@ public:
     }
 
     bool enqueue(PooledPacket p) override {
+        if (!trace_active()) {
+            return queue_.push(std::move(p));
+        }
         // DropTailQueue::push releases the handle on overflow, so read the
         // fields the trace event needs before handing it over.
         const auto seq = static_cast<std::int64_t>(p->seq);
@@ -35,6 +38,10 @@ public:
 
     [[nodiscard]] PooledPacket dequeue() override { return queue_.pop(); }
     [[nodiscard]] const Packet* peek() const override { return queue_.front(); }
+
+    [[nodiscard]] FastOps fast_ops() noexcept override {
+        return fast_ops_for<FifoQueue>();
+    }
 
     [[nodiscard]] std::size_t size() const noexcept override {
         return queue_.size();

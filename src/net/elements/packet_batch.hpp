@@ -1,0 +1,67 @@
+// PacketBatch: a run of packets moved hop-to-hop in one call.
+//
+// The batched handoff (Element::push_batch / pull_batch) exists to
+// amortize per-packet dispatch on the DelayLink -> queue -> transmitter
+// fast path: a zero-serialization-time link drains its whole backlog at
+// one instant, and handing the run downstream as a batch replaces N
+// engine events and N dispatches with one of each. Semantically a batch
+// is nothing but its packets in order — every consumer must behave
+// exactly as if each packet had been pushed individually.
+//
+// Storage is a small inline array (the common burst fits without
+// allocation) with a vector spill for long drains. The spill's capacity
+// survives clear(), so a reused batch allocates only on its first long
+// run.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "net/packet_pool.hpp"
+
+namespace routesync::net::elements {
+
+class PacketBatch {
+public:
+    static constexpr std::size_t kInline = 8;
+
+    PacketBatch() = default;
+    PacketBatch(const PacketBatch&) = delete;
+    PacketBatch& operator=(const PacketBatch&) = delete;
+
+    void push_back(PooledPacket p) {
+        if (size_ < kInline) {
+            inline_[size_] = std::move(p);
+        } else {
+            spill_.push_back(std::move(p));
+        }
+        ++size_;
+    }
+
+    /// The i-th packet, in push order. Consumers move from the slot.
+    [[nodiscard]] PooledPacket& operator[](std::size_t i) noexcept {
+        return i < kInline ? inline_[i] : spill_[i - kInline];
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+    /// Releases every remaining handle and resets to empty (spill
+    /// capacity is kept).
+    void clear() noexcept {
+        for (std::size_t i = 0; i < size_ && i < kInline; ++i) {
+            inline_[i].reset();
+        }
+        spill_.clear();
+        size_ = 0;
+    }
+
+private:
+    std::array<PooledPacket, kInline> inline_;
+    std::vector<PooledPacket> spill_;
+    std::size_t size_ = 0;
+};
+
+} // namespace routesync::net::elements

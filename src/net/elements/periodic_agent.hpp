@@ -69,6 +69,10 @@ public:
     /// (SharedLan receive callbacks) instead of a pooled handle.
     void hear(const Packet& p);
 
+    [[nodiscard]] FastOps fast_ops() noexcept override {
+        return fast_ops_for<PeriodicAgent>();
+    }
+
     void on_timer() override;
 
     /// Fires when the next interval is drawn (ClusterTracker hookup).

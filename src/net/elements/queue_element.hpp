@@ -105,6 +105,13 @@ public:
     }
 
 protected:
+    /// True when trace_offer would actually emit — hoisted out of the
+    /// per-packet path so the untraced steady state skips the field
+    /// reads the emission would need.
+    [[nodiscard]] bool trace_active() const noexcept {
+        return trace_events_ && engine().tracer() != nullptr;
+    }
+
     /// Emits the accept-or-drop trace event for one offered packet,
     /// mirroring the pre-element Link::send emission exactly.
     void trace_offer(bool accepted, int src, std::int64_t seq, double size_bytes) {

@@ -56,6 +56,20 @@ bool RedQueue::should_drop() {
 }
 
 bool RedQueue::enqueue(PooledPacket p) {
+    // The drop lottery and EWMA run identically traced or not — only
+    // the field reads the emission needs are hoisted behind the check.
+    if (!trace_active()) {
+        const bool accepted = !should_drop();
+        if (accepted) {
+            bytes_ += p->size_bytes;
+            items_.push_back(std::move(p));
+            ++stats_.enqueued;
+        } else {
+            ++stats_.dropped;
+            p.reset();
+        }
+        return accepted;
+    }
     const auto seq = static_cast<std::int64_t>(p->seq);
     const double size = p->size_bytes;
     const int src = p->src;

@@ -44,6 +44,10 @@ public:
         return items_.empty() ? nullptr : items_.front().get();
     }
 
+    [[nodiscard]] FastOps fast_ops() noexcept override {
+        return fast_ops_for<RedQueue>();
+    }
+
     [[nodiscard]] std::size_t size() const noexcept override {
         return items_.size();
     }

@@ -27,7 +27,7 @@ Link::Link(sim::Engine& engine, const LinkConfig& config,
     }
     graph_.add<elements::CallbackSink>("sink", std::move(deliver));
     graph_.wire("tx[1] -> queue; queue -> [1]tx; tx -> sink");
-    graph_.finalize();
+    graph_.finalize(config.dispatch);
 }
 
 } // namespace routesync::net

@@ -39,6 +39,9 @@ struct LinkConfig {
     std::size_t queue_packets = 64;
     elements::QueueDisc queue_disc = elements::QueueDisc::DropTail;
     elements::RedTuning red{}; ///< used when queue_disc == Red
+    /// Fast (default) resolves devirtualized port dispatch at finalize;
+    /// Virtual keeps the checked virtual path as a differential reference.
+    elements::DispatchMode dispatch = elements::DispatchMode::Fast;
 };
 
 class Link {

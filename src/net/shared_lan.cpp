@@ -11,7 +11,11 @@
 namespace routesync::net {
 
 SharedLan::SharedLan(sim::Engine& engine, const SharedLanConfig& config)
-    : engine_{engine}, config_{config}, gen_{config.seed}, graph_{engine} {
+    : engine_{engine},
+      config_{config},
+      gen_{config.seed},
+      graph_{engine},
+      fast_{config.dispatch == elements::DispatchMode::Fast} {
     if (config_.rate_bps <= 0.0) {
         throw std::invalid_argument{"SharedLan: rate must be positive"};
     }
@@ -43,10 +47,63 @@ int SharedLan::attach(std::function<void(const Packet&)> deliver) {
     return station;
 }
 
+// Devirtualized queue calls: every station runs the same discipline, so
+// the dynamic type is pinned by config_.queue_disc and a qualified call
+// on the final class replaces the vtable dispatch (and lets the
+// discipline's enqueue inline). Virtual mode keeps the plain virtual
+// call as the differential reference.
+bool SharedLan::q_enqueue(Station& st, PooledPacket p) {
+    if (fast_) {
+        if (config_.queue_disc == elements::QueueDisc::Red) {
+            return static_cast<elements::RedQueue*>(st.queue)
+                ->RedQueue::enqueue(std::move(p));
+        }
+        return static_cast<elements::FifoQueue*>(st.queue)
+            ->FifoQueue::enqueue(std::move(p));
+    }
+    return st.queue->enqueue(std::move(p));
+}
+
+PooledPacket SharedLan::q_dequeue(Station& st) {
+    if (fast_) {
+        if (config_.queue_disc == elements::QueueDisc::Red) {
+            return static_cast<elements::RedQueue*>(st.queue)
+                ->RedQueue::dequeue();
+        }
+        return static_cast<elements::FifoQueue*>(st.queue)
+            ->FifoQueue::dequeue();
+    }
+    return st.queue->dequeue();
+}
+
+const Packet* SharedLan::q_peek(const Station& st) const {
+    if (fast_) {
+        if (config_.queue_disc == elements::QueueDisc::Red) {
+            return static_cast<const elements::RedQueue*>(st.queue)
+                ->RedQueue::peek();
+        }
+        return static_cast<const elements::FifoQueue*>(st.queue)
+            ->FifoQueue::peek();
+    }
+    return st.queue->peek();
+}
+
+bool SharedLan::q_empty(const Station& st) const {
+    if (fast_) {
+        if (config_.queue_disc == elements::QueueDisc::Red) {
+            return static_cast<const elements::RedQueue*>(st.queue)
+                       ->RedQueue::size() == 0;
+        }
+        return static_cast<const elements::FifoQueue*>(st.queue)
+                   ->FifoQueue::size() == 0;
+    }
+    return st.queue->empty();
+}
+
 void SharedLan::send(int station, PooledPacket p) {
     auto& st = stations_.at(static_cast<std::size_t>(station));
     ++stats_.frames_offered;
-    if (!st.queue->enqueue(std::move(p))) {
+    if (!q_enqueue(st, std::move(p))) {
         ++stats_.drops_queue_full;
         return;
     }
@@ -59,7 +116,7 @@ void SharedLan::send(int station, PooledPacket p) {
 
 void SharedLan::contend(int station) {
     auto& st = stations_[static_cast<std::size_t>(station)];
-    if (st.queue->empty()) {
+    if (q_empty(st)) {
         st.pending = false;
         return;
     }
@@ -87,7 +144,7 @@ void SharedLan::contend(int station) {
     current_owner_ = station;
     tx_start_ = now;
     const sim::SimTime duration = sim::SimTime::seconds(
-        static_cast<double>(st.queue->peek()->size_bytes) * 8.0 /
+        static_cast<double>(q_peek(st)->size_bytes) * 8.0 /
         config_.rate_bps);
     channel_free_at_ = now + duration + config_.inter_frame_gap;
     tx_end_event_ =
@@ -110,13 +167,13 @@ void SharedLan::collide(int second_station) {
         if (st.attempts >= config_.max_attempts) {
             ++stats_.drops_excessive_collisions;
             if (obs::Tracer* tr = engine_.tracer()) {
-                const Packet* head = st.queue->peek();
+                const Packet* head = q_peek(st);
                 tr->emit(obs::TraceEventType::PacketDrop, engine_.now(), station,
                          static_cast<std::int64_t>(head->seq), head->size_bytes);
             }
-            st.queue->dequeue().reset();
+            q_dequeue(st).reset();
             st.attempts = 0;
-            if (st.queue->empty()) {
+            if (q_empty(st)) {
                 st.pending = false;
                 continue;
             }
@@ -141,7 +198,7 @@ void SharedLan::transmission_done() {
     current_owner_ = -1;
 
     auto& st = stations_[static_cast<std::size_t>(owner)];
-    PooledPacket frame = st.queue->dequeue();
+    PooledPacket frame = q_dequeue(st);
     st.attempts = 0;
     ++stats_.frames_delivered;
     if (obs::Tracer* tr = engine_.tracer()) {
@@ -150,24 +207,53 @@ void SharedLan::transmission_done() {
     }
 
     // Broadcast: everyone else hears the frame after the propagation
-    // delay. All receivers share the transmitted slot — the capture is
-    // {this, i, 16-byte handle}, so the fan-out neither copies the frame
-    // nor allocates.
-    for (std::size_t i = 0; i < stations_.size(); ++i) {
-        if (static_cast<int>(i) == owner) {
-            continue;
+    // delay.
+    if (fast_) {
+        // Fused fan-out: ONE event delivers to every receiver in station
+        // order. Equivalent to the per-receiver events below: those all
+        // carry the same timestamp and consecutive sequence numbers, so
+        // nothing can pop between them — the receiver call order is the
+        // same either way. The frame parks in broadcasts_ so the capture
+        // is {this}, trivially copyable. Only the engine's event count
+        // differs.
+        if (stations_.size() > 1) {
+            broadcasts_.push_back(
+                PendingBroadcast{owner, stations_.size(), std::move(frame)});
+            engine_.schedule_after(config_.prop_delay,
+                                   [this] { deliver_broadcast(); });
         }
-        engine_.schedule_after(config_.prop_delay, [this, i, f = frame.share()] {
-            stations_[i].deliver(*f);
-        });
+    } else {
+        // All receivers share the transmitted slot — the capture is
+        // {this, i, 16-byte handle}, so the fan-out neither copies the
+        // frame nor allocates.
+        for (std::size_t i = 0; i < stations_.size(); ++i) {
+            if (static_cast<int>(i) == owner) {
+                continue;
+            }
+            engine_.schedule_after(config_.prop_delay,
+                                   [this, i, f = frame.share()] {
+                                       stations_[i].deliver(*f);
+                                   });
+        }
     }
 
     station_next(owner);
 }
 
+void SharedLan::deliver_broadcast() {
+    PendingBroadcast b = std::move(broadcasts_.front());
+    broadcasts_.pop_front();
+    for (std::size_t i = 0; i < b.count; ++i) {
+        if (static_cast<int>(i) == b.owner) {
+            continue;
+        }
+        stations_[i].deliver(*b.frame);
+    }
+}
+
 void SharedLan::station_next(int station) {
     auto& st = stations_[static_cast<std::size_t>(station)];
-    if (st.queue->empty()) {
+    if (q_empty(st)) {
         st.pending = false;
         return;
     }

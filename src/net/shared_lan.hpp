@@ -40,6 +40,11 @@ struct SharedLanConfig {
     elements::QueueDisc queue_disc = elements::QueueDisc::DropTail;
     elements::RedTuning red{};
     std::uint64_t seed = 1;
+    /// Fast (default) devirtualizes station-queue calls and fuses the
+    /// broadcast fan-out into one delivery event per frame; Virtual keeps
+    /// the original checked path as a differential reference. Both are
+    /// bit-identical in everything but the engine's event count.
+    elements::DispatchMode dispatch = elements::DispatchMode::Fast;
 };
 
 struct SharedLanStats {
@@ -115,12 +120,37 @@ private:
     void collide(int second_station);
     void schedule_backoff(int station);
     void station_next(int station);
+    /// Fast-mode fused fan-out: delivers the oldest pending broadcast to
+    /// every receiver in station order (see transmission_done).
+    void deliver_broadcast();
+
+    // Fast-mode devirtualized station-queue calls: the discipline is
+    // uniform across stations (config_.queue_disc), so one predictable
+    // branch replaces the vtable dispatch.
+    bool q_enqueue(Station& st, PooledPacket p);
+    [[nodiscard]] PooledPacket q_dequeue(Station& st);
+    [[nodiscard]] const Packet* q_peek(const Station& st) const;
+    [[nodiscard]] bool q_empty(const Station& st) const;
+
+    /// One transmitted frame awaiting its fused fan-out event. `count`
+    /// freezes the receiver set at transmission time, so a station
+    /// attached mid-propagation does not hear it (matching the virtual
+    /// path's per-receiver events).
+    struct PendingBroadcast {
+        int owner;
+        std::size_t count;
+        PooledPacket frame;
+    };
 
     sim::Engine& engine_;
     SharedLanConfig config_;
     rng::DefaultEngine gen_;
     elements::ElementGraph graph_; ///< owns the station queue elements
     std::deque<Station> stations_; ///< deque: grows without relocating stations
+    bool fast_;                    ///< config_.dispatch == DispatchMode::Fast
+    /// Broadcasts in flight, delivered front-first: the propagation delay
+    /// is constant, so fan-out events fire in schedule order.
+    std::deque<PendingBroadcast> broadcasts_;
 
     // Channel state.
     bool transmitting_ = false;

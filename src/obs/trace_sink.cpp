@@ -1,5 +1,6 @@
 #include "obs/trace_sink.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 #include "obs/json.hpp"
@@ -19,6 +20,25 @@ void RingBufferSink::on_event(const TraceEvent& event) {
         ++dropped_;
     }
     events_.push_back(event);
+}
+
+void HashingSink::on_event(const TraceEvent& event) {
+    ++seen_;
+    std::uint64_t h = hash_;
+    const auto fold = [&h](std::uint64_t word, int bytes) {
+        for (int i = 0; i < bytes; ++i) {
+            h ^= (word >> (8 * i)) & 0xffU;
+            h *= 1099511628211ULL; // FNV-1a 64-bit prime
+        }
+    };
+    fold(event.seq, 8);
+    fold(std::bit_cast<std::uint64_t>(event.time.sec()), 8);
+    fold(static_cast<std::uint64_t>(event.type), 1);
+    fold(static_cast<std::uint64_t>(static_cast<std::uint32_t>(event.node)), 4);
+    fold(static_cast<std::uint64_t>(event.a), 8);
+    fold(std::bit_cast<std::uint64_t>(event.b), 8);
+    fold(std::bit_cast<std::uint64_t>(event.x), 8);
+    hash_ = h;
 }
 
 std::string trace_event_jsonl(const TraceEvent& event) {

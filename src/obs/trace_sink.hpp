@@ -10,6 +10,11 @@
 //   JsonlFileSink  — streams every event as one JSON object per line;
 //                    the interchange format tools/validate_trace.py and
 //                    the figure pipeline consume.
+//   HashingSink    — folds every event into one 64-bit FNV-1a digest and
+//                    keeps nothing; the determinism witness for sweeps
+//                    that run thousands of traced simulations (equal
+//                    digests <=> equal event streams, at 8 bytes per
+//                    whole trace instead of a file per task).
 #pragma once
 
 #include <cstdint>
@@ -88,6 +93,21 @@ public:
 private:
     std::string path_;
     std::FILE* file_ = nullptr;
+};
+
+class HashingSink final : public TraceSink {
+public:
+    /// Digest of everything seen so far: 64-bit FNV-1a over each event's
+    /// canonical fixed-width encoding ({seq, time bits, type, node, a,
+    /// b bits, x bits}, little-endian), folded in emission order. The
+    /// empty-trace digest is the FNV offset basis.
+    [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
+
+    void on_event(const TraceEvent& event) override;
+
+private:
+    static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ULL;
+    std::uint64_t hash_ = kOffsetBasis;
 };
 
 /// One event as its JSONL line (no trailing newline) — the single

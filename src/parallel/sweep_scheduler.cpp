@@ -2,19 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
-#include <exception>
-#include <thread>
 #include <utility>
 
 #include "obs/run_context.hpp"
-#include "parallel/parallel_for.hpp"
 #include "parallel/trial_runner.hpp"
 
 namespace routesync::parallel {
 
 SweepScheduler::SweepScheduler(SweepSchedulerOptions options)
-    : jobs_{options.jobs == 0 ? hardware_jobs() : options.jobs},
-      batch_{options.batch} {}
+    : pool_{TaskPoolOptions{options.jobs}}, batch_{options.batch} {}
 
 std::size_t SweepScheduler::effective_batch(std::size_t count) const noexcept {
     if (batch_ != 0) {
@@ -25,10 +21,10 @@ std::size_t SweepScheduler::effective_batch(std::size_t count) const noexcept {
     // every worker still gets a few claims — stealing needs granularity
     // to rebalance the sweep's long tail.
     constexpr std::size_t kPreferred = 16;
-    if (jobs_ <= 1) {
+    if (pool_.jobs() <= 1) {
         return kPreferred;
     }
-    const std::size_t per_worker = count / (jobs_ * 2);
+    const std::size_t per_worker = count / (pool_.jobs() * 2);
     const std::size_t cap = per_worker > 1 ? per_worker : 1;
     return cap < kPreferred ? cap : kPreferred;
 }
@@ -65,52 +61,10 @@ core::ExperimentConfig SweepScheduler::materialize(std::size_t index) const {
     return batch.make(index - batch.first);
 }
 
-bool SweepScheduler::claim(std::size_t worker, std::size_t max_len,
-                           std::size_t& out_lo, std::size_t& out_len) {
-    const std::lock_guard<std::mutex> lock{mutex_};
-    Range& own = ranges_[worker];
-    if (own.lo < own.hi) {
-        const std::size_t avail = own.hi - own.lo;
-        out_lo = own.lo;
-        out_len = avail < max_len ? avail : max_len;
-        own.lo += out_len;
-        return true;
-    }
-    // Own range drained: steal the back half of the largest remaining
-    // range. The owner keeps consuming its front, so the handoff never
-    // contends on a task, and the biggest victim is where the sweep's
-    // long tail (the near-transition grid points) lives.
-    std::size_t victim = ranges_.size();
-    std::size_t victim_rem = 0;
-    for (std::size_t w = 0; w < ranges_.size(); ++w) {
-        const std::size_t rem = ranges_[w].hi - ranges_[w].lo;
-        if (w != worker && rem > victim_rem) {
-            victim = w;
-            victim_rem = rem;
-        }
-    }
-    if (victim == ranges_.size()) {
-        return false; // sweep drained
-    }
-    Range& v = ranges_[victim];
-    const std::size_t take = (victim_rem + 1) / 2; // at least 1
-    own.lo = v.hi - take;
-    own.hi = v.hi;
-    v.hi -= take;
-    ++steals_;
-    const std::size_t avail = own.hi - own.lo;
-    out_lo = own.lo;
-    out_len = avail < max_len ? avail : max_len;
-    own.lo += out_len;
-    return true;
-}
-
 std::vector<core::ExperimentResult> SweepScheduler::run() {
     const std::size_t count = count_;
     std::vector<core::ExperimentResult> results(count);
-    steals_ = 0;
 
-    const std::size_t batch = effective_batch(count);
     // A chunk of tasks runs lock-step in the batched kernel; len == 1
     // takes the scalar path. Both are bit-identical per task, so chunk
     // boundaries (and therefore --batch) never show in the results.
@@ -134,55 +88,19 @@ std::vector<core::ExperimentResult> SweepScheduler::run() {
         }
     };
 
-    const std::size_t jobs = std::min(jobs_, std::max<std::size_t>(count, 1));
-    if (jobs <= 1) {
-        // Inline, in submission order — the reference execution that
-        // every parallel run must reproduce byte for byte.
-        for (std::size_t lo = 0; lo < count; lo += batch) {
-            run_chunk(lo, std::min(batch, count - lo));
+    // The pool clears our queue even if a chunk threw: the surviving
+    // tasks already ran (independent experiments), so a rethrowing run()
+    // must not leave them queued for a retry.
+    struct ClearQueue {
+        SweepScheduler* self;
+        ~ClearQueue() {
+            self->batches_.clear();
+            self->count_ = 0;
         }
-        batches_.clear();
-        count_ = 0;
-        return results;
-    }
+    } clear_queue{this};
 
-    // Contiguous initial shards, one per worker; stealing rebalances.
-    ranges_.assign(jobs, Range{});
-    for (std::size_t w = 0; w < jobs; ++w) {
-        ranges_[w] = Range{w * count / jobs, (w + 1) * count / jobs};
-    }
-
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    const auto worker = [&](std::size_t w) noexcept {
-        std::size_t lo = 0;
-        std::size_t len = 0;
-        while (claim(w, batch, lo, len)) {
-            try {
-                run_chunk(lo, len);
-            } catch (...) {
-                const std::lock_guard<std::mutex> lock{error_mutex};
-                if (!first_error) {
-                    first_error = std::current_exception();
-                }
-            }
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(jobs - 1);
-    for (std::size_t w = 1; w < jobs; ++w) {
-        pool.emplace_back(worker, w);
-    }
-    worker(0); // the calling thread pulls its weight too
-    for (std::thread& t : pool) {
-        t.join();
-    }
-    batches_.clear();
-    count_ = 0;
-    if (first_error) {
-        std::rethrow_exception(first_error);
-    }
+    steals_ = 0;
+    steals_ = pool_.run(count, effective_batch(count), run_chunk);
     return results;
 }
 

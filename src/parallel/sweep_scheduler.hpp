@@ -10,12 +10,10 @@
 // long tail of a hard grid point is shared by the whole machine instead
 // of serializing it.
 //
-// Scheduling: each worker owns a contiguous index range of the submitted
-// tasks. A worker consumes its range front to back; when empty it steals
-// the back half of the largest remaining range. Claims are O(jobs) under
-// ONE global mutex — tasks are entire experiments (>=100us, usually way
-// more), so the lock is uncontended noise, and a single mutex keeps the
-// stealing logic obviously correct.
+// Scheduling is delegated to parallel::TaskPool (contiguous per-worker
+// ranges, steal-back-half-of-largest, one global mutex — see
+// task_pool.hpp); this class owns what is sweep-specific: lazy config
+// materialization, the batched-kernel chunk body, and result assembly.
 //
 // Determinism contract (same as TrialRunner, sweep-wide):
 //   * a task's config is a pure function of its submission index;
@@ -30,10 +28,10 @@
 
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "parallel/task_pool.hpp"
 
 namespace routesync::obs {
 class RunContext;
@@ -59,7 +57,7 @@ public:
     explicit SweepScheduler(SweepSchedulerOptions options = {});
 
     /// Effective worker count (never 0).
-    [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+    [[nodiscard]] std::size_t jobs() const noexcept { return pool_.jobs(); }
 
     /// Batch size a run of `count` tasks would use (resolves the auto
     /// setting; never 0).
@@ -102,26 +100,13 @@ private:
         std::size_t count = 0;
         std::function<core::ExperimentConfig(std::size_t)> make;
     };
-    struct Range {
-        std::size_t lo = 0;
-        std::size_t hi = 0;
-    };
 
     [[nodiscard]] core::ExperimentConfig materialize(std::size_t index) const;
-    /// Claims the next chunk of up to `max_len` contiguous tasks for
-    /// `worker` (own range front, then steal). Returns false when the
-    /// sweep is drained. Chunks feed run_experiment_batch; a chunk never
-    /// spans two workers' ranges, so stealing still rebalances at chunk
-    /// granularity.
-    [[nodiscard]] bool claim(std::size_t worker, std::size_t max_len,
-                             std::size_t& out_lo, std::size_t& out_len);
 
-    std::size_t jobs_;
+    TaskPool pool_;
     std::size_t batch_;
     std::size_t count_ = 0;
     std::vector<Batch> batches_;
-    std::mutex mutex_; ///< guards ranges_ and steals_ during run()
-    std::vector<Range> ranges_;
     std::size_t steals_ = 0;
 };
 

@@ -1,0 +1,76 @@
+// TaskPool: the work-stealing index pool behind every parallel fan-out.
+//
+// SweepScheduler grew this scheduling core for PM parameter sweeps; the
+// packet-level scenario sweeps need the identical discipline over a
+// different task body, so the pool lives here on its own. It schedules
+// *indices*, nothing else: run(count, chunk, body) partitions [0, count)
+// into contiguous chunks of at most `chunk` indices and invokes
+// `body(lo, len)` for each, across `jobs` workers.
+//
+// Scheduling: each worker owns a contiguous index range. A worker
+// consumes its range front to back; when empty it steals the back half
+// of the largest remaining range. Claims are O(jobs) under ONE global
+// mutex — tasks are entire experiments (>=100us, usually way more), so
+// the lock is uncontended noise, and a single mutex keeps the stealing
+// logic obviously correct.
+//
+// Determinism contract: the pool decides WHO runs a chunk and WHEN,
+// never what the chunk computes. Callers that (a) derive each task's
+// inputs purely from its index and (b) write each result to a slot
+// addressed by its index get byte-identical output for every jobs
+// value — stealing changes the thread, not the task.
+//
+// Exceptions: with jobs <= 1 the inline loop propagates immediately.
+// With workers, the first chunk exception is captured and rethrown
+// after all workers join (remaining chunks still run — a sweep's tasks
+// are independent, and tearing down mid-flight would discard work).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace routesync::parallel {
+
+struct TaskPoolOptions {
+    /// Worker threads. 0 = hardware concurrency; 1 = run inline, no
+    /// threads.
+    std::size_t jobs = 0;
+};
+
+class TaskPool {
+public:
+    explicit TaskPool(TaskPoolOptions options = {});
+
+    /// Effective worker count (never 0).
+    [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+    /// Runs `body(lo, len)` over chunks covering [0, count), len <=
+    /// chunk (chunk == 0 is treated as 1). Returns the number of steals
+    /// performed (0 under jobs = 1). Rethrows the first chunk exception
+    /// after the pool drains.
+    std::size_t run(std::size_t count, std::size_t chunk,
+                    const std::function<void(std::size_t lo, std::size_t len)>&
+                        body);
+
+private:
+    struct Range {
+        std::size_t lo = 0;
+        std::size_t hi = 0;
+    };
+
+    /// Claims the next chunk of up to `max_len` contiguous indices for
+    /// `worker` (own range front, then steal). Returns false when the
+    /// pool is drained. A chunk never spans two workers' ranges, so
+    /// stealing still rebalances at chunk granularity.
+    [[nodiscard]] bool claim(std::size_t worker, std::size_t max_len,
+                             std::size_t& out_lo, std::size_t& out_len);
+
+    std::size_t jobs_;
+    std::mutex mutex_; ///< guards ranges_ and steals_ during run()
+    std::vector<Range> ranges_;
+    std::size_t steals_ = 0;
+};
+
+} // namespace routesync::parallel

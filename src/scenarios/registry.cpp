@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "scenarios/audiocast.hpp"
 #include "scenarios/nearnet.hpp"
+#include "scenarios/scenario_sweep.hpp"
 #include "scenarios/shared_lan_scenario.hpp"
 
 namespace routesync::scenarios {
@@ -110,7 +111,7 @@ int run_audiocast(const ScenarioFlags& flags) {
 // ---- builtin: shared_lan ------------------------------------------------
 // The RED-vs-drop-tail knob (--queue red|droptail); see
 // shared_lan_scenario.hpp for the mechanism under test.
-int run_shared_lan(const ScenarioFlags& flags) {
+SharedLanScenarioConfig parse_shared_lan_config(const ScenarioFlags& flags) {
     SharedLanScenarioConfig cfg;
     cfg.n = flag_i(flags, "n", cfg.n);
     cfg.tp = sim::SimTime::seconds(flag_d(flags, "tp", cfg.tp.sec()));
@@ -138,6 +139,47 @@ int run_shared_lan(const ScenarioFlags& flags) {
     cfg.monitor = flags.contains("monitor");
     cfg.sync_threshold = flag_d(flags, "sync-threshold", cfg.sync_threshold);
     cfg.sync_hysteresis = flag_d(flags, "sync-hysteresis", cfg.sync_hysteresis);
+    if (flag_s(flags, "dispatch", "fast") == "virtual") {
+        cfg.dispatch = net::elements::DispatchMode::Virtual;
+    }
+    return cfg;
+}
+
+/// Shared-LAN flags common to single runs and sweeps, recorded in every
+/// manifest so a run is reconstructible from its artifact alone.
+void set_shared_lan_manifest_config(obs::Manifest& m,
+                                    const SharedLanScenarioConfig& cfg) {
+    // std::string{} forced: a bare const char* would select the bool
+    // overload of set_config.
+    m.set_config("queue",
+                 std::string{net::elements::queue_disc_name(cfg.queue_disc)});
+    m.set_config("n", cfg.n);
+    m.set_config("tp_sec", cfg.tp.sec());
+    m.set_config("tr_sec", cfg.tr.sec());
+    m.set_config("tc_sec", cfg.tc.sec());
+    m.set_config("queue_packets", static_cast<std::uint64_t>(cfg.queue_packets));
+    m.set_config("bg_burst", cfg.bg_burst);
+    m.set_config("bg_period_sec", cfg.bg_period.sec());
+    m.set_config("max_time_sec", cfg.max_time.sec());
+    m.set_config("monitor", cfg.monitor);
+    if (cfg.monitor) {
+        m.set_config("sync_threshold", cfg.sync_threshold);
+        m.set_config("sync_hysteresis", cfg.sync_hysteresis);
+    }
+}
+
+int run_shared_lan_trials(const ScenarioFlags& flags,
+                          const SharedLanScenarioConfig& cfg, int trials);
+
+int run_shared_lan(const ScenarioFlags& flags) {
+    SharedLanScenarioConfig cfg = parse_shared_lan_config(flags);
+    const int trials = flag_i(flags, "trials", 1);
+    if (trials < 1) {
+        throw std::invalid_argument{"shared_lan: --trials must be >= 1"};
+    }
+    if (trials > 1) {
+        return run_shared_lan_trials(flags, cfg, trials);
+    }
 
     const SharedLanScenarioResult r = run_shared_lan_scenario(cfg);
     std::printf("scenario,shared_lan\n");
@@ -203,24 +245,7 @@ int run_shared_lan(const ScenarioFlags& flags) {
             std::string{net::elements::queue_disc_name(cfg.queue_disc)} +
             " station queues)";
         m.seeds = {cfg.seed};
-        // std::string{} forced: a bare const char* would select the bool
-        // overload of set_config.
-        m.set_config("queue", std::string{net::elements::queue_disc_name(
-                                  cfg.queue_disc)});
-        m.set_config("n", cfg.n);
-        m.set_config("tp_sec", cfg.tp.sec());
-        m.set_config("tr_sec", cfg.tr.sec());
-        m.set_config("tc_sec", cfg.tc.sec());
-        m.set_config("queue_packets",
-                     static_cast<std::uint64_t>(cfg.queue_packets));
-        m.set_config("bg_burst", cfg.bg_burst);
-        m.set_config("bg_period_sec", cfg.bg_period.sec());
-        m.set_config("max_time_sec", cfg.max_time.sec());
-        m.set_config("monitor", cfg.monitor);
-        if (cfg.monitor) {
-            m.set_config("sync_threshold", cfg.sync_threshold);
-            m.set_config("sync_hysteresis", cfg.sync_hysteresis);
-        }
+        set_shared_lan_manifest_config(m, cfg);
         m.set_config("elements.wire_spec", r.wire_spec);
 
         obs::MetricsRegistry reg;
@@ -254,6 +279,101 @@ int run_shared_lan(const ScenarioFlags& flags) {
     return 0;
 }
 
+/// One sweep cell's counters folded into `reg` — called in submission
+/// order, so the merged snapshot is jobs-invariant.
+void merge_cell_metrics(obs::MetricsRegistry& reg,
+                        const ScenarioSweepCell& cell) {
+    const SharedLanScenarioResult& r = cell.result;
+    reg.add("lan.frames_offered", r.frames_offered);
+    reg.add("lan.frames_delivered", r.frames_delivered);
+    reg.add("lan.collisions", r.collisions);
+    reg.add("lan.drops_queue", r.drops_queue_full);
+    reg.add("agents.updates_sent", r.updates_sent);
+    reg.add("agents.updates_heard", r.updates_heard);
+    reg.add("sweep.trace_events", cell.trace_events);
+    if (r.full_sync_time_s.has_value()) {
+        reg.add("sweep.synced_cells", 1);
+        reg.observe("sweep.full_sync_time_sec", *r.full_sync_time_s);
+    }
+}
+
+/// The per-cell result row shared by the --trials table and the sweep
+/// table (the caller prints the leading buffer/load columns).
+void print_cell_row(const ScenarioSweepCell& cell) {
+    const SharedLanScenarioResult& r = cell.result;
+    std::printf("%d,%llu,%.3f,%llu,%llu,%llu,%llu,%d,%s,%llu,0x%016llx\n",
+                cell.trial, static_cast<unsigned long long>(cell.seed),
+                r.end_time_s,
+                static_cast<unsigned long long>(r.frames_delivered),
+                static_cast<unsigned long long>(r.drops_queue_full),
+                static_cast<unsigned long long>(r.updates_sent),
+                static_cast<unsigned long long>(r.updates_heard),
+                r.largest_cluster,
+                r.full_sync_time_s ? std::to_string(*r.full_sync_time_s).c_str()
+                                   : "none",
+                static_cast<unsigned long long>(cell.trace_events),
+                static_cast<unsigned long long>(cell.trace_digest));
+}
+
+int run_shared_lan_trials(const ScenarioFlags& flags,
+                          const SharedLanScenarioConfig& cfg, int trials) {
+    ScenarioSweepConfig sc;
+    sc.base = cfg;
+    sc.buffers = {cfg.queue_packets};
+    sc.loads = {1.0};
+    sc.trials = trials;
+    sc.jobs = static_cast<std::size_t>(flag_i(flags, "jobs", 1));
+    const ScenarioSweepResult sweep = run_scenario_sweep(sc);
+
+    // Stdout carries no jobs/steals: `--jobs N` must be byte-identical
+    // to `--jobs 1` (the repo-wide determinism contract).
+    std::printf("scenario,shared_lan\n");
+    std::printf("queue,%s\n", net::elements::queue_disc_name(cfg.queue_disc));
+    std::printf("n,%d\n", cfg.n);
+    std::printf("trials,%d\n", trials);
+    std::printf("trial,seed,end_time_s,frames_delivered,drops_queue,"
+                "updates_sent,updates_heard,largest_cluster,full_sync_time_s,"
+                "trace_events,trace_digest\n");
+    int synced = 0;
+    double sim_seconds = 0.0;
+    for (const ScenarioSweepCell& cell : sweep.cells) {
+        print_cell_row(cell);
+        synced += cell.result.full_sync_time_s.has_value() ? 1 : 0;
+        sim_seconds += cell.result.end_time_s;
+    }
+    std::printf("synced_trials,%d\n", synced);
+    std::printf("combined_digest,0x%016llx\n",
+                static_cast<unsigned long long>(sweep.combined_digest));
+    std::fprintf(stderr, "shared_lan: %d trials on %zu workers (%zu steals)\n",
+                 trials, sweep.jobs, sweep.steals);
+
+    const std::string out = flag_s(flags, "out");
+    if (!out.empty()) {
+        obs::Manifest m;
+        m.tool = "scenario/shared_lan";
+        m.description = "periodic updates on a congested CSMA/CD LAN, " +
+                        std::to_string(trials) + " trials";
+        for (const ScenarioSweepCell& cell : sweep.cells) {
+            m.seeds.push_back(cell.seed);
+        }
+        m.jobs = sweep.jobs;
+        set_shared_lan_manifest_config(m, cfg);
+        m.set_config("trials", trials);
+        char digest[32];
+        std::snprintf(digest, sizeof digest, "0x%016llx",
+                      static_cast<unsigned long long>(sweep.combined_digest));
+        m.set_config("combined_digest", std::string{digest});
+        obs::MetricsRegistry reg;
+        for (const ScenarioSweepCell& cell : sweep.cells) {
+            merge_cell_metrics(reg, cell);
+        }
+        m.metrics = reg.snapshot();
+        m.sim_seconds = sim_seconds;
+        m.write(out);
+    }
+    return 0;
+}
+
 ScenarioEntry builtin(std::string name, std::string summary,
                       std::string flags_help,
                       std::function<int(const ScenarioFlags&)> run) {
@@ -275,6 +395,88 @@ ScenarioEntry external(std::string name, std::string summary,
 }
 
 } // namespace
+
+int run_shared_lan_sweep(const ScenarioFlags& flags) {
+    ScenarioSweepConfig sc;
+    sc.base = parse_shared_lan_config(flags);
+    sc.buffers = parse_buffer_list(
+        flag_s(flags, "buffers", std::to_string(sc.base.queue_packets)));
+    sc.loads = parse_load_list(flag_s(flags, "loads", "1"));
+    sc.trials = flag_i(flags, "trials", 1);
+    if (sc.trials < 1) {
+        throw std::invalid_argument{
+            "scenario sweep: --trials must be >= 1"};
+    }
+    sc.jobs = static_cast<std::size_t>(flag_i(flags, "jobs", 1));
+    const ScenarioSweepResult sweep = run_scenario_sweep(sc);
+
+    // Stdout carries no jobs/steals: `--jobs N` must be byte-identical
+    // to `--jobs 1` (the repo-wide determinism contract).
+    std::printf("scenario_sweep,shared_lan\n");
+    std::printf("queue,%s\n",
+                net::elements::queue_disc_name(sc.base.queue_disc));
+    std::printf("buffers");
+    for (const std::size_t b : sc.buffers) {
+        std::printf(",%zu", b);
+    }
+    std::printf("\nloads");
+    for (const double l : sc.loads) {
+        std::printf(",%g", l);
+    }
+    std::printf("\ntrials,%d\n", sc.trials);
+    std::printf("cells,%zu\n", sweep.cells.size());
+    std::printf("buffer,load,trial,seed,end_time_s,frames_delivered,"
+                "drops_queue,updates_sent,updates_heard,largest_cluster,"
+                "full_sync_time_s,trace_events,trace_digest\n");
+    int synced = 0;
+    double sim_seconds = 0.0;
+    std::uint64_t transmissions = 0;
+    for (const ScenarioSweepCell& cell : sweep.cells) {
+        std::printf("%zu,%g,", cell.buffer, cell.load);
+        print_cell_row(cell);
+        synced += cell.result.full_sync_time_s.has_value() ? 1 : 0;
+        sim_seconds += cell.result.end_time_s;
+        transmissions += cell.result.frames_delivered;
+    }
+    std::printf("synced_cells,%d\n", synced);
+    std::printf("transmissions_checksum,%llu\n",
+                static_cast<unsigned long long>(transmissions));
+    std::printf("combined_digest,0x%016llx\n",
+                static_cast<unsigned long long>(sweep.combined_digest));
+    std::fprintf(stderr,
+                 "scenario sweep: %zu cells on %zu workers (%zu steals)\n",
+                 sweep.cells.size(), sweep.jobs, sweep.steals);
+
+    const std::string out = flag_s(flags, "out");
+    if (!out.empty()) {
+        obs::Manifest m;
+        m.tool = "scenario/shared_lan_sweep";
+        m.description =
+            "buffer x load x trial grid of shared-LAN runs (" +
+            std::string{net::elements::queue_disc_name(sc.base.queue_disc)} +
+            " station queues)";
+        m.seeds = {sc.base.seed};
+        m.jobs = sweep.jobs;
+        set_shared_lan_manifest_config(m, sc.base);
+        m.set_config("buffers", flag_s(flags, "buffers",
+                                       std::to_string(sc.base.queue_packets)));
+        m.set_config("loads", flag_s(flags, "loads", "1"));
+        m.set_config("trials", sc.trials);
+        m.set_config("cells", static_cast<std::uint64_t>(sweep.cells.size()));
+        char digest[32];
+        std::snprintf(digest, sizeof digest, "0x%016llx",
+                      static_cast<unsigned long long>(sweep.combined_digest));
+        m.set_config("combined_digest", std::string{digest});
+        obs::MetricsRegistry reg;
+        for (const ScenarioSweepCell& cell : sweep.cells) {
+            merge_cell_metrics(reg, cell);
+        }
+        m.metrics = reg.snapshot();
+        m.sim_seconds = sim_seconds;
+        m.write(out);
+    }
+    return 0;
+}
 
 ScenarioRegistry& ScenarioRegistry::instance() {
     static ScenarioRegistry registry;
@@ -357,8 +559,9 @@ void register_builtin_scenarios() {
         "station queues",
         "--queue red|droptail --n --tp --tr --tc --queue-cap --red-min "
         "--red-max --red-maxp --red-weight --bg-burst --bg-period "
-        "--max-time --seed [--monitor [--sync-threshold R] "
-        "[--sync-hysteresis H]] [--out MANIFEST]",
+        "--max-time --seed [--trials K [--jobs N]] [--dispatch fast|virtual] "
+        "[--monitor [--sync-threshold R] [--sync-hysteresis H]] "
+        "[--out MANIFEST]",
         run_shared_lan));
     // The standalone paper figures and examples, addressable through the
     // same table (resolved against --bin-dir, default ".": run from the

@@ -74,4 +74,11 @@ private:
 /// figure and example binary. Safe to call more than once.
 void register_builtin_scenarios();
 
+/// The `scenario sweep shared_lan` runner: a (buffer x load x trial)
+/// grid of packet-level shared-LAN simulations over one work-stealing
+/// pool (see scenario_sweep.hpp). Flags: the shared_lan set plus
+/// --buffers LO..HI|a,b,c  --loads a,b,c  --trials K  --jobs N
+/// [--out MANIFEST]. Stdout is byte-identical for every --jobs value.
+int run_shared_lan_sweep(const ScenarioFlags& flags);
+
 } // namespace routesync::scenarios

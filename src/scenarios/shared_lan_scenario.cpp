@@ -61,6 +61,9 @@ private:
 SharedLanScenarioResult run_shared_lan_scenario(
     const SharedLanScenarioConfig& config) {
     sim::Engine engine;
+    if (config.tracer != nullptr) {
+        engine.set_tracer(config.tracer);
+    }
 
     net::SharedLanConfig lan_cfg;
     lan_cfg.rate_bps = config.lan_rate_bps;
@@ -68,6 +71,7 @@ SharedLanScenarioResult run_shared_lan_scenario(
     lan_cfg.queue_disc = config.queue_disc;
     lan_cfg.red = config.red;
     lan_cfg.seed = config.seed + 1; // backoff lottery, decoupled from phases
+    lan_cfg.dispatch = config.dispatch;
     net::SharedLan lan{engine, lan_cfg};
 
     net::elements::ElementGraph graph{engine};
@@ -130,7 +134,7 @@ SharedLanScenarioResult run_shared_lan_scenario(
             rng::uniform_real(phases, 0.0, config.tp.sec())));
         agents.push_back(&agent);
     }
-    graph.finalize();
+    graph.finalize(config.dispatch);
 
     SharedLanScenarioResult result;
     result.wire_spec = graph.wire_spec();

@@ -21,10 +21,15 @@
 #include <cstdint>
 #include <optional>
 
+#include "net/elements/element.hpp"
 #include "net/elements/queue_element.hpp"
 #include "net/elements/red_queue.hpp"
 #include "obs/sync_monitor.hpp"
 #include "sim/time.hpp"
+
+namespace routesync::obs {
+class Tracer;
+}
 
 namespace routesync::scenarios {
 
@@ -61,6 +66,16 @@ struct SharedLanScenarioConfig {
     bool monitor = false;
     double sync_threshold = 0.95;
     double sync_hysteresis = 0.02;
+
+    /// Element-graph dispatch for the scenario's own graph and the LAN's
+    /// station queues. Virtual is the differential reference.
+    net::elements::DispatchMode dispatch = net::elements::DispatchMode::Fast;
+
+    /// When set, the scenario's engine emits trace events through this
+    /// tracer (attached before any component is built, so queue and
+    /// medium events are captured from t = 0). The caller owns it; null —
+    /// the default — leaves the run untraced and untouched.
+    obs::Tracer* tracer = nullptr;
 };
 
 struct SharedLanScenarioResult {

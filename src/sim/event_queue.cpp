@@ -12,6 +12,7 @@ std::uint32_t EventQueue::acquire_slot() {
         const std::uint32_t slot = free_slots_.back();
         free_slots_.pop_back();
         slots_[slot].state = SlotState::Live;
+        slots_[slot].next = kNoChain;
         return slot;
     }
     if (slots_.size() > kSlotMask) {
@@ -29,6 +30,14 @@ void EventQueue::release_slot(std::uint32_t slot) noexcept {
     Slot& s = slots_[slot];
     ++s.gen;
     s.callback = nullptr;
+    // A recycled slot must never be appended to: close any chain whose
+    // tail this was.
+    if (ways_[0].tail == slot) {
+        ways_[0].tail = kNoChain;
+    }
+    if (ways_[1].tail == slot) {
+        ways_[1].tail = kNoChain;
+    }
     free_slots_.push_back(slot);
 }
 
@@ -134,15 +143,36 @@ void EventQueue::drop_root() noexcept {
     sift_up(hole);
 }
 
+void EventQueue::materialize_chains() {
+    const std::size_t n = heap_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Entry time = heap_[i] >> 64 << 64;
+        std::uint32_t s = slot_of(heap_[i]);
+        std::uint32_t next = slots_[s].next;
+        slots_[s].next = kNoChain;
+        while (next != kNoChain) {
+            heap_.push_back((time | (Entry{slots_[next].seq} << kSlotBits)) |
+                            next);
+            s = next;
+            next = slots_[s].next;
+            slots_[s].next = kNoChain;
+        }
+    }
+    ways_[0] = ChainWay{};
+    ways_[1] = ChainWay{};
+}
+
 void EventQueue::renumber() {
     // A key-sorted array is a valid d-ary min-heap, so rebuild by
     // sorting: relative order (and thus FIFO among equal times) is
     // preserved, and fresh dense seqs leave room for another 2^42 pushes.
+    materialize_chains();
     std::sort(heap_.begin(), heap_.end());
     std::uint64_t seq = 1;
     for (Entry& e : heap_) {
         const Entry time_and_slot =
             (e >> 64 << 64) | (static_cast<std::uint64_t>(e) & kSlotMask);
+        slots_[slot_of(e)].seq = seq;
         e = time_and_slot | (Entry{seq++} << kSlotBits);
     }
     next_seq_ = seq;
@@ -155,12 +185,30 @@ EventHandle EventQueue::push(SimTime t, Callback cb) {
     if (next_seq_ > kMaxSeq) {
         renumber();
     }
+    const std::uint64_t tb = time_bits(t);
     const std::uint32_t slot = acquire_slot();
-    slots_[slot].callback = std::move(cb);
-    heap_.push_back((Entry{time_bits(t)} << 64) | (next_seq_++ << kSlotBits) | slot);
-    sift_up(heap_.size() - 1);
+    Slot& s = slots_[slot];
+    s.callback = std::move(cb);
+    s.seq = next_seq_++;
     ++live_;
-    return make_handle(slot, slots_[slot].gen);
+    // Duplicate-time chaining: append to an open chain for this
+    // timestamp instead of growing the heap (file comment).
+    for (std::uint8_t w = 0; w < 2; ++w) {
+        ChainWay& way = ways_[w];
+        if (way.tail != kNoChain && way.time_bits == tb) {
+            slots_[way.tail].next = slot;
+            way.tail = slot;
+            way_mru_ = w;
+            return make_handle(slot, s.gen);
+        }
+    }
+    heap_.push_back((Entry{tb} << 64) | (s.seq << kSlotBits) | slot);
+    sift_up(heap_.size() - 1);
+    // This entry opens a chain for its timestamp, evicting the
+    // least-recently-used way.
+    way_mru_ = static_cast<std::uint8_t>(1 - way_mru_);
+    ways_[way_mru_] = ChainWay{tb, slot};
+    return make_handle(slot, s.gen);
 }
 
 bool EventQueue::cancel(EventHandle h) {
@@ -178,13 +226,17 @@ bool EventQueue::cancel(EventHandle h) {
     s.callback = nullptr; // release captured resources now, not at reclaim
     --live_;
     ++tombstones_;
-    if (tombstones_ > heap_.size() / 2 && heap_.size() >= kCompactMinHeap) {
+    const std::size_t entries = live_ + tombstones_;
+    if (tombstones_ > entries / 2 && entries >= kCompactMinHeap) {
         compact();
     }
     return true;
 }
 
 void EventQueue::compact() {
+    // Chained entries are invisible to the heap filter below; expand
+    // them first so one pass reclaims every tombstone.
+    materialize_chains();
     const auto cancelled = [this](Entry e) {
         return slots_[slot_of(e)].state == SlotState::Cancelled;
     };
@@ -206,8 +258,14 @@ void EventQueue::compact() {
 void EventQueue::skip_cancelled() {
     while (!heap_.empty() &&
            slots_[slot_of(heap_.front())].state == SlotState::Cancelled) {
-        release_slot(slot_of(heap_.front()));
-        drop_root();
+        const std::uint32_t slot = slot_of(heap_.front());
+        const std::uint32_t next = slots_[slot].next;
+        release_slot(slot);
+        if (next != kNoChain) {
+            advance_chain_root(next);
+        } else {
+            drop_root();
+        }
         --tombstones_;
     }
 }
@@ -222,9 +280,16 @@ EventQueue::Popped EventQueue::pop() {
     skip_cancelled();
     assert(!heap_.empty() && "pop() on empty queue");
     const Entry top = heap_.front();
-    Popped out{entry_time(top), std::move(slots_[slot_of(top)].callback)};
-    release_slot(slot_of(top));
-    drop_root();
+    const std::uint32_t slot = slot_of(top);
+    Popped out{entry_time(top), std::move(slots_[slot].callback)};
+    const std::uint32_t next = slots_[slot].next;
+    release_slot(slot);
+    if (next != kNoChain) {
+        // O(1): the next chain member takes the root in place.
+        advance_chain_root(next);
+    } else {
+        drop_root();
+    }
     --live_;
     return out;
 }

@@ -44,6 +44,23 @@
 // least half the heap, the amortized cost per cancel stays O(1), and live
 // memory is always O(live events).
 //
+// Duplicate-time chaining: the workloads this repo simulates are about
+// synchronization, so the queue's steady state is *bursts of equal
+// timestamps* — a cluster of routers firing together, a link draining a
+// backlog in zero serialization time, a LAN delivering one frame to
+// every station at the same instant. Pushing k equal-time events as k
+// heap entries costs k log n on the way out. Instead, the queue keeps a
+// tiny (2-way) cache of {timestamp -> chain tail}: a push whose
+// timestamp matches a cached chain appends to it in O(1) — linked
+// through the slot table, no heap entry at all — and popping a chained
+// event replaces the root's key with the next chain member in place,
+// also O(1). This is exactly FIFO-correct because, while a chain for
+// time T is cached, *every* push at T joins it: chain members' sequence
+// numbers are therefore totally ordered against every other entry at T,
+// and the advanced root is still the global minimum (no sift needed).
+// Entries at T left over from an evicted chain all carry smaller
+// sequence numbers and surface first through the normal heap path.
+//
 // Capacity limits: at most 2^22 - 1 (≈4.2M) events may be pending at
 // once (push throws std::length_error beyond). The packed sequence
 // counter holds 2^42 pushes; when it saturates, push renumbers all
@@ -95,19 +112,29 @@ public:
     /// Number of live events.
     [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
-    /// Heap entries currently held, including not-yet-reclaimed
-    /// tombstones. Exposed so tests can observe the compaction policy.
-    [[nodiscard]] std::size_t heap_entries() const noexcept { return heap_.size(); }
+    /// Entries currently held (live + not-yet-reclaimed tombstones,
+    /// whether they sit in the heap proper or on a duplicate-time
+    /// chain). Exposed so tests can observe the compaction policy.
+    [[nodiscard]] std::size_t heap_entries() const noexcept {
+        return live_ + tombstones_;
+    }
 
     /// Cancelled entries still occupying heap slots.
     [[nodiscard]] std::size_t tombstones() const noexcept { return tombstones_; }
 
     [[nodiscard]] EventQueueStats stats() const noexcept {
-        return EventQueueStats{live_, tombstones_, heap_.size()};
+        return EventQueueStats{live_, tombstones_, live_ + tombstones_};
     }
 
     /// Timestamp of the earliest live event. Precondition: !empty().
     [[nodiscard]] SimTime next_time();
+
+    /// O(1) lower bound on next_time(): the root entry's timestamp,
+    /// tombstones included (a cancelled root can make this earlier than
+    /// next_time(), never later). Precondition: !empty().
+    [[nodiscard]] SimTime next_time_bound() const noexcept {
+        return entry_time(heap_.front());
+    }
 
     /// Removes and returns the earliest live event. Precondition: !empty().
     struct Popped {
@@ -156,11 +183,25 @@ private:
         return static_cast<std::uint32_t>(static_cast<std::uint64_t>(e) & kSlotMask);
     }
 
+    /// Chain-link sentinel: this slot is the last of its chain (or not
+    /// chained at all).
+    static constexpr std::uint32_t kNoChain = 0xffffffffU;
+
     enum class SlotState : std::uint8_t { Live, Cancelled };
     struct Slot {
         Callback callback;
+        std::uint64_t seq = 0;          // full sequence number, so a chained
+                                        // entry's heap key is reconstructible
         std::uint32_t gen = 1; // bumped when the event fires or is cancelled
+        std::uint32_t next = kNoChain;  // next member of a duplicate-time chain
         SlotState state = SlotState::Live;
+    };
+
+    /// One way of the duplicate-time cache: the tail of an open chain
+    /// for `time_bits`. `tail == kNoChain` marks the way invalid.
+    struct ChainWay {
+        std::uint64_t time_bits = 0;
+        std::uint32_t tail = kNoChain;
     };
 
     static EventHandle make_handle(std::uint32_t slot, std::uint32_t gen) noexcept {
@@ -179,6 +220,19 @@ private:
     /// Drops cancelled entries from the top of the heap.
     void skip_cancelled();
 
+    /// Replaces the root's key in place with chain member `next` (same
+    /// time, that member's seq). See the chaining invariant in the file
+    /// comment for why no sift is needed.
+    void advance_chain_root(std::uint32_t next) noexcept {
+        heap_.front() = (heap_.front() >> 64 << 64) |
+                        (Entry{slots_[next].seq} << kSlotBits) | next;
+    }
+
+    /// Expands every duplicate-time chain into explicit heap entries and
+    /// invalidates the cache. Leaves heap_ UNORDERED — callers (compact,
+    /// renumber) rebuild it.
+    void materialize_chains();
+
     /// Rebuilds the heap without its tombstones (see policy above).
     void compact();
 
@@ -189,9 +243,11 @@ private:
     std::vector<Entry> heap_; // 4-ary min-heap over the 128-bit key
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> free_slots_;
+    ChainWay ways_[2]; // duplicate-time cache (see file comment)
+    std::uint8_t way_mru_ = 0;
     std::uint64_t next_seq_ = 1;
     std::size_t live_ = 0;
-    std::size_t tombstones_ = 0; // cancelled entries still in heap_
+    std::size_t tombstones_ = 0; // cancelled entries, heap or chained
 };
 
 } // namespace routesync::sim

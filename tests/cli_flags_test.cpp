@@ -148,4 +148,40 @@ TEST(CliFlags, BatchErrorMessageNamesTheFlag) {
     }
 }
 
+TEST(CliFlags, TrialsDefaultsToFallbackWhenAbsent) {
+    EXPECT_EQ(flag_trials(parse({}), 1), 1);
+    EXPECT_EQ(flag_trials(parse({}), 5), 5);
+}
+
+TEST(CliFlags, TrialsParsesPositiveIntegersAndEqualsForm) {
+    EXPECT_EQ(flag_trials(parse({"--trials", "4"}), 1), 4);
+    EXPECT_EQ(flag_trials(parse({"--trials", "1"}), 8), 1);
+    EXPECT_EQ(flag_trials(parse({"--trials=16"}), 1), 16);
+}
+
+TEST(CliFlags, TrialsRejectsZeroNegativesAndJunk) {
+    // 0 trials is a no-op nobody means — unlike --jobs there is no
+    // auto-detect reading, so it is an error, not a fallback.
+    EXPECT_THROW(flag_trials(parse({"--trials", "0"}), 1),
+                 std::invalid_argument);
+    EXPECT_THROW(flag_trials(parse({"--trials", "-3"}), 1),
+                 std::invalid_argument);
+    EXPECT_THROW(flag_trials(parse({"--trials", "two"}), 1),
+                 std::invalid_argument);
+    EXPECT_THROW(flag_trials(parse({"--trials", "2x"}), 1),
+                 std::invalid_argument);
+    EXPECT_THROW(flag_trials(parse({"--trials", ""}), 1),
+                 std::invalid_argument);
+}
+
+TEST(CliFlags, TrialsErrorMessageNamesTheFlag) {
+    try {
+        flag_trials(parse({"--trials", "2x"}), 1);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string{e.what()}.find("--trials"), std::string::npos);
+        EXPECT_NE(std::string{e.what()}.find("positive"), std::string::npos);
+    }
+}
+
 } // namespace

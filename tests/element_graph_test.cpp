@@ -155,6 +155,39 @@ TEST(ElementGraph, OutputPeerReportsWiring) {
     EXPECT_EQ(agent.output_peer(5).element, nullptr); // out of range
 }
 
+// Fast-path resolution caches devirtualized thunks, but introspection
+// keeps reading the canonical Peer table: wire_spec() and output_peer()
+// must answer identically before and after a Fast finalize, and a graph
+// rebuilt from the post-finalize spec must reproduce it.
+TEST(ElementGraph, IntrospectionSurvivesFastFinalize) {
+    sim::Engine engine;
+    ElementGraph g{engine};
+    g.add<DelayLink>("tx", 1e6, sim::SimTime::millis(1));
+    g.add<FifoQueue>("q");
+    auto& sink = g.add<CallbackSink>("sink", [](PooledPacket) {});
+    g.wire("tx[1] -> q; q -> [1]tx; tx -> sink");
+    const std::string before = g.wire_spec();
+    const Element::PeerView peer_before = g.get("tx").output_peer(0);
+
+    g.finalize(DispatchMode::Fast);
+    ASSERT_EQ(g.dispatch_mode(), DispatchMode::Fast);
+    EXPECT_EQ(g.wire_spec(), before);
+    const Element::PeerView peer_after = g.get("tx").output_peer(0);
+    EXPECT_EQ(peer_after.element, peer_before.element);
+    EXPECT_EQ(peer_after.element, &sink);
+    EXPECT_EQ(peer_after.port, peer_before.port);
+
+    // Round trip from the post-finalize spec.
+    sim::Engine engine2;
+    ElementGraph g2{engine2};
+    g2.add<DelayLink>("tx", 1e6, sim::SimTime::millis(1));
+    g2.add<FifoQueue>("q");
+    g2.add<CallbackSink>("sink", [](PooledPacket) {});
+    g2.wire(g.wire_spec());
+    g2.finalize(DispatchMode::Fast);
+    EXPECT_EQ(g2.wire_spec(), before);
+}
+
 TEST(ElementGraph, WireRejectsUnknownNamesAndGarbage) {
     sim::Engine engine;
     ElementGraph g{engine};

@@ -81,6 +81,25 @@ inline std::size_t flag_jobs(const Flags& flags, std::size_t fallback) {
     return n == 0 ? fallback : static_cast<std::size_t>(n);
 }
 
+/// Parses `--trials`: repetition count for multi-trial scenario runs and
+/// sweeps. Absent -> `fallback`; must be >= 1 when given (a zero-trial
+/// run is a no-op the user almost certainly did not mean). Non-numeric
+/// junk throws, like --jobs.
+inline int flag_trials(const Flags& flags, int fallback) {
+    const auto it = flags.find("trials");
+    if (it == flags.end()) {
+        return fallback;
+    }
+    const std::string& value = it->second;
+    char* end = nullptr;
+    const long n = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || n < 1) {
+        throw std::invalid_argument{
+            "--trials must be a positive integer, got '" + value + "'"};
+    }
+    return static_cast<int>(n);
+}
+
 /// Parses `--batch`: trials per batched-kernel claim in parallel sweeps.
 /// Absent -> `fallback`; `--batch 0` stays 0 ("auto-tune from the sweep
 /// shape" — unlike --jobs, 0 is a meaningful value the scheduler

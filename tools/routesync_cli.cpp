@@ -644,7 +644,8 @@ int cmd_scenario(int argc, char** argv) {
     scenarios::register_builtin_scenarios();
     const auto& registry = scenarios::ScenarioRegistry::instance();
     if (argc < 3) {
-        throw std::invalid_argument{"scenario: need an action (list|run NAME)"};
+        throw std::invalid_argument{
+            "scenario: need an action (list|run NAME|sweep NAME)"};
     }
     const std::string action = argv[2];
     if (action == "list") {
@@ -666,6 +667,11 @@ int cmd_scenario(int argc, char** argv) {
         }
         const std::string name = argv[3];
         Flags flags = cli::parse_flags(argc, argv, 4);
+        // Junk-reject the parallel knobs up front (the registry's lenient
+        // atoi parsing would read "--jobs 8x" as 8): a typo'd worker or
+        // trial count must be an error, not a silently different run.
+        (void)cli::flag_trials(flags, 1);
+        (void)cli::flag_jobs(flags, 1);
         if (!flags.contains("bin-dir")) {
             // argv[0] is <build>/tools/routesync; the figure and example
             // binaries live in <build>/bench and <build>/examples.
@@ -677,6 +683,21 @@ int cmd_scenario(int argc, char** argv) {
                 "/..";
         }
         return registry.run(name, flags);
+    }
+    if (action == "sweep") {
+        if (argc < 4) {
+            throw std::invalid_argument{"scenario sweep: need a scenario name"};
+        }
+        const std::string name = argv[3];
+        if (name != "shared_lan") {
+            throw std::invalid_argument{
+                "scenario sweep: only 'shared_lan' is sweepable, got '" + name +
+                "'"};
+        }
+        const Flags flags = cli::parse_flags(argc, argv, 4);
+        (void)cli::flag_trials(flags, 1);
+        (void)cli::flag_jobs(flags, 1);
+        return scenarios::run_shared_lan_sweep(flags);
     }
     throw std::invalid_argument{"scenario: unknown action '" + action + "'"};
 }
@@ -737,7 +758,14 @@ void usage() {
                  "            one table of testbeds, figures, and examples;\n"
                  "            `list` shows each entry's flags. shared_lan\n"
                  "            takes --queue red|droptail (the element-graph\n"
-                 "            AQM knob).\n"
+                 "            AQM knob) and --trials K [--jobs N] for\n"
+                 "            parallel repetitions.\n"
+                 "  scenario  sweep shared_lan --buffers LO..HI|a,b,c\n"
+                 "            --loads a,b,c --trials K [--jobs N]\n"
+                 "            [--out MANIFEST] [shared_lan flags]\n"
+                 "            buffer x load x trial grid of packet-level\n"
+                 "            runs over one work-stealing pool; stdout and\n"
+                 "            manifests are byte-identical for every N\n"
                  "\n"
                  "  --jobs N  worker threads for parallel sweeps (default and\n"
                  "            N = 0: hardware concurrency). Results are\n"
